@@ -1,0 +1,107 @@
+// E5 (Lemma 2.8 + Observation 2.10, the paper's Figure 1 made quantitative):
+// each contraction step removes a constant fraction of clusters, so
+// O(log D̂) steps reach n / D̂² clusters; the total number of clusters across
+// all levels (the merge history) stays O(n).
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "cluster/clustering.hpp"
+#include "treeops/interval_label.hpp"
+
+namespace bu = mpcmst::benchutil;
+namespace cl = mpcmst::cluster;
+namespace g = mpcmst::graph;
+namespace to = mpcmst::treeops;
+
+namespace {
+
+constexpr std::size_t kN = 1 << 15;
+
+void run_tables() {
+  {
+    mpcmst::Table table({"tree", "height", "target n/Dhat^2", "steps",
+                         "steps/log2(Dhat)", "worst step ratio",
+                         "mean step ratio", "history/n"});
+    for (auto& pt : bu::diameter_sweep(kN)) {
+      g::Instance inst;
+      inst.tree = pt.tree;
+      auto eng = bu::scaled_engine(inst, 0.5, 0.0);
+      const auto dtree = to::load_tree(eng, pt.tree);
+      const auto depths = to::compute_depths(dtree, pt.tree.root);
+      const auto labels =
+          to::dfs_interval_labels(dtree, pt.tree.root, depths);
+      cl::HierarchicalClustering hc(dtree, pt.tree.root, labels.intervals);
+      const std::int64_t dhat = 2 * std::max<std::int64_t>(pt.height, 1);
+      const auto target = static_cast<std::size_t>(
+          static_cast<double>(kN) /
+          (static_cast<double>(dhat) * static_cast<double>(dhat)));
+      const std::size_t steps = hc.run_until(
+          target, [](std::int64_t l, const cl::MergeRec&) { return l; });
+      double worst = 0, mean = 0;
+      const auto& decay = hc.decay();
+      for (std::size_t i = 1; i < decay.size(); ++i) {
+        const double r = static_cast<double>(decay[i]) /
+                         static_cast<double>(decay[i - 1]);
+        worst = std::max(worst, r);
+        mean += r;
+      }
+      mean /= static_cast<double>(decay.size() - 1);
+      std::size_t history = 0;
+      for (const auto& h : hc.history()) history += h.size();
+      table.row(pt.name, pt.height, std::max<std::size_t>(target, 1), steps,
+                static_cast<double>(steps) / bu::log2d(dhat), worst, mean,
+                static_cast<double>(history) / static_cast<double>(kN));
+    }
+    table.print(std::cout,
+                "E5a  contraction decay per shape (n = 32768): worst/mean "
+                "per-step cluster ratio < 1, steps = O(log Dhat), history "
+                "O(n)");
+    std::cout << "\n";
+  }
+  {
+    // Full decay trace on the hardest shape (the path): Figure-1 style.
+    g::Instance inst;
+    inst.tree = g::path_tree(kN);
+    auto eng = bu::scaled_engine(inst, 0.5, 0.0);
+    const auto dtree = to::load_tree(eng, inst.tree);
+    const auto labels = to::dfs_interval_labels(dtree, inst.tree.root);
+    cl::HierarchicalClustering hc(dtree, inst.tree.root, labels.intervals);
+    hc.run_until(1, [](std::int64_t l, const cl::MergeRec&) { return l; });
+    mpcmst::Table table({"step", "clusters", "ratio vs prev"});
+    const auto& decay = hc.decay();
+    for (std::size_t i = 0; i < decay.size(); i += (decay.size() / 16) + 1)
+      table.row(i, decay[i],
+                i == 0 ? 1.0
+                       : static_cast<double>(decay[i]) /
+                             static_cast<double>(decay[i - 1]));
+    table.row(decay.size() - 1, decay.back(), 0.0);
+    table.print(std::cout,
+                "E5b  decay trace, path tree n = 32768 (full contraction)");
+    std::cout << "\n";
+  }
+}
+
+void BM_ContractionStep(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  g::Instance inst;
+  inst.tree = g::path_tree(n);
+  for (auto _ : state) {
+    auto eng = bu::scaled_engine(inst, 0.5, 0.0);
+    const auto dtree = to::load_tree(eng, inst.tree);
+    const auto labels = to::dfs_interval_labels(dtree, inst.tree.root);
+    cl::HierarchicalClustering hc(dtree, inst.tree.root, labels.intervals);
+    benchmark::DoNotOptimize(hc.step());
+  }
+}
+BENCHMARK(BM_ContractionStep)->Arg(1 << 14)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  run_tables();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

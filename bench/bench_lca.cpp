@@ -1,0 +1,91 @@
+// E6 (Theorem 2.15): all-edges LCA in O(log D_T) rounds and linear memory,
+// validated against the sequential LCA on every sweep point.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "lca/all_edges_lca.hpp"
+#include "treeops/interval_label.hpp"
+
+namespace bu = mpcmst::benchutil;
+namespace g = mpcmst::graph;
+namespace to = mpcmst::treeops;
+namespace seq = mpcmst::seq;
+
+namespace {
+
+constexpr std::size_t kN = 1 << 15;
+
+void run_table() {
+  mpcmst::Table table({"tree", "height", "rounds", "rounds/log2(Dhat)",
+                       "contraction-steps", "peak-mem/input", "mismatches"});
+  std::vector<double> xs, ys;
+  for (auto& pt : bu::diameter_sweep(kN)) {
+    const auto inst = g::make_layered_instance(pt.tree, 2 * kN, 17);
+    auto eng = bu::scaled_engine(inst);
+    const auto dtree = to::load_tree(eng, inst.tree);
+    const auto depths = to::compute_depths(dtree, inst.tree.root);
+    const auto labels =
+        to::dfs_interval_labels(dtree, inst.tree.root, depths);
+    std::vector<mpcmst::lca::IdEdge> recs;
+    for (std::size_t i = 0; i < inst.nontree.size(); ++i)
+      recs.push_back({inst.nontree[i].u, inst.nontree[i].v, inst.nontree[i].w,
+                      static_cast<std::int64_t>(i)});
+    auto dedges = mpcmst::mpc::scatter(eng, std::move(recs));
+    eng.reset_meters();
+    const std::int64_t dhat = 2 * std::max<std::int64_t>(pt.height, 1);
+    const auto res = mpcmst::lca::all_edges_lca(
+        dtree, inst.tree.root, depths, labels.intervals, dedges, dhat);
+    // Validate against the sequential oracle.
+    const seq::SeqTreeIndex idx(inst.tree);
+    std::size_t mismatches = 0;
+    for (const auto& e : res.edges.local())
+      mismatches += e.lca != idx.lca(e.u, e.v);
+    const double logd = bu::log2d(dhat);
+    xs.push_back(logd);
+    ys.push_back(static_cast<double>(eng.rounds()));
+    table.row(pt.name, pt.height, eng.rounds(),
+              static_cast<double>(eng.rounds()) / logd,
+              res.contraction_steps,
+              static_cast<double>(eng.stats().peak_global_words) /
+                  static_cast<double>(inst.input_words()),
+              mismatches);
+  }
+  table.print(std::cout,
+              "E6  Theorem 2.15: all-edges LCA rounds vs diameter "
+              "(n = 32768, m = 3n; rounds exclude label preprocessing)");
+  std::cout << "linear fit: rounds ~ " << mpcmst::format_double(bu::slope(xs, ys))
+            << " * log2(Dhat) + c\n\n";
+}
+
+void BM_AllEdgesLca(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto inst = g::make_layered_instance(g::path_tree(n), 2 * n, 17);
+  for (auto _ : state) {
+    auto eng = bu::scaled_engine(inst);
+    const auto dtree = to::load_tree(eng, inst.tree);
+    const auto depths = to::compute_depths(dtree, inst.tree.root);
+    const auto labels = to::dfs_interval_labels(dtree, inst.tree.root, depths);
+    std::vector<mpcmst::lca::IdEdge> recs;
+    for (std::size_t i = 0; i < inst.nontree.size(); ++i)
+      recs.push_back({inst.nontree[i].u, inst.nontree[i].v, inst.nontree[i].w,
+                      static_cast<std::int64_t>(i)});
+    auto dedges = mpcmst::mpc::scatter(eng, std::move(recs));
+    benchmark::DoNotOptimize(
+        mpcmst::lca::all_edges_lca(dtree, inst.tree.root, depths,
+                                   labels.intervals, dedges,
+                                   2 * static_cast<std::int64_t>(n))
+            .contraction_steps);
+  }
+}
+BENCHMARK(BM_AllEdgesLca)->Arg(1 << 13)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  run_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

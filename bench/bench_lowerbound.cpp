@@ -1,0 +1,91 @@
+// E3 (Theorem 5.2 / Appendix A): the 1-vs-2-cycle apex family.  The input
+// graph G* has diameter 2, but every candidate tree has diameter Θ(n), so
+// verification rounds must grow as Θ(log n) — matching the conditional
+// lower bound.  Also checks all four candidate verdicts at one size.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "bound/one_two_cycle.hpp"
+#include "verify/verifier.hpp"
+
+namespace b = mpcmst::bound;
+namespace bu = mpcmst::benchutil;
+namespace vf = mpcmst::verify;
+
+namespace {
+
+void run_tables() {
+  {
+    mpcmst::Table table({"n", "log2(n)", "rounds", "rounds/log2(n)",
+                         "peak-mem/input", "verdict"});
+    std::vector<double> xs, ys;
+    for (std::size_t n : {256u, 1024u, 4096u, 16384u, 65536u}) {
+      const auto lb = b::make_apex_instance(n, b::Candidate::HamPathPlusApex);
+      auto eng = bu::scaled_engine(lb.instance);
+      const auto res = vf::verify_mst_mpc(eng, lb.instance);
+      const double logn = bu::log2d(static_cast<std::int64_t>(n));
+      xs.push_back(logn);
+      ys.push_back(static_cast<double>(eng.rounds()));
+      table.row(n, logn, eng.rounds(),
+                static_cast<double>(eng.rounds()) / logn,
+                static_cast<double>(eng.stats().peak_global_words) /
+                    static_cast<double>(lb.instance.input_words()),
+                res.is_mst ? "MST" : "not-MST");
+    }
+    table.print(std::cout,
+                "E3a  Theorem 5.2 family: verification rounds on apex "
+                "instances (D_G = 2, D_T = Theta(n))");
+    std::cout << "linear fit: rounds ~ "
+              << mpcmst::format_double(bu::slope(xs, ys))
+              << " * log2(n) + c   [Omega(log D_T) is unavoidable here]\n\n";
+  }
+  {
+    mpcmst::Table table(
+        {"candidate", "valid-tree", "expected", "validated", "verdict"});
+    const std::size_t n = 4096;
+    for (auto [name, cand] :
+         {std::pair<const char*, b::Candidate>{"ham-path+apex",
+                                               b::Candidate::HamPathPlusApex},
+          {"two-paths+2apex", b::Candidate::TwoPathsPlusTwoApex},
+          {"heavy-apex", b::Candidate::HeavyApex},
+          {"cycle+path", b::Candidate::CyclePlusPath}}) {
+      const auto lb = b::make_apex_instance(n, cand);
+      auto eng = bu::scaled_engine(lb.instance);
+      const auto res = vf::verify_mst_mpc(eng, lb.instance,
+                                          vf::VerifyOptions{true});
+      table.row(name, lb.tree_is_valid ? "yes" : "no",
+                lb.expected_mst ? "MST" : "not-MST",
+                res.input_is_tree ? "tree" : "rejected",
+                res.is_mst ? "MST" : "not-MST");
+    }
+    table.print(std::cout,
+                "E3b  verdicts across the 1-vs-2-cycle candidates (n = 4096)");
+    std::cout << "\n";
+  }
+}
+
+void BM_LowerBoundVerify(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto lb = b::make_apex_instance(n, b::Candidate::HamPathPlusApex);
+  for (auto _ : state) {
+    auto eng = bu::scaled_engine(lb.instance);
+    auto res = vf::verify_mst_mpc(eng, lb.instance);
+    benchmark::DoNotOptimize(res.is_mst);
+    state.counters["rounds"] = static_cast<double>(eng.rounds());
+  }
+}
+BENCHMARK(BM_LowerBoundVerify)
+    ->Arg(1 << 10)
+    ->Arg(1 << 14)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  run_tables();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

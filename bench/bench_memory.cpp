@@ -1,0 +1,87 @@
+// E4 (§1.2 / §3 intro): global-memory utilization.  The paper's verifier
+// stays at O(m + n) words across the diameter sweep; the naive root-path
+// strawman blows up as O(n * D_T), binary lifting as O(n log D_T), and the
+// PRAM simulation as O(n log n).  Reported as peak-words / input-words.
+#include <benchmark/benchmark.h>
+
+#include <functional>
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "verify/baselines.hpp"
+#include "verify/verifier.hpp"
+
+namespace bu = mpcmst::benchutil;
+namespace g = mpcmst::graph;
+namespace vf = mpcmst::verify;
+
+namespace {
+
+constexpr std::size_t kN = 1 << 13;  // naive needs n * D_T words: keep modest
+
+double peak_ratio(const g::Instance& inst,
+                  const std::function<vf::VerifyResult(mpcmst::mpc::Engine&,
+                                                       const g::Instance&)>& f) {
+  // No global budget and roomy machines: the point is to *measure* the
+  // blowup of each variant, not to crash on it.
+  mpcmst::mpc::MpcConfig cfg;
+  cfg.machines = 256;
+  cfg.local_capacity = std::size_t{1} << 28;
+  cfg.block_slack = 16.0;
+  auto eng = mpcmst::mpc::Engine(cfg);
+  const auto res = f(eng, inst);
+  if (!res.verdicts.empty() && !res.is_mst)
+    std::cerr << "unexpected verdict\n";
+  return static_cast<double>(eng.stats().peak_global_words) /
+         static_cast<double>(inst.input_words());
+}
+
+void run_table() {
+  mpcmst::Table table({"tree", "height", "paper(Thm3.1)", "naive(n*D)",
+                       "lifting(n*logD)", "pram(n*logn)"});
+  for (auto& pt : bu::diameter_sweep(kN)) {
+    const auto inst = g::make_layered_instance(pt.tree, 2 * kN, 13);
+    table.row(
+        pt.name, pt.height,
+        peak_ratio(inst,
+                   [](auto& e, const auto& i) {
+                     return vf::verify_mst_mpc(e, i);
+                   }),
+        peak_ratio(inst,
+                   [](auto& e, const auto& i) {
+                     return vf::naive_verifier(e, i);
+                   }),
+        peak_ratio(inst,
+                   [](auto& e, const auto& i) {
+                     return vf::lifting_verifier(e, i);
+                   }),
+        peak_ratio(inst, [](auto& e, const auto& i) {
+          return vf::pram_verifier(e, i);
+        }));
+  }
+  table.print(std::cout,
+              "E4  peak global memory / input words, verification variants "
+              "(n = 8192, m = 3n)");
+  std::cout << "paper column stays flat (optimal utilization); naive grows "
+               "linearly with D_T.\n\n";
+}
+
+void BM_PaperVerifier(benchmark::State& state) {
+  const auto inst = g::make_layered_instance(
+      g::path_tree(static_cast<std::size_t>(state.range(0))), 2 * state.range(0),
+      13);
+  for (auto _ : state) {
+    auto eng = bu::scaled_engine(inst);
+    benchmark::DoNotOptimize(vf::verify_mst_mpc(eng, inst).is_mst);
+  }
+}
+BENCHMARK(BM_PaperVerifier)->Arg(1 << 12)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  run_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

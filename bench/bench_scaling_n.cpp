@@ -1,0 +1,56 @@
+// E9 (Theorems 3.1/4.1): rounds depend on D_T, not on n.  Fixing the depth
+// bound and growing n by 64x leaves round counts essentially flat (tiny
+// drift comes from the 1/delta collective depth as machine counts grow).
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "sensitivity/sensitivity.hpp"
+#include "verify/verifier.hpp"
+
+namespace bu = mpcmst::benchutil;
+namespace g = mpcmst::graph;
+
+namespace {
+
+void run_table() {
+  mpcmst::Table table({"n", "height", "verify rounds", "sensitivity rounds",
+                       "verify peak/input"});
+  for (std::size_t n : {1u << 10, 1u << 12, 1u << 14, 1u << 16}) {
+    auto tree = g::random_tree_depth_bounded(n, 32, 29);
+    const auto inst = g::make_layered_instance(std::move(tree), 2 * n, 31);
+    const auto height = mpcmst::seq::SeqTreeIndex(inst.tree).height();
+    auto eng_v = bu::scaled_engine(inst);
+    (void)mpcmst::verify::verify_mst_mpc(eng_v, inst);
+    auto eng_s = bu::scaled_engine(inst);
+    (void)mpcmst::sensitivity::mst_sensitivity_mpc(eng_s, inst);
+    table.row(n, height, eng_v.rounds(), eng_s.rounds(),
+              static_cast<double>(eng_v.stats().peak_global_words) /
+                  static_cast<double>(inst.input_words()));
+  }
+  table.print(std::cout,
+              "E9  fixed depth bound (32), growing n: rounds stay flat "
+              "(D_T-dependence only)");
+  std::cout << "\n";
+}
+
+void BM_VerifyFixedDepth(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto inst = g::make_layered_instance(
+      g::random_tree_depth_bounded(n, 32, 29), 2 * n, 31);
+  for (auto _ : state) {
+    auto eng = bu::scaled_engine(inst);
+    benchmark::DoNotOptimize(mpcmst::verify::verify_mst_mpc(eng, inst).is_mst);
+  }
+}
+BENCHMARK(BM_VerifyFixedDepth)->Arg(1 << 14)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  run_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,59 @@
+// E7 (Definition 4.5 / Lemma 4.6 / Claim 4.13, the paper's Figure 2 made
+// quantitative): how often the sensitivity contraction cases fire, and the
+// root-to-leaf note volume — created notes and the peak live pool, which
+// Claim 4.13 bounds by O(n).
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "sensitivity/sensitivity.hpp"
+
+namespace bu = mpcmst::benchutil;
+namespace g = mpcmst::graph;
+namespace sn = mpcmst::sensitivity;
+
+namespace {
+
+constexpr std::size_t kN = 1 << 14;
+
+void run_table() {
+  mpcmst::Table table({"tree", "height", "case1(drop)", "case4(lo-trunc)",
+                       "case5(hi-trunc)", "notes-created", "notes-peak",
+                       "notes-peak/n"});
+  for (auto& pt : bu::diameter_sweep(kN)) {
+    const auto inst = g::make_layered_instance(pt.tree, 2 * kN, 19);
+    auto eng = bu::scaled_engine(inst);
+    const auto res = sn::mst_sensitivity_mpc(eng, inst);
+    table.row(pt.name, pt.height, res.stats.case1, res.stats.case4,
+              res.stats.case5, res.stats.notes_created, res.stats.notes_peak,
+              static_cast<double>(res.stats.notes_peak) /
+                  static_cast<double>(inst.n()));
+  }
+  table.print(std::cout,
+              "E7  Definition 4.5 case frequencies and note accounting "
+              "(n = 16384, m = 3n)");
+  std::cout << "notes-peak/n bounded by a constant across shapes "
+               "(Claim 4.13).\n\n";
+}
+
+void BM_SensitivityNotes(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto inst = g::make_layered_instance(
+      g::random_tree_depth_bounded(n, 256, 3), 2 * n, 19);
+  for (auto _ : state) {
+    auto eng = bu::scaled_engine(inst);
+    benchmark::DoNotOptimize(
+        sn::mst_sensitivity_mpc(eng, inst).stats.notes_created);
+  }
+}
+BENCHMARK(BM_SensitivityNotes)->Arg(1 << 13)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  run_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

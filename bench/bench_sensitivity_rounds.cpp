@@ -1,0 +1,67 @@
+// E2 (Theorem 4.1): MST sensitivity runs in O(log D_T) rounds with linear
+// global memory.  Same sweep as E1; also reports the note machinery volume.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "sensitivity/sensitivity.hpp"
+
+namespace bu = mpcmst::benchutil;
+namespace g = mpcmst::graph;
+namespace sn = mpcmst::sensitivity;
+
+namespace {
+
+constexpr std::size_t kN = 1 << 15;
+
+void run_table() {
+  mpcmst::Table table({"tree", "height", "log2(Dhat)", "rounds",
+                       "rounds/log2(Dhat)", "steps", "notes-created",
+                       "notes-peak/n", "peak-mem/input"});
+  std::vector<double> xs, ys;
+  for (auto& pt : bu::diameter_sweep(kN)) {
+    const auto inst = g::make_layered_instance(pt.tree, 2 * kN, 7);
+    auto eng = bu::scaled_engine(inst);
+    const auto res = sn::mst_sensitivity_mpc(eng, inst);
+    const double logd = bu::log2d(2 * std::max<std::int64_t>(pt.height, 1));
+    const double rounds = static_cast<double>(eng.rounds());
+    xs.push_back(logd);
+    ys.push_back(rounds);
+    table.row(pt.name, pt.height, logd, eng.rounds(), rounds / logd,
+              res.stats.contraction_steps, res.stats.notes_created,
+              static_cast<double>(res.stats.notes_peak) /
+                  static_cast<double>(inst.n()),
+              static_cast<double>(eng.stats().peak_global_words) /
+                  static_cast<double>(inst.input_words()));
+  }
+  table.print(std::cout,
+              "E2  Theorem 4.1: sensitivity rounds vs tree diameter "
+              "(n = 32768, m = 3n)");
+  std::cout << "linear fit: rounds ~ " << mpcmst::format_double(bu::slope(xs, ys))
+            << " * log2(Dhat) + c   [O(log D_T) shape]\n\n";
+}
+
+void BM_SensitivityPath(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto inst = g::make_layered_instance(g::path_tree(n), 2 * n, 7);
+  for (auto _ : state) {
+    auto eng = bu::scaled_engine(inst);
+    auto res = sn::mst_sensitivity_mpc(eng, inst);
+    benchmark::DoNotOptimize(res.stats.contraction_steps);
+    state.counters["rounds"] = static_cast<double>(eng.rounds());
+  }
+}
+BENCHMARK(BM_SensitivityPath)
+    ->Arg(1 << 12)
+    ->Arg(1 << 14)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  run_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Shared helpers for the experiment harness (E1-E10, DESIGN.md §4).
+#pragma once
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "common/table.hpp"
+#include "graph/generators.hpp"
+#include "graph/instance.hpp"
+#include "mpc/config.hpp"
+#include "mpc/engine.hpp"
+#include "seq/oracles.hpp"
+
+namespace mpcmst::benchutil {
+
+struct SweepPoint {
+  std::string name;
+  graph::RootedTree tree;
+  std::int64_t height;  // measured, for the log D_T axis
+};
+
+/// Fixed-n trees spanning the diameter spectrum, shallow to deep.
+inline std::vector<SweepPoint> diameter_sweep(std::size_t n,
+                                              std::uint64_t seed = 11) {
+  std::vector<SweepPoint> out;
+  auto add = [&](std::string name, graph::RootedTree t) {
+    const auto h = seq::SeqTreeIndex(t).height();
+    out.push_back({std::move(name), std::move(t), h});
+  };
+  add("star", graph::star_tree(n));
+  add("kary8", graph::kary_tree(n, 8));
+  add("binary", graph::kary_tree(n, 2));
+  add("spine64", graph::caterpillar_tree(n, 64, seed));
+  add("spine512", graph::caterpillar_tree(n, 512, seed + 1));
+  add("spine4096", graph::caterpillar_tree(n, 4096, seed + 2));
+  add("path", graph::path_tree(n));
+  return out;
+}
+
+/// Honest low-space engine: s ~ input^delta, global budget a fixed multiple
+/// of the input (0 disables the budget for baselines that need more).
+inline mpc::Engine scaled_engine(const graph::Instance& inst,
+                                 double delta = 0.5, double budget = 64.0) {
+  return mpc::Engine(
+      mpc::MpcConfig::scaled(inst.input_words(), delta, budget));
+}
+
+inline double log2d(std::int64_t x) {
+  return std::log2(static_cast<double>(x < 2 ? 2 : x));
+}
+
+/// Least-squares slope of y against x (rounds vs log2 D fits).
+inline double slope(const std::vector<double>& x,
+                    const std::vector<double>& y) {
+  const std::size_t k = x.size();
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  for (std::size_t i = 0; i < k; ++i) {
+    sx += x[i];
+    sy += y[i];
+    sxx += x[i] * x[i];
+    sxy += x[i] * y[i];
+  }
+  const double denom = static_cast<double>(k) * sxx - sx * sx;
+  return denom == 0 ? 0 : (static_cast<double>(k) * sxy - sx * sy) / denom;
+}
+
+}  // namespace mpcmst::benchutil

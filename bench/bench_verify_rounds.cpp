@@ -1,0 +1,65 @@
+// E1 (Theorem 3.1): MST verification runs in O(log D_T) rounds with linear
+// global memory.  Fixed n, diameter sweep; reports rounds, rounds/log2(D̂),
+// contraction steps, and peak-memory/input ratio.  The rounds/log2(D̂)
+// column flattening to a constant is the theorem's shape.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "verify/verifier.hpp"
+
+namespace bu = mpcmst::benchutil;
+namespace g = mpcmst::graph;
+namespace vf = mpcmst::verify;
+
+namespace {
+
+constexpr std::size_t kN = 1 << 15;
+
+void run_table() {
+  mpcmst::Table table({"tree", "height", "log2(Dhat)", "rounds",
+                       "rounds/log2(Dhat)", "contraction-steps",
+                       "peak-mem/input", "verdict"});
+  std::vector<double> xs, ys;
+  for (auto& pt : bu::diameter_sweep(kN)) {
+    const auto inst = g::make_layered_instance(pt.tree, 2 * kN, 5);
+    auto eng = bu::scaled_engine(inst);
+    const auto res = vf::verify_mst_mpc(eng, inst);
+    const double logd = bu::log2d(2 * std::max<std::int64_t>(pt.height, 1));
+    const double rounds = static_cast<double>(eng.rounds());
+    xs.push_back(logd);
+    ys.push_back(rounds);
+    table.row(pt.name, pt.height, logd, eng.rounds(), rounds / logd,
+              res.core.contraction_steps,
+              static_cast<double>(eng.stats().peak_global_words) /
+                  static_cast<double>(inst.input_words()),
+              res.is_mst ? "MST" : "not-MST");
+  }
+  table.print(std::cout,
+              "E1  Theorem 3.1: verification rounds vs tree diameter "
+              "(n = 32768, m = 3n)");
+  std::cout << "linear fit: rounds ~ " << mpcmst::format_double(bu::slope(xs, ys))
+            << " * log2(Dhat) + c   [O(log D_T) shape]\n\n";
+}
+
+void BM_VerifyPath(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto inst = g::make_layered_instance(g::path_tree(n), 2 * n, 5);
+  for (auto _ : state) {
+    auto eng = bu::scaled_engine(inst);
+    auto res = vf::verify_mst_mpc(eng, inst);
+    benchmark::DoNotOptimize(res.is_mst);
+    state.counters["rounds"] = static_cast<double>(eng.rounds());
+  }
+}
+BENCHMARK(BM_VerifyPath)->Arg(1 << 12)->Arg(1 << 14)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  run_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

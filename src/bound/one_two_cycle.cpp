@@ -1,0 +1,113 @@
+#include "bound/one_two_cycle.hpp"
+
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace mpcmst::bound {
+
+using graph::Instance;
+using graph::RootedTree;
+using graph::Vertex;
+using graph::WEdge;
+
+namespace {
+
+/// Undirected edge key for set membership.
+std::pair<Vertex, Vertex> key(Vertex a, Vertex b) {
+  return a < b ? std::make_pair(a, b) : std::make_pair(b, a);
+}
+
+}  // namespace
+
+LowerBoundInstance make_apex_instance(std::size_t n, Candidate candidate) {
+  MPCMST_CHECK(n >= 4 && n % 2 == 0, "apex instance needs even n >= 4");
+  const Vertex apex = static_cast<Vertex>(n);
+  const bool two_cycles = candidate == Candidate::TwoPathsPlusTwoApex ||
+                          candidate == Candidate::CyclePlusPath;
+  const std::size_t half = n / 2;
+
+  // All edges of G*: the cycle edges (weight 1) and apex edges (weight 2).
+  std::vector<WEdge> all;
+  auto cycle_next = [&](std::size_t i) -> Vertex {
+    if (!two_cycles) return static_cast<Vertex>((i + 1) % n);
+    if (i < half) return static_cast<Vertex>((i + 1) % half);
+    return static_cast<Vertex>(half + (i + 1 - half) % half);
+  };
+  for (std::size_t i = 0; i < n; ++i)
+    all.push_back({static_cast<Vertex>(i), cycle_next(i), 1});
+  for (std::size_t i = 0; i < n; ++i)
+    all.push_back({apex, static_cast<Vertex>(i), 2});
+
+  // Candidate tree edges (n of them, spanning n+1 vertices when valid).
+  // Parent orientation: paths hang off the apex root.
+  LowerBoundInstance out;
+  RootedTree& t = out.instance.tree;
+  t.n = n + 1;
+  t.root = apex;
+  t.parent.assign(n + 1, apex);
+  t.weight.assign(n + 1, 0);
+  std::set<std::pair<Vertex, Vertex>> tree_edges;
+  auto add_tree_edge = [&](Vertex child, Vertex parent, graph::Weight w) {
+    t.parent[child] = parent;
+    t.weight[child] = w;
+    tree_edges.insert(key(child, parent));
+  };
+
+  switch (candidate) {
+    case Candidate::HamPathPlusApex:
+      // 0 <- 1 <- ... <- n-1 hanging off apex at 0.
+      add_tree_edge(0, apex, 2);
+      for (std::size_t i = 1; i < n; ++i)
+        add_tree_edge(static_cast<Vertex>(i), static_cast<Vertex>(i - 1), 1);
+      out.tree_is_valid = true;
+      out.expected_mst = true;  // weight (n-1) + 2 = n + 1, the MST weight
+      break;
+    case Candidate::TwoPathsPlusTwoApex:
+      add_tree_edge(0, apex, 2);
+      add_tree_edge(static_cast<Vertex>(half), apex, 2);
+      for (std::size_t i = 1; i < half; ++i) {
+        add_tree_edge(static_cast<Vertex>(i), static_cast<Vertex>(i - 1), 1);
+        add_tree_edge(static_cast<Vertex>(half + i),
+                      static_cast<Vertex>(half + i - 1), 1);
+      }
+      out.tree_is_valid = true;
+      out.expected_mst = true;  // weight (n-2) + 4 = n + 2, minimal here
+      break;
+    case Candidate::HeavyApex:
+      // 1-cycle world, but the candidate uses two apex edges: weight n+2.
+      add_tree_edge(0, apex, 2);
+      add_tree_edge(static_cast<Vertex>(n - 1), apex, 2);
+      for (std::size_t i = 1; i < n - 1; ++i)
+        add_tree_edge(static_cast<Vertex>(i), static_cast<Vertex>(i - 1), 1);
+      out.tree_is_valid = true;
+      out.expected_mst = false;  // the cycle edge {n-2, n-1} undercuts it
+      break;
+    case Candidate::CyclePlusPath: {
+      // First cycle left closed (not a tree): orient it as a path plus a
+      // *cycle-closing parent* to exercise the structural validation.
+      add_tree_edge(static_cast<Vertex>(half), apex, 2);
+      for (std::size_t i = 1; i < half; ++i)
+        add_tree_edge(static_cast<Vertex>(half + i),
+                      static_cast<Vertex>(half + i - 1), 1);
+      // Closed cycle 0..half-1: every vertex points to its cycle predecessor.
+      for (std::size_t i = 0; i < half; ++i) {
+        const Vertex prev =
+            static_cast<Vertex>(i == 0 ? half - 1 : i - 1);
+        add_tree_edge(static_cast<Vertex>(i), prev, 1);
+      }
+      out.tree_is_valid = false;
+      out.expected_mst = false;
+      break;
+    }
+  }
+
+  // Non-tree edges: everything in G* not claimed by the candidate.
+  for (const WEdge& e : all)
+    if (!tree_edges.count(key(e.u, e.v))) out.instance.nontree.push_back(e);
+  return out;
+}
+
+}  // namespace mpcmst::bound

@@ -1,0 +1,46 @@
+// The conditional lower-bound instance family (paper §5 + Appendix A).
+//
+// From a 1-vs-2-cycle input on n vertices, Appendix A builds the weighted
+// apex graph G*: the cycle edges keep weight 1 and a fresh apex vertex v* is
+// connected to every cycle vertex with weight 2.  G* has n+1 vertices, 2n
+// edges and diameter 2, yet the diameter of any candidate spanning tree is
+// Θ(n) — so verifying a candidate costs Ω(log D_T) = Ω(log n) rounds unless
+// the 1-vs-2-cycle conjecture fails (Theorem 5.2).
+//
+// The generator produces candidate trees T for both worlds:
+//   - HamPathPlusApex (1-cycle world): cycle minus one edge plus one apex
+//     edge — a genuine MST; verification must accept.
+//   - TwoPathsPlusTwoApex (2-cycle world): both cycles broken, two apex
+//     edges — the genuine MST of the 2-cycle instance; must accept.
+//   - HeavyApex (1-cycle world): cycle broken twice, two apex edges — a
+//     spanning tree heavier than the MST; must reject.
+//   - CyclePlusPath (2-cycle world): one cycle left closed — not a spanning
+//     tree at all; input validation (Remark 2.2) must reject, which is
+//     exactly the connectivity detection the reduction hinges on.
+#pragma once
+
+#include <cstddef>
+
+#include "graph/instance.hpp"
+
+namespace mpcmst::bound {
+
+enum class Candidate {
+  HamPathPlusApex,
+  TwoPathsPlusTwoApex,
+  HeavyApex,
+  CyclePlusPath,
+};
+
+struct LowerBoundInstance {
+  graph::Instance instance;
+  /// Is the candidate a spanning tree at all?
+  bool tree_is_valid = true;
+  /// Should verification accept (candidate is an MST of G*)?
+  bool expected_mst = false;
+};
+
+/// Build the apex instance for `n` cycle vertices (n >= 4, even).
+LowerBoundInstance make_apex_instance(std::size_t n, Candidate candidate);
+
+}  // namespace mpcmst::bound

@@ -1,0 +1,242 @@
+#include "cluster/clustering.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "common/hash.hpp"
+#include "mpc/ops.hpp"
+
+namespace mpcmst::cluster {
+
+namespace {
+/// Working record for planning one contraction step.
+struct PlanRec {
+  ClusterNode node;
+  std::int64_t nchild = 0;
+  bool proposes = false;
+  bool parent_proposes = false;
+};
+}  // namespace
+
+HierarchicalClustering::HierarchicalClustering(
+    const mpc::Dist<treeops::TreeRec>& tree, Vertex root,
+    const mpc::Dist<treeops::IntervalRec>& intervals,
+    std::int64_t initial_label)
+    : eng_(&tree.engine()), root_(root), nodes_(tree.engine()) {
+  nodes_ = mpc::map<ClusterNode>(tree, [&](const treeops::TreeRec& t) {
+    ClusterNode c;
+    c.leader = t.v;
+    c.parent_leader = t.parent;  // singletons: the parent cluster is p(v)
+    c.attach = t.parent;
+    c.w_top = t.w;
+    c.formed_at = 0;
+    c.label = initial_label;
+    return c;
+  });
+  mpc::join_unique(
+      nodes_, intervals,
+      [](const ClusterNode& c) { return std::uint64_t(c.leader); },
+      [](const treeops::IntervalRec& iv) { return std::uint64_t(iv.v); },
+      [](ClusterNode& c, const treeops::IntervalRec* iv) {
+        MPCMST_ASSERT(iv != nullptr, "clustering: missing interval");
+        c.lo = iv->lo;
+        c.hi = iv->hi;
+      });
+  decay_.push_back(nodes_.size());
+}
+
+mpc::Dist<MergeRec> HierarchicalClustering::plan_step() {
+  mpc::PhaseScope phase(*eng_, "contraction");
+  const std::int64_t step = step_ + 1;
+
+  // Child counts per cluster (root's self-edge excluded).
+  mpc::Dist<PlanRec> plan = mpc::map<PlanRec>(nodes_, [](const ClusterNode& c) {
+    return PlanRec{c, 0, false, false};
+  });
+  {
+    auto counts = mpc::reduce_by_key<std::uint64_t, std::int64_t>(
+        nodes_,
+        [](const ClusterNode& c) { return std::uint64_t(c.parent_leader); },
+        [&](const ClusterNode& c) {
+          return std::int64_t(c.leader != c.parent_leader);
+        },
+        std::plus<>{});
+    mpc::join_unique(
+        plan, counts,
+        [](const PlanRec& p) { return std::uint64_t(p.node.leader); },
+        [](const auto& kv) { return kv.key; },
+        [](PlanRec& p, const auto* kv) { p.nchild = kv ? kv->val : 0; });
+  }
+
+  // Proposals: leaves always, chains on heads.
+  const std::uint64_t seed = eng_->seed();
+  mpc::for_each(plan, [&](PlanRec& p) {
+    if (p.node.leader == p.node.parent_leader) return;  // root never proposes
+    if (p.nchild == 0)
+      p.proposes = true;
+    else if (p.nchild == 1)
+      p.proposes =
+          coin(seed, std::uint64_t(step), std::uint64_t(p.node.leader));
+  });
+
+  // A proposal survives iff the parent does not propose (Definition 2.7:
+  // no chained merges within one step).
+  {
+    const mpc::Dist<PlanRec> snapshot = plan.clone();
+    mpc::join_unique(
+        plan, snapshot,
+        [](const PlanRec& p) { return std::uint64_t(p.node.parent_leader); },
+        [](const PlanRec& p) { return std::uint64_t(p.node.leader); },
+        [](PlanRec& p, const PlanRec* par) {
+          MPCMST_ASSERT(par != nullptr, "clustering: missing parent cluster");
+          p.parent_proposes = par->proposes;
+        });
+  }
+
+  return mpc::flat_map<MergeRec>(plan, [&](const PlanRec& p, auto&& emit) {
+    if (!p.proposes || p.parent_proposes) return;
+    MergeRec m;
+    m.step = step;
+    m.junior = p.node.leader;
+    m.senior = p.node.parent_leader;
+    m.attach = p.node.attach;
+    m.w_top = p.node.w_top;
+    m.junior_formed_at = p.node.formed_at;
+    m.senior_prev_formed_at = 0;  // filled in by apply_step from the senior
+    m.jlo = p.node.lo;
+    m.jhi = p.node.hi;
+    m.junior_label = p.node.label;
+    emit(m);
+  });
+}
+
+void HierarchicalClustering::apply_step(const mpc::Dist<MergeRec>& merges,
+                                        const LabelRule& rule) {
+  mpc::PhaseScope phase(*eng_, "contraction");
+  step_ += 1;
+
+  // Fill senior_prev_formed_at (the senior's formed_at before this step).
+  mpc::Dist<MergeRec> full = merges.clone();
+  mpc::join_unique(
+      full, nodes_, [](const MergeRec& m) { return std::uint64_t(m.senior); },
+      [](const ClusterNode& c) { return std::uint64_t(c.leader); },
+      [](MergeRec& m, const ClusterNode* c) {
+        MPCMST_ASSERT(c != nullptr, "clustering: missing senior");
+        m.senior_prev_formed_at = c->formed_at;
+      });
+
+  // Drop absorbed clusters.
+  {
+    mpc::Dist<ClusterNode> survivors = nodes_.clone();
+    mpc::join_unique(
+        survivors, full,
+        [](const ClusterNode& c) { return std::uint64_t(c.leader); },
+        [](const MergeRec& m) { return std::uint64_t(m.junior); },
+        [](ClusterNode& c, const MergeRec* m) {
+          if (m != nullptr) c.formed_at = -1;  // tombstone
+        });
+    nodes_ = mpc::filter(survivors,
+                         [](const ClusterNode& c) { return c.formed_at >= 0; });
+  }
+
+  // Re-parent children of absorbed clusters and update their up-labels.
+  mpc::join_unique(
+      nodes_, full,
+      [](const ClusterNode& c) { return std::uint64_t(c.parent_leader); },
+      [](const MergeRec& m) { return std::uint64_t(m.junior); },
+      [&](ClusterNode& c, const MergeRec* m) {
+        if (m == nullptr) return;
+        c.parent_leader = m->senior;
+        c.label = rule(c.label, *m);
+      });
+
+  // Seniors that absorbed at least one junior were (re)formed at this step.
+  {
+    auto seniors = mpc::reduce_by_key<std::uint64_t, std::int64_t>(
+        full, [](const MergeRec& m) { return std::uint64_t(m.senior); },
+        [](const MergeRec&) { return std::int64_t{1}; }, std::plus<>{});
+    mpc::join_unique(
+        nodes_, seniors,
+        [](const ClusterNode& c) { return std::uint64_t(c.leader); },
+        [](const auto& kv) { return kv.key; },
+        [&](ClusterNode& c, const auto* kv) {
+          if (kv != nullptr) c.formed_at = step_;
+        });
+  }
+
+  history_.push_back(std::move(full));
+  decay_.push_back(nodes_.size());
+}
+
+std::size_t HierarchicalClustering::step() {
+  const mpc::Dist<MergeRec> merges = plan_step();
+  const std::size_t count = merges.size();
+  apply_step(merges, [](std::int64_t old_label, const MergeRec&) {
+    return old_label;
+  });
+  return count;
+}
+
+mpc::Dist<treeops::VertexValue> assign_vertices_to_clusters(
+    const mpc::Dist<treeops::TreeRec>& tree, Vertex root,
+    const mpc::Dist<treeops::DepthRec>& depths,
+    const mpc::Dist<ClusterNode>& nodes) {
+  // Value of vertex x: (depth(x) << 31 | x) if x is a cluster leader, else -1.
+  // The root-path max is then the deepest leader above each vertex.
+  struct Marked {
+    Vertex v;
+    std::int64_t depth;
+    bool leader;
+  };
+  mpc::Dist<Marked> marked = mpc::map<Marked>(tree, [](const treeops::TreeRec&
+                                                           t) {
+    return Marked{t.v, 0, false};
+  });
+  mpc::join_unique(
+      marked, depths, [](const Marked& m) { return std::uint64_t(m.v); },
+      [](const treeops::DepthRec& d) { return std::uint64_t(d.v); },
+      [](Marked& m, const treeops::DepthRec* d) {
+        MPCMST_ASSERT(d != nullptr, "assign: missing depth");
+        m.depth = d->depth;
+      });
+  mpc::join_unique(
+      marked, nodes, [](const Marked& m) { return std::uint64_t(m.v); },
+      [](const ClusterNode& c) { return std::uint64_t(c.leader); },
+      [](Marked& m, const ClusterNode* c) { m.leader = c != nullptr; });
+
+  mpc::Dist<treeops::VertexValue> vals = mpc::map<treeops::VertexValue>(
+      marked, [](const Marked& m) {
+        return treeops::VertexValue{
+            m.v, m.leader ? ((m.depth << 31) | m.v) : std::int64_t{-1}};
+      });
+  auto acc = treeops::rootpath_accumulate(
+      tree, root, vals,
+      [](std::int64_t a, std::int64_t b) { return std::max(a, b); },
+      std::int64_t{-1});
+  // The root itself is always a leader; a fold that saw no leader (only
+  // possible for the root vertex, whose own value is replaced by the
+  // identity) maps to the root cluster.
+  return mpc::map<treeops::VertexValue>(
+      acc.acc, [&](const treeops::VertexValue& x) {
+        const Vertex leader =
+            x.val < 0 ? root : static_cast<Vertex>(x.val & ((1LL << 31) - 1));
+        return treeops::VertexValue{x.v, leader};
+      });
+}
+
+std::size_t HierarchicalClustering::run_until(std::size_t target,
+                                              const LabelRule& rule) {
+  std::size_t steps = 0;
+  const std::size_t floor = std::max<std::size_t>(target, 1);
+  while (nodes_.size() > floor) {
+    const mpc::Dist<MergeRec> merges = plan_step();
+    apply_step(merges, rule);
+    ++steps;
+    MPCMST_ASSERT(steps <= 64 * 40,
+                  "contraction fails to make progress (clusters="
+                      << nodes_.size() << ", target=" << floor << ")");
+  }
+  return steps;
+}
+
+}  // namespace mpcmst::cluster

@@ -1,0 +1,126 @@
+// Hierarchical clustering of a rooted tree (paper §2.1).
+//
+// Clusters are connected subgraphs of T identified by their *leader* (the
+// root of the induced subtree, Definition 2.5).  A contraction step
+// (Definition 2.7) merges a set of child clusters ("juniors") into their
+// parents ("seniors") such that no two merges chain — realized here by
+// rake-and-compress with deterministic per-step coins, our randomized
+// substitute for the [CC23] derandomized Lemma 2.8 (DESIGN.md §2):
+//   - a leaf cluster always proposes to merge into its parent;
+//   - a chain cluster (exactly one child) proposes iff its coin is heads;
+//   - a proposal is accepted iff the parent cluster does not itself propose.
+// Every accepted proposal removes one cluster; in expectation a constant
+// fraction of clusters disappears per step, so O(log D_T) steps reach
+// n / poly(D_T) clusters (Corollary 3.6).
+//
+// The class exposes a two-phase step —
+//     plan_step()  : compute the merge set from the current state;
+//     apply_step() : mutate the cluster forest, updating each surviving
+//                    child's up-label through a caller-provided rule;
+// — because both the verification (θ of Definition 3.2) and sensitivity
+// (Definition 4.5) maintenance must read the *pre-step* state while the
+// merge set is known.  The merge history (one MergeRec per absorbed cluster,
+// O(n) in total by Observation 2.10) is retained for the unwinding passes
+// (Algorithm 2 / Algorithm 7).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "graph/types.hpp"
+#include "mpc/dist.hpp"
+#include "treeops/doubling.hpp"
+#include "treeops/interval_label.hpp"
+
+namespace mpcmst::cluster {
+
+using graph::Vertex;
+using graph::Weight;
+
+/// One live cluster.  `label` is caller-defined state attached to the
+/// cluster's up-edge (verification stores θ(this -> parent) there).
+struct ClusterNode {
+  Vertex leader = 0;          // cluster id == leader vertex
+  Vertex parent_leader = 0;   // leader of the parent cluster (self iff root)
+  Vertex attach = 0;          // p(leader) in T: the vertex this cluster hangs off
+  Weight w_top = 0;           // weight of the tree edge {leader, attach}
+  std::int64_t formed_at = 0; // last step that merged juniors into this cluster
+  std::int64_t lo = 0, hi = 0;  // DFS interval of the leader's subtree
+  std::int64_t label = 0;     // caller-defined up-edge label
+};
+
+/// A junior cluster absorbed into its parent during `step`.
+struct MergeRec {
+  std::int64_t step = 0;
+  Vertex junior = 0;                   // leader of the absorbed cluster
+  Vertex senior = 0;                   // leader of the absorbing cluster
+  Vertex attach = 0;                   // p(junior) in T, a vertex of the senior
+  Weight w_top = 0;                    // weight of {junior, attach}
+  std::int64_t junior_formed_at = 0;   // junior's formed_at at merge time
+  std::int64_t senior_prev_formed_at = 0;
+  std::int64_t jlo = 0, jhi = 0;       // junior leader's interval
+  std::int64_t junior_label = 0;       // junior's up-edge label at merge time
+};
+
+/// Rule for updating the up-label of a surviving cluster x whose parent (the
+/// junior `m`) was absorbed: returns the new label given x's old label.
+/// Verification passes max(old, max(m.w_top, m.junior_label)) (Lemma 3.4);
+/// passing through the old label keeps labels unused.
+using LabelRule =
+    std::function<std::int64_t(std::int64_t old_label, const MergeRec& m)>;
+
+class HierarchicalClustering {
+ public:
+  /// Start from singleton clusters.  `intervals` must be the DFS interval
+  /// labels of the same tree; `initial_label` seeds every up-edge label
+  /// (verification: theta of an empty path = -infinity).
+  HierarchicalClustering(const mpc::Dist<treeops::TreeRec>& tree, Vertex root,
+                         const mpc::Dist<treeops::IntervalRec>& intervals,
+                         std::int64_t initial_label = 0);
+
+  /// Compute this step's merge set from the current state (no mutation).
+  mpc::Dist<MergeRec> plan_step();
+
+  /// Apply a planned merge set: drop juniors, re-parent their children
+  /// (updating labels via `rule`), bump seniors' formed_at, record history.
+  void apply_step(const mpc::Dist<MergeRec>& merges, const LabelRule& rule);
+
+  /// plan + apply with a pass-through label rule.
+  std::size_t step();
+
+  /// Contract until at most `target` clusters remain (or a single cluster).
+  /// Returns the number of steps taken.
+  std::size_t run_until(std::size_t target, const LabelRule& rule);
+
+  std::size_t num_clusters() const { return nodes_.size(); }
+  std::int64_t current_step() const { return step_; }
+  const mpc::Dist<ClusterNode>& nodes() const { return nodes_; }
+  Vertex root_cluster() const { return root_; }
+
+  /// Merge history, one Dist per performed step (step i at index i-1).
+  const std::vector<mpc::Dist<MergeRec>>& history() const { return history_; }
+
+  /// Clusters remaining after each step (index 0 = before any step);
+  /// feeds the contraction-decay experiment (E5).
+  const std::vector<std::size_t>& decay() const { return decay_; }
+
+ private:
+  mpc::Engine* eng_;
+  Vertex root_;
+  std::int64_t step_ = 0;
+  mpc::Dist<ClusterNode> nodes_;
+  std::vector<mpc::Dist<MergeRec>> history_;
+  std::vector<std::size_t> decay_;
+};
+
+/// Map every vertex to the leader of the final cluster containing it:
+/// the deepest cluster leader on the vertex's root path (leaders are subtree
+/// roots, so this is exactly cluster membership).  O(log D_T) rounds via a
+/// (depth, id)-max root-path fold.
+mpc::Dist<treeops::VertexValue> assign_vertices_to_clusters(
+    const mpc::Dist<treeops::TreeRec>& tree, Vertex root,
+    const mpc::Dist<treeops::DepthRec>& depths,
+    const mpc::Dist<ClusterNode>& nodes);
+
+}  // namespace mpcmst::cluster

@@ -1,0 +1,63 @@
+// Lightweight runtime checking used across the library.
+//
+// MPCMST_CHECK is for *model* violations (capacity exceeded, malformed input):
+// these throw mpcmst::ModelError so tests and benchmarks can observe them.
+// MPCMST_ASSERT is for internal invariants; it also throws (never aborts) so a
+// failing invariant surfaces as a test failure with a useful message.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace mpcmst {
+
+/// Thrown when an algorithm violates the MPC model constraints
+/// (local memory capacity, global memory budget) or receives malformed input.
+class ModelError : public std::runtime_error {
+ public:
+  explicit ModelError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when an internal invariant of the library is violated (a bug).
+class InvariantError : public std::logic_error {
+ public:
+  explicit InvariantError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void throw_model_error(const char* expr, const char* file,
+                                           int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "MPC model violation at " << file << ":" << line << ": " << expr;
+  if (!msg.empty()) os << " — " << msg;
+  throw ModelError(os.str());
+}
+
+[[noreturn]] inline void throw_invariant_error(const char* expr,
+                                               const char* file, int line,
+                                               const std::string& msg) {
+  std::ostringstream os;
+  os << "invariant violated at " << file << ":" << line << ": " << expr;
+  if (!msg.empty()) os << " — " << msg;
+  throw InvariantError(os.str());
+}
+}  // namespace detail
+
+}  // namespace mpcmst
+
+#define MPCMST_CHECK(cond, msg)                                          \
+  do {                                                                   \
+    if (!(cond))                                                         \
+      ::mpcmst::detail::throw_model_error(#cond, __FILE__, __LINE__,     \
+                                          (std::ostringstream{} << msg)  \
+                                              .str());                   \
+  } while (0)
+
+#define MPCMST_ASSERT(cond, msg)                                            \
+  do {                                                                      \
+    if (!(cond))                                                            \
+      ::mpcmst::detail::throw_invariant_error(#cond, __FILE__, __LINE__,    \
+                                              (std::ostringstream{} << msg) \
+                                                  .str());                  \
+  } while (0)

@@ -1,0 +1,34 @@
+// Deterministic mixing / hashing helpers.
+//
+// The contraction steps of the hierarchical clustering (Definition 2.7 /
+// Lemma 2.8) break symmetry on chains with per-cluster coins.  We derive the
+// coins deterministically from (seed, step, cluster id) with a strong 64-bit
+// mixer, so every run with the same seed is bit-reproducible — important for
+// the round-count experiments.
+#pragma once
+
+#include <cstdint>
+
+namespace mpcmst {
+
+/// splitmix64 finalizer: a high-quality 64-bit mixing function.
+constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Combine up to three 64-bit values into one hash.
+constexpr std::uint64_t hash_combine(std::uint64_t a, std::uint64_t b,
+                                     std::uint64_t c = 0) noexcept {
+  return mix64(mix64(mix64(a) ^ b) ^ c);
+}
+
+/// A deterministic fair coin for (seed, step, id).
+constexpr bool coin(std::uint64_t seed, std::uint64_t step,
+                    std::uint64_t id) noexcept {
+  return (hash_combine(seed, step, id) & 1ULL) != 0;
+}
+
+}  // namespace mpcmst

@@ -1,0 +1,54 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace mpcmst {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  MPCMST_ASSERT(cells.size() == header_.size(),
+                "row width " << cells.size() << " != header width "
+                             << header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void Table::print(std::ostream& os, const std::string& title) const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& r : rows_)
+    for (std::size_t c = 0; c < r.size(); ++c)
+      width[c] = std::max(width[c], r[c].size());
+
+  if (!title.empty()) os << "== " << title << " ==\n";
+  auto print_row = [&](const std::vector<std::string>& r) {
+    for (std::size_t c = 0; c < r.size(); ++c) {
+      if (c) os << "  ";
+      if (c == 0)
+        os << std::left << std::setw(static_cast<int>(width[c])) << r[c];
+      else
+        os << std::right << std::setw(static_cast<int>(width[c])) << r[c];
+    }
+    os << "\n";
+  };
+  print_row(header_);
+  std::size_t total = 0;
+  for (auto w : width) total += w + 2;
+  os << std::string(total > 2 ? total - 2 : total, '-') << "\n";
+  for (const auto& r : rows_) print_row(r);
+  os.flush();
+}
+
+std::string format_double(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+}  // namespace mpcmst

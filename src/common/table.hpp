@@ -1,0 +1,54 @@
+// Fixed-width plain-text table printer used by the benchmark harness to emit
+// the paper-style result tables (EXPERIMENTS.md records these).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace mpcmst {
+
+/// Collects rows of string cells and prints an aligned table with a header.
+/// Cells are right-aligned except the first column.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats arithmetic values with operator<<.
+  template <class... Ts>
+  void row(const Ts&... cells) {
+    add_row({to_cell(cells)...});
+  }
+
+  void print(std::ostream& os, const std::string& title = "") const;
+
+ private:
+  template <class T>
+  static std::string to_cell(const T& v);
+
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+std::string format_double(double v, int precision = 2);
+
+}  // namespace mpcmst
+
+#include <sstream>
+
+namespace mpcmst {
+template <class T>
+std::string Table::to_cell(const T& v) {
+  if constexpr (std::is_same_v<T, std::string>) {
+    return v;
+  } else if constexpr (std::is_floating_point_v<T>) {
+    return format_double(static_cast<double>(v));
+  } else {
+    std::ostringstream os;
+    os << v;
+    return os.str();
+  }
+}
+}  // namespace mpcmst

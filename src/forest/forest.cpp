@@ -1,0 +1,178 @@
+#include "forest/forest.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <unordered_map>
+
+#include "common/check.hpp"
+#include "mpc/ops.hpp"
+#include "treeops/doubling.hpp"
+
+namespace mpcmst::forest {
+
+namespace {
+
+using graph::Instance;
+using graph::Vertex;
+using graph::WEdge;
+
+/// One component extracted from a forest instance: a single-root instance in
+/// compact ids plus the maps back to the original ids.
+struct Component {
+  Instance instance;
+  std::vector<Vertex> to_original;            // compact vertex -> original
+  std::vector<std::int64_t> nontree_orig_id;  // compact edge -> original
+};
+
+struct Decomposition {
+  std::vector<Component> components;
+  std::size_t crossing_edges = 0;
+  std::size_t rounds = 0;
+  std::size_t peak_words = 0;
+};
+
+/// Find every vertex's component root by pointer doubling (a forest-aware
+/// compute_depths), then split the instance.  O(log height) rounds.
+Decomposition decompose(mpc::Engine& eng, const Instance& inst) {
+  Decomposition out;
+  const std::size_t n = inst.n();
+  struct Ptr {
+    Vertex v;
+    Vertex ptr;
+    Vertex ptr_parent;  // parent of ptr: self iff ptr is a root
+  };
+  std::vector<Ptr> init(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    const Vertex p = inst.tree.parent[v];
+    init[v] = {static_cast<Vertex>(v), p, inst.tree.parent[p]};
+  }
+  auto state = mpc::scatter(eng, std::move(init));
+  std::size_t iters = 0;
+  while (true) {
+    const std::int64_t open = mpc::reduce(
+        state, [](const Ptr& p) { return std::int64_t(p.ptr != p.ptr_parent); },
+        std::plus<>{}, std::int64_t{0});
+    if (open == 0) break;
+    ++iters;
+    MPCMST_ASSERT(iters <= 70, "forest decomposition does not converge");
+    const auto snapshot = state.clone();
+    mpc::join_unique(
+        state, snapshot, [](const Ptr& p) { return std::uint64_t(p.ptr); },
+        [](const Ptr& p) { return std::uint64_t(p.v); },
+        [](Ptr& p, const Ptr* t) {
+          MPCMST_ASSERT(t, "forest decomposition: broken pointer");
+          if (p.ptr == p.ptr_parent) return;  // already at a root
+          p.ptr = t->ptr;
+          p.ptr_parent = t->ptr_parent;
+        });
+  }
+  out.rounds = eng.rounds();
+  out.peak_words = eng.stats().peak_global_words;
+
+  // Group vertices by root and compact ids (sorting by component in MPC
+  // terms; realized host-side on the gathered roots).
+  std::vector<Vertex> root_of(n);
+  for (const Ptr& p : state.local()) root_of[p.v] = p.ptr;
+  std::unordered_map<Vertex, std::size_t> comp_index;
+  std::vector<std::vector<Vertex>> members;
+  for (std::size_t v = 0; v < n; ++v) {
+    const Vertex r = root_of[v];
+    auto [it, fresh] = comp_index.emplace(r, members.size());
+    if (fresh) members.emplace_back();
+    members[it->second].push_back(static_cast<Vertex>(v));
+  }
+  std::vector<std::unordered_map<Vertex, Vertex>> compact(members.size());
+  out.components.resize(members.size());
+  for (std::size_t c = 0; c < members.size(); ++c) {
+    Component& comp = out.components[c];
+    comp.instance.tree.n = members[c].size();
+    comp.to_original = members[c];
+    for (std::size_t i = 0; i < members[c].size(); ++i)
+      compact[c][members[c][i]] = static_cast<Vertex>(i);
+    comp.instance.tree.parent.resize(members[c].size());
+    comp.instance.tree.weight.resize(members[c].size());
+    for (std::size_t i = 0; i < members[c].size(); ++i) {
+      const Vertex v = members[c][i];
+      comp.instance.tree.parent[i] = compact[c][inst.tree.parent[v]];
+      comp.instance.tree.weight[i] =
+          inst.tree.parent[v] == v ? 0 : inst.tree.weight[v];
+      if (inst.tree.parent[v] == v)
+        comp.instance.tree.root = static_cast<Vertex>(i);
+    }
+  }
+  for (std::size_t e = 0; e < inst.nontree.size(); ++e) {
+    const WEdge& edge = inst.nontree[e];
+    if (root_of[edge.u] != root_of[edge.v]) {
+      ++out.crossing_edges;
+      continue;
+    }
+    const std::size_t c = comp_index[root_of[edge.u]];
+    out.components[c].instance.nontree.push_back(
+        {compact[c][edge.u], compact[c][edge.v], edge.w});
+    out.components[c].nontree_orig_id.push_back(
+        static_cast<std::int64_t>(e));
+  }
+  return out;
+}
+
+/// Run `body` per component on a fresh engine shaped like `eng`, metering
+/// the parallel composition.
+void run_components(mpc::Engine& eng, const Decomposition& dec,
+                    ForestMeter& meter,
+                    const std::function<void(const Component&,
+                                             mpc::Engine&)>& body) {
+  meter.rounds = dec.rounds;
+  meter.peak_global_words = dec.peak_words;
+  meter.components = dec.components.size();
+  std::size_t max_rounds = 0;
+  for (const Component& comp : dec.components) {
+    mpc::Engine sub(eng.config());
+    body(comp, sub);
+    max_rounds = std::max(max_rounds, sub.rounds());
+    meter.peak_global_words += sub.stats().peak_global_words;
+  }
+  meter.rounds += max_rounds;
+}
+
+}  // namespace
+
+MsfVerifyResult verify_msf_mpc(mpc::Engine& eng, const Instance& inst) {
+  MsfVerifyResult out;
+  const Decomposition dec = decompose(eng, inst);
+  out.crossing_edges = dec.crossing_edges;
+  run_components(eng, dec, out.meter,
+                 [&](const Component& comp, mpc::Engine& sub) {
+                   const auto res = verify::verify_mst_mpc(sub, comp.instance);
+                   out.violations += res.violations;
+                 });
+  // T is an MSF of G iff every component tree is an MST of its component
+  // and no non-tree edge crosses components (otherwise T is not maximal).
+  out.is_msf = out.violations == 0 && out.crossing_edges == 0;
+  return out;
+}
+
+MsfSensitivityResult msf_sensitivity_mpc(mpc::Engine& eng,
+                                         const Instance& inst) {
+  MsfSensitivityResult out;
+  const Decomposition dec = decompose(eng, inst);
+  MPCMST_CHECK(dec.crossing_edges == 0,
+               "msf_sensitivity: T is not a maximal spanning forest ("
+                   << dec.crossing_edges << " crossing edges)");
+  run_components(
+      eng, dec, out.meter, [&](const Component& comp, mpc::Engine& sub) {
+        const auto res = sensitivity::mst_sensitivity_mpc(sub, comp.instance);
+        for (const auto& t : res.tree.local()) {
+          auto mapped = t;
+          mapped.v = comp.to_original[t.v];
+          out.tree.push_back(mapped);
+        }
+        for (const auto& e : res.nontree.local()) {
+          auto mapped = e;
+          mapped.orig_id = comp.nontree_orig_id[e.orig_id];
+          out.nontree.push_back(mapped);
+        }
+      });
+  return out;
+}
+
+}  // namespace mpcmst::forest

@@ -1,0 +1,54 @@
+// Forest support (Remark 2.4): MSF verification and sensitivity when G may
+// be disconnected and T is a rooted spanning *forest* (multiple self-parent
+// roots in the parent array).
+//
+// Following the paper: first solve connectivity on the forest (each vertex
+// finds its component root by pointer doubling, O(log D_T) rounds), then
+// partition the edges by component and run the single-tree algorithms on
+// every component *in parallel*.  The simulator executes components
+// sequentially but meters them the way the model would run them:
+//   rounds  = decomposition rounds + max over components,
+//   memory  = decomposition peak + sum of component peaks.
+// A non-tree edge joining two different components means T is not a maximal
+// spanning forest of G, and verification rejects.
+#pragma once
+
+#include <cstddef>
+
+#include "graph/instance.hpp"
+#include "mpc/engine.hpp"
+#include "sensitivity/sensitivity.hpp"
+#include "verify/verifier.hpp"
+
+namespace mpcmst::forest {
+
+/// Combined meter for a parallel composition of per-component runs.
+struct ForestMeter {
+  std::size_t rounds = 0;            // decomposition + max component
+  std::size_t peak_global_words = 0; // decomposition + sum of components
+  std::size_t components = 0;
+};
+
+struct MsfVerifyResult {
+  bool is_msf = false;
+  std::size_t violations = 0;        // covering violations across components
+  std::size_t crossing_edges = 0;    // non-tree edges joining two components
+  ForestMeter meter;
+};
+
+/// Theorem 3.1 extended to forests (Remark 2.4).
+MsfVerifyResult verify_msf_mpc(mpc::Engine& eng, const graph::Instance& inst);
+
+struct MsfSensitivityResult {
+  /// Concatenation of per-component results, in original vertex/edge ids.
+  std::vector<sensitivity::TreeEdgeSens> tree;
+  std::vector<sensitivity::NonTreeEdgeSens> nontree;
+  ForestMeter meter;
+};
+
+/// Theorem 4.1 extended to forests (Remark 2.4).  All non-tree edges must
+/// stay within components (T must be an MSF of G).
+MsfSensitivityResult msf_sensitivity_mpc(mpc::Engine& eng,
+                                         const graph::Instance& inst);
+
+}  // namespace mpcmst::forest

@@ -1,0 +1,207 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <random>
+
+#include "common/check.hpp"
+#include "seq/oracles.hpp"
+
+namespace mpcmst::graph {
+
+namespace {
+std::mt19937_64 make_rng(std::uint64_t seed) { return std::mt19937_64(seed); }
+
+RootedTree tree_with_unit_weights(std::size_t n) {
+  RootedTree t;
+  t.n = n;
+  t.root = 0;
+  t.parent.assign(n, 0);
+  t.weight.assign(n, 1);
+  if (n) t.weight[0] = 0;
+  return t;
+}
+}  // namespace
+
+RootedTree path_tree(std::size_t n) {
+  RootedTree t = tree_with_unit_weights(n);
+  for (std::size_t v = 1; v < n; ++v) t.parent[v] = static_cast<Vertex>(v - 1);
+  return t;
+}
+
+RootedTree star_tree(std::size_t n) {
+  return tree_with_unit_weights(n);  // all parents are vertex 0
+}
+
+RootedTree kary_tree(std::size_t n, std::size_t k) {
+  MPCMST_CHECK(k >= 2, "kary_tree requires k >= 2");
+  RootedTree t = tree_with_unit_weights(n);
+  for (std::size_t v = 1; v < n; ++v)
+    t.parent[v] = static_cast<Vertex>((v - 1) / k);
+  return t;
+}
+
+RootedTree caterpillar_tree(std::size_t n, std::size_t spine,
+                            std::uint64_t seed) {
+  MPCMST_CHECK(spine >= 1 && spine <= n, "caterpillar spine out of range");
+  RootedTree t = tree_with_unit_weights(n);
+  auto rng = make_rng(seed);
+  for (std::size_t v = 1; v < spine; ++v)
+    t.parent[v] = static_cast<Vertex>(v - 1);
+  std::uniform_int_distribution<std::size_t> pick(0, spine - 1);
+  for (std::size_t v = spine; v < n; ++v)
+    t.parent[v] = static_cast<Vertex>(pick(rng));
+  return t;
+}
+
+RootedTree broom_tree(std::size_t n, std::size_t handle) {
+  MPCMST_CHECK(handle >= 1 && handle <= n, "broom handle out of range");
+  RootedTree t = tree_with_unit_weights(n);
+  for (std::size_t v = 1; v < handle; ++v)
+    t.parent[v] = static_cast<Vertex>(v - 1);
+  for (std::size_t v = handle; v < n; ++v)
+    t.parent[v] = static_cast<Vertex>(handle - 1);
+  return t;
+}
+
+RootedTree random_tree_depth_bounded(std::size_t n, std::size_t max_depth,
+                                     std::uint64_t seed) {
+  MPCMST_CHECK(max_depth >= 1, "max_depth must be >= 1");
+  RootedTree t = tree_with_unit_weights(n);
+  auto rng = make_rng(seed);
+  std::vector<std::size_t> depth(n, 0);
+  // Candidates: vertices with depth < max_depth (kept as a growing pool).
+  std::vector<Vertex> pool{0};
+  for (std::size_t v = 1; v < n; ++v) {
+    std::uniform_int_distribution<std::size_t> pick(0, pool.size() - 1);
+    const Vertex p = pool[pick(rng)];
+    t.parent[v] = p;
+    depth[v] = depth[p] + 1;
+    if (depth[v] < max_depth) pool.push_back(static_cast<Vertex>(v));
+  }
+  return t;
+}
+
+RootedTree random_recursive_tree(std::size_t n, std::uint64_t seed) {
+  RootedTree t = tree_with_unit_weights(n);
+  auto rng = make_rng(seed);
+  for (std::size_t v = 1; v < n; ++v) {
+    std::uniform_int_distribution<std::size_t> pick(0, v - 1);
+    t.parent[v] = static_cast<Vertex>(pick(rng));
+  }
+  return t;
+}
+
+RootedTree relabel_random(const RootedTree& tree, std::uint64_t seed) {
+  const std::size_t n = tree.n;
+  std::vector<Vertex> perm(n);
+  std::iota(perm.begin(), perm.end(), Vertex{0});
+  auto rng = make_rng(seed);
+  std::shuffle(perm.begin(), perm.end(), rng);
+  RootedTree out;
+  out.n = n;
+  out.root = n ? perm[tree.root] : 0;
+  out.parent.assign(n, 0);
+  out.weight.assign(n, 0);
+  for (std::size_t v = 0; v < n; ++v) {
+    out.parent[perm[v]] = perm[tree.parent[v]];
+    out.weight[perm[v]] = tree.weight[v];
+  }
+  return out;
+}
+
+void assign_random_tree_weights(RootedTree& tree, Weight lo, Weight hi,
+                                std::uint64_t seed) {
+  MPCMST_CHECK(lo <= hi, "weight range inverted");
+  auto rng = make_rng(seed);
+  std::uniform_int_distribution<Weight> w(lo, hi);
+  for (std::size_t v = 0; v < tree.n; ++v)
+    tree.weight[v] = static_cast<Vertex>(v) == tree.root ? 0 : w(rng);
+}
+
+namespace {
+/// Random distinct endpoints (u != v).
+std::pair<Vertex, Vertex> random_pair(std::mt19937_64& rng, std::size_t n) {
+  std::uniform_int_distribution<Vertex> pick(0, static_cast<Vertex>(n - 1));
+  Vertex u = pick(rng);
+  Vertex v = pick(rng);
+  while (v == u) v = pick(rng);
+  return {u, v};
+}
+}  // namespace
+
+Instance make_mst_instance(RootedTree tree, std::size_t extra_edges,
+                           std::uint64_t seed, Weight slack) {
+  MPCMST_CHECK(tree.n >= 2 || extra_edges == 0,
+               "need at least 2 vertices for non-tree edges");
+  Instance inst;
+  inst.tree = std::move(tree);
+  if (extra_edges == 0) return inst;
+  const seq::SeqTreeIndex index(inst.tree);
+  auto rng = make_rng(seed);
+  std::uniform_int_distribution<Weight> delta(0, slack);
+  inst.nontree.reserve(extra_edges);
+  for (std::size_t i = 0; i < extra_edges; ++i) {
+    auto [u, v] = random_pair(rng, inst.n());
+    const Weight base = index.max_on_path(u, v);
+    inst.nontree.push_back({u, v, base + delta(rng)});
+  }
+  return inst;
+}
+
+Instance make_random_instance(RootedTree tree, std::size_t extra_edges,
+                              std::uint64_t seed, Weight lo, Weight hi) {
+  MPCMST_CHECK(lo <= hi, "weight range inverted");
+  Instance inst;
+  inst.tree = std::move(tree);
+  auto rng = make_rng(seed);
+  std::uniform_int_distribution<Weight> w(lo, hi);
+  inst.nontree.reserve(extra_edges);
+  for (std::size_t i = 0; i < extra_edges; ++i) {
+    auto [u, v] = random_pair(rng, inst.n());
+    inst.nontree.push_back({u, v, w(rng)});
+  }
+  return inst;
+}
+
+Instance make_layered_instance(RootedTree tree, std::size_t extra_edges,
+                               std::uint64_t seed, Weight band) {
+  Instance inst;
+  inst.tree = std::move(tree);
+  auto rng = make_rng(seed);
+  std::uniform_int_distribution<Weight> tw(1, band);
+  for (std::size_t v = 0; v < inst.n(); ++v)
+    inst.tree.weight[v] =
+        static_cast<Vertex>(v) == inst.tree.root ? 0 : tw(rng);
+  std::uniform_int_distribution<Weight> nw(band + 1, 2 * band);
+  inst.nontree.reserve(extra_edges);
+  for (std::size_t i = 0; i < extra_edges; ++i) {
+    auto [u, v] = random_pair(rng, inst.n());
+    inst.nontree.push_back({u, v, nw(rng)});
+  }
+  return inst;
+}
+
+std::size_t inject_violations(Instance& inst, std::size_t count,
+                              std::uint64_t seed) {
+  if (inst.nontree.empty() || count == 0) return 0;
+  const seq::SeqTreeIndex index(inst.tree);
+  auto rng = make_rng(seed);
+  std::uniform_int_distribution<std::size_t> pick(0, inst.nontree.size() - 1);
+  std::size_t injected = 0;
+  for (std::size_t attempts = 0; attempts < 16 * count && injected < count;
+       ++attempts) {
+    WEdge& e = inst.nontree[pick(rng)];
+    const Weight maxw = index.max_on_path(e.u, e.v);
+    if (e.w < maxw) {
+      ++injected;  // already violating
+      continue;
+    }
+    if (maxw == kNegInfW) continue;
+    e.w = maxw - 1;
+    ++injected;
+  }
+  return injected;
+}
+
+}  // namespace mpcmst::graph

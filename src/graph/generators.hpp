@@ -1,0 +1,73 @@
+// Workload generators for tests, examples and the benchmark sweeps.
+//
+// The evaluation sweeps diameter D_T at fixed n (the paper's round bounds
+// depend on D_T only), so we provide tree families covering the whole
+// spectrum: stars (D=2), k-ary trees (D ~ 2 log_k n), brooms/caterpillars
+// (tunable), paths (D = n-1), plus random trees with a depth bound.
+//
+// Weight assignment distinguishes:
+//   - MST-consistent instances (T is a genuine MST; verification says YES,
+//     sensitivity is well-defined), and
+//   - violated instances (a chosen number of non-tree edges undercut their
+//     tree path; verification says NO).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "graph/instance.hpp"
+
+namespace mpcmst::graph {
+
+// --- tree shapes (unit weights; use the weight assigners below) ---
+RootedTree path_tree(std::size_t n);
+RootedTree star_tree(std::size_t n);
+RootedTree kary_tree(std::size_t n, std::size_t k);
+/// `spine` vertices in a path; remaining vertices attached to random spine
+/// vertices as legs.
+RootedTree caterpillar_tree(std::size_t n, std::size_t spine,
+                            std::uint64_t seed);
+/// A path of `handle` vertices whose last vertex fans out to all others.
+RootedTree broom_tree(std::size_t n, std::size_t handle);
+/// Random tree where every vertex picks a parent uniformly among vertices of
+/// depth < max_depth; height <= max_depth.
+RootedTree random_tree_depth_bounded(std::size_t n, std::size_t max_depth,
+                                     std::uint64_t seed);
+/// Random recursive tree (uniform parent among all previous vertices);
+/// height ~ O(log n).
+RootedTree random_recursive_tree(std::size_t n, std::uint64_t seed);
+
+/// Apply a uniformly random relabeling of vertex ids (destroys any accidental
+/// alignment between vertex ids and structure).
+RootedTree relabel_random(const RootedTree& tree, std::uint64_t seed);
+
+/// Random tree-edge weights in [lo, hi].
+void assign_random_tree_weights(RootedTree& tree, Weight lo, Weight hi,
+                                std::uint64_t seed);
+
+/// Add `extra_edges` random non-tree edges whose weight is
+/// maxpath(u,v) + delta with delta uniform in [0, slack] — so T is an MST
+/// (delta = 0 creates ties, exercising the tie conventions).
+/// Uses binary-lifting path maxima; fine up to a few million vertices.
+Instance make_mst_instance(RootedTree tree, std::size_t extra_edges,
+                           std::uint64_t seed, Weight slack = 8);
+
+/// Add `extra_edges` random non-tree edges with weights uniform in [lo, hi]
+/// (T typically not an MST).
+Instance make_random_instance(RootedTree tree, std::size_t extra_edges,
+                              std::uint64_t seed, Weight lo, Weight hi);
+
+/// Large-scale MST instance without per-edge path-max queries: tree weights
+/// in [1, band], non-tree weights in [band+1, 2*band] (T trivially an MST,
+/// but mc / maxpath values still vary).
+Instance make_layered_instance(RootedTree tree, std::size_t extra_edges,
+                               std::uint64_t seed, Weight band = 1000000);
+
+/// Lower `count` random non-tree edges strictly below their tree-path maximum
+/// (turning a YES instance into a NO instance).  Returns how many edges were
+/// actually lowered (an edge whose path max is minimal already may be
+/// unloverable and is skipped).
+std::size_t inject_violations(Instance& inst, std::size_t count,
+                              std::uint64_t seed);
+
+}  // namespace mpcmst::graph

@@ -1,0 +1,44 @@
+#include "graph/instance.hpp"
+
+namespace mpcmst::graph {
+
+bool RootedTree::well_formed() const {
+  if (parent.size() != n || weight.size() != n) return false;
+  if (n == 0) return true;
+  if (root < 0 || static_cast<std::size_t>(root) >= n) return false;
+  if (parent[root] != root || weight[root] != 0) return false;
+  for (std::size_t v = 0; v < n; ++v) {
+    if (parent[v] < 0 || static_cast<std::size_t>(parent[v]) >= n) return false;
+    if (static_cast<Vertex>(v) != root && parent[v] == static_cast<Vertex>(v))
+      return false;
+  }
+  // Acyclicity: every vertex must reach the root. Mark along the way so the
+  // whole check is O(n).
+  std::vector<signed char> state(n, 0);  // 0 unknown, 1 ok, 2 in progress
+  state[root] = 1;
+  std::vector<Vertex> stack;
+  for (std::size_t v0 = 0; v0 < n; ++v0) {
+    Vertex v = static_cast<Vertex>(v0);
+    stack.clear();
+    while (state[v] == 0) {
+      state[v] = 2;
+      stack.push_back(v);
+      v = parent[v];
+    }
+    if (state[v] == 2) return false;  // cycle
+    for (Vertex x : stack) state[x] = 1;
+  }
+  return true;
+}
+
+std::vector<WEdge> RootedTree::tree_edges() const {
+  std::vector<WEdge> out;
+  out.reserve(n ? n - 1 : 0);
+  for (std::size_t v = 0; v < n; ++v) {
+    if (static_cast<Vertex>(v) == root) continue;
+    out.push_back({static_cast<Vertex>(v), parent[v], weight[v]});
+  }
+  return out;
+}
+
+}  // namespace mpcmst::graph

@@ -1,0 +1,46 @@
+// Problem instances: a rooted candidate tree T plus the non-tree edges of G.
+//
+// The paper's algorithms assume (Remark 2.2) that T is a rooted spanning tree
+// given by parent pointers; unrooted input is supported through the Euler-tour
+// rooting in treeops/euler.hpp.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/types.hpp"
+
+namespace mpcmst::graph {
+
+/// A rooted tree on vertices 0..n-1 with parent pointers and edge weights.
+/// parent[root] == root and weight[root] == 0; weight[v] is the weight of the
+/// tree edge {v, parent[v]}.
+struct RootedTree {
+  std::size_t n = 0;
+  Vertex root = 0;
+  std::vector<Vertex> parent;
+  std::vector<Weight> weight;
+
+  /// Sequentially verify the parent structure is a tree rooted at `root`
+  /// (single root, in-range parents, acyclic).  Used by tests and input
+  /// validation; the MPC-side check is treeops::validate_rooted_tree.
+  bool well_formed() const;
+
+  /// All n-1 tree edges as {child, parent, weight}.
+  std::vector<WEdge> tree_edges() const;
+};
+
+/// A full input instance: candidate MST T and the remaining edges of G.
+struct Instance {
+  RootedTree tree;
+  std::vector<WEdge> nontree;
+
+  std::size_t n() const { return tree.n; }
+  std::size_t m() const { return (tree.n ? tree.n - 1 : 0) + nontree.size(); }
+
+  /// Input size in machine words (for MpcConfig::scaled and the
+  /// linear-global-memory experiments): 3 words per edge + 2 per vertex.
+  std::size_t input_words() const { return 3 * m() + 2 * n(); }
+};
+
+}  // namespace mpcmst::graph

@@ -1,0 +1,24 @@
+// Basic graph value types shared by every module.
+#pragma once
+
+#include <cstdint>
+
+namespace mpcmst::graph {
+
+using Vertex = std::int64_t;
+using Weight = std::int64_t;
+
+/// Sentinels: comfortably away from overflow when added/compared.
+inline constexpr Weight kPosInfW = (INT64_C(1) << 60);
+inline constexpr Weight kNegInfW = -(INT64_C(1) << 60);
+
+/// An undirected weighted edge.
+struct WEdge {
+  Vertex u = 0;
+  Vertex v = 0;
+  Weight w = 0;
+
+  friend bool operator==(const WEdge&, const WEdge&) = default;
+};
+
+}  // namespace mpcmst::graph

@@ -1,0 +1,274 @@
+#include "lca/all_edges_lca.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "mpc/ops.hpp"
+
+namespace mpcmst::lca {
+
+namespace {
+
+using cluster::ClusterNode;
+using cluster::HierarchicalClustering;
+using cluster::MergeRec;
+using treeops::IntervalRec;
+
+/// Per-edge working state through Algorithms 1 and 2.
+struct EdgeState {
+  Vertex u, v;
+  Weight w;
+  std::int64_t orig_id;
+  Vertex cu, cv;              // leaders of the clusters containing u / v
+  std::int64_t pre_u, pre_v;  // DFS numbers of the endpoints
+  std::int64_t cu_lo, cu_hi;  // interval of cu's leader
+  std::int64_t cv_lo, cv_hi;  // interval of cv's leader
+  Vertex chi;                 // the descending candidate chi of Algorithm 1
+  Vertex cand;                // candidate LCA cluster leader (Algorithm 2)
+  std::int64_t cand_level;    // formed_at level of the candidate cluster
+};
+
+/// 2^i-ancestor links over the cluster tree (Lemma 2.16), all levels kept:
+/// O(|C| log D̂) words.
+struct Hop {
+  Vertex c;
+  std::int64_t level;
+  Vertex target;
+  std::int64_t tlo, thi;  // target leader's interval
+};
+
+}  // namespace
+
+LcaResult all_edges_lca(const mpc::Dist<treeops::TreeRec>& tree, Vertex root,
+                        const treeops::DepthResult& depths,
+                        const mpc::Dist<treeops::IntervalRec>& intervals,
+                        const mpc::Dist<IdEdge>& edges, std::int64_t dhat) {
+  mpc::Engine& eng = tree.engine();
+  mpc::PhaseScope phase(eng, "lca");
+  const std::size_t n = tree.size();
+
+  // 1. Cluster down to n / dhat^2 (Corollary 3.6 scale).
+  HierarchicalClustering hc(tree, root, intervals, graph::kNegInfW);
+  const std::size_t target =
+      (dhat <= 1) ? n
+                  : static_cast<std::size_t>(
+                        static_cast<double>(n) /
+                        (static_cast<double>(dhat) * static_cast<double>(dhat)));
+  const std::size_t steps = hc.run_until(
+      target, [](std::int64_t old_label, const MergeRec&) { return old_label; });
+
+  // 2. Vertex -> cluster assignment and edge state initialization.
+  auto vc = cluster::assign_vertices_to_clusters(tree, root, depths.depth,
+                                                 hc.nodes());
+  mpc::Dist<EdgeState> state = mpc::map<EdgeState>(edges, [](const IdEdge& e) {
+    EdgeState s{};
+    s.u = e.u;
+    s.v = e.v;
+    s.w = e.w;
+    s.orig_id = e.orig_id;
+    s.cu = s.cv = -1;
+    s.chi = s.cand = -1;
+    s.cand_level = -1;
+    return s;
+  });
+  auto fetch_cluster = [&](auto key_field, auto set_field) {
+    mpc::join_unique(
+        state, vc, key_field,
+        [](const treeops::VertexValue& x) { return std::uint64_t(x.v); },
+        set_field);
+  };
+  fetch_cluster([](const EdgeState& s) { return std::uint64_t(s.u); },
+                [](EdgeState& s, const treeops::VertexValue* x) {
+                  MPCMST_ASSERT(x, "lca: missing cluster of u");
+                  s.cu = x->val;
+                });
+  fetch_cluster([](const EdgeState& s) { return std::uint64_t(s.v); },
+                [](EdgeState& s, const treeops::VertexValue* x) {
+                  MPCMST_ASSERT(x, "lca: missing cluster of v");
+                  s.cv = x->val;
+                });
+  // Endpoint DFS numbers and cluster-leader intervals.
+  auto fetch_interval = [&](auto key_field, auto set_field) {
+    mpc::join_unique(
+        state, intervals, key_field,
+        [](const IntervalRec& iv) { return std::uint64_t(iv.v); }, set_field);
+  };
+  fetch_interval([](const EdgeState& s) { return std::uint64_t(s.u); },
+                 [](EdgeState& s, const IntervalRec* iv) {
+                   MPCMST_ASSERT(iv, "lca: missing interval of u");
+                   s.pre_u = iv->lo;
+                 });
+  fetch_interval([](const EdgeState& s) { return std::uint64_t(s.v); },
+                 [](EdgeState& s, const IntervalRec* iv) {
+                   MPCMST_ASSERT(iv, "lca: missing interval of v");
+                   s.pre_v = iv->lo;
+                 });
+  fetch_interval([](const EdgeState& s) { return std::uint64_t(s.cu); },
+                 [](EdgeState& s, const IntervalRec* iv) {
+                   MPCMST_ASSERT(iv, "lca: missing interval of cu");
+                   s.cu_lo = iv->lo;
+                   s.cu_hi = iv->hi;
+                 });
+  fetch_interval([](const EdgeState& s) { return std::uint64_t(s.cv); },
+                 [](EdgeState& s, const IntervalRec* iv) {
+                   MPCMST_ASSERT(iv, "lca: missing interval of cv");
+                   s.cv_lo = iv->lo;
+                   s.cv_hi = iv->hi;
+                 });
+
+  // 3. Auxiliary 2^i-ancestor links on the cluster tree (levels clamp at the
+  // root cluster, which is fine for the monotone descent below).
+  std::int64_t levels = 1;
+  while ((std::int64_t{1} << levels) < std::max<std::int64_t>(dhat, 2))
+    ++levels;
+  mpc::Dist<Hop> hops = mpc::map<Hop>(hc.nodes(), [](const ClusterNode& c) {
+    return Hop{c.leader, 0, c.parent_leader, 0, 0};
+  });
+  {
+    // Targets' intervals for level 0.
+    mpc::join_unique(
+        hops, hc.nodes(), [](const Hop& h) { return std::uint64_t(h.target); },
+        [](const ClusterNode& c) { return std::uint64_t(c.leader); },
+        [](Hop& h, const ClusterNode* c) {
+          MPCMST_ASSERT(c, "lca: missing hop target");
+          h.tlo = c->lo;
+          h.thi = c->hi;
+        });
+  }
+  mpc::Dist<Hop> all_hops = hops.clone();
+  for (std::int64_t lev = 1; lev < levels; ++lev) {
+    mpc::Dist<Hop> next = hops.clone();
+    mpc::join_unique(
+        next, hops, [](const Hop& h) { return std::uint64_t(h.target); },
+        [](const Hop& h) { return std::uint64_t(h.c); },
+        [lev](Hop& h, const Hop* t) {
+          MPCMST_ASSERT(t, "lca: missing hop chain");
+          h.level = lev;
+          h.target = t->target;
+          h.tlo = t->tlo;
+          h.thi = t->thi;
+        });
+    all_hops = mpc::concat(all_hops, next);
+    hops = std::move(next);
+  }
+
+  // 4. FindLCAClusters (Algorithm 1).  If the endpoint clusters are nested,
+  // the outer one is the LCA cluster; otherwise binary-descend chi from cu.
+  mpc::for_each(state, [](EdgeState& s) {
+    const bool cu_anc = s.cu_lo <= s.pre_v && s.pre_v <= s.cu_hi;
+    const bool cv_anc = s.cv_lo <= s.pre_u && s.pre_u <= s.cv_hi;
+    if (s.cu == s.cv || cu_anc) {
+      s.cand = s.cu;
+      s.chi = -1;
+    } else if (cv_anc) {
+      s.cand = s.cv;
+      s.chi = -1;
+    } else {
+      s.chi = s.cu;  // descend
+      s.cand = -1;
+    }
+  });
+  for (std::int64_t lev = levels - 1; lev >= 0; --lev) {
+    mpc::join_unique(
+        state, all_hops,
+        [lev](const EdgeState& s) {
+          return mpc::pack2(std::uint64_t(s.chi < 0 ? 0 : s.chi),
+                            std::uint64_t(lev)) |
+                 (s.chi < 0 ? (1ULL << 63) : 0);  // park finished edges
+        },
+        [](const Hop& h) {
+          return mpc::pack2(std::uint64_t(h.c), std::uint64_t(h.level));
+        },
+        [](EdgeState& s, const Hop* h) {
+          if (s.chi < 0) return;
+          MPCMST_ASSERT(h, "lca: missing hop during descent");
+          // Move up iff the 2^lev-ancestor is still not an ancestor of cv.
+          const bool anc_of_cv = h->tlo <= s.pre_v && s.pre_v <= h->thi;
+          if (!anc_of_cv) s.chi = h->target;
+        });
+  }
+  // cand = parent cluster of chi for the edges that descended.
+  mpc::join_unique(
+      state, hc.nodes(),
+      [](const EdgeState& s) {
+        return s.chi < 0 ? (1ULL << 63) : std::uint64_t(s.chi);
+      },
+      [](const ClusterNode& c) { return std::uint64_t(c.leader); },
+      [](EdgeState& s, const ClusterNode* c) {
+        if (s.chi < 0) return;
+        MPCMST_ASSERT(c, "lca: missing chi cluster");
+        s.cand = c->parent_leader;
+      });
+  // Candidate levels (formed_at of the candidate cluster).
+  mpc::join_unique(
+      state, hc.nodes(),
+      [](const EdgeState& s) { return std::uint64_t(s.cand); },
+      [](const ClusterNode& c) { return std::uint64_t(c.leader); },
+      [](EdgeState& s, const ClusterNode* c) {
+        MPCMST_ASSERT(c, "lca: missing candidate cluster");
+        s.cand_level = c->formed_at;
+      });
+
+  // 5. UndoClustering (Algorithm 2): refine candidates level by level.
+  for (std::int64_t lev = static_cast<std::int64_t>(steps); lev >= 1; --lev) {
+    const mpc::Dist<MergeRec>& merges = hc.history()[lev - 1];
+    // Senior -> prev level lookup (all merges of a senior share it).
+    auto senior_prev = mpc::reduce_by_key<std::uint64_t, std::int64_t>(
+        merges, [](const MergeRec& m) { return std::uint64_t(m.senior); },
+        [](const MergeRec& m) { return m.senior_prev_formed_at; },
+        [](std::int64_t a, std::int64_t b) { return std::max(a, b); });
+    // Does some junior of (cand at this level) contain pre_u?  Disjoint
+    // junior intervals per senior make this a stabbing join.
+    mpc::stab_join(
+        state, merges,
+        [lev](const EdgeState& s) {
+          return s.cand_level == lev ? std::uint64_t(s.cand) : (1ULL << 63);
+        },
+        [](const EdgeState& s) { return s.pre_u; },
+        [](const MergeRec& m) { return std::uint64_t(m.senior); },
+        [](const MergeRec& m) { return m.jlo; },
+        [](const MergeRec& m) { return m.jhi; },
+        [lev](EdgeState& s, const MergeRec* m) {
+          if (s.cand_level != lev) return;
+          if (m != nullptr && m->jlo <= s.pre_v && s.pre_v <= m->jhi) {
+            // A junior sub-cluster contains both endpoints: descend into it.
+            s.cand = m->junior;
+            s.cand_level = m->junior_formed_at;
+          } else {
+            s.cand_level = -2;  // stay with the senior; level patched below
+          }
+        });
+    mpc::join_unique(
+        state, senior_prev,
+        [lev](const EdgeState& s) {
+          return s.cand_level == -2 ? std::uint64_t(s.cand) : (1ULL << 63);
+        },
+        [](const auto& kv) { return kv.key; },
+        [](EdgeState& s, const auto* kv) {
+          if (s.cand_level != -2) return;
+          MPCMST_ASSERT(kv, "lca: missing senior prev level");
+          s.cand_level = kv->val;
+        });
+  }
+
+  LcaResult out{mpc::map<EdgeLca>(state,
+                                  [](const EdgeState& s) {
+                                    MPCMST_ASSERT(
+                                        s.cand_level == 0,
+                                        "lca: unresolved candidate level "
+                                            << s.cand_level);
+                                    return EdgeLca{s.u, s.v, s.w, s.orig_id,
+                                                   s.cand};
+                                  }),
+                steps};
+  return out;
+}
+
+mpc::Dist<AdEdge> ancestor_descendant_transform(const LcaResult& lca) {
+  return mpc::flat_map<AdEdge>(lca.edges, [](const EdgeLca& e, auto&& emit) {
+    if (e.u != e.lca) emit(AdEdge{e.u, e.lca, e.w, e.orig_id});
+    if (e.v != e.lca) emit(AdEdge{e.v, e.lca, e.w, e.orig_id});
+  });
+}
+
+}  // namespace mpcmst::lca

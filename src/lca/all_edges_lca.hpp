@@ -1,0 +1,76 @@
+// All-edges LCA (paper §2.2, Algorithms 1-3) and the ancestor-descendant
+// transform (Corollary 2.19).
+//
+// For every non-tree edge {u, v} we find LCA(u, v) in T in O(log D_T) rounds
+// with O(m + n) global memory:
+//   1. hierarchically cluster T down to n / D̂² clusters (§2.1);
+//   2. build auxiliary 2^i-ancestor links on the *cluster* tree
+//      (Lemma 2.16: O(|C| log D̂) = O(n) words);
+//   3. FindLCAClusters (Algorithm 1): binary-descend each edge's candidate
+//      cluster until its parent is the LCA cluster;
+//   4. UndoClustering (Algorithm 2): replay the contraction history in
+//      reverse, each level refining the candidate to the sub-cluster that
+//      still contains both endpoints, until singletons remain.
+//
+// ancestor_descendant_transform then splits {u, v} into {u, LCA} and
+// {v, LCA} (same weight, same original id), which by Observation 2.20
+// preserves MST verification and sensitivity.
+#pragma once
+
+#include <cstdint>
+
+#include "cluster/clustering.hpp"
+#include "graph/types.hpp"
+#include "mpc/dist.hpp"
+#include "treeops/doubling.hpp"
+#include "treeops/interval_label.hpp"
+
+namespace mpcmst::lca {
+
+using graph::Vertex;
+using graph::Weight;
+
+/// A non-tree edge with a stable original index (position in
+/// Instance::nontree).
+struct IdEdge {
+  Vertex u = 0;
+  Vertex v = 0;
+  Weight w = 0;
+  std::int64_t orig_id = 0;
+};
+
+/// A non-tree edge after the LCA computation.
+struct EdgeLca {
+  Vertex u = 0;
+  Vertex v = 0;
+  Weight w = 0;
+  std::int64_t orig_id = 0;
+  Vertex lca = 0;
+};
+
+/// An ancestor-descendant half-edge: hi is an ancestor of lo in T.
+struct AdEdge {
+  Vertex lo = 0;
+  Vertex hi = 0;
+  Weight w = 0;
+  std::int64_t orig_id = 0;
+};
+
+struct LcaResult {
+  mpc::Dist<EdgeLca> edges;
+  std::size_t contraction_steps = 0;
+};
+
+/// Compute LCA(u, v) for every edge.  `dhat` is the 2-approximate tree
+/// diameter (2 * max(height, 1), Remark 2.3).
+LcaResult all_edges_lca(const mpc::Dist<treeops::TreeRec>& tree, Vertex root,
+                        const treeops::DepthResult& depths,
+                        const mpc::Dist<treeops::IntervalRec>& intervals,
+                        const mpc::Dist<IdEdge>& edges, std::int64_t dhat);
+
+/// Corollary 2.19: replace each edge by its two ancestor-descendant halves
+/// (halves with lo == hi, i.e. endpoint == LCA, are dropped: they cover no
+/// tree edge).
+mpc::Dist<AdEdge> ancestor_descendant_transform(const LcaResult& lca);
+
+}  // namespace mpcmst::lca

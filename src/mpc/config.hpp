@@ -1,0 +1,65 @@
+// MPC machine model configuration (Karloff–Suri–Vassilvitskii / low-space MPC).
+//
+// The simulated system has `machines` machines, each with `local_capacity`
+// words of memory (the paper's s = O(n^delta)).  Global memory is
+// machines * local_capacity (the paper's g; "optimal utilization" means
+// g = Theta(m + n)).  Rounds and memory are *accounted*, local computation is
+// free, exactly as in the model.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+
+namespace mpcmst::mpc {
+
+struct MpcConfig {
+  /// Number of machines (m in the paper's model description).
+  std::size_t machines = 64;
+
+  /// Local memory per machine in words (s = O(n^delta)).
+  std::size_t local_capacity = 4096;
+
+  /// Transient per-machine skew allowed before a balanced block is considered
+  /// a capacity violation.  Sample sort and joins produce bounded skew; the
+  /// model hides it in constants, we make the constant explicit.
+  double block_slack = 4.0;
+
+  /// If true, exceeding block_slack * local_capacity words on a machine
+  /// throws ModelError.
+  bool enforce_local = true;
+
+  /// If > 0, peak live global memory above global_budget_words throws.
+  /// The linear-global-memory experiments set this to C * (m + n) words and
+  /// prove "optimal utilization" by not throwing.
+  std::size_t global_budget_words = 0;
+
+  /// Seed for all symmetry-breaking coins (contraction steps).
+  std::uint64_t seed = 0x5eedULL;
+
+  /// Build a configuration scaled for an input of `input_words` words with
+  /// local space s ~ input_words^delta, and a global budget of
+  /// budget_factor * input_words (set budget_factor = 0 for unlimited).
+  static MpcConfig scaled(std::size_t input_words, double delta = 0.5,
+                          double budget_factor = 0.0,
+                          std::uint64_t seed = 0x5eedULL) {
+    MpcConfig cfg;
+    const double nw = static_cast<double>(input_words < 16 ? 16 : input_words);
+    cfg.local_capacity =
+        static_cast<std::size_t>(std::ceil(std::pow(nw, delta)));
+    if (cfg.local_capacity < 64) cfg.local_capacity = 64;
+    // Enough machines that the budget fits; at least 2 to make communication
+    // meaningful.
+    const double budget =
+        budget_factor > 0.0 ? budget_factor * nw : 64.0 * nw;
+    cfg.machines = static_cast<std::size_t>(
+        std::ceil(budget / static_cast<double>(cfg.local_capacity)));
+    if (cfg.machines < 2) cfg.machines = 2;
+    if (budget_factor > 0.0)
+      cfg.global_budget_words = static_cast<std::size_t>(budget);
+    cfg.seed = seed;
+    return cfg;
+  }
+};
+
+}  // namespace mpcmst::mpc

@@ -1,0 +1,102 @@
+// Dist<T>: a distributed array of trivially-copyable records.
+//
+// Storage is a flat vector partitioned into balanced blocks of
+// ceil(N / machines) elements; machine i owns block i.  This matches the
+// "inputs and intermediates are spread evenly across machines" convention of
+// MPC algorithm descriptions.  Every allocation / resize is registered with
+// the engine for global-memory accounting and balanced-block capacity checks.
+//
+// Dist is move-only; use clone() for an explicit copy (it allocates).
+#pragma once
+
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "common/check.hpp"
+#include "mpc/engine.hpp"
+
+namespace mpcmst::mpc {
+
+template <class T>
+constexpr std::size_t words_per() {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "Dist<T> requires trivially copyable records");
+  return (sizeof(T) + 7) / 8;
+}
+
+template <class T>
+class Dist {
+ public:
+  explicit Dist(Engine& eng) : eng_(&eng) {}
+
+  Dist(Engine& eng, std::vector<T> data) : eng_(&eng), data_(std::move(data)) {
+    account_alloc();
+  }
+
+  Dist(Dist&& o) noexcept : eng_(o.eng_), data_(std::move(o.data_)) {
+    o.data_.clear();
+    o.eng_ = nullptr;
+  }
+
+  Dist& operator=(Dist&& o) noexcept {
+    if (this != &o) {
+      release();
+      eng_ = o.eng_;
+      data_ = std::move(o.data_);
+      o.data_.clear();
+      o.eng_ = nullptr;
+    }
+    return *this;
+  }
+
+  Dist(const Dist&) = delete;
+  Dist& operator=(const Dist&) = delete;
+
+  ~Dist() { release(); }
+
+  Dist clone() const {
+    MPCMST_ASSERT(eng_, "clone of moved-from Dist");
+    return Dist(*eng_, data_);
+  }
+
+  std::size_t size() const noexcept { return data_.size(); }
+  bool empty() const noexcept { return data_.empty(); }
+  std::size_t words() const noexcept { return data_.size() * words_per<T>(); }
+
+  Engine& engine() const {
+    MPCMST_ASSERT(eng_, "engine() on moved-from Dist");
+    return *eng_;
+  }
+
+  /// Simulator-internal backing store.  Algorithm code must only touch this
+  /// through the primitives in mpc/ops.hpp (which charge rounds); tests and
+  /// oracles may read it freely.
+  std::vector<T>& local() noexcept { return data_; }
+  const std::vector<T>& local() const noexcept { return data_; }
+
+  /// Replace the contents, adjusting the memory accounting.
+  void replace(std::vector<T> new_data) {
+    MPCMST_ASSERT(eng_, "replace on moved-from Dist");
+    eng_->note_free(words());
+    data_ = std::move(new_data);
+    account_alloc();
+  }
+
+ private:
+  void account_alloc() {
+    eng_->note_alloc(words());
+    eng_->check_balanced(words());
+  }
+
+  void release() noexcept {
+    if (eng_) eng_->note_free(words());
+    eng_ = nullptr;
+    data_.clear();
+  }
+
+  Engine* eng_ = nullptr;
+  std::vector<T> data_;
+};
+
+}  // namespace mpcmst::mpc

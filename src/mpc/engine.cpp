@@ -1,0 +1,97 @@
+#include "mpc/engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace mpcmst::mpc {
+
+Engine::Engine(MpcConfig cfg) : cfg_(cfg) {
+  MPCMST_CHECK(cfg_.machines >= 2, "need at least 2 machines");
+  MPCMST_CHECK(cfg_.local_capacity >= 16, "local capacity unreasonably small");
+}
+
+std::size_t Engine::collective_depth(std::size_t item_words) const {
+  if (item_words == 0) item_words = 1;
+  const std::size_t fan_in =
+      std::max<std::size_t>(2, cfg_.local_capacity / item_words);
+  std::size_t depth = 0;
+  std::size_t reach = 1;
+  while (reach < cfg_.machines) {
+    reach *= fan_in;
+    ++depth;
+    if (depth > 64) break;  // unreachable in practice
+  }
+  return std::max<std::size_t>(depth, 1);
+}
+
+void Engine::charge_exchange(std::size_t total_words) {
+  ++stats_.exchanges;
+  charge_rounds(1, total_words);
+}
+
+void Engine::charge_collective(std::size_t total_words,
+                               std::size_t item_words) {
+  ++stats_.collectives;
+  charge_rounds(collective_depth(item_words), total_words);
+}
+
+void Engine::charge_sort(std::size_t total_words) {
+  ++stats_.sorts;
+  // Sample sort: gather samples (tree up), broadcast splitters (tree down),
+  // one partition all-to-all.  Local sorts are free.
+  charge_rounds(2 * collective_depth() + 1, 2 * total_words);
+}
+
+void Engine::charge_rounds(std::size_t rounds, std::size_t words) {
+  stats_.rounds += rounds;
+  stats_.words_communicated += words;
+  if (!phase_stack_.empty()) stats_.phase_rounds[phase_stack_.back()] += rounds;
+}
+
+void Engine::note_alloc(std::size_t words) {
+  stats_.live_words += words;
+  stats_.peak_global_words = std::max(stats_.peak_global_words,
+                                      stats_.live_words);
+  if (cfg_.global_budget_words > 0) {
+    MPCMST_CHECK(stats_.live_words <= cfg_.global_budget_words,
+                 "global memory budget exceeded: live=" << stats_.live_words
+                     << " budget=" << cfg_.global_budget_words);
+  }
+}
+
+void Engine::note_free(std::size_t words) noexcept {
+  stats_.live_words -= std::min(stats_.live_words, words);
+}
+
+void Engine::check_balanced(std::size_t total_words) const {
+  if (!cfg_.enforce_local) return;
+  const std::size_t per_machine =
+      (total_words + cfg_.machines - 1) / cfg_.machines;
+  const auto limit = static_cast<std::size_t>(
+      cfg_.block_slack * static_cast<double>(cfg_.local_capacity));
+  MPCMST_CHECK(per_machine <= limit,
+               "balanced block of " << per_machine
+                   << " words/machine exceeds local capacity "
+                   << cfg_.local_capacity << " (slack " << cfg_.block_slack
+                   << ")");
+}
+
+void Engine::push_phase(std::string name) {
+  phase_stack_.push_back(std::move(name));
+}
+
+void Engine::pop_phase() {
+  MPCMST_ASSERT(!phase_stack_.empty(), "phase stack underflow");
+  phase_stack_.pop_back();
+}
+
+void Engine::reset_meters() {
+  const std::size_t live = stats_.live_words;
+  stats_ = Stats{};
+  stats_.live_words = live;
+  stats_.peak_global_words = live;
+}
+
+}  // namespace mpcmst::mpc

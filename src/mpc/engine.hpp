@@ -1,0 +1,96 @@
+// The MPC round/memory accounting engine.
+//
+// All distributed primitives (mpc/ops.hpp) charge their round and
+// communication costs here, using the standard low-space MPC cost model:
+//   - an all-to-all exchange where every machine sends and receives at most
+//     s words is 1 round;
+//   - collectives (reduce / broadcast / scan offsets) run over an aggregation
+//     tree of fan-in f = Theta(s), i.e. ceil(log_f M) rounds per direction;
+//   - a distributed sample sort is 2 * ceil(log_f M) + 1 rounds
+//     (gather samples, broadcast splitters, partition exchange);
+// Local computation is free, exactly as in the model.
+//
+// Memory accounting: every Dist<T> registers its live words; the engine
+// tracks the peak (the measured global memory g) and enforces the per-machine
+// balanced-block capacity s and the optional global budget.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mpc/config.hpp"
+#include "mpc/stats.hpp"
+
+namespace mpcmst::mpc {
+
+class Engine {
+ public:
+  explicit Engine(MpcConfig cfg);
+
+  const MpcConfig& config() const noexcept { return cfg_; }
+  const Stats& stats() const noexcept { return stats_; }
+  std::size_t machines() const noexcept { return cfg_.machines; }
+  std::size_t capacity() const noexcept { return cfg_.local_capacity; }
+  std::size_t rounds() const noexcept { return stats_.rounds; }
+  std::uint64_t seed() const noexcept { return cfg_.seed; }
+
+  /// Depth of an aggregation tree moving items of `item_words` words with
+  /// per-machine capacity s: ceil(log_f M) with fan-in f = max(2, s / item).
+  std::size_t collective_depth(std::size_t item_words = 8) const;
+
+  // --- cost charging (called by the primitives) ---
+  void charge_exchange(std::size_t total_words);
+  void charge_collective(std::size_t total_words, std::size_t item_words = 8);
+  void charge_sort(std::size_t total_words);
+  void charge_rounds(std::size_t rounds, std::size_t words = 0);
+
+  // --- memory accounting (called by Dist<T>) ---
+  void note_alloc(std::size_t words);
+  void note_free(std::size_t words) noexcept;
+
+  /// Check that `total_words` spread over machines in balanced blocks fits in
+  /// local capacity (with the configured slack).
+  void check_balanced(std::size_t total_words) const;
+
+  // --- phase attribution ---
+  void push_phase(std::string name);
+  void pop_phase();
+
+  /// Zero the meters (rounds, words, peak, counters, phases). Live-word
+  /// tracking is preserved. Used by benchmarks to meter a single stage.
+  void reset_meters();
+
+ private:
+  MpcConfig cfg_;
+  Stats stats_;
+  std::vector<std::string> phase_stack_;
+};
+
+/// RAII phase label: rounds charged while alive are attributed to `name`.
+class PhaseScope {
+ public:
+  PhaseScope(Engine& eng, std::string name) : eng_(&eng) {
+    eng_->push_phase(std::move(name));
+  }
+  ~PhaseScope() { eng_->pop_phase(); }
+  PhaseScope(const PhaseScope&) = delete;
+  PhaseScope& operator=(const PhaseScope&) = delete;
+
+ private:
+  Engine* eng_;
+};
+
+/// Measures rounds spent between construction and delta().
+class RoundMeter {
+ public:
+  explicit RoundMeter(const Engine& eng)
+      : eng_(&eng), start_(eng.rounds()) {}
+  std::size_t delta() const { return eng_->rounds() - start_; }
+
+ private:
+  const Engine* eng_;
+  std::size_t start_;
+};
+
+}  // namespace mpcmst::mpc

@@ -1,0 +1,300 @@
+// O(1)-round MPC primitives over Dist<T>.
+//
+// Every function charges the engine its round and communication cost under
+// the standard low-space MPC cost model (see mpc/engine.hpp).  The semantics
+// of each primitive are exactly those of its distributed implementation
+// ([GSZ11]: sorting, prefix sums and searching in O(1) MPC rounds); the
+// simulator realizes them with equivalent sequential code and charges the
+// model cost, so measured round counts are structural properties of the
+// algorithms, not implementation artifacts.
+//
+// Conventions:
+//   - "free" primitives (map / for_each / tabulate) perform no communication:
+//     they transform each record in place on its machine;
+//   - size-changing primitives (filter / concat / flat_map) include the cost
+//     of re-balancing blocks (prefix count + one exchange);
+//   - joins assume 64-bit keys (use pack2 for composite keys).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <numeric>
+#include <unordered_map>
+#include <vector>
+
+#include "common/check.hpp"
+#include "mpc/dist.hpp"
+
+namespace mpcmst::mpc {
+
+/// Pack two 32-bit-safe non-negative values into one 64-bit join key.
+inline std::uint64_t pack2(std::uint64_t hi, std::uint64_t lo) {
+  MPCMST_ASSERT(hi < (1ULL << 32) && lo < (1ULL << 32),
+                "pack2 operands must fit in 32 bits: " << hi << "," << lo);
+  return (hi << 32) | lo;
+}
+
+// ---------------------------------------------------------------------------
+// Creation / materialization
+// ---------------------------------------------------------------------------
+
+/// Place already-distributed input: the model assumes the input is spread
+/// across machines, so this charges no rounds.
+template <class T>
+Dist<T> scatter(Engine& eng, std::vector<T> data) {
+  return Dist<T>(eng, std::move(data));
+}
+
+/// Create n records locally (each machine fills its block): free.
+template <class T, class F>
+Dist<T> tabulate(Engine& eng, std::size_t n, F&& f) {
+  std::vector<T> v;
+  v.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) v.push_back(f(i));
+  return Dist<T>(eng, std::move(v));
+}
+
+/// Collect a distributed array to one place (tree gather).  Used for final
+/// outputs and tiny summaries; charges a collective.
+template <class T>
+std::vector<T> gather(const Dist<T>& d) {
+  d.engine().charge_collective(d.words(), words_per<T>());
+  return d.local();
+}
+
+// ---------------------------------------------------------------------------
+// Local (zero-round) transforms
+// ---------------------------------------------------------------------------
+
+template <class T, class F>
+void for_each(Dist<T>& d, F&& f) {
+  for (T& x : d.local()) f(x);
+}
+
+template <class T, class F>
+void for_each_indexed(Dist<T>& d, F&& f) {
+  auto& v = d.local();
+  for (std::size_t i = 0; i < v.size(); ++i) f(i, v[i]);
+}
+
+template <class U, class T, class F>
+Dist<U> map(const Dist<T>& d, F&& f) {
+  std::vector<U> out;
+  out.reserve(d.size());
+  for (const T& x : d.local()) out.push_back(f(x));
+  return Dist<U>(d.engine(), std::move(out));
+}
+
+/// Element-wise combine of two aligned distributed arrays (same size, same
+/// block layout): free, like map.
+template <class U, class A, class B, class F>
+Dist<U> map2(const Dist<A>& a, const Dist<B>& b, F&& f) {
+  MPCMST_ASSERT(a.size() == b.size(), "map2: size mismatch " << a.size()
+                                          << " vs " << b.size());
+  std::vector<U> out;
+  out.reserve(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i)
+    out.push_back(f(a.local()[i], b.local()[i]));
+  return Dist<U>(a.engine(), std::move(out));
+}
+
+// ---------------------------------------------------------------------------
+// Size-changing transforms (charge compaction: prefix count + exchange)
+// ---------------------------------------------------------------------------
+
+template <class T, class P>
+Dist<T> filter(const Dist<T>& d, P&& pred) {
+  Engine& eng = d.engine();
+  std::vector<T> out;
+  for (const T& x : d.local())
+    if (pred(x)) out.push_back(x);
+  eng.charge_collective(8);            // prefix counts for target offsets
+  eng.charge_exchange(out.size() * words_per<T>());
+  return Dist<T>(eng, std::move(out));
+}
+
+/// Emit zero or more records per input record; `f(x, emit)`.
+template <class U, class T, class F>
+Dist<U> flat_map(const Dist<T>& d, F&& f) {
+  Engine& eng = d.engine();
+  std::vector<U> out;
+  auto emit = [&out](U u) { out.push_back(u); };
+  for (const T& x : d.local()) f(x, emit);
+  eng.charge_collective(8);
+  eng.charge_exchange(out.size() * words_per<U>());
+  return Dist<U>(eng, std::move(out));
+}
+
+template <class T>
+Dist<T> concat(const Dist<T>& a, const Dist<T>& b) {
+  Engine& eng = a.engine();
+  std::vector<T> out;
+  out.reserve(a.size() + b.size());
+  out.insert(out.end(), a.local().begin(), a.local().end());
+  out.insert(out.end(), b.local().begin(), b.local().end());
+  eng.charge_exchange(out.size() * words_per<T>());  // re-balance blocks
+  return Dist<T>(eng, std::move(out));
+}
+
+// ---------------------------------------------------------------------------
+// Sorting ([GSZ11] sample sort: O(1) rounds)
+// ---------------------------------------------------------------------------
+
+/// Stable sort by a key projection (key must be < comparable).
+template <class T, class KeyF>
+void sort_by(Dist<T>& d, KeyF&& key) {
+  d.engine().charge_sort(d.words());
+  std::stable_sort(d.local().begin(), d.local().end(),
+                   [&](const T& a, const T& b) { return key(a) < key(b); });
+}
+
+// ---------------------------------------------------------------------------
+// Reductions and prefix scans (aggregation trees)
+// ---------------------------------------------------------------------------
+
+template <class U, class T, class GetF, class OpF>
+U reduce(const Dist<T>& d, GetF&& get, OpF&& op, U init) {
+  d.engine().charge_collective(8);
+  U acc = init;
+  for (const T& x : d.local()) acc = op(acc, get(x));
+  return acc;
+}
+
+/// Exclusive prefix scan of get(x) under op; returns the prefix for each
+/// element in order.
+template <class U, class T, class GetF, class OpF>
+Dist<U> exclusive_prefix(const Dist<T>& d, GetF&& get, OpF&& op, U init) {
+  d.engine().charge_collective(8);
+  d.engine().charge_collective(8);
+  std::vector<U> out;
+  out.reserve(d.size());
+  U acc = init;
+  for (const T& x : d.local()) {
+    out.push_back(acc);
+    acc = op(acc, get(x));
+  }
+  return Dist<U>(d.engine(), std::move(out));
+}
+
+/// Broadcast a small value to all machines.
+template <class T>
+T broadcast(Engine& eng, T value) {
+  eng.charge_collective(words_per<T>() * eng.machines(), words_per<T>());
+  return value;
+}
+
+// ---------------------------------------------------------------------------
+// Keyed operations (sort + boundary carry)
+// ---------------------------------------------------------------------------
+
+template <class K, class V>
+struct KeyVal {
+  K key;
+  V val;
+};
+
+/// Group records by key(x) and reduce val(x) within each group.
+/// Cost: one sort + one boundary-carry round.
+template <class K, class V, class T, class KeyF, class ValF, class OpF>
+Dist<KeyVal<K, V>> reduce_by_key(const Dist<T>& d, KeyF&& key, ValF&& val,
+                                 OpF&& op) {
+  Engine& eng = d.engine();
+  std::vector<KeyVal<K, V>> kv;
+  kv.reserve(d.size());
+  for (const T& x : d.local()) kv.push_back({key(x), val(x)});
+  eng.charge_sort(kv.size() * words_per<KeyVal<K, V>>());
+  std::stable_sort(kv.begin(), kv.end(),
+                   [](const auto& a, const auto& b) { return a.key < b.key; });
+  std::vector<KeyVal<K, V>> out;
+  for (std::size_t i = 0; i < kv.size();) {
+    std::size_t j = i;
+    V acc = kv[i].val;
+    for (++j; j < kv.size() && kv[j].key == kv[i].key; ++j)
+      acc = op(acc, kv[j].val);
+    out.push_back({kv[i].key, acc});
+    i = j;
+  }
+  eng.charge_exchange(out.size() * words_per<KeyVal<K, V>>());
+  return Dist<KeyVal<K, V>>(eng, std::move(out));
+}
+
+/// Apply `f(first, last)` to each maximal run of equal keys after sorting the
+/// array by key.  Cost: one sort + one boundary-carry round.  This realizes
+/// segmented scans/reductions ("sorting and prefix-sum" steps in the paper).
+template <class T, class KeyF, class F>
+void sorted_group_apply(Dist<T>& d, KeyF&& key, F&& f) {
+  sort_by(d, key);
+  d.engine().charge_exchange(8);  // boundary carry between adjacent machines
+  auto& v = d.local();
+  for (std::size_t i = 0; i < v.size();) {
+    std::size_t j = i + 1;
+    while (j < v.size() && !(key(v[i]) < key(v[j]))) ++j;
+    f(v.data() + i, v.data() + j);
+    i = j;
+  }
+}
+
+/// Left join with unique 64-bit right keys: apply(left_record, right_or_null).
+/// Cost: two sorts + one alignment round (sort-merge join with segmented
+/// replication).
+template <class L, class R, class LKeyF, class RKeyF, class ApplyF>
+void join_unique(Dist<L>& left, const Dist<R>& right, LKeyF&& lkey,
+                 RKeyF&& rkey, ApplyF&& apply) {
+  Engine& eng = left.engine();
+  eng.charge_sort(left.words());
+  eng.charge_sort(right.words());
+  eng.charge_exchange(left.words());
+  std::unordered_map<std::uint64_t, const R*> index;
+  index.reserve(right.size() * 2);
+  for (const R& r : right.local()) {
+    auto [it, inserted] = index.emplace(rkey(r), &r);
+    MPCMST_ASSERT(inserted, "join_unique: duplicate right key " << rkey(r));
+  }
+  for (L& l : left.local()) {
+    auto it = index.find(lkey(l));
+    apply(l, it == index.end() ? nullptr : it->second);
+  }
+}
+
+/// Interval-stabbing join: each query (group, point) finds the unique
+/// interval (group, lo, hi) with lo <= point <= hi among *disjoint* intervals
+/// of its group; apply(query, interval_or_null).
+/// Cost: two sorts + one alignment round.
+template <class Q, class I, class QKeyF, class QPointF, class IKeyF,
+          class ILoF, class IHiF, class ApplyF>
+void stab_join(Dist<Q>& queries, const Dist<I>& intervals, QKeyF&& qkey,
+               QPointF&& qpoint, IKeyF&& ikey, ILoF&& ilo, IHiF&& ihi,
+               ApplyF&& apply) {
+  Engine& eng = queries.engine();
+  eng.charge_sort(queries.words());
+  eng.charge_sort(intervals.words());
+  eng.charge_exchange(queries.words());
+  // (group, lo) -> interval, sorted for binary search.
+  std::vector<const I*> sorted;
+  sorted.reserve(intervals.size());
+  for (const I& iv : intervals.local()) sorted.push_back(&iv);
+  std::sort(sorted.begin(), sorted.end(), [&](const I* a, const I* b) {
+    if (ikey(*a) != ikey(*b)) return ikey(*a) < ikey(*b);
+    return ilo(*a) < ilo(*b);
+  });
+  for (Q& q : queries.local()) {
+    const auto g = qkey(q);
+    const auto p = qpoint(q);
+    // Last interval with (group, lo) <= (g, p).
+    auto it = std::upper_bound(
+        sorted.begin(), sorted.end(), std::make_pair(g, p),
+        [&](const auto& probe, const I* iv) {
+          if (probe.first != ikey(*iv)) return probe.first < ikey(*iv);
+          return probe.second < ilo(*iv);
+        });
+    const I* hit = nullptr;
+    if (it != sorted.begin()) {
+      const I* cand = *(it - 1);
+      if (ikey(*cand) == g && ilo(*cand) <= p && p <= ihi(*cand)) hit = cand;
+    }
+    apply(q, hit);
+  }
+}
+
+}  // namespace mpcmst::mpc

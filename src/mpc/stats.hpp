@@ -1,0 +1,32 @@
+// Round and memory meters for the simulated MPC.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+
+namespace mpcmst::mpc {
+
+struct Stats {
+  /// Communication rounds charged so far (the paper's complexity measure).
+  std::size_t rounds = 0;
+
+  /// Total words moved between machines across all rounds.
+  std::size_t words_communicated = 0;
+
+  /// Currently live words across all distributed arrays.
+  std::size_t live_words = 0;
+
+  /// Peak of live_words over the run: the measured global memory g.
+  std::size_t peak_global_words = 0;
+
+  /// Primitive invocation counters (for the cost-breakdown experiments).
+  std::size_t sorts = 0;
+  std::size_t exchanges = 0;
+  std::size_t collectives = 0;
+
+  /// Rounds attributed to named phases (PhaseScope).
+  std::map<std::string, std::size_t> phase_rounds;
+};
+
+}  // namespace mpcmst::mpc

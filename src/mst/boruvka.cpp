@@ -1,0 +1,164 @@
+#include "mst/boruvka.hpp"
+
+#include <algorithm>
+#include <functional>
+
+#include "common/check.hpp"
+#include "mpc/ops.hpp"
+
+namespace mpcmst::mst {
+
+namespace {
+
+using graph::Vertex;
+using graph::WEdge;
+using graph::Weight;
+
+struct Comp {
+  Vertex v;
+  Vertex comp;
+};
+
+struct BEdge {
+  Vertex u, v;
+  Weight w;
+  Vertex cu, cv;
+  std::int64_t id;
+};
+
+/// Chosen-edge payload: ordered by (w, id) for deterministic tie-breaking
+/// (a total order on edges prevents contraction cycles beyond 2-cycles).
+struct Pick {
+  Weight w;
+  std::int64_t id;
+  Vertex cu, cv;
+  Vertex u, v;
+
+  bool less_than(const Pick& o) const {
+    return w != o.w ? w < o.w : id < o.id;
+  }
+};
+
+struct Ptr {
+  Vertex c;
+  Vertex ptr;
+};
+
+}  // namespace
+
+MstResult mst_boruvka_mpc(mpc::Engine& eng, std::size_t n,
+                          const std::vector<WEdge>& input) {
+  mpc::PhaseScope phase(eng, "boruvka");
+  MstResult out;
+
+  mpc::Dist<Comp> comps = mpc::tabulate<Comp>(eng, n, [](std::size_t v) {
+    return Comp{static_cast<Vertex>(v), static_cast<Vertex>(v)};
+  });
+  std::vector<BEdge> init;
+  init.reserve(input.size());
+  for (std::size_t i = 0; i < input.size(); ++i)
+    init.push_back({input[i].u, input[i].v, input[i].w, input[i].u,
+                    input[i].v, static_cast<std::int64_t>(i)});
+  mpc::Dist<BEdge> edges = mpc::scatter(eng, std::move(init));
+
+  while (true) {
+    // Refresh endpoint components and drop intra-component edges.
+    mpc::join_unique(
+        edges, comps, [](const BEdge& e) { return std::uint64_t(e.u); },
+        [](const Comp& c) { return std::uint64_t(c.v); },
+        [](BEdge& e, const Comp* c) {
+          MPCMST_ASSERT(c, "boruvka: missing component of u");
+          e.cu = c->comp;
+        });
+    mpc::join_unique(
+        edges, comps, [](const BEdge& e) { return std::uint64_t(e.v); },
+        [](const Comp& c) { return std::uint64_t(c.v); },
+        [](BEdge& e, const Comp* c) {
+          MPCMST_ASSERT(c, "boruvka: missing component of v");
+          e.cv = c->comp;
+        });
+    edges = mpc::filter(edges, [](const BEdge& e) { return e.cu != e.cv; });
+    if (edges.empty()) break;
+    ++out.phases;
+    MPCMST_ASSERT(out.phases <= 64, "boruvka does not converge");
+
+    // Minimum incident edge per component.
+    struct Incident {
+      Vertex comp;
+      Pick pick;
+    };
+    mpc::Dist<Incident> incident = mpc::flat_map<Incident>(
+        edges, [](const BEdge& e, auto&& emit) {
+          const Pick p{e.w, e.id, e.cu, e.cv, e.u, e.v};
+          emit(Incident{e.cu, p});
+          emit(Incident{e.cv, p});
+        });
+    auto picks = mpc::reduce_by_key<std::uint64_t, Pick>(
+        incident, [](const Incident& i) { return std::uint64_t(i.comp); },
+        [](const Incident& i) { return i.pick; },
+        [](const Pick& a, const Pick& b) { return a.less_than(b) ? a : b; });
+
+    // Deduplicate edges chosen from both sides; record them in the forest.
+    auto unique_picks = mpc::reduce_by_key<std::uint64_t, Pick>(
+        picks, [](const auto& kv) { return std::uint64_t(kv.val.id); },
+        [](const auto& kv) { return kv.val; },
+        [](const Pick& a, const Pick&) { return a; });
+    for (const auto& kv : mpc::gather(unique_picks)) {
+      out.edges.push_back({kv.val.u, kv.val.v, kv.val.w});
+      out.total_weight += kv.val.w;
+    }
+
+    // Contraction pointers: each component follows its chosen edge; mutual
+    // pairs (2-cycles) are broken toward the smaller id.
+    mpc::Dist<Ptr> ptrs = mpc::map<Ptr>(picks, [](const auto& kv) {
+      const Vertex c = static_cast<Vertex>(kv.key);
+      return Ptr{c, kv.val.cu == c ? kv.val.cv : kv.val.cu};
+    });
+    {
+      const auto snapshot = ptrs.clone();
+      mpc::join_unique(
+          ptrs, snapshot, [](const Ptr& p) { return std::uint64_t(p.ptr); },
+          [](const Ptr& p) { return std::uint64_t(p.c); },
+          [](Ptr& p, const Ptr* t) {
+            MPCMST_ASSERT(t, "boruvka: dangling pointer");
+            if (t->ptr == p.c && p.c < p.ptr) p.ptr = p.c;  // 2-cycle break
+          });
+    }
+    // Pointer-jump the pseudo-forest to stars.
+    std::size_t jumps = 0;
+    while (true) {
+      const auto snapshot = ptrs.clone();
+      bool changed = false;
+      mpc::join_unique(
+          ptrs, snapshot, [](const Ptr& p) { return std::uint64_t(p.ptr); },
+          [](const Ptr& p) { return std::uint64_t(p.c); },
+          [&](Ptr& p, const Ptr* t) {
+            MPCMST_ASSERT(t, "boruvka: dangling pointer");
+            if (p.ptr != t->ptr) {
+              p.ptr = t->ptr;
+              changed = true;
+            }
+          });
+      if (!changed) break;
+      ++jumps;
+      MPCMST_ASSERT(jumps <= 70, "boruvka star contraction stalls");
+    }
+    // Relabel vertex components through the star roots.
+    mpc::join_unique(
+        comps, ptrs, [](const Comp& c) { return std::uint64_t(c.comp); },
+        [](const Ptr& p) { return std::uint64_t(p.c); },
+        [](Comp& c, const Ptr* p) {
+          if (p != nullptr) c.comp = p->ptr;
+        });
+  }
+
+  auto roots = mpc::reduce_by_key<std::uint64_t, std::int64_t>(
+      comps, [](const Comp& c) { return std::uint64_t(c.comp); },
+      [](const Comp&) { return std::int64_t{1}; }, std::plus<>{});
+  out.components = roots.size();
+  MPCMST_ASSERT(out.edges.size() + out.components == n,
+                "boruvka: forest size mismatch");
+  return out;
+}
+
+}  // namespace mpcmst::mst

@@ -1,0 +1,35 @@
+// MST construction in MPC via Borůvka phases — the "related task" the paper
+// positions itself against (§1: finding an MST needs Ω(log D_MST) rounds and
+// the best linear-memory bound known is O(log n); this is that O(log n)
+// algorithm, a PRAM-style simulation).
+//
+// Each phase: every component picks its minimum-weight incident edge
+// (reduce-by-key), the resulting pseudo-forest is contracted by hash-coin
+// star contraction (O(1) rounds per halving w.h.p.).  O(log n) phases.
+//
+// Ships as a library feature so downstream users can *produce* candidate
+// trees to verify: mst_boruvka_mpc + verify_mst_mpc closes the loop.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/instance.hpp"
+#include "mpc/engine.hpp"
+
+namespace mpcmst::mst {
+
+struct MstResult {
+  /// Chosen MST/MSF edges (as input WEdge values).
+  std::vector<graph::WEdge> edges;
+  graph::Weight total_weight = 0;
+  std::size_t components = 0;  // >1 when the input graph is disconnected
+  std::size_t phases = 0;      // Borůvka phases (~log2 n)
+};
+
+/// Compute a minimum spanning forest of the n-vertex graph `edges`.
+/// Deterministic for a fixed engine seed; ties broken by (weight, u, v).
+MstResult mst_boruvka_mpc(mpc::Engine& eng, std::size_t n,
+                          const std::vector<graph::WEdge>& edges);
+
+}  // namespace mpcmst::mst

@@ -1,0 +1,612 @@
+#include "sensitivity/sensitivity.hpp"
+
+#include <algorithm>
+#include <functional>
+
+#include "cluster/clustering.hpp"
+#include "common/check.hpp"
+#include "lca/all_edges_lca.hpp"
+#include "mpc/ops.hpp"
+#include "treeops/doubling.hpp"
+#include "treeops/interval_label.hpp"
+
+namespace mpcmst::sensitivity {
+
+namespace {
+
+using cluster::ClusterNode;
+using cluster::HierarchicalClustering;
+using cluster::MergeRec;
+using graph::kNegInfW;
+using graph::kPosInfW;
+using lca::AdEdge;
+using treeops::SlotValue;
+using treeops::TreeRec;
+
+/// An E' edge (Algorithm 5): lo is always the *leader* of the cluster clo
+/// containing it (the truncation invariant of Definition 4.5); hi sits in
+/// chi and is a structural leaf of it.  Scratch fields stage the per-step
+/// case analysis so every emission happens after all reads of old state.
+struct SensEdge {
+  Vertex lo, hi;
+  Weight w;
+  Vertex clo, chi;
+  std::int64_t pre_lo;  // DFS number of the original lower endpoint
+  // Case 5 staging.
+  Vertex c5_junior;
+  Weight c5_wtop;
+  std::int64_t c5_level;
+  Vertex c5_leaf;
+  // Case 1/4 staging.
+  std::int64_t c14_kind;  // 0 none, 1 or 4
+  Vertex c14_junior, c14_senior, c14_attach;
+  std::int64_t c14_step;
+  std::int64_t dead;
+};
+
+/// A pending min-update of the mc value of tree edge {child, p(child)}.
+struct McUpdate {
+  Vertex child;
+  Weight val;
+};
+
+/// Root-to-leaf note (Definition 4.4): the path from cluster leader r down
+/// to vertex x (inside the cluster with leader r formed at `level`) is
+/// covered by a non-tree edge of weight w.
+struct Note {
+  Vertex r;
+  Vertex x;
+  Weight w;
+  std::int64_t level;
+  std::int64_t pre_x;     // scratch: DFS number of x (unwinding)
+  Vertex hit_junior;      // scratch: junior containing x this level
+  std::int64_t hit_level;
+  Vertex hit_attach;
+  std::int64_t hit_prev;  // senior sub-cluster level
+};
+
+/// Keep the mc-update pool compressed to one entry per tree edge
+/// (the paper's "dedicated machines" for mc values, §4 preamble).
+mpc::Dist<McUpdate> compress_updates(mpc::Dist<McUpdate> pool) {
+  auto reduced = mpc::reduce_by_key<std::uint64_t, Weight>(
+      pool, [](const McUpdate& u) { return std::uint64_t(u.child); },
+      [](const McUpdate& u) { return u.val; },
+      [](Weight a, Weight b) { return std::min(a, b); });
+  return mpc::map<McUpdate>(reduced, [](const auto& kv) {
+    return McUpdate{static_cast<Vertex>(kv.key), kv.val};
+  });
+}
+
+/// Deduplicate notes by (r, x): min weight, max level.  Safe because the
+/// covered tree path r..x does not depend on the level and clusters only
+/// grow with the level, so the higher-level unwind subsumes the lower.
+/// Realizes Algorithm 7 line 12 within linear memory (Claim 4.13).
+mpc::Dist<Note> dedup_notes(mpc::Dist<Note> pool) {
+  struct WL {
+    Weight w;
+    std::int64_t level;
+  };
+  auto reduced = mpc::reduce_by_key<std::uint64_t, WL>(
+      pool,
+      [](const Note& n) {
+        return mpc::pack2(std::uint64_t(n.r), std::uint64_t(n.x));
+      },
+      [](const Note& n) { return WL{n.w, n.level}; },
+      [](WL a, WL b) {
+        return WL{std::min(a.w, b.w), std::max(a.level, b.level)};
+      });
+  return mpc::map<Note>(reduced, [](const auto& kv) {
+    Note n{};
+    n.r = static_cast<Vertex>(kv.key >> 32);
+    n.x = static_cast<Vertex>(kv.key & 0xffffffffULL);
+    n.w = kv.val.w;
+    n.level = kv.val.level;
+    return n;
+  });
+}
+
+struct TreeMcResult {
+  mpc::Dist<McUpdate> mc;  // one entry per covered tree edge (child-keyed)
+  SensitivityStats stats;
+};
+
+/// Algorithms 5-7: mc value of every covered tree edge.
+TreeMcResult tree_edge_mc(const mpc::Dist<TreeRec>& tree, Vertex root,
+                          const treeops::DepthResult& depths,
+                          const mpc::Dist<treeops::IntervalRec>& intervals,
+                          const mpc::Dist<AdEdge>& halves, std::int64_t dhat) {
+  mpc::Engine& eng = tree.engine();
+  mpc::PhaseScope phase(eng, "sensitivity-core");
+  const std::size_t n = tree.size();
+  SensitivityStats stats;
+
+  // --- E' initialization (singleton clusters satisfy the invariant) ---
+  mpc::Dist<SensEdge> edges = mpc::map<SensEdge>(halves, [](const AdEdge& e) {
+    SensEdge s{};
+    s.lo = e.lo;
+    s.hi = e.hi;
+    s.w = e.w;
+    s.clo = e.lo;
+    s.chi = e.hi;
+    return s;
+  });
+  mpc::join_unique(
+      edges, intervals, [](const SensEdge& s) { return std::uint64_t(s.lo); },
+      [](const treeops::IntervalRec& iv) { return std::uint64_t(iv.v); },
+      [](SensEdge& s, const treeops::IntervalRec* iv) {
+        MPCMST_ASSERT(iv, "sens: missing interval of lo");
+        s.pre_lo = iv->lo;
+      });
+
+  mpc::Dist<McUpdate> mc_pool(eng);
+  mpc::Dist<Note> notes(eng);
+  auto track_notes = [&](std::size_t created) {
+    stats.notes_created += created;
+    stats.notes_peak = std::max(stats.notes_peak, notes.size());
+  };
+
+  // --- Algorithm 5: contraction with truncation ---
+  HierarchicalClustering hc(tree, root, intervals, 0);
+  const std::size_t target =
+      (dhat <= 1) ? n
+                  : static_cast<std::size_t>(
+                        static_cast<double>(n) /
+                        (static_cast<double>(dhat) * static_cast<double>(dhat)));
+  while (hc.num_clusters() > std::max<std::size_t>(target, 1)) {
+    const mpc::Dist<MergeRec> merges = hc.plan_step();
+    mpc::for_each(edges, [](SensEdge& s) {
+      s.c5_junior = -1;
+      s.c5_leaf = -1;
+      s.c14_kind = 0;
+    });
+
+    // --- stage case 5: a junior J != clo on the covered path merges into
+    // the senior chi; find J, then its path-child x (leaf l = attach(x)).
+    mpc::stab_join(
+        edges, merges,
+        [](const SensEdge& s) {
+          return s.dead ? (1ULL << 63) : std::uint64_t(s.chi);
+        },
+        [](const SensEdge& s) { return s.pre_lo; },
+        [](const MergeRec& m) { return std::uint64_t(m.senior); },
+        [](const MergeRec& m) { return m.jlo; },
+        [](const MergeRec& m) { return m.jhi; },
+        [](SensEdge& s, const MergeRec* m) {
+          if (s.dead || m == nullptr || m->junior == s.clo) return;
+          MPCMST_ASSERT(m->attach == s.hi,
+                        "sens case 5: path enters chi away from hi");
+          s.c5_junior = m->junior;
+          s.c5_wtop = m->w_top;
+          s.c5_level = m->junior_formed_at;
+        });
+    mpc::stab_join(
+        edges, hc.nodes(),
+        [](const SensEdge& s) {
+          return s.c5_junior < 0 ? (1ULL << 63) : std::uint64_t(s.c5_junior);
+        },
+        [](const SensEdge& s) { return s.pre_lo; },
+        [](const ClusterNode& c) { return std::uint64_t(c.parent_leader); },
+        [](const ClusterNode& c) { return c.lo; },
+        [](const ClusterNode& c) { return c.hi; },
+        [](SensEdge& s, const ClusterNode* x) {
+          if (s.c5_junior < 0) return;
+          MPCMST_ASSERT(x, "sens case 5: missing path-child of junior");
+          s.c5_leaf = x->attach;  // l = p(leader(x)), a leaf of the junior
+        });
+
+    // --- stage cases 1 / 4: the cluster containing lo merges upward.
+    mpc::join_unique(
+        edges, merges,
+        [](const SensEdge& s) {
+          return s.dead ? (1ULL << 63) : std::uint64_t(s.clo);
+        },
+        [](const MergeRec& m) { return std::uint64_t(m.junior); },
+        [](SensEdge& s, const MergeRec* m) {
+          if (s.dead || m == nullptr) return;
+          if (m->senior == s.chi) {
+            MPCMST_ASSERT(m->attach == s.hi,
+                          "sens case 1: path longer than one edge");
+            s.c14_kind = 1;
+          } else {
+            s.c14_kind = 4;
+          }
+          s.c14_junior = m->junior;
+          s.c14_senior = m->senior;
+          s.c14_attach = m->attach;
+          s.c14_step = m->step;
+        });
+
+    // --- emit all mc updates and notes of this step.
+    {
+      mpc::Dist<McUpdate> ups = mpc::flat_map<McUpdate>(
+          edges, [](const SensEdge& s, auto&& emit) {
+            if (s.c5_junior >= 0) emit(McUpdate{s.c5_junior, s.w});
+            if (s.c14_kind != 0) emit(McUpdate{s.c14_junior, s.w});
+          });
+      mpc::Dist<Note> fresh = mpc::flat_map<Note>(
+          edges, [](const SensEdge& s, auto&& emit) {
+            if (s.c5_junior >= 0 && s.c5_leaf != s.c5_junior) {
+              Note n{};
+              n.r = s.c5_junior;
+              n.x = s.c5_leaf;
+              n.w = s.w;
+              n.level = s.c5_level;
+              emit(n);
+            }
+            if (s.c14_kind == 4 && s.c14_attach != s.c14_senior) {
+              Note n{};
+              n.r = s.c14_senior;
+              n.x = s.c14_attach;
+              n.w = s.w;
+              n.level = s.c14_step;
+              emit(n);
+            }
+          });
+      stats.case5 += mpc::reduce(
+          edges, [](const SensEdge& s) { return std::int64_t(s.c5_junior >= 0); },
+          std::plus<>{}, std::int64_t{0});
+      stats.case1 += mpc::reduce(
+          edges, [](const SensEdge& s) { return std::int64_t(s.c14_kind == 1); },
+          std::plus<>{}, std::int64_t{0});
+      stats.case4 += mpc::reduce(
+          edges, [](const SensEdge& s) { return std::int64_t(s.c14_kind == 4); },
+          std::plus<>{}, std::int64_t{0});
+      track_notes(fresh.size());
+      mc_pool = compress_updates(mpc::concat(mc_pool, ups));
+      notes = dedup_notes(mpc::concat(notes, fresh));
+    }
+
+    // --- commit truncations.
+    mpc::for_each(edges, [](SensEdge& s) {
+      if (s.dead) return;
+      if (s.c5_junior >= 0) s.hi = s.c5_leaf;
+      if (s.c14_kind == 1) {
+        s.dead = 1;
+      } else if (s.c14_kind == 4) {
+        s.lo = s.c14_senior;
+        s.clo = s.c14_senior;
+      }
+    });
+
+    // --- cases 2/3: the cluster containing hi merges upward; id moves only.
+    mpc::join_unique(
+        edges, merges,
+        [](const SensEdge& s) {
+          return s.dead ? (1ULL << 63) : std::uint64_t(s.chi);
+        },
+        [](const MergeRec& m) { return std::uint64_t(m.junior); },
+        [](SensEdge& s, const MergeRec* m) {
+          if (!s.dead && m != nullptr) s.chi = m->senior;
+        });
+
+    // Drop dead edges; deduplicate identical truncations, keeping the
+    // lightest (one sort + compaction).
+    edges = mpc::filter(edges, [](const SensEdge& s) { return !s.dead; });
+    {
+      mpc::sort_by(edges, [](const SensEdge& s) {
+        return std::make_tuple(s.lo, s.hi, s.w);
+      });
+      std::vector<SensEdge> unique_edges;
+      for (const SensEdge& s : edges.local())
+        if (unique_edges.empty() || unique_edges.back().lo != s.lo ||
+            unique_edges.back().hi != s.hi)
+          unique_edges.push_back(s);
+      eng.charge_exchange(unique_edges.size() * mpc::words_per<SensEdge>());
+      edges.replace(std::move(unique_edges));
+    }
+
+    hc.apply_step(merges, [](std::int64_t l, const MergeRec&) { return l; });
+    ++stats.contraction_steps;
+    MPCMST_ASSERT(stats.contraction_steps <= 64 * 40,
+                  "sensitivity contraction stalls");
+  }
+  stats.final_clusters = hc.num_clusters();
+
+  // --- Algorithm 6: cluster-tree sensitivity with n/poly(D̂) clusters ---
+  {
+    // Cluster tree as a rooted tree over leaders.
+    mpc::Dist<TreeRec> ctree = mpc::map<TreeRec>(
+        hc.nodes(), [](const ClusterNode& c) {
+          return TreeRec{c.leader, c.parent_leader, c.w_top};
+        });
+    const treeops::DepthResult cdepths =
+        treeops::compute_depths(ctree, hc.root_cluster());
+
+    // Lines 2-6: split off the topmost arc of every E' edge.  The path-child
+    // J of chi satisfies attach(J) == hi (invariant); the arc {leader(J), hi}
+    // gets mc <= w, and the remainder becomes the E'' record (clo, J, w).
+    mpc::for_each(edges, [](SensEdge& s) { s.c5_junior = -1; });
+    mpc::stab_join(
+        edges, hc.nodes(),
+        [](const SensEdge& s) { return std::uint64_t(s.chi); },
+        [](const SensEdge& s) { return s.pre_lo; },
+        [](const ClusterNode& c) { return std::uint64_t(c.parent_leader); },
+        [](const ClusterNode& c) { return c.lo; },
+        [](const ClusterNode& c) { return c.hi; },
+        [](SensEdge& s, const ClusterNode* j) {
+          MPCMST_ASSERT(j, "alg6: missing path-child of chi");
+          MPCMST_ASSERT(j->attach == s.hi, "alg6: invariant violation");
+          s.c5_junior = j->leader;  // J
+        });
+    mpc::Dist<McUpdate> arc_ups = mpc::flat_map<McUpdate>(
+        edges, [](const SensEdge& s, auto&& emit) {
+          if (s.c5_junior >= 0) emit(McUpdate{s.c5_junior, s.w});
+        });
+    mc_pool = compress_updates(mpc::concat(mc_pool, arc_ups));
+
+    // E'' entries: (lower cluster, depth of upper cluster, weight); the edge
+    // covers every cluster-tree edge {c, p(c)} with clo in subtree(c) and
+    // dep(upper) < dep(c) — exactly the sparse Definition 4.8 minima.
+    struct E2 {
+      Vertex x;        // lower cluster
+      Vertex a;        // upper cluster (J)
+      Weight w;
+      std::int64_t dep_a;
+    };
+    mpc::Dist<E2> e2 = mpc::flat_map<E2>(
+        edges, [](const SensEdge& s, auto&& emit) {
+          if (s.c5_junior >= 0 && s.c5_junior != s.clo)
+            emit(E2{s.clo, s.c5_junior, s.w, 0});
+        });
+    mpc::join_unique(
+        e2, cdepths.depth, [](const E2& e) { return std::uint64_t(e.a); },
+        [](const treeops::DepthRec& d) { return std::uint64_t(d.v); },
+        [](E2& e, const treeops::DepthRec* d) {
+          MPCMST_ASSERT(d, "alg6: missing cluster depth");
+          e.dep_a = d->depth;
+        });
+    mpc::Dist<SlotValue> entries = mpc::map<SlotValue>(e2, [](const E2& e) {
+      return SlotValue{e.x, e.dep_a, e.w};
+    });
+    const mpc::Dist<SlotValue> agg =
+        treeops::subtree_aggregate_sparse(ctree, cdepths.depth, entries);
+
+    // minA(c) = min over subtree entries with slot < dep(c) (Definition 4.8
+    // / Lemma 4.9 part ii); this is the mc of the cluster-tree edge
+    // {c, p(c)}, giving one tree-edge update and one root-to-leaf note N_c
+    // covering the path inside the parent cluster.
+    struct CandidateRow {
+      Vertex c;
+      std::int64_t slot;
+      Weight val;
+      std::int64_t dep_c;
+    };
+    mpc::Dist<CandidateRow> rows = mpc::map<CandidateRow>(
+        agg, [](const SlotValue& e) {
+          return CandidateRow{e.v, e.slot, e.val, -1};
+        });
+    mpc::join_unique(
+        rows, cdepths.depth,
+        [](const CandidateRow& r) { return std::uint64_t(r.c); },
+        [](const treeops::DepthRec& d) { return std::uint64_t(d.v); },
+        [](CandidateRow& r, const treeops::DepthRec* d) {
+          MPCMST_ASSERT(d, "alg6: missing depth for row");
+          r.dep_c = d->depth;
+        });
+    mpc::Dist<CandidateRow> covering = mpc::filter(
+        rows, [](const CandidateRow& r) { return r.slot < r.dep_c; });
+    auto mina_per_cluster = mpc::reduce_by_key<std::uint64_t, Weight>(
+        covering, [](const CandidateRow& r) { return std::uint64_t(r.c); },
+        [](const CandidateRow& r) { return r.val; },
+        [](Weight a, Weight b) { return std::min(a, b); });
+
+    // mc of the cluster boundary edge + note N_c inside the parent cluster.
+    struct BoundaryRow {
+      Vertex c;
+      Weight val;
+      Vertex parent, attach;
+      std::int64_t parent_level;
+    };
+    mpc::Dist<BoundaryRow> boundary = mpc::map<BoundaryRow>(
+        mina_per_cluster, [](const auto& kv) {
+          return BoundaryRow{static_cast<Vertex>(kv.key), kv.val, -1, -1, -1};
+        });
+    mpc::join_unique(
+        boundary, hc.nodes(),
+        [](const BoundaryRow& b) { return std::uint64_t(b.c); },
+        [](const ClusterNode& c) { return std::uint64_t(c.leader); },
+        [](BoundaryRow& b, const ClusterNode* c) {
+          MPCMST_ASSERT(c, "alg6: missing cluster node");
+          b.parent = c->parent_leader;
+          b.attach = c->attach;
+        });
+    mpc::join_unique(
+        boundary, hc.nodes(),
+        [](const BoundaryRow& b) { return std::uint64_t(b.parent); },
+        [](const ClusterNode& c) { return std::uint64_t(c.leader); },
+        [](BoundaryRow& b, const ClusterNode* c) {
+          MPCMST_ASSERT(c, "alg6: missing parent cluster node");
+          b.parent_level = c->formed_at;
+        });
+    mpc::Dist<McUpdate> boundary_ups = mpc::map<McUpdate>(
+        boundary, [](const BoundaryRow& b) { return McUpdate{b.c, b.val}; });
+    mc_pool = compress_updates(mpc::concat(mc_pool, boundary_ups));
+    mpc::Dist<Note> boundary_notes = mpc::flat_map<Note>(
+        boundary, [](const BoundaryRow& b, auto&& emit) {
+          if (b.attach != b.parent) {
+            Note n{};
+            n.r = b.parent;
+            n.x = b.attach;
+            n.w = b.val;
+            n.level = b.parent_level;
+            emit(n);
+          }
+        });
+    track_notes(boundary_notes.size());
+    notes = dedup_notes(mpc::concat(notes, std::move(boundary_notes)));
+  }
+
+  // --- Algorithm 7: unwind the contraction, resolving every note ---
+  for (std::int64_t lev = hc.current_step(); lev >= 1; --lev) {
+    mpc::Dist<Note> cur =
+        mpc::filter(notes, [lev](const Note& n) { return n.level == lev; });
+    notes = mpc::filter(notes, [lev](const Note& n) { return n.level != lev; });
+    if (cur.empty()) continue;
+    cur = dedup_notes(std::move(cur));
+    mpc::for_each(cur, [lev](Note& n) {
+      n.level = lev;  // dedup keeps max level == lev here
+      n.hit_junior = -1;
+      n.hit_prev = -1;
+    });
+    // DFS number of the note target, for junior-membership stabbing.
+    mpc::join_unique(
+        cur, intervals, [](const Note& n) { return std::uint64_t(n.x); },
+        [](const treeops::IntervalRec& iv) { return std::uint64_t(iv.v); },
+        [](Note& n, const treeops::IntervalRec* iv) {
+          MPCMST_ASSERT(iv, "alg7: missing interval of note target");
+          n.pre_x = iv->lo;
+        });
+    const mpc::Dist<MergeRec>& merges = hc.history()[lev - 1];
+    auto senior_prev = mpc::reduce_by_key<std::uint64_t, std::int64_t>(
+        merges, [](const MergeRec& m) { return std::uint64_t(m.senior); },
+        [](const MergeRec& m) { return m.senior_prev_formed_at; },
+        [](std::int64_t a, std::int64_t b) { return std::max(a, b); });
+    mpc::stab_join(
+        cur, merges, [](const Note& n) { return std::uint64_t(n.r); },
+        [](const Note& n) { return n.pre_x; },
+        [](const MergeRec& m) { return std::uint64_t(m.senior); },
+        [](const MergeRec& m) { return m.jlo; },
+        [](const MergeRec& m) { return m.jhi; },
+        [](Note& n, const MergeRec* m) {
+          if (m == nullptr) return;
+          n.hit_junior = m->junior;
+          n.hit_level = m->junior_formed_at;
+          n.hit_attach = m->attach;
+        });
+    mpc::join_unique(
+        cur, senior_prev,
+        [](const Note& n) { return std::uint64_t(n.r); },
+        [](const auto& kv) { return kv.key; },
+        [](Note& n, const auto* kv) {
+          MPCMST_ASSERT(kv, "alg7: note at level without merges");
+          n.hit_prev = kv->val;
+        });
+
+    // Per note: either descend into the junior J containing x (mc of the
+    // bridge {leader(J), attach}, plus senior and junior sub-notes), or stay
+    // entirely within the senior sub-cluster.
+    mpc::Dist<McUpdate> ups = mpc::flat_map<McUpdate>(
+        cur, [](const Note& n, auto&& emit) {
+          if (n.hit_junior >= 0) emit(McUpdate{n.hit_junior, n.w});
+        });
+    mc_pool = compress_updates(mpc::concat(mc_pool, ups));
+    mpc::Dist<Note> fresh = mpc::flat_map<Note>(
+        cur, [](const Note& n, auto&& emit) {
+          if (n.hit_junior >= 0) {
+            if (n.hit_attach != n.r) {
+              Note s{};
+              s.r = n.r;
+              s.x = n.hit_attach;
+              s.w = n.w;
+              s.level = n.hit_prev;
+              emit(s);
+            }
+            if (n.x != n.hit_junior) {
+              Note j{};
+              j.r = n.hit_junior;
+              j.x = n.x;
+              j.w = n.w;
+              j.level = n.hit_level;
+              emit(j);
+            }
+          } else if (n.x != n.r) {
+            Note s{};
+            s.r = n.r;
+            s.x = n.x;
+            s.w = n.w;
+            s.level = n.hit_prev;
+            emit(s);
+          }
+        });
+    track_notes(fresh.size());
+    notes = dedup_notes(mpc::concat(notes, std::move(fresh)));
+  }
+  MPCMST_ASSERT(notes.empty(), "alg7: unresolved notes remain");
+
+  return TreeMcResult{std::move(mc_pool), stats};
+}
+
+}  // namespace
+
+SensitivityResult mst_sensitivity_mpc(mpc::Engine& eng,
+                                      const graph::Instance& inst) {
+  const auto dtree = treeops::load_tree(eng, inst.tree);
+  const auto depths = treeops::compute_depths(dtree, inst.tree.root);
+  const std::int64_t dhat = 2 * std::max<std::int64_t>(depths.height, 1);
+  const auto labels =
+      treeops::dfs_interval_labels(dtree, inst.tree.root, depths);
+
+  // LCA + ancestor-descendant transform (Observation 2.20 keeps both the
+  // tree-edge mc values and the non-tree maxima unchanged).
+  std::vector<lca::IdEdge> nontree;
+  nontree.reserve(inst.nontree.size());
+  for (std::size_t i = 0; i < inst.nontree.size(); ++i)
+    nontree.push_back({inst.nontree[i].u, inst.nontree[i].v,
+                       inst.nontree[i].w, static_cast<std::int64_t>(i)});
+  auto dedges = mpc::scatter(eng, std::move(nontree));
+  const auto lcares = lca::all_edges_lca(dtree, inst.tree.root, depths,
+                                         labels.intervals, dedges, dhat);
+  const auto halves = lca::ancestor_descendant_transform(lcares);
+
+  SensitivityResult out{mpc::Dist<TreeEdgeSens>(eng),
+                        mpc::Dist<NonTreeEdgeSens>(eng),
+                        {},
+                        {}};
+
+  // Non-tree sensitivity via the verification core (Observation 4.2).
+  {
+    const auto hv = verify::max_covered_weights(
+        dtree, inst.tree.root, labels.intervals, halves, dhat,
+        &out.verify_core);
+    auto combined = mpc::reduce_by_key<std::uint64_t, Weight>(
+        hv,
+        [](const verify::HalfVerdict& v) { return std::uint64_t(v.orig_id); },
+        [](const verify::HalfVerdict& v) { return v.maxpath; },
+        [](Weight a, Weight b) { return std::max(a, b); });
+    mpc::Dist<NonTreeEdgeSens> rows = mpc::tabulate<NonTreeEdgeSens>(
+        eng, inst.nontree.size(), [&](std::size_t i) {
+          NonTreeEdgeSens r;
+          r.orig_id = static_cast<std::int64_t>(i);
+          r.w = inst.nontree[i].w;
+          r.maxpath = kNegInfW;
+          r.sens = kPosInfW;  // covers nothing (e.g. self loop)
+          return r;
+        });
+    mpc::join_unique(
+        rows, combined,
+        [](const NonTreeEdgeSens& r) { return std::uint64_t(r.orig_id); },
+        [](const auto& kv) { return kv.key; },
+        [](NonTreeEdgeSens& r, const auto* kv) {
+          if (kv == nullptr) return;
+          r.maxpath = kv->val;
+          r.sens = r.w - r.maxpath;
+        });
+    out.nontree = std::move(rows);
+  }
+
+  // Tree-edge sensitivity via Algorithms 5-7 (Observation 4.3).
+  {
+    TreeMcResult mc = tree_edge_mc(dtree, inst.tree.root, depths,
+                                   labels.intervals, halves, dhat);
+    out.stats = mc.stats;
+    mpc::Dist<TreeEdgeSens> rows = mpc::flat_map<TreeEdgeSens>(
+        dtree, [](const TreeRec& t, auto&& emit) {
+          if (t.v == t.parent) return;  // the root has no parent edge
+          TreeEdgeSens r;
+          r.v = t.v;
+          r.w = t.w;
+          emit(r);
+        });
+    mpc::join_unique(
+        rows, mc.mc, [](const TreeEdgeSens& r) { return std::uint64_t(r.v); },
+        [](const McUpdate& u) { return std::uint64_t(u.child); },
+        [](TreeEdgeSens& r, const McUpdate* u) {
+          r.mc = u ? u->val : kPosInfW;
+          r.sens = r.mc == kPosInfW ? kPosInfW : r.mc - r.w;
+        });
+    out.tree = std::move(rows);
+  }
+  return out;
+}
+
+}  // namespace mpcmst::sensitivity

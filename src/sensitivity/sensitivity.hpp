@@ -1,0 +1,72 @@
+// MST sensitivity in O(log D_T) rounds with optimal global memory
+// (paper §4, Theorem 4.1).
+//
+// For every edge of G the sensitivity (Definition 1.2) is derived from:
+//   - non-tree e:  sens(e) = w(e) - maxpath(e), where maxpath is the covering
+//     maximum computed by the verification core (Observation 4.2);
+//   - tree e:      sens(e) = mc(e) - w(e), where mc(e) is the minimum weight
+//     of a non-tree edge covering e (Observation 4.3).
+//
+// The tree-edge mc values are the hard part and follow the paper exactly:
+//   Algorithm 5 — contract while maintaining the invariant that no non-tree
+//     edge covers an edge inside either *endpoint* cluster; endpoint clusters
+//     that merge trigger cases 1/4/5 of Definition 4.5, truncating edges and
+//     recording root-to-leaf notes (Definition 4.4);
+//   Algorithm 6 — on the n/poly(D̂) cluster tree, split off topmost arcs,
+//     aggregate depth-indexed minima over subtrees (Definition 4.8 realized
+//     as a sparse (cluster, depth)->min fold), producing the mc of every
+//     cluster-tree edge and one root-to-leaf note per cluster (Lemma 4.9);
+//   Algorithm 7 — unwind the contraction, splitting every note into a senior
+//     part, a junior part, and one concrete tree-edge mc update per level
+//     (Lemma 4.11), deduplicating per level (Claim 4.13 keeps O(n) notes).
+#pragma once
+
+#include <cstdint>
+
+#include "graph/instance.hpp"
+#include "mpc/engine.hpp"
+#include "verify/verifier.hpp"
+
+namespace mpcmst::sensitivity {
+
+using graph::Vertex;
+using graph::Weight;
+
+/// Per tree edge {v, parent(v)}, keyed by the child endpoint v.
+struct TreeEdgeSens {
+  Vertex v = 0;
+  Weight w = 0;
+  Weight mc = graph::kPosInfW;   // min covering non-tree weight
+  Weight sens = graph::kPosInfW; // mc - w
+};
+
+/// Per non-tree edge (aligned with Instance::nontree by orig_id).
+struct NonTreeEdgeSens {
+  std::int64_t orig_id = 0;
+  Weight w = 0;
+  Weight maxpath = graph::kNegInfW;  // max tree weight on the covered path
+  Weight sens = 0;                   // w - maxpath
+};
+
+struct SensitivityStats {
+  std::size_t contraction_steps = 0;
+  std::size_t final_clusters = 0;
+  std::size_t notes_created = 0;   // total root-to-leaf notes over the run
+  std::size_t notes_peak = 0;      // max live notes (Claim 4.13: O(n))
+  std::size_t case1 = 0, case4 = 0, case5 = 0;  // Definition 4.5 frequencies
+};
+
+struct SensitivityResult {
+  mpc::Dist<TreeEdgeSens> tree;
+  mpc::Dist<NonTreeEdgeSens> nontree;
+  SensitivityStats stats;
+  verify::CoreStats verify_core;  // stats of the Observation 4.2 sub-run
+};
+
+/// Full MST sensitivity of an instance (Theorem 4.1).  `inst.tree` must be
+/// an MST of the instance (as the problem definition requires); this is not
+/// re-verified here — call verify::verify_mst_mpc first if unsure.
+SensitivityResult mst_sensitivity_mpc(mpc::Engine& eng,
+                                      const graph::Instance& inst);
+
+}  // namespace mpcmst::sensitivity

@@ -1,0 +1,44 @@
+// Disjoint-set union with path compression + union by size.
+#pragma once
+
+#include <cstddef>
+#include <numeric>
+#include <vector>
+
+#include "graph/types.hpp"
+
+namespace mpcmst::seq {
+
+class Dsu {
+ public:
+  explicit Dsu(std::size_t n) : parent_(n), size_(n, 1) {
+    std::iota(parent_.begin(), parent_.end(), graph::Vertex{0});
+  }
+
+  graph::Vertex find(graph::Vertex x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  /// Returns false if already in the same set.
+  bool unite(graph::Vertex a, graph::Vertex b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return false;
+    if (size_[a] < size_[b]) std::swap(a, b);
+    parent_[b] = a;
+    size_[a] += size_[b];
+    return true;
+  }
+
+  bool same(graph::Vertex a, graph::Vertex b) { return find(a) == find(b); }
+
+ private:
+  std::vector<graph::Vertex> parent_;
+  std::vector<std::size_t> size_;
+};
+
+}  // namespace mpcmst::seq

@@ -1,0 +1,244 @@
+#include "seq/oracles.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/check.hpp"
+#include "seq/dsu.hpp"
+
+namespace mpcmst::seq {
+
+using graph::Instance;
+using graph::kNegInfW;
+using graph::kPosInfW;
+using graph::RootedTree;
+using graph::Vertex;
+using graph::WEdge;
+using graph::Weight;
+
+SeqTreeIndex::SeqTreeIndex(const RootedTree& tree)
+    : n_(tree.n), root_(tree.root) {
+  MPCMST_CHECK(tree.well_formed(), "SeqTreeIndex requires a well-formed tree");
+  depth_.assign(n_, 0);
+  pre_.assign(n_, 0);
+  size_.assign(n_, 1);
+
+  // Children adjacency, in increasing vertex id (canonical sibling order).
+  std::vector<std::int64_t> child_count(n_, 0);
+  for (std::size_t v = 0; v < n_; ++v)
+    if (static_cast<Vertex>(v) != root_) ++child_count[tree.parent[v]];
+  std::vector<std::int64_t> offset(n_ + 1, 0);
+  std::partial_sum(child_count.begin(), child_count.end(), offset.begin() + 1);
+  std::vector<Vertex> children(n_ ? n_ - 1 : 0);
+  {
+    std::vector<std::int64_t> cursor(offset.begin(), offset.end() - 1);
+    for (std::size_t v = 0; v < n_; ++v)
+      if (static_cast<Vertex>(v) != root_)
+        children[cursor[tree.parent[v]]++] = static_cast<Vertex>(v);
+  }
+
+  // Iterative DFS (explicit stack: path trees would overflow recursion).
+  std::vector<std::int64_t> next_child(n_, 0);
+  std::vector<Vertex> stack{root_};
+  std::int64_t counter = 0;
+  pre_[root_] = counter++;
+  while (!stack.empty()) {
+    const Vertex v = stack.back();
+    if (next_child[v] < child_count[v]) {
+      const Vertex c = children[offset[v] + next_child[v]++];
+      depth_[c] = depth_[v] + 1;
+      pre_[c] = counter++;
+      stack.push_back(c);
+    } else {
+      stack.pop_back();
+      if (!stack.empty()) size_[stack.back()] += size_[v];
+    }
+  }
+  height_ = n_ ? *std::max_element(depth_.begin(), depth_.end()) : 0;
+
+  levels_ = 1;
+  while ((std::int64_t{1} << levels_) <= std::max<std::int64_t>(height_, 1))
+    ++levels_;
+  up_.assign(static_cast<std::size_t>(levels_) * n_, root_);
+  up_max_.assign(static_cast<std::size_t>(levels_) * n_, kNegInfW);
+  for (std::size_t v = 0; v < n_; ++v) {
+    up_[v] = tree.parent[v];
+    up_max_[v] =
+        static_cast<Vertex>(v) == root_ ? kNegInfW : tree.weight[v];
+  }
+  for (int k = 1; k < levels_; ++k) {
+    const std::size_t cur = static_cast<std::size_t>(k) * n_;
+    const std::size_t prev = cur - n_;
+    for (std::size_t v = 0; v < n_; ++v) {
+      const Vertex mid = up_[prev + v];
+      up_[cur + v] = up_[prev + mid];
+      up_max_[cur + v] = std::max(up_max_[prev + v], up_max_[prev + mid]);
+    }
+  }
+}
+
+Vertex SeqTreeIndex::lift(Vertex v, std::int64_t k) const {
+  for (int b = 0; k != 0; ++b, k >>= 1)
+    if (k & 1) v = up_[static_cast<std::size_t>(b) * n_ + v];
+  return v;
+}
+
+Vertex SeqTreeIndex::lca(Vertex u, Vertex v) const {
+  if (is_ancestor(u, v)) return u;
+  if (is_ancestor(v, u)) return v;
+  for (int k = levels_ - 1; k >= 0; --k) {
+    const Vertex cand = up_[static_cast<std::size_t>(k) * n_ + u];
+    if (!is_ancestor(cand, v)) u = cand;
+  }
+  return up_[u];
+}
+
+Weight SeqTreeIndex::max_on_path(Vertex u, Vertex v) const {
+  const Vertex a = lca(u, v);
+  Weight best = kNegInfW;
+  auto climb = [&](Vertex x) {
+    std::int64_t steps = depth_[x] - depth_[a];
+    for (int b = 0; steps != 0; ++b, steps >>= 1) {
+      if (steps & 1) {
+        best = std::max(best, up_max_[static_cast<std::size_t>(b) * n_ + x]);
+        x = up_[static_cast<std::size_t>(b) * n_ + x];
+      }
+    }
+  };
+  climb(u);
+  climb(v);
+  return best;
+}
+
+MsfInfo msf_weight_kruskal(const Instance& inst) {
+  std::vector<WEdge> edges = inst.tree.tree_edges();
+  edges.insert(edges.end(), inst.nontree.begin(), inst.nontree.end());
+  std::sort(edges.begin(), edges.end(),
+            [](const WEdge& a, const WEdge& b) { return a.w < b.w; });
+  Dsu dsu(inst.n());
+  MsfInfo out;
+  out.components = inst.n();
+  for (const WEdge& e : edges) {
+    if (dsu.unite(e.u, e.v)) {
+      out.weight += e.w;
+      --out.components;
+    }
+  }
+  return out;
+}
+
+bool verify_mst(const Instance& inst, const SeqTreeIndex& index) {
+  for (const WEdge& e : inst.nontree) {
+    if (e.u == e.v) continue;
+    if (e.w < index.max_on_path(e.u, e.v)) return false;
+  }
+  return true;
+}
+
+bool verify_mst(const Instance& inst) {
+  return verify_mst(inst, SeqTreeIndex(inst.tree));
+}
+
+bool verify_mst_by_weight(const Instance& inst) {
+  if (!inst.tree.well_formed()) return false;
+  Weight tree_weight = 0;
+  for (std::size_t v = 0; v < inst.n(); ++v) tree_weight += inst.tree.weight[v];
+  const MsfInfo msf = msf_weight_kruskal(inst);
+  return msf.components == 1 && msf.weight == tree_weight;
+}
+
+SensitivityResult sensitivity(const Instance& inst,
+                              const SeqTreeIndex& index) {
+  const std::size_t n = inst.n();
+  SensitivityResult out;
+  out.tree_mc.assign(n, kPosInfW);
+  out.nontree_maxpath.reserve(inst.nontree.size());
+
+  // Non-tree sensitivity: max tree-path weight via lifting.
+  for (const WEdge& e : inst.nontree)
+    out.nontree_maxpath.push_back(e.u == e.v ? kNegInfW
+                                             : index.max_on_path(e.u, e.v));
+
+  // Tree-edge mc: process non-tree edges by increasing weight; each tree edge
+  // takes the weight of the first (lightest) covering edge.  A DSU jumps over
+  // already-labeled tree edges, giving near-linear total work [Tar82-style].
+  std::vector<std::size_t> order(inst.nontree.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return inst.nontree[a].w < inst.nontree[b].w;
+  });
+  // jump classes group vertices whose parent edges are all labeled;
+  // top[rep] is the shallowest vertex of the class (the next unlabeled spot).
+  Dsu jump(n);
+  std::vector<Vertex> top(n);
+  std::iota(top.begin(), top.end(), Vertex{0});
+  auto climb_top = [&](Vertex x) { return top[jump.find(x)]; };
+  for (std::size_t idx : order) {
+    const WEdge& e = inst.nontree[idx];
+    if (e.u == e.v) continue;
+    const Vertex a = index.lca(e.u, e.v);
+    for (Vertex x : {e.u, e.v}) {
+      x = climb_top(x);
+      while (index.depth(x) > index.depth(a)) {
+        out.tree_mc[x] = e.w;
+        const Vertex next = climb_top(inst.tree.parent[x]);
+        jump.unite(x, inst.tree.parent[x]);
+        top[jump.find(x)] = next;
+        x = next;
+      }
+    }
+  }
+  return out;
+}
+
+SensitivityResult sensitivity_brute(const Instance& inst) {
+  // Forest-tolerant: any self-parent vertex is a root (Remark 2.4 support).
+  const std::size_t n = inst.n();
+  std::vector<std::int64_t> depth(n, 0);
+  // Depth by repeated parent walk with memoization.
+  {
+    std::vector<signed char> done(n, 0);
+    for (std::size_t v = 0; v < n; ++v)
+      if (inst.tree.parent[v] == static_cast<Vertex>(v)) done[v] = 1;
+    std::vector<Vertex> stack;
+    for (std::size_t v0 = 0; v0 < n; ++v0) {
+      Vertex v = static_cast<Vertex>(v0);
+      stack.clear();
+      while (!done[v]) {
+        stack.push_back(v);
+        v = inst.tree.parent[v];
+      }
+      while (!stack.empty()) {
+        depth[stack.back()] = depth[v] + 1;
+        v = stack.back();
+        done[v] = 1;
+        stack.pop_back();
+      }
+    }
+  }
+
+  SensitivityResult out;
+  out.tree_mc.assign(n, kPosInfW);
+  out.nontree_maxpath.reserve(inst.nontree.size());
+  for (const WEdge& e : inst.nontree) {
+    Weight maxw = kNegInfW;
+    Vertex a = e.u, b = e.v;
+    auto relax = [&](Vertex x) {
+      out.tree_mc[x] = std::min(out.tree_mc[x], e.w);
+      maxw = std::max(maxw, inst.tree.weight[x]);
+    };
+    while (a != b) {
+      if (depth[a] >= depth[b]) {
+        relax(a);
+        a = inst.tree.parent[a];
+      } else {
+        relax(b);
+        b = inst.tree.parent[b];
+      }
+    }
+    out.nontree_maxpath.push_back(maxw);
+  }
+  return out;
+}
+
+}  // namespace mpcmst::seq

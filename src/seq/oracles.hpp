@@ -1,0 +1,91 @@
+// Sequential reference algorithms ("oracles").
+//
+// These implement the classical counterparts the paper cites —
+// Kruskal MST, LCA / path-maximum via binary lifting, tree-edge sensitivity
+// via the covering relaxation of Tarjan [Tar82] — and serve three purposes:
+//   1. correctness oracles for the MPC algorithms in tests;
+//   2. the sequential baseline row of the evaluation tables;
+//   3. instance generation (MST-consistent weight assignment).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "graph/instance.hpp"
+#include "graph/types.hpp"
+
+namespace mpcmst::seq {
+
+/// Preprocessed rooted tree: depth / preorder / subtree size (children visited
+/// in increasing vertex id, the canonical order used across the project), and
+/// binary-lifting tables for LCA and path-maximum queries.
+class SeqTreeIndex {
+ public:
+  explicit SeqTreeIndex(const graph::RootedTree& tree);
+
+  std::size_t n() const { return n_; }
+  graph::Vertex root() const { return root_; }
+  std::int64_t depth(graph::Vertex v) const { return depth_[v]; }
+  std::int64_t pre(graph::Vertex v) const { return pre_[v]; }
+  std::int64_t subtree_size(graph::Vertex v) const { return size_[v]; }
+  std::int64_t height() const { return height_; }
+
+  /// Is `a` an ancestor of `b` (including a == b)?
+  bool is_ancestor(graph::Vertex a, graph::Vertex b) const {
+    return pre_[a] <= pre_[b] && pre_[b] < pre_[a] + size_[a];
+  }
+
+  graph::Vertex lca(graph::Vertex u, graph::Vertex v) const;
+
+  /// Maximum tree-edge weight on the path u..v (kNegInfW if u == v).
+  graph::Weight max_on_path(graph::Vertex u, graph::Vertex v) const;
+
+ private:
+  graph::Vertex lift(graph::Vertex v, std::int64_t k) const;
+
+  std::size_t n_ = 0;
+  graph::Vertex root_ = 0;
+  std::int64_t height_ = 0;
+  int levels_ = 1;
+  std::vector<std::int64_t> depth_, pre_, size_;
+  std::vector<graph::Vertex> up_;       // levels_ x n
+  std::vector<graph::Weight> up_max_;   // levels_ x n
+};
+
+/// Result of sequential sensitivity analysis.
+struct SensitivityResult {
+  /// mc value per tree edge, keyed by the child endpoint
+  /// (kPosInfW when no non-tree edge covers it); mc[root] = kPosInfW.
+  std::vector<graph::Weight> tree_mc;
+  /// Max tree-path weight per non-tree edge, aligned with Instance::nontree.
+  std::vector<graph::Weight> nontree_maxpath;
+};
+
+/// Weight of a minimum spanning forest of G = T ∪ nontree (Kruskal),
+/// plus the number of connected components.
+struct MsfInfo {
+  graph::Weight weight = 0;
+  std::size_t components = 0;
+};
+MsfInfo msf_weight_kruskal(const graph::Instance& inst);
+
+/// Cycle-property verification: T is an MST of G iff no non-tree edge is
+/// strictly lighter than the heaviest tree edge on the path it covers.
+bool verify_mst(const graph::Instance& inst, const SeqTreeIndex& index);
+bool verify_mst(const graph::Instance& inst);
+
+/// Independent check through MSF weight: a spanning tree is an MST iff its
+/// weight equals the MSF weight (used to cross-validate verify_mst).
+bool verify_mst_by_weight(const graph::Instance& inst);
+
+/// Fast sequential sensitivity: tree-edge mc via the sorted-edges + DSU
+/// covering relaxation, non-tree max-path via lifting.
+SensitivityResult sensitivity(const graph::Instance& inst,
+                              const SeqTreeIndex& index);
+
+/// Brute-force sensitivity via explicit parent walks (O(m * D)); independent
+/// of SeqTreeIndex, used to validate everything else on small instances.
+SensitivityResult sensitivity_brute(const graph::Instance& inst);
+
+}  // namespace mpcmst::seq

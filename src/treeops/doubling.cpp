@@ -1,0 +1,189 @@
+#include "treeops/doubling.hpp"
+
+#include <algorithm>
+#include <functional>
+
+namespace mpcmst::treeops {
+
+mpc::Dist<TreeRec> load_tree(mpc::Engine& eng, const graph::RootedTree& tree) {
+  MPCMST_CHECK(tree.n < (1ULL << 31), "vertex ids must fit in 31 bits");
+  std::vector<TreeRec> recs;
+  recs.reserve(tree.n);
+  for (std::size_t v = 0; v < tree.n; ++v)
+    recs.push_back(
+        {static_cast<Vertex>(v), tree.parent[v], tree.weight[v]});
+  return mpc::scatter(eng, std::move(recs));
+}
+
+DepthResult compute_depths(const mpc::Dist<TreeRec>& tree, Vertex root) {
+  mpc::PhaseScope phase(tree.engine(), "depth");
+  // Each non-root vertex contributes one edge to every root path below it.
+  mpc::Dist<VertexValue> ones = mpc::map<VertexValue>(
+      tree, [&](const TreeRec& t) { return VertexValue{t.v, 1}; });
+  auto acc = rootpath_accumulate(tree, root, ones, std::plus<>{}, 0);
+  DepthResult out{
+      mpc::map<DepthRec>(
+          acc.acc, [](const VertexValue& x) { return DepthRec{x.v, x.val}; }),
+      0, acc.iterations};
+  out.height = mpc::reduce(
+      out.depth, [](const DepthRec& d) { return d.depth; },
+      [](std::int64_t a, std::int64_t b) { return std::max(a, b); },
+      std::int64_t{0});
+  return out;
+}
+
+bool validate_rooted_tree(const mpc::Dist<TreeRec>& tree, Vertex root,
+                          std::size_t n) {
+  mpc::PhaseScope phase(tree.engine(), "validate");
+  if (tree.size() != n) return false;
+  if (n == 0) return true;
+  if (root < 0 || static_cast<std::size_t>(root) >= n) return false;
+
+  // Local structural checks + one reduce: ids and parents in range, exactly
+  // one self-parent and it is the root.
+  struct Flags {
+    std::int64_t bad = 0;
+    std::int64_t self_parents = 0;
+  };
+  const Flags flags = mpc::reduce(
+      tree,
+      [&](const TreeRec& t) {
+        Flags f;
+        const bool in_range = t.v >= 0 && static_cast<std::size_t>(t.v) < n &&
+                              t.parent >= 0 &&
+                              static_cast<std::size_t>(t.parent) < n;
+        f.bad = !in_range || (t.v == t.parent && t.v != root);
+        f.self_parents = in_range && t.v == t.parent;
+        return f;
+      },
+      [](Flags a, Flags b) {
+        return Flags{a.bad + b.bad, a.self_parents + b.self_parents};
+      },
+      Flags{});
+  if (flags.bad != 0 || flags.self_parents != 1) return false;
+
+  // Unique vertex ids: sort by id, adjacent duplicates are local.
+  mpc::Dist<TreeRec> sorted = tree.clone();
+  mpc::sort_by(sorted, [](const TreeRec& t) { return t.v; });
+  bool duplicate = false;
+  for (std::size_t i = 1; i < sorted.local().size(); ++i)
+    duplicate |= sorted.local()[i].v == sorted.local()[i - 1].v;
+  if (duplicate) return false;
+
+  // Convergence of pointer jumping to the root within ceil(log2 n) + 1
+  // iterations.  A parent structure with a cycle never converges, so the
+  // cap both bounds the rounds and detects cycles.
+  struct Ptr {
+    Vertex v;
+    Vertex ptr;
+  };
+  mpc::Dist<Ptr> state = mpc::map<Ptr>(
+      tree, [](const TreeRec& t) { return Ptr{t.v, t.parent}; });
+  std::size_t cap = 2;
+  while ((std::size_t{1} << cap) < n) ++cap;
+  cap += 2;
+  for (std::size_t it = 0; it < cap; ++it) {
+    const std::int64_t unfinished = mpc::reduce(
+        state, [&](const Ptr& p) { return std::int64_t(p.ptr != root); },
+        std::plus<>{}, std::int64_t{0});
+    if (unfinished == 0) return true;
+    const mpc::Dist<Ptr> snapshot = state.clone();
+    mpc::join_unique(
+        state, snapshot, [](const Ptr& p) { return std::uint64_t(p.ptr); },
+        [](const Ptr& p) { return std::uint64_t(p.v); },
+        [](Ptr& p, const Ptr* t) {
+          if (t != nullptr) p.ptr = t->ptr;
+        });
+  }
+  const std::int64_t unfinished = mpc::reduce(
+      state, [&](const Ptr& p) { return std::int64_t(p.ptr != root); },
+      std::plus<>{}, std::int64_t{0});
+  return unfinished == 0;
+}
+
+mpc::Dist<SlotValue> subtree_aggregate_sparse(
+    const mpc::Dist<TreeRec>& tree, const mpc::Dist<DepthRec>& depth,
+    const mpc::Dist<SlotValue>& entries) {
+  struct Ptr {
+    Vertex v;
+    Vertex pk;  // exact 2^k-ancestor; -1 when depth(v) < 2^k
+    std::int64_t depth;
+  };
+  mpc::Dist<Ptr> ptrs = mpc::map<Ptr>(tree, [](const TreeRec& t) {
+    return Ptr{t.v, t.v == t.parent ? Vertex{-1} : t.parent, 0};
+  });
+  mpc::join_unique(
+      ptrs, depth, [](const Ptr& p) { return std::uint64_t(p.v); },
+      [](const DepthRec& d) { return std::uint64_t(d.v); },
+      [](Ptr& p, const DepthRec* d) {
+        MPCMST_ASSERT(d != nullptr, "sparse aggregate: missing depth");
+        p.depth = d->depth;
+      });
+
+  auto dedup = [](const mpc::Dist<SlotValue>& in) {
+    auto reduced = mpc::reduce_by_key<std::uint64_t, std::int64_t>(
+        in,
+        [](const SlotValue& e) {
+          return mpc::pack2(std::uint64_t(e.v), std::uint64_t(e.slot));
+        },
+        [](const SlotValue& e) { return e.val; },
+        [](std::int64_t a, std::int64_t b) { return std::min(a, b); });
+    return mpc::map<SlotValue>(reduced, [](const auto& kv) {
+      return SlotValue{static_cast<Vertex>(kv.key >> 32),
+                       static_cast<std::int64_t>(kv.key & 0xffffffffULL),
+                       kv.val};
+    });
+  };
+
+  mpc::Dist<SlotValue> acc = dedup(entries);
+
+  std::size_t iterations = 0;
+  while (true) {
+    const std::int64_t active = mpc::reduce(
+        ptrs, [](const Ptr& p) { return std::int64_t(p.pk >= 0); },
+        std::plus<>{}, std::int64_t{0});
+    if (active == 0) break;
+    ++iterations;
+    MPCMST_ASSERT(iterations <= 70, "sparse aggregate does not converge");
+
+    // Route each entry to the holder's 2^k-ancestor (when it exists).
+    struct Tagged {
+      Vertex holder;
+      Vertex target;
+      std::int64_t slot;
+      std::int64_t val;
+    };
+    mpc::Dist<Tagged> tagged = mpc::map<Tagged>(acc, [](const SlotValue& e) {
+      return Tagged{e.v, Vertex{-1}, e.slot, e.val};
+    });
+    mpc::join_unique(
+        tagged, ptrs, [](const Tagged& t) { return std::uint64_t(t.holder); },
+        [](const Ptr& p) { return std::uint64_t(p.v); },
+        [](Tagged& t, const Ptr* p) {
+          MPCMST_ASSERT(p != nullptr, "sparse aggregate: missing pointer");
+          t.target = p->pk;
+        });
+    mpc::Dist<SlotValue> moved = mpc::flat_map<SlotValue>(
+        tagged, [](const Tagged& t, auto&& emit) {
+          if (t.target >= 0) emit(SlotValue{t.target, t.slot, t.val});
+        });
+    acc = dedup(mpc::concat(acc, moved));
+
+    // Advance pointers.
+    const mpc::Dist<Ptr> snapshot = ptrs.clone();
+    mpc::join_unique(
+        ptrs, snapshot,
+        [](const Ptr& p) {
+          return p.pk >= 0 ? std::uint64_t(p.pk) : std::uint64_t(p.v);
+        },
+        [](const Ptr& p) { return std::uint64_t(p.v); },
+        [](Ptr& p, const Ptr* t) {
+          if (p.pk < 0) return;
+          MPCMST_ASSERT(t != nullptr, "sparse aggregate: broken pointer");
+          p.pk = t->pk;
+        });
+  }
+  return acc;
+}
+
+}  // namespace mpcmst::treeops

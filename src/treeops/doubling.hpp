@@ -1,0 +1,238 @@
+// Pointer-doubling toolkit over rooted trees in MPC.
+//
+// Everything here runs in O(log height(T)) rounds with O(n) words of global
+// memory, using only the O(1)-round primitives of mpc/ops.hpp:
+//
+//   - compute_depths / estimate: depth of every vertex, the tree height, and
+//     hence the 2-approximation of D_T the paper assumes known (Remark 2.3);
+//   - validate_rooted_tree: the MPC-side spanning-tree check (Remark 2.2);
+//   - rootpath_accumulate<Op>: fold per-vertex values along every root path;
+//   - subtree_aggregate<Op>: fold per-vertex values over every subtree, via
+//     the exact-distance doubling recurrence
+//        A_{k+1}(v) = A_k(v) (+) combine{ A_k(w) : p^{2^k}(w) = v },
+//     which partitions each subtree by distance and therefore never double
+//     counts;
+//   - subtree_aggregate_sparse: the same recurrence over sparse
+//     (vertex, slot) -> value multisets with idempotent min-combining, used
+//     by the sensitivity algorithm's depth-indexed minima (Definition 4.8).
+//
+// These two folds replace the paper's black-box citations for subtree
+// aggregation [GLM+23]; DESIGN.md §2 documents the substitution.
+#pragma once
+
+#include <cstdint>
+
+#include "common/check.hpp"
+#include "graph/instance.hpp"
+#include "graph/types.hpp"
+#include "mpc/dist.hpp"
+#include "mpc/ops.hpp"
+
+namespace mpcmst::treeops {
+
+using graph::Vertex;
+using graph::Weight;
+
+/// One vertex of a rooted tree: v, its parent (parent == v iff root), and the
+/// weight of the edge {v, parent} (0 for the root).
+struct TreeRec {
+  Vertex v = 0;
+  Vertex parent = 0;
+  Weight w = 0;
+};
+
+struct DepthRec {
+  Vertex v = 0;
+  std::int64_t depth = 0;
+};
+
+struct VertexValue {
+  Vertex v = 0;
+  std::int64_t val = 0;
+};
+
+/// Sparse (vertex, slot) -> value entry for subtree_aggregate_sparse.
+struct SlotValue {
+  Vertex v = 0;
+  std::int64_t slot = 0;
+  std::int64_t val = 0;
+};
+
+/// Load a host-side tree into the MPC (input placement, free).
+mpc::Dist<TreeRec> load_tree(mpc::Engine& eng, const graph::RootedTree& tree);
+
+struct DepthResult {
+  mpc::Dist<DepthRec> depth;
+  std::int64_t height = 0;      // max_v depth(v)
+  std::size_t iterations = 0;   // doubling iterations, ~ ceil(log2 height)
+};
+
+/// Depth of every vertex + tree height, in O(log height) rounds.
+/// `2 * max(height, 1)` is the paper's 2-approximate D_T (Remark 2.3).
+DepthResult compute_depths(const mpc::Dist<TreeRec>& tree, Vertex root);
+
+/// MPC-side validation that the parent structure is a tree on n vertices
+/// rooted at `root` (Remark 2.2): unique ids 0..n-1, exactly one self-parent
+/// (the root), and every vertex reaches the root within ceil(log2 n) + 1
+/// doubling iterations (a cycle never converges).  O(log n) rounds worst
+/// case; O(log height) when the input actually is a tree.
+bool validate_rooted_tree(const mpc::Dist<TreeRec>& tree, Vertex root,
+                          std::size_t n);
+
+// ---------------------------------------------------------------------------
+// rootpath_accumulate
+// ---------------------------------------------------------------------------
+
+template <class Op>
+struct RootpathResult {
+  mpc::Dist<VertexValue> acc;
+  std::size_t iterations = 0;
+};
+
+/// For every vertex v, fold `op` over val(x) for all non-root x on the path
+/// v..root (inclusive of v; the root contributes `identity`).
+/// `values` must contain exactly one entry per vertex.
+template <class Op>
+RootpathResult<Op> rootpath_accumulate(const mpc::Dist<TreeRec>& tree,
+                                       Vertex root,
+                                       const mpc::Dist<VertexValue>& values,
+                                       Op op, std::int64_t identity) {
+  struct State {
+    Vertex v;
+    Vertex ptr;
+    std::int64_t acc;
+  };
+
+  // Initial state: ptr = parent, acc = own value; the root is already done.
+  mpc::Dist<State> state = mpc::map<State>(tree, [&](const TreeRec& t) {
+    return State{t.v, t.parent, 0};
+  });
+  mpc::join_unique(
+      state, values, [](const State& s) { return std::uint64_t(s.v); },
+      [](const VertexValue& x) { return std::uint64_t(x.v); },
+      [&](State& s, const VertexValue* x) {
+        MPCMST_ASSERT(x != nullptr, "rootpath_accumulate: missing value");
+        s.acc = (s.v == root) ? identity : x->val;
+      });
+
+  std::size_t iterations = 0;
+  while (true) {
+    const std::int64_t unfinished = mpc::reduce(
+        state, [&](const State& s) { return std::int64_t(s.ptr != root); },
+        std::plus<>{}, std::int64_t{0});
+    if (unfinished == 0) break;
+    ++iterations;
+    MPCMST_ASSERT(iterations <= 70, "rootpath_accumulate does not converge");
+    const mpc::Dist<State> snapshot = state.clone();
+    mpc::join_unique(
+        state, snapshot, [](const State& s) { return std::uint64_t(s.ptr); },
+        [](const State& s) { return std::uint64_t(s.v); },
+        [&](State& s, const State* t) {
+          MPCMST_ASSERT(t != nullptr, "rootpath_accumulate: broken pointer");
+          s.acc = op(s.acc, t->acc);
+          s.ptr = t->ptr;
+        });
+  }
+
+  RootpathResult<Op> out{
+      mpc::map<VertexValue>(
+          state, [](const State& s) { return VertexValue{s.v, s.acc}; }),
+      iterations};
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// subtree_aggregate
+// ---------------------------------------------------------------------------
+
+/// For every vertex v, fold `op` over val(x) for all x in the subtree of v
+/// (inclusive).  `values` must contain exactly one entry per vertex.
+/// Requires depths (compute_depths).  O(log height) rounds, O(n) memory.
+template <class Op>
+mpc::Dist<VertexValue> subtree_aggregate(const mpc::Dist<TreeRec>& tree,
+                                         const mpc::Dist<DepthRec>& depth,
+                                         const mpc::Dist<VertexValue>& values,
+                                         Op op) {
+  struct State {
+    Vertex v;
+    Vertex pk;             // exact 2^k-ancestor; -1 when depth(v) < 2^k
+    std::int64_t depth;
+    std::int64_t acc;      // A_k(v): fold over descendants within < 2^k
+  };
+
+  mpc::Dist<State> state = mpc::map<State>(tree, [](const TreeRec& t) {
+    return State{t.v, t.v == t.parent ? Vertex{-1} : t.parent, 0, 0};
+  });
+  mpc::join_unique(
+      state, depth, [](const State& s) { return std::uint64_t(s.v); },
+      [](const DepthRec& d) { return std::uint64_t(d.v); },
+      [](State& s, const DepthRec* d) {
+        MPCMST_ASSERT(d != nullptr, "subtree_aggregate: missing depth");
+        s.depth = d->depth;
+      });
+  mpc::join_unique(
+      state, values, [](const State& s) { return std::uint64_t(s.v); },
+      [](const VertexValue& x) { return std::uint64_t(x.v); },
+      [](State& s, const VertexValue* x) {
+        MPCMST_ASSERT(x != nullptr, "subtree_aggregate: missing value");
+        s.acc = x->val;
+      });
+
+  std::size_t iterations = 0;
+  while (true) {
+    const std::int64_t active = mpc::reduce(
+        state, [](const State& s) { return std::int64_t(s.pk >= 0); },
+        std::plus<>{}, std::int64_t{0});
+    if (active == 0) break;
+    ++iterations;
+    MPCMST_ASSERT(iterations <= 70, "subtree_aggregate does not converge");
+
+    // Contributions A_k(w) -> p^{2^k}(w), combined per target.
+    struct Contribution {
+      Vertex target;
+      std::int64_t val;
+    };
+    mpc::Dist<Contribution> contrib = mpc::flat_map<Contribution>(
+        state, [](const State& s, auto&& emit) {
+          if (s.pk >= 0) emit(Contribution{s.pk, s.acc});
+        });
+    auto combined = mpc::reduce_by_key<std::uint64_t, std::int64_t>(
+        contrib,
+        [](const Contribution& c) { return std::uint64_t(c.target); },
+        [](const Contribution& c) { return c.val; }, op);
+    mpc::join_unique(
+        state, combined, [](const State& s) { return std::uint64_t(s.v); },
+        [](const auto& kv) { return kv.key; },
+        [&](State& s, const auto* kv) {
+          if (kv != nullptr) s.acc = op(s.acc, kv->val);
+        });
+
+    // Advance pointers: pk' = pk(pk), valid iff the target itself had a
+    // valid pointer (depth(v) >= 2^{k+1}).
+    const mpc::Dist<State> snapshot = state.clone();
+    mpc::join_unique(
+        state, snapshot,
+        [](const State& s) {
+          return s.pk >= 0 ? std::uint64_t(s.pk)
+                           : std::uint64_t(s.v);  // self lookup, ignored
+        },
+        [](const State& s) { return std::uint64_t(s.v); },
+        [](State& s, const State* t) {
+          if (s.pk < 0) return;
+          MPCMST_ASSERT(t != nullptr, "subtree_aggregate: broken pointer");
+          s.pk = t->pk;
+        });
+  }
+  return mpc::map<VertexValue>(
+      state, [](const State& s) { return VertexValue{s.v, s.acc}; });
+}
+
+/// Sparse multiset variant: entries (v, slot, val); result holds, for every
+/// vertex v and every slot present in v's subtree, the min value of that slot
+/// in the subtree.  Min-combining is idempotent, so this is safe for
+/// overlapping contributions; we still use the exact-distance recurrence.
+mpc::Dist<SlotValue> subtree_aggregate_sparse(
+    const mpc::Dist<TreeRec>& tree, const mpc::Dist<DepthRec>& depth,
+    const mpc::Dist<SlotValue>& entries);
+
+}  // namespace mpcmst::treeops

@@ -1,0 +1,259 @@
+#include "treeops/euler.hpp"
+
+#include <functional>
+
+#include "mpc/ops.hpp"
+
+namespace mpcmst::treeops {
+
+namespace {
+
+using graph::WEdge;
+using graph::Weight;
+
+struct Arc {
+  Vertex from = 0;
+  Vertex to = 0;
+};
+
+inline std::int64_t arc_id(Vertex from, Vertex to) {
+  return static_cast<std::int64_t>(
+      mpc::pack2(std::uint64_t(from), std::uint64_t(to)));
+}
+
+struct RankRec {
+  std::int64_t id = 0;    // packed arc id
+  std::int64_t nxt = -1;  // successor arc id, -1 = terminal
+  std::int64_t acc = 0;   // during ranking: arcs to the terminal; then rank
+};
+
+/// Build the Euler tour successor relation and rank every arc from the tour
+/// start (the first out-arc of the root).  Returns records whose acc is the
+/// final rank; `iterations` counts the pointer-jumping rounds (~log2 of the
+/// tour length).
+mpc::Dist<RankRec> rank_euler_tour(mpc::Dist<Arc> arcs, Vertex root,
+                                   std::size_t* iterations) {
+  mpc::Engine& eng = arcs.engine();
+  mpc::sort_by(arcs, [](const Arc& a) {
+    return mpc::pack2(std::uint64_t(a.from), std::uint64_t(a.to));
+  });
+
+  // succ((x, v)) = (v, next neighbour of v after x in the cyclic sorted
+  // order); the cycle is broken just before the root's first out-arc.
+  std::vector<RankRec> succ;
+  succ.reserve(arcs.size());
+  {
+    const auto& v = arcs.local();
+    std::size_t i = 0;
+    while (i < v.size()) {
+      std::size_t j = i;
+      while (j < v.size() && v[j].from == v[i].from) ++j;
+      const std::size_t deg = j - i;
+      for (std::size_t k = 0; k < deg; ++k) {
+        const Arc& out = v[i + k];
+        const bool last = (k + 1 == deg);
+        const std::int64_t next =
+            (out.from == root && last)
+                ? -1
+                : arc_id(out.from, v[i + (k + 1) % deg].to);
+        // The reversed arc (out.to -> out.from) is followed by `next`.
+        succ.push_back({arc_id(out.to, out.from), next, 0});
+      }
+      i = j;
+    }
+  }
+  eng.charge_exchange(succ.size() * 3);  // route successor records to arcs
+
+  mpc::Dist<RankRec> state(eng, std::move(succ));
+  mpc::for_each(state, [](RankRec& r) { r.acc = r.nxt < 0 ? 0 : 1; });
+
+  std::size_t iters = 0;
+  while (true) {
+    const std::int64_t active = mpc::reduce(
+        state, [](const RankRec& r) { return std::int64_t(r.nxt >= 0); },
+        std::plus<>{}, std::int64_t{0});
+    if (active == 0) break;
+    ++iters;
+    MPCMST_ASSERT(iters <= 70, "list ranking does not converge");
+    const mpc::Dist<RankRec> snapshot = state.clone();
+    mpc::join_unique(
+        state, snapshot,
+        [](const RankRec& r) {
+          return r.nxt >= 0 ? std::uint64_t(r.nxt) : std::uint64_t(r.id);
+        },
+        [](const RankRec& r) { return std::uint64_t(r.id); },
+        [](RankRec& r, const RankRec* t) {
+          if (r.nxt < 0) return;
+          MPCMST_ASSERT(t != nullptr, "list ranking: broken successor");
+          r.acc += t->acc;
+          r.nxt = t->nxt;
+        });
+  }
+  if (iterations) *iterations = iters;
+
+  // acc = arcs after this one; rank = (L-1) - acc.
+  const std::int64_t total = static_cast<std::int64_t>(state.size());
+  mpc::for_each(state,
+                [total](RankRec& r) { r.acc = (total - 1) - r.acc; });
+  return state;
+}
+
+}  // namespace
+
+EulerRooting root_tree_euler(mpc::Engine& eng, std::size_t n,
+                             const std::vector<WEdge>& edges, Vertex root) {
+  MPCMST_CHECK(n >= 1 && n < (1ULL << 31), "vertex count out of range");
+  MPCMST_CHECK(edges.size() + 1 == n, "a tree on n vertices has n-1 edges");
+  EulerRooting out;
+  out.tree.n = n;
+  out.tree.root = root;
+  out.tree.parent.assign(n, 0);
+  out.tree.weight.assign(n, 0);
+  if (n == 1) {
+    out.tree.parent[0] = root;
+    return out;
+  }
+
+  mpc::PhaseScope phase(eng, "euler-rooting");
+  mpc::Dist<WEdge> dedges = mpc::scatter(eng, edges);
+  mpc::Dist<Arc> arcs = mpc::flat_map<Arc>(dedges, [](const WEdge& e,
+                                                      auto&& emit) {
+    emit(Arc{e.u, e.v});
+    emit(Arc{e.v, e.u});
+  });
+  mpc::Dist<RankRec> ranks =
+      rank_euler_tour(std::move(arcs), root, &out.ranking_iterations);
+
+  // Orient: the direction of an edge traversed first (smaller rank) points
+  // away from the root, so its head is the child.
+  struct Orient {
+    Vertex u, v;
+    Weight w;
+    std::int64_t rank_uv, rank_vu;
+  };
+  mpc::Dist<Orient> orient = mpc::map<Orient>(dedges, [](const WEdge& e) {
+    return Orient{e.u, e.v, e.w, 0, 0};
+  });
+  mpc::join_unique(
+      orient, ranks,
+      [](const Orient& o) { return std::uint64_t(arc_id(o.u, o.v)); },
+      [](const RankRec& r) { return std::uint64_t(r.id); },
+      [](Orient& o, const RankRec* r) {
+        MPCMST_ASSERT(r != nullptr, "rooting: missing arc rank");
+        o.rank_uv = r->acc;
+      });
+  mpc::join_unique(
+      orient, ranks,
+      [](const Orient& o) { return std::uint64_t(arc_id(o.v, o.u)); },
+      [](const RankRec& r) { return std::uint64_t(r.id); },
+      [](Orient& o, const RankRec* r) {
+        MPCMST_ASSERT(r != nullptr, "rooting: missing arc rank");
+        o.rank_vu = r->acc;
+      });
+
+  const std::vector<Orient> host = mpc::gather(orient);
+  for (const Orient& o : host) {
+    const Vertex child = o.rank_uv < o.rank_vu ? o.v : o.u;
+    const Vertex par = o.rank_uv < o.rank_vu ? o.u : o.v;
+    out.tree.parent[child] = par;
+    out.tree.weight[child] = o.w;
+  }
+  out.tree.parent[root] = root;
+  out.tree.weight[root] = 0;
+  return out;
+}
+
+IntervalResult euler_interval_labels(const mpc::Dist<TreeRec>& tree,
+                                     Vertex root, std::size_t n) {
+  mpc::Engine& eng = tree.engine();
+  mpc::PhaseScope phase(eng, "euler-intervals");
+  MPCMST_CHECK(n >= 1, "empty tree");
+  if (n == 1) {
+    return IntervalResult{
+        mpc::tabulate<IntervalRec>(
+            eng, 1, [&](std::size_t) { return IntervalRec{root, 0, 0}; }),
+        0};
+  }
+
+  mpc::Dist<Arc> arcs =
+      mpc::flat_map<Arc>(tree, [](const TreeRec& t, auto&& emit) {
+        if (t.v == t.parent) return;
+        emit(Arc{t.parent, t.v});
+        emit(Arc{t.v, t.parent});
+      });
+  std::size_t iters = 0;
+  mpc::Dist<RankRec> ranks = rank_euler_tour(std::move(arcs), root, &iters);
+
+  struct VertexRanks {
+    Vertex v;
+    std::int64_t rank_down, rank_up;
+  };
+  mpc::Dist<VertexRanks> vr(eng);
+  {
+    // Attach parent to each record so arc ids are computable in the join key.
+    struct VNode {
+      Vertex v, parent;
+      std::int64_t rank_down, rank_up;
+    };
+    mpc::Dist<VNode> nodes = mpc::map<VNode>(tree, [](const TreeRec& t) {
+      return VNode{t.v, t.parent, -1, -1};
+    });
+    mpc::join_unique(
+        nodes, ranks,
+        [](const VNode& x) {
+          return x.v == x.parent ? std::uint64_t(arc_id(x.v, x.v))
+                                 : std::uint64_t(arc_id(x.parent, x.v));
+        },
+        [](const RankRec& r) { return std::uint64_t(r.id); },
+        [](VNode& x, const RankRec* r) {
+          if (x.v != x.parent) {
+            MPCMST_ASSERT(r != nullptr, "intervals: missing down arc");
+            x.rank_down = r->acc;
+          }
+        });
+    mpc::join_unique(
+        nodes, ranks,
+        [](const VNode& x) {
+          return x.v == x.parent ? std::uint64_t(arc_id(x.v, x.v))
+                                 : std::uint64_t(arc_id(x.v, x.parent));
+        },
+        [](const RankRec& r) { return std::uint64_t(r.id); },
+        [](VNode& x, const RankRec* r) {
+          if (x.v != x.parent) {
+            MPCMST_ASSERT(r != nullptr, "intervals: missing up arc");
+            x.rank_up = r->acc;
+          }
+        });
+    vr = mpc::map<VertexRanks>(nodes, [](const VNode& x) {
+      return VertexRanks{x.v, x.rank_down, x.rank_up};
+    });
+  }
+
+  // pre(v) = position of v's down arc among all down arcs (root first with
+  // sentinel rank -1).
+  mpc::sort_by(vr, [](const VertexRanks& x) { return x.rank_down; });
+  mpc::Dist<std::int64_t> pos = mpc::exclusive_prefix(
+      vr, [](const VertexRanks&) { return std::int64_t{1}; }, std::plus<>{},
+      std::int64_t{0});
+  struct PreSize {
+    Vertex v;
+    std::int64_t pre, size;
+  };
+  mpc::Dist<PreSize> ps = mpc::map2<PreSize>(
+      vr, pos, [&](const VertexRanks& x, std::int64_t p) {
+        const std::int64_t size =
+            x.rank_down < 0 ? static_cast<std::int64_t>(n)
+                            : (x.rank_up - x.rank_down + 1) / 2;
+        return PreSize{x.v, p, size};
+      });
+  IntervalResult out{
+      mpc::map<IntervalRec>(
+          ps,
+          [](const PreSize& x) {
+            return IntervalRec{x.v, x.pre, x.pre + x.size - 1};
+          }),
+      0};
+  return out;
+}
+
+}  // namespace mpcmst::treeops

@@ -1,0 +1,38 @@
+// Euler tour + list ranking by pointer jumping.
+//
+// Two uses:
+//   1. root_tree_euler: orient an *unrooted* tree given as an edge list into
+//      parent pointers.  This substitutes for the cited [BLM+23] O(log D)
+//      rooting black box at O(log n) rounds (DESIGN.md §2, substitution 3).
+//   2. euler_interval_labels: interval labels computed the classic PRAM way
+//      (Euler tour ranks), the backbone of the O(log n)-round
+//      PRAM-simulation baseline that the paper's O(log D_T) algorithms are
+//      compared against.  The child order of this DFS is the tour order, not
+//      the canonical increasing-id order, so the labels are valid for
+//      ancestor tests but not identical to treeops::dfs_interval_labels.
+#pragma once
+
+#include <vector>
+
+#include "graph/instance.hpp"
+#include "mpc/dist.hpp"
+#include "treeops/interval_label.hpp"
+
+namespace mpcmst::treeops {
+
+struct EulerRooting {
+  graph::RootedTree tree;
+  std::size_t ranking_iterations = 0;  // ~ log2(2n), the O(log n) cost
+};
+
+/// Orient tree edges into parent pointers toward `root`.
+/// `edges` must form a tree on vertices 0..n-1.
+EulerRooting root_tree_euler(mpc::Engine& eng, std::size_t n,
+                             const std::vector<graph::WEdge>& edges,
+                             Vertex root);
+
+/// Interval labels from Euler-tour ranks (O(log n) rounds, O(n) memory).
+IntervalResult euler_interval_labels(const mpc::Dist<TreeRec>& tree,
+                                     Vertex root, std::size_t n);
+
+}  // namespace mpcmst::treeops

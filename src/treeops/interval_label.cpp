@@ -1,0 +1,91 @@
+#include "treeops/interval_label.hpp"
+
+#include <functional>
+
+#include "mpc/ops.hpp"
+
+namespace mpcmst::treeops {
+
+IntervalResult dfs_interval_labels(const mpc::Dist<TreeRec>& tree, Vertex root,
+                                   const DepthResult& depths) {
+  mpc::Engine& eng = tree.engine();
+  mpc::PhaseScope phase(eng, "interval-label");
+
+  // Subtree sizes.
+  mpc::Dist<VertexValue> ones = mpc::map<VertexValue>(
+      tree, [](const TreeRec& t) { return VertexValue{t.v, 1}; });
+  mpc::Dist<VertexValue> sizes =
+      subtree_aggregate(tree, depths.depth, ones, std::plus<>{});
+
+  // eps(v): total subtree size of smaller-id siblings of v.  One sort by
+  // (parent, v) + a segmented exclusive prefix sum per sibling group.
+  struct ChildRec {
+    Vertex v;
+    Vertex parent;
+    std::int64_t size;
+    std::int64_t eps;
+  };
+  mpc::Dist<ChildRec> children = mpc::map2<ChildRec>(
+      tree, sizes, [](const TreeRec& t, const VertexValue& s) {
+        MPCMST_ASSERT(t.v == s.v, "misaligned size records");
+        return ChildRec{t.v, t.parent, s.val, 0};
+      });
+  // (tree and sizes are aligned because subtree_aggregate maps over tree.)
+  mpc::sort_by(children, [](const ChildRec& c) {
+    return mpc::pack2(std::uint64_t(c.parent), std::uint64_t(c.v));
+  });
+  // Segmented exclusive prefix over runs of equal parent (contiguous after
+  // the sort); one boundary-carry round.
+  {
+    auto& v = children.local();
+    eng.charge_exchange(8);  // boundary carry between machines
+    std::int64_t run_acc = 0;
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      if (i == 0 || v[i].parent != v[i - 1].parent) run_acc = 0;
+      if (v[i].v == v[i].parent) {
+        // The root record (parent == self) sorts inside the run of the
+        // root's children; it is not a sibling, so skip it without
+        // disturbing the running prefix.
+        v[i].eps = 0;
+        continue;
+      }
+      v[i].eps = run_acc;
+      run_acc += v[i].size;
+    }
+  }
+
+  // pre(v) = sum over non-root x on the path v..root of (1 + eps(x)).
+  mpc::Dist<VertexValue> vals = mpc::map<VertexValue>(
+      children, [](const ChildRec& c) {
+        return VertexValue{c.v, c.v == c.parent ? 0 : 1 + c.eps};
+      });
+  auto pre = rootpath_accumulate(tree, root, vals, std::plus<>{}, 0);
+
+  // Assemble [pre, pre + size - 1].
+  struct PreSize {
+    Vertex v;
+    std::int64_t pre;
+    std::int64_t size;
+  };
+  mpc::Dist<PreSize> ps = mpc::map2<PreSize>(
+      pre.acc, sizes, [](const VertexValue& p, const VertexValue& s) {
+        MPCMST_ASSERT(p.v == s.v, "misaligned pre/size records");
+        return PreSize{p.v, p.val, s.val};
+      });
+  IntervalResult out{
+      mpc::map<IntervalRec>(ps,
+                            [](const PreSize& x) {
+                              return IntervalRec{x.v, x.pre,
+                                                 x.pre + x.size - 1};
+                            }),
+      depths.height};
+  return out;
+}
+
+IntervalResult dfs_interval_labels(const mpc::Dist<TreeRec>& tree,
+                                   Vertex root) {
+  const DepthResult depths = compute_depths(tree, root);
+  return dfs_interval_labels(tree, root, depths);
+}
+
+}  // namespace mpcmst::treeops

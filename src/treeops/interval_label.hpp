@@ -1,0 +1,44 @@
+// DFS interval labeling (Lemma 2.14) in O(log D_T) rounds, linear memory.
+//
+// The label of v is I(v) = [lo, hi] = [pre(v), pre(v) + size(v) - 1] for the
+// canonical DFS that visits children in increasing vertex id.  Then
+// `u is an ancestor of v  <=>  I(u) ⊇ I(v)  <=>  lo(u) <= lo(v) <= hi(u)`,
+// the workhorse ancestor test of the whole paper.
+//
+// Construction (our elementary substitute for [ASZ19]+[GLM+23], DESIGN.md §2):
+//   1. depth(v) by accumulating pointer doubling;
+//   2. size(v) by the exact-distance subtree fold;
+//   3. eps(v) = total size of smaller-id siblings, one sort + segmented scan;
+//   4. pre(v) = sum of (1 + eps(x)) along the root path (root excluded),
+//      again by accumulating pointer doubling.
+#pragma once
+
+#include "mpc/dist.hpp"
+#include "treeops/doubling.hpp"
+
+namespace mpcmst::treeops {
+
+struct IntervalRec {
+  Vertex v = 0;
+  std::int64_t lo = 0;
+  std::int64_t hi = 0;
+};
+
+inline bool interval_contains(const IntervalRec& outer, std::int64_t point) {
+  return outer.lo <= point && point <= outer.hi;
+}
+
+struct IntervalResult {
+  mpc::Dist<IntervalRec> intervals;
+  std::int64_t height = 0;
+};
+
+/// Compute DFS interval labels, reusing precomputed depths.
+IntervalResult dfs_interval_labels(const mpc::Dist<TreeRec>& tree, Vertex root,
+                                   const DepthResult& depths);
+
+/// Convenience overload that computes depths internally.
+IntervalResult dfs_interval_labels(const mpc::Dist<TreeRec>& tree,
+                                   Vertex root);
+
+}  // namespace mpcmst::treeops

@@ -1,0 +1,307 @@
+#include "verify/baselines.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/check.hpp"
+#include "lca/all_edges_lca.hpp"
+#include "mpc/ops.hpp"
+#include "treeops/euler.hpp"
+
+namespace mpcmst::verify {
+
+namespace {
+
+using graph::kNegInfW;
+using treeops::DepthRec;
+using treeops::TreeRec;
+
+mpc::Dist<lca::IdEdge> load_nontree(mpc::Engine& eng,
+                                    const graph::Instance& inst) {
+  std::vector<lca::IdEdge> recs;
+  recs.reserve(inst.nontree.size());
+  for (std::size_t i = 0; i < inst.nontree.size(); ++i)
+    recs.push_back({inst.nontree[i].u, inst.nontree[i].v, inst.nontree[i].w,
+                    static_cast<std::int64_t>(i)});
+  return mpc::scatter(eng, std::move(recs));
+}
+
+/// Binary-lifting jump table row: p^{2^level}(v) (clamped at the root) and
+/// the max tree-edge weight on the climbed segment.
+struct Jump {
+  Vertex v;
+  std::int64_t level;
+  Vertex target;
+  Weight maxw;
+};
+
+/// Build jump tables for levels 0..levels-1: O(levels) rounds,
+/// O(n * levels) words — the memory the paper's clustering avoids.
+mpc::Dist<Jump> build_jump_tables(const mpc::Dist<TreeRec>& tree,
+                                  std::int64_t levels) {
+  mpc::Dist<Jump> level0 = mpc::map<Jump>(tree, [](const TreeRec& t) {
+    return Jump{t.v, 0, t.parent,
+                t.v == t.parent ? kNegInfW : t.w};
+  });
+  mpc::Dist<Jump> all = level0.clone();
+  mpc::Dist<Jump> cur = std::move(level0);
+  for (std::int64_t lev = 1; lev < levels; ++lev) {
+    mpc::Dist<Jump> next = cur.clone();
+    mpc::join_unique(
+        next, cur, [](const Jump& j) { return std::uint64_t(j.target); },
+        [](const Jump& j) { return std::uint64_t(j.v); },
+        [lev](Jump& j, const Jump* t) {
+          MPCMST_ASSERT(t, "lifting: missing jump chain");
+          j.level = lev;
+          j.maxw = std::max(j.maxw, t->maxw);
+          j.target = t->target;
+        });
+    all = mpc::concat(all, next);
+    cur = std::move(next);
+  }
+  return all;
+}
+
+/// Per-edge max tree-path weight by bilateral lifting climbs: equalize
+/// depths, then descend both sides in lockstep until the jumps agree, then
+/// take the final step to the LCA.  O(levels) rounds.
+mpc::Dist<EdgeVerdict> lifting_maxpath(const mpc::Dist<TreeRec>& tree,
+                                       const treeops::DepthResult& depths,
+                                       const mpc::Dist<lca::IdEdge>& edges,
+                                       std::int64_t levels) {
+  const mpc::Dist<Jump> jumps = build_jump_tables(tree, levels);
+
+  struct Climb {
+    Vertex a, b;
+    std::int64_t da, db;
+    Weight w, maxw;
+    std::int64_t orig_id;
+    Vertex ta, tb;  // scratch: probed 2^lev ancestors
+    Weight wa, wb;
+  };
+  mpc::Dist<Climb> st = mpc::map<Climb>(edges, [](const lca::IdEdge& e) {
+    Climb c{};
+    c.a = e.u;
+    c.b = e.v;
+    c.w = e.w;
+    c.maxw = kNegInfW;
+    c.orig_id = e.orig_id;
+    return c;
+  });
+  auto fetch_depth = [&](auto key_field, auto set_field) {
+    mpc::join_unique(
+        st, depths.depth, key_field,
+        [](const DepthRec& d) { return std::uint64_t(d.v); }, set_field);
+  };
+  fetch_depth([](const Climb& c) { return std::uint64_t(c.a); },
+              [](Climb& c, const DepthRec* d) {
+                MPCMST_ASSERT(d, "lifting: missing depth");
+                c.da = d->depth;
+              });
+  fetch_depth([](const Climb& c) { return std::uint64_t(c.b); },
+              [](Climb& c, const DepthRec* d) {
+                MPCMST_ASSERT(d, "lifting: missing depth");
+                c.db = d->depth;
+              });
+  mpc::for_each(st, [](Climb& c) {
+    if (c.db > c.da) {
+      std::swap(c.a, c.b);
+      std::swap(c.da, c.db);
+    }
+  });
+
+  const auto jump_key = [](Vertex v, std::int64_t lev) {
+    return mpc::pack2(std::uint64_t(v), std::uint64_t(lev));
+  };
+
+  // Phase 1: equalize depths (climb a while deeper than b).
+  for (std::int64_t lev = levels - 1; lev >= 0; --lev) {
+    const std::int64_t span = std::int64_t{1} << lev;
+    mpc::join_unique(
+        st, jumps,
+        [&](const Climb& c) {
+          const bool take = c.a != c.b && c.da - span >= c.db;
+          return take ? jump_key(c.a, lev) : (1ULL << 63);
+        },
+        [&](const Jump& j) { return jump_key(j.v, j.level); },
+        [span](Climb& c, const Jump* j) {
+          if (c.a == c.b || c.da - span < c.db) return;
+          MPCMST_ASSERT(j, "lifting: missing equalize jump");
+          c.maxw = std::max(c.maxw, j->maxw);
+          c.a = j->target;
+          c.da -= span;
+        });
+  }
+
+  // Phase 2: joint descent while the probed ancestors differ.
+  for (std::int64_t lev = levels - 1; lev >= 0; --lev) {
+    const std::int64_t span = std::int64_t{1} << lev;
+    mpc::for_each(st, [](Climb& c) { c.ta = c.tb = -1; });
+    mpc::join_unique(
+        st, jumps,
+        [&](const Climb& c) {
+          const bool probe = c.a != c.b && c.da - span >= 0;
+          return probe ? jump_key(c.a, lev) : (1ULL << 63);
+        },
+        [&](const Jump& j) { return jump_key(j.v, j.level); },
+        [](Climb& c, const Jump* j) {
+          if (j) {
+            c.ta = j->target;
+            c.wa = j->maxw;
+          }
+        });
+    mpc::join_unique(
+        st, jumps,
+        [&](const Climb& c) {
+          const bool probe = c.a != c.b && c.da - span >= 0;
+          return probe ? jump_key(c.b, lev) : (1ULL << 63);
+        },
+        [&](const Jump& j) { return jump_key(j.v, j.level); },
+        [](Climb& c, const Jump* j) {
+          if (j) {
+            c.tb = j->target;
+            c.wb = j->maxw;
+          }
+        });
+    mpc::for_each(st, [span](Climb& c) {
+      if (c.ta < 0 || c.tb < 0 || c.ta == c.tb) return;
+      c.maxw = std::max({c.maxw, c.wa, c.wb});
+      c.a = c.ta;
+      c.b = c.tb;
+      c.da -= span;
+      c.db -= span;
+    });
+  }
+
+  // Final step: a and b are now children of the LCA (or equal).
+  for (int side = 0; side < 2; ++side) {
+    mpc::join_unique(
+        st, jumps,
+        [&](const Climb& c) -> std::uint64_t {
+          if (c.a == c.b) return (1ULL << 63);
+          return jump_key(side == 0 ? c.a : c.b, 0);
+        },
+        [&](const Jump& j) { return jump_key(j.v, j.level); },
+        [side](Climb& c, const Jump* j) {
+          if (c.a == c.b) return;
+          MPCMST_ASSERT(j, "lifting: missing final jump");
+          c.maxw = std::max(c.maxw, j->maxw);
+          if (side == 1) c.a = c.b = j->target;  // commit after both sides
+        });
+  }
+
+  return mpc::map<EdgeVerdict>(st, [](const Climb& c) {
+    return EdgeVerdict{c.orig_id, c.w, c.maxw};
+  });
+}
+
+}  // namespace
+
+VerifyResult naive_verifier(mpc::Engine& eng, const graph::Instance& inst) {
+  mpc::PhaseScope phase(eng, "naive-verifier");
+  VerifyResult out{true, false, 0, {}, 0, mpc::Dist<EdgeVerdict>(eng)};
+  const auto dtree = treeops::load_tree(eng, inst.tree);
+  const auto depths = treeops::compute_depths(dtree, inst.tree.root);
+  const std::int64_t dhat = 2 * std::max<std::int64_t>(depths.height, 1);
+  const auto labels =
+      treeops::dfs_interval_labels(dtree, inst.tree.root, depths);
+  auto dedges = load_nontree(eng, inst);
+  const auto lcares = lca::all_edges_lca(dtree, inst.tree.root, depths,
+                                         labels.intervals, dedges, dhat);
+  const auto halves = lca::ancestor_descendant_transform(lcares);
+
+  // Collect, for every vertex, its full root path with prefix maxima: the
+  // O(n * D_T)-memory strawman of §3.
+  struct PathEntry {
+    Vertex v;
+    Vertex anc;
+    std::int64_t dist;
+    Weight wmax;
+  };
+  mpc::Dist<PathEntry> entries = mpc::flat_map<PathEntry>(
+      dtree, [](const TreeRec& t, auto&& emit) {
+        if (t.v == t.parent) return;
+        emit(PathEntry{t.v, t.parent, 1, t.w});
+      });
+  const Vertex root = inst.tree.root;
+  std::size_t iters = 0;
+  while (true) {
+    std::unordered_map<Vertex, PathEntry> farthest;
+    for (const PathEntry& e : entries.local()) {
+      auto it = farthest.find(e.v);
+      if (it == farthest.end() || e.dist > it->second.dist) farthest[e.v] = e;
+    }
+    bool any_open = false;
+    for (const auto& [v, e] : farthest) any_open |= e.anc != root;
+    if (!any_open) break;
+    ++iters;
+    MPCMST_ASSERT(iters <= 70, "naive path collection does not converge");
+    eng.charge_sort(entries.words());
+    std::unordered_map<Vertex, std::vector<const PathEntry*>> by_owner;
+    for (const PathEntry& e : entries.local()) by_owner[e.v].push_back(&e);
+    std::vector<PathEntry> fresh;
+    for (const auto& [v, f] : farthest) {
+      if (f.anc == root) continue;
+      auto it = by_owner.find(f.anc);
+      if (it == by_owner.end()) continue;
+      for (const PathEntry* pe : it->second)
+        fresh.push_back(
+            {v, pe->anc, f.dist + pe->dist, std::max(f.wmax, pe->wmax)});
+    }
+    eng.charge_exchange(fresh.size() * mpc::words_per<PathEntry>());
+    entries = mpc::concat(entries, mpc::Dist<PathEntry>(eng, std::move(fresh)));
+  }
+
+  // Per half: the entry (lo, hi) holds max weight on the covered path.
+  mpc::Dist<HalfVerdict> hv = mpc::map<HalfVerdict>(
+      halves, [](const lca::AdEdge& e) {
+        return HalfVerdict{e.lo, e.hi, e.w, e.orig_id, kNegInfW};
+      });
+  mpc::join_unique(
+      hv, entries,
+      [](const HalfVerdict& v) {
+        return mpc::pack2(std::uint64_t(v.lo), std::uint64_t(v.hi));
+      },
+      [](const PathEntry& e) {
+        return mpc::pack2(std::uint64_t(e.v), std::uint64_t(e.anc));
+      },
+      [](HalfVerdict& v, const PathEntry* e) {
+        MPCMST_ASSERT(e, "naive: missing path entry");
+        v.maxpath = e->wmax;
+      });
+  finalize_verdicts(out, combine_halves(inst, hv));
+  return out;
+}
+
+VerifyResult lifting_verifier(mpc::Engine& eng, const graph::Instance& inst) {
+  mpc::PhaseScope phase(eng, "lifting-verifier");
+  VerifyResult out{true, false, 0, {}, 0, mpc::Dist<EdgeVerdict>(eng)};
+  const auto dtree = treeops::load_tree(eng, inst.tree);
+  const auto depths = treeops::compute_depths(dtree, inst.tree.root);
+  std::int64_t levels = 1;
+  while ((std::int64_t{1} << levels) < std::max<std::int64_t>(depths.height, 1))
+    ++levels;
+  auto dedges = load_nontree(eng, inst);
+  finalize_verdicts(out, lifting_maxpath(dtree, depths, dedges, levels));
+  return out;
+}
+
+VerifyResult pram_verifier(mpc::Engine& eng, const graph::Instance& inst) {
+  mpc::PhaseScope phase(eng, "pram-verifier");
+  VerifyResult out{true, false, 0, {}, 0, mpc::Dist<EdgeVerdict>(eng)};
+  const auto dtree = treeops::load_tree(eng, inst.tree);
+  // PRAM-simulation preprocessing: Euler tour + list ranking, Θ(log n)
+  // rounds independent of the diameter (this is what the paper's O(log D_T)
+  // beats on shallow trees).
+  (void)treeops::euler_interval_labels(dtree, inst.tree.root, inst.n());
+  const auto depths = treeops::compute_depths(dtree, inst.tree.root);
+  // Diameter-oblivious: always ceil(log2 n) jump levels.
+  std::int64_t levels = 1;
+  while ((std::size_t{1} << levels) < std::max<std::size_t>(inst.n(), 2))
+    ++levels;
+  auto dedges = load_nontree(eng, inst);
+  finalize_verdicts(out, lifting_maxpath(dtree, depths, dedges, levels));
+  return out;
+}
+
+}  // namespace mpcmst::verify

@@ -1,0 +1,33 @@
+// Baseline MPC verifiers the paper's algorithm is evaluated against.
+//
+// All three compute the same per-edge covering maxima as the Theorem 3.1
+// verifier, but with different round/memory profiles:
+//
+//   naive_verifier    — the §3-intro strawman: collect, for every vertex, its
+//                       entire root path with prefix maxima.  O(log D_T)
+//                       rounds but O(n * D_T) global memory — the blowup the
+//                       paper's clustering exists to avoid.
+//   lifting_verifier  — binary-lifting jump tables over the vertices:
+//                       O(log D_T) rounds, O(n log D_T + m) memory — between
+//                       the naive and the paper on the memory axis.
+//   pram_verifier     — simulation of the classical PRAM approach: Euler tour
+//                       + list ranking (Θ(log n) rounds regardless of D_T),
+//                       then lifting queries.  The round baseline the paper's
+//                       O(log D_T) bound is compared with ([CKT96]-style
+//                       simulation, §1.3).
+//
+// Each returns the same VerifyResult shape as verify_mst_mpc; tests check
+// all four agree edge-by-edge.
+#pragma once
+
+#include "graph/instance.hpp"
+#include "mpc/engine.hpp"
+#include "verify/verifier.hpp"
+
+namespace mpcmst::verify {
+
+VerifyResult naive_verifier(mpc::Engine& eng, const graph::Instance& inst);
+VerifyResult lifting_verifier(mpc::Engine& eng, const graph::Instance& inst);
+VerifyResult pram_verifier(mpc::Engine& eng, const graph::Instance& inst);
+
+}  // namespace mpcmst::verify

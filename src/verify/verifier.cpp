@@ -1,0 +1,349 @@
+#include "verify/verifier.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "cluster/clustering.hpp"
+#include "common/check.hpp"
+#include "mpc/ops.hpp"
+
+namespace mpcmst::verify {
+
+namespace {
+
+using cluster::ClusterNode;
+using cluster::HierarchicalClustering;
+using cluster::MergeRec;
+using graph::kNegInfW;
+using lca::AdEdge;
+
+/// Working record for one ancestor-descendant half through the contraction:
+/// the ω labels of Definition 3.2 plus current endpoint clusters.
+struct HalfState {
+  Vertex lo, hi;
+  Weight w;
+  std::int64_t orig_id;
+  Vertex clo, chi;      // clusters (leaders) currently containing lo / hi
+  std::int64_t pre_lo;  // DFS number of lo, for path-membership stabbing
+  Weight om_lo, om_hi;  // ω(lo->hi), ω(hi->lo)
+  // Scratch for the per-step updates (rule B intermediates).
+  Vertex hit_junior;
+  Weight hit_wtop;
+};
+
+/// Root-path entry on the contracted cluster tree (Lemma 3.7), carrying the
+/// prefix maxima needed by Observation 3.3.
+struct PathEntry {
+  Vertex c;            // owner cluster
+  Vertex anc;          // ancestor cluster at distance dist
+  std::int64_t dist;
+  Weight incl;  // max θ(a_0..a_{dist-1}): labels of all crossed up-edges
+  Weight excl;  // max θ(a_0..a_{dist-2}): same minus the topmost
+  Weight wmax;  // max w_top(a_0..a_{dist-1}): all inter-cluster tree edges
+};
+
+/// The θ maintenance rule of Lemma 3.4: a surviving cluster x whose parent
+/// (junior ci) merged into its grandparent extends its up-label by the
+/// junior's bridge edge and the junior's own up-label.
+std::int64_t theta_rule(std::int64_t old_label, const MergeRec& m) {
+  return std::max(old_label,
+                  std::max<std::int64_t>(m.w_top, m.junior_label));
+}
+
+}  // namespace
+
+mpc::Dist<HalfVerdict> max_covered_weights(
+    const mpc::Dist<treeops::TreeRec>& tree, Vertex root,
+    const mpc::Dist<treeops::IntervalRec>& intervals,
+    const mpc::Dist<lca::AdEdge>& halves, std::int64_t dhat,
+    CoreStats* stats) {
+  mpc::Engine& eng = tree.engine();
+  mpc::PhaseScope phase(eng, "verify-core");
+  const std::size_t n = tree.size();
+
+  // --- edge state ---
+  mpc::Dist<HalfState> state = mpc::map<HalfState>(halves, [](const AdEdge&
+                                                                  e) {
+    HalfState s{};
+    s.lo = e.lo;
+    s.hi = e.hi;
+    s.w = e.w;
+    s.orig_id = e.orig_id;
+    s.clo = e.lo;  // singleton clusters initially
+    s.chi = e.hi;
+    s.om_lo = s.om_hi = kNegInfW;
+    s.hit_junior = -1;
+    return s;
+  });
+  mpc::join_unique(
+      state, intervals, [](const HalfState& s) { return std::uint64_t(s.lo); },
+      [](const treeops::IntervalRec& iv) { return std::uint64_t(iv.v); },
+      [](HalfState& s, const treeops::IntervalRec* iv) {
+        MPCMST_ASSERT(iv, "verify: missing interval of lo");
+        s.pre_lo = iv->lo;
+      });
+
+  // --- contraction with (θ, ω) maintenance ---
+  HierarchicalClustering hc(tree, root, intervals, kNegInfW);
+  const std::size_t target =
+      (dhat <= 1) ? n
+                  : static_cast<std::size_t>(
+                        static_cast<double>(n) /
+                        (static_cast<double>(dhat) * static_cast<double>(dhat)));
+  std::size_t steps = 0;
+  while (hc.num_clusters() > std::max<std::size_t>(target, 1)) {
+    const mpc::Dist<MergeRec> merges = hc.plan_step();
+
+    // Rule B (Lemma 3.4 case 3): a junior J (≠ clo) merges into the cluster
+    // chi containing hi, and J lies on the covered path (its leader's subtree
+    // contains pre_lo).  Extend ω(hi->lo) by J's bridge edge and the θ of
+    // J's path-child.  Two stabbing joins against *pre-step* state.
+    mpc::for_each(state, [](HalfState& s) {
+      s.hit_junior = -1;
+      s.hit_wtop = kNegInfW;
+    });
+    mpc::stab_join(
+        state, merges,
+        [](const HalfState& s) {
+          return s.clo == s.chi ? (1ULL << 63) : std::uint64_t(s.chi);
+        },
+        [](const HalfState& s) { return s.pre_lo; },
+        [](const MergeRec& m) { return std::uint64_t(m.senior); },
+        [](const MergeRec& m) { return m.jlo; },
+        [](const MergeRec& m) { return m.jhi; },
+        [](HalfState& s, const MergeRec* m) {
+          if (s.clo == s.chi || m == nullptr) return;
+          if (m->junior == s.clo) return;  // handled by rule A below
+          s.hit_junior = m->junior;
+          s.hit_wtop = m->w_top;
+        });
+    mpc::stab_join(
+        state, hc.nodes(),
+        [](const HalfState& s) {
+          return s.hit_junior < 0 ? (1ULL << 63)
+                                  : std::uint64_t(s.hit_junior);
+        },
+        [](const HalfState& s) { return s.pre_lo; },
+        [](const ClusterNode& c) { return std::uint64_t(c.parent_leader); },
+        [](const ClusterNode& c) { return c.lo; },
+        [](const ClusterNode& c) { return c.hi; },
+        [](HalfState& s, const ClusterNode* x) {
+          if (s.hit_junior < 0) return;
+          MPCMST_ASSERT(x, "verify: missing path-child of merged junior");
+          s.om_hi = std::max(
+              {s.om_hi, s.hit_wtop, static_cast<Weight>(x->label)});
+        });
+
+    // Rule A (Lemma 3.4 cases 1/5): the cluster containing lo merges into its
+    // parent.  If hi lives in the absorbing senior the halves' path becomes
+    // internal (combine both ω); otherwise extend ω(lo->hi) by the bridge
+    // edge and the junior's θ (the stretch inside the absorbing parent).
+    mpc::join_unique(
+        state, merges,
+        [](const HalfState& s) { return std::uint64_t(s.clo); },
+        [](const MergeRec& m) { return std::uint64_t(m.junior); },
+        [](HalfState& s, const MergeRec* m) {
+          if (m == nullptr) return;
+          if (s.clo == s.chi) {
+            // Fully internal path: the covered portion cannot grow when its
+            // cluster merges upward; only the cluster id moves.
+            s.clo = s.chi = m->senior;
+            return;
+          }
+          if (s.chi == m->senior) {
+            const Weight both =
+                std::max({s.om_lo, static_cast<Weight>(m->w_top), s.om_hi});
+            s.om_lo = s.om_hi = both;
+          } else {
+            s.om_lo = std::max({s.om_lo, static_cast<Weight>(m->w_top),
+                                static_cast<Weight>(m->junior_label)});
+          }
+          s.clo = m->senior;
+        });
+
+    // Rule C (Lemma 3.4 case 2): the cluster containing hi merges upward;
+    // the covered portion inside it is unchanged, only the id moves.
+    mpc::join_unique(
+        state, merges,
+        [](const HalfState& s) { return std::uint64_t(s.chi); },
+        [](const MergeRec& m) { return std::uint64_t(m.junior); },
+        [](HalfState& s, const MergeRec* m) {
+          if (m != nullptr) s.chi = m->senior;
+        });
+
+    hc.apply_step(merges, theta_rule);
+    ++steps;
+    MPCMST_ASSERT(steps <= 64 * 40, "verification contraction stalls");
+  }
+  if (stats) {
+    stats->contraction_steps = steps;
+    stats->final_clusters = hc.num_clusters();
+  }
+
+  // --- root-path collection with prefix maxima (Lemma 3.7) ---
+  mpc::Dist<PathEntry> entries = mpc::flat_map<PathEntry>(
+      hc.nodes(), [&](const ClusterNode& c, auto&& emit) {
+        if (c.leader == c.parent_leader) return;  // root cluster
+        emit(PathEntry{c.leader, c.parent_leader, 1,
+                       static_cast<Weight>(c.label), kNegInfW,
+                       c.w_top});
+      });
+  {
+    const Vertex root_cluster = hc.root_cluster();
+    std::size_t iters = 0;
+    while (true) {
+      // Farthest entry per cluster that has not yet reached the root.
+      struct Far {
+        Vertex c;
+        PathEntry e;
+      };
+      std::unordered_map<Vertex, PathEntry> farthest;
+      for (const PathEntry& e : entries.local()) {
+        auto it = farthest.find(e.c);
+        if (it == farthest.end() || e.dist > it->second.dist)
+          farthest[e.c] = e;
+      }
+      bool any_open = false;
+      for (const auto& [c, e] : farthest)
+        any_open |= e.anc != root_cluster;
+      if (!any_open) break;
+      ++iters;
+      MPCMST_ASSERT(iters <= 70, "path collection does not converge");
+      // For every open cluster c with farthest entry (c -> a, d), append all
+      // of a's entries: one sort-join round, output bounded by the final
+      // path-entry count.  (reduce_by_key + one-to-many join in MPC terms.)
+      eng.charge_sort(entries.words());
+      std::unordered_map<Vertex, std::vector<const PathEntry*>> by_owner;
+      for (const PathEntry& e : entries.local())
+        by_owner[e.c].push_back(&e);
+      std::vector<PathEntry> fresh;
+      for (const auto& [c, f] : farthest) {
+        if (f.anc == root_cluster) continue;
+        auto it = by_owner.find(f.anc);
+        if (it == by_owner.end()) continue;  // anc is the root cluster
+        for (const PathEntry* pe : it->second) {
+          PathEntry ne;
+          ne.c = c;
+          ne.anc = pe->anc;
+          ne.dist = f.dist + pe->dist;
+          ne.incl = std::max(f.incl, pe->incl);
+          ne.excl = std::max(f.incl, pe->excl);
+          ne.wmax = std::max(f.wmax, pe->wmax);
+          fresh.push_back(ne);
+        }
+      }
+      eng.charge_exchange(fresh.size() * mpc::words_per<PathEntry>());
+      entries = mpc::concat(entries, mpc::Dist<PathEntry>(eng,
+                                                          std::move(fresh)));
+    }
+  }
+
+  // --- Observation 3.3: per-half covering maximum ---
+  mpc::Dist<HalfVerdict> verdicts = mpc::map<HalfVerdict>(
+      state, [](const HalfState& s) {
+        HalfVerdict v;
+        v.lo = s.lo;
+        v.hi = s.hi;
+        v.w = s.w;
+        v.orig_id = s.orig_id;
+        v.maxpath = std::max(s.om_lo, s.om_hi);
+        return v;
+      });
+  // Cross-cluster halves additionally take the θ / w_top prefix maxima along
+  // the cluster path from clo (exclusive of the topmost θ, Obs. 3.3).
+  {
+    // Re-key the verdict rows by (clo, chi) — carried via a parallel map.
+    struct Query {
+      std::uint64_t key;
+      Weight add;
+      bool cross;
+    };
+    mpc::Dist<Query> queries = mpc::map<Query>(state, [](const HalfState& s) {
+      Query q;
+      q.cross = s.clo != s.chi;
+      q.key = q.cross ? mpc::pack2(std::uint64_t(s.clo), std::uint64_t(s.chi))
+                      : 0;
+      q.add = kNegInfW;
+      return q;
+    });
+    mpc::join_unique(
+        queries, entries,
+        [](const Query& q) { return q.cross ? q.key : (1ULL << 63); },
+        [](const PathEntry& e) {
+          return mpc::pack2(std::uint64_t(e.c), std::uint64_t(e.anc));
+        },
+        [](Query& q, const PathEntry* e) {
+          if (!q.cross) return;
+          MPCMST_ASSERT(e, "verify: missing cluster path entry");
+          q.add = std::max(e->excl, e->wmax);
+        });
+    verdicts = mpc::map2<HalfVerdict>(
+        verdicts, queries, [](const HalfVerdict& v, const Query& q) {
+          HalfVerdict out = v;
+          if (q.cross) out.maxpath = std::max(out.maxpath, q.add);
+          return out;
+        });
+  }
+  return verdicts;
+}
+
+VerifyResult verify_mst_mpc(mpc::Engine& eng, const graph::Instance& inst,
+                            const VerifyOptions& opts) {
+  VerifyResult out{true, false, 0, {}, 0, mpc::Dist<EdgeVerdict>(eng)};
+  const auto dtree = treeops::load_tree(eng, inst.tree);
+
+  if (opts.validate_input) {
+    out.input_is_tree =
+        treeops::validate_rooted_tree(dtree, inst.tree.root, inst.n());
+    if (!out.input_is_tree) return out;  // not a spanning tree => not an MST
+  }
+
+  const auto depths = treeops::compute_depths(dtree, inst.tree.root);
+  const std::int64_t dhat = 2 * std::max<std::int64_t>(depths.height, 1);
+  const auto labels =
+      treeops::dfs_interval_labels(dtree, inst.tree.root, depths);
+
+  // LCA + ancestor-descendant transform (Corollary 2.19).
+  std::vector<lca::IdEdge> nontree;
+  nontree.reserve(inst.nontree.size());
+  for (std::size_t i = 0; i < inst.nontree.size(); ++i)
+    nontree.push_back({inst.nontree[i].u, inst.nontree[i].v,
+                       inst.nontree[i].w, static_cast<std::int64_t>(i)});
+  auto dedges = mpc::scatter(eng, std::move(nontree));
+  const auto lcares = lca::all_edges_lca(dtree, inst.tree.root, depths,
+                                         labels.intervals, dedges, dhat);
+  out.lca_contraction_steps = lcares.contraction_steps;
+  const auto halves = lca::ancestor_descendant_transform(lcares);
+
+  const auto half_verdicts = max_covered_weights(
+      dtree, inst.tree.root, labels.intervals, halves, dhat, &out.core);
+
+  finalize_verdicts(out, combine_halves(inst, half_verdicts));
+  return out;
+}
+
+mpc::Dist<EdgeVerdict> combine_halves(const graph::Instance& inst,
+                                      const mpc::Dist<HalfVerdict>& halves) {
+  auto combined = mpc::reduce_by_key<std::uint64_t, Weight>(
+      halves, [](const HalfVerdict& v) { return std::uint64_t(v.orig_id); },
+      [](const HalfVerdict& v) { return v.maxpath; },
+      [](Weight a, Weight b) { return std::max(a, b); });
+  return mpc::map<EdgeVerdict>(combined, [&](const auto& kv) {
+    EdgeVerdict v;
+    v.orig_id = static_cast<std::int64_t>(kv.key);
+    v.w = inst.nontree[v.orig_id].w;
+    v.maxpath = kv.val;
+    return v;
+  });
+}
+
+void finalize_verdicts(VerifyResult& out, mpc::Dist<EdgeVerdict> verdicts) {
+  out.violations = mpc::reduce(
+      verdicts,
+      [](const EdgeVerdict& v) { return std::int64_t(v.w < v.maxpath); },
+      std::plus<>{}, std::int64_t{0});
+  out.is_mst = out.violations == 0;
+  out.verdicts = std::move(verdicts);
+}
+
+}  // namespace mpcmst::verify

@@ -1,0 +1,92 @@
+// MST verification in O(log D_T) rounds with optimal global memory
+// (paper §3, Theorem 3.1).
+//
+// Pipeline:
+//   1. (optional) validate that T is a rooted spanning tree (Remark 2.2);
+//   2. depths + height => D̂, the 2-approximate diameter (Remark 2.3);
+//   3. DFS interval labels (Lemma 2.14);
+//   4. all-edges LCA + ancestor-descendant transform (§2.2, Cor. 2.19);
+//   5. hierarchical clustering to n/D̂² clusters while maintaining the
+//      weight-preserving labeling (θ, ω) of Definition 3.2 (Lemmas 3.4/3.5);
+//   6. collect cluster root paths with prefix maxima (Lemma 3.7) and evaluate
+//      the covering maximum of every non-tree edge via Observation 3.3.
+//
+// T is an MST of G iff no non-tree edge is strictly lighter than the maximum
+// tree-edge weight on the path it covers (cycle property; ties keep T
+// optimal).  The per-edge maxima are returned because the sensitivity of
+// non-tree edges is exactly w(e) - maxpath(e) (Observations 4.2/4.3).
+#pragma once
+
+#include <cstdint>
+
+#include "graph/instance.hpp"
+#include "lca/all_edges_lca.hpp"
+#include "mpc/engine.hpp"
+#include "treeops/doubling.hpp"
+#include "treeops/interval_label.hpp"
+
+namespace mpcmst::verify {
+
+using graph::Vertex;
+using graph::Weight;
+
+/// Per ancestor-descendant half-edge: the maximum tree-edge weight on the
+/// covered path lo..hi.
+struct HalfVerdict {
+  Vertex lo = 0;
+  Vertex hi = 0;
+  Weight w = 0;
+  std::int64_t orig_id = 0;
+  Weight maxpath = graph::kNegInfW;
+};
+
+/// Meter details of one core run (for the experiment tables).
+struct CoreStats {
+  std::size_t contraction_steps = 0;
+  std::size_t final_clusters = 0;
+};
+
+/// The Theorem 3.1 core: per-half covering maxima via clustering with a
+/// weight-preserving labeling.  `halves` must be ancestor-descendant
+/// (hi an ancestor of lo); `dhat` the 2-approximate diameter.
+mpc::Dist<HalfVerdict> max_covered_weights(
+    const mpc::Dist<treeops::TreeRec>& tree, Vertex root,
+    const mpc::Dist<treeops::IntervalRec>& intervals,
+    const mpc::Dist<lca::AdEdge>& halves, std::int64_t dhat,
+    CoreStats* stats = nullptr);
+
+struct VerifyOptions {
+  /// Validate the parent structure first (costs O(log n) rounds worst case;
+  /// a non-tree input is reported instead of throwing).
+  bool validate_input = false;
+};
+
+/// Per original non-tree edge: covering maximum over both halves.
+struct EdgeVerdict {
+  std::int64_t orig_id = 0;
+  Weight w = 0;
+  Weight maxpath = graph::kNegInfW;
+};
+
+struct VerifyResult {
+  bool input_is_tree = true;   // false only with validate_input
+  bool is_mst = false;
+  std::size_t violations = 0;  // non-tree edges lighter than their path max
+  CoreStats core;
+  std::size_t lca_contraction_steps = 0;
+  mpc::Dist<EdgeVerdict> verdicts;
+};
+
+/// Full MST verification of an instance (Theorem 3.1).
+VerifyResult verify_mst_mpc(mpc::Engine& eng, const graph::Instance& inst,
+                            const VerifyOptions& opts = {});
+
+/// Combine per-half covering maxima into per-original-edge verdicts
+/// (max over the two halves, Observation 2.20).
+mpc::Dist<EdgeVerdict> combine_halves(const graph::Instance& inst,
+                                      const mpc::Dist<HalfVerdict>& halves);
+
+/// Fill violations / is_mst from per-edge verdicts.
+void finalize_verdicts(VerifyResult& out, mpc::Dist<EdgeVerdict> verdicts);
+
+}  // namespace mpcmst::verify

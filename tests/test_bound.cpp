@@ -1,0 +1,75 @@
+// Tests for the lower-bound family (Theorem 5.2 / Appendix A): structure of
+// the apex instances, verdicts of the verifier on all four candidates, and
+// the Θ(log n) round behaviour on this family.
+#include <gtest/gtest.h>
+
+#include "bound/one_two_cycle.hpp"
+#include "seq/oracles.hpp"
+#include "test_util.hpp"
+#include "verify/verifier.hpp"
+
+namespace b = mpcmst::bound;
+namespace g = mpcmst::graph;
+namespace seq = mpcmst::seq;
+namespace vf = mpcmst::verify;
+
+namespace {
+
+TEST(Bound, InstanceShape) {
+  const auto lb = b::make_apex_instance(16, b::Candidate::HamPathPlusApex);
+  EXPECT_EQ(lb.instance.n(), 17u);
+  EXPECT_EQ(lb.instance.m(), 32u);  // 2n edges in G*
+  EXPECT_TRUE(lb.instance.tree.well_formed());
+  // Weight of the candidate: n + 1.
+  g::Weight w = 0;
+  for (auto x : lb.instance.tree.weight) w += x;
+  EXPECT_EQ(w, 17);
+}
+
+TEST(Bound, SequentialOracleAgreesOnAllCandidates) {
+  for (const auto candidate :
+       {b::Candidate::HamPathPlusApex, b::Candidate::TwoPathsPlusTwoApex,
+        b::Candidate::HeavyApex}) {
+    const auto lb = b::make_apex_instance(32, candidate);
+    ASSERT_TRUE(lb.instance.tree.well_formed());
+    EXPECT_EQ(seq::verify_mst(lb.instance), lb.expected_mst);
+    EXPECT_EQ(seq::verify_mst_by_weight(lb.instance), lb.expected_mst);
+  }
+  const auto bad = b::make_apex_instance(32, b::Candidate::CyclePlusPath);
+  EXPECT_FALSE(bad.instance.tree.well_formed());
+  EXPECT_FALSE(bad.tree_is_valid);
+}
+
+TEST(Bound, MpcVerifierDecidesAllCandidates) {
+  for (const auto candidate :
+       {b::Candidate::HamPathPlusApex, b::Candidate::TwoPathsPlusTwoApex,
+        b::Candidate::HeavyApex, b::Candidate::CyclePlusPath}) {
+    const auto lb = b::make_apex_instance(64, candidate);
+    auto eng = mpcmst::test::make_engine(64 * lb.instance.input_words());
+    const auto res = vf::verify_mst_mpc(eng, lb.instance,
+                                        vf::VerifyOptions{/*validate=*/true});
+    EXPECT_EQ(res.input_is_tree, lb.tree_is_valid);
+    EXPECT_EQ(res.is_mst, lb.expected_mst)
+        << "candidate " << static_cast<int>(candidate);
+  }
+}
+
+TEST(Bound, RoundsGrowLogarithmically) {
+  // D_T = Θ(n) on this family, so verification rounds must grow with log n —
+  // the behaviour Theorem 5.2 proves unavoidable.
+  auto rounds_at = [](std::size_t n) {
+    const auto lb = b::make_apex_instance(n, b::Candidate::HamPathPlusApex);
+    auto eng = mpcmst::test::make_engine(64 * lb.instance.input_words());
+    const auto res = vf::verify_mst_mpc(eng, lb.instance);
+    EXPECT_TRUE(res.is_mst);
+    return eng.rounds();
+  };
+  const auto r64 = rounds_at(64);
+  const auto r1024 = rounds_at(1024);
+  EXPECT_GT(r1024, r64);
+  // Sub-linear growth: quadrupling log n should not quadruple rounds by n.
+  EXPECT_LT(static_cast<double>(r1024),
+            3.0 * static_cast<double>(r64));
+}
+
+}  // namespace

@@ -1,0 +1,222 @@
+// Tests for the hierarchical clustering (paper §2.1):
+// structural invariants (Definitions 2.5-2.7), geometric decay (Lemma 2.8
+// substitute), history accounting (Observation 2.10), vertex assignment.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "cluster/clustering.hpp"
+#include "graph/generators.hpp"
+#include "mpc/ops.hpp"
+#include "seq/oracles.hpp"
+#include "test_util.hpp"
+#include "treeops/interval_label.hpp"
+
+namespace g = mpcmst::graph;
+namespace mpc = mpcmst::mpc;
+namespace to = mpcmst::treeops;
+namespace cl = mpcmst::cluster;
+namespace seq = mpcmst::seq;
+
+namespace {
+
+struct Fixture {
+  g::RootedTree tree;
+  mpc::Engine eng;
+  mpc::Dist<to::TreeRec> dtree;
+  to::DepthResult depths;
+  to::IntervalResult labels;
+
+  explicit Fixture(g::RootedTree t)
+      : tree(std::move(t)),
+        eng(mpcmst::test::make_engine(64 * tree.n)),
+        dtree(to::load_tree(eng, tree)),
+        depths(to::compute_depths(dtree, tree.root)),
+        labels(to::dfs_interval_labels(dtree, tree.root, depths)) {}
+};
+
+/// Recover the vertex sets of the live clusters by sequentially replaying:
+/// each vertex belongs to the deepest live leader on its root path.
+std::map<g::Vertex, std::set<g::Vertex>> cluster_sets(
+    const Fixture& fx, const mpc::Dist<cl::ClusterNode>& nodes) {
+  std::set<g::Vertex> leaders;
+  for (const auto& c : nodes.local()) leaders.insert(c.leader);
+  std::map<g::Vertex, std::set<g::Vertex>> sets;
+  for (std::size_t v = 0; v < fx.tree.n; ++v) {
+    g::Vertex x = static_cast<g::Vertex>(v);
+    while (!leaders.count(x)) x = fx.tree.parent[x];
+    sets[x].insert(static_cast<g::Vertex>(v));
+  }
+  return sets;
+}
+
+class ClusteringShapes
+    : public ::testing::TestWithParam<mpcmst::test::ShapeCase> {};
+
+TEST_P(ClusteringShapes, InvariantsHoldThroughContraction) {
+  Fixture fx(GetParam().tree);
+  const seq::SeqTreeIndex idx(fx.tree);
+  cl::HierarchicalClustering hc(fx.dtree, fx.tree.root, fx.labels.intervals);
+
+  for (int step = 0; step < 6 && hc.num_clusters() > 1; ++step) {
+    const auto merges = hc.plan_step();
+    // Definition 2.7: no chained merges — a senior is never a junior in the
+    // same step.
+    std::set<g::Vertex> juniors, seniors;
+    for (const auto& m : merges.local()) {
+      juniors.insert(m.junior);
+      seniors.insert(m.senior);
+    }
+    for (const auto s : seniors) EXPECT_FALSE(juniors.count(s));
+    hc.apply_step(merges, [](std::int64_t l, const cl::MergeRec&) {
+      return l;
+    });
+
+    // Clusters partition V; each is connected in T; leaders are the shallow-
+    // est vertices of their cluster (subtree roots).
+    const auto sets = cluster_sets(fx, hc.nodes());
+    std::size_t total = 0;
+    for (const auto& [leader, members] : sets) {
+      total += members.size();
+      EXPECT_TRUE(members.count(leader));
+      for (const auto v : members) {
+        // Walking up from any member stays inside until the leader.
+        g::Vertex x = v;
+        while (x != leader) {
+          ASSERT_TRUE(idx.is_ancestor(leader, x));
+          x = fx.tree.parent[x];
+          ASSERT_TRUE(members.count(x)) << "cluster not connected";
+        }
+      }
+    }
+    EXPECT_EQ(total, fx.tree.n);
+    EXPECT_EQ(sets.size(), hc.num_clusters());
+
+    // Node records are consistent: parent cluster contains the attach vertex,
+    // attach = p(leader), w_top = weight of {leader, attach}.
+    for (const auto& c : hc.nodes().local()) {
+      if (c.leader == hc.root_cluster()) continue;
+      EXPECT_EQ(c.attach, fx.tree.parent[c.leader]);
+      EXPECT_EQ(c.w_top, fx.tree.weight[c.leader]);
+      ASSERT_TRUE(sets.count(c.parent_leader));
+      EXPECT_TRUE(sets.at(c.parent_leader).count(c.attach));
+    }
+  }
+}
+
+TEST_P(ClusteringShapes, DecayIsGeometricOnAverage) {
+  Fixture fx(GetParam().tree);
+  cl::HierarchicalClustering hc(fx.dtree, fx.tree.root, fx.labels.intervals);
+  const std::size_t steps = hc.run_until(
+      1, [](std::int64_t l, const cl::MergeRec&) { return l; });
+  // Contracting to a single cluster should take O(log n) steps; allow a
+  // generous constant for the randomized compress.
+  std::size_t logn = 1;
+  while ((std::size_t{1} << logn) < fx.tree.n) ++logn;
+  EXPECT_LE(steps, 12 * logn) << "decay too slow";
+  // Observation 2.10: one merge per absorbed cluster, n-1 in total.
+  std::size_t merges = 0;
+  for (const auto& h : hc.history()) merges += h.size();
+  EXPECT_EQ(merges, fx.tree.n - 1);
+  // Decay trace is strictly decreasing to 1.
+  ASSERT_FALSE(hc.decay().empty());
+  EXPECT_EQ(hc.decay().front(), fx.tree.n);
+  EXPECT_EQ(hc.decay().back(), 1u);
+}
+
+TEST_P(ClusteringShapes, VertexAssignmentMatchesReplay) {
+  Fixture fx(GetParam().tree);
+  cl::HierarchicalClustering hc(fx.dtree, fx.tree.root, fx.labels.intervals);
+  for (int i = 0; i < 4 && hc.num_clusters() > 1; ++i) hc.step();
+  const auto sets = cluster_sets(fx, hc.nodes());
+  const auto vc = cl::assign_vertices_to_clusters(fx.dtree, fx.tree.root,
+                                                  fx.depths.depth, hc.nodes());
+  for (const auto& x : vc.local()) {
+    ASSERT_TRUE(sets.count(x.val)) << "vertex " << x.v;
+    EXPECT_TRUE(sets.at(x.val).count(x.v))
+        << "vertex " << x.v << " not in claimed cluster " << x.val;
+  }
+}
+
+TEST_P(ClusteringShapes, FormedAtTracksMergeHistory) {
+  Fixture fx(GetParam().tree);
+  cl::HierarchicalClustering hc(fx.dtree, fx.tree.root, fx.labels.intervals);
+  for (int i = 0; i < 5 && hc.num_clusters() > 1; ++i) hc.step();
+  // Every junior's recorded merge step is at most the step count, and
+  // junior_formed_at < step of the merge.
+  for (std::size_t s = 0; s < hc.history().size(); ++s) {
+    for (const auto& m : hc.history()[s].local()) {
+      EXPECT_EQ(m.step, static_cast<std::int64_t>(s + 1));
+      EXPECT_LT(m.junior_formed_at, m.step);
+      EXPECT_LT(m.senior_prev_formed_at, m.step);
+      EXPECT_EQ(m.attach, fx.tree.parent[m.junior]);
+      EXPECT_EQ(m.w_top, fx.tree.weight[m.junior]);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Catalog, ClusteringShapes,
+    ::testing::ValuesIn(mpcmst::test::shape_catalog(173)),
+    [](const ::testing::TestParamInfo<mpcmst::test::ShapeCase>& inf) {
+      return inf.param.name;
+    });
+
+TEST(Clustering, RunUntilReachesTarget) {
+  Fixture fx(g::path_tree(512));
+  cl::HierarchicalClustering hc(fx.dtree, fx.tree.root, fx.labels.intervals);
+  hc.run_until(32, [](std::int64_t l, const cl::MergeRec&) { return l; });
+  EXPECT_LE(hc.num_clusters(), 32u);
+  EXPECT_GE(hc.num_clusters(), 1u);
+}
+
+TEST_P(ClusteringShapes, ThetaLabelsMatchBruteForce) {
+  // Lemma 3.4: with the verification label rule, after every contraction
+  // step the up-label of each cluster c equals the maximum tree-edge weight
+  // on the path from the leader of c's parent cluster down to p(leader(c))
+  // (-inf for an empty path) — the θ of Definition 3.2.
+  auto tree = GetParam().tree;
+  g::assign_random_tree_weights(tree, 1, 60, 59);
+  Fixture fx(std::move(tree));
+  const seq::SeqTreeIndex idx(fx.tree);
+  cl::HierarchicalClustering hc(fx.dtree, fx.tree.root, fx.labels.intervals,
+                                g::kNegInfW);
+  const cl::LabelRule rule = [](std::int64_t old_label,
+                                const cl::MergeRec& m) {
+    return std::max(old_label,
+                    std::max<std::int64_t>(m.w_top, m.junior_label));
+  };
+  for (int step = 0; step < 7 && hc.num_clusters() > 1; ++step) {
+    const auto merges = hc.plan_step();
+    hc.apply_step(merges, rule);
+    for (const auto& c : hc.nodes().local()) {
+      if (c.leader == hc.root_cluster()) continue;
+      const g::Vertex top = c.parent_leader;        // leader of parent cluster
+      const g::Vertex bottom = fx.tree.parent[c.leader];  // p(leader(c))
+      const g::Weight expect =
+          top == bottom ? g::kNegInfW : idx.max_on_path(top, bottom);
+      EXPECT_EQ(c.label, expect)
+          << GetParam().name << " step " << step << " cluster " << c.leader;
+    }
+  }
+}
+
+TEST(Clustering, LabelRuleIsApplied) {
+  // On a path, labels accumulate the max w_top of absorbed parents — after
+  // full contraction the surviving structure must have consistent labels.
+  auto tree = g::path_tree(64);
+  g::assign_random_tree_weights(tree, 1, 100, 13);
+  Fixture fx(std::move(tree));
+  cl::HierarchicalClustering hc(fx.dtree, fx.tree.root, fx.labels.intervals,
+                                g::kNegInfW);
+  const cl::LabelRule rule = [](std::int64_t old_label,
+                                const cl::MergeRec& m) {
+    return std::max(old_label, std::max<std::int64_t>(m.w_top,
+                                                      m.junior_label));
+  };
+  hc.run_until(1, rule);
+  EXPECT_EQ(hc.num_clusters(), 1u);
+}
+
+}  // namespace

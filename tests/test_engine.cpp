@@ -1,0 +1,234 @@
+// Unit tests for the MPC engine and its O(1)-round primitives.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <random>
+
+#include "mpc/engine.hpp"
+#include "mpc/ops.hpp"
+
+namespace mpc = mpcmst::mpc;
+
+namespace {
+
+mpc::Engine small_engine(std::size_t machines = 8,
+                         std::size_t capacity = 4096) {
+  mpc::MpcConfig cfg;
+  cfg.machines = machines;
+  cfg.local_capacity = capacity;
+  return mpc::Engine(cfg);
+}
+
+struct Rec {
+  std::int64_t key;
+  std::int64_t val;
+};
+
+TEST(Engine, CollectiveDepthGrowsWithMachines) {
+  mpc::MpcConfig cfg;
+  cfg.local_capacity = 64;
+  cfg.machines = 4;
+  EXPECT_EQ(mpc::Engine(cfg).collective_depth(8), 1u);
+  cfg.machines = 64;   // fan-in 8 -> depth 2
+  EXPECT_EQ(mpc::Engine(cfg).collective_depth(8), 2u);
+  cfg.machines = 513;  // fan-in 8 -> depth 4 (8^3 = 512 < 513)
+  EXPECT_EQ(mpc::Engine(cfg).collective_depth(8), 4u);
+}
+
+TEST(Engine, RoundChargingAndPhases) {
+  mpc::Engine eng = small_engine();
+  {
+    mpc::PhaseScope phase(eng, "alpha");
+    eng.charge_exchange(100);
+  }
+  eng.charge_sort(100);
+  EXPECT_EQ(eng.stats().exchanges, 1u);
+  EXPECT_EQ(eng.stats().sorts, 1u);
+  EXPECT_EQ(eng.stats().phase_rounds.at("alpha"), 1u);
+  EXPECT_EQ(eng.rounds(), 1u + (2 * eng.collective_depth() + 1));
+}
+
+TEST(Engine, MemoryAccountingTracksPeak) {
+  mpc::Engine eng = small_engine();
+  {
+    auto a = mpc::tabulate<std::int64_t>(eng, 100, [](std::size_t i) {
+      return std::int64_t(i);
+    });
+    EXPECT_EQ(eng.stats().live_words, 100u);
+    {
+      auto b = a.clone();
+      EXPECT_EQ(eng.stats().live_words, 200u);
+    }
+    EXPECT_EQ(eng.stats().live_words, 100u);
+  }
+  EXPECT_EQ(eng.stats().live_words, 0u);
+  EXPECT_EQ(eng.stats().peak_global_words, 200u);
+}
+
+TEST(Engine, LocalCapacityEnforced) {
+  mpc::MpcConfig cfg;
+  cfg.machines = 2;
+  cfg.local_capacity = 16;
+  cfg.block_slack = 1.0;
+  mpc::Engine eng(cfg);
+  EXPECT_THROW(mpc::tabulate<std::int64_t>(
+                   eng, 1000, [](std::size_t i) { return std::int64_t(i); }),
+               mpcmst::ModelError);
+}
+
+TEST(Engine, GlobalBudgetEnforced) {
+  mpc::MpcConfig cfg;
+  cfg.machines = 8;
+  cfg.local_capacity = 4096;
+  cfg.global_budget_words = 128;
+  mpc::Engine eng(cfg);
+  auto a = mpc::tabulate<std::int64_t>(eng, 100, [](std::size_t i) {
+    return std::int64_t(i);
+  });
+  EXPECT_THROW(a.clone(), mpcmst::ModelError);
+}
+
+TEST(Ops, SortByMatchesStdSort) {
+  mpc::Engine eng = small_engine();
+  std::mt19937_64 rng(1);
+  std::vector<Rec> data(1000);
+  for (auto& r : data) {
+    r.key = std::int64_t(rng() % 50);
+    r.val = std::int64_t(rng() % 1000);
+  }
+  auto d = mpc::scatter(eng, data);
+  mpc::sort_by(d, [](const Rec& r) { return r.key; });
+  // Stability: equal keys keep input order.
+  std::stable_sort(data.begin(), data.end(),
+                   [](const Rec& a, const Rec& b) { return a.key < b.key; });
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    EXPECT_EQ(d.local()[i].key, data[i].key);
+    EXPECT_EQ(d.local()[i].val, data[i].val);
+  }
+  EXPECT_GT(eng.rounds(), 0u);
+}
+
+TEST(Ops, ReduceAndPrefix) {
+  mpc::Engine eng = small_engine();
+  auto d = mpc::tabulate<std::int64_t>(eng, 100, [](std::size_t i) {
+    return std::int64_t(i + 1);
+  });
+  const auto sum = mpc::reduce(
+      d, [](std::int64_t x) { return x; }, std::plus<>{}, std::int64_t{0});
+  EXPECT_EQ(sum, 5050);
+  auto pre = mpc::exclusive_prefix(
+      d, [](std::int64_t x) { return x; }, std::plus<>{}, std::int64_t{0});
+  EXPECT_EQ(pre.local()[0], 0);
+  EXPECT_EQ(pre.local()[99], 4950);
+}
+
+TEST(Ops, FilterAndConcat) {
+  mpc::Engine eng = small_engine();
+  auto d = mpc::tabulate<std::int64_t>(eng, 100, [](std::size_t i) {
+    return std::int64_t(i);
+  });
+  auto evens = mpc::filter(d, [](std::int64_t x) { return x % 2 == 0; });
+  EXPECT_EQ(evens.size(), 50u);
+  auto both = mpc::concat(evens, evens);
+  EXPECT_EQ(both.size(), 100u);
+}
+
+TEST(Ops, ReduceByKey) {
+  mpc::Engine eng = small_engine();
+  auto d = mpc::tabulate<Rec>(eng, 100, [](std::size_t i) {
+    return Rec{std::int64_t(i % 7), std::int64_t(i)};
+  });
+  auto sums = mpc::reduce_by_key<std::uint64_t, std::int64_t>(
+      d, [](const Rec& r) { return std::uint64_t(r.key); },
+      [](const Rec& r) { return r.val; }, std::plus<>{});
+  EXPECT_EQ(sums.size(), 7u);
+  std::int64_t total = 0;
+  for (const auto& kv : sums.local()) total += kv.val;
+  EXPECT_EQ(total, 4950);
+}
+
+TEST(Ops, JoinUnique) {
+  mpc::Engine eng = small_engine();
+  auto left = mpc::tabulate<Rec>(eng, 50, [](std::size_t i) {
+    return Rec{std::int64_t(i), -1};
+  });
+  auto right = mpc::tabulate<Rec>(eng, 25, [](std::size_t i) {
+    return Rec{std::int64_t(2 * i), std::int64_t(100 + i)};
+  });
+  mpc::join_unique(
+      left, right, [](const Rec& r) { return std::uint64_t(r.key); },
+      [](const Rec& r) { return std::uint64_t(r.key); },
+      [](Rec& l, const Rec* r) { l.val = r ? r->val : -7; });
+  for (const Rec& r : left.local()) {
+    if (r.key % 2 == 0)
+      EXPECT_EQ(r.val, 100 + r.key / 2);
+    else
+      EXPECT_EQ(r.val, -7);
+  }
+}
+
+TEST(Ops, JoinUniqueRejectsDuplicateRightKeys) {
+  mpc::Engine eng = small_engine();
+  auto left = mpc::tabulate<Rec>(eng, 2, [](std::size_t i) {
+    return Rec{std::int64_t(i), 0};
+  });
+  auto right = mpc::tabulate<Rec>(eng, 2, [](std::size_t) {
+    return Rec{7, 0};
+  });
+  EXPECT_THROW(mpc::join_unique(
+                   left, right, [](const Rec& r) { return std::uint64_t(r.key); },
+                   [](const Rec& r) { return std::uint64_t(r.key); },
+                   [](Rec&, const Rec*) {}),
+               mpcmst::InvariantError);
+}
+
+TEST(Ops, StabJoinFindsDisjointIntervals) {
+  struct Interval {
+    std::int64_t group, lo, hi, payload;
+  };
+  struct Query {
+    std::int64_t group, point, found;
+  };
+  mpc::Engine eng = small_engine();
+  auto intervals = mpc::scatter<Interval>(
+      eng, {{1, 0, 9, 100}, {1, 10, 19, 101}, {2, 5, 6, 200}});
+  auto queries = mpc::scatter<Query>(
+      eng, {{1, 3, 0}, {1, 10, 0}, {1, 19, 0}, {2, 5, 0}, {2, 7, 0},
+            {3, 1, 0}});
+  mpc::stab_join(
+      queries, intervals, [](const Query& q) { return std::uint64_t(q.group); },
+      [](const Query& q) { return q.point; },
+      [](const Interval& i) { return std::uint64_t(i.group); },
+      [](const Interval& i) { return i.lo; },
+      [](const Interval& i) { return i.hi; },
+      [](Query& q, const Interval* i) { q.found = i ? i->payload : -1; });
+  const auto& out = queries.local();
+  EXPECT_EQ(out[0].found, 100);
+  EXPECT_EQ(out[1].found, 101);
+  EXPECT_EQ(out[2].found, 101);
+  EXPECT_EQ(out[3].found, 200);
+  EXPECT_EQ(out[4].found, -1);
+  EXPECT_EQ(out[5].found, -1);
+}
+
+TEST(Ops, Pack2RoundTrips) {
+  const std::uint64_t k = mpc::pack2(123456, 7891011);
+  EXPECT_EQ(k >> 32, 123456u);
+  EXPECT_EQ(k & 0xffffffffu, 7891011u);
+}
+
+TEST(Engine, ResetMetersKeepsLiveWords) {
+  mpc::Engine eng = small_engine();
+  auto d = mpc::tabulate<std::int64_t>(eng, 64, [](std::size_t i) {
+    return std::int64_t(i);
+  });
+  eng.charge_exchange(10);
+  eng.reset_meters();
+  EXPECT_EQ(eng.rounds(), 0u);
+  EXPECT_EQ(eng.stats().live_words, 64u);
+  EXPECT_EQ(eng.stats().peak_global_words, 64u);
+  (void)d;
+}
+
+}  // namespace

@@ -1,0 +1,119 @@
+// Tests for the forest extension (Remark 2.4): MSF verification and
+// sensitivity across disconnected instances.
+#include <gtest/gtest.h>
+
+#include "forest/forest.hpp"
+#include "graph/generators.hpp"
+#include "seq/oracles.hpp"
+#include "test_util.hpp"
+
+namespace g = mpcmst::graph;
+namespace fo = mpcmst::forest;
+namespace seq = mpcmst::seq;
+
+namespace {
+
+/// Glue k single-tree instances into one forest instance with disjoint
+/// vertex ranges.
+g::Instance glue(const std::vector<g::Instance>& parts) {
+  g::Instance out;
+  g::Vertex base = 0;
+  for (const auto& p : parts) {
+    out.tree.n += p.n();
+    for (std::size_t v = 0; v < p.n(); ++v) {
+      out.tree.parent.push_back(p.tree.parent[v] + base);
+      out.tree.weight.push_back(p.tree.weight[v]);
+    }
+    for (const auto& e : p.nontree)
+      out.nontree.push_back({e.u + base, e.v + base, e.w});
+    base += static_cast<g::Vertex>(p.n());
+  }
+  out.tree.root = parts.empty() ? 0 : parts.front().tree.root;
+  return out;
+}
+
+g::Instance three_component_msf(std::uint64_t seed) {
+  std::vector<g::Instance> parts;
+  auto t1 = g::kary_tree(200, 3);
+  g::assign_random_tree_weights(t1, 1, 30, seed);
+  parts.push_back(g::make_mst_instance(std::move(t1), 300, seed + 1, 5));
+  auto t2 = g::path_tree(150);
+  g::assign_random_tree_weights(t2, 1, 30, seed + 2);
+  parts.push_back(g::make_mst_instance(std::move(t2), 200, seed + 3, 5));
+  auto t3 = g::star_tree(100);
+  g::assign_random_tree_weights(t3, 1, 30, seed + 4);
+  parts.push_back(g::make_mst_instance(std::move(t3), 150, seed + 5, 5));
+  return glue(parts);
+}
+
+TEST(Forest, AcceptsValidMsf) {
+  const auto inst = three_component_msf(61);
+  auto eng = mpcmst::test::make_engine(64 * inst.input_words());
+  const auto res = fo::verify_msf_mpc(eng, inst);
+  EXPECT_TRUE(res.is_msf);
+  EXPECT_EQ(res.meter.components, 3u);
+  EXPECT_EQ(res.crossing_edges, 0u);
+  EXPECT_GT(res.meter.rounds, 0u);
+}
+
+TEST(Forest, RejectsCoveringViolation) {
+  // Undercut one non-tree edge inside the middle component, then glue.
+  auto t1 = g::kary_tree(200, 3);
+  g::assign_random_tree_weights(t1, 1, 30, 67);
+  auto p1 = g::make_mst_instance(std::move(t1), 300, 68, 5);
+  auto t2 = g::path_tree(150);
+  g::assign_random_tree_weights(t2, 1, 30, 69);
+  auto p2 = g::make_mst_instance(std::move(t2), 200, 70, 5);
+  ASSERT_GT(g::inject_violations(p2, 1, 71), 0u);
+  const auto inst = glue({p1, p2});
+  auto eng = mpcmst::test::make_engine(64 * inst.input_words());
+  const auto res = fo::verify_msf_mpc(eng, inst);
+  EXPECT_FALSE(res.is_msf);
+  EXPECT_GT(res.violations, 0u);
+}
+
+TEST(Forest, RejectsCrossComponentEdge) {
+  auto inst = three_component_msf(73);
+  inst.nontree.push_back({5, 250, 1000});  // joins components 1 and 2
+  auto eng = mpcmst::test::make_engine(64 * inst.input_words());
+  const auto res = fo::verify_msf_mpc(eng, inst);
+  EXPECT_FALSE(res.is_msf);
+  EXPECT_EQ(res.crossing_edges, 1u);
+}
+
+TEST(Forest, SensitivityMatchesPerComponentBrute) {
+  const auto inst = three_component_msf(79);
+  auto eng = mpcmst::test::make_engine(64 * inst.input_words());
+  const auto res = fo::msf_sensitivity_mpc(eng, inst);
+  // Brute force on the glued instance: parent walks never cross components.
+  const auto brute = seq::sensitivity_brute(inst);
+  std::size_t tree_rows = 0;
+  for (const auto& t : res.tree) {
+    ++tree_rows;
+    EXPECT_EQ(t.mc, brute.tree_mc[t.v]) << "vertex " << t.v;
+  }
+  EXPECT_EQ(tree_rows, inst.n() - 3);  // three roots have no parent edge
+  ASSERT_EQ(res.nontree.size(), inst.nontree.size());
+  for (const auto& e : res.nontree)
+    EXPECT_EQ(e.maxpath, brute.nontree_maxpath[e.orig_id])
+        << "edge " << e.orig_id;
+}
+
+TEST(Forest, ParallelMeteringTakesMaxOverComponents) {
+  // rounds(forest of {star, path}) ~ decomposition + rounds(path), not the
+  // sum: the path component dominates.
+  auto star = g::make_layered_instance(g::star_tree(512), 512, 83);
+  auto path = g::make_layered_instance(g::path_tree(512), 512, 89);
+  const auto both = glue({star, path});
+  auto run = [](const g::Instance& inst) {
+    auto eng = mpcmst::test::make_engine(64 * inst.input_words());
+    return fo::verify_msf_mpc(eng, inst).meter.rounds;
+  };
+  const auto r_star = run(star);
+  const auto r_path = run(path);
+  const auto r_both = run(both);
+  EXPECT_LT(r_both, r_star + r_path);
+  EXPECT_GE(r_both, r_path);
+}
+
+}  // namespace

@@ -1,0 +1,110 @@
+// Tests for the graph substrate: tree shapes, relabeling, instance builders.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/generators.hpp"
+#include "seq/oracles.hpp"
+#include "test_util.hpp"
+
+namespace g = mpcmst::graph;
+namespace seq = mpcmst::seq;
+
+namespace {
+
+TEST(Shapes, AllWellFormed) {
+  for (const auto& sc : mpcmst::test::shape_catalog(257)) {
+    EXPECT_TRUE(sc.tree.well_formed()) << sc.name;
+    EXPECT_EQ(sc.tree.n, 257u) << sc.name;
+  }
+}
+
+TEST(Shapes, PathHeightIsNMinus1) {
+  const auto t = g::path_tree(100);
+  EXPECT_EQ(seq::SeqTreeIndex(t).height(), 99);
+}
+
+TEST(Shapes, StarHeightIsOne) {
+  const auto t = g::star_tree(100);
+  EXPECT_EQ(seq::SeqTreeIndex(t).height(), 1);
+}
+
+TEST(Shapes, KaryHeightIsLogarithmic) {
+  const auto t = g::kary_tree(1 << 10, 2);
+  const auto h = seq::SeqTreeIndex(t).height();
+  EXPECT_GE(h, 9);
+  EXPECT_LE(h, 10);
+}
+
+TEST(Shapes, DepthBoundedTreeRespectsBound) {
+  const auto t = g::random_tree_depth_bounded(1000, 5, 42);
+  EXPECT_LE(seq::SeqTreeIndex(t).height(), 5);
+}
+
+TEST(Shapes, RelabelPreservesStructure) {
+  const auto t = g::kary_tree(300, 3);
+  const auto r = g::relabel_random(t, 99);
+  EXPECT_TRUE(r.well_formed());
+  EXPECT_EQ(seq::SeqTreeIndex(r).height(), seq::SeqTreeIndex(t).height());
+  // Weight multiset preserved.
+  std::multiset<g::Weight> a(t.weight.begin(), t.weight.end());
+  std::multiset<g::Weight> b(r.weight.begin(), r.weight.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST(Shapes, TreeEdgesEnumeratesAll) {
+  const auto t = g::kary_tree(50, 4);
+  const auto edges = t.tree_edges();
+  EXPECT_EQ(edges.size(), 49u);
+  for (const auto& e : edges) EXPECT_EQ(t.parent[e.u], e.v);
+}
+
+TEST(WellFormed, RejectsCycleAndBadRoot) {
+  g::RootedTree t;
+  t.n = 3;
+  t.root = 0;
+  t.parent = {0, 2, 1};  // 1 <-> 2 cycle
+  t.weight = {0, 1, 1};
+  EXPECT_FALSE(t.well_formed());
+  t.parent = {1, 0, 0};  // root's parent is not itself
+  EXPECT_FALSE(t.well_formed());
+  t.parent = {0, 0, 1};
+  EXPECT_TRUE(t.well_formed());
+}
+
+TEST(Instances, MstInstanceVerifies) {
+  for (const auto& sc : mpcmst::test::shape_catalog(200)) {
+    auto tree = sc.tree;
+    g::assign_random_tree_weights(tree, 1, 50, 5);
+    const auto inst = g::make_mst_instance(tree, 400, 6);
+    EXPECT_TRUE(seq::verify_mst(inst)) << sc.name;
+    EXPECT_TRUE(seq::verify_mst_by_weight(inst)) << sc.name;
+  }
+}
+
+TEST(Instances, LayeredInstanceVerifies) {
+  auto tree = g::random_recursive_tree(300, 3);
+  const auto inst = g::make_layered_instance(tree, 500, 4);
+  EXPECT_TRUE(seq::verify_mst(inst));
+  EXPECT_TRUE(seq::verify_mst_by_weight(inst));
+}
+
+TEST(Instances, InjectViolationsBreaksMst) {
+  auto tree = g::random_recursive_tree(200, 8);
+  g::assign_random_tree_weights(tree, 1, 50, 9);
+  auto inst = g::make_mst_instance(tree, 300, 10, /*slack=*/5);
+  ASSERT_TRUE(seq::verify_mst(inst));
+  const std::size_t injected = g::inject_violations(inst, 3, 11);
+  ASSERT_GT(injected, 0u);
+  EXPECT_FALSE(seq::verify_mst(inst));
+  EXPECT_FALSE(seq::verify_mst_by_weight(inst));
+}
+
+TEST(Instances, InputWordsCountsEdgesAndVertices) {
+  auto tree = g::path_tree(10);
+  const auto inst = g::make_random_instance(tree, 5, 1, 1, 9);
+  EXPECT_EQ(inst.m(), 14u);
+  EXPECT_EQ(inst.input_words(), 3 * 14 + 2 * 10);
+}
+
+}  // namespace

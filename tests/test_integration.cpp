@@ -1,0 +1,172 @@
+// End-to-end property tests of the *definitions* (Definition 1.2):
+// perturbing an edge by exactly its sensitivity is the boundary between
+// "T stays an MST" and "T stops being an MST".  These exercise the full
+// verification + sensitivity pipelines against each other.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "graph/generators.hpp"
+#include "sensitivity/sensitivity.hpp"
+#include "seq/oracles.hpp"
+#include "test_util.hpp"
+#include "verify/verifier.hpp"
+
+namespace g = mpcmst::graph;
+namespace seq = mpcmst::seq;
+namespace sn = mpcmst::sensitivity;
+namespace vf = mpcmst::verify;
+
+namespace {
+
+class PerturbShapes
+    : public ::testing::TestWithParam<mpcmst::test::ShapeCase> {};
+
+TEST_P(PerturbShapes, TreeEdgeSensitivityIsTheExactThreshold) {
+  auto tree = GetParam().tree;
+  g::assign_random_tree_weights(tree, 1, 50, 91);
+  const auto inst = g::make_mst_instance(tree, 3 * tree.n, 93, 10);
+  ASSERT_TRUE(seq::verify_mst(inst));
+  auto eng = mpcmst::test::make_engine(64 * inst.input_words());
+  const auto sens = sn::mst_sensitivity_mpc(eng, inst);
+
+  std::mt19937_64 rng(95);
+  std::uniform_int_distribution<std::size_t> pick(0, sens.tree.size() - 1);
+  for (int trial = 0; trial < 8; ++trial) {
+    const auto& t = sens.tree.local()[pick(rng)];
+    if (t.mc == g::kPosInfW) continue;  // bridge: any increase keeps T optimal
+    // Increase w(e) to mc(e): T remains an MST (tie).
+    auto keeps = inst;
+    keeps.tree.weight[t.v] = t.mc;
+    EXPECT_TRUE(seq::verify_mst(keeps))
+        << GetParam().name << " child " << t.v;
+    // Increase beyond mc(e): T is no longer an MST.
+    auto breaks = inst;
+    breaks.tree.weight[t.v] = t.mc + 1;
+    EXPECT_FALSE(seq::verify_mst(breaks))
+        << GetParam().name << " child " << t.v;
+  }
+}
+
+TEST_P(PerturbShapes, NonTreeEdgeSensitivityIsTheExactThreshold) {
+  auto tree = GetParam().tree;
+  g::assign_random_tree_weights(tree, 1, 50, 97);
+  const auto inst = g::make_mst_instance(tree, 3 * tree.n, 99, 10);
+  ASSERT_TRUE(seq::verify_mst(inst));
+  auto eng = mpcmst::test::make_engine(64 * inst.input_words());
+  const auto sens = sn::mst_sensitivity_mpc(eng, inst);
+
+  std::mt19937_64 rng(101);
+  std::uniform_int_distribution<std::size_t> pick(0, sens.nontree.size() - 1);
+  for (int trial = 0; trial < 8; ++trial) {
+    const auto& e = sens.nontree.local()[pick(rng)];
+    if (e.sens == g::kPosInfW) continue;
+    // Decrease w(e) to maxpath: T remains an MST (tie).
+    auto keeps = inst;
+    keeps.nontree[e.orig_id].w = e.maxpath;
+    EXPECT_TRUE(seq::verify_mst(keeps)) << GetParam().name;
+    // Decrease below maxpath: T stops being an MST.
+    auto breaks = inst;
+    breaks.nontree[e.orig_id].w = e.maxpath - 1;
+    EXPECT_FALSE(seq::verify_mst(breaks)) << GetParam().name;
+  }
+}
+
+TEST_P(PerturbShapes, VerifierAgreesAfterPerturbation) {
+  // Apply the "breaks" perturbation and confirm the *MPC verifier* also
+  // flips its verdict (closing the loop between the two pipelines).
+  auto tree = GetParam().tree;
+  g::assign_random_tree_weights(tree, 1, 50, 103);
+  auto inst = g::make_mst_instance(tree, 2 * tree.n, 105, 10);
+  auto eng = mpcmst::test::make_engine(64 * inst.input_words());
+  const auto sens = sn::mst_sensitivity_mpc(eng, inst);
+  for (const auto& t : sens.tree.local()) {
+    if (t.mc == g::kPosInfW) continue;
+    inst.tree.weight[t.v] = t.mc + 1;
+    auto eng2 = mpcmst::test::make_engine(64 * inst.input_words());
+    EXPECT_FALSE(vf::verify_mst_mpc(eng2, inst).is_mst) << GetParam().name;
+    break;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Catalog, PerturbShapes,
+    ::testing::ValuesIn(mpcmst::test::shape_catalog(113)),
+    [](const ::testing::TestParamInfo<mpcmst::test::ShapeCase>& inf) {
+      return inf.param.name;
+    });
+
+TEST(Integration, MediumScaleAgainstFastOracle) {
+  // Larger than the catalog tests: n = 3000, checked against the near-linear
+  // sequential oracle rather than brute force.
+  auto tree = g::random_tree_depth_bounded(3000, 40, 107);
+  g::assign_random_tree_weights(tree, 1, 1000, 109);
+  const auto inst = g::make_mst_instance(std::move(tree), 9000, 111, 50);
+  auto eng = mpcmst::test::make_engine(64 * inst.input_words());
+  const auto res = sn::mst_sensitivity_mpc(eng, inst);
+  const seq::SeqTreeIndex idx(inst.tree);
+  const auto oracle = seq::sensitivity(inst, idx);
+  for (const auto& t : res.tree.local())
+    ASSERT_EQ(t.mc, oracle.tree_mc[t.v]) << "vertex " << t.v;
+  for (const auto& e : res.nontree.local())
+    ASSERT_EQ(e.maxpath, oracle.nontree_maxpath[e.orig_id])
+        << "edge " << e.orig_id;
+}
+
+TEST(Integration, DegenerateSizes) {
+  // n = 1: a single vertex, no edges.
+  {
+    g::Instance inst;
+    inst.tree.n = 1;
+    inst.tree.root = 0;
+    inst.tree.parent = {0};
+    inst.tree.weight = {0};
+    auto eng = mpcmst::test::make_engine(256);
+    EXPECT_TRUE(vf::verify_mst_mpc(eng, inst).is_mst);
+    auto eng2 = mpcmst::test::make_engine(256);
+    const auto s = sn::mst_sensitivity_mpc(eng2, inst);
+    EXPECT_EQ(s.tree.size(), 0u);
+  }
+  // n = 2 with one parallel non-tree edge, lighter and heavier.
+  for (g::Weight w : {g::Weight{1}, g::Weight{9}}) {
+    g::Instance inst;
+    inst.tree.n = 2;
+    inst.tree.root = 0;
+    inst.tree.parent = {0, 0};
+    inst.tree.weight = {0, 5};
+    inst.nontree = {{0, 1, w}};
+    auto eng = mpcmst::test::make_engine(512);
+    EXPECT_EQ(vf::verify_mst_mpc(eng, inst).is_mst, w >= 5);
+    if (w >= 5) {
+      auto eng2 = mpcmst::test::make_engine(512);
+      const auto s = sn::mst_sensitivity_mpc(eng2, inst);
+      ASSERT_EQ(s.tree.size(), 1u);
+      EXPECT_EQ(s.tree.local()[0].mc, w);
+      EXPECT_EQ(s.nontree.local()[0].maxpath, 5);
+    }
+  }
+  // Two-vertex path as the deepest possible "tree" relative to n.
+  {
+    g::Instance inst;
+    inst.tree = g::path_tree(3);
+    inst.nontree = {{0, 2, 7}};
+    auto eng = mpcmst::test::make_engine(512);
+    const auto s = sn::mst_sensitivity_mpc(eng, inst);
+    for (const auto& t : s.tree.local()) EXPECT_EQ(t.mc, 7);
+  }
+}
+
+TEST(Integration, DeterministicAcrossRuns) {
+  // Same seed => identical rounds and results (bit-reproducible runs).
+  auto tree = g::caterpillar_tree(500, 100, 113);
+  g::assign_random_tree_weights(tree, 1, 99, 115);
+  const auto inst = g::make_mst_instance(std::move(tree), 1000, 117, 9);
+  auto run = [&]() {
+    auto eng = mpcmst::test::make_engine(64 * inst.input_words(), 0xABCD);
+    const auto res = vf::verify_mst_mpc(eng, inst);
+    return std::pair<std::size_t, bool>(eng.rounds(), res.is_mst);
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace

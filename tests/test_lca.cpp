@@ -1,0 +1,128 @@
+// Tests for all-edges LCA (Algorithms 1-3) and the ancestor-descendant
+// transform (Corollary 2.19), validated against the sequential lifting LCA.
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "lca/all_edges_lca.hpp"
+#include "mpc/ops.hpp"
+#include "seq/oracles.hpp"
+#include "test_util.hpp"
+
+namespace g = mpcmst::graph;
+namespace mpc = mpcmst::mpc;
+namespace to = mpcmst::treeops;
+namespace seq = mpcmst::seq;
+
+namespace {
+
+struct LcaFixture {
+  g::RootedTree tree;
+  mpc::Engine eng;
+  mpc::Dist<to::TreeRec> dtree;
+  to::DepthResult depths;
+  to::IntervalResult labels;
+  std::int64_t dhat;
+
+  explicit LcaFixture(g::RootedTree t)
+      : tree(std::move(t)),
+        eng(mpcmst::test::make_engine(64 * tree.n)),
+        dtree(to::load_tree(eng, tree)),
+        depths(to::compute_depths(dtree, tree.root)),
+        labels(to::dfs_interval_labels(dtree, tree.root, depths)),
+        dhat(2 * std::max<std::int64_t>(depths.height, 1)) {}
+
+  mpc::Dist<mpcmst::lca::IdEdge> load_edges(
+      const std::vector<g::WEdge>& edges) {
+    std::vector<mpcmst::lca::IdEdge> recs;
+    for (std::size_t i = 0; i < edges.size(); ++i)
+      recs.push_back({edges[i].u, edges[i].v, edges[i].w,
+                      static_cast<std::int64_t>(i)});
+    return mpc::scatter(eng, std::move(recs));
+  }
+};
+
+class LcaShapes : public ::testing::TestWithParam<mpcmst::test::ShapeCase> {};
+
+TEST_P(LcaShapes, MatchesSequentialLca) {
+  LcaFixture fx(GetParam().tree);
+  const auto inst =
+      g::make_random_instance(fx.tree, 4 * fx.tree.n, 77, 1, 100);
+  auto edges = fx.load_edges(inst.nontree);
+  const auto res = mpcmst::lca::all_edges_lca(fx.dtree, fx.tree.root,
+                                              fx.depths, fx.labels.intervals,
+                                              edges, fx.dhat);
+  const seq::SeqTreeIndex idx(fx.tree);
+  ASSERT_EQ(res.edges.size(), inst.nontree.size());
+  for (const auto& e : res.edges.local()) {
+    EXPECT_EQ(e.lca, idx.lca(e.u, e.v))
+        << GetParam().name << " edge " << e.u << "," << e.v;
+  }
+}
+
+TEST_P(LcaShapes, TransformYieldsAncestorDescendantHalves) {
+  LcaFixture fx(GetParam().tree);
+  const auto inst = g::make_random_instance(fx.tree, fx.tree.n, 78, 1, 50);
+  auto edges = fx.load_edges(inst.nontree);
+  const auto res = mpcmst::lca::all_edges_lca(fx.dtree, fx.tree.root,
+                                              fx.depths, fx.labels.intervals,
+                                              edges, fx.dhat);
+  const auto ad = mpcmst::lca::ancestor_descendant_transform(res);
+  const seq::SeqTreeIndex idx(fx.tree);
+  std::vector<int> halves(inst.nontree.size(), 0);
+  for (const auto& h : ad.local()) {
+    EXPECT_TRUE(idx.is_ancestor(h.hi, h.lo))
+        << "half " << h.lo << ".." << h.hi << " not ancestor-descendant";
+    EXPECT_NE(h.lo, h.hi);
+    EXPECT_EQ(h.w, inst.nontree[h.orig_id].w);
+    halves[h.orig_id] += 1;
+  }
+  // Each edge contributes 1 or 2 halves (1 when an endpoint is the LCA).
+  for (std::size_t i = 0; i < halves.size(); ++i) {
+    const auto& e = inst.nontree[i];
+    const auto l = idx.lca(e.u, e.v);
+    const int expect = (e.u != l) + (e.v != l);
+    EXPECT_EQ(halves[i], expect) << "edge " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Catalog, LcaShapes,
+    ::testing::ValuesIn(mpcmst::test::shape_catalog(149)),
+    [](const ::testing::TestParamInfo<mpcmst::test::ShapeCase>& inf) {
+      return inf.param.name;
+    });
+
+TEST(Lca, AdjacentAndIdenticalEndpoints) {
+  LcaFixture fx(g::path_tree(32));
+  std::vector<g::WEdge> edges = {
+      {5, 5, 1},    // self loop: LCA = itself, no halves
+      {7, 8, 1},    // parent-child: LCA = 7 (closer to root on a path)
+      {0, 31, 1},   // root to deepest: LCA = root
+  };
+  auto dedges = fx.load_edges(edges);
+  const auto res = mpcmst::lca::all_edges_lca(
+      fx.dtree, fx.tree.root, fx.depths, fx.labels.intervals, dedges, fx.dhat);
+  EXPECT_EQ(res.edges.local()[0].lca, 5);
+  EXPECT_EQ(res.edges.local()[1].lca, 7);
+  EXPECT_EQ(res.edges.local()[2].lca, 0);
+  const auto ad = mpcmst::lca::ancestor_descendant_transform(res);
+  EXPECT_EQ(ad.size(), 0u + 1u + 1u);
+}
+
+TEST(Lca, RoundsScaleWithDiameterNotSize) {
+  const std::size_t n = 1 << 10;
+  auto run = [&](g::RootedTree tree) {
+    LcaFixture fx(std::move(tree));
+    const auto inst = g::make_random_instance(fx.tree, n, 5, 1, 10);
+    auto edges = fx.load_edges(inst.nontree);
+    fx.eng.reset_meters();
+    (void)mpcmst::lca::all_edges_lca(fx.dtree, fx.tree.root, fx.depths,
+                                     fx.labels.intervals, edges, fx.dhat);
+    return fx.eng.rounds();
+  };
+  const auto rounds_shallow = run(g::kary_tree(n, 8));
+  const auto rounds_path = run(g::path_tree(n));
+  EXPECT_LT(rounds_shallow, rounds_path);
+}
+
+}  // namespace

@@ -1,0 +1,138 @@
+// Tests for the Borůvka MST builder: forest validity, weight-optimality
+// against Kruskal, disconnected inputs, and closing the loop with the
+// paper's verifier (build -> root -> verify accepts).
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "graph/generators.hpp"
+#include "mst/boruvka.hpp"
+#include "seq/dsu.hpp"
+#include "seq/oracles.hpp"
+#include "test_util.hpp"
+#include "treeops/euler.hpp"
+#include "verify/verifier.hpp"
+
+namespace g = mpcmst::graph;
+namespace seq = mpcmst::seq;
+
+namespace {
+
+std::vector<g::WEdge> random_graph(std::size_t n, std::size_t m,
+                                   std::uint64_t seed, bool connected) {
+  std::mt19937_64 rng(seed);
+  std::vector<g::WEdge> edges;
+  std::uniform_int_distribution<g::Weight> w(1, 1000);
+  if (connected) {
+    for (std::size_t v = 1; v < n; ++v) {
+      std::uniform_int_distribution<g::Vertex> pick(0,
+                                                    static_cast<g::Vertex>(v) -
+                                                        1);
+      edges.push_back({static_cast<g::Vertex>(v), pick(rng), w(rng)});
+    }
+  }
+  std::uniform_int_distribution<g::Vertex> pick(0, static_cast<g::Vertex>(n) -
+                                                       1);
+  while (edges.size() < m) {
+    const auto a = pick(rng), b = pick(rng);
+    if (a != b) edges.push_back({a, b, w(rng)});
+  }
+  return edges;
+}
+
+g::Weight kruskal_weight(std::size_t n, const std::vector<g::WEdge>& edges,
+                         std::size_t* components = nullptr) {
+  auto sorted = edges;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const g::WEdge& a, const g::WEdge& b) { return a.w < b.w; });
+  seq::Dsu dsu(n);
+  g::Weight total = 0;
+  std::size_t comps = n;
+  for (const auto& e : sorted)
+    if (dsu.unite(e.u, e.v)) {
+      total += e.w;
+      --comps;
+    }
+  if (components) *components = comps;
+  return total;
+}
+
+TEST(Boruvka, MatchesKruskalOnRandomGraphs) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const std::size_t n = 400;
+    const auto edges = random_graph(n, 1600, seed, /*connected=*/true);
+    auto eng = mpcmst::test::make_engine(16 * edges.size() + 8 * n);
+    const auto mst = mpcmst::mst::mst_boruvka_mpc(eng, n, edges);
+    EXPECT_EQ(mst.components, 1u);
+    EXPECT_EQ(mst.edges.size(), n - 1);
+    EXPECT_EQ(mst.total_weight, kruskal_weight(n, edges)) << "seed " << seed;
+    // The chosen edges really form a spanning forest.
+    seq::Dsu dsu(n);
+    for (const auto& e : mst.edges) EXPECT_TRUE(dsu.unite(e.u, e.v));
+  }
+}
+
+TEST(Boruvka, HandlesDisconnectedGraphs) {
+  const std::size_t n = 300;
+  auto edges = random_graph(150, 400, 7, true);  // only vertices 0..149
+  for (auto& e : edges) {
+    (void)e;  // vertices 150..299 stay isolated except a small clique
+  }
+  edges.push_back({200, 201, 5});
+  edges.push_back({201, 202, 6});
+  auto eng = mpcmst::test::make_engine(16 * edges.size() + 8 * n);
+  const auto mst = mpcmst::mst::mst_boruvka_mpc(eng, n, edges);
+  std::size_t comps = 0;
+  const auto kw = kruskal_weight(n, edges, &comps);
+  EXPECT_EQ(mst.total_weight, kw);
+  EXPECT_EQ(mst.components, comps);
+}
+
+TEST(Boruvka, PhasesAreLogarithmic) {
+  const std::size_t n = 1 << 12;
+  const auto edges = random_graph(n, 4 * n, 11, true);
+  auto eng = mpcmst::test::make_engine(16 * edges.size() + 8 * n);
+  const auto mst = mpcmst::mst::mst_boruvka_mpc(eng, n, edges);
+  EXPECT_LE(mst.phases, 14u);  // ~log2(n) + slack
+}
+
+TEST(Boruvka, BuildRootVerifyRoundTrip) {
+  // Build an MST, root it via the Euler-tour rooting, verify with the
+  // paper's algorithm: the full downstream workflow.
+  const std::size_t n = 500;
+  const auto edges = random_graph(n, 2000, 13, true);
+  auto eng = mpcmst::test::make_engine(64 * edges.size() + 8 * n);
+  const auto mst = mpcmst::mst::mst_boruvka_mpc(eng, n, edges);
+  ASSERT_EQ(mst.components, 1u);
+
+  const auto rooted =
+      mpcmst::treeops::root_tree_euler(eng, n, mst.edges, /*root=*/0);
+  ASSERT_TRUE(rooted.tree.well_formed());
+
+  g::Instance inst;
+  inst.tree = rooted.tree;
+  std::set<std::pair<g::Vertex, g::Vertex>> in_tree;
+  for (const auto& e : mst.edges)
+    in_tree.insert({std::min(e.u, e.v), std::max(e.u, e.v)});
+  std::set<std::pair<g::Vertex, g::Vertex>> used;
+  for (const auto& e : edges) {
+    const auto k = std::make_pair(std::min(e.u, e.v), std::max(e.u, e.v));
+    if (in_tree.count(k) && !used.count(k)) {
+      // Skip exactly one copy: the tree instance owns it.  (Parallel edges
+      // with equal endpoints but different weights stay in nontree.)
+      const bool is_tree_weight =
+          rooted.tree.weight[rooted.tree.parent[e.u] == e.v ? e.u : e.v] ==
+          e.w;
+      if (is_tree_weight) {
+        used.insert(k);
+        continue;
+      }
+    }
+    inst.nontree.push_back(e);
+  }
+  auto eng2 = mpcmst::test::make_engine(64 * inst.input_words());
+  const auto res = mpcmst::verify::verify_mst_mpc(eng2, inst);
+  EXPECT_TRUE(res.is_mst);
+}
+
+}  // namespace

@@ -1,0 +1,132 @@
+// Tests for MST sensitivity (Theorem 4.1): tree-edge mc values and non-tree
+// maxima against brute force across the shape catalog, note accounting
+// (Lemma 4.6 / Claim 4.13), case coverage, tie conventions.
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "sensitivity/sensitivity.hpp"
+#include "seq/oracles.hpp"
+#include "test_util.hpp"
+
+namespace g = mpcmst::graph;
+namespace mpc = mpcmst::mpc;
+namespace seq = mpcmst::seq;
+namespace sn = mpcmst::sensitivity;
+
+namespace {
+
+void expect_sensitivity_matches(const sn::SensitivityResult& res,
+                                const g::Instance& inst,
+                                const std::string& tag) {
+  const auto brute = seq::sensitivity_brute(inst);
+  // Tree edges.
+  std::size_t seen = 0;
+  for (const auto& t : res.tree.local()) {
+    ++seen;
+    EXPECT_EQ(t.mc, brute.tree_mc[t.v]) << tag << " tree edge child " << t.v;
+    if (t.mc != g::kPosInfW) EXPECT_EQ(t.sens, t.mc - t.w);
+  }
+  EXPECT_EQ(seen, inst.n() - 1) << tag;
+  // Non-tree edges.
+  ASSERT_EQ(res.nontree.size(), inst.nontree.size()) << tag;
+  for (const auto& e : res.nontree.local()) {
+    EXPECT_EQ(e.maxpath, brute.nontree_maxpath[e.orig_id])
+        << tag << " non-tree edge " << e.orig_id;
+    EXPECT_EQ(e.sens, e.w - e.maxpath);
+  }
+}
+
+class SensShapes : public ::testing::TestWithParam<mpcmst::test::ShapeCase> {};
+
+TEST_P(SensShapes, MatchesBruteForceOnMstInstance) {
+  auto tree = GetParam().tree;
+  g::assign_random_tree_weights(tree, 1, 40, 31);
+  const auto inst = g::make_mst_instance(tree, 3 * tree.n, 33, 6);
+  ASSERT_TRUE(seq::verify_mst(inst));
+  auto eng = mpcmst::test::make_engine(64 * inst.input_words());
+  const auto res = sn::mst_sensitivity_mpc(eng, inst);
+  expect_sensitivity_matches(res, inst, GetParam().name);
+}
+
+TEST_P(SensShapes, MatchesBruteForceWithTies) {
+  auto tree = GetParam().tree;
+  g::assign_random_tree_weights(tree, 1, 6, 37);  // narrow range: many ties
+  const auto inst = g::make_mst_instance(tree, 2 * tree.n, 39, 0);
+  auto eng = mpcmst::test::make_engine(64 * inst.input_words());
+  const auto res = sn::mst_sensitivity_mpc(eng, inst);
+  expect_sensitivity_matches(res, inst, GetParam().name);
+}
+
+TEST_P(SensShapes, NoteAccountingIsLinear) {
+  auto tree = GetParam().tree;
+  g::assign_random_tree_weights(tree, 1, 20, 41);
+  const auto inst = g::make_mst_instance(tree, 2 * tree.n, 43, 5);
+  auto eng = mpcmst::test::make_engine(64 * inst.input_words());
+  const auto res = sn::mst_sensitivity_mpc(eng, inst);
+  // Claim 4.13: the live note pool stays O(n) (constant chosen generously).
+  EXPECT_LE(res.stats.notes_peak, 8 * inst.n() + 64) << GetParam().name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Catalog, SensShapes,
+    ::testing::ValuesIn(mpcmst::test::shape_catalog(127)),
+    [](const ::testing::TestParamInfo<mpcmst::test::ShapeCase>& inf) {
+      return inf.param.name;
+    });
+
+TEST(Sensitivity, UncoveredTreeEdgesAreInfinite) {
+  // A path with one non-tree edge covering only part of it.
+  g::Instance inst;
+  inst.tree = g::path_tree(8);
+  for (std::size_t v = 1; v < 8; ++v) inst.tree.weight[v] = 2;
+  inst.tree.weight[0] = 0;
+  inst.nontree = {{2, 5, 9}};  // covers edges with child 3,4,5
+  auto eng = mpcmst::test::make_engine(64 * inst.input_words());
+  const auto res = sn::mst_sensitivity_mpc(eng, inst);
+  for (const auto& t : res.tree.local()) {
+    if (t.v >= 3 && t.v <= 5) {
+      EXPECT_EQ(t.mc, 9) << "child " << t.v;
+      EXPECT_EQ(t.sens, 7);
+    } else {
+      EXPECT_EQ(t.mc, g::kPosInfW) << "child " << t.v;
+    }
+  }
+  EXPECT_EQ(res.nontree.local().at(0).maxpath, 2);
+  EXPECT_EQ(res.nontree.local().at(0).sens, 7);
+}
+
+TEST(Sensitivity, StarAndDeepPathExtremes) {
+  for (auto&& tree : {g::star_tree(200), g::path_tree(200)}) {
+    auto t = tree;
+    g::assign_random_tree_weights(t, 1, 15, 47);
+    const auto inst = g::make_mst_instance(t, 500, 49, 4);
+    auto eng = mpcmst::test::make_engine(64 * inst.input_words());
+    const auto res = sn::mst_sensitivity_mpc(eng, inst);
+    expect_sensitivity_matches(res, inst, "extreme");
+  }
+}
+
+TEST(Sensitivity, CaseCountersAreConsistent) {
+  auto tree = g::random_recursive_tree(300, 51);
+  g::assign_random_tree_weights(tree, 1, 30, 53);
+  const auto inst = g::make_mst_instance(tree, 600, 55, 5);
+  auto eng = mpcmst::test::make_engine(64 * inst.input_words());
+  const auto res = sn::mst_sensitivity_mpc(eng, inst);
+  // Case 1 kills an edge each time; cases 4/5 truncate.  All non-negative
+  // and bounded by total edge work.
+  EXPECT_GT(res.stats.case1 + res.stats.case4 + res.stats.case5, 0u);
+  EXPECT_GT(res.stats.contraction_steps, 0u);
+}
+
+TEST(Sensitivity, RoundsScaleWithDiameterNotSize) {
+  const std::size_t n = 1 << 10;
+  auto run = [&](g::RootedTree tree) {
+    const auto inst = g::make_layered_instance(std::move(tree), n, 57);
+    auto eng = mpcmst::test::make_engine(64 * inst.input_words());
+    (void)sn::mst_sensitivity_mpc(eng, inst);
+    return eng.rounds();
+  };
+  EXPECT_LT(run(g::kary_tree(n, 8)), run(g::path_tree(n)));
+}
+
+}  // namespace

@@ -1,0 +1,230 @@
+// Tests for the pointer-doubling toolkit and Euler-tour machinery:
+// depths, interval labels, subtree/root-path aggregates, validation, rooting.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <map>
+
+#include "graph/generators.hpp"
+#include "mpc/ops.hpp"
+#include "seq/oracles.hpp"
+#include "test_util.hpp"
+#include "treeops/doubling.hpp"
+#include "treeops/euler.hpp"
+#include "treeops/interval_label.hpp"
+
+namespace g = mpcmst::graph;
+namespace mpc = mpcmst::mpc;
+namespace to = mpcmst::treeops;
+namespace seq = mpcmst::seq;
+
+namespace {
+
+class TreeopsShapes
+    : public ::testing::TestWithParam<mpcmst::test::ShapeCase> {};
+
+TEST_P(TreeopsShapes, DepthsMatchSequential) {
+  const auto& tree = GetParam().tree;
+  auto eng = mpcmst::test::make_engine(8 * tree.n);
+  const auto dtree = to::load_tree(eng, tree);
+  const auto res = to::compute_depths(dtree, tree.root);
+  const seq::SeqTreeIndex idx(tree);
+  EXPECT_EQ(res.height, idx.height());
+  for (const auto& d : res.depth.local())
+    EXPECT_EQ(d.depth, idx.depth(d.v)) << "vertex " << d.v;
+  // Doubling converges in ~log2(height) iterations.
+  std::size_t logh = 0;
+  while ((std::int64_t{1} << logh) < std::max<std::int64_t>(idx.height(), 1))
+    ++logh;
+  EXPECT_LE(res.iterations, logh + 2) << "too many doubling iterations";
+}
+
+TEST_P(TreeopsShapes, IntervalLabelsMatchCanonicalDfs) {
+  const auto& tree = GetParam().tree;
+  auto eng = mpcmst::test::make_engine(8 * tree.n);
+  const auto dtree = to::load_tree(eng, tree);
+  const auto res = to::dfs_interval_labels(dtree, tree.root);
+  const seq::SeqTreeIndex idx(tree);
+  for (const auto& iv : res.intervals.local()) {
+    EXPECT_EQ(iv.lo, idx.pre(iv.v)) << "pre of " << iv.v;
+    EXPECT_EQ(iv.hi, idx.pre(iv.v) + idx.subtree_size(iv.v) - 1)
+        << "hi of " << iv.v;
+  }
+}
+
+TEST_P(TreeopsShapes, SubtreeAggregateSumAndMax) {
+  const auto& tree = GetParam().tree;
+  auto eng = mpcmst::test::make_engine(8 * tree.n);
+  const auto dtree = to::load_tree(eng, tree);
+  const auto depths = to::compute_depths(dtree, tree.root);
+  // Value of vertex v: (v * 7 + 3) % 101, so sums are nontrivial.
+  auto vals = mpc::map<to::VertexValue>(dtree, [](const to::TreeRec& t) {
+    return to::VertexValue{t.v, (t.v * 7 + 3) % 101};
+  });
+  const auto sums =
+      to::subtree_aggregate(dtree, depths.depth, vals, std::plus<>{});
+  const auto maxs = to::subtree_aggregate(
+      dtree, depths.depth, vals,
+      [](std::int64_t a, std::int64_t b) { return std::max(a, b); });
+
+  // Sequential reference by accumulating each vertex into all its ancestors.
+  std::vector<std::int64_t> ref_sum(tree.n, 0), ref_max(tree.n, INT64_MIN);
+  for (std::size_t v = 0; v < tree.n; ++v) {
+    const std::int64_t val = (static_cast<std::int64_t>(v) * 7 + 3) % 101;
+    g::Vertex x = static_cast<g::Vertex>(v);
+    while (true) {
+      ref_sum[x] += val;
+      ref_max[x] = std::max(ref_max[x], val);
+      if (x == tree.root) break;
+      x = tree.parent[x];
+    }
+  }
+  for (const auto& s : sums.local()) EXPECT_EQ(s.val, ref_sum[s.v]);
+  for (const auto& s : maxs.local()) EXPECT_EQ(s.val, ref_max[s.v]);
+}
+
+TEST_P(TreeopsShapes, RootpathAccumulateMax) {
+  auto tree = GetParam().tree;
+  g::assign_random_tree_weights(tree, 1, 40, 3);
+  auto eng = mpcmst::test::make_engine(8 * tree.n);
+  const auto dtree = to::load_tree(eng, tree);
+  auto vals = mpc::map<to::VertexValue>(dtree, [](const to::TreeRec& t) {
+    return to::VertexValue{t.v, t.v == t.parent ? INT64_MIN : t.w};
+  });
+  const auto res = to::rootpath_accumulate(
+      dtree, tree.root, vals,
+      [](std::int64_t a, std::int64_t b) { return std::max(a, b); },
+      INT64_MIN);
+  // acc(v) = max edge weight on the path v..root.
+  for (const auto& a : res.acc.local()) {
+    std::int64_t ref = INT64_MIN;
+    for (g::Vertex x = a.v; x != tree.root; x = tree.parent[x])
+      ref = std::max(ref, tree.weight[x]);
+    EXPECT_EQ(a.val, ref) << "vertex " << a.v;
+  }
+}
+
+TEST_P(TreeopsShapes, SparseAggregateMatchesBrute) {
+  const auto& tree = GetParam().tree;
+  auto eng = mpcmst::test::make_engine(16 * tree.n);
+  const auto dtree = to::load_tree(eng, tree);
+  const auto depths = to::compute_depths(dtree, tree.root);
+  // Entries: each vertex v contributes (slot = v % 5, val = v % 17).
+  std::vector<to::SlotValue> entries;
+  for (std::size_t v = 0; v < tree.n; ++v)
+    entries.push_back({static_cast<g::Vertex>(v),
+                       static_cast<std::int64_t>(v % 5),
+                       static_cast<std::int64_t>(v % 17)});
+  auto dent = mpc::scatter(eng, entries);
+  const auto agg = to::subtree_aggregate_sparse(dtree, depths.depth, dent);
+  // Brute: min per (ancestor, slot).
+  std::map<std::pair<g::Vertex, std::int64_t>, std::int64_t> ref;
+  for (std::size_t v = 0; v < tree.n; ++v) {
+    g::Vertex x = static_cast<g::Vertex>(v);
+    while (true) {
+      auto key = std::make_pair(x, static_cast<std::int64_t>(v % 5));
+      auto it = ref.find(key);
+      const std::int64_t val = static_cast<std::int64_t>(v % 17);
+      if (it == ref.end() || val < it->second) ref[key] = val;
+      if (x == tree.root) break;
+      x = tree.parent[x];
+    }
+  }
+  ASSERT_EQ(agg.size(), ref.size());
+  for (const auto& e : agg.local()) {
+    auto it = ref.find({e.v, e.slot});
+    ASSERT_NE(it, ref.end());
+    EXPECT_EQ(e.val, it->second);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Catalog, TreeopsShapes,
+    ::testing::ValuesIn(mpcmst::test::shape_catalog(193)),
+    [](const ::testing::TestParamInfo<mpcmst::test::ShapeCase>& info) {
+      return info.param.name;
+    });
+
+TEST(Validate, AcceptsTreesRejectsCyclesAndDoubleRoots) {
+  auto eng = mpcmst::test::make_engine(4096);
+  {
+    const auto tree = g::kary_tree(64, 3);
+    const auto dtree = to::load_tree(eng, tree);
+    EXPECT_TRUE(to::validate_rooted_tree(dtree, tree.root, 64));
+  }
+  {
+    // 0 -> ... with a 3-cycle among 5,6,7.
+    g::RootedTree bad = g::path_tree(8);
+    bad.parent[5] = 7;
+    bad.parent[6] = 5;
+    bad.parent[7] = 6;
+    const auto dtree = to::load_tree(eng, bad);
+    EXPECT_FALSE(to::validate_rooted_tree(dtree, bad.root, 8));
+  }
+  {
+    g::RootedTree two_roots = g::path_tree(8);
+    two_roots.parent[4] = 4;  // second self-loop
+    const auto dtree = to::load_tree(eng, two_roots);
+    EXPECT_FALSE(to::validate_rooted_tree(dtree, two_roots.root, 8));
+  }
+}
+
+TEST(Euler, RootingRecoversParentStructure) {
+  for (const auto& sc : mpcmst::test::shape_catalog(157, 19)) {
+    auto tree = sc.tree;
+    g::assign_random_tree_weights(tree, 1, 9, 5);
+    auto eng = mpcmst::test::make_engine(32 * tree.n);
+    const auto rooted =
+        to::root_tree_euler(eng, tree.n, tree.tree_edges(), tree.root);
+    ASSERT_TRUE(rooted.tree.well_formed()) << sc.name;
+    // Same root, same parent relation (orientation toward the root is
+    // unique for a tree).
+    EXPECT_EQ(rooted.tree.root, tree.root);
+    for (std::size_t v = 0; v < tree.n; ++v) {
+      EXPECT_EQ(rooted.tree.parent[v], tree.parent[v]) << sc.name << " v=" << v;
+      EXPECT_EQ(rooted.tree.weight[v], tree.weight[v]) << sc.name << " v=" << v;
+    }
+  }
+}
+
+TEST(Euler, IntervalsValidForAncestorTests) {
+  for (const auto& sc : mpcmst::test::shape_catalog(101, 23)) {
+    const auto& tree = sc.tree;
+    auto eng = mpcmst::test::make_engine(32 * tree.n);
+    const auto dtree = to::load_tree(eng, tree);
+    const auto res = to::euler_interval_labels(dtree, tree.root, tree.n);
+    std::vector<to::IntervalRec> byv(tree.n);
+    for (const auto& iv : res.intervals.local()) byv[iv.v] = iv;
+    const seq::SeqTreeIndex idx(tree);
+    for (std::size_t i = 0; i < 400; ++i) {
+      const auto a = static_cast<g::Vertex>((i * 37) % tree.n);
+      const auto b = static_cast<g::Vertex>((i * 61 + 29) % tree.n);
+      const bool anc = idx.is_ancestor(a, b);
+      EXPECT_EQ(anc, byv[a].lo <= byv[b].lo && byv[b].hi <= byv[a].hi)
+          << sc.name << " " << a << "," << b;
+    }
+    // Interval widths encode subtree sizes even in tour order.
+    for (std::size_t v = 0; v < tree.n; ++v)
+      EXPECT_EQ(byv[v].hi - byv[v].lo + 1,
+                idx.subtree_size(static_cast<g::Vertex>(v)));
+  }
+}
+
+TEST(Rounds, DepthRoundsScaleWithLogHeightNotN) {
+  // Same n, very different heights: the path needs many more doubling
+  // iterations than the star; both use O(log height) rounds.
+  const std::size_t n = 512;
+  auto run = [&](const g::RootedTree& tree) {
+    auto eng = mpcmst::test::make_engine(8 * n);
+    const auto dtree = to::load_tree(eng, tree);
+    const auto res = to::compute_depths(dtree, tree.root);
+    return std::pair<std::size_t, std::size_t>(res.iterations, eng.rounds());
+  };
+  const auto [it_star, rounds_star] = run(g::star_tree(n));
+  const auto [it_path, rounds_path] = run(g::path_tree(n));
+  EXPECT_LE(it_star, 2u);
+  EXPECT_GE(it_path, 8u);  // log2(511) ~ 9
+  EXPECT_LT(rounds_star, rounds_path);
+}
+
+}  // namespace

@@ -1,0 +1,58 @@
+// Shared helpers for the test suite: a catalog of tree shapes and instance
+// builders used by the parameterized sweeps.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "graph/instance.hpp"
+#include "mpc/config.hpp"
+#include "mpc/engine.hpp"
+
+namespace mpcmst::test {
+
+struct ShapeCase {
+  std::string name;
+  graph::RootedTree tree;
+};
+
+/// A spread of tree shapes at roughly `n` vertices covering the diameter
+/// spectrum; every shape is randomly relabeled so vertex ids carry no
+/// structural information.
+inline std::vector<ShapeCase> shape_catalog(std::size_t n,
+                                            std::uint64_t seed = 7) {
+  using namespace graph;
+  std::vector<ShapeCase> out;
+  out.push_back({"path", relabel_random(path_tree(n), seed + 1)});
+  out.push_back({"star", relabel_random(star_tree(n), seed + 2)});
+  out.push_back({"binary", relabel_random(kary_tree(n, 2), seed + 3)});
+  out.push_back({"k8ary", relabel_random(kary_tree(n, 8), seed + 4)});
+  out.push_back(
+      {"caterpillar",
+       relabel_random(caterpillar_tree(n, n / 2 ? n / 2 : 1, seed), seed + 5)});
+  out.push_back(
+      {"broom", relabel_random(broom_tree(n, n / 3 ? n / 3 : 1), seed + 6)});
+  out.push_back({"rand_depth8",
+                 relabel_random(random_tree_depth_bounded(n, 8, seed + 10),
+                                seed + 7)});
+  out.push_back(
+      {"rand_recursive",
+       relabel_random(random_recursive_tree(n, seed + 11), seed + 8)});
+  return out;
+}
+
+/// Default generously-sized engine for functional tests (capacity enforcement
+/// is still on, but with a large budget so only true blowups trip it).
+inline mpc::Engine make_engine(std::size_t input_words,
+                               std::uint64_t seed = 0x5eed) {
+  mpc::MpcConfig cfg;
+  cfg.machines = 16;
+  cfg.local_capacity =
+      std::max<std::size_t>(256, input_words);  // tests are small
+  cfg.block_slack = 8.0;
+  cfg.seed = seed;
+  return mpc::Engine(cfg);
+}
+
+}  // namespace mpcmst::test

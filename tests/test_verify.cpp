@@ -1,0 +1,184 @@
+// Tests for MST verification (Theorem 3.1) and the three baselines:
+// correctness against the sequential oracles (YES and NO instances across
+// the shape catalog), per-edge covering maxima, agreement among verifiers,
+// round/memory profiles.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "graph/generators.hpp"
+#include "seq/oracles.hpp"
+#include "test_util.hpp"
+#include "verify/baselines.hpp"
+#include "verify/verifier.hpp"
+
+namespace g = mpcmst::graph;
+namespace mpc = mpcmst::mpc;
+namespace seq = mpcmst::seq;
+namespace vf = mpcmst::verify;
+
+namespace {
+
+/// Sequential per-edge covering maxima for cross-checking verdicts.
+std::vector<g::Weight> seq_maxima(const g::Instance& inst) {
+  const seq::SeqTreeIndex idx(inst.tree);
+  std::vector<g::Weight> out;
+  out.reserve(inst.nontree.size());
+  for (const auto& e : inst.nontree)
+    out.push_back(e.u == e.v ? g::kNegInfW : idx.max_on_path(e.u, e.v));
+  return out;
+}
+
+void expect_verdicts_match(const vf::VerifyResult& res,
+                           const g::Instance& inst, const std::string& tag) {
+  const auto ref = seq_maxima(inst);
+  for (const auto& v : res.verdicts.local()) {
+    ASSERT_GE(v.orig_id, 0);
+    ASSERT_LT(static_cast<std::size_t>(v.orig_id), ref.size());
+    EXPECT_EQ(v.maxpath, ref[v.orig_id])
+        << tag << " edge " << v.orig_id << " {" << inst.nontree[v.orig_id].u
+        << "," << inst.nontree[v.orig_id].v << "}";
+    EXPECT_EQ(v.w, inst.nontree[v.orig_id].w);
+  }
+}
+
+class VerifyShapes : public ::testing::TestWithParam<mpcmst::test::ShapeCase> {
+};
+
+TEST_P(VerifyShapes, YesInstanceAccepted) {
+  auto tree = GetParam().tree;
+  g::assign_random_tree_weights(tree, 1, 40, 3);
+  const auto inst = g::make_mst_instance(tree, 3 * tree.n, 5, 6);
+  ASSERT_TRUE(seq::verify_mst(inst));
+  auto eng = mpcmst::test::make_engine(64 * inst.input_words());
+  const auto res = vf::verify_mst_mpc(eng, inst);
+  EXPECT_TRUE(res.is_mst) << GetParam().name;
+  EXPECT_EQ(res.violations, 0u);
+  expect_verdicts_match(res, inst, GetParam().name);
+}
+
+TEST_P(VerifyShapes, NoInstanceRejected) {
+  auto tree = GetParam().tree;
+  g::assign_random_tree_weights(tree, 1, 40, 7);
+  auto inst = g::make_mst_instance(tree, 3 * tree.n, 9, 6);
+  const std::size_t injected = g::inject_violations(inst, 5, 11);
+  ASSERT_GT(injected, 0u);
+  ASSERT_FALSE(seq::verify_mst(inst));
+  auto eng = mpcmst::test::make_engine(64 * inst.input_words());
+  const auto res = vf::verify_mst_mpc(eng, inst);
+  EXPECT_FALSE(res.is_mst) << GetParam().name;
+  EXPECT_GT(res.violations, 0u);
+  expect_verdicts_match(res, inst, GetParam().name);
+}
+
+TEST_P(VerifyShapes, RandomWeightsMatchOracleVerdict) {
+  auto tree = GetParam().tree;
+  g::assign_random_tree_weights(tree, 1, 30, 13);
+  const auto inst = g::make_random_instance(tree, 2 * tree.n, 15, 1, 80);
+  auto eng = mpcmst::test::make_engine(64 * inst.input_words());
+  const auto res = vf::verify_mst_mpc(eng, inst);
+  EXPECT_EQ(res.is_mst, seq::verify_mst(inst)) << GetParam().name;
+  expect_verdicts_match(res, inst, GetParam().name);
+}
+
+TEST_P(VerifyShapes, BaselinesAgreeWithPaperAlgorithm) {
+  auto tree = GetParam().tree;
+  g::assign_random_tree_weights(tree, 1, 25, 17);
+  const auto inst = g::make_random_instance(tree, 2 * tree.n, 19, 1, 60);
+  const auto ref = seq_maxima(inst);
+
+  auto run = [&](auto&& fn, const char* tag) {
+    auto eng = mpcmst::test::make_engine(64 * inst.input_words());
+    const auto res = fn(eng, inst);
+    EXPECT_EQ(res.is_mst, seq::verify_mst(inst)) << tag;
+    for (const auto& v : res.verdicts.local())
+      EXPECT_EQ(v.maxpath, ref[v.orig_id])
+          << tag << " edge " << v.orig_id << " (" << GetParam().name << ")";
+  };
+  run([](mpc::Engine& e, const g::Instance& i) { return vf::naive_verifier(e, i); },
+      "naive");
+  run([](mpc::Engine& e, const g::Instance& i) { return vf::lifting_verifier(e, i); },
+      "lifting");
+  run([](mpc::Engine& e, const g::Instance& i) { return vf::pram_verifier(e, i); },
+      "pram");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Catalog, VerifyShapes,
+    ::testing::ValuesIn(mpcmst::test::shape_catalog(131)),
+    [](const ::testing::TestParamInfo<mpcmst::test::ShapeCase>& inf) {
+      return inf.param.name;
+    });
+
+TEST(Verify, EmptyNontreeIsMst) {
+  auto tree = g::kary_tree(64, 3);
+  g::Instance inst;
+  inst.tree = tree;
+  auto eng = mpcmst::test::make_engine(64 * inst.input_words());
+  const auto res = vf::verify_mst_mpc(eng, inst);
+  EXPECT_TRUE(res.is_mst);
+}
+
+TEST(Verify, ValidatesInputWhenAsked) {
+  g::RootedTree bad = g::path_tree(32);
+  bad.parent[10] = 12;
+  bad.parent[11] = 10;
+  bad.parent[12] = 11;  // cycle
+  g::Instance inst;
+  inst.tree = bad;
+  inst.nontree = {{0, 5, 3}};
+  auto eng = mpcmst::test::make_engine(64 * inst.input_words());
+  const auto res =
+      vf::verify_mst_mpc(eng, inst, vf::VerifyOptions{/*validate=*/true});
+  EXPECT_FALSE(res.input_is_tree);
+  EXPECT_FALSE(res.is_mst);
+}
+
+TEST(Verify, TieWeightsAreAccepted) {
+  // w(e) == maxpath(e) keeps T an MST (Definition 1.2 tie convention).
+  g::Instance inst;
+  inst.tree.n = 4;
+  inst.tree.root = 0;
+  inst.tree.parent = {0, 0, 1, 2};
+  inst.tree.weight = {0, 5, 5, 5};
+  inst.nontree = {{0, 3, 5}};
+  auto eng = mpcmst::test::make_engine(64 * inst.input_words());
+  const auto res = vf::verify_mst_mpc(eng, inst);
+  EXPECT_TRUE(res.is_mst);
+  EXPECT_EQ(res.verdicts.local().at(0).maxpath, 5);
+}
+
+TEST(Verify, RoundsScaleWithDiameterNotSize) {
+  const std::size_t n = 1 << 10;
+  auto run = [&](g::RootedTree tree) {
+    const auto inst = g::make_layered_instance(std::move(tree), n, 23);
+    auto eng = mpcmst::test::make_engine(64 * inst.input_words());
+    const auto res = vf::verify_mst_mpc(eng, inst);
+    EXPECT_TRUE(res.is_mst);
+    return eng.rounds();
+  };
+  const auto shallow = run(g::kary_tree(n, 8));
+  const auto deep = run(g::path_tree(n));
+  EXPECT_LT(shallow, deep);
+}
+
+TEST(Verify, LinearGlobalMemoryAcrossDiameters) {
+  // The headline "optimal utilization": peak global words stays within a
+  // fixed multiple of the input size across the whole diameter spectrum.
+  const std::size_t n = 1 << 9;
+  std::map<std::string, double> ratios;
+  for (auto& [name, tree] :
+       std::map<std::string, g::RootedTree>{{"star", g::star_tree(n)},
+                                            {"kary", g::kary_tree(n, 4)},
+                                            {"path", g::path_tree(n)}}) {
+    const auto inst = g::make_layered_instance(std::move(tree), 2 * n, 29);
+    auto eng = mpcmst::test::make_engine(256 * inst.input_words());
+    (void)vf::verify_mst_mpc(eng, inst);
+    ratios[name] = static_cast<double>(eng.stats().peak_global_words) /
+                   static_cast<double>(inst.input_words());
+  }
+  for (const auto& [name, r] : ratios)
+    EXPECT_LT(r, 64.0) << name << " peak/input ratio " << r;
+}
+
+}  // namespace
