@@ -1,0 +1,183 @@
+// Service throughput: queries/sec against batch size and thread count, the
+// cache's effect (cold vs warm pass), and the amortization argument — how
+// many queries one distributed precomputation is worth versus re-running
+// mst_sensitivity_mpc per question (the batch-only workflow this subsystem
+// replaces).  Emits the table to stdout and BENCH_service.json for the
+// experiment harness.
+//
+//   $ ./bench_service_throughput [n] [out.json]
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <random>
+#include <vector>
+
+#include "common/table.hpp"
+#include "graph/generators.hpp"
+#include "sensitivity/sensitivity.hpp"
+#include "service/service.hpp"
+
+using namespace mpcmst;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+std::vector<service::Query> make_workload(const graph::Instance& inst,
+                                          std::size_t count,
+                                          std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<std::size_t> tree_pick(1, inst.n() - 1);
+  std::uniform_int_distribution<std::size_t> nontree_pick(
+      0, inst.nontree.size() - 1);
+  std::uniform_int_distribution<graph::Weight> delta(-50, 50);
+  std::vector<service::Query> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    graph::Vertex c = static_cast<graph::Vertex>(tree_pick(rng));
+    if (c == inst.tree.root) c = (c + 1) % inst.n();
+    switch (i % 4) {
+      case 0:
+        out.push_back(service::Query::price_change(c, inst.tree.parent[c],
+                                                   delta(rng)));
+        break;
+      case 1: {
+        const graph::WEdge& e = inst.nontree[nontree_pick(rng)];
+        out.push_back(service::Query::price_change(e.u, e.v, delta(rng)));
+        break;
+      }
+      case 2:
+        out.push_back(
+            service::Query::replacement_edge(inst.tree.parent[c], c));
+        break;
+      default:
+        out.push_back(
+            service::Query::corridor_headroom(c, inst.tree.parent[c]));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t n = argc > 1 ? std::stoul(argv[1]) : 20000;
+  const std::string out_path = argc > 2 ? argv[2] : "BENCH_service.json";
+
+  auto tree = graph::random_recursive_tree(n, 2024);
+  const auto inst =
+      graph::make_layered_instance(std::move(tree), 3 * n, 2025);
+
+  // --- the one-time distributed build ---
+  mpc::Engine eng(mpc::MpcConfig::scaled(inst.input_words(), 0.5, 64.0));
+  const auto t_build = Clock::now();
+  auto index = service::SensitivityIndex::build(eng, inst);
+  const double build_wall = seconds_since(t_build);
+
+  // --- baseline: the batch-only workflow pays one distributed run per
+  // question (what whatif_pricing.cpp used to hand-roll) ---
+  mpc::Engine base_eng(mpc::MpcConfig::scaled(inst.input_words(), 0.5, 64.0));
+  const auto t_base = Clock::now();
+  (void)sensitivity::mst_sensitivity_mpc(base_eng, inst);
+  const double rerun_wall = seconds_since(t_base);
+  const double rerun_qps = 1.0 / rerun_wall;
+
+  std::cout << "instance: n=" << inst.n() << " m=" << inst.m()
+            << "; index build: " << format_double(build_wall) << "s, "
+            << index->receipt().build_rounds << " MPC rounds, peak "
+            << index->receipt().peak_global_words << " words\n"
+            << "baseline full-run-per-query: "
+            << format_double(rerun_wall, 3) << "s/query\n\n";
+
+  Table table({"threads", "batch", "cold q/s", "warm q/s", "hit rate",
+               "speedup vs rerun"});
+  struct Point {
+    std::size_t threads, batch;
+    double cold_qps, warm_qps, hit_rate, speedup;
+  };
+  std::vector<Point> points;
+
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{2},
+                                    std::size_t{4}, std::size_t{8}}) {
+    for (const std::size_t batch :
+         {std::size_t{1024}, std::size_t{16384}, std::size_t{131072}}) {
+      const auto workload = make_workload(inst, batch, 7 * threads + batch);
+      service::QueryService svc(index, {.threads = threads,
+                                        .cache_capacity = std::size_t{1}
+                                                          << 18});
+      const auto t_cold = Clock::now();
+      auto cold = svc.answer_batch(workload);
+      const double cold_s = seconds_since(t_cold);
+      const auto before_warm = svc.stats().cache;
+      const auto t_warm = Clock::now();
+      auto warm = svc.answer_batch(workload);
+      const double warm_s = seconds_since(t_warm);
+      if (cold != warm) {
+        std::cerr << "FATAL: warm pass disagrees with cold pass\n";
+        return 1;
+      }
+      const double cold_qps = static_cast<double>(batch) / cold_s;
+      const double warm_qps = static_cast<double>(batch) / warm_s;
+      // Hit rate of the warm pass alone (the cold pass dilutes it to ~0.5).
+      const auto after_warm = svc.stats().cache;
+      const double warm_lookups = static_cast<double>(
+          (after_warm.hits - before_warm.hits) +
+          (after_warm.misses - before_warm.misses));
+      const double hit_rate =
+          warm_lookups == 0
+              ? 0.0
+              : static_cast<double>(after_warm.hits - before_warm.hits) /
+                    warm_lookups;
+      const double speedup = warm_qps / rerun_qps;
+      points.push_back(
+          {threads, batch, cold_qps, warm_qps, hit_rate, speedup});
+      table.row(threads, batch, cold_qps, warm_qps, hit_rate,
+                format_double(speedup, 0) + "x");
+    }
+  }
+  table.print(std::cout, "service throughput (index reused across configs)");
+
+  const Point& best = *std::max_element(
+      points.begin(), points.end(),
+      [](const Point& a, const Point& b) { return a.warm_qps < b.warm_qps; });
+  std::cout << "\nbest cached throughput: "
+            << format_double(best.warm_qps, 0) << " q/s ("
+            << best.threads << " threads, batch " << best.batch << ") — "
+            << format_double(best.speedup, 0)
+            << "x the rerun-per-query baseline\n";
+
+  std::ofstream out(out_path);
+  JsonWriter j(out);
+  j.begin_object();
+  j.key("bench").value("service_throughput");
+  j.key("n").value(inst.n());
+  j.key("m").value(inst.m());
+  j.key("build").begin_object();
+  j.key("wall_s").value(build_wall);
+  j.key("mpc_rounds").value(index->receipt().build_rounds);
+  j.key("peak_global_words").value(index->receipt().peak_global_words);
+  j.key("input_words").value(index->receipt().input_words);
+  j.end_object();
+  j.key("baseline_rerun_s_per_query").value(rerun_wall);
+  j.key("points").begin_array();
+  for (const Point& p : points) {
+    j.begin_object();
+    j.key("threads").value(p.threads);
+    j.key("batch").value(p.batch);
+    j.key("cold_qps").value(p.cold_qps);
+    j.key("warm_qps").value(p.warm_qps);
+    j.key("cache_hit_rate").value(p.hit_rate);
+    j.key("speedup_vs_rerun").value(p.speedup);
+    j.end_object();
+  }
+  j.end_array();
+  j.key("best_warm_qps").value(best.warm_qps);
+  j.key("best_speedup_vs_rerun").value(best.speedup);
+  j.end_object();
+  std::cout << "wrote " << out_path << "\n";
+  return 0;
+}

@@ -1,0 +1,125 @@
+// Interactive driver for the sensitivity query service: build the index for
+// one instance (the expensive distributed run), then answer what-if questions
+// from stdin until EOF.  Scriptable:
+//
+//   $ echo "top 5
+//           price 17 42 25
+//           stats" | ./service_repl [n]
+//
+// Commands:
+//   price <u> <v> <delta>   does the optimum survive the price change?
+//   replace <u> <v>         cheapest swap-in for a tree edge
+//   top <k>                 k least-headroom tree edges
+//   headroom <u> <v>        sensitivity of an edge (Definition 1.2)
+//   receipt                 cost of the one-time distributed build
+//   stats                   queries served / cache hit rate
+//   help, quit
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "common/table.hpp"
+#include "graph/generators.hpp"
+#include "mpc/config.hpp"
+#include "mpc/engine.hpp"
+#include "service/service.hpp"
+
+using namespace mpcmst;
+
+namespace {
+
+void print_help() {
+  std::cout << "commands: price <u> <v> <delta> | replace <u> <v> | top <k>"
+               " | headroom <u> <v> | receipt | stats | help | quit\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t n = argc > 1 ? std::stoul(argv[1]) : 2000;
+
+  auto tree = graph::caterpillar_tree(n, n / 8, 17);
+  graph::assign_random_tree_weights(tree, 100, 999, 23);
+  const auto inst = graph::make_mst_instance(std::move(tree), 3 * n, 29,
+                                             /*slack=*/400);
+
+  mpc::Engine eng(mpc::MpcConfig::scaled(inst.input_words(), 0.5, 64.0));
+  auto service = service::QueryService::build(eng, inst);
+  const auto& receipt = service->index().receipt();
+  std::cout << "index ready: n=" << inst.n() << " m=" << inst.m() << ", "
+            << receipt.build_rounds << " MPC rounds, tree is "
+            << (service->index().is_mst() ? "an MST" : "NOT an MST") << "\n";
+  print_help();
+
+  std::string line;
+  while (std::cout << "> " << std::flush, std::getline(std::cin, line)) {
+    std::istringstream in(line);
+    std::string cmd;
+    if (!(in >> cmd)) continue;
+    graph::Vertex u, v;
+    if (cmd == "quit" || cmd == "exit") break;
+    if (cmd == "help") {
+      print_help();
+    } else if (cmd == "price") {
+      graph::Weight delta;
+      if (!(in >> u >> v >> delta)) {
+        std::cout << "usage: price <u> <v> <delta>\n";
+        continue;
+      }
+      std::cout << to_string(service->price_change(u, v, delta)) << "\n";
+    } else if (cmd == "replace") {
+      if (!(in >> u >> v)) {
+        std::cout << "usage: replace <u> <v>\n";
+        continue;
+      }
+      const auto a = service->replacement_edge(u, v);
+      std::cout << to_string(a) << "\n";
+      if (a.status == service::Status::kOk && a.replacement >= 0) {
+        const auto& r = service->index().nontree_edge(a.replacement);
+        std::cout << "  swap in {" << r.u << "," << r.v << "} at " << r.w
+                  << "\n";
+      }
+    } else if (cmd == "top") {
+      std::int64_t k;
+      if (!(in >> k)) {
+        std::cout << "usage: top <k>\n";
+        continue;
+      }
+      const auto a = service->top_k_fragile(k);
+      std::cout << "  edge        price  headroom  swap-in\n";
+      for (const auto& f : a.fragile) {
+        std::cout << "  {" << f.child << "," << f.parent << "}  " << f.w
+                  << "  ";
+        if (f.sens >= graph::kPosInfW)
+          std::cout << "unbounded  none (bridge)\n";
+        else
+          std::cout << f.sens << "  #" << f.replacement << "\n";
+      }
+    } else if (cmd == "headroom") {
+      if (!(in >> u >> v)) {
+        std::cout << "usage: headroom <u> <v>\n";
+        continue;
+      }
+      std::cout << to_string(service->corridor_headroom(u, v)) << "\n";
+    } else if (cmd == "receipt") {
+      std::cout << "build: " << receipt.build_rounds << " MPC rounds, peak "
+                << receipt.peak_global_words << " words ("
+                << format_double(
+                       static_cast<double>(receipt.peak_global_words) /
+                       static_cast<double>(receipt.input_words))
+                << "x input), lca steps " << receipt.lca_contraction_steps
+                << ", contraction steps "
+                << receipt.sens_stats.contraction_steps << "\n";
+    } else if (cmd == "stats") {
+      const auto s = service->stats();
+      std::cout << s.queries_served << " served, cache hit rate "
+                << format_double(100.0 * s.cache.hit_rate()) << "% ("
+                << s.cache.entries << " entries)\n";
+    } else {
+      std::cout << "unknown command '" << cmd << "'\n";
+      print_help();
+    }
+  }
+  std::cout << "\n";
+  return 0;
+}

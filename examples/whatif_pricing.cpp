@@ -6,18 +6,20 @@
 //     corridor replaces it (Definition 1.2, tree side);
 //   - for unbuilt corridors (non-tree edges): the price cut needed before
 //     building it becomes optimal (Definition 1.2, non-tree side).
-// This is MST sensitivity verbatim; one MPC run answers every corridor.
+// One distributed run builds the sensitivity index; every corridor question
+// after that is a cheap local query against the service (src/service/).
+// Corridors nothing can replace report "unbounded" headroom — the kPosInfW
+// sentinel is never printed as if it were a price.
 //
 //   $ ./whatif_pricing [n]
 #include <algorithm>
 #include <iostream>
-#include <map>
 #include <vector>
 
 #include "graph/generators.hpp"
 #include "mpc/config.hpp"
 #include "mpc/engine.hpp"
-#include "sensitivity/sensitivity.hpp"
+#include "service/service.hpp"
 #include "seq/oracles.hpp"
 
 using namespace mpcmst;
@@ -33,47 +35,82 @@ int main(int argc, char** argv) {
                                        /*slack=*/400);
 
   mpc::Engine eng(mpc::MpcConfig::scaled(inst.input_words(), 0.5, 64.0));
-  const auto sens = sensitivity::mst_sensitivity_mpc(eng, inst);
+  auto service = service::QueryService::build(eng, inst);
+  const auto& index = service->index();
 
-  // Built corridors with the least pricing headroom.
-  std::vector<sensitivity::TreeEdgeSens> built(sens.tree.local());
-  std::sort(built.begin(), built.end(),
-            [](const auto& a, const auto& b) { return a.sens < b.sens; });
+  // Built corridors with the least pricing headroom, via one top-k query.
   std::cout << "corridors at pricing risk (price rise that changes the "
                "optimal plan):\n";
   std::cout << "  corridor  price  cheapest-alternative  headroom\n";
-  for (std::size_t i = 0; i < 8 && i < built.size(); ++i) {
-    const auto& t = built[i];
-    std::cout << "  {" << t.v << "," << inst.tree.parent[t.v] << "}  " << t.w
-              << "  " << (t.mc == graph::kPosInfW ? -1 : t.mc) << "  "
-              << (t.sens == graph::kPosInfW ? -1 : t.sens) << "\n";
+  const auto fragile = service->top_k_fragile(8);
+  for (const auto& f : fragile.fragile) {
+    std::cout << "  {" << f.child << "," << f.parent << "}  " << f.w << "  ";
+    if (f.replacement < 0) {
+      // Uncovered corridor: nothing can replace it, headroom is unbounded.
+      std::cout << "none  unbounded\n";
+      continue;
+    }
+    const auto& alt = index.nontree_edge(f.replacement);
+    std::cout << alt.w << " (corridor {" << alt.u << "," << alt.v << "})  "
+              << f.sens << "\n";
   }
 
-  // Unbuilt corridors closest to entering the optimal plan.
-  std::vector<sensitivity::NonTreeEdgeSens> unbuilt(sens.nontree.local());
+  // Unbuilt corridors closest to entering the optimal plan: smallest
+  // non-tree headroom.  Edges that cover nothing (kPosInfW headroom) can
+  // never enter and are skipped rather than printed as prices.
+  struct Candidate {
+    std::int64_t id;
+    graph::Weight sens;
+  };
+  std::vector<Candidate> unbuilt;
+  unbuilt.reserve(index.num_nontree());
+  for (std::size_t i = 0; i < index.num_nontree(); ++i) {
+    const auto& e = index.nontree_edge(static_cast<std::int64_t>(i));
+    if (e.sens >= graph::kPosInfW) continue;
+    // Skip corridors shadowed by a parallel edge: endpoint queries resolve
+    // to the tree edge (or the lightest duplicate), so the service would be
+    // answering about a different corridor than this row.
+    const auto ref = index.find(e.u, e.v);
+    if (!ref || ref->is_tree || ref->id != static_cast<std::int64_t>(i))
+      continue;
+    unbuilt.push_back({static_cast<std::int64_t>(i), e.sens});
+  }
   std::sort(unbuilt.begin(), unbuilt.end(),
-            [](const auto& a, const auto& b) { return a.sens < b.sens; });
+            [](const Candidate& a, const Candidate& b) {
+              return a.sens != b.sens ? a.sens < b.sens : a.id < b.id;
+            });
   std::cout << "\nunbuilt corridors closest to viability (required price "
                "cut):\n";
   std::cout << "  corridor  price  displaces-at  cut-needed\n";
   for (std::size_t i = 0; i < 8 && i < unbuilt.size(); ++i) {
-    const auto& e = unbuilt[i];
-    const auto& edge = inst.nontree[e.orig_id];
-    std::cout << "  {" << edge.u << "," << edge.v << "}  " << e.w << "  "
-              << e.maxpath << "  " << e.sens << "\n";
+    const auto& e = index.nontree_edge(unbuilt[i].id);
+    const auto a = service->price_change(e.u, e.v, -e.sens - 1);
+    std::cout << "  {" << e.u << "," << e.v << "}  " << e.w << "  "
+              << e.maxpath << "  " << e.sens
+              << (a.still_optimal ? "" : "  (cut+1 flips the plan)") << "\n";
   }
 
   // Sanity: the cheapest projected swap really keeps the plan optimal.
-  // (Lower the best unbuilt corridor by its sens and re-verify.)
+  // (Lower the best unbuilt corridor by its headroom and re-verify.)
   if (!unbuilt.empty() && unbuilt.front().sens > 0) {
+    const auto& e = index.nontree_edge(unbuilt.front().id);
+    const auto at_tie = service->price_change(e.u, e.v, -unbuilt.front().sens);
     auto mutated = inst;
-    mutated.nontree[unbuilt.front().orig_id].w -= unbuilt.front().sens;
+    mutated.nontree[unbuilt.front().id].w -= unbuilt.front().sens;
+    const bool oracle = seq::verify_mst(mutated);
     std::cout << "\nafter applying the top cut, the tree is "
-              << (seq::verify_mst(mutated) ? "still optimal (tie swap)"
-                                           : "no longer uniquely optimal")
+              << (oracle ? "still optimal (tie swap)"
+                         : "no longer uniquely optimal")
+              << "; the service " << (at_tie.still_optimal == oracle
+                                          ? "agrees"
+                                          : "DISAGREES (bug!)")
               << "\n";
   }
-  std::cout << "\nanswered " << (inst.m()) << " corridor questions in "
-            << eng.rounds() << " MPC rounds\n";
+
+  const auto stats = service->stats();
+  std::cout << "\nanswered " << stats.queries_served
+            << " corridor questions against one index built in "
+            << index.receipt().build_rounds << " MPC rounds ("
+            << inst.m() << " corridors indexed)\n";
   return 0;
 }

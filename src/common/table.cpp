@@ -51,4 +51,113 @@ std::string format_double(double v, int precision) {
   return os.str();
 }
 
+JsonWriter::JsonWriter(std::ostream& os) : os_(os) {}
+
+void JsonWriter::prepare_slot() {
+  if (after_key_) {
+    after_key_ = false;
+    return;  // value goes right after "key": on the same line
+  }
+  if (!has_items_.empty()) {
+    if (has_items_.back()) os_ << ",";
+    has_items_.back() = true;
+    os_ << "\n" << std::string(2 * has_items_.size(), ' ');
+  }
+}
+
+void JsonWriter::escape(const std::string& s) {
+  os_ << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': os_ << "\\\""; break;
+      case '\\': os_ << "\\\\"; break;
+      case '\n': os_ << "\\n"; break;
+      case '\t': os_ << "\\t"; break;
+      case '\r': os_ << "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          os_ << "\\u00" << "0123456789abcdef"[(c >> 4) & 0xf]
+              << "0123456789abcdef"[c & 0xf];
+        } else {
+          os_ << c;
+        }
+    }
+  }
+  os_ << '"';
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  prepare_slot();
+  os_ << "{";
+  has_items_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  MPCMST_ASSERT(!has_items_.empty() && !after_key_, "json: bad end_object");
+  const bool had = has_items_.back();
+  has_items_.pop_back();
+  if (had) os_ << "\n" << std::string(2 * has_items_.size(), ' ');
+  os_ << "}";
+  if (has_items_.empty()) os_ << "\n";
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  prepare_slot();
+  os_ << "[";
+  has_items_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  MPCMST_ASSERT(!has_items_.empty() && !after_key_, "json: bad end_array");
+  const bool had = has_items_.back();
+  has_items_.pop_back();
+  if (had) os_ << "\n" << std::string(2 * has_items_.size(), ' ');
+  os_ << "]";
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(const std::string& name) {
+  MPCMST_ASSERT(!after_key_, "json: key after key");
+  prepare_slot();
+  escape(name);
+  os_ << ": ";
+  after_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const std::string& v) {
+  prepare_slot();
+  escape(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const char* v) { return value(std::string(v)); }
+
+JsonWriter& JsonWriter::value(double v) {
+  prepare_slot();
+  os_ << format_double(v, 4);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  prepare_slot();
+  os_ << (v ? "true" : "false");
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  prepare_slot();
+  os_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+  prepare_slot();
+  os_ << v;
+  return *this;
+}
+
 }  // namespace mpcmst

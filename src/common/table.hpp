@@ -2,8 +2,10 @@
 // the paper-style result tables (EXPERIMENTS.md records these).
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 namespace mpcmst {
@@ -33,6 +35,54 @@ class Table {
 };
 
 std::string format_double(double v, int precision = 2);
+
+/// Streaming JSON writer for the machine-readable benchmark outputs
+/// (BENCH_*.json).  Handles nesting, comma placement, string escaping and
+/// indentation; values are numbers, booleans or strings.
+///
+///   JsonWriter j(os);
+///   j.begin_object();
+///   j.key("qps").value(123.4);
+///   j.key("points").begin_array();
+///   ... j.begin_object(); ... j.end_object(); ...
+///   j.end_array();
+///   j.end_object();
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& os);
+
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+  JsonWriter& key(const std::string& name);
+  JsonWriter& value(const std::string& v);
+  JsonWriter& value(const char* v);
+  JsonWriter& value(double v);
+  JsonWriter& value(bool v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(std::uint64_t v);
+  /// Any other integer (int, std::size_t where it is a distinct type, ...)
+  /// widens to the matching 64-bit overload instead of being ambiguous.
+  template <class T>
+    requires(std::is_integral_v<T> && !std::is_same_v<T, bool> &&
+             !std::is_same_v<T, std::int64_t> &&
+             !std::is_same_v<T, std::uint64_t>)
+  JsonWriter& value(T v) {
+    if constexpr (std::is_signed_v<T>)
+      return value(static_cast<std::int64_t>(v));
+    else
+      return value(static_cast<std::uint64_t>(v));
+  }
+
+ private:
+  void prepare_slot();  // comma + newline + indent as needed
+  void escape(const std::string& s);
+
+  std::ostream& os_;
+  std::vector<bool> has_items_;  // per open scope
+  bool after_key_ = false;
+};
 
 }  // namespace mpcmst
 

@@ -112,7 +112,7 @@ struct TreeMcResult {
 
 /// Algorithms 5-7: mc value of every covered tree edge.
 TreeMcResult tree_edge_mc(const mpc::Dist<TreeRec>& tree, Vertex root,
-                          const treeops::DepthResult& depths,
+                          const treeops::DepthResult& /*depths*/,
                           const mpc::Dist<treeops::IntervalRec>& intervals,
                           const mpc::Dist<AdEdge>& halves, std::int64_t dhat) {
   mpc::Engine& eng = tree.engine();
@@ -530,23 +530,18 @@ TreeMcResult tree_edge_mc(const mpc::Dist<TreeRec>& tree, Vertex root,
 
 SensitivityResult mst_sensitivity_mpc(mpc::Engine& eng,
                                       const graph::Instance& inst) {
-  const auto dtree = treeops::load_tree(eng, inst.tree);
-  const auto depths = treeops::compute_depths(dtree, inst.tree.root);
-  const std::int64_t dhat = 2 * std::max<std::int64_t>(depths.height, 1);
-  const auto labels =
-      treeops::dfs_interval_labels(dtree, inst.tree.root, depths);
+  // Observation 2.20 keeps both the tree-edge mc values and the non-tree
+  // maxima unchanged under the ancestor-descendant transform.
+  return mst_sensitivity_mpc(inst, verify::build_artifacts(eng, inst));
+}
 
-  // LCA + ancestor-descendant transform (Observation 2.20 keeps both the
-  // tree-edge mc values and the non-tree maxima unchanged).
-  std::vector<lca::IdEdge> nontree;
-  nontree.reserve(inst.nontree.size());
-  for (std::size_t i = 0; i < inst.nontree.size(); ++i)
-    nontree.push_back({inst.nontree[i].u, inst.nontree[i].v,
-                       inst.nontree[i].w, static_cast<std::int64_t>(i)});
-  auto dedges = mpc::scatter(eng, std::move(nontree));
-  const auto lcares = lca::all_edges_lca(dtree, inst.tree.root, depths,
-                                         labels.intervals, dedges, dhat);
-  const auto halves = lca::ancestor_descendant_transform(lcares);
+SensitivityResult mst_sensitivity_mpc(const graph::Instance& inst,
+                                      const verify::Artifacts& art) {
+  mpc::Engine& eng = art.tree.engine();
+  const mpc::Dist<TreeRec>& dtree = art.tree;
+  const mpc::Dist<treeops::IntervalRec>& intervals = art.intervals;
+  const mpc::Dist<AdEdge>& halves = art.halves;
+  const std::int64_t dhat = art.dhat;
 
   SensitivityResult out{mpc::Dist<TreeEdgeSens>(eng),
                         mpc::Dist<NonTreeEdgeSens>(eng),
@@ -556,8 +551,7 @@ SensitivityResult mst_sensitivity_mpc(mpc::Engine& eng,
   // Non-tree sensitivity via the verification core (Observation 4.2).
   {
     const auto hv = verify::max_covered_weights(
-        dtree, inst.tree.root, labels.intervals, halves, dhat,
-        &out.verify_core);
+        dtree, inst.tree.root, intervals, halves, dhat, &out.verify_core);
     auto combined = mpc::reduce_by_key<std::uint64_t, Weight>(
         hv,
         [](const verify::HalfVerdict& v) { return std::uint64_t(v.orig_id); },
@@ -586,8 +580,8 @@ SensitivityResult mst_sensitivity_mpc(mpc::Engine& eng,
 
   // Tree-edge sensitivity via Algorithms 5-7 (Observation 4.3).
   {
-    TreeMcResult mc = tree_edge_mc(dtree, inst.tree.root, depths,
-                                   labels.intervals, halves, dhat);
+    TreeMcResult mc = tree_edge_mc(dtree, inst.tree.root, art.depths,
+                                   intervals, halves, dhat);
     out.stats = mc.stats;
     mpc::Dist<TreeEdgeSens> rows = mpc::flat_map<TreeEdgeSens>(
         dtree, [](const TreeRec& t, auto&& emit) {

@@ -69,4 +69,9 @@ struct SensitivityResult {
 SensitivityResult mst_sensitivity_mpc(mpc::Engine& eng,
                                       const graph::Instance& inst);
 
+/// Same, against prebuilt artifacts (verify::build_artifacts), so one prelude
+/// serves verification, sensitivity, and the service index build.
+SensitivityResult mst_sensitivity_mpc(const graph::Instance& inst,
+                                      const verify::Artifacts& art);
+
 }  // namespace mpcmst::sensitivity

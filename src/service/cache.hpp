@@ -1,0 +1,118 @@
+// Sharded LRU result cache of the query service.
+//
+// The keyspace is split across independently-locked shards (shard = key hash
+// high bits), so concurrent workers rarely contend on the same mutex; each
+// shard is a classic intrusive-list LRU over an unordered_map.  Keys are
+// compared for real equality — the hash only routes, it never answers — so
+// hash collisions cost a lookup, never a wrong answer.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace mpcmst::service {
+
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::size_t entries = 0;
+
+  double hit_rate() const {
+    const double total = static_cast<double>(hits + misses);
+    return total == 0 ? 0.0 : static_cast<double>(hits) / total;
+  }
+};
+
+template <class Key, class Value, class Hash = std::hash<Key>>
+class ShardedLruCache {
+ public:
+  /// `capacity` entries total, spread over `shards` independent LRUs.
+  /// capacity == 0 disables caching (every get misses, puts are dropped).
+  explicit ShardedLruCache(std::size_t capacity, std::size_t shards = 16)
+      : shards_(shards ? shards : 1) {
+    per_shard_capacity_ = capacity / shards_.size();
+    if (capacity > 0 && per_shard_capacity_ == 0) per_shard_capacity_ = 1;
+  }
+
+  std::optional<Value> get(const Key& key) {
+    Shard& s = shard_of(key);
+    std::lock_guard<std::mutex> lock(s.mu);
+    auto it = s.map.find(key);
+    if (it == s.map.end()) {
+      s.misses.fetch_add(1, std::memory_order_relaxed);
+      return std::nullopt;
+    }
+    s.lru.splice(s.lru.begin(), s.lru, it->second);  // mark most-recent
+    s.hits.fetch_add(1, std::memory_order_relaxed);
+    return it->second->second;
+  }
+
+  void put(const Key& key, Value value) {
+    if (per_shard_capacity_ == 0) return;
+    Shard& s = shard_of(key);
+    std::lock_guard<std::mutex> lock(s.mu);
+    auto it = s.map.find(key);
+    if (it != s.map.end()) {
+      it->second->second = std::move(value);
+      s.lru.splice(s.lru.begin(), s.lru, it->second);
+      return;
+    }
+    s.lru.emplace_front(key, std::move(value));
+    s.map.emplace(key, s.lru.begin());
+    if (s.map.size() > per_shard_capacity_) {
+      s.map.erase(s.lru.back().first);
+      s.lru.pop_back();
+      s.evictions.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  CacheStats stats() const {
+    CacheStats out;
+    for (const Shard& s : shards_) {
+      out.hits += s.hits.load(std::memory_order_relaxed);
+      out.misses += s.misses.load(std::memory_order_relaxed);
+      out.evictions += s.evictions.load(std::memory_order_relaxed);
+      std::lock_guard<std::mutex> lock(s.mu);
+      out.entries += s.map.size();
+    }
+    return out;
+  }
+
+  void clear() {
+    for (Shard& s : shards_) {
+      std::lock_guard<std::mutex> lock(s.mu);
+      s.map.clear();
+      s.lru.clear();
+    }
+  }
+
+  std::size_t num_shards() const { return shards_.size(); }
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    std::list<std::pair<Key, Value>> lru;  // front = most recently used
+    std::unordered_map<Key, typename std::list<std::pair<Key, Value>>::iterator,
+                       Hash>
+        map;
+    std::atomic<std::uint64_t> hits{0}, misses{0}, evictions{0};
+  };
+
+  Shard& shard_of(const Key& key) {
+    // Route on the high bits: unordered_map buckets consume the low ones.
+    const std::size_t h = Hash{}(key);
+    return shards_[(h >> 16) % shards_.size()];
+  }
+
+  std::vector<Shard> shards_;
+  std::size_t per_shard_capacity_ = 0;
+};
+
+}  // namespace mpcmst::service

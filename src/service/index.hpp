@@ -1,0 +1,128 @@
+// SensitivityIndex: the precompute-once half of the query service.
+//
+// One distributed run (verify::build_artifacts + verify_mst_mpc +
+// mst_sensitivity_mpc over a shared prelude) is snapshotted into an
+// immutable, host-side index:
+//   - per tree edge {v, p(v)}: weight, mc (min covering non-tree weight,
+//     Observation 4.3) and the concrete replacement edge achieving it;
+//   - per non-tree edge: weight, maxpath (covering maximum, Observation 4.2);
+//   - an endpoint map resolving {u, v} to either side;
+//   - the fragility order (tree edges by ascending sensitivity);
+//   - a cost receipt of the distributed build (rounds, memory, stats).
+// Every subsequent what-if question is O(1) (or O(k)) local work against
+// this snapshot — the serve-many half lives in service.hpp.
+//
+// The replacement edges are not part of the MPC output (the paper computes
+// mc values, not argmins); the build derives them with the sequential
+// covering relaxation [Tar82] and cross-checks w(replacement) == mc against
+// the distributed result, so the index is self-validating on MST inputs.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/instance.hpp"
+#include "mpc/engine.hpp"
+#include "sensitivity/sensitivity.hpp"
+#include "verify/verifier.hpp"
+
+namespace mpcmst::service {
+
+using graph::Vertex;
+using graph::Weight;
+
+/// Resolved edge handle: a tree edge is keyed by its child endpoint, a
+/// non-tree edge by its position in Instance::nontree.
+struct EdgeRef {
+  bool is_tree = false;
+  std::int64_t id = -1;  // child vertex (tree) or orig_id (non-tree)
+
+  friend bool operator==(const EdgeRef&, const EdgeRef&) = default;
+};
+
+/// Tree edge {v, p(v)}, indexed by child v (the root slot is unused).
+struct TreeEdgeInfo {
+  Vertex parent = -1;
+  Weight w = 0;
+  Weight mc = graph::kPosInfW;    // kPosInfW: uncovered (bridge in G)
+  Weight sens = graph::kPosInfW;  // mc - w
+  std::int64_t replacement = -1;  // orig_id of the argmin cover, -1 if none
+};
+
+/// Non-tree edge, indexed by orig_id.
+struct NonTreeEdgeInfo {
+  Vertex u = 0;
+  Vertex v = 0;
+  Weight w = 0;
+  Weight maxpath = graph::kNegInfW;  // kNegInfW: covers nothing (self loop)
+  Weight sens = graph::kPosInfW;     // w - maxpath (kPosInfW if no cover)
+};
+
+/// What the one-time distributed build cost (served back with every
+/// stats() call so operators can amortize it against query volume).
+struct CostReceipt {
+  std::size_t build_rounds = 0;       // total MPC rounds of the build
+  std::size_t peak_global_words = 0;  // measured global memory g
+  std::size_t input_words = 0;
+  std::size_t lca_contraction_steps = 0;
+  verify::CoreStats verify_core;
+  sensitivity::SensitivityStats sens_stats;
+};
+
+/// Immutable snapshot of one mst_sensitivity_mpc run.  Thread-safe by
+/// construction: all accessors are const and the service shares it read-only.
+class SensitivityIndex {
+ public:
+  /// Run the distributed pipeline on `eng` and snapshot the result.
+  /// Verification rides on the same prelude: `is_mst()` records whether the
+  /// tree really is an MST (sensitivity values are only meaningful if so).
+  static std::shared_ptr<const SensitivityIndex> build(
+      mpc::Engine& eng, const graph::Instance& inst);
+
+  std::size_t n() const { return tree_.size(); }
+  std::size_t num_nontree() const { return nontree_.size(); }
+  Vertex root() const { return root_; }
+  bool is_mst() const { return violations_ == 0; }
+  std::size_t violations() const { return violations_; }
+
+  /// 64-bit fingerprint of the underlying instance (cache key component).
+  std::uint64_t fingerprint() const { return fingerprint_; }
+
+  const CostReceipt& receipt() const { return receipt_; }
+
+  /// `child` must be a non-root vertex.
+  const TreeEdgeInfo& tree_edge(Vertex child) const {
+    return tree_[static_cast<std::size_t>(child)];
+  }
+  const NonTreeEdgeInfo& nontree_edge(std::int64_t orig_id) const {
+    return nontree_[static_cast<std::size_t>(orig_id)];
+  }
+
+  /// Resolve an edge by endpoints (order-insensitive).  Tree edges win when
+  /// both a tree and a non-tree edge join u and v (parallel edges); a
+  /// non-tree duplicate resolves to the lightest one.
+  std::optional<EdgeRef> find(Vertex u, Vertex v) const;
+
+  /// Tree edges (as child vertices) by ascending sensitivity, ties by id.
+  const std::vector<Vertex>& fragile_order() const { return fragile_order_; }
+
+  /// Compute the instance fingerprint without building an index.
+  static std::uint64_t fingerprint_of(const graph::Instance& inst);
+
+ private:
+  SensitivityIndex() = default;
+
+  Vertex root_ = 0;
+  std::uint64_t fingerprint_ = 0;
+  std::size_t violations_ = 0;
+  std::vector<TreeEdgeInfo> tree_;
+  std::vector<NonTreeEdgeInfo> nontree_;
+  std::vector<Vertex> fragile_order_;
+  std::unordered_map<std::uint64_t, EdgeRef> by_endpoints_;
+  CostReceipt receipt_;
+};
+
+}  // namespace mpcmst::service

@@ -1,0 +1,160 @@
+#include "service/query.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace mpcmst::service {
+
+namespace {
+
+/// Sentinel-aware weight formatting (kPosInfW is "unbounded", never a price).
+std::string weight_str(Weight w) {
+  if (w >= graph::kPosInfW) return "inf";
+  if (w <= graph::kNegInfW) return "-inf";
+  return std::to_string(w);
+}
+
+Query edge_query(QueryKind kind, Vertex u, Vertex v) {
+  Query q;
+  q.kind = kind;
+  q.u = std::min(u, v);  // canonical: equal questions hash equally
+  q.v = std::max(u, v);
+  return q;
+}
+
+}  // namespace
+
+Query Query::price_change(Vertex u, Vertex v, Weight delta) {
+  Query q = edge_query(QueryKind::kPriceChange, u, v);
+  // Clamp to the sentinel band: weights live well below kPosInfW (see
+  // graph/types.hpp), so w + delta cannot overflow and any delta at the
+  // band answers the same as the band edge.  Also canonicalizes cache keys.
+  q.delta = std::clamp(delta, graph::kNegInfW, graph::kPosInfW);
+  return q;
+}
+
+Query Query::replacement_edge(Vertex u, Vertex v) {
+  return edge_query(QueryKind::kReplacementEdge, u, v);
+}
+
+Query Query::top_k_fragile(std::int64_t k) {
+  Query q;
+  q.kind = QueryKind::kTopKFragile;
+  q.k = std::max<std::int64_t>(k, 0);
+  return q;
+}
+
+Query Query::corridor_headroom(Vertex u, Vertex v) {
+  return edge_query(QueryKind::kCorridorHeadroom, u, v);
+}
+
+Answer answer_query(const SensitivityIndex& index, const Query& q) {
+  Answer a;
+  if (q.kind == QueryKind::kTopKFragile) {
+    const auto& order = index.fragile_order();
+    const std::size_t k =
+        std::min<std::size_t>(static_cast<std::size_t>(q.k), order.size());
+    a.fragile.reserve(k);
+    for (std::size_t i = 0; i < k; ++i) {
+      const Vertex child = order[i];
+      const TreeEdgeInfo& e = index.tree_edge(child);
+      a.fragile.push_back(
+          FragileEntry{child, e.parent, e.w, e.sens, e.replacement});
+    }
+    return a;
+  }
+
+  const auto ref = index.find(q.u, q.v);
+  if (!ref) {
+    a.status = Status::kUnknownEdge;
+    return a;
+  }
+  a.edge = *ref;
+
+  if (ref->is_tree) {
+    const TreeEdgeInfo& e = index.tree_edge(ref->id);
+    a.headroom = e.sens;
+    a.swap_cost = e.mc;
+    a.replacement = e.replacement;
+    switch (q.kind) {
+      case QueryKind::kPriceChange:
+        // Definition 1.2, tree side: T stays optimal iff the new weight does
+        // not exceed the cheapest cover (a tie keeps T optimal).  A bridge
+        // (mc == kPosInfW) stays optimal at any price — including deltas
+        // clamped to the sentinel band, where w + delta would exceed mc.
+        a.still_optimal =
+            e.mc >= graph::kPosInfW || e.w + q.delta <= e.mc;
+        break;
+      case QueryKind::kReplacementEdge:
+      case QueryKind::kCorridorHeadroom:
+        break;
+      case QueryKind::kTopKFragile:
+        break;  // unreachable
+    }
+  } else {
+    const NonTreeEdgeInfo& e = index.nontree_edge(ref->id);
+    a.headroom = e.sens;
+    a.swap_cost = e.maxpath;
+    switch (q.kind) {
+      case QueryKind::kPriceChange:
+        // Non-tree side: the edge stays out iff it is no lighter than the
+        // covering maximum of its path (ties keep T optimal).
+        a.still_optimal = e.w + q.delta >= e.maxpath;
+        break;
+      case QueryKind::kReplacementEdge:
+        a.status = Status::kNotApplicable;  // nothing to replace: not in T
+        break;
+      case QueryKind::kCorridorHeadroom:
+        break;
+      case QueryKind::kTopKFragile:
+        break;  // unreachable
+    }
+  }
+  return a;
+}
+
+std::string to_string(const Query& q) {
+  std::ostringstream os;
+  switch (q.kind) {
+    case QueryKind::kPriceChange:
+      os << "price_change({" << q.u << "," << q.v << "}, " << q.delta << ")";
+      break;
+    case QueryKind::kReplacementEdge:
+      os << "replacement_edge({" << q.u << "," << q.v << "})";
+      break;
+    case QueryKind::kTopKFragile:
+      os << "top_k_fragile(" << q.k << ")";
+      break;
+    case QueryKind::kCorridorHeadroom:
+      os << "corridor_headroom({" << q.u << "," << q.v << "})";
+      break;
+  }
+  return os.str();
+}
+
+std::string to_string(const Answer& a) {
+  std::ostringstream os;
+  switch (a.status) {
+    case Status::kUnknownEdge:
+      return "unknown edge";
+    case Status::kNotApplicable:
+      return "not applicable (non-tree edge)";
+    case Status::kOk:
+      break;
+  }
+  if (!a.fragile.empty() || a.edge.id < 0) {
+    os << a.fragile.size() << " fragile edges:";
+    for (const FragileEntry& f : a.fragile)
+      os << " {" << f.child << "," << f.parent << "} w=" << f.w
+         << " headroom=" << weight_str(f.sens);
+    return os.str();
+  }
+  os << (a.edge.is_tree ? "tree" : "non-tree") << " edge, "
+     << (a.still_optimal ? "still optimal" : "optimum changes")
+     << ", headroom=" << weight_str(a.headroom)
+     << ", swap_cost=" << weight_str(a.swap_cost);
+  if (a.replacement >= 0) os << ", replacement=#" << a.replacement;
+  return os.str();
+}
+
+}  // namespace mpcmst::service

@@ -1,0 +1,92 @@
+// Query and answer types of the sensitivity service, plus the stateless
+// single-query evaluator.
+//
+// Every query is answered in O(1) (or O(k) for top-k) host-side work against
+// an immutable SensitivityIndex; the tie convention follows Definition 1.2
+// throughout (a weight change that creates a tie keeps T optimal).
+//
+// Queries are value types with a canonical form (endpoints are
+// order-insensitive), so equal questions hash equally — the property the
+// result cache keys on.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/hash.hpp"
+#include "service/index.hpp"
+
+namespace mpcmst::service {
+
+enum class QueryKind : std::uint8_t {
+  kPriceChange,       // edge {u, v}, delta: does T stay optimal?
+  kReplacementEdge,   // tree edge {u, v}: cheapest swap-in cover
+  kTopKFragile,       // k tree edges with least sensitivity
+  kCorridorHeadroom,  // edge {u, v}: its sensitivity (Definition 1.2)
+};
+
+struct Query {
+  QueryKind kind = QueryKind::kCorridorHeadroom;
+  Vertex u = -1;
+  Vertex v = -1;
+  Weight delta = 0;
+  std::int64_t k = 0;
+
+  static Query price_change(Vertex u, Vertex v, Weight delta);
+  static Query replacement_edge(Vertex u, Vertex v);
+  static Query top_k_fragile(std::int64_t k);
+  static Query corridor_headroom(Vertex u, Vertex v);
+
+  friend bool operator==(const Query&, const Query&) = default;
+};
+
+struct QueryHash {
+  std::size_t operator()(const Query& q) const noexcept {
+    return static_cast<std::size_t>(hash_combine(
+        hash_combine(static_cast<std::uint64_t>(q.kind),
+                     static_cast<std::uint64_t>(q.u),
+                     static_cast<std::uint64_t>(q.v)),
+        static_cast<std::uint64_t>(q.delta),
+        static_cast<std::uint64_t>(q.k)));
+  }
+};
+
+enum class Status : std::uint8_t {
+  kOk,
+  kUnknownEdge,     // {u, v} is neither a tree nor a non-tree edge
+  kNotApplicable,   // e.g. replacement_edge of a non-tree edge
+};
+
+/// One row of a top-k answer.
+struct FragileEntry {
+  Vertex child = -1;              // tree edge {child, p(child)}
+  Vertex parent = -1;
+  Weight w = 0;
+  Weight sens = graph::kPosInfW;  // kPosInfW: no cover, infinitely robust
+  std::int64_t replacement = -1;  // orig_id of the swap-in edge, -1 if none
+
+  friend bool operator==(const FragileEntry&, const FragileEntry&) = default;
+};
+
+struct Answer {
+  Status status = Status::kOk;
+  EdgeRef edge;                   // resolved edge (edge queries)
+  bool still_optimal = true;      // price_change: T optimal after the change?
+  Weight headroom = graph::kPosInfW;     // sensitivity of the queried edge
+  Weight swap_cost = graph::kPosInfW;    // mc (tree) / maxpath (non-tree)
+  std::int64_t replacement = -1;  // orig_id of the swap-in edge, -1 if none
+  std::vector<FragileEntry> fragile;     // top_k_fragile only
+
+  friend bool operator==(const Answer&, const Answer&) = default;
+};
+
+/// Evaluate one query against the index.  Pure and thread-safe (the index is
+/// immutable); the service wraps this with caching and a worker pool.
+Answer answer_query(const SensitivityIndex& index, const Query& q);
+
+/// Human-readable one-liners for the REPL / logs.
+std::string to_string(const Query& q);
+std::string to_string(const Answer& a);
+
+}  // namespace mpcmst::service

@@ -1,0 +1,123 @@
+#include "service/service.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace mpcmst::service {
+
+QueryService::QueryService(std::shared_ptr<const SensitivityIndex> index,
+                           ServiceOptions opts)
+    : index_(std::move(index)),
+      opts_(opts),
+      cache_(opts.cache_capacity, opts.cache_shards) {
+  MPCMST_ASSERT(index_ != nullptr, "QueryService: null index");
+  std::size_t threads = opts_.threads;
+  if (threads == 0) {
+    threads = std::thread::hardware_concurrency();
+    if (threads == 0) threads = 2;
+  }
+  if (opts_.chunk_size == 0) opts_.chunk_size = 1;
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+QueryService::~QueryService() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+std::unique_ptr<QueryService> QueryService::build(mpc::Engine& eng,
+                                                  const graph::Instance& inst,
+                                                  ServiceOptions opts) {
+  return std::make_unique<QueryService>(SensitivityIndex::build(eng, inst),
+                                        opts);
+}
+
+void QueryService::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+      if (tasks_.empty()) return;  // stopping and drained
+      task = std::move(tasks_.front());
+      tasks_.pop_front();
+    }
+    task();
+  }
+}
+
+void QueryService::submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    tasks_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+Answer QueryService::answer(const Query& q) {
+  served_.fetch_add(1, std::memory_order_relaxed);
+  const CacheKey key{index_->fingerprint(), q};
+  if (auto hit = cache_.get(key)) return *std::move(hit);
+  Answer a = answer_query(*index_, q);
+  cache_.put(key, a);
+  return a;
+}
+
+std::vector<Answer> QueryService::answer_batch(
+    const std::vector<Query>& queries) {
+  std::vector<Answer> out(queries.size());
+  if (queries.empty()) return out;
+
+  const std::size_t chunk = opts_.chunk_size;
+  const std::size_t num_chunks = (queries.size() + chunk - 1) / chunk;
+  if (num_chunks == 1 || workers_.empty()) {
+    for (std::size_t i = 0; i < queries.size(); ++i)
+      out[i] = answer(queries[i]);
+    return out;
+  }
+
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+  std::size_t remaining = num_chunks;
+  for (std::size_t c = 0; c < num_chunks; ++c) {
+    const std::size_t lo = c * chunk;
+    const std::size_t hi = std::min(lo + chunk, queries.size());
+    submit([this, &queries, &out, &done_mu, &done_cv, &remaining, lo, hi] {
+      for (std::size_t i = lo; i < hi; ++i) out[i] = answer(queries[i]);
+      std::lock_guard<std::mutex> lock(done_mu);
+      if (--remaining == 0) done_cv.notify_one();
+    });
+  }
+  std::unique_lock<std::mutex> lock(done_mu);
+  done_cv.wait(lock, [&] { return remaining == 0; });
+  return out;
+}
+
+Answer QueryService::price_change(Vertex u, Vertex v, Weight delta) {
+  return answer(Query::price_change(u, v, delta));
+}
+
+Answer QueryService::replacement_edge(Vertex u, Vertex v) {
+  return answer(Query::replacement_edge(u, v));
+}
+
+Answer QueryService::top_k_fragile(std::int64_t k) {
+  return answer(Query::top_k_fragile(k));
+}
+
+Answer QueryService::corridor_headroom(Vertex u, Vertex v) {
+  return answer(Query::corridor_headroom(u, v));
+}
+
+QueryService::Stats QueryService::stats() const {
+  return Stats{served_.load(std::memory_order_relaxed), cache_.stats()};
+}
+
+}  // namespace mpcmst::service

@@ -1,0 +1,105 @@
+// QueryService: the serve-many half of the sensitivity engine.
+//
+// Owns a shared immutable SensitivityIndex, a pool of worker threads, and a
+// sharded LRU result cache keyed by (graph fingerprint, canonical query).
+// Single queries are answered inline (cache-first); batches are split into
+// chunks and fanned out over the pool, so throughput scales with cores while
+// the index itself is never locked (it is read-only).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "service/cache.hpp"
+#include "service/index.hpp"
+#include "service/query.hpp"
+
+namespace mpcmst::service {
+
+struct ServiceOptions {
+  /// Worker threads for batched queries; 0 = hardware concurrency.
+  std::size_t threads = 0;
+  /// Total cached answers across shards; 0 disables the cache.
+  std::size_t cache_capacity = 1 << 16;
+  std::size_t cache_shards = 16;
+  /// Batch entries per worker task (tune against per-task overhead).
+  std::size_t chunk_size = 256;
+};
+
+class QueryService {
+ public:
+  explicit QueryService(std::shared_ptr<const SensitivityIndex> index,
+                        ServiceOptions opts = {});
+  ~QueryService();
+
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  /// Convenience: one distributed build, then serve.
+  static std::unique_ptr<QueryService> build(mpc::Engine& eng,
+                                             const graph::Instance& inst,
+                                             ServiceOptions opts = {});
+
+  /// Answer one query through the cache, inline on the calling thread.
+  Answer answer(const Query& q);
+
+  /// Answer a batch; answers align with queries by position.  Chunks run on
+  /// the worker pool concurrently (each worker goes cache -> index).
+  std::vector<Answer> answer_batch(const std::vector<Query>& queries);
+
+  // Typed shorthands for the four query families.
+  Answer price_change(Vertex u, Vertex v, Weight delta);
+  Answer replacement_edge(Vertex u, Vertex v);
+  Answer top_k_fragile(std::int64_t k);
+  Answer corridor_headroom(Vertex u, Vertex v);
+
+  const SensitivityIndex& index() const { return *index_; }
+
+  struct Stats {
+    std::uint64_t queries_served = 0;
+    CacheStats cache;
+  };
+  Stats stats() const;
+
+  std::size_t num_threads() const { return workers_.size(); }
+
+ private:
+  /// Cache key: the graph fingerprint disambiguates answers if a cache ever
+  /// outlives one index generation (e.g. future incremental rebuilds).
+  struct CacheKey {
+    std::uint64_t fingerprint = 0;
+    Query query;
+
+    friend bool operator==(const CacheKey&, const CacheKey&) = default;
+  };
+  struct CacheKeyHash {
+    std::size_t operator()(const CacheKey& k) const noexcept {
+      return static_cast<std::size_t>(
+          hash_combine(k.fingerprint, QueryHash{}(k.query)));
+    }
+  };
+
+  void worker_loop();
+  void submit(std::function<void()> task);
+
+  std::shared_ptr<const SensitivityIndex> index_;
+  ServiceOptions opts_;
+  ShardedLruCache<CacheKey, Answer, CacheKeyHash> cache_;
+  std::atomic<std::uint64_t> served_{0};
+
+  // Worker pool.
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> tasks_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace mpcmst::service

@@ -287,21 +287,11 @@ mpc::Dist<HalfVerdict> max_covered_weights(
   return verdicts;
 }
 
-VerifyResult verify_mst_mpc(mpc::Engine& eng, const graph::Instance& inst,
-                            const VerifyOptions& opts) {
-  VerifyResult out{true, false, 0, {}, 0, mpc::Dist<EdgeVerdict>(eng)};
-  const auto dtree = treeops::load_tree(eng, inst.tree);
-
-  if (opts.validate_input) {
-    out.input_is_tree =
-        treeops::validate_rooted_tree(dtree, inst.tree.root, inst.n());
-    if (!out.input_is_tree) return out;  // not a spanning tree => not an MST
-  }
-
-  const auto depths = treeops::compute_depths(dtree, inst.tree.root);
+Artifacts build_artifacts(mpc::Engine& eng, const graph::Instance& inst) {
+  auto dtree = treeops::load_tree(eng, inst.tree);
+  auto depths = treeops::compute_depths(dtree, inst.tree.root);
   const std::int64_t dhat = 2 * std::max<std::int64_t>(depths.height, 1);
-  const auto labels =
-      treeops::dfs_interval_labels(dtree, inst.tree.root, depths);
+  auto labels = treeops::dfs_interval_labels(dtree, inst.tree.root, depths);
 
   // LCA + ancestor-descendant transform (Corollary 2.19).
   std::vector<lca::IdEdge> nontree;
@@ -310,14 +300,34 @@ VerifyResult verify_mst_mpc(mpc::Engine& eng, const graph::Instance& inst,
     nontree.push_back({inst.nontree[i].u, inst.nontree[i].v,
                        inst.nontree[i].w, static_cast<std::int64_t>(i)});
   auto dedges = mpc::scatter(eng, std::move(nontree));
-  const auto lcares = lca::all_edges_lca(dtree, inst.tree.root, depths,
-                                         labels.intervals, dedges, dhat);
-  out.lca_contraction_steps = lcares.contraction_steps;
-  const auto halves = lca::ancestor_descendant_transform(lcares);
+  auto lcares = lca::all_edges_lca(dtree, inst.tree.root, depths,
+                                   labels.intervals, dedges, dhat);
+  auto halves = lca::ancestor_descendant_transform(lcares);
+  return Artifacts{std::move(dtree),          std::move(depths), dhat,
+                   std::move(labels.intervals), std::move(halves),
+                   lcares.contraction_steps};
+}
 
-  const auto half_verdicts = max_covered_weights(
-      dtree, inst.tree.root, labels.intervals, halves, dhat, &out.core);
+VerifyResult verify_mst_mpc(mpc::Engine& eng, const graph::Instance& inst,
+                            const VerifyOptions& opts) {
+  if (opts.validate_input) {
+    const auto dtree = treeops::load_tree(eng, inst.tree);
+    if (!treeops::validate_rooted_tree(dtree, inst.tree.root, inst.n())) {
+      VerifyResult out{false, false, 0, {}, 0, mpc::Dist<EdgeVerdict>(eng)};
+      return out;  // not a spanning tree => not an MST
+    }
+  }
+  return verify_mst_mpc(inst, build_artifacts(eng, inst));
+}
 
+VerifyResult verify_mst_mpc(const graph::Instance& inst,
+                            const Artifacts& art) {
+  mpc::Engine& eng = art.tree.engine();
+  VerifyResult out{true, false, 0, {}, art.lca_contraction_steps,
+                   mpc::Dist<EdgeVerdict>(eng)};
+  const auto half_verdicts =
+      max_covered_weights(art.tree, inst.tree.root, art.intervals, art.halves,
+                          art.dhat, &out.core);
   finalize_verdicts(out, combine_halves(inst, half_verdicts));
   return out;
 }

@@ -30,6 +30,25 @@ namespace mpcmst::verify {
 using graph::Vertex;
 using graph::Weight;
 
+/// Reusable distributed artifacts of one instance: the loaded tree, depths
+/// and 2-approximate diameter (Remark 2.3), DFS interval labels (Lemma 2.14),
+/// and the ancestor-descendant halves of every non-tree edge (Cor. 2.19).
+/// Steps 1-4 of the Theorem 3.1 pipeline are shared verbatim by verification
+/// and sensitivity; building them once lets callers (and the service-layer
+/// index build) run both consumers against a single prelude.
+struct Artifacts {
+  mpc::Dist<treeops::TreeRec> tree;
+  treeops::DepthResult depths;
+  std::int64_t dhat = 2;
+  mpc::Dist<treeops::IntervalRec> intervals;
+  mpc::Dist<lca::AdEdge> halves;
+  std::size_t lca_contraction_steps = 0;
+};
+
+/// Steps 1-4: load the tree, compute depths / D̂ / interval labels, run the
+/// all-edges LCA and split every non-tree edge into its halves.
+Artifacts build_artifacts(mpc::Engine& eng, const graph::Instance& inst);
+
 /// Per ancestor-descendant half-edge: the maximum tree-edge weight on the
 /// covered path lo..hi.
 struct HalfVerdict {
@@ -80,6 +99,11 @@ struct VerifyResult {
 /// Full MST verification of an instance (Theorem 3.1).
 VerifyResult verify_mst_mpc(mpc::Engine& eng, const graph::Instance& inst,
                             const VerifyOptions& opts = {});
+
+/// Verification steps 5-6 against prebuilt artifacts (no input validation:
+/// the caller vouched for the tree when building the artifacts).
+VerifyResult verify_mst_mpc(const graph::Instance& inst,
+                            const Artifacts& art);
 
 /// Combine per-half covering maxima into per-original-edge verdicts
 /// (max over the two halves, Observation 2.20).

@@ -24,7 +24,9 @@ void expect_sensitivity_matches(const sn::SensitivityResult& res,
   for (const auto& t : res.tree.local()) {
     ++seen;
     EXPECT_EQ(t.mc, brute.tree_mc[t.v]) << tag << " tree edge child " << t.v;
-    if (t.mc != g::kPosInfW) EXPECT_EQ(t.sens, t.mc - t.w);
+    if (t.mc != g::kPosInfW) {
+      EXPECT_EQ(t.sens, t.mc - t.w);
+    }
   }
   EXPECT_EQ(seen, inst.n() - 1) << tag;
   // Non-tree edges.

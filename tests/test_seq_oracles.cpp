@@ -65,7 +65,9 @@ TEST_P(OracleShapes, LcaAndPathMaxMatchBrute) {
       }
     }
     EXPECT_EQ(idx.lca(u, v), a);
-    if (u != v) EXPECT_EQ(idx.max_on_path(u, v), maxw);
+    if (u != v) {
+      EXPECT_EQ(idx.max_on_path(u, v), maxw);
+    }
   }
 }
 
