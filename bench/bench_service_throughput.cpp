@@ -1,11 +1,12 @@
-// Service throughput: queries/sec against batch size and thread count, the
-// cache's effect (cold vs warm pass), and the amortization argument — how
-// many queries one distributed precomputation is worth versus re-running
-// mst_sensitivity_mpc per question (the batch-only workflow this subsystem
-// replaces).  Emits the table to stdout and BENCH_service.json for the
-// experiment harness.
+// Service throughput: queries/sec against batch size, thread count and shard
+// count, the cache's effect (cold vs warm pass), and the amortization
+// argument — how many queries one distributed precomputation is worth versus
+// re-running mst_sensitivity_mpc per question (the batch-only workflow this
+// subsystem replaces).  Emits the table to stdout and BENCH_service.json for
+// the experiment harness; CI runs it at shards 1 and 4 and gates on the
+// cached-throughput ratio.
 //
-//   $ ./bench_service_throughput [n] [out.json]
+//   $ ./bench_service_throughput [n] [out.json] [shards]
 #include <algorithm>
 #include <chrono>
 #include <fstream>
@@ -67,6 +68,7 @@ std::vector<service::Query> make_workload(const graph::Instance& inst,
 int main(int argc, char** argv) {
   const std::size_t n = argc > 1 ? std::stoul(argv[1]) : 20000;
   const std::string out_path = argc > 2 ? argv[2] : "BENCH_service.json";
+  const std::size_t shards = argc > 3 ? std::stoul(argv[3]) : 1;
 
   auto tree = graph::random_recursive_tree(n, 2024);
   const auto inst =
@@ -77,6 +79,21 @@ int main(int argc, char** argv) {
   const auto t_build = Clock::now();
   auto index = service::SensitivityIndex::build(eng, inst);
   const double build_wall = seconds_since(t_build);
+
+  // --- backend under test: monolithic, or split into vertex-range shards
+  // and served through the QueryRouter ---
+  std::shared_ptr<const service::IndexBackend> backend;
+  double split_wall = 0.0;
+  std::size_t max_shard_words = 0;
+  if (shards > 1) {
+    const auto t_split = Clock::now();
+    auto sharded = service::ShardedSensitivityIndex::split(*index, shards);
+    split_wall = seconds_since(t_split);
+    max_shard_words = sharded->max_shard_words();
+    backend = std::make_shared<const service::QueryRouter>(std::move(sharded));
+  } else {
+    backend = std::make_shared<const service::MonolithicBackend>(index);
+  }
 
   // --- baseline: the batch-only workflow pays one distributed run per
   // question (what whatif_pricing.cpp used to hand-roll) ---
@@ -90,7 +107,11 @@ int main(int argc, char** argv) {
             << "; index build: " << format_double(build_wall) << "s, "
             << index->receipt().build_rounds << " MPC rounds, peak "
             << index->receipt().peak_global_words << " words\n"
-            << "baseline full-run-per-query: "
+            << "backend: " << shards << " shard" << (shards == 1 ? "" : "s");
+  if (shards > 1)
+    std::cout << " (split in " << format_double(split_wall) << "s, max "
+              << max_shard_words << " words/shard)";
+  std::cout << "\nbaseline full-run-per-query: "
             << format_double(rerun_wall, 3) << "s/query\n\n";
 
   Table table({"threads", "batch", "cold q/s", "warm q/s", "hit rate",
@@ -106,9 +127,9 @@ int main(int argc, char** argv) {
     for (const std::size_t batch :
          {std::size_t{1024}, std::size_t{16384}, std::size_t{131072}}) {
       const auto workload = make_workload(inst, batch, 7 * threads + batch);
-      service::QueryService svc(index, {.threads = threads,
-                                        .cache_capacity = std::size_t{1}
-                                                          << 18});
+      service::QueryService svc(backend, {.threads = threads,
+                                          .cache_capacity = std::size_t{1}
+                                                            << 18});
       const auto t_cold = Clock::now();
       auto cold = svc.answer_batch(workload);
       const double cold_s = seconds_since(t_cold);
@@ -156,6 +177,11 @@ int main(int argc, char** argv) {
   j.key("bench").value("service_throughput");
   j.key("n").value(inst.n());
   j.key("m").value(inst.m());
+  j.key("shards").value(shards);
+  if (shards > 1) {
+    j.key("split_wall_s").value(split_wall);
+    j.key("max_shard_words").value(max_shard_words);
+  }
   j.key("build").begin_object();
   j.key("wall_s").value(build_wall);
   j.key("mpc_rounds").value(index->receipt().build_rounds);

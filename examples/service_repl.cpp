@@ -4,7 +4,10 @@
 //
 //   $ echo "top 5
 //           price 17 42 25
-//           stats" | ./service_repl [n]
+//           stats" | ./service_repl [n] [--shards N]
+//
+// --shards N > 1 partitions the index by vertex range and serves through the
+// QueryRouter (answers are byte-identical to the monolithic backend).
 //
 // Commands:
 //   price <u> <v> <delta>   does the optimum survive the price change?
@@ -16,6 +19,7 @@
 //   help, quit
 #include <iostream>
 #include <sstream>
+#include <stdexcept>
 #include <string>
 
 #include "common/table.hpp"
@@ -36,7 +40,22 @@ void print_help() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::size_t n = argc > 1 ? std::stoul(argv[1]) : 2000;
+  std::size_t n = 2000;
+  std::size_t shards = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    try {
+      if (arg == "--shards") {
+        if (i + 1 >= argc) throw std::invalid_argument("missing operand");
+        shards = std::stoul(argv[++i]);
+      } else {
+        n = std::stoul(arg);
+      }
+    } catch (const std::exception&) {
+      std::cerr << "usage: service_repl [n] [--shards N]\n";
+      return 1;
+    }
+  }
 
   auto tree = graph::caterpillar_tree(n, n / 8, 17);
   graph::assign_random_tree_weights(tree, 100, 999, 23);
@@ -44,11 +63,16 @@ int main(int argc, char** argv) {
                                              /*slack=*/400);
 
   mpc::Engine eng(mpc::MpcConfig::scaled(inst.input_words(), 0.5, 64.0));
-  auto service = service::QueryService::build(eng, inst);
-  const auto& receipt = service->index().receipt();
+  auto service =
+      shards > 1 ? service::QueryService::build_sharded(eng, inst, shards)
+                 : service::QueryService::build(eng, inst);
+  const auto& backend = service->backend();
+  const auto& receipt = backend.receipt();
   std::cout << "index ready: n=" << inst.n() << " m=" << inst.m() << ", "
-            << receipt.build_rounds << " MPC rounds, tree is "
-            << (service->index().is_mst() ? "an MST" : "NOT an MST") << "\n";
+            << receipt.build_rounds << " MPC rounds, "
+            << backend.num_shards() << " shard"
+            << (backend.num_shards() == 1 ? "" : "s") << ", tree is "
+            << (backend.is_mst() ? "an MST" : "NOT an MST") << "\n";
   print_help();
 
   std::string line;
@@ -75,9 +99,9 @@ int main(int argc, char** argv) {
       const auto a = service->replacement_edge(u, v);
       std::cout << to_string(a) << "\n";
       if (a.status == service::Status::kOk && a.replacement >= 0) {
-        const auto& r = service->index().nontree_edge(a.replacement);
-        std::cout << "  swap in {" << r.u << "," << r.v << "} at " << r.w
-                  << "\n";
+        if (const auto r = backend.nontree_info(a.replacement))
+          std::cout << "  swap in {" << r->u << "," << r->v << "} at " << r->w
+                    << "\n";
       }
     } else if (cmd == "top") {
       std::int64_t k;
@@ -112,7 +136,10 @@ int main(int argc, char** argv) {
                 << receipt.sens_stats.contraction_steps << "\n";
     } else if (cmd == "stats") {
       const auto s = service->stats();
-      std::cout << s.queries_served << " served, cache hit rate "
+      std::cout << s.queries_served << " served over "
+                << backend.num_shards() << " shard"
+                << (backend.num_shards() == 1 ? "" : "s")
+                << ", cache hit rate "
                 << format_double(100.0 * s.cache.hit_rate()) << "% ("
                 << s.cache.entries << " entries)\n";
     } else {

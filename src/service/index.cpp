@@ -10,10 +10,6 @@
 
 namespace mpcmst::service {
 
-namespace {
-
-/// Exact (not hashed) endpoint key; vertex ids fit in 32 bits for every
-/// instance that fits in memory.
 std::uint64_t endpoint_key(Vertex u, Vertex v) {
   if (u > v) std::swap(u, v);
   MPCMST_ASSERT(u >= 0 && v < (Vertex{1} << 32),
@@ -21,8 +17,6 @@ std::uint64_t endpoint_key(Vertex u, Vertex v) {
   return (std::uint64_t(u) << 32) | std::uint64_t(v);
 }
 
-/// Argmin covering non-tree edge per tree edge: the covering relaxation of
-/// [Tar82] (same scheme as seq::sensitivity, which only keeps the weight).
 /// Non-tree edges are scanned by ascending weight; a DSU jumps over tree
 /// edges that already received their (lightest) cover.
 std::vector<std::int64_t> replacement_edges(const graph::Instance& inst,
@@ -56,8 +50,6 @@ std::vector<std::int64_t> replacement_edges(const graph::Instance& inst,
   }
   return repl;
 }
-
-}  // namespace
 
 std::uint64_t SensitivityIndex::fingerprint_of(const graph::Instance& inst) {
   std::uint64_t h = hash_combine(inst.n(), inst.nontree.size(),

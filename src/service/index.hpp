@@ -29,10 +29,27 @@
 #include "sensitivity/sensitivity.hpp"
 #include "verify/verifier.hpp"
 
+namespace mpcmst::seq {
+class SeqTreeIndex;
+}  // namespace mpcmst::seq
+
 namespace mpcmst::service {
 
 using graph::Vertex;
 using graph::Weight;
+
+/// Exact (not hashed) order-insensitive endpoint key; vertex ids fit in 32
+/// bits for every instance that fits in memory.  Shared by the monolithic
+/// endpoint map and the per-shard maps (both must agree byte-for-byte).
+std::uint64_t endpoint_key(Vertex u, Vertex v);
+
+/// Argmin covering non-tree edge per tree edge (keyed by child vertex): the
+/// covering relaxation of [Tar82], same scheme as seq::sensitivity which only
+/// keeps the weight.  -1 where uncovered.  Shared by the monolithic and the
+/// sharded index builds, which both cross-check it against the distributed
+/// mc values.
+std::vector<std::int64_t> replacement_edges(const graph::Instance& inst,
+                                            const seq::SeqTreeIndex& index);
 
 /// Resolved edge handle: a tree edge is keyed by its child endpoint, a
 /// non-tree edge by its position in Instance::nontree.
@@ -50,6 +67,8 @@ struct TreeEdgeInfo {
   Weight mc = graph::kPosInfW;    // kPosInfW: uncovered (bridge in G)
   Weight sens = graph::kPosInfW;  // mc - w
   std::int64_t replacement = -1;  // orig_id of the argmin cover, -1 if none
+
+  friend bool operator==(const TreeEdgeInfo&, const TreeEdgeInfo&) = default;
 };
 
 /// Non-tree edge, indexed by orig_id.
@@ -59,6 +78,9 @@ struct NonTreeEdgeInfo {
   Weight w = 0;
   Weight maxpath = graph::kNegInfW;  // kNegInfW: covers nothing (self loop)
   Weight sens = graph::kPosInfW;     // w - maxpath (kPosInfW if no cover)
+
+  friend bool operator==(const NonTreeEdgeInfo&,
+                         const NonTreeEdgeInfo&) = default;
 };
 
 /// What the one-time distributed build cost (served back with every

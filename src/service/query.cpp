@@ -48,69 +48,65 @@ Query Query::corridor_headroom(Vertex u, Vertex v) {
   return edge_query(QueryKind::kCorridorHeadroom, u, v);
 }
 
-Answer answer_query(const SensitivityIndex& index, const Query& q) {
+FragileEntry make_fragile_entry(Vertex child, const TreeEdgeInfo& e) {
+  return FragileEntry{child, e.parent, e.w, e.sens, e.replacement};
+}
+
+Answer answer_for_tree_edge(const Query& q, EdgeRef ref,
+                            const TreeEdgeInfo& e) {
   Answer a;
+  a.edge = ref;
+  a.headroom = e.sens;
+  a.swap_cost = e.mc;
+  a.replacement = e.replacement;
+  if (q.kind == QueryKind::kPriceChange) {
+    // Definition 1.2, tree side: T stays optimal iff the new weight does
+    // not exceed the cheapest cover (a tie keeps T optimal).  A bridge
+    // (mc == kPosInfW) stays optimal at any price — including deltas
+    // clamped to the sentinel band, where w + delta would exceed mc.
+    a.still_optimal = e.mc >= graph::kPosInfW || e.w + q.delta <= e.mc;
+  }
+  return a;
+}
+
+Answer answer_for_nontree_edge(const Query& q, EdgeRef ref,
+                               const NonTreeEdgeInfo& e) {
+  Answer a;
+  a.edge = ref;
+  a.headroom = e.sens;
+  a.swap_cost = e.maxpath;
+  if (q.kind == QueryKind::kPriceChange) {
+    // Non-tree side: the edge stays out iff it is no lighter than the
+    // covering maximum of its path (ties keep T optimal).
+    a.still_optimal = e.w + q.delta >= e.maxpath;
+  } else if (q.kind == QueryKind::kReplacementEdge) {
+    a.status = Status::kNotApplicable;  // nothing to replace: not in T
+  }
+  return a;
+}
+
+Answer answer_query(const SensitivityIndex& index, const Query& q) {
   if (q.kind == QueryKind::kTopKFragile) {
+    Answer a;
     const auto& order = index.fragile_order();
     const std::size_t k =
         std::min<std::size_t>(static_cast<std::size_t>(q.k), order.size());
     a.fragile.reserve(k);
-    for (std::size_t i = 0; i < k; ++i) {
-      const Vertex child = order[i];
-      const TreeEdgeInfo& e = index.tree_edge(child);
+    for (std::size_t i = 0; i < k; ++i)
       a.fragile.push_back(
-          FragileEntry{child, e.parent, e.w, e.sens, e.replacement});
-    }
+          make_fragile_entry(order[i], index.tree_edge(order[i])));
     return a;
   }
 
   const auto ref = index.find(q.u, q.v);
   if (!ref) {
+    Answer a;
     a.status = Status::kUnknownEdge;
     return a;
   }
-  a.edge = *ref;
-
-  if (ref->is_tree) {
-    const TreeEdgeInfo& e = index.tree_edge(ref->id);
-    a.headroom = e.sens;
-    a.swap_cost = e.mc;
-    a.replacement = e.replacement;
-    switch (q.kind) {
-      case QueryKind::kPriceChange:
-        // Definition 1.2, tree side: T stays optimal iff the new weight does
-        // not exceed the cheapest cover (a tie keeps T optimal).  A bridge
-        // (mc == kPosInfW) stays optimal at any price — including deltas
-        // clamped to the sentinel band, where w + delta would exceed mc.
-        a.still_optimal =
-            e.mc >= graph::kPosInfW || e.w + q.delta <= e.mc;
-        break;
-      case QueryKind::kReplacementEdge:
-      case QueryKind::kCorridorHeadroom:
-        break;
-      case QueryKind::kTopKFragile:
-        break;  // unreachable
-    }
-  } else {
-    const NonTreeEdgeInfo& e = index.nontree_edge(ref->id);
-    a.headroom = e.sens;
-    a.swap_cost = e.maxpath;
-    switch (q.kind) {
-      case QueryKind::kPriceChange:
-        // Non-tree side: the edge stays out iff it is no lighter than the
-        // covering maximum of its path (ties keep T optimal).
-        a.still_optimal = e.w + q.delta >= e.maxpath;
-        break;
-      case QueryKind::kReplacementEdge:
-        a.status = Status::kNotApplicable;  // nothing to replace: not in T
-        break;
-      case QueryKind::kCorridorHeadroom:
-        break;
-      case QueryKind::kTopKFragile:
-        break;  // unreachable
-    }
-  }
-  return a;
+  if (ref->is_tree)
+    return answer_for_tree_edge(q, *ref, index.tree_edge(ref->id));
+  return answer_for_nontree_edge(q, *ref, index.nontree_edge(ref->id));
 }
 
 std::string to_string(const Query& q) {

@@ -85,6 +85,22 @@ struct Answer {
 /// immutable); the service wraps this with caching and a worker pool.
 Answer answer_query(const SensitivityIndex& index, const Query& q);
 
+// Backend-shared answer assembly: every evaluator (the monolithic
+// answer_query above, the shard-routing QueryRouter) resolves an EdgeRef in
+// its own way and delegates here, so all backends produce byte-identical
+// answers for the same resolved edge.
+
+/// One top-k row for the tree edge {child, p(child)}.
+FragileEntry make_fragile_entry(Vertex child, const TreeEdgeInfo& e);
+
+/// Answer a resolved point query on a tree edge (Definition 1.2, tree side).
+Answer answer_for_tree_edge(const Query& q, EdgeRef ref, const TreeEdgeInfo& e);
+
+/// Answer a resolved point query on a non-tree edge (Definition 1.2,
+/// non-tree side; replacement_edge answers kNotApplicable).
+Answer answer_for_nontree_edge(const Query& q, EdgeRef ref,
+                               const NonTreeEdgeInfo& e);
+
 /// Human-readable one-liners for the REPL / logs.
 std::string to_string(const Query& q);
 std::string to_string(const Answer& a);

@@ -1,0 +1,100 @@
+#include "service/router.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace mpcmst::service {
+
+MonolithicBackend::MonolithicBackend(
+    std::shared_ptr<const SensitivityIndex> index)
+    : index_(std::move(index)) {
+  MPCMST_ASSERT(index_ != nullptr, "MonolithicBackend: null index");
+}
+
+Answer MonolithicBackend::answer(const Query& q) const {
+  return answer_query(*index_, q);
+}
+
+std::optional<NonTreeEdgeInfo> MonolithicBackend::nontree_info(
+    std::int64_t orig_id) const {
+  if (orig_id < 0 ||
+      orig_id >= static_cast<std::int64_t>(index_->num_nontree()))
+    return std::nullopt;
+  return index_->nontree_edge(orig_id);
+}
+
+QueryRouter::QueryRouter(std::shared_ptr<const ShardedSensitivityIndex> index)
+    : index_(std::move(index)) {
+  MPCMST_ASSERT(index_ != nullptr, "QueryRouter: null sharded index");
+}
+
+std::optional<EdgeRef> QueryRouter::find(Vertex u, Vertex v) const {
+  const auto res = index_->resolve(u, v);
+  if (!res) return std::nullopt;
+  return res->ref;
+}
+
+Answer QueryRouter::answer(const Query& q) const {
+  if (q.kind == QueryKind::kTopKFragile) return top_k(q);
+  const auto res = index_->resolve(q.u, q.v);
+  if (!res) {
+    Answer a;
+    a.status = Status::kUnknownEdge;
+    return a;
+  }
+  // The entry-owning shard always owns the referenced labels (a tree entry
+  // lives with its child, a non-tree entry with its min endpoint), so the
+  // whole point query is one shard-local lookup.
+  if (res->ref.is_tree)
+    return answer_for_tree_edge(q, res->ref,
+                                res->shard->tree_edge(res->ref.id));
+  const NonTreeEdgeInfo* e = res->shard->nontree_edge(res->ref.id);
+  MPCMST_ASSERT(e != nullptr, "router: resolved non-tree edge "
+                                  << res->ref.id << " missing from shard");
+  return answer_for_nontree_edge(q, res->ref, *e);
+}
+
+Answer QueryRouter::top_k(const Query& q) const {
+  Answer a;
+  const std::size_t total = index_->n() ? index_->n() - 1 : 0;
+  const std::size_t k =
+      std::min<std::size_t>(static_cast<std::size_t>(q.k), total);
+  a.fragile.reserve(k);
+  if (k == 0) return a;
+
+  // One heap entry per non-empty shard: its next unconsumed fragility rank.
+  struct Head {
+    Weight sens;
+    Vertex child;
+    std::size_t shard;
+    std::size_t pos;
+  };
+  const auto after = [](const Head& x, const Head& y) {
+    return x.sens != y.sens ? x.sens > y.sens : x.child > y.child;
+  };
+  std::priority_queue<Head, std::vector<Head>, decltype(after)> heap(after);
+  for (std::size_t i = 0; i < index_->num_shards(); ++i) {
+    const IndexShard& s = index_->shard(i);
+    if (s.fragile_order.empty()) continue;
+    const Vertex child = s.fragile_order.front();
+    heap.push(Head{s.tree_edge(child).sens, child, i, 0});
+  }
+  while (a.fragile.size() < k && !heap.empty()) {
+    const Head head = heap.top();
+    heap.pop();
+    const IndexShard& s = index_->shard(head.shard);
+    a.fragile.push_back(
+        make_fragile_entry(head.child, s.tree_edge(head.child)));
+    const std::size_t next = head.pos + 1;
+    if (next < s.fragile_order.size()) {
+      const Vertex child = s.fragile_order[next];
+      heap.push(Head{s.tree_edge(child).sens, child, head.shard, next});
+    }
+  }
+  return a;
+}
+
+}  // namespace mpcmst::service

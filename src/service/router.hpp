@@ -1,0 +1,110 @@
+// Backend abstraction and query routing for the serving layer.
+//
+// QueryService (service.hpp) owns worker threads and a result cache; neither
+// cares where answers come from.  IndexBackend is that seam: a thread-safe,
+// immutable answer source with the metadata the serving layer and the CLI
+// surfaces need.  Two implementations:
+//   - MonolithicBackend — adapts the single-host SensitivityIndex;
+//   - QueryRouter — serves the same four-query API over a
+//     ShardedSensitivityIndex: point queries resolve by endpoint-map lookup
+//     in at most two shards (a tree entry lives with its child, which may be
+//     either endpoint), and top_k_fragile runs a k-way heap merge over the
+//     per-shard fragility orders.
+// Both delegate answer assembly to the shared helpers in query.hpp, so a
+// query answered through any backend returns byte-identical bytes.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "service/index.hpp"
+#include "service/query.hpp"
+#include "service/shard.hpp"
+
+namespace mpcmst::service {
+
+/// What the serving layer needs from an index, monolithic or sharded.  All
+/// implementations are immutable after construction: every method is const
+/// and safe to call from concurrent workers without locking.
+class IndexBackend {
+ public:
+  virtual ~IndexBackend() = default;
+
+  /// Evaluate one query (pure; the service adds caching on top).
+  virtual Answer answer(const Query& q) const = 0;
+
+  virtual std::size_t n() const = 0;
+  virtual std::size_t num_nontree() const = 0;
+  virtual bool is_mst() const = 0;
+  virtual std::size_t violations() const = 0;
+  virtual std::uint64_t fingerprint() const = 0;
+  virtual const CostReceipt& receipt() const = 0;
+  virtual std::size_t num_shards() const = 0;
+
+  /// Resolve an edge by endpoints (order-insensitive; same precedence rules
+  /// on every backend: tree wins, then the lightest duplicate).
+  virtual std::optional<EdgeRef> find(Vertex u, Vertex v) const = 0;
+
+  /// Non-tree edge labels by orig_id (display paths, e.g. printing the
+  /// endpoints of a replacement edge).
+  virtual std::optional<NonTreeEdgeInfo> nontree_info(
+      std::int64_t orig_id) const = 0;
+};
+
+/// The single-host snapshot behind the backend seam.
+class MonolithicBackend final : public IndexBackend {
+ public:
+  explicit MonolithicBackend(std::shared_ptr<const SensitivityIndex> index);
+
+  const SensitivityIndex& index() const { return *index_; }
+  std::shared_ptr<const SensitivityIndex> index_ptr() const { return index_; }
+
+  Answer answer(const Query& q) const override;
+  std::size_t n() const override { return index_->n(); }
+  std::size_t num_nontree() const override { return index_->num_nontree(); }
+  bool is_mst() const override { return index_->is_mst(); }
+  std::size_t violations() const override { return index_->violations(); }
+  std::uint64_t fingerprint() const override { return index_->fingerprint(); }
+  const CostReceipt& receipt() const override { return index_->receipt(); }
+  std::size_t num_shards() const override { return 1; }
+  std::optional<EdgeRef> find(Vertex u, Vertex v) const override {
+    return index_->find(u, v);
+  }
+  std::optional<NonTreeEdgeInfo> nontree_info(
+      std::int64_t orig_id) const override;
+
+ private:
+  std::shared_ptr<const SensitivityIndex> index_;
+};
+
+/// The four-query API over vertex-range shards.
+class QueryRouter final : public IndexBackend {
+ public:
+  explicit QueryRouter(std::shared_ptr<const ShardedSensitivityIndex> index);
+
+  const ShardedSensitivityIndex& sharded() const { return *index_; }
+
+  Answer answer(const Query& q) const override;
+  std::size_t n() const override { return index_->n(); }
+  std::size_t num_nontree() const override { return index_->num_nontree(); }
+  bool is_mst() const override { return index_->is_mst(); }
+  std::size_t violations() const override { return index_->violations(); }
+  std::uint64_t fingerprint() const override { return index_->fingerprint(); }
+  const CostReceipt& receipt() const override { return index_->receipt(); }
+  std::size_t num_shards() const override { return index_->num_shards(); }
+  std::optional<EdgeRef> find(Vertex u, Vertex v) const override;
+  std::optional<NonTreeEdgeInfo> nontree_info(
+      std::int64_t orig_id) const override {
+    return index_->nontree_info(orig_id);
+  }
+
+ private:
+  /// k-way merge over the per-shard fragility orders; (sens, child)
+  /// tie-breaking reproduces the monolithic global order exactly.
+  Answer top_k(const Query& q) const;
+
+  std::shared_ptr<const ShardedSensitivityIndex> index_;
+};
+
+}  // namespace mpcmst::service

@@ -6,12 +6,12 @@
 
 namespace mpcmst::service {
 
-QueryService::QueryService(std::shared_ptr<const SensitivityIndex> index,
+QueryService::QueryService(std::shared_ptr<const IndexBackend> backend,
                            ServiceOptions opts)
-    : index_(std::move(index)),
+    : backend_(std::move(backend)),
       opts_(opts),
       cache_(opts.cache_capacity, opts.cache_shards) {
-  MPCMST_ASSERT(index_ != nullptr, "QueryService: null index");
+  MPCMST_ASSERT(backend_ != nullptr, "QueryService: null backend");
   std::size_t threads = opts_.threads;
   if (threads == 0) {
     threads = std::thread::hardware_concurrency();
@@ -32,11 +32,33 @@ QueryService::~QueryService() {
   for (std::thread& w : workers_) w.join();
 }
 
+QueryService::QueryService(std::shared_ptr<const SensitivityIndex> index,
+                           ServiceOptions opts)
+    : QueryService(std::make_shared<const MonolithicBackend>(std::move(index)),
+                   opts) {}
+
 std::unique_ptr<QueryService> QueryService::build(mpc::Engine& eng,
                                                   const graph::Instance& inst,
                                                   ServiceOptions opts) {
   return std::make_unique<QueryService>(SensitivityIndex::build(eng, inst),
                                         opts);
+}
+
+std::unique_ptr<QueryService> QueryService::build_sharded(
+    mpc::Engine& eng, const graph::Instance& inst, std::size_t num_shards,
+    ServiceOptions opts) {
+  return std::make_unique<QueryService>(
+      std::make_shared<const QueryRouter>(
+          ShardedSensitivityIndex::build(eng, inst, num_shards)),
+      opts);
+}
+
+const SensitivityIndex& QueryService::index() const {
+  const auto* mono = dynamic_cast<const MonolithicBackend*>(backend_.get());
+  MPCMST_ASSERT(mono != nullptr,
+                "QueryService::index(): backend is not monolithic — use "
+                "backend() instead");
+  return mono->index();
 }
 
 void QueryService::worker_loop() {
@@ -63,9 +85,9 @@ void QueryService::submit(std::function<void()> task) {
 
 Answer QueryService::answer(const Query& q) {
   served_.fetch_add(1, std::memory_order_relaxed);
-  const CacheKey key{index_->fingerprint(), q};
+  const CacheKey key{backend_->fingerprint(), q};
   if (auto hit = cache_.get(key)) return *std::move(hit);
-  Answer a = answer_query(*index_, q);
+  Answer a = backend_->answer(q);
   cache_.put(key, a);
   return a;
 }

@@ -1,10 +1,11 @@
 // QueryService: the serve-many half of the sensitivity engine.
 //
-// Owns a shared immutable SensitivityIndex, a pool of worker threads, and a
+// Owns a shared immutable IndexBackend (monolithic snapshot or sharded
+// router — the pool and cache are agnostic), a pool of worker threads, and a
 // sharded LRU result cache keyed by (graph fingerprint, canonical query).
 // Single queries are answered inline (cache-first); batches are split into
 // chunks and fanned out over the pool, so throughput scales with cores while
-// the index itself is never locked (it is read-only).
+// the backend itself is never locked (it is read-only).
 #pragma once
 
 #include <atomic>
@@ -20,6 +21,7 @@
 #include "service/cache.hpp"
 #include "service/index.hpp"
 #include "service/query.hpp"
+#include "service/router.hpp"
 
 namespace mpcmst::service {
 
@@ -35,6 +37,10 @@ struct ServiceOptions {
 
 class QueryService {
  public:
+  /// Serve any backend: a MonolithicBackend or a QueryRouter over shards.
+  explicit QueryService(std::shared_ptr<const IndexBackend> backend,
+                        ServiceOptions opts = {});
+  /// Convenience: wrap a monolithic snapshot (keeps index() available).
   explicit QueryService(std::shared_ptr<const SensitivityIndex> index,
                         ServiceOptions opts = {});
   ~QueryService();
@@ -42,10 +48,16 @@ class QueryService {
   QueryService(const QueryService&) = delete;
   QueryService& operator=(const QueryService&) = delete;
 
-  /// Convenience: one distributed build, then serve.
+  /// Convenience: one distributed build, then serve (monolithic snapshot).
   static std::unique_ptr<QueryService> build(mpc::Engine& eng,
                                              const graph::Instance& inst,
                                              ServiceOptions opts = {});
+
+  /// One distributed build scattered straight into `num_shards` vertex-range
+  /// shards, served through the QueryRouter.
+  static std::unique_ptr<QueryService> build_sharded(
+      mpc::Engine& eng, const graph::Instance& inst, std::size_t num_shards,
+      ServiceOptions opts = {});
 
   /// Answer one query through the cache, inline on the calling thread.
   Answer answer(const Query& q);
@@ -60,7 +72,12 @@ class QueryService {
   Answer top_k_fragile(std::int64_t k);
   Answer corridor_headroom(Vertex u, Vertex v);
 
-  const SensitivityIndex& index() const { return *index_; }
+  /// The answer source (works for every backend).
+  const IndexBackend& backend() const { return *backend_; }
+
+  /// The monolithic snapshot; only valid when the service was constructed
+  /// from one (asserts otherwise) — sharded callers go through backend().
+  const SensitivityIndex& index() const;
 
   struct Stats {
     std::uint64_t queries_served = 0;
@@ -89,7 +106,7 @@ class QueryService {
   void worker_loop();
   void submit(std::function<void()> task);
 
-  std::shared_ptr<const SensitivityIndex> index_;
+  std::shared_ptr<const IndexBackend> backend_;
   ServiceOptions opts_;
   ShardedLruCache<CacheKey, Answer, CacheKeyHash> cache_;
   std::atomic<std::uint64_t> served_{0};

@@ -1,0 +1,228 @@
+#include "service/shard.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "mpc/dist.hpp"
+#include "seq/oracles.hpp"
+
+namespace mpcmst::service {
+
+void ShardedSensitivityIndex::init_partition(std::size_t n,
+                                             std::size_t num_shards) {
+  const std::size_t s = std::max<std::size_t>(1, num_shards);
+  stride_ = n ? (n + s - 1) / s : 1;
+  shards_.resize(s);
+  for (std::size_t i = 0; i < s; ++i) {
+    shards_[i].lo = static_cast<Vertex>(std::min(i * stride_, n));
+    shards_[i].hi = static_cast<Vertex>(std::min((i + 1) * stride_, n));
+  }
+}
+
+void ShardedSensitivityIndex::finalize() {
+  violations_ = 0;
+  for (IndexShard& s : shards_) {
+    violations_ += s.violations;
+    // Local fragility order: same comparator as the monolithic sort, so the
+    // k-way merge in the router reproduces the global order exactly.
+    s.fragile_order.clear();
+    s.fragile_order.reserve(s.tree.size());
+    for (Vertex v = s.lo; v < s.hi; ++v)
+      if (v != root_) s.fragile_order.push_back(v);
+    std::sort(s.fragile_order.begin(), s.fragile_order.end(),
+              [&s](Vertex a, Vertex b) {
+                const Weight sa = s.tree_edge(a).sens;
+                const Weight sb = s.tree_edge(b).sens;
+                return sa != sb ? sa < sb : a < b;
+              });
+    s.cost.tree_edges = s.fragile_order.size();
+    s.cost.nontree_edges = s.nontree.size();
+    s.cost.endpoint_entries = s.by_endpoints.size();
+    // Words resident on this shard: dense tree slots, keyed non-tree infos
+    // (+1 word per orig_id key), endpoint entries (+1 word per key), and the
+    // fragility order.
+    s.cost.resident_words =
+        s.tree.size() * mpc::words_per<TreeEdgeInfo>() +
+        s.nontree.size() * (mpc::words_per<NonTreeEdgeInfo>() + 1) +
+        s.by_endpoints.size() * (mpc::words_per<EdgeRef>() + 1) +
+        s.fragile_order.size();
+  }
+}
+
+std::shared_ptr<const ShardedSensitivityIndex> ShardedSensitivityIndex::build(
+    mpc::Engine& eng, const graph::Instance& inst, std::size_t num_shards) {
+  MPCMST_ASSERT(inst.tree.well_formed(), "sharded build: input is not a tree");
+  auto idx =
+      std::shared_ptr<ShardedSensitivityIndex>(new ShardedSensitivityIndex());
+  idx->root_ = inst.tree.root;
+  idx->fingerprint_ = SensitivityIndex::fingerprint_of(inst);
+  idx->n_ = inst.n();
+  idx->num_nontree_ = inst.nontree.size();
+  idx->init_partition(inst.n(), num_shards);
+
+  // One distributed run, shared by every shard (same pipeline as the
+  // monolithic build — the receipt is the price of the whole fleet).
+  const mpc::RoundMeter meter(eng);
+  const auto artifacts = verify::build_artifacts(eng, inst);
+  const auto sens = sensitivity::mst_sensitivity_mpc(inst, artifacts);
+  idx->receipt_.build_rounds = meter.delta();
+  idx->receipt_.peak_global_words = eng.stats().peak_global_words;
+  idx->receipt_.input_words = inst.input_words();
+  idx->receipt_.lca_contraction_steps = artifacts.lca_contraction_steps;
+  idx->receipt_.verify_core = sens.verify_core;
+  idx->receipt_.sens_stats = sens.stats;
+
+  // Tree skeleton per shard from its range-restricted artifact slice — each
+  // shard only ever sees the prelude records for its own children (the
+  // slices are carved out of the artifacts in one pass).
+  std::vector<Vertex> starts;
+  starts.reserve(idx->shards_.size() + 1);
+  for (const IndexShard& s : idx->shards_) starts.push_back(s.lo);
+  starts.push_back(idx->shards_.back().hi);
+  const auto slices = verify::slice_artifacts(artifacts, starts);
+  for (std::size_t i = 0; i < idx->shards_.size(); ++i) {
+    IndexShard& s = idx->shards_[i];
+    s.tree.assign(static_cast<std::size_t>(s.hi - s.lo), TreeEdgeInfo{});
+    for (const treeops::TreeRec& r : slices[i].tree) {
+      TreeEdgeInfo& e = s.tree[static_cast<std::size_t>(r.v - s.lo)];
+      e.parent = r.parent;
+      e.w = r.w;
+    }
+  }
+
+  // Scatter the distributed labels: a tree record goes to the shard owning
+  // its child, a non-tree record to the shard owning its min endpoint.
+  for (const sensitivity::TreeEdgeSens& t : sens.tree.local()) {
+    IndexShard& s = idx->shards_[idx->shard_of(t.v)];
+    TreeEdgeInfo& e = s.tree[static_cast<std::size_t>(t.v - s.lo)];
+    e.w = t.w;
+    e.mc = t.mc;
+    e.sens = t.sens;
+  }
+  for (const sensitivity::NonTreeEdgeSens& rec : sens.nontree.local()) {
+    const graph::WEdge& we = inst.nontree[rec.orig_id];
+    IndexShard& s = idx->shards_[idx->shard_of(std::min(we.u, we.v))];
+    s.nontree.emplace(rec.orig_id, NonTreeEdgeInfo{we.u, we.v, rec.w,
+                                                   rec.maxpath, rec.sens});
+    if (rec.w < rec.maxpath) ++s.violations;
+  }
+  std::size_t total_violations = 0;
+  for (const IndexShard& s : idx->shards_) total_violations += s.violations;
+
+  // Replacement argmins + cross-check against the distributed mc values.
+  // The [Tar82] relaxation is a transient host pass; shards only retain
+  // their own range of it.
+  const seq::SeqTreeIndex seq_index(inst.tree);
+  const std::vector<std::int64_t> repl = replacement_edges(inst, seq_index);
+  for (std::size_t v = 0; v < inst.n(); ++v) {
+    if (static_cast<Vertex>(v) == inst.tree.root) continue;
+    IndexShard& s = idx->shards_[idx->shard_of(static_cast<Vertex>(v))];
+    TreeEdgeInfo& e = s.tree[v - static_cast<std::size_t>(s.lo)];
+    e.replacement = repl[v];
+    if (total_violations == 0) {
+      const Weight rw =
+          repl[v] < 0 ? graph::kPosInfW : inst.nontree[repl[v]].w;
+      MPCMST_ASSERT(rw == e.mc, "sharded build: replacement weight "
+                                    << rw << " != mc " << e.mc
+                                    << " for tree edge child " << v);
+    }
+  }
+
+  // Endpoint maps.  A tree entry lives with its child; a non-tree entry with
+  // its min endpoint.  Tree edges shadow parallel non-tree edges and
+  // duplicate non-tree edges resolve to the lightest (ascending orig_id,
+  // strict <) — the same precedence the monolithic build applies globally,
+  // reproduced shard-locally because all duplicates of a key share their min
+  // endpoint and therefore their shard.
+  for (IndexShard& s : idx->shards_) {
+    for (Vertex v = s.lo; v < s.hi; ++v) {
+      if (v == idx->root_) continue;
+      s.by_endpoints.emplace(endpoint_key(v, s.tree_edge(v).parent),
+                             EdgeRef{true, v});
+    }
+  }
+  const auto is_tree_edge = [&inst](Vertex a, Vertex b) {
+    return (a != inst.tree.root && inst.tree.parent[a] == b) ||
+           (b != inst.tree.root && inst.tree.parent[b] == a);
+  };
+  for (std::size_t i = 0; i < inst.nontree.size(); ++i) {
+    const graph::WEdge& e = inst.nontree[i];
+    if (is_tree_edge(e.u, e.v)) continue;  // shadowed: the tree entry wins
+    IndexShard& s = idx->shards_[idx->shard_of(std::min(e.u, e.v))];
+    auto [it, inserted] = s.by_endpoints.try_emplace(
+        endpoint_key(e.u, e.v), EdgeRef{false, static_cast<std::int64_t>(i)});
+    if (!inserted && !it->second.is_tree &&
+        e.w < s.nontree.at(it->second.id).w)
+      it->second.id = static_cast<std::int64_t>(i);
+  }
+
+  idx->finalize();
+  return idx;
+}
+
+std::shared_ptr<const ShardedSensitivityIndex> ShardedSensitivityIndex::split(
+    const SensitivityIndex& full, std::size_t num_shards) {
+  auto idx =
+      std::shared_ptr<ShardedSensitivityIndex>(new ShardedSensitivityIndex());
+  idx->root_ = full.root();
+  idx->fingerprint_ = full.fingerprint();
+  idx->receipt_ = full.receipt();
+  idx->n_ = full.n();
+  idx->num_nontree_ = full.num_nontree();
+  idx->init_partition(full.n(), num_shards);
+
+  for (IndexShard& s : idx->shards_) {
+    s.tree.reserve(static_cast<std::size_t>(s.hi - s.lo));
+    for (Vertex v = s.lo; v < s.hi; ++v) s.tree.push_back(full.tree_edge(v));
+    for (Vertex v = s.lo; v < s.hi; ++v) {
+      if (v == idx->root_) continue;
+      s.by_endpoints.emplace(endpoint_key(v, s.tree_edge(v).parent),
+                             EdgeRef{true, v});
+    }
+  }
+  for (std::int64_t i = 0; i < static_cast<std::int64_t>(idx->num_nontree_);
+       ++i) {
+    const NonTreeEdgeInfo info = full.nontree_edge(i);
+    IndexShard& s = idx->shards_[idx->shard_of(std::min(info.u, info.v))];
+    s.nontree.emplace(i, info);
+    if (info.w < info.maxpath) ++s.violations;
+    // The monolith already resolved shadowing and duplicates; reuse its
+    // verdict (every duplicate of a key maps to the same resolved ref).
+    const auto ref = full.find(info.u, info.v);
+    if (ref && !ref->is_tree)
+      s.by_endpoints.emplace(endpoint_key(info.u, info.v), *ref);
+  }
+
+  idx->finalize();
+  return idx;
+}
+
+std::optional<ShardedSensitivityIndex::Resolved>
+ShardedSensitivityIndex::resolve(Vertex u, Vertex v) const {
+  if (u < 0 || v < 0 || u >= static_cast<Vertex>(n_) ||
+      v >= static_cast<Vertex>(n_))
+    return std::nullopt;
+  const std::uint64_t key = endpoint_key(u, v);
+  const IndexShard* first = &shards_[shard_of(u)];
+  if (const auto ref = first->find(key)) return Resolved{*ref, first};
+  const IndexShard* second = &shards_[shard_of(v)];
+  if (second != first)
+    if (const auto ref = second->find(key)) return Resolved{*ref, second};
+  return std::nullopt;
+}
+
+std::optional<NonTreeEdgeInfo> ShardedSensitivityIndex::nontree_info(
+    std::int64_t orig_id) const {
+  for (const IndexShard& s : shards_)
+    if (const NonTreeEdgeInfo* e = s.nontree_edge(orig_id)) return *e;
+  return std::nullopt;
+}
+
+std::size_t ShardedSensitivityIndex::max_shard_words() const {
+  std::size_t best = 0;
+  for (const IndexShard& s : shards_)
+    best = std::max(best, s.cost.resident_words);
+  return best;
+}
+
+}  // namespace mpcmst::service

@@ -1,0 +1,157 @@
+// Sharded sensitivity snapshot: the SensitivityIndex partitioned by vertex
+// range, so one logical index can span machines.
+//
+// The MPC layer computes every label with machines that hold only an
+// O(n^δ)-word slice of the instance; a monolithic snapshot abandons that
+// memory model at the serving layer.  ShardedSensitivityIndex restores it:
+// shard i holds only the labels for child vertices in its range [lo, hi) —
+//   - tree-edge infos for children in [lo, hi) (dense, offset by lo);
+//   - the non-tree edges whose resolved EdgeRef lands in the range (an edge
+//     is assigned to the shard owning its canonical min endpoint);
+//   - the endpoint-map entries resolving to those edges (a tree entry lives
+//     with its child, a non-tree entry with its min endpoint, so the shard
+//     that resolves a key always owns the referenced labels);
+//   - a locally-sorted fragility order (ascending sensitivity, ties by id);
+//   - a per-shard cost receipt (resident words — the per-machine footprint).
+// The fingerprint and the distributed build receipt are shared across shards.
+//
+// Two ways in: split() partitions an existing monolithic index; build() goes
+// straight from the distributed run (verify::build_artifacts +
+// mst_sensitivity_mpc) through per-range verify::ArtifactSlice views, never
+// materializing the full endpoint map or fragility order on one host.  Both
+// construct byte-identical shards; the QueryRouter (router.hpp) serves the
+// four-query API over them.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "service/index.hpp"
+
+namespace mpcmst::service {
+
+/// Per-shard footprint receipt: what one participant of the sharded serving
+/// tier holds, in entries and (approximate) machine words.
+struct ShardCost {
+  std::size_t tree_edges = 0;        // non-root children in range
+  std::size_t nontree_edges = 0;     // resolved non-tree edges assigned here
+  std::size_t endpoint_entries = 0;  // endpoint-map entries
+  std::size_t resident_words = 0;    // total words resident on this shard
+};
+
+/// One vertex-range slice [lo, hi) of the sensitivity snapshot.  Immutable
+/// after construction (only ShardedSensitivityIndex builds it); all
+/// accessors are const and thread-safe.
+struct IndexShard {
+  Vertex lo = 0;
+  Vertex hi = 0;  // exclusive; lo == hi for an empty trailing shard
+  std::vector<TreeEdgeInfo> tree;  // indexed by child - lo (root slot unused)
+  std::unordered_map<std::int64_t, NonTreeEdgeInfo> nontree;  // by orig_id
+  std::unordered_map<std::uint64_t, EdgeRef> by_endpoints;
+  std::vector<Vertex> fragile_order;  // children by (sens, id) ascending
+  std::size_t violations = 0;         // non-tree edges lighter than their path
+  ShardCost cost;
+
+  bool owns(Vertex v) const { return v >= lo && v < hi; }
+
+  /// `child` must be owned by this shard.
+  const TreeEdgeInfo& tree_edge(Vertex child) const {
+    return tree[static_cast<std::size_t>(child - lo)];
+  }
+
+  /// Null if `orig_id` is not assigned to this shard.
+  const NonTreeEdgeInfo* nontree_edge(std::int64_t orig_id) const {
+    const auto it = nontree.find(orig_id);
+    return it == nontree.end() ? nullptr : &it->second;
+  }
+
+  /// Shard-local endpoint resolution (no bounds checks — the router owns
+  /// those and probes at most two shards per key).
+  std::optional<EdgeRef> find(std::uint64_t key) const {
+    const auto it = by_endpoints.find(key);
+    if (it == by_endpoints.end()) return std::nullopt;
+    return it->second;
+  }
+};
+
+/// The sensitivity snapshot as a set of vertex-range shards.  Same answers
+/// as the monolithic SensitivityIndex (byte-identical, see QueryRouter), but
+/// no single shard ever holds more than its range's slice of the labeling.
+class ShardedSensitivityIndex {
+ public:
+  /// Run the distributed pipeline once and scatter the labels straight into
+  /// shards via per-range verify::ArtifactSlice views — the full index is
+  /// never materialized on one host.
+  static std::shared_ptr<const ShardedSensitivityIndex> build(
+      mpc::Engine& eng, const graph::Instance& inst, std::size_t num_shards);
+
+  /// Partition an existing monolithic snapshot (e.g. to migrate a serving
+  /// tier without re-running the distributed build).
+  static std::shared_ptr<const ShardedSensitivityIndex> split(
+      const SensitivityIndex& full, std::size_t num_shards);
+
+  std::size_t n() const { return n_; }
+  std::size_t num_nontree() const { return num_nontree_; }
+  Vertex root() const { return root_; }
+  bool is_mst() const { return violations_ == 0; }
+  std::size_t violations() const { return violations_; }
+  std::uint64_t fingerprint() const { return fingerprint_; }
+  const CostReceipt& receipt() const { return receipt_; }
+
+  std::size_t num_shards() const { return shards_.size(); }
+  const IndexShard& shard(std::size_t i) const { return shards_[i]; }
+
+  /// Which shard owns vertex `v` (0 <= v < n)?  O(1): ranges are uniform
+  /// stride-sized blocks (trailing shards may be empty).
+  std::size_t shard_of(Vertex v) const {
+    return std::min(static_cast<std::size_t>(v) / stride_,
+                    shards_.size() - 1);
+  }
+
+  /// Resolved edge plus the shard holding its labels.  By construction the
+  /// entry-owning shard always owns the referenced info, so a resolution
+  /// never needs a second hop.
+  struct Resolved {
+    EdgeRef ref;
+    const IndexShard* shard = nullptr;
+  };
+
+  /// Resolve {u, v} (order-insensitive) by probing the shards of both
+  /// endpoints — a tree entry lives with its child, which may be either one.
+  std::optional<Resolved> resolve(Vertex u, Vertex v) const;
+
+  /// `child` must be a valid vertex; routes to the owning shard.
+  const TreeEdgeInfo& tree_edge(Vertex child) const {
+    return shards_[shard_of(child)].tree_edge(child);
+  }
+
+  /// Lookup by orig_id scans the shards (display paths only — point queries
+  /// resolve by endpoints and stay on one shard).
+  std::optional<NonTreeEdgeInfo> nontree_info(std::int64_t orig_id) const;
+
+  /// Largest per-shard footprint — the words one machine of the serving
+  /// tier must hold (the quantity sharding exists to bound).
+  std::size_t max_shard_words() const;
+
+ private:
+  ShardedSensitivityIndex() = default;
+
+  /// Carve [0, n) into `num_shards` stride-sized ranges.
+  void init_partition(std::size_t n, std::size_t num_shards);
+  /// Per-shard fragility sort, cost accounting, violation totals.
+  void finalize();
+
+  std::size_t n_ = 0;
+  std::size_t num_nontree_ = 0;
+  std::size_t stride_ = 1;
+  std::size_t violations_ = 0;
+  Vertex root_ = 0;
+  std::uint64_t fingerprint_ = 0;
+  CostReceipt receipt_;
+  std::vector<IndexShard> shards_;
+};
+
+}  // namespace mpcmst::service

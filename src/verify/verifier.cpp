@@ -308,6 +308,25 @@ Artifacts build_artifacts(mpc::Engine& eng, const graph::Instance& inst) {
                    lcares.contraction_steps};
 }
 
+std::vector<ArtifactSlice> slice_artifacts(const Artifacts& art,
+                                           const std::vector<Vertex>& starts) {
+  MPCMST_ASSERT(starts.size() >= 2, "slice_artifacts: need >= 2 boundaries");
+  MPCMST_ASSERT(std::is_sorted(starts.begin(), starts.end()),
+                "slice_artifacts: boundaries must be non-decreasing");
+  std::vector<ArtifactSlice> out(starts.size() - 1);
+  for (std::size_t i = 0; i + 1 < starts.size(); ++i) {
+    out[i].lo = starts[i];
+    out[i].hi = starts[i + 1];
+  }
+  for (const treeops::TreeRec& r : art.tree.local()) {
+    if (r.v < starts.front() || r.v >= starts.back()) continue;
+    // Last range whose lo <= r.v; empty ranges ahead of it get nothing.
+    const auto it = std::upper_bound(starts.begin(), starts.end(), r.v);
+    out[static_cast<std::size_t>(it - starts.begin()) - 1].tree.push_back(r);
+  }
+  return out;
+}
+
 VerifyResult verify_mst_mpc(mpc::Engine& eng, const graph::Instance& inst,
                             const VerifyOptions& opts) {
   if (opts.validate_input) {

@@ -18,9 +18,11 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "graph/instance.hpp"
 #include "lca/all_edges_lca.hpp"
+#include "mpc/dist.hpp"
 #include "mpc/engine.hpp"
 #include "treeops/doubling.hpp"
 #include "treeops/interval_label.hpp"
@@ -48,6 +50,29 @@ struct Artifacts {
 /// Steps 1-4: load the tree, compute depths / D̂ / interval labels, run the
 /// all-edges LCA and split every non-tree edge into its halves.
 Artifacts build_artifacts(mpc::Engine& eng, const graph::Instance& inst);
+
+/// Host-side view of the prelude restricted to child vertices in [lo, hi):
+/// the tree records one index shard consumes.  A range-restricted build
+/// (service::ShardedSensitivityIndex) receives one slice per shard instead
+/// of the full artifacts, mirroring the O(n^δ)-words-per-machine discipline
+/// of the MPC layer: no participant of the sharded serving tier ever holds
+/// more than its own range.
+struct ArtifactSlice {
+  Vertex lo = 0;
+  Vertex hi = 0;  // exclusive
+  std::vector<treeops::TreeRec> tree;  // children in [lo, hi)
+
+  std::size_t words() const {
+    return tree.size() * mpc::words_per<treeops::TreeRec>();
+  }
+};
+
+/// Partition prebuilt artifacts into per-range slices in ONE pass: slice i
+/// covers [starts[i], starts[i+1]) (so starts has one more entry than the
+/// result, must be non-decreasing, and records outside the overall range are
+/// dropped).  Ranges may be empty.
+std::vector<ArtifactSlice> slice_artifacts(const Artifacts& art,
+                                           const std::vector<Vertex>& starts);
 
 /// Per ancestor-descendant half-edge: the maximum tree-edge weight on the
 /// covered path lo..hi.
