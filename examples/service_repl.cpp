@@ -4,16 +4,18 @@
 //
 //   $ echo "top 5
 //           price 17 42 25
-//           stats" | ./service_repl [n] [--shards N]
+//           stats" | ./service_repl [n] [--shards N] [--live]
 //
 // --shards N > 1 partitions the index by vertex range and serves through the
 // QueryRouter (answers are byte-identical to the monolithic backend).
+// --live serves through the updatable generation layer, enabling `update`.
 //
 // Commands:
 //   price <u> <v> <delta>   does the optimum survive the price change?
 //   replace <u> <v>         cheapest swap-in for a tree edge
 //   top <k>                 k least-headroom tree edges
 //   headroom <u> <v>        sensitivity of an edge (Definition 1.2)
+//   update <u> <v> <price>  absorb a confirmed price change (--live only)
 //   receipt                 cost of the one-time distributed build
 //   stats                   queries served / cache hit rate
 //   help, quit
@@ -34,7 +36,24 @@ namespace {
 
 void print_help() {
   std::cout << "commands: price <u> <v> <delta> | replace <u> <v> | top <k>"
-               " | headroom <u> <v> | receipt | stats | help | quit\n";
+               " | headroom <u> <v> | update <u> <v> <price> | receipt"
+               " | stats | help | quit\n";
+}
+
+const char* class_name(service::UpdateClass cls) {
+  switch (cls) {
+    case service::UpdateClass::kNoChange:
+      return "no change";
+    case service::UpdateClass::kTreeReweight:
+      return "tree reweight within headroom";
+    case service::UpdateClass::kTreeSwap:
+      return "tree edge evicted (replacement swapped in)";
+    case service::UpdateClass::kNonTreeReweight:
+      return "non-tree reweight";
+    case service::UpdateClass::kNonTreeSwap:
+      return "non-tree edge swapped into the tree";
+  }
+  return "?";
 }
 
 }  // namespace
@@ -42,17 +61,20 @@ void print_help() {
 int main(int argc, char** argv) {
   std::size_t n = 2000;
   std::size_t shards = 1;
+  bool live = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     try {
       if (arg == "--shards") {
         if (i + 1 >= argc) throw std::invalid_argument("missing operand");
         shards = std::stoul(argv[++i]);
+      } else if (arg == "--live") {
+        live = true;
       } else {
         n = std::stoul(arg);
       }
     } catch (const std::exception&) {
-      std::cerr << "usage: service_repl [n] [--shards N]\n";
+      std::cerr << "usage: service_repl [n] [--shards N] [--live]\n";
       return 1;
     }
   }
@@ -63,15 +85,23 @@ int main(int argc, char** argv) {
                                              /*slack=*/400);
 
   mpc::Engine eng(mpc::MpcConfig::scaled(inst.input_words(), 0.5, 64.0));
-  auto service =
-      shards > 1 ? service::QueryService::build_sharded(eng, inst, shards)
-                 : service::QueryService::build(eng, inst);
+  std::unique_ptr<service::QueryService> service;
+  if (live)
+    service = shards > 1
+                  ? service::QueryService::build_live_sharded(eng, inst,
+                                                              shards)
+                  : service::QueryService::build_live(eng, inst);
+  else
+    service = shards > 1
+                  ? service::QueryService::build_sharded(eng, inst, shards)
+                  : service::QueryService::build(eng, inst);
   const auto& backend = service->backend();
   const auto& receipt = backend.receipt();
   std::cout << "index ready: n=" << inst.n() << " m=" << inst.m() << ", "
             << receipt.build_rounds << " MPC rounds, "
             << backend.num_shards() << " shard"
-            << (backend.num_shards() == 1 ? "" : "s") << ", tree is "
+            << (backend.num_shards() == 1 ? "" : "s")
+            << (live ? ", live (updates enabled)" : "") << ", tree is "
             << (backend.is_mst() ? "an MST" : "NOT an MST") << "\n";
   print_help();
 
@@ -125,6 +155,40 @@ int main(int argc, char** argv) {
         continue;
       }
       std::cout << to_string(service->corridor_headroom(u, v)) << "\n";
+    } else if (cmd == "update") {
+      graph::Weight price;
+      if (!(in >> u >> v >> price)) {
+        std::cout << "usage: update <u> <v> <price>\n";
+        continue;
+      }
+      if (!service->updatable()) {
+        std::cout << "updates need --live (this service serves an immutable "
+                     "snapshot)\n";
+        continue;
+      }
+      if (price <= graph::kNegInfW || price >= graph::kPosInfW) {
+        std::cout << "price " << price << " is outside the price band "
+                     "(sentinels are not prices)\n";
+        continue;
+      }
+      const auto r = service->apply_update(u, v, price);
+      if (r.report.status != service::Status::kOk) {
+        std::cout << "unknown edge {" << u << "," << v << "}\n";
+        continue;
+      }
+      std::cout << class_name(r.report.cls) << ": " << r.report.old_w
+                << " -> " << r.report.new_w << ", generation "
+                << r.generation;
+      if (r.report.swapped_out >= 0)
+        std::cout << ", evicted tree edge at child " << r.report.swapped_out
+                  << ", promoted non-tree slot #" << r.report.swapped_in;
+      std::cout << (r.full_relabel
+                        ? ", full host relabel"
+                        : ", patched " +
+                              std::to_string(r.patched_tree_edges +
+                                             r.patched_nontree_edges) +
+                              " labels in place")
+                << "\n";
     } else if (cmd == "receipt") {
       std::cout << "build: " << receipt.build_rounds << " MPC rounds, peak "
                 << receipt.peak_global_words << " words ("

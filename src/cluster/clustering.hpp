@@ -38,12 +38,22 @@ namespace mpcmst::cluster {
 using graph::Vertex;
 using graph::Weight;
 
+/// The contraction target n / D̂² (floor 1 is applied by the callers'
+/// loops): how many clusters the §3/§4 cores contract down to before
+/// switching to their per-cluster passes.  Shared by verification,
+/// sensitivity and the all-edges LCA, which must agree on it.
+inline std::size_t cluster_target(std::size_t n, std::int64_t dhat) {
+  if (dhat <= 1) return n;
+  const double dd = static_cast<double>(dhat) * static_cast<double>(dhat);
+  return static_cast<std::size_t>(static_cast<double>(n) / dd);
+}
+
 /// One live cluster.  `label` is caller-defined state attached to the
 /// cluster's up-edge (verification stores θ(this -> parent) there).
 struct ClusterNode {
   Vertex leader = 0;          // cluster id == leader vertex
   Vertex parent_leader = 0;   // leader of the parent cluster (self iff root)
-  Vertex attach = 0;          // p(leader) in T: the vertex this cluster hangs off
+  Vertex attach = 0;          // p(leader) in T: where this cluster hangs off
   Weight w_top = 0;           // weight of the tree edge {leader, attach}
   std::int64_t formed_at = 0; // last step that merged juniors into this cluster
   std::int64_t lo = 0, hi = 0;  // DFS interval of the leader's subtree

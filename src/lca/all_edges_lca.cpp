@@ -49,13 +49,10 @@ LcaResult all_edges_lca(const mpc::Dist<treeops::TreeRec>& tree, Vertex root,
 
   // 1. Cluster down to n / dhat^2 (Corollary 3.6 scale).
   HierarchicalClustering hc(tree, root, intervals, graph::kNegInfW);
-  const std::size_t target =
-      (dhat <= 1) ? n
-                  : static_cast<std::size_t>(
-                        static_cast<double>(n) /
-                        (static_cast<double>(dhat) * static_cast<double>(dhat)));
+  const std::size_t target = cluster::cluster_target(n, dhat);
   const std::size_t steps = hc.run_until(
-      target, [](std::int64_t old_label, const MergeRec&) { return old_label; });
+      target,
+      [](std::int64_t old_label, const MergeRec&) { return old_label; });
 
   // 2. Vertex -> cluster assignment and edge state initialization.
   auto vc = cluster::assign_vertices_to_clusters(tree, root, depths.depth,

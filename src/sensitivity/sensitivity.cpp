@@ -147,11 +147,7 @@ TreeMcResult tree_edge_mc(const mpc::Dist<TreeRec>& tree, Vertex root,
 
   // --- Algorithm 5: contraction with truncation ---
   HierarchicalClustering hc(tree, root, intervals, 0);
-  const std::size_t target =
-      (dhat <= 1) ? n
-                  : static_cast<std::size_t>(
-                        static_cast<double>(n) /
-                        (static_cast<double>(dhat) * static_cast<double>(dhat)));
+  const std::size_t target = cluster::cluster_target(n, dhat);
   while (hc.num_clusters() > std::max<std::size_t>(target, 1)) {
     const mpc::Dist<MergeRec> merges = hc.plan_step();
     mpc::for_each(edges, [](SensEdge& s) {
@@ -243,13 +239,16 @@ TreeMcResult tree_edge_mc(const mpc::Dist<TreeRec>& tree, Vertex root,
             }
           });
       stats.case5 += mpc::reduce(
-          edges, [](const SensEdge& s) { return std::int64_t(s.c5_junior >= 0); },
+          edges,
+          [](const SensEdge& s) { return std::int64_t(s.c5_junior >= 0); },
           std::plus<>{}, std::int64_t{0});
       stats.case1 += mpc::reduce(
-          edges, [](const SensEdge& s) { return std::int64_t(s.c14_kind == 1); },
+          edges,
+          [](const SensEdge& s) { return std::int64_t(s.c14_kind == 1); },
           std::plus<>{}, std::int64_t{0});
       stats.case4 += mpc::reduce(
-          edges, [](const SensEdge& s) { return std::int64_t(s.c14_kind == 4); },
+          edges,
+          [](const SensEdge& s) { return std::int64_t(s.c14_kind == 4); },
           std::plus<>{}, std::int64_t{0});
       track_notes(fresh.size());
       mc_pool = compress_updates(mpc::concat(mc_pool, ups));
@@ -563,7 +562,7 @@ SensitivityResult mst_sensitivity_mpc(const graph::Instance& inst,
           r.orig_id = static_cast<std::int64_t>(i);
           r.w = inst.nontree[i].w;
           r.maxpath = kNegInfW;
-          r.sens = kPosInfW;  // covers nothing (e.g. self loop)
+          r.sens = nontree_sens(r.w, r.maxpath);  // covers nothing yet
           return r;
         });
     mpc::join_unique(
@@ -573,7 +572,7 @@ SensitivityResult mst_sensitivity_mpc(const graph::Instance& inst,
         [](NonTreeEdgeSens& r, const auto* kv) {
           if (kv == nullptr) return;
           r.maxpath = kv->val;
-          r.sens = r.w - r.maxpath;
+          r.sens = nontree_sens(r.w, r.maxpath);
         });
     out.nontree = std::move(rows);
   }
@@ -596,7 +595,7 @@ SensitivityResult mst_sensitivity_mpc(const graph::Instance& inst,
         [](const McUpdate& u) { return std::uint64_t(u.child); },
         [](TreeEdgeSens& r, const McUpdate* u) {
           r.mc = u ? u->val : kPosInfW;
-          r.sens = r.mc == kPosInfW ? kPosInfW : r.mc - r.w;
+          r.sens = tree_sens(r.mc, r.w);
         });
     out.tree = std::move(rows);
   }

@@ -32,6 +32,19 @@ namespace mpcmst::sensitivity {
 using graph::Vertex;
 using graph::Weight;
 
+/// Sentinel-aware sensitivity conventions (Definition 1.2), single-sourced
+/// so the distributed pipeline, the host-side index builds and the service's
+/// incremental update layer can never disagree on the uncovered cases.
+/// Tree edge: sens = mc - w, unbounded when nothing covers it (a bridge).
+constexpr Weight tree_sens(Weight mc, Weight w) {
+  return mc == graph::kPosInfW ? graph::kPosInfW : mc - w;
+}
+/// Non-tree edge: sens = w - maxpath, unbounded when it covers nothing
+/// (e.g. a self loop, maxpath == kNegInfW).
+constexpr Weight nontree_sens(Weight w, Weight maxpath) {
+  return maxpath == graph::kNegInfW ? graph::kPosInfW : w - maxpath;
+}
+
 /// Per tree edge {v, parent(v)}, keyed by the child endpoint v.
 struct TreeEdgeSens {
   Vertex v = 0;

@@ -20,7 +20,7 @@ std::uint64_t endpoint_key(Vertex u, Vertex v) {
 /// Non-tree edges are scanned by ascending weight; a DSU jumps over tree
 /// edges that already received their (lightest) cover.
 std::vector<std::int64_t> replacement_edges(const graph::Instance& inst,
-                                            const seq::SeqTreeIndex& index) {
+                                            const verify::TreeTopology& topo) {
   const std::size_t n = inst.n();
   std::vector<std::int64_t> repl(n, -1);
   std::vector<std::size_t> order(inst.nontree.size());
@@ -36,10 +36,10 @@ std::vector<std::int64_t> replacement_edges(const graph::Instance& inst,
   for (std::size_t idx : order) {
     const graph::WEdge& e = inst.nontree[idx];
     if (e.u == e.v) continue;
-    const Vertex a = index.lca(e.u, e.v);
+    const Vertex a = topo.lca(e.u, e.v);
     for (Vertex x : {e.u, e.v}) {
       x = climb_top(x);
-      while (index.depth(x) > index.depth(a)) {
+      while (topo.depth(x) > topo.depth(a)) {
         repl[x] = static_cast<std::int64_t>(idx);
         const Vertex next = climb_top(inst.tree.parent[x]);
         jump.unite(x, inst.tree.parent[x]);
@@ -61,6 +61,58 @@ std::uint64_t SensitivityIndex::fingerprint_of(const graph::Instance& inst) {
     h = hash_combine(h, hash_combine(std::uint64_t(e.u), std::uint64_t(e.v)),
                      std::uint64_t(e.w));
   return h;
+}
+
+void SensitivityIndex::finish(SensitivityIndex& idx,
+                              const graph::Instance& inst,
+                              const verify::TreeTopology& topo) {
+  // --- replacement edges + cross-check against the mc labels ---
+  const std::vector<std::int64_t> repl = replacement_edges(inst, topo);
+  for (std::size_t v = 0; v < inst.n(); ++v) {
+    if (static_cast<Vertex>(v) == inst.tree.root) continue;
+    TreeEdgeInfo& e = idx.tree_[v];
+    e.replacement = repl[v];
+    if (idx.violations_ == 0) {
+      // On MST inputs both computations answer Definition 1.2, so the argmin
+      // weight must equal the mc label (covered or not).
+      const Weight rw =
+          repl[v] < 0 ? graph::kPosInfW : inst.nontree[repl[v]].w;
+      MPCMST_ASSERT(rw == e.mc, "index build: replacement weight "
+                                    << rw << " != mc " << e.mc
+                                    << " for tree edge child " << v);
+    }
+  }
+
+  // --- endpoint resolution map (tree edges take precedence; duplicate
+  // non-tree edges resolve to the lightest) ---
+  idx.by_endpoints_.clear();
+  idx.by_endpoints_.reserve(2 * (inst.n() + inst.nontree.size()));
+  for (std::size_t v = 0; v < inst.n(); ++v) {
+    if (static_cast<Vertex>(v) == inst.tree.root) continue;
+    idx.by_endpoints_[endpoint_key(static_cast<Vertex>(v),
+                                   inst.tree.parent[v])] =
+        EdgeRef{true, static_cast<std::int64_t>(v)};
+  }
+  for (std::size_t i = 0; i < inst.nontree.size(); ++i) {
+    const graph::WEdge& e = inst.nontree[i];
+    auto [it, inserted] = idx.by_endpoints_.try_emplace(
+        endpoint_key(e.u, e.v), EdgeRef{false, static_cast<std::int64_t>(i)});
+    if (!inserted && !it->second.is_tree &&
+        e.w < idx.nontree_[it->second.id].w)
+      it->second.id = static_cast<std::int64_t>(i);
+  }
+
+  // --- fragility order: ascending tree-edge sensitivity, ties by child id ---
+  idx.fragile_order_.clear();
+  idx.fragile_order_.reserve(inst.n() ? inst.n() - 1 : 0);
+  for (std::size_t v = 0; v < inst.n(); ++v)
+    if (static_cast<Vertex>(v) != inst.tree.root)
+      idx.fragile_order_.push_back(static_cast<Vertex>(v));
+  std::sort(idx.fragile_order_.begin(), idx.fragile_order_.end(),
+            [&](Vertex a, Vertex b) {
+              const Weight sa = idx.tree_[a].sens, sb = idx.tree_[b].sens;
+              return sa != sb ? sa < sb : a < b;
+            });
 }
 
 std::shared_ptr<const SensitivityIndex> SensitivityIndex::build(
@@ -103,52 +155,44 @@ std::shared_ptr<const SensitivityIndex> SensitivityIndex::build(
     if (e.w < e.maxpath) ++idx->violations_;
   }
 
-  // --- replacement edges + cross-check against the distributed mc values ---
+  finish(*idx, inst, verify::TreeTopology::from_artifacts(artifacts));
+  return idx;
+}
+
+std::shared_ptr<const SensitivityIndex> SensitivityIndex::build_host(
+    const graph::Instance& inst, CostReceipt receipt) {
+  MPCMST_ASSERT(inst.tree.well_formed(),
+                "host index build: input is not a tree");
+  auto idx = std::shared_ptr<SensitivityIndex>(new SensitivityIndex());
+  idx->root_ = inst.tree.root;
+  idx->fingerprint_ = fingerprint_of(inst);
+  idx->receipt_ = receipt;
+
+  // Sequential labels: same values as the distributed pipeline (the build()
+  // cross-check pins the two together), no engine charged.
   const seq::SeqTreeIndex seq_index(inst.tree);
-  const std::vector<std::int64_t> repl = replacement_edges(inst, seq_index);
+  const seq::SensitivityResult sens = seq::sensitivity(inst, seq_index);
+  idx->tree_.assign(inst.n(), TreeEdgeInfo{});
   for (std::size_t v = 0; v < inst.n(); ++v) {
-    if (static_cast<Vertex>(v) == inst.tree.root) continue;
     TreeEdgeInfo& e = idx->tree_[v];
-    e.replacement = repl[v];
-    if (idx->violations_ == 0) {
-      // On MST inputs both computations answer Definition 1.2, so the argmin
-      // weight must equal the distributed mc (covered or not).
-      const Weight rw =
-          repl[v] < 0 ? graph::kPosInfW : inst.nontree[repl[v]].w;
-      MPCMST_ASSERT(rw == e.mc, "index build: replacement weight "
-                                    << rw << " != mc " << e.mc
-                                    << " for tree edge child " << v);
-    }
-  }
-
-  // --- endpoint resolution map (tree edges take precedence; duplicate
-  // non-tree edges resolve to the lightest) ---
-  idx->by_endpoints_.reserve(2 * (inst.n() + inst.nontree.size()));
-  for (std::size_t v = 0; v < inst.n(); ++v) {
+    e.parent = inst.tree.parent[v];
     if (static_cast<Vertex>(v) == inst.tree.root) continue;
-    idx->by_endpoints_[endpoint_key(static_cast<Vertex>(v),
-                                    inst.tree.parent[v])] =
-        EdgeRef{true, static_cast<std::int64_t>(v)};
+    e.w = inst.tree.weight[v];
+    e.mc = sens.tree_mc[v];
+    e.sens = sensitivity::tree_sens(e.mc, e.w);
   }
+  idx->nontree_.assign(inst.nontree.size(), NonTreeEdgeInfo{});
   for (std::size_t i = 0; i < inst.nontree.size(); ++i) {
-    const graph::WEdge& e = inst.nontree[i];
-    auto [it, inserted] = idx->by_endpoints_.try_emplace(
-        endpoint_key(e.u, e.v), EdgeRef{false, static_cast<std::int64_t>(i)});
-    if (!inserted && !it->second.is_tree &&
-        e.w < idx->nontree_[it->second.id].w)
-      it->second.id = static_cast<std::int64_t>(i);
+    NonTreeEdgeInfo& o = idx->nontree_[i];
+    o.u = inst.nontree[i].u;
+    o.v = inst.nontree[i].v;
+    o.w = inst.nontree[i].w;
+    o.maxpath = sens.nontree_maxpath[i];
+    o.sens = sensitivity::nontree_sens(o.w, o.maxpath);
+    if (o.w < o.maxpath) ++idx->violations_;
   }
 
-  // --- fragility order: ascending tree-edge sensitivity, ties by child id ---
-  idx->fragile_order_.reserve(inst.n() ? inst.n() - 1 : 0);
-  for (std::size_t v = 0; v < inst.n(); ++v)
-    if (static_cast<Vertex>(v) != inst.tree.root)
-      idx->fragile_order_.push_back(static_cast<Vertex>(v));
-  std::sort(idx->fragile_order_.begin(), idx->fragile_order_.end(),
-            [&](Vertex a, Vertex b) {
-              const Weight sa = idx->tree_[a].sens, sb = idx->tree_[b].sens;
-              return sa != sb ? sa < sb : a < b;
-            });
+  finish(*idx, inst, verify::TreeTopology(inst.tree));
   return idx;
 }
 

@@ -29,14 +29,12 @@
 #include "sensitivity/sensitivity.hpp"
 #include "verify/verifier.hpp"
 
-namespace mpcmst::seq {
-class SeqTreeIndex;
-}  // namespace mpcmst::seq
-
 namespace mpcmst::service {
 
 using graph::Vertex;
 using graph::Weight;
+
+class LiveCore;  // update.hpp: the mutable generation layer (friended below)
 
 /// Exact (not hashed) order-insensitive endpoint key; vertex ids fit in 32
 /// bits for every instance that fits in memory.  Shared by the monolithic
@@ -47,9 +45,10 @@ std::uint64_t endpoint_key(Vertex u, Vertex v);
 /// covering relaxation of [Tar82], same scheme as seq::sensitivity which only
 /// keeps the weight.  -1 where uncovered.  Shared by the monolithic and the
 /// sharded index builds, which both cross-check it against the distributed
-/// mc values.
+/// mc values; the topology view can come straight from the distributed
+/// prelude (verify::TreeTopology::from_artifacts) or from the raw tree.
 std::vector<std::int64_t> replacement_edges(const graph::Instance& inst,
-                                            const seq::SeqTreeIndex& index);
+                                            const verify::TreeTopology& topo);
 
 /// Resolved edge handle: a tree edge is keyed by its child endpoint, a
 /// non-tree edge by its position in Instance::nontree.
@@ -90,6 +89,12 @@ struct CostReceipt {
   std::size_t peak_global_words = 0;  // measured global memory g
   std::size_t input_words = 0;
   std::size_t lca_contraction_steps = 0;
+  // Shards actually built.  The serving entry points (QueryService's
+  // sharded builders, LiveShardedBackend) clamp requests above the vertex
+  // count, so through them this never exceeds n; the raw
+  // ShardedSensitivityIndex build/split keep the explicit empty-trailing-
+  // shard regime for callers that want it.
+  std::size_t effective_shards = 1;
   verify::CoreStats verify_core;
   sensitivity::SensitivityStats sens_stats;
 };
@@ -103,6 +108,17 @@ class SensitivityIndex {
   /// tree really is an MST (sensitivity values are only meaningful if so).
   static std::shared_ptr<const SensitivityIndex> build(
       mpc::Engine& eng, const graph::Instance& inst);
+
+  /// Snapshot the same labeling without an engine: sequential oracles
+  /// (seq::sensitivity + the [Tar82] relaxation) fill the label arrays the
+  /// distributed run would have produced — the two pipelines agree value-for-
+  /// value on every input (the cross-check in build() enforces it), so the
+  /// resulting index is byte-identical.  This is the relabel primitive of the
+  /// incremental update path: swaps repair through it instead of paying the
+  /// distributed pass again.  `receipt` carries forward the cost of the
+  /// original distributed build (this call adds no rounds).
+  static std::shared_ptr<const SensitivityIndex> build_host(
+      const graph::Instance& inst, CostReceipt receipt = {});
 
   std::size_t n() const { return tree_.size(); }
   std::size_t num_nontree() const { return nontree_.size(); }
@@ -135,7 +151,14 @@ class SensitivityIndex {
   static std::uint64_t fingerprint_of(const graph::Instance& inst);
 
  private:
+  friend class LiveCore;  // the mutable generation layer patches snapshots
+
   SensitivityIndex() = default;
+
+  /// Shared tail of both builds: replacement edges (+ cross-check against
+  /// the mc labels already in tree_), endpoint map, fragility order.
+  static void finish(SensitivityIndex& idx, const graph::Instance& inst,
+                     const verify::TreeTopology& topo);
 
   Vertex root_ = 0;
   std::uint64_t fingerprint_ = 0;

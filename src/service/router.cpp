@@ -38,8 +38,12 @@ std::optional<EdgeRef> QueryRouter::find(Vertex u, Vertex v) const {
 }
 
 Answer QueryRouter::answer(const Query& q) const {
-  if (q.kind == QueryKind::kTopKFragile) return top_k(q);
-  const auto res = index_->resolve(q.u, q.v);
+  return route_query(*index_, q);
+}
+
+Answer route_query(const ShardedSensitivityIndex& index, const Query& q) {
+  if (q.kind == QueryKind::kTopKFragile) return merge_top_k(index, q);
+  const auto res = index.resolve(q.u, q.v);
   if (!res) {
     Answer a;
     a.status = Status::kUnknownEdge;
@@ -57,9 +61,13 @@ Answer QueryRouter::answer(const Query& q) const {
   return answer_for_nontree_edge(q, res->ref, *e);
 }
 
-Answer QueryRouter::top_k(const Query& q) const {
+Answer merge_top_k(const ShardedSensitivityIndex& index, const Query& q) {
+  // Epoch barrier: pin the generation the whole merge must observe.  A shard
+  // stamped differently means an update was torn across the merge — refuse
+  // to mix the generations rather than return a frankenstein top-k.
+  const std::uint64_t epoch = index.generation();
   Answer a;
-  const std::size_t total = index_->n() ? index_->n() - 1 : 0;
+  const std::size_t total = index.n() ? index.n() - 1 : 0;
   const std::size_t k =
       std::min<std::size_t>(static_cast<std::size_t>(q.k), total);
   a.fragile.reserve(k);
@@ -76,8 +84,12 @@ Answer QueryRouter::top_k(const Query& q) const {
     return x.sens != y.sens ? x.sens > y.sens : x.child > y.child;
   };
   std::priority_queue<Head, std::vector<Head>, decltype(after)> heap(after);
-  for (std::size_t i = 0; i < index_->num_shards(); ++i) {
-    const IndexShard& s = index_->shard(i);
+  for (std::size_t i = 0; i < index.num_shards(); ++i) {
+    const IndexShard& s = index.shard(i);
+    MPCMST_ASSERT(s.generation == epoch,
+                  "top_k merge: shard " << i << " carries generation "
+                                        << s.generation << " != epoch "
+                                        << epoch);
     if (s.fragile_order.empty()) continue;
     const Vertex child = s.fragile_order.front();
     heap.push(Head{s.tree_edge(child).sens, child, i, 0});
@@ -85,7 +97,7 @@ Answer QueryRouter::top_k(const Query& q) const {
   while (a.fragile.size() < k && !heap.empty()) {
     const Head head = heap.top();
     heap.pop();
-    const IndexShard& s = index_->shard(head.shard);
+    const IndexShard& s = index.shard(head.shard);
     a.fragile.push_back(
         make_fragile_entry(head.child, s.tree_edge(head.child)));
     const std::size_t next = head.pos + 1;
@@ -94,6 +106,9 @@ Answer QueryRouter::top_k(const Query& q) const {
       heap.push(Head{s.tree_edge(child).sens, child, head.shard, next});
     }
   }
+  MPCMST_ASSERT(index.generation() == epoch,
+                "top_k merge: index advanced mid-merge (epoch " << epoch
+                                                                << ")");
   return a;
 }
 

@@ -25,8 +25,10 @@
 namespace mpcmst::service {
 
 /// What the serving layer needs from an index, monolithic or sharded.  All
-/// implementations are immutable after construction: every method is const
-/// and safe to call from concurrent workers without locking.
+/// implementations are safe to call from concurrent workers: the snapshot
+/// backends below are immutable after construction, and the updatable ones
+/// (update.hpp) synchronize internally and advance `generation()` on every
+/// applied change.
 class IndexBackend {
  public:
   virtual ~IndexBackend() = default;
@@ -41,6 +43,13 @@ class IndexBackend {
   virtual std::uint64_t fingerprint() const = 0;
   virtual const CostReceipt& receipt() const = 0;
   virtual std::size_t num_shards() const = 0;
+
+  /// Strictly increasing update counter; constant 0 for immutable snapshot
+  /// backends.  The service uses it to revalidate cache inserts: an answer
+  /// is cached only if no update landed while it was being computed (the
+  /// fingerprint alone is not enough — an update plus a revert restores the
+  /// fingerprint but not the moment in time).
+  virtual std::uint64_t generation() const { return 0; }
 
   /// Resolve an edge by endpoints (order-insensitive; same precedence rules
   /// on every backend: tree wins, then the lightest duplicate).
@@ -100,11 +109,24 @@ class QueryRouter final : public IndexBackend {
   }
 
  private:
-  /// k-way merge over the per-shard fragility orders; (sens, child)
-  /// tie-breaking reproduces the monolithic global order exactly.
-  Answer top_k(const Query& q) const;
-
   std::shared_ptr<const ShardedSensitivityIndex> index_;
 };
+
+// Shared shard-routing evaluators: QueryRouter serves them over an immutable
+// sharded snapshot, LiveShardedBackend (update.hpp) over a mutating one
+// (under its own lock).  Keeping one implementation guarantees the two
+// backends can never drift.
+
+/// Evaluate one query against a sharded index: point queries resolve by
+/// endpoint-map lookup in at most two shards, top-k goes to merge_top_k.
+Answer route_query(const ShardedSensitivityIndex& index, const Query& q);
+
+/// k-way merge over the per-shard fragility orders; (sens, child)
+/// tie-breaking reproduces the monolithic global order exactly.  The merge
+/// runs behind an epoch barrier: every consumed shard must carry the index's
+/// current generation stamp, checked again after the merge — a torn update
+/// (some shards patched, some not) can therefore never leak into one
+/// combined answer.
+Answer merge_top_k(const ShardedSensitivityIndex& index, const Query& q);
 
 }  // namespace mpcmst::service

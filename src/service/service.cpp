@@ -37,6 +37,12 @@ QueryService::QueryService(std::shared_ptr<const SensitivityIndex> index,
     : QueryService(std::make_shared<const MonolithicBackend>(std::move(index)),
                    opts) {}
 
+QueryService::QueryService(std::shared_ptr<UpdatableBackend> backend,
+                           ServiceOptions opts)
+    : QueryService(std::shared_ptr<const IndexBackend>(backend), opts) {
+  updatable_ = std::move(backend);
+}
+
 std::unique_ptr<QueryService> QueryService::build(mpc::Engine& eng,
                                                   const graph::Instance& inst,
                                                   ServiceOptions opts) {
@@ -48,9 +54,31 @@ std::unique_ptr<QueryService> QueryService::build_sharded(
     mpc::Engine& eng, const graph::Instance& inst, std::size_t num_shards,
     ServiceOptions opts) {
   return std::make_unique<QueryService>(
-      std::make_shared<const QueryRouter>(
-          ShardedSensitivityIndex::build(eng, inst, num_shards)),
+      std::make_shared<const QueryRouter>(ShardedSensitivityIndex::build(
+          eng, inst, clamp_shard_count(num_shards, inst.n()))),
       opts);
+}
+
+std::unique_ptr<QueryService> QueryService::build_live(
+    mpc::Engine& eng, const graph::Instance& inst, ServiceOptions opts) {
+  return std::make_unique<QueryService>(
+      std::shared_ptr<UpdatableBackend>(LiveMonolithBackend::build(eng, inst)),
+      opts);
+}
+
+std::unique_ptr<QueryService> QueryService::build_live_sharded(
+    mpc::Engine& eng, const graph::Instance& inst, std::size_t num_shards,
+    ServiceOptions opts) {
+  return std::make_unique<QueryService>(
+      std::shared_ptr<UpdatableBackend>(LiveShardedBackend::build(
+          eng, inst, clamp_shard_count(num_shards, inst.n()))),
+      opts);
+}
+
+UpdateReceipt QueryService::apply_update(Vertex u, Vertex v, Weight new_w) {
+  MPCMST_ASSERT(updatable_ != nullptr,
+                "apply_update: this service serves an immutable snapshot");
+  return updatable_->apply_update(u, v, new_w);
 }
 
 const SensitivityIndex& QueryService::index() const {
@@ -85,10 +113,15 @@ void QueryService::submit(std::function<void()> task) {
 
 Answer QueryService::answer(const Query& q) {
   served_.fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t generation = backend_->generation();
   const CacheKey key{backend_->fingerprint(), q};
   if (auto hit = cache_.get(key)) return *std::move(hit);
   Answer a = backend_->answer(q);
-  cache_.put(key, a);
+  // Insert only if no update landed while the answer was computed: the
+  // fingerprint alone cannot tell (an update plus a revert restores it),
+  // the strictly increasing generation can.  A skipped insert is just a
+  // cold entry; a poisoned key would be a wrong answer forever.
+  if (backend_->generation() == generation) cache_.put(key, a);
   return a;
 }
 

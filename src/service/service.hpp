@@ -22,6 +22,7 @@
 #include "service/index.hpp"
 #include "service/query.hpp"
 #include "service/router.hpp"
+#include "service/update.hpp"
 
 namespace mpcmst::service {
 
@@ -43,6 +44,10 @@ class QueryService {
   /// Convenience: wrap a monolithic snapshot (keeps index() available).
   explicit QueryService(std::shared_ptr<const SensitivityIndex> index,
                         ServiceOptions opts = {});
+  /// Serve an updatable backend: queries flow as usual, and apply_update()
+  /// absorbs confirmed changes into the same backend.
+  explicit QueryService(std::shared_ptr<UpdatableBackend> backend,
+                        ServiceOptions opts = {});
   ~QueryService();
 
   QueryService(const QueryService&) = delete;
@@ -54,8 +59,23 @@ class QueryService {
                                              ServiceOptions opts = {});
 
   /// One distributed build scattered straight into `num_shards` vertex-range
-  /// shards, served through the QueryRouter.
+  /// shards, served through the QueryRouter.  A request for more shards than
+  /// vertices is clamped (a shard must own at least one vertex to own any
+  /// labels); the count actually built is reported in
+  /// backend().receipt().effective_shards.
   static std::unique_ptr<QueryService> build_sharded(
+      mpc::Engine& eng, const graph::Instance& inst, std::size_t num_shards,
+      ServiceOptions opts = {});
+
+  /// One distributed build behind the mutable generation layer
+  /// (LiveMonolithBackend): serve queries and absorb confirmed changes.
+  static std::unique_ptr<QueryService> build_live(mpc::Engine& eng,
+                                                  const graph::Instance& inst,
+                                                  ServiceOptions opts = {});
+
+  /// Same, served from in-place-updatable vertex-range shards
+  /// (LiveShardedBackend); `num_shards` is clamped like build_sharded.
+  static std::unique_ptr<QueryService> build_live_sharded(
       mpc::Engine& eng, const graph::Instance& inst, std::size_t num_shards,
       ServiceOptions opts = {});
 
@@ -75,6 +95,19 @@ class QueryService {
   /// The answer source (works for every backend).
   const IndexBackend& backend() const { return *backend_; }
 
+  /// Was this service built over an updatable backend?
+  bool updatable() const { return updatable_ != nullptr; }
+
+  /// The updatable view of the backend (null for immutable snapshots).
+  const UpdatableBackend* updatable_backend() const {
+    return updatable_.get();
+  }
+
+  /// Absorb one confirmed change (asserts updatable()).  The backend rotates
+  /// its fingerprint, so cached answers of the previous generation can never
+  /// be served for the new one — they simply stop matching and age out.
+  UpdateReceipt apply_update(Vertex u, Vertex v, Weight new_w);
+
   /// The monolithic snapshot; only valid when the service was constructed
   /// from one (asserts otherwise) — sharded callers go through backend().
   const SensitivityIndex& index() const;
@@ -88,8 +121,10 @@ class QueryService {
   std::size_t num_threads() const { return workers_.size(); }
 
  private:
-  /// Cache key: the graph fingerprint disambiguates answers if a cache ever
-  /// outlives one index generation (e.g. future incremental rebuilds).
+  /// Cache key: the graph fingerprint pins every entry to the instance it
+  /// answered, so the cache survives incremental updates — entries of a
+  /// superseded generation stop matching (and an update sequence that lands
+  /// back on a byte-identical instance legitimately re-validates them).
   struct CacheKey {
     std::uint64_t fingerprint = 0;
     Query query;
@@ -107,6 +142,7 @@ class QueryService {
   void submit(std::function<void()> task);
 
   std::shared_ptr<const IndexBackend> backend_;
+  std::shared_ptr<UpdatableBackend> updatable_;  // same object, if updatable
   ServiceOptions opts_;
   ShardedLruCache<CacheKey, Answer, CacheKeyHash> cache_;
   std::atomic<std::uint64_t> served_{0};

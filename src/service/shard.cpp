@@ -4,7 +4,6 @@
 
 #include "common/check.hpp"
 #include "mpc/dist.hpp"
-#include "seq/oracles.hpp"
 
 namespace mpcmst::service {
 
@@ -21,7 +20,9 @@ void ShardedSensitivityIndex::init_partition(std::size_t n,
 
 void ShardedSensitivityIndex::finalize() {
   violations_ = 0;
+  receipt_.effective_shards = shards_.size();
   for (IndexShard& s : shards_) {
+    s.generation = generation_;
     violations_ += s.violations;
     // Local fragility order: same comparator as the monolithic sort, so the
     // k-way merge in the router reproduces the global order exactly.
@@ -110,10 +111,10 @@ std::shared_ptr<const ShardedSensitivityIndex> ShardedSensitivityIndex::build(
   for (const IndexShard& s : idx->shards_) total_violations += s.violations;
 
   // Replacement argmins + cross-check against the distributed mc values.
-  // The [Tar82] relaxation is a transient host pass; shards only retain
-  // their own range of it.
-  const seq::SeqTreeIndex seq_index(inst.tree);
-  const std::vector<std::int64_t> repl = replacement_edges(inst, seq_index);
+  // The [Tar82] relaxation is a transient host pass (its topology view comes
+  // straight from the shared prelude); shards only retain their own range.
+  const std::vector<std::int64_t> repl =
+      replacement_edges(inst, verify::TreeTopology::from_artifacts(artifacts));
   for (std::size_t v = 0; v < inst.n(); ++v) {
     if (static_cast<Vertex>(v) == inst.tree.root) continue;
     IndexShard& s = idx->shards_[idx->shard_of(static_cast<Vertex>(v))];

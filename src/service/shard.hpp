@@ -23,6 +23,7 @@
 // four-query API over them.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
 #include <optional>
@@ -32,6 +33,18 @@
 #include "service/index.hpp"
 
 namespace mpcmst::service {
+
+class LiveShardedBackend;  // update.hpp (friended below)
+
+/// The serving-tier shard-count policy: a shard must own at least one
+/// vertex to own any labels.  Shared by every serving entry point
+/// (QueryService's sharded builders, LiveShardedBackend) so the clamp can
+/// never drift between them; the raw ShardedSensitivityIndex build/split
+/// below stay unclamped for callers that want the explicit
+/// empty-trailing-shard regime.
+inline std::size_t clamp_shard_count(std::size_t num_shards, std::size_t n) {
+  return std::clamp<std::size_t>(num_shards, 1, std::max<std::size_t>(1, n));
+}
 
 /// Per-shard footprint receipt: what one participant of the sharded serving
 /// tier holds, in entries and (approximate) machine words.
@@ -53,6 +66,7 @@ struct IndexShard {
   std::unordered_map<std::uint64_t, EdgeRef> by_endpoints;
   std::vector<Vertex> fragile_order;  // children by (sens, id) ascending
   std::size_t violations = 0;         // non-tree edges lighter than their path
+  std::uint64_t generation = 0;       // epoch stamp (matches the index's)
   ShardCost cost;
 
   bool owns(Vertex v) const { return v >= lo && v < hi; }
@@ -101,6 +115,12 @@ class ShardedSensitivityIndex {
   std::uint64_t fingerprint() const { return fingerprint_; }
   const CostReceipt& receipt() const { return receipt_; }
 
+  /// Update epoch: 0 for a freshly built (immutable) index; the live update
+  /// layer stamps every shard with each new epoch, and the top-k merge
+  /// refuses to combine shards carrying different stamps (the barrier that
+  /// keeps one merged answer from mixing generations).
+  std::uint64_t generation() const { return generation_; }
+
   std::size_t num_shards() const { return shards_.size(); }
   const IndexShard& shard(std::size_t i) const { return shards_[i]; }
 
@@ -137,6 +157,8 @@ class ShardedSensitivityIndex {
   std::size_t max_shard_words() const;
 
  private:
+  friend class LiveShardedBackend;  // update.hpp: in-place generation patches
+
   ShardedSensitivityIndex() = default;
 
   /// Carve [0, n) into `num_shards` stride-sized ranges.
@@ -150,6 +172,7 @@ class ShardedSensitivityIndex {
   std::size_t violations_ = 0;
   Vertex root_ = 0;
   std::uint64_t fingerprint_ = 0;
+  std::uint64_t generation_ = 0;
   CostReceipt receipt_;
   std::vector<IndexShard> shards_;
 };

@@ -1,0 +1,600 @@
+#include "service/update.hpp"
+
+#include <algorithm>
+#include <mutex>
+#include <utility>
+
+#include "common/check.hpp"
+#include "sensitivity/sensitivity.hpp"
+
+namespace mpcmst::service {
+
+namespace {
+
+using graph::kNegInfW;
+using graph::kPosInfW;
+
+/// (weight, orig_id) pairs order both the duplicate resolution and the
+/// replacement argmin; -1 ids only meet real ids at mc == kPosInfW.
+using WeightId = std::pair<Weight, std::int64_t>;
+
+/// Child of the heaviest tree edge on the path u..v (ties: smallest child
+/// id) — the edge a swapped-in non-tree edge evicts.
+Vertex heaviest_path_child(const graph::Instance& inst,
+                           const verify::TreeTopology& topo, Vertex u,
+                           Vertex v) {
+  Vertex best = -1;
+  Weight best_w = kNegInfW;
+  for (Vertex x : topo.path_children(u, v)) {
+    const Weight w = inst.tree.weight[static_cast<std::size_t>(x)];
+    if (w > best_w || (w == best_w && x < best)) {
+      best_w = w;
+      best = x;
+    }
+  }
+  return best;
+}
+
+/// The canonical exchange: tree edge {child_out, p(child_out)} leaves T, the
+/// non-tree edge in `slot_in` enters.  The parent chain from the in-subtree
+/// endpoint up to child_out is reversed (each edge keeps its weight, stored
+/// at its new child), the promoted edge gets `promoted_w`, and the demoted
+/// edge is written as {child_out, old parent, demoted_w} into the vacated
+/// slot — orig_ids of every other edge stay put.  `topo` must describe the
+/// pre-exchange tree.
+void exchange_edges(graph::Instance& inst, const verify::TreeTopology& topo,
+                    Vertex child_out, std::int64_t slot_in, Weight promoted_w,
+                    Weight demoted_w) {
+  const graph::WEdge in = inst.nontree[static_cast<std::size_t>(slot_in)];
+  MPCMST_ASSERT(topo.covers(child_out, in.u, in.v),
+                "exchange: slot " << slot_in << " does not cross the cut of "
+                                  << child_out);
+  const Vertex a = topo.is_ancestor(child_out, in.u) ? in.u : in.v;
+  const Vertex b = (a == in.u) ? in.v : in.u;
+  const Vertex old_parent = inst.tree.parent[static_cast<std::size_t>(
+      child_out)];
+  Vertex x = a;
+  Vertex prev_parent = b;
+  Weight prev_w = promoted_w;
+  for (;;) {
+    const Vertex px = inst.tree.parent[static_cast<std::size_t>(x)];
+    const Weight wx = inst.tree.weight[static_cast<std::size_t>(x)];
+    inst.tree.parent[static_cast<std::size_t>(x)] = prev_parent;
+    inst.tree.weight[static_cast<std::size_t>(x)] = prev_w;
+    prev_parent = x;
+    prev_w = wx;
+    if (x == child_out) break;
+    x = px;
+  }
+  inst.nontree[static_cast<std::size_t>(slot_in)] =
+      graph::WEdge{child_out, old_parent, demoted_w};
+}
+
+/// Resolve {u, v} against the raw instance with the index's precedence:
+/// tree edge first, then the lightest duplicate (strict <, ascending id).
+std::optional<EdgeRef> resolve_in_instance(const graph::Instance& inst,
+                                           Vertex u, Vertex v) {
+  const auto n = static_cast<Vertex>(inst.n());
+  if (u < 0 || v < 0 || u >= n || v >= n) return std::nullopt;
+  for (Vertex c : {u, v}) {
+    const Vertex other = (c == u) ? v : u;
+    if (c != inst.tree.root &&
+        inst.tree.parent[static_cast<std::size_t>(c)] == other)
+      return EdgeRef{true, c};
+  }
+  const std::uint64_t key = endpoint_key(u, v);
+  WeightId best{kPosInfW, -1};
+  for (std::size_t i = 0; i < inst.nontree.size(); ++i) {
+    const graph::WEdge& e = inst.nontree[i];
+    if (endpoint_key(e.u, e.v) != key) continue;
+    best = std::min(best, WeightId{e.w, static_cast<std::int64_t>(i)});
+  }
+  if (best.second < 0) return std::nullopt;
+  return EdgeRef{false, best.second};
+}
+
+}  // namespace
+
+UpdateReport apply_update_to_instance(graph::Instance& inst, Vertex u,
+                                      Vertex v, Weight new_w) {
+  MPCMST_ASSERT(new_w > kNegInfW && new_w < kPosInfW,
+                "apply_update: new weight " << new_w
+                                            << " outside the price band");
+  UpdateReport rep;
+  rep.new_w = new_w;
+  const auto ref = resolve_in_instance(inst, u, v);
+  if (!ref) {
+    rep.status = Status::kUnknownEdge;
+    return rep;
+  }
+  rep.edge = *ref;
+  if (ref->is_tree) {
+    const auto c = static_cast<std::size_t>(ref->id);
+    rep.old_w = inst.tree.weight[c];
+    if (new_w == rep.old_w) return rep;  // kNoChange
+    const verify::TreeTopology topo(inst.tree);
+    WeightId best{kPosInfW, -1};  // cheapest cover of {c, p(c)}
+    for (std::size_t i = 0; i < inst.nontree.size(); ++i) {
+      const graph::WEdge& e = inst.nontree[i];
+      if (e.u == e.v || !topo.covers(ref->id, e.u, e.v)) continue;
+      best = std::min(best, WeightId{e.w, static_cast<std::int64_t>(i)});
+    }
+    if (new_w <= best.first) {  // covers the uncovered case (mc == inf)
+      rep.cls = UpdateClass::kTreeReweight;
+      inst.tree.weight[c] = new_w;
+    } else {
+      rep.cls = UpdateClass::kTreeSwap;
+      rep.swapped_out = ref->id;
+      rep.swapped_in = best.second;
+      exchange_edges(inst, topo, ref->id, best.second,
+                     /*promoted_w=*/best.first, /*demoted_w=*/new_w);
+    }
+  } else {
+    const auto i = static_cast<std::size_t>(ref->id);
+    graph::WEdge& e = inst.nontree[i];
+    rep.old_w = e.w;
+    if (new_w == rep.old_w) return rep;  // kNoChange
+    Weight maxpath = kNegInfW;
+    std::unique_ptr<verify::TreeTopology> topo;
+    if (e.u != e.v) {
+      topo = std::make_unique<verify::TreeTopology>(inst.tree);
+      for (Vertex x : topo->path_children(e.u, e.v))
+        maxpath = std::max(maxpath,
+                           inst.tree.weight[static_cast<std::size_t>(x)]);
+    }
+    if (new_w >= maxpath) {  // self loops always stay out
+      rep.cls = UpdateClass::kNonTreeReweight;
+      e.w = new_w;
+    } else {
+      rep.cls = UpdateClass::kNonTreeSwap;
+      const Vertex d = heaviest_path_child(inst, *topo, e.u, e.v);
+      rep.swapped_out = d;
+      rep.swapped_in = ref->id;
+      exchange_edges(inst, *topo, d, ref->id, /*promoted_w=*/new_w,
+                     /*demoted_w=*/
+                     inst.tree.weight[static_cast<std::size_t>(d)]);
+    }
+  }
+  return rep;
+}
+
+LiveCore::LiveCore(graph::Instance inst,
+                   std::shared_ptr<const SensitivityIndex> snapshot)
+    : inst_(std::move(inst)), idx_(*snapshot), topo_(inst_.tree) {
+  MPCMST_ASSERT(idx_.fingerprint_ == SensitivityIndex::fingerprint_of(inst_),
+                "LiveCore: snapshot does not match the instance");
+}
+
+Weight LiveCore::path_max_excluding(Vertex u, Vertex v, Vertex skip) const {
+  Weight best = kNegInfW;
+  for (Vertex x : topo_.path_children(u, v))
+    if (x != skip)
+      best = std::max(best, inst_.tree.weight[static_cast<std::size_t>(x)]);
+  return best;
+}
+
+void LiveCore::reposition(Vertex child, Weight old_sens) {
+  auto& order = idx_.fragile_order_;
+  // The vector is sorted with `child` still keyed at its old sensitivity;
+  // locate it there, then reinsert under the new one.
+  const auto old_it = std::lower_bound(
+      order.begin(), order.end(), std::pair<Weight, Vertex>{old_sens, child},
+      [&](Vertex a, const std::pair<Weight, Vertex>& key) {
+        const Weight sa = (a == child) ? old_sens : idx_.tree_[a].sens;
+        return sa != key.first ? sa < key.first : a < key.second;
+      });
+  MPCMST_ASSERT(old_it != order.end() && *old_it == child,
+                "reposition: child " << child << " not found at old rank");
+  order.erase(old_it);
+  const Weight new_sens = idx_.tree_[static_cast<std::size_t>(child)].sens;
+  const auto new_it = std::lower_bound(
+      order.begin(), order.end(), std::pair<Weight, Vertex>{new_sens, child},
+      [&](Vertex a, const std::pair<Weight, Vertex>& key) {
+        const Weight sa = idx_.tree_[a].sens;
+        return sa != key.first ? sa < key.first : a < key.second;
+      });
+  order.insert(new_it, child);
+}
+
+void LiveCore::set_mc(Vertex child, Weight mc, std::int64_t repl,
+                      ChangedSet& changed) {
+  TreeEdgeInfo& t = idx_.tree_[static_cast<std::size_t>(child)];
+  if (t.mc == mc && t.replacement == repl) return;
+  const Weight old_sens = t.sens;
+  t.mc = mc;
+  t.replacement = repl;
+  t.sens = sensitivity::tree_sens(mc, t.w);
+  if (t.sens != old_sens) reposition(child, old_sens);
+  changed.tree_children.push_back(child);
+}
+
+void LiveCore::re_resolve_key(Vertex u, Vertex v, ChangedSet& changed) {
+  const std::uint64_t key = endpoint_key(u, v);
+  const auto it = idx_.by_endpoints_.find(key);
+  MPCMST_ASSERT(it != idx_.by_endpoints_.end() && !it->second.is_tree,
+                "re_resolve_key: {" << u << "," << v
+                                    << "} is not a resolved non-tree key");
+  WeightId best{kPosInfW, -1};
+  for (std::size_t i = 0; i < idx_.nontree_.size(); ++i) {
+    const NonTreeEdgeInfo& e = idx_.nontree_[i];
+    if (endpoint_key(e.u, e.v) != key) continue;
+    best = std::min(best, WeightId{e.w, static_cast<std::int64_t>(i)});
+  }
+  if (it->second.id == best.second) return;
+  it->second.id = best.second;
+  changed.endpoints.emplace_back(key, it->second);
+}
+
+void LiveCore::tree_reweight(Vertex c, Weight new_w, ChangedSet& changed) {
+  TreeEdgeInfo& e = idx_.tree_[static_cast<std::size_t>(c)];
+  const Weight old_sens = e.sens;
+  inst_.tree.weight[static_cast<std::size_t>(c)] = new_w;
+  e.w = new_w;
+  e.sens = sensitivity::tree_sens(e.mc, new_w);
+  if (e.sens != old_sens) reposition(c, old_sens);
+  changed.tree_children.push_back(c);
+  // The reweighted edge lies on the covered path of exactly the non-tree
+  // edges straddling its cut; their covering maxima are the only other
+  // labels its weight can reach (mc values only read non-tree weights).
+  for (std::size_t i = 0; i < idx_.nontree_.size(); ++i) {
+    NonTreeEdgeInfo& f = idx_.nontree_[i];
+    if (f.u == f.v || !topo_.covers(c, f.u, f.v)) continue;
+    const Weight mp = std::max(new_w, path_max_excluding(f.u, f.v, c));
+    if (mp == f.maxpath) continue;
+    f.maxpath = mp;
+    f.sens = sensitivity::nontree_sens(f.w, mp);
+    changed.nontree_ids.push_back(static_cast<std::int64_t>(i));
+  }
+}
+
+void LiveCore::nontree_reweight(std::int64_t id, Weight new_w,
+                                ChangedSet& changed) {
+  NonTreeEdgeInfo& f = idx_.nontree_[static_cast<std::size_t>(id)];
+  const Weight old_w = f.w;
+  inst_.nontree[static_cast<std::size_t>(id)].w = new_w;
+  f.w = new_w;
+  f.sens = sensitivity::nontree_sens(new_w, f.maxpath);
+  changed.nontree_ids.push_back(id);
+  if (f.u != f.v) {
+    // The edge's covering contribution moved: cheaper offers are taken on
+    // the spot, path edges that leaned on it as argmin recompute below.
+    std::vector<Vertex> recompute;
+    for (Vertex x : topo_.path_children(f.u, f.v)) {
+      TreeEdgeInfo& t = idx_.tree_[static_cast<std::size_t>(x)];
+      if (t.replacement == id) {
+        if (new_w <= old_w)
+          set_mc(x, new_w, id, changed);
+        else
+          recompute.push_back(x);
+      } else if (WeightId{new_w, id} < WeightId{t.mc, t.replacement}) {
+        set_mc(x, new_w, id, changed);
+      }
+    }
+    if (!recompute.empty()) {
+      std::vector<WeightId> best(recompute.size(), WeightId{kPosInfW, -1});
+      for (std::size_t j = 0; j < idx_.nontree_.size(); ++j) {
+        const NonTreeEdgeInfo& g = idx_.nontree_[j];
+        if (g.u == g.v) continue;
+        for (std::size_t r = 0; r < recompute.size(); ++r)
+          if (topo_.covers(recompute[r], g.u, g.v))
+            best[r] = std::min(
+                best[r], WeightId{g.w, static_cast<std::int64_t>(j)});
+      }
+      for (std::size_t r = 0; r < recompute.size(); ++r)
+        set_mc(recompute[r], best[r].first, best[r].second, changed);
+    }
+  }
+  re_resolve_key(f.u, f.v, changed);
+}
+
+void LiveCore::relabel(ChangedSet& changed) {
+  changed.full = true;
+  const CostReceipt receipt = idx_.receipt_;
+  idx_ = *SensitivityIndex::build_host(inst_, receipt);
+  topo_ = verify::TreeTopology(inst_.tree);
+  MPCMST_ASSERT(idx_.violations_ == 0,
+                "apply_update: exchange left a violated instance");
+}
+
+LiveCore::Outcome LiveCore::apply(Vertex u, Vertex v, Weight new_w) {
+  MPCMST_ASSERT(new_w > kNegInfW && new_w < kPosInfW,
+                "apply_update: new weight " << new_w
+                                            << " outside the price band");
+  MPCMST_ASSERT(idx_.violations_ == 0,
+                "apply_update: the live index must hold an MST");
+  Outcome out;
+  out.report.new_w = new_w;
+  const auto ref = idx_.find(u, v);
+  if (!ref) {
+    out.report.status = Status::kUnknownEdge;
+    return out;
+  }
+  out.report.edge = *ref;
+  if (ref->is_tree) {
+    const Vertex c = static_cast<Vertex>(ref->id);
+    const TreeEdgeInfo& e = idx_.tree_[static_cast<std::size_t>(c)];
+    out.report.old_w = e.w;
+    if (new_w == e.w) return out;  // kNoChange
+    if (new_w <= e.mc) {           // a tie at the headroom edge stays (1.2)
+      out.report.cls = UpdateClass::kTreeReweight;
+      tree_reweight(c, new_w, out.changed);
+    } else {
+      out.report.cls = UpdateClass::kTreeSwap;
+      out.report.swapped_out = c;
+      out.report.swapped_in = e.replacement;
+      exchange_edges(
+          inst_, topo_, c, e.replacement,
+          /*promoted_w=*/
+          inst_.nontree[static_cast<std::size_t>(e.replacement)].w,
+          /*demoted_w=*/new_w);
+      relabel(out.changed);
+    }
+  } else {
+    const std::int64_t id = ref->id;
+    const NonTreeEdgeInfo& e = idx_.nontree_[static_cast<std::size_t>(id)];
+    out.report.old_w = e.w;
+    if (new_w == e.w) return out;  // kNoChange
+    if (new_w >= e.maxpath) {      // covers kNegInfW (self loop) and ties
+      out.report.cls = UpdateClass::kNonTreeReweight;
+      nontree_reweight(id, new_w, out.changed);
+    } else {
+      out.report.cls = UpdateClass::kNonTreeSwap;
+      const Vertex d = heaviest_path_child(inst_, topo_, e.u, e.v);
+      out.report.swapped_out = d;
+      out.report.swapped_in = id;
+      exchange_edges(inst_, topo_, d, id, /*promoted_w=*/new_w,
+                     /*demoted_w=*/
+                     inst_.tree.weight[static_cast<std::size_t>(d)]);
+      relabel(out.changed);
+    }
+  }
+  idx_.fingerprint_ = SensitivityIndex::fingerprint_of(inst_);
+  return out;
+}
+
+namespace {
+
+/// Shared receipt assembly for both live backends (the caller stamps the
+/// generation after deciding whether the epoch advances).
+UpdateReceipt make_update_receipt(const LiveCore& core,
+                                  const LiveCore::Outcome& out,
+                                  std::uint64_t old_fingerprint) {
+  UpdateReceipt r;
+  r.report = out.report;
+  r.old_fingerprint = old_fingerprint;
+  r.new_fingerprint = core.index().fingerprint();
+  r.full_relabel = out.changed.full;
+  r.patched_tree_edges = out.changed.full
+                             ? (core.index().n() ? core.index().n() - 1 : 0)
+                             : out.changed.tree_children.size();
+  r.patched_nontree_edges = out.changed.full
+                                ? core.index().num_nontree()
+                                : out.changed.nontree_ids.size();
+  return r;
+}
+
+bool advances_epoch(const UpdateReport& rep) {
+  return rep.status == Status::kOk && rep.cls != UpdateClass::kNoChange;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// LiveMonolithBackend
+
+LiveMonolithBackend::LiveMonolithBackend(
+    graph::Instance inst, std::shared_ptr<const SensitivityIndex> snapshot)
+    : core_(std::move(inst), std::move(snapshot)),
+      receipt_(core_.index().receipt()) {}
+
+std::shared_ptr<LiveMonolithBackend> LiveMonolithBackend::build(
+    mpc::Engine& eng, const graph::Instance& inst) {
+  return std::make_shared<LiveMonolithBackend>(
+      inst, SensitivityIndex::build(eng, inst));
+}
+
+Answer LiveMonolithBackend::answer(const Query& q) const {
+  std::shared_lock lock(mu_);
+  return answer_query(core_.index(), q);
+}
+
+std::size_t LiveMonolithBackend::n() const {
+  std::shared_lock lock(mu_);
+  return core_.index().n();
+}
+
+std::size_t LiveMonolithBackend::num_nontree() const {
+  std::shared_lock lock(mu_);
+  return core_.index().num_nontree();
+}
+
+bool LiveMonolithBackend::is_mst() const {
+  std::shared_lock lock(mu_);
+  return core_.index().is_mst();
+}
+
+std::size_t LiveMonolithBackend::violations() const {
+  std::shared_lock lock(mu_);
+  return core_.index().violations();
+}
+
+std::uint64_t LiveMonolithBackend::fingerprint() const {
+  std::shared_lock lock(mu_);
+  return core_.index().fingerprint();
+}
+
+std::optional<EdgeRef> LiveMonolithBackend::find(Vertex u, Vertex v) const {
+  std::shared_lock lock(mu_);
+  return core_.index().find(u, v);
+}
+
+std::optional<NonTreeEdgeInfo> LiveMonolithBackend::nontree_info(
+    std::int64_t orig_id) const {
+  std::shared_lock lock(mu_);
+  if (orig_id < 0 ||
+      orig_id >= static_cast<std::int64_t>(core_.index().num_nontree()))
+    return std::nullopt;
+  return core_.index().nontree_edge(orig_id);
+}
+
+graph::Instance LiveMonolithBackend::instance_snapshot() const {
+  std::shared_lock lock(mu_);
+  return core_.instance();
+}
+
+UpdateReceipt LiveMonolithBackend::apply_update(Vertex u, Vertex v,
+                                                Weight new_w) {
+  std::unique_lock lock(mu_);
+  const std::uint64_t old_fp = core_.index().fingerprint();
+  const auto out = core_.apply(u, v, new_w);
+  UpdateReceipt r = make_update_receipt(core_, out, old_fp);
+  if (advances_epoch(r.report))
+    generation_.fetch_add(1, std::memory_order_release);
+  r.generation = generation_.load(std::memory_order_relaxed);
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// LiveShardedBackend
+
+LiveShardedBackend::LiveShardedBackend(
+    graph::Instance inst, std::shared_ptr<const SensitivityIndex> snapshot,
+    std::size_t num_shards)
+    : core_(std::move(inst), snapshot),
+      shards_(*ShardedSensitivityIndex::split(
+          *snapshot, clamp_shard_count(num_shards, snapshot->n()))),
+      receipt_(shards_.receipt()) {}
+
+std::shared_ptr<LiveShardedBackend> LiveShardedBackend::build(
+    mpc::Engine& eng, const graph::Instance& inst, std::size_t num_shards) {
+  return std::make_shared<LiveShardedBackend>(
+      inst, SensitivityIndex::build(eng, inst), num_shards);
+}
+
+Answer LiveShardedBackend::answer(const Query& q) const {
+  std::shared_lock lock(mu_);
+  return route_query(shards_, q);
+}
+
+std::size_t LiveShardedBackend::n() const {
+  std::shared_lock lock(mu_);
+  return shards_.n();
+}
+
+std::size_t LiveShardedBackend::num_nontree() const {
+  std::shared_lock lock(mu_);
+  return shards_.num_nontree();
+}
+
+bool LiveShardedBackend::is_mst() const {
+  std::shared_lock lock(mu_);
+  return shards_.is_mst();
+}
+
+std::size_t LiveShardedBackend::violations() const {
+  std::shared_lock lock(mu_);
+  return shards_.violations();
+}
+
+std::uint64_t LiveShardedBackend::fingerprint() const {
+  std::shared_lock lock(mu_);
+  return shards_.fingerprint();
+}
+
+std::size_t LiveShardedBackend::num_shards() const {
+  std::shared_lock lock(mu_);
+  return shards_.num_shards();
+}
+
+std::optional<EdgeRef> LiveShardedBackend::find(Vertex u, Vertex v) const {
+  std::shared_lock lock(mu_);
+  const auto res = shards_.resolve(u, v);
+  if (!res) return std::nullopt;
+  return res->ref;
+}
+
+std::optional<NonTreeEdgeInfo> LiveShardedBackend::nontree_info(
+    std::int64_t orig_id) const {
+  std::shared_lock lock(mu_);
+  return shards_.nontree_info(orig_id);
+}
+
+graph::Instance LiveShardedBackend::instance_snapshot() const {
+  std::shared_lock lock(mu_);
+  return core_.instance();
+}
+
+void LiveShardedBackend::scatter(const ChangedSet& changed,
+                                 std::uint64_t epoch) {
+  const SensitivityIndex& m = core_.index();
+  if (changed.full) {
+    // A swap relabeled everything; re-split the relabeled monolith (same
+    // code path that built the shards, so contents stay byte-identical) —
+    // per-shard fragility orders and cost receipts come out recomputed.
+    shards_ = *ShardedSensitivityIndex::split(m, shards_.num_shards());
+  } else {
+    for (const Vertex c : changed.tree_children) {
+      IndexShard& s = shards_.shards_[shards_.shard_of(c)];
+      TreeEdgeInfo& slot = s.tree[static_cast<std::size_t>(c - s.lo)];
+      const TreeEdgeInfo& info = m.tree_edge(c);
+      if (slot.sens != info.sens) {
+        // Reposition inside the shard-local fragility order, in place.
+        const auto old_it =
+            std::find(s.fragile_order.begin(), s.fragile_order.end(), c);
+        MPCMST_ASSERT(old_it != s.fragile_order.end(),
+                      "scatter: child " << c << " missing from shard order");
+        s.fragile_order.erase(old_it);
+        slot = info;
+        const auto new_it = std::lower_bound(
+            s.fragile_order.begin(), s.fragile_order.end(), c,
+            [&s](Vertex a, Vertex b) {
+              const Weight sa = s.tree_edge(a).sens;
+              const Weight sb = s.tree_edge(b).sens;
+              return sa != sb ? sa < sb : a < b;
+            });
+        s.fragile_order.insert(new_it, c);
+      } else {
+        slot = info;
+      }
+    }
+    for (const std::int64_t id : changed.nontree_ids) {
+      const NonTreeEdgeInfo& info = m.nontree_edge(id);
+      IndexShard& s =
+          shards_.shards_[shards_.shard_of(std::min(info.u, info.v))];
+      const auto it = s.nontree.find(id);
+      MPCMST_ASSERT(it != s.nontree.end(),
+                    "scatter: non-tree edge " << id << " missing from shard");
+      it->second = info;
+    }
+    for (const auto& [key, ref] : changed.endpoints) {
+      IndexShard& s =
+          shards_.shards_[shards_.shard_of(static_cast<Vertex>(key >> 32))];
+      const auto it = s.by_endpoints.find(key);
+      MPCMST_ASSERT(it != s.by_endpoints.end(),
+                    "scatter: endpoint key " << key << " missing from shard");
+      it->second = ref;
+    }
+    shards_.fingerprint_ = m.fingerprint();
+  }
+  // Epoch barrier: stamp every shard with the new epoch before the lock is
+  // released; the top-k merge asserts uniformity against the global stamp.
+  shards_.generation_ = epoch;
+  for (IndexShard& s : shards_.shards_) s.generation = epoch;
+}
+
+UpdateReceipt LiveShardedBackend::apply_update(Vertex u, Vertex v,
+                                               Weight new_w) {
+  std::unique_lock lock(mu_);
+  const std::uint64_t old_fp = shards_.fingerprint();
+  const auto out = core_.apply(u, v, new_w);
+  UpdateReceipt r = make_update_receipt(core_, out, old_fp);
+  if (advances_epoch(r.report)) {
+    const std::uint64_t epoch =
+        generation_.fetch_add(1, std::memory_order_release) + 1;
+    scatter(out.changed, epoch);
+  }
+  r.generation = generation_.load(std::memory_order_relaxed);
+  return r;
+}
+
+}  // namespace mpcmst::service

@@ -1,0 +1,234 @@
+// Incremental edge updates: the mutable generation layer over the snapshot
+// indexes, turning the precompute-once service into a long-lived system.
+//
+// A confirmed price change lands here instead of forcing a distributed
+// rerun.  Each update is classified and repaired with the cheapest move
+// that keeps the labels byte-identical to a fresh full rebuild:
+//   - tree-edge reweight within headroom (new_w <= mc): patch w/sens in
+//     place and repair the covering maxima of the non-tree edges straddling
+//     the edge's cut (the only labels its weight can reach);
+//   - tree-edge raised past its replacement: swap in the precomputed argmin
+//     cover [Tar82], restructure the tree along the reversed parent chain,
+//     and relabel host-side (SensitivityIndex::build_host — the sequential
+//     oracles, never the distributed pass; Kor-Korman-Peleg lower bounds are
+//     why the update path must not pay distributed verification per change);
+//   - non-tree reweight that stays out (new_w >= maxpath): patch w/sens and
+//     update the edge's covering contribution (mc/replacement/sens) along
+//     its tree path, plus the duplicate resolution of its endpoint key;
+//   - non-tree edge undercutting its path maximum: it enters the tree, the
+//     heaviest path edge leaves (same exchange + host relabel).
+// Ties follow Definition 1.2 throughout: a change that creates a tie keeps
+// T optimal, so w == mc / w == maxpath stays a reweight, never a swap.
+//
+// Generation safety: every applied change rotates the instance fingerprint
+// (recomputed from the canonical post-update instance, so it always equals
+// what a fresh build of that instance would carry) and advances a strictly
+// increasing generation counter.  The service's LRU keys on the fingerprint
+// — a stale generation can never be served — and revalidates inserts on the
+// generation so an update racing a query cannot poison an older key.  On
+// the sharded backend every shard is stamped with the new epoch and the
+// top-k merge (router.hpp) refuses to combine shards whose stamps differ.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <shared_mutex>
+#include <vector>
+
+#include "service/index.hpp"
+#include "service/query.hpp"
+#include "service/router.hpp"
+#include "service/shard.hpp"
+
+namespace mpcmst::service {
+
+enum class UpdateClass : std::uint8_t {
+  kNoChange,         // new weight equals the current one (no mutation)
+  kTreeReweight,     // tree edge, stays within headroom (new_w <= mc)
+  kTreeSwap,         // tree edge raised past its replacement: exchange
+  kNonTreeReweight,  // non-tree edge, stays out (new_w >= maxpath)
+  kNonTreeSwap,      // non-tree edge undercuts its path: exchange
+};
+
+/// What one canonical instance transformation did (shared by the live layer
+/// and the churn-test oracle, so both sides mutate identically).
+struct UpdateReport {
+  Status status = Status::kOk;  // kUnknownEdge: {u, v} resolves nowhere
+  UpdateClass cls = UpdateClass::kNoChange;
+  EdgeRef edge;                     // pre-update resolution of {u, v}
+  Weight old_w = 0;
+  Weight new_w = 0;
+  Vertex swapped_out = -1;          // child of the tree edge that left T
+  std::int64_t swapped_in = -1;     // non-tree slot that entered T
+};
+
+/// Apply one confirmed weight change to the instance itself, in canonical
+/// form: {u, v} resolves exactly like the index (tree edge first, then the
+/// lightest duplicate), a swapped-out tree edge is written as
+/// {child, old parent} into the vacated non-tree slot (orig_ids of every
+/// other edge are stable), and the reversed parent chain keeps each edge's
+/// weight with the edge.  Both the update layer and a from-scratch oracle
+/// rebuild go through this one definition.
+UpdateReport apply_update_to_instance(graph::Instance& inst, Vertex u,
+                                      Vertex v, Weight new_w);
+
+/// Labels touched by one in-place repair (what the sharded backend must
+/// scatter); `full` marks a swap, after which everything was relabeled.
+struct ChangedSet {
+  bool full = false;
+  std::vector<Vertex> tree_children;
+  std::vector<std::int64_t> nontree_ids;
+  std::vector<std::pair<std::uint64_t, EdgeRef>> endpoints;  // re-resolved
+};
+
+/// Per-update receipt: classification, fingerprint rotation, repair size.
+struct UpdateReceipt {
+  UpdateReport report;
+  std::uint64_t old_fingerprint = 0;
+  std::uint64_t new_fingerprint = 0;
+  std::uint64_t generation = 0;          // epoch after this update
+  std::size_t patched_tree_edges = 0;    // labels repaired in place
+  std::size_t patched_nontree_edges = 0;
+  bool full_relabel = false;  // swap path: host-side relabel (still no MPC)
+};
+
+/// The single-sourced update engine: one mutable monolithic generation
+/// (instance + SensitivityIndex value + structure-only topology view).
+/// Both live backends delegate here, so the monolith and the shards can
+/// never disagree on what an update means.  Not internally synchronized —
+/// the owning backend holds the lock.
+class LiveCore {
+ public:
+  /// `snapshot` must be the index of `inst` (fingerprints are checked).
+  LiveCore(graph::Instance inst,
+           std::shared_ptr<const SensitivityIndex> snapshot);
+
+  const graph::Instance& instance() const { return inst_; }
+  const SensitivityIndex& index() const { return idx_; }
+
+  struct Outcome {
+    UpdateReport report;
+    ChangedSet changed;
+  };
+  /// Classify and apply one confirmed change.  Requires the current
+  /// generation to be an MST (violations() == 0): updates are defined
+  /// against Definition 1.2, which needs one.
+  Outcome apply(Vertex u, Vertex v, Weight new_w);
+
+ private:
+  void tree_reweight(Vertex c, Weight new_w, ChangedSet& changed);
+  void nontree_reweight(std::int64_t id, Weight new_w, ChangedSet& changed);
+  /// Swap path: the instance was already exchanged; relabel everything
+  /// host-side and rebuild the topology view.
+  void relabel(ChangedSet& changed);
+  /// Move mc/replacement of tree edge `child` (updating sens + order).
+  void set_mc(Vertex child, Weight mc, std::int64_t repl, ChangedSet& changed);
+  /// Re-sort one child inside fragile_order_ after its sens moved.
+  void reposition(Vertex child, Weight old_sens);
+  /// Max tree weight on the path u..v skipping edge {skip, p(skip)}.
+  Weight path_max_excluding(Vertex u, Vertex v, Vertex skip) const;
+  /// Recompute the lightest-duplicate resolution of one endpoint key.
+  void re_resolve_key(Vertex u, Vertex v, ChangedSet& changed);
+
+  graph::Instance inst_;
+  SensitivityIndex idx_;       // mutated through friendship
+  verify::TreeTopology topo_;  // weight-agnostic; rebuilt on swaps only
+};
+
+/// A backend that absorbs confirmed changes.  `generation()` (inherited)
+/// advances on every applied update; `instance_snapshot()` hands the
+/// canonical current instance to oracles and operators.
+class UpdatableBackend : public IndexBackend {
+ public:
+  virtual UpdateReceipt apply_update(Vertex u, Vertex v, Weight new_w) = 0;
+  virtual graph::Instance instance_snapshot() const = 0;
+};
+
+/// The monolithic snapshot made live: LiveCore behind a reader-writer lock.
+class LiveMonolithBackend final : public UpdatableBackend {
+ public:
+  LiveMonolithBackend(graph::Instance inst,
+                      std::shared_ptr<const SensitivityIndex> snapshot);
+
+  /// One distributed build, then serve-and-absorb.
+  static std::shared_ptr<LiveMonolithBackend> build(mpc::Engine& eng,
+                                                    const graph::Instance& i);
+
+  Answer answer(const Query& q) const override;
+  std::size_t n() const override;
+  std::size_t num_nontree() const override;
+  bool is_mst() const override;
+  std::size_t violations() const override;
+  std::uint64_t fingerprint() const override;
+  /// The distributed build was paid exactly once and its receipt is carried
+  /// verbatim across generations, so this is a stable construction-time
+  /// copy — safe to read without holding the lock.
+  const CostReceipt& receipt() const override { return receipt_; }
+  std::size_t num_shards() const override { return 1; }
+  std::uint64_t generation() const override {
+    return generation_.load(std::memory_order_acquire);
+  }
+  std::optional<EdgeRef> find(Vertex u, Vertex v) const override;
+  std::optional<NonTreeEdgeInfo> nontree_info(
+      std::int64_t orig_id) const override;
+
+  UpdateReceipt apply_update(Vertex u, Vertex v, Weight new_w) override;
+  graph::Instance instance_snapshot() const override;
+
+ private:
+  mutable std::shared_mutex mu_;
+  LiveCore core_;
+  const CostReceipt receipt_;  // never written after construction
+  std::atomic<std::uint64_t> generation_{0};
+};
+
+/// The sharded serving tier made live: the same LiveCore classifies and
+/// repairs, and the changed labels are scattered into the owning shards in
+/// place (swaps re-split the relabeled monolith).  Every update stamps all
+/// shards with the new epoch before the lock is released — the barrier the
+/// top-k merge checks.
+class LiveShardedBackend final : public UpdatableBackend {
+ public:
+  LiveShardedBackend(graph::Instance inst,
+                     std::shared_ptr<const SensitivityIndex> snapshot,
+                     std::size_t num_shards);
+
+  static std::shared_ptr<LiveShardedBackend> build(mpc::Engine& eng,
+                                                   const graph::Instance& i,
+                                                   std::size_t num_shards);
+
+  Answer answer(const Query& q) const override;
+  std::size_t n() const override;
+  std::size_t num_nontree() const override;
+  bool is_mst() const override;
+  std::size_t violations() const override;
+  std::uint64_t fingerprint() const override;
+  /// Stable construction-time copy (the shard count, and with it
+  /// effective_shards, never changes): lock-free like the monolith's.
+  const CostReceipt& receipt() const override { return receipt_; }
+  std::size_t num_shards() const override;
+  std::uint64_t generation() const override {
+    return generation_.load(std::memory_order_acquire);
+  }
+  std::optional<EdgeRef> find(Vertex u, Vertex v) const override;
+  std::optional<NonTreeEdgeInfo> nontree_info(
+      std::int64_t orig_id) const override;
+
+  UpdateReceipt apply_update(Vertex u, Vertex v, Weight new_w) override;
+  graph::Instance instance_snapshot() const override;
+
+  /// Per-shard views for tests (hold no lock across updates).
+  const ShardedSensitivityIndex& sharded() const { return shards_; }
+
+ private:
+  void scatter(const ChangedSet& changed, std::uint64_t epoch);
+
+  mutable std::shared_mutex mu_;
+  LiveCore core_;
+  ShardedSensitivityIndex shards_;
+  const CostReceipt receipt_;  // never written after construction
+  std::atomic<std::uint64_t> generation_{0};
+};
+
+}  // namespace mpcmst::service

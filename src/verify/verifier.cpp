@@ -85,11 +85,7 @@ mpc::Dist<HalfVerdict> max_covered_weights(
 
   // --- contraction with (θ, ω) maintenance ---
   HierarchicalClustering hc(tree, root, intervals, kNegInfW);
-  const std::size_t target =
-      (dhat <= 1) ? n
-                  : static_cast<std::size_t>(
-                        static_cast<double>(n) /
-                        (static_cast<double>(dhat) * static_cast<double>(dhat)));
+  const std::size_t target = cluster::cluster_target(n, dhat);
   std::size_t steps = 0;
   while (hc.num_clusters() > std::max<std::size_t>(target, 1)) {
     const mpc::Dist<MergeRec> merges = hc.plan_step();
@@ -324,6 +320,90 @@ std::vector<ArtifactSlice> slice_artifacts(const Artifacts& art,
     const auto it = std::upper_bound(starts.begin(), starts.end(), r.v);
     out[static_cast<std::size_t>(it - starts.begin()) - 1].tree.push_back(r);
   }
+  return out;
+}
+
+TreeTopology::TreeTopology(const graph::RootedTree& tree) {
+  MPCMST_ASSERT(tree.well_formed(), "TreeTopology: input is not a tree");
+  const std::size_t n = tree.n;
+  root_ = tree.root;
+  parent_ = tree.parent;
+  depth_.assign(n, -1);
+  pre_.assign(n, 0);
+  size_.assign(n, 1);
+  if (n == 0) return;
+  depth_[static_cast<std::size_t>(root_)] = 0;
+  // Depths by memoized parent climbs (no recursion: paths can be long).
+  std::vector<Vertex> chain;
+  for (std::size_t v = 0; v < n; ++v) {
+    Vertex x = static_cast<Vertex>(v);
+    chain.clear();
+    while (depth_[static_cast<std::size_t>(x)] < 0) {
+      chain.push_back(x);
+      x = parent_[static_cast<std::size_t>(x)];
+    }
+    std::int64_t d = depth_[static_cast<std::size_t>(x)];
+    for (auto it = chain.rbegin(); it != chain.rend(); ++it)
+      depth_[static_cast<std::size_t>(*it)] = ++d;
+  }
+  // DFS intervals in the canonical order (children ascending by id).
+  std::vector<std::vector<Vertex>> children(n);
+  for (std::size_t v = 0; v < n; ++v)
+    if (static_cast<Vertex>(v) != root_)
+      children[static_cast<std::size_t>(parent_[v])].push_back(
+          static_cast<Vertex>(v));
+  std::int64_t clock = 0;
+  std::vector<std::pair<Vertex, std::size_t>> stack{{root_, 0}};
+  while (!stack.empty()) {
+    auto& [v, next] = stack.back();
+    if (next == 0) pre_[static_cast<std::size_t>(v)] = clock++;
+    if (next < children[static_cast<std::size_t>(v)].size()) {
+      stack.push_back({children[static_cast<std::size_t>(v)][next++], 0});
+    } else {
+      size_[static_cast<std::size_t>(v)] =
+          clock - pre_[static_cast<std::size_t>(v)];
+      stack.pop_back();
+    }
+  }
+}
+
+TreeTopology TreeTopology::from_artifacts(const Artifacts& art) {
+  TreeTopology t;
+  const std::size_t n = art.tree.local().size();
+  t.parent_.assign(n, 0);
+  t.depth_.assign(n, 0);
+  t.pre_.assign(n, 0);
+  t.size_.assign(n, 1);
+  for (const treeops::TreeRec& r : art.tree.local()) {
+    t.parent_[static_cast<std::size_t>(r.v)] = r.parent;
+    if (r.v == r.parent) t.root_ = r.v;
+  }
+  for (const treeops::DepthRec& r : art.depths.depth.local())
+    t.depth_[static_cast<std::size_t>(r.v)] = r.depth;
+  // Interval labels are laminar, so containment of the entry point is
+  // exactly subtree membership — the same is_ancestor the DFS pass yields.
+  for (const treeops::IntervalRec& r : art.intervals.local()) {
+    t.pre_[static_cast<std::size_t>(r.v)] = r.lo;
+    t.size_[static_cast<std::size_t>(r.v)] = r.hi - r.lo + 1;
+  }
+  return t;
+}
+
+Vertex TreeTopology::lca(Vertex u, Vertex v) const {
+  while (depth(u) > depth(v)) u = parent(u);
+  while (depth(v) > depth(u)) v = parent(v);
+  while (u != v) {
+    u = parent(u);
+    v = parent(v);
+  }
+  return u;
+}
+
+std::vector<Vertex> TreeTopology::path_children(Vertex u, Vertex v) const {
+  std::vector<Vertex> out;
+  const Vertex a = lca(u, v);
+  for (Vertex x = u; x != a; x = parent(x)) out.push_back(x);
+  for (Vertex x = v; x != a; x = parent(x)) out.push_back(x);
   return out;
 }
 

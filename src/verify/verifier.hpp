@@ -74,6 +74,61 @@ struct ArtifactSlice {
 std::vector<ArtifactSlice> slice_artifacts(const Artifacts& art,
                                            const std::vector<Vertex>& starts);
 
+/// Host-side topology view of one rooted tree — the path-repair primitive
+/// shared by the index builds and the service's incremental update layer.
+///
+/// It answers the structural questions every path repair needs (which tree
+/// edges lie on the path u..v?  does edge {c, p(c)} separate u from v?)
+/// without caching any weights, so one view stays valid across arbitrary
+/// reweights and is rebuilt only when the tree structure itself changes
+/// (an edge swap).  Two ways in: straight from a RootedTree, or carved out
+/// of prebuilt distributed Artifacts (parents, depths and DFS intervals are
+/// already there — no second tree walk).
+class TreeTopology {
+ public:
+  TreeTopology() = default;
+  explicit TreeTopology(const graph::RootedTree& tree);
+
+  /// Same view from the shared prelude of one distributed run.
+  static TreeTopology from_artifacts(const Artifacts& art);
+
+  std::size_t n() const { return parent_.size(); }
+  Vertex root() const { return root_; }
+  Vertex parent(Vertex v) const { return parent_[static_cast<std::size_t>(v)]; }
+  std::int64_t depth(Vertex v) const {
+    return depth_[static_cast<std::size_t>(v)];
+  }
+
+  /// Is `a` an ancestor of `b` (including a == b)?  DFS-interval containment.
+  bool is_ancestor(Vertex a, Vertex b) const {
+    return pre_[static_cast<std::size_t>(a)] <=
+               pre_[static_cast<std::size_t>(b)] &&
+           pre_[static_cast<std::size_t>(b)] <
+               pre_[static_cast<std::size_t>(a)] +
+                   size_[static_cast<std::size_t>(a)];
+  }
+
+  /// Lowest common ancestor by depth-aligned parent climbs (O(depth); the
+  /// repair paths this primitive serves are path-length-bounded anyway).
+  Vertex lca(Vertex u, Vertex v) const;
+
+  /// Does the tree edge {child, p(child)} lie on the path u..v?
+  /// Equivalently: does removing it separate u from v?
+  bool covers(Vertex child, Vertex u, Vertex v) const {
+    return is_ancestor(child, u) != is_ancestor(child, v);
+  }
+
+  /// Child endpoints of every tree edge on the path u..v (u-side climb
+  /// first, then v-side; empty when u == v).
+  std::vector<Vertex> path_children(Vertex u, Vertex v) const;
+
+ private:
+  Vertex root_ = 0;
+  std::vector<Vertex> parent_;
+  std::vector<std::int64_t> depth_;
+  std::vector<std::int64_t> pre_, size_;
+};
+
 /// Per ancestor-descendant half-edge: the maximum tree-edge weight on the
 /// covered path lo..hi.
 struct HalfVerdict {

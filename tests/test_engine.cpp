@@ -177,7 +177,8 @@ TEST(Ops, JoinUniqueRejectsDuplicateRightKeys) {
     return Rec{7, 0};
   });
   EXPECT_THROW(mpc::join_unique(
-                   left, right, [](const Rec& r) { return std::uint64_t(r.key); },
+                   left, right,
+                   [](const Rec& r) { return std::uint64_t(r.key); },
                    [](const Rec& r) { return std::uint64_t(r.key); },
                    [](Rec&, const Rec*) {}),
                mpcmst::InvariantError);

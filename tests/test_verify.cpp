@@ -95,12 +95,9 @@ TEST_P(VerifyShapes, BaselinesAgreeWithPaperAlgorithm) {
       EXPECT_EQ(v.maxpath, ref[v.orig_id])
           << tag << " edge " << v.orig_id << " (" << GetParam().name << ")";
   };
-  run([](mpc::Engine& e, const g::Instance& i) { return vf::naive_verifier(e, i); },
-      "naive");
-  run([](mpc::Engine& e, const g::Instance& i) { return vf::lifting_verifier(e, i); },
-      "lifting");
-  run([](mpc::Engine& e, const g::Instance& i) { return vf::pram_verifier(e, i); },
-      "pram");
+  run(vf::naive_verifier, "naive");
+  run(vf::lifting_verifier, "lifting");
+  run(vf::pram_verifier, "pram");
 }
 
 INSTANTIATE_TEST_SUITE_P(
