@@ -1,0 +1,101 @@
+// Index build wall-clock: the precompute half of the service, measured
+// end-to-end on one instance family — the number the radix/SoA/parallel
+// build work is gated on.
+//
+// Four builds are timed (all on the same instance):
+//   - distributed monolith   (SensitivityIndex::build: MPC pipeline + snapshot)
+//   - distributed sharded    (ShardedSensitivityIndex::build, `shards` ways)
+//   - host relabel           (SensitivityIndex::build_host: the swap-repair
+//                             primitive of the update path)
+//   - split                  (monolith -> shards migration)
+// All emission (table + JSON) happens strictly after the timed section, so
+// the recorded walls are pure build time.
+//
+//   $ ./bench_build [n] [out.json] [shards]
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "common/table.hpp"
+#include "graph/generators.hpp"
+#include "mpc/engine.hpp"
+#include "service/service.hpp"
+
+using namespace mpcmst;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t n = argc > 1 ? std::stoul(argv[1]) : 20000;
+  const std::string out_path = argc > 2 ? argv[2] : "BENCH_build.json";
+  const std::size_t shards = argc > 3 ? std::stoul(argv[3]) : 8;
+
+  auto tree = graph::random_recursive_tree(n, 2024);
+  const auto inst = graph::make_layered_instance(std::move(tree), 3 * n, 2025);
+
+  // --- distributed monolith ---
+  mpc::Engine eng(mpc::MpcConfig::scaled(inst.input_words(), 0.5, 64.0));
+  const auto t_mono = Clock::now();
+  const auto index = service::SensitivityIndex::build(eng, inst);
+  const double mono_wall = seconds_since(t_mono);
+
+  // --- distributed sharded (own engine: same model price, fresh meters) ---
+  mpc::Engine seng(mpc::MpcConfig::scaled(inst.input_words(), 0.5, 64.0));
+  const auto t_shard = Clock::now();
+  const auto sharded =
+      service::ShardedSensitivityIndex::build(seng, inst, shards);
+  const double shard_wall = seconds_since(t_shard);
+
+  // --- host relabel (the update path's swap-repair primitive) ---
+  const auto t_host = Clock::now();
+  const auto host = service::SensitivityIndex::build_host(inst);
+  const double host_wall = seconds_since(t_host);
+
+  // --- monolith -> shards migration ---
+  const auto t_split = Clock::now();
+  const auto split = service::ShardedSensitivityIndex::split(*index, shards);
+  const double split_wall = seconds_since(t_split);
+
+  // --- emission (outside every timed region) ---
+  if (index->fingerprint() != host->fingerprint() ||
+      sharded->fingerprint() != split->fingerprint()) {
+    std::cerr << "FATAL: builds disagree on the instance fingerprint\n";
+    return 1;
+  }
+  std::cout << "instance: n=" << inst.n() << " m=" << inst.m() << "\n";
+  Table table({"build", "wall s", "mpc rounds", "peak words"});
+  table.row("distributed monolith", mono_wall, index->receipt().build_rounds,
+            index->receipt().peak_global_words);
+  table.row("distributed sharded", shard_wall,
+            sharded->receipt().build_rounds,
+            sharded->receipt().peak_global_words);
+  table.row("host relabel", host_wall, std::size_t{0}, std::size_t{0});
+  table.row("split to shards", split_wall, std::size_t{0}, std::size_t{0});
+  table.print(std::cout, "index build wall-clock");
+
+  std::ofstream out(out_path);
+  JsonWriter j(out);
+  j.begin_object();
+  j.key("bench").value("build");
+  j.key("n").value(inst.n());
+  j.key("m").value(inst.m());
+  j.key("shards").value(shards);
+  j.key("build_wall_s").value(mono_wall);
+  j.key("sharded_build_wall_s").value(shard_wall);
+  j.key("host_build_wall_s").value(host_wall);
+  j.key("split_wall_s").value(split_wall);
+  j.key("mpc_rounds").value(index->receipt().build_rounds);
+  j.key("peak_global_words").value(index->receipt().peak_global_words);
+  j.key("input_words").value(index->receipt().input_words);
+  j.end_object();
+  std::cout << "wrote " << out_path << "\n";
+  return 0;
+}

@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Gate bench results against the committed baselines and merge the suite.
+
+Usage:
+    check_regression.py --baseline-dir bench/baselines \
+        --out BENCH_suite.json BENCH_build.json BENCH_service.json ...
+
+Each input JSON is compared against the file of the same name under the
+baseline directory.  Metrics and directions are chosen by the "bench" field:
+
+    build               build_wall_s, host_build_wall_s   (lower is better)
+    service_throughput  best_warm_qps                     (higher is better)
+
+A result worse than FAIL_RATIO x baseline fails the job; worse than
+WARN_RATIO x baseline prints a warning.  The thresholds are generous because
+the baselines are committed from a developer host and CI runners differ —
+the gate exists to catch order-of-magnitude regressions (a comparator sort
+sneaking back into a hot path), not single-digit drift.  All inputs are
+merged into one suite JSON for the artifact upload.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+FAIL_RATIO = 0.5
+WARN_RATIO = 0.9
+
+# bench-type -> [(metric, higher_is_better)]
+METRICS = {
+    "build": [("build_wall_s", False), ("host_build_wall_s", False)],
+    "service_throughput": [("best_warm_qps", True)],
+}
+
+
+def compare(name, current, baseline):
+    """Returns (failures, warnings) for one bench JSON pair."""
+    failures, warnings = [], []
+    for metric, higher_better in METRICS.get(current.get("bench"), []):
+        if metric not in current or metric not in baseline:
+            continue
+        cur, base = float(current[metric]), float(baseline[metric])
+        if base <= 0:
+            continue
+        # Normalize so ratio > 1 always means "better than baseline".
+        ratio = (cur / base) if higher_better else (base / cur)
+        line = (f"{name}: {metric} = {cur:g} vs baseline {base:g} "
+                f"(ratio {ratio:.2f})")
+        if ratio < FAIL_RATIO:
+            failures.append(line)
+        elif ratio < WARN_RATIO:
+            warnings.append(line)
+        else:
+            print(f"OK   {line}")
+    return failures, warnings
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--baseline-dir", required=True)
+    ap.add_argument("--out", default="BENCH_suite.json")
+    ap.add_argument("inputs", nargs="+")
+    args = ap.parse_args()
+
+    suite, failures, warnings = {}, [], []
+    for path in args.inputs:
+        name = os.path.basename(path)
+        with open(path) as f:
+            current = json.load(f)
+        suite[name] = current
+        base_path = os.path.join(args.baseline_dir, name)
+        if not os.path.exists(base_path):
+            warnings.append(f"{name}: no committed baseline at {base_path}")
+            continue
+        with open(base_path) as f:
+            baseline = json.load(f)
+        f_list, w_list = compare(name, current, baseline)
+        failures += f_list
+        warnings += w_list
+
+    with open(args.out, "w") as f:
+        json.dump(suite, f, indent=2)
+    print(f"wrote {args.out} ({len(suite)} benches)")
+
+    for line in warnings:
+        print(f"WARN {line}")
+    if failures:
+        for line in failures:
+            print(f"FAIL {line}")
+        sys.exit(1)
+    print("regression gate passed")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+// Reusable scratch storage for the hot primitives.
+//
+// The MPC primitives (radix sorts, sort-merge joins) need per-call temporary
+// arrays whose sizes track the input.  Allocating them per call dominates the
+// runtime of small rounds and fragments the heap on large ones; the arena
+// keeps a pool of 64-bit-word buffers that are leased for the duration of one
+// primitive and returned on scope exit, so a long pipeline run settles into
+// zero steady-state allocation.
+//
+// Leases nest (a primitive running inside another primitive's callback gets
+// its own buffer), and a buffer only grows — capacity is retained across
+// leases.  The arena is not thread-safe: each mpc::Engine owns one (the
+// simulator is single-threaded per engine), and host-side users keep a
+// thread_local instance.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace mpcmst {
+
+class ScratchArena {
+ public:
+  /// One leased buffer: behaves like a std::vector<std::uint64_t> of exactly
+  /// `n` words (contents unspecified); returns itself to the pool on
+  /// destruction.  Move-only.
+  class Lease {
+   public:
+    Lease(ScratchArena* arena, std::vector<std::uint64_t>* buf)
+        : arena_(arena), buf_(buf) {}
+    Lease(Lease&& o) noexcept : arena_(o.arena_), buf_(o.buf_) {
+      o.arena_ = nullptr;
+      o.buf_ = nullptr;
+    }
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+    Lease& operator=(Lease&&) = delete;
+    ~Lease() {
+      if (arena_) arena_->release(buf_);
+    }
+
+    std::uint64_t* data() noexcept { return buf_->data(); }
+    const std::uint64_t* data() const noexcept { return buf_->data(); }
+    std::size_t size() const noexcept { return buf_->size(); }
+    std::uint64_t& operator[](std::size_t i) noexcept { return (*buf_)[i]; }
+
+    /// The buffer viewed as raw bytes (for trivially-copyable payloads).
+    void* bytes() noexcept { return static_cast<void*>(buf_->data()); }
+
+   private:
+    ScratchArena* arena_;
+    std::vector<std::uint64_t>* buf_;
+  };
+
+  /// Lease a buffer of at least `words` 64-bit words (sized to exactly
+  /// `words`; capacity is retained across leases, so steady state reuses).
+  Lease lease(std::size_t words) {
+    std::vector<std::uint64_t>* buf;
+    if (free_.empty()) {
+      pool_.push_back(std::make_unique<std::vector<std::uint64_t>>());
+      buf = pool_.back().get();
+    } else {
+      buf = free_.back();
+      free_.pop_back();
+    }
+    buf->resize(words);
+    return Lease(this, buf);
+  }
+
+  /// Words needed to hold `n` records of `bytes` bytes each.
+  static constexpr std::size_t words_for(std::size_t n, std::size_t bytes) {
+    return (n * bytes + 7) / 8;
+  }
+
+ private:
+  friend class Lease;
+
+  void release(std::vector<std::uint64_t>* buf) { free_.push_back(buf); }
+
+  std::vector<std::unique_ptr<std::vector<std::uint64_t>>> pool_;
+  std::vector<std::vector<std::uint64_t>*> free_;
+};
+
+}  // namespace mpcmst

@@ -1,0 +1,183 @@
+// A minimal fixed-size thread pool for host-side build and serve phases.
+//
+// Deliberately work-stealing-free: one batch of tasks at a time, claimed off
+// a single atomic cursor.  The workloads this pool runs (independent oracle
+// stages, per-shard slices, shard-runs of a query batch) are pre-partitioned
+// into near-equal chunks, so stealing would buy nothing and the cursor keeps
+// the implementation small enough to reason about under sanitizers.
+//
+// The submitting thread participates in the batch (a pool with zero workers
+// degenerates to a serial loop), nested submissions from inside a task run
+// inline on the caller, and the first exception a task throws is rethrown on
+// the submitting thread after the batch drains (MPCMST_ASSERT throws, so
+// invariant failures inside tasks surface as ordinary test failures).
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mpcmst {
+
+class ThreadPool {
+ public:
+  /// `threads` = total concurrency *including* the submitting thread
+  /// (the pool spawns threads-1 workers); 0 = hardware concurrency.
+  explicit ThreadPool(std::size_t threads = 0) {
+    if (threads == 0) {
+      threads = std::thread::hardware_concurrency();
+      if (threads == 0) threads = 2;
+    }
+    workers_.reserve(threads - 1);
+    for (std::size_t i = 0; i + 1 < threads; ++i)
+      workers_.emplace_back([this] { worker_loop(); });
+  }
+
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    work_cv_.notify_all();
+    for (std::thread& w : workers_) w.join();
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total concurrency (workers + the submitting thread).
+  std::size_t size() const noexcept { return workers_.size() + 1; }
+
+  /// Run fn(i) for every i in [0, count); blocks until all complete.
+  /// Concurrent submitters serialize; a submission from inside a pool task
+  /// runs its whole batch inline on the calling thread (no deadlock).
+  void run_tasks(std::size_t count,
+                 const std::function<void(std::size_t)>& fn) {
+    if (count == 0) return;
+    if (count == 1 || workers_.empty() || inside_task_flag()) {
+      for (std::size_t i = 0; i < count; ++i) fn(i);
+      return;
+    }
+    std::lock_guard<std::mutex> submit_lock(submit_mu_);
+    Batch batch;
+    batch.fn = &fn;
+    batch.count = count;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      batch_ = &batch;
+      ++batch_seq_;  // workers park on the sequence, never the address: a
+                     // new stack Batch can reuse a retired one's address
+    }
+    work_cv_.notify_all();
+    claim_loop(batch);
+    {
+      // The batch lives on this stack frame: wait until every task ran AND
+      // no worker is still inside the claim loop before retiring it.
+      std::unique_lock<std::mutex> lock(mu_);
+      done_cv_.wait(lock, [&] {
+        return batch.done.load(std::memory_order_acquire) == batch.count &&
+               batch.active == 0;
+      });
+      batch_ = nullptr;
+    }
+    work_cv_.notify_all();  // release workers parked on this batch
+    if (batch.error) std::rethrow_exception(batch.error);
+  }
+
+  /// Chunked parallel loop: fn(lo, hi) over ~`chunks` contiguous slices of
+  /// [0, n).  `chunks` defaults to 4 slices per thread (cheap load balance
+  /// without a steal queue).
+  void parallel_for(std::size_t n,
+                    const std::function<void(std::size_t, std::size_t)>& fn,
+                    std::size_t chunks = 0) {
+    if (n == 0) return;
+    if (chunks == 0) chunks = 4 * size();
+    chunks = std::min(chunks, n);
+    const std::size_t stride = (n + chunks - 1) / chunks;
+    run_tasks(chunks, [&](std::size_t c) {
+      const std::size_t lo = c * stride;
+      const std::size_t hi = std::min(lo + stride, n);
+      if (lo < hi) fn(lo, hi);
+    });
+  }
+
+  /// Process-wide pool shared by the build paths (constructed on first use,
+  /// sized to the hardware).
+  static ThreadPool& shared() {
+    static ThreadPool pool;
+    return pool;
+  }
+
+ private:
+  struct Batch {
+    const std::function<void(std::size_t)>* fn = nullptr;
+    std::size_t count = 0;
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> done{0};
+    std::size_t active = 0;  // workers inside claim_loop (guarded by mu_)
+    std::exception_ptr error;  // first failure (guarded by error_mu)
+    std::mutex error_mu;
+  };
+
+  static bool& inside_task_flag() {
+    thread_local bool flag = false;
+    return flag;
+  }
+
+  /// Claim tasks off the shared cursor until the batch is exhausted.
+  void claim_loop(Batch& batch) {
+    inside_task_flag() = true;
+    for (;;) {
+      const std::size_t i = batch.next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= batch.count) break;
+      try {
+        (*batch.fn)(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(batch.error_mu);
+        if (!batch.error) batch.error = std::current_exception();
+      }
+      batch.done.fetch_add(1, std::memory_order_acq_rel);
+    }
+    inside_task_flag() = false;
+  }
+
+  void worker_loop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    for (;;) {
+      work_cv_.wait(lock, [&] { return stop_ || batch_ != nullptr; });
+      if (stop_) return;
+      Batch* batch = batch_;
+      const std::uint64_t seq = batch_seq_;
+      ++batch->active;  // registered under mu_: the batch cannot retire now
+      lock.unlock();
+      claim_loop(*batch);
+      lock.lock();
+      --batch->active;
+      done_cv_.notify_all();
+      // Park until a *newer* batch is submitted (or shutdown), so a drained
+      // batch is never re-entered — keyed on the sequence number, because
+      // the next stack Batch can legitimately reuse this one's address.
+      work_cv_.wait(lock, [&] { return stop_ || batch_seq_ != seq; });
+      if (stop_) return;
+    }
+  }
+
+  std::mutex submit_mu_;  // serializes whole batches
+  std::mutex mu_;         // guards batch_ / batch_seq_ / stop_ /
+                          // Batch::active and the cvs
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  Batch* batch_ = nullptr;
+  std::uint64_t batch_seq_ = 0;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace mpcmst

@@ -1,0 +1,239 @@
+// LSD radix sorting over 64-bit keys, the flat replacement for the
+// comparator sorts on the hot paths.
+//
+// [GSZ11] reduces the O(1)-round MPC primitives to sorting and prefix sums
+// over packed integer keys — exactly the shape this file exploits: every
+// key the pipeline emits is (or order-embeds into) one 64-bit word, so a
+// stable least-significant-digit radix sort with 8-bit digits replaces the
+// O(n log n) comparator sorts.  Digit passes whose histogram shows a single
+// occupied bucket are skipped, so keys that only span k significant bytes
+// pay k passes (vertex-id keys typically pay 3-4 of the 8).
+//
+// Stability is load-bearing: callers rely on equal keys preserving input
+// order (it is what makes the radix path byte-identical to the
+// std::stable_sort it replaces).  All temporaries come from a ScratchArena,
+// so steady-state sorting allocates nothing.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+
+#include "common/arena.hpp"
+
+namespace mpcmst {
+
+/// Order-embed a signed 64-bit value into unsigned radix order: flipping the
+/// sign bit makes unsigned byte-order agree with two's-complement order.
+constexpr std::uint64_t radix_key(std::int64_t x) noexcept {
+  return static_cast<std::uint64_t>(x) ^ (std::uint64_t{1} << 63);
+}
+constexpr std::uint64_t radix_key(std::uint64_t x) noexcept { return x; }
+
+/// Does `K` order-embed into a 64-bit radix key via to_radix_key()?
+template <class K>
+inline constexpr bool is_radix_sortable_v =
+    std::is_integral_v<K> && sizeof(K) <= 8;
+
+/// Integral key of up to 64 bits -> radix key preserving the native order.
+template <class K>
+constexpr std::uint64_t to_radix_key(K x) noexcept {
+  static_assert(is_radix_sortable_v<K>);
+  if constexpr (std::is_signed_v<K>)
+    return radix_key(static_cast<std::int64_t>(x));
+  else
+    return static_cast<std::uint64_t>(x);
+}
+
+namespace radix_detail {
+
+/// One stable pass scattering (key, payload) by the byte at `shift`.
+/// Histogram `count[257]` must hold the pass's bucket counts in [1, 257).
+inline void scatter_pass(const std::uint64_t* key_in,
+                         const std::uint32_t* pay_in, std::uint64_t* key_out,
+                         std::uint32_t* pay_out, std::size_t n, unsigned shift,
+                         std::size_t* offset) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t b = (key_in[i] >> shift) & 0xff;
+    const std::size_t dst = offset[b]++;
+    key_out[dst] = key_in[i];
+    pay_out[dst] = pay_in[i];
+  }
+}
+
+}  // namespace radix_detail
+
+/// Stable-sort the payload array `pay` (any 32-bit payload, typically a
+/// permutation index) by `keys`, least-significant-digit first.  Both arrays
+/// have `n` entries and come out aligned: `keys` ascending, `pay` carried
+/// along.  Temporaries lease from `arena`; zero allocation at steady state.
+/// Returns false iff the keys were already sorted (pay untouched) — callers
+/// use it to skip permutation application entirely, which matters because
+/// the pipeline re-sorts id-ordered arrays constantly.
+inline bool radix_sort_u32_payload(std::uint64_t* keys, std::uint32_t* pay,
+                                   std::size_t n, ScratchArena& arena) {
+  if (n < 2) return false;
+  {
+    // Already sorted?  One early-exit compare pass; a stable sort of a
+    // sorted array is the identity, so there is nothing to do.
+    std::size_t i = 1;
+    while (i < n && keys[i - 1] <= keys[i]) ++i;
+    if (i == n) return false;
+  }
+  if (n <= 64) {
+    // Insertion sort (stable): the pipeline issues thousands of tiny sorts
+    // at the deep contraction levels, where digit passes cost more than the
+    // O(n^2) comparisons.
+    for (std::size_t i = 1; i < n; ++i) {
+      const std::uint64_t k = keys[i];
+      const std::uint32_t p = pay[i];
+      std::size_t j = i;
+      for (; j > 0 && keys[j - 1] > k; --j) {
+        keys[j] = keys[j - 1];
+        pay[j] = pay[j - 1];
+      }
+      keys[j] = k;
+      pay[j] = p;
+    }
+    return true;
+  }
+  // All 8 histograms in one read pass over the keys (constant shifts, so
+  // the digit loop unrolls); a digit whose histogram occupies one bucket
+  // permutes nothing and skips its scatter pass — packed keys typically
+  // span 3-6 of the 8 bytes.
+  std::size_t count[8][256] = {};
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t k = keys[i];
+    for (unsigned d = 0; d < 8; ++d) ++count[d][(k >> (8 * d)) & 0xff];
+  }
+  auto key_tmp = arena.lease(n);
+  auto pay_tmp = arena.lease(ScratchArena::words_for(n, 4));
+  std::uint64_t* key_a = keys;
+  std::uint64_t* key_b = key_tmp.data();
+  std::uint32_t* pay_a = pay;
+  std::uint32_t* pay_b = reinterpret_cast<std::uint32_t*>(pay_tmp.bytes());
+  for (unsigned d = 0; d < 8; ++d) {
+    if (count[d][(key_a[0] >> (8 * d)) & 0xff] == n) continue;
+    std::size_t offset[256];
+    std::size_t sum = 0;
+    for (std::size_t b = 0; b < 256; ++b) {
+      offset[b] = sum;
+      sum += count[d][b];
+    }
+    radix_detail::scatter_pass(key_a, pay_a, key_b, pay_b, n, 8 * d, offset);
+    std::swap(key_a, key_b);
+    std::swap(pay_a, pay_b);
+  }
+  if (key_a != keys) {
+    std::memcpy(keys, key_a, n * sizeof(std::uint64_t));
+    std::memcpy(pay, pay_a, n * sizeof(std::uint32_t));
+  }
+  return true;
+}
+
+/// Stable permutation sorting `v` of `n` records by caller-extracted keys:
+/// fills `perm` such that walking perm visits records in ascending key order
+/// (equal keys in input order).  Keys come out sorted alongside.  Returns
+/// false iff perm is the identity (keys were already sorted).
+inline bool radix_sort_perm(std::uint64_t* keys, std::uint32_t* perm,
+                            std::size_t n, ScratchArena& arena) {
+  for (std::size_t i = 0; i < n; ++i) perm[i] = static_cast<std::uint32_t>(i);
+  return radix_sort_u32_payload(keys, perm, n, arena);
+}
+
+/// Apply a permutation to an array of trivially-copyable records in place,
+/// staging through an arena buffer (all moves are memcpy of raw bytes).
+template <class T>
+void apply_perm(T* v, const std::uint32_t* perm, std::size_t n,
+                ScratchArena& arena) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  auto tmp = arena.lease(ScratchArena::words_for(n, sizeof(T)));
+  char* out = static_cast<char*>(tmp.bytes());
+  for (std::size_t i = 0; i < n; ++i)
+    std::memcpy(out + i * sizeof(T), v + perm[i], sizeof(T));
+  std::memcpy(v, out, n * sizeof(T));
+}
+
+/// Stable LSD radix sort scattering the records themselves (no permutation
+/// array): right for small trivially-copyable records whose key is a cheap
+/// field read — each pass moves the record once, versus the perm path's
+/// extract + perm passes + final gather.  Byte-identical result to
+/// std::stable_sort with `key(a) < key(b)`.
+template <class T, class KeyF>
+void radix_sort_records_direct(T* v, std::size_t n, ScratchArena& arena,
+                               KeyF&& key) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  if (n < 2) return;
+  {
+    std::size_t i = 1;
+    while (i < n && to_radix_key(key(v[i - 1])) <= to_radix_key(key(v[i])))
+      ++i;
+    if (i == n) return;
+  }
+  if (n <= 64) {
+    for (std::size_t i = 1; i < n; ++i) {
+      const T rec = v[i];
+      const std::uint64_t k = to_radix_key(key(rec));
+      std::size_t j = i;
+      for (; j > 0 && to_radix_key(key(v[j - 1])) > k; --j) v[j] = v[j - 1];
+      v[j] = rec;
+    }
+    return;
+  }
+  std::size_t count[8][256] = {};
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t k = to_radix_key(key(v[i]));
+    for (unsigned d = 0; d < 8; ++d) ++count[d][(k >> (8 * d)) & 0xff];
+  }
+  auto tmp = arena.lease(ScratchArena::words_for(n, sizeof(T)));
+  T* buf_a = v;
+  T* buf_b = reinterpret_cast<T*>(tmp.bytes());
+  for (unsigned d = 0; d < 8; ++d) {
+    if (count[d][(to_radix_key(key(buf_a[0])) >> (8 * d)) & 0xff] == n)
+      continue;
+    std::size_t offset[256];
+    std::size_t sum = 0;
+    for (std::size_t b = 0; b < 256; ++b) {
+      offset[b] = sum;
+      sum += count[d][b];
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t bkt = (to_radix_key(key(buf_a[i])) >> (8 * d)) & 0xff;
+      std::memcpy(buf_b + offset[bkt]++, buf_a + i, sizeof(T));
+    }
+    std::swap(buf_a, buf_b);
+  }
+  if (buf_a != v) std::memcpy(v, buf_a, n * sizeof(T));
+}
+
+/// Stable radix sort of `v` by a key projection returning any integral type
+/// (or anything convertible through to_radix_key).  Byte-identical result to
+/// std::stable_sort with `key(a) < key(b)`.
+template <class T, class KeyF>
+void radix_sort_records(T* v, std::size_t n, ScratchArena& arena,
+                        KeyF&& key) {
+  if (n < 2) return;
+  auto keys = arena.lease(n);
+  auto perm = arena.lease(ScratchArena::words_for(n, 4));
+  std::uint32_t* p = reinterpret_cast<std::uint32_t*>(perm.bytes());
+  for (std::size_t i = 0; i < n; ++i) keys[i] = to_radix_key(key(v[i]));
+  if (radix_sort_perm(keys.data(), p, n, arena)) apply_perm(v, p, n, arena);
+}
+
+/// Stable radix sort by a composite (hi, lo) key pair, lexicographic: two
+/// LSD passes (lo first, then hi — stability composes them).
+template <class T, class HiF, class LoF>
+void radix_sort_records2(T* v, std::size_t n, ScratchArena& arena, HiF&& hi,
+                         LoF&& lo) {
+  if (n < 2) return;
+  auto keys = arena.lease(n);
+  auto perm = arena.lease(ScratchArena::words_for(n, 4));
+  std::uint32_t* p = reinterpret_cast<std::uint32_t*>(perm.bytes());
+  for (std::size_t i = 0; i < n; ++i) keys[i] = to_radix_key(lo(v[i]));
+  bool moved = radix_sort_perm(keys.data(), p, n, arena);
+  for (std::size_t i = 0; i < n; ++i) keys[i] = to_radix_key(hi(v[p[i]]));
+  moved |= radix_sort_u32_payload(keys.data(), p, n, arena);
+  if (moved) apply_perm(v, p, n, arena);
+}
+
+}  // namespace mpcmst

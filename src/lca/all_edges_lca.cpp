@@ -145,7 +145,7 @@ LcaResult all_edges_lca(const mpc::Dist<treeops::TreeRec>& tree, Vertex root,
           h.tlo = t->tlo;
           h.thi = t->thi;
         });
-    all_hops = mpc::concat(all_hops, next);
+    mpc::append(all_hops, next);
     hops = std::move(next);
   }
 

@@ -83,6 +83,20 @@ class Dist {
     account_alloc();
   }
 
+  /// Append records in place.  The accounting mirrors the copying
+  /// realization (materialize the merged array, then retire the old
+  /// blocks), so peak-memory tracking is byte-identical to
+  /// `*this = concat(*this, more)` while the data itself grows amortized
+  /// instead of re-copying the accumulated prefix every call.
+  void append(const std::vector<T>& more) {
+    MPCMST_ASSERT(eng_, "append on moved-from Dist");
+    const std::size_t old_words = words();
+    data_.insert(data_.end(), more.begin(), more.end());
+    eng_->note_alloc(words());
+    eng_->check_balanced(words());
+    eng_->note_free(old_words);
+  }
+
  private:
   void account_alloc() {
     eng_->note_alloc(words());

@@ -3,11 +3,36 @@
 #include <algorithm>
 #include <cmath>
 
+#if defined(__GLIBC__)
+#include <malloc.h>
+#endif
+
 #include "common/check.hpp"
 
 namespace mpcmst::mpc {
 
+namespace {
+
+/// The simulator's primitives allocate and free multi-megabyte Dist buffers
+/// thousands of times per pipeline run.  glibc serves such blocks via
+/// mmap/munmap by default, so every round re-faults its pages in; raising
+/// the mmap threshold keeps the blocks on the heap free lists (measured
+/// ~15% off the n=100k build wall).  Done once, process-wide — a no-op on
+/// non-glibc platforms.
+void tune_allocator_once() {
+#if defined(__GLIBC__)
+  static const bool done = [] {
+    mallopt(M_MMAP_THRESHOLD, 256 << 20);
+    return true;
+  }();
+  (void)done;
+#endif
+}
+
+}  // namespace
+
 Engine::Engine(MpcConfig cfg) : cfg_(cfg) {
+  tune_allocator_once();
   MPCMST_CHECK(cfg_.machines >= 2, "need at least 2 machines");
   MPCMST_CHECK(cfg_.local_capacity >= 16, "local capacity unreasonably small");
 }

@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "common/arena.hpp"
 #include "mpc/config.hpp"
 #include "mpc/stats.hpp"
 
@@ -49,6 +50,12 @@ class Engine {
   void note_alloc(std::size_t words);
   void note_free(std::size_t words) noexcept;
 
+  /// Reusable scratch buffers for the primitives' radix sorts and merges
+  /// (simulator-internal: leased words are not model memory and are never
+  /// charged).  One arena per engine — the simulator is single-threaded per
+  /// engine, so primitives can lease without synchronization.
+  ScratchArena& scratch() noexcept { return scratch_; }
+
   /// Check that `total_words` spread over machines in balanced blocks fits in
   /// local capacity (with the configured slack).
   void check_balanced(std::size_t total_words) const;
@@ -65,6 +72,7 @@ class Engine {
   MpcConfig cfg_;
   Stats stats_;
   std::vector<std::string> phase_stack_;
+  ScratchArena scratch_;
 };
 
 /// RAII phase label: rounds charged while alive are attributed to `name`.

@@ -14,16 +14,31 @@
 //   - size-changing primitives (filter / concat / flat_map) include the cost
 //     of re-balancing blocks (prefix count + one exchange);
 //   - joins assume 64-bit keys (use pack2 for composite keys).
+//
+// Realization note: the charged costs model [GSZ11] sample sort, but the
+// simulator executes every sort and join over the LSD radix path in
+// common/radix.hpp whenever the key order-embeds into 64 bits (every key the
+// pipeline emits does — pack2 keys, vertex ids, ranks, sign-biased weights).
+// Joins radix-order one side into flat key columns and probe them (dense id
+// keyspaces get a direct-address table; only the sparse-and-large shape
+// still builds a hash map), and sort/merge temporaries lease from the
+// engine's ScratchArena, so the sorting paths settle into zero steady-state
+// allocation.  The radix sorts are stable on the same keys the comparators
+// ordered, so results stay byte-identical to the comparator realization —
+// and so do the charged rounds/words.
 #pragma once
 
 #include <algorithm>
 #include <cstdint>
+#include <cstring>
 #include <functional>
 #include <numeric>
+#include <type_traits>
 #include <unordered_map>
 #include <vector>
 
 #include "common/check.hpp"
+#include "common/radix.hpp"
 #include "mpc/dist.hpp"
 
 namespace mpcmst::mpc {
@@ -137,16 +152,48 @@ Dist<T> concat(const Dist<T>& a, const Dist<T>& b) {
   return Dist<T>(eng, std::move(out));
 }
 
+/// `a = concat(a, b)` without re-copying a's accumulated prefix: same
+/// model cost and the same memory-accounting sequence as the concat form
+/// (the model's merged array does not care which buffer holds it), but the
+/// level-accumulation loops (path entries, LCA hops) go from quadratic to
+/// linear copying.
+template <class T>
+void append(Dist<T>& a, const Dist<T>& b) {
+  a.engine().charge_exchange((a.size() + b.size()) * words_per<T>());
+  a.append(b.local());
+}
+
 // ---------------------------------------------------------------------------
 // Sorting ([GSZ11] sample sort: O(1) rounds)
 // ---------------------------------------------------------------------------
 
-/// Stable sort by a key projection (key must be < comparable).
+/// Stable sort by a key projection (key must be < comparable).  Integral
+/// keys (up to 64 bits, signed or unsigned) take the radix path; anything
+/// else falls back to a comparator sort.  Both are stable on the same key
+/// order, so the choice is invisible to callers.
 template <class T, class KeyF>
 void sort_by(Dist<T>& d, KeyF&& key) {
   d.engine().charge_sort(d.words());
-  std::stable_sort(d.local().begin(), d.local().end(),
-                   [&](const T& a, const T& b) { return key(a) < key(b); });
+  using K = std::decay_t<std::invoke_result_t<KeyF&, const T&>>;
+  if constexpr (is_radix_sortable_v<K>) {
+    radix_sort_records(d.local().data(), d.local().size(),
+                       d.engine().scratch(), key);
+  } else {
+    std::stable_sort(d.local().begin(), d.local().end(),
+                     [&](const T& a, const T& b) { return key(a) < key(b); });
+  }
+}
+
+/// Stable sort by the composite key (hi(x), lo(x)), compared
+/// lexicographically.  One sort charge — a composite key is still one key in
+/// the model (the pack2 convention); the simulator realizes it as two stable
+/// LSD passes, so components need not fit one packed word.  Both projections
+/// must return integral types.
+template <class T, class HiF, class LoF>
+void sort_by2(Dist<T>& d, HiF&& hi, LoF&& lo) {
+  d.engine().charge_sort(d.words());
+  radix_sort_records2(d.local().data(), d.local().size(), d.engine().scratch(),
+                      hi, lo);
 }
 
 // ---------------------------------------------------------------------------
@@ -195,17 +242,28 @@ struct KeyVal {
 };
 
 /// Group records by key(x) and reduce val(x) within each group.
-/// Cost: one sort + one boundary-carry round.
+/// Cost: one sort + one boundary-carry round.  Radix-sortable keys sort the
+/// 16-byte (key, val) records directly (LSD scatter of the records — no
+/// permutation array, no final gather); values combine in input order
+/// within each group, exactly as the stable comparator sort produced.
 template <class K, class V, class T, class KeyF, class ValF, class OpF>
 Dist<KeyVal<K, V>> reduce_by_key(const Dist<T>& d, KeyF&& key, ValF&& val,
                                  OpF&& op) {
   Engine& eng = d.engine();
+  const std::size_t n = d.size();
+  eng.charge_sort(n * words_per<KeyVal<K, V>>());
+  const auto& v = d.local();
   std::vector<KeyVal<K, V>> kv;
-  kv.reserve(d.size());
-  for (const T& x : d.local()) kv.push_back({key(x), val(x)});
-  eng.charge_sort(kv.size() * words_per<KeyVal<K, V>>());
-  std::stable_sort(kv.begin(), kv.end(),
-                   [](const auto& a, const auto& b) { return a.key < b.key; });
+  kv.reserve(n);
+  for (const T& x : v) kv.push_back({key(x), val(x)});
+  if constexpr (is_radix_sortable_v<K>) {
+    radix_sort_records_direct(kv.data(), n, eng.scratch(),
+                              [](const KeyVal<K, V>& x) { return x.key; });
+  } else {
+    std::stable_sort(
+        kv.begin(), kv.end(),
+        [](const auto& a, const auto& b) { return a.key < b.key; });
+  }
   std::vector<KeyVal<K, V>> out;
   for (std::size_t i = 0; i < kv.size();) {
     std::size_t j = i;
@@ -236,8 +294,12 @@ void sorted_group_apply(Dist<T>& d, KeyF&& key, F&& f) {
 }
 
 /// Left join with unique 64-bit right keys: apply(left_record, right_or_null).
-/// Cost: two sorts + one alignment round (sort-merge join with segmented
-/// replication).
+/// Cost: two sorts + one alignment round.  Realized over the radix path:
+/// the right key column is radix-ordered once (uniqueness checked on the
+/// adjacent pairs), then every left record probes it by binary search — a
+/// flat cache-resident column, no hash buckets, no pointer chasing, and the
+/// large left side is never reordered.  Apply runs in left storage order,
+/// the same visit order a hash-join realization would use.
 template <class L, class R, class LKeyF, class RKeyF, class ApplyF>
 void join_unique(Dist<L>& left, const Dist<R>& right, LKeyF&& lkey,
                  RKeyF&& rkey, ApplyF&& apply) {
@@ -245,22 +307,82 @@ void join_unique(Dist<L>& left, const Dist<R>& right, LKeyF&& lkey,
   eng.charge_sort(left.words());
   eng.charge_sort(right.words());
   eng.charge_exchange(left.words());
-  std::unordered_map<std::uint64_t, const R*> index;
-  index.reserve(right.size() * 2);
-  for (const R& r : right.local()) {
-    auto [it, inserted] = index.emplace(rkey(r), &r);
-    MPCMST_ASSERT(inserted, "join_unique: duplicate right key " << rkey(r));
+  const std::size_t ln = left.size();
+  const std::size_t rn = right.size();
+  ScratchArena& arena = eng.scratch();
+  // Join keys are equality-only, so both sides cast straight to u64 (no
+  // sign-bias: lkey and rkey may return different integral types and must
+  // stay bit-comparable, exactly as a hash-map keyspace would be).
+  auto rkeys = arena.lease(rn);
+  auto rperm = arena.lease(ScratchArena::words_for(rn, 4));
+  auto* rp = static_cast<std::uint32_t*>(rperm.bytes());
+  {
+    const auto& rv = right.local();
+    for (std::size_t i = 0; i < rn; ++i)
+      rkeys[i] = static_cast<std::uint64_t>(rkey(rv[i]));
   }
-  for (L& l : left.local()) {
-    auto it = index.find(lkey(l));
-    apply(l, it == index.end() ? nullptr : it->second);
+  radix_sort_perm(rkeys.data(), rp, rn, arena);
+  // Checked before the empty-left early-out: the uniqueness invariant held
+  // unconditionally in the hash-map realization and must keep asserting at
+  // the call site that violated it.
+  for (std::size_t j = 1; j < rn; ++j)
+    MPCMST_ASSERT(rkeys[j] != rkeys[j - 1],
+                  "join_unique: duplicate right key " << rkeys[j]);
+  if (ln == 0) return;
+  auto& lv = left.local();
+  const auto& rv = right.local();
+  constexpr std::uint32_t kNoMatch = ~std::uint32_t{0};
+  const std::uint64_t max_key = rn ? rkeys[rn - 1] : 0;
+  if (rn > 0 && max_key < 4 * rn + 1024) {
+    // Dense right keys (vertex ids, cluster leaders — the common case):
+    // direct-address table, one probe = one cache line.  Left-side sentinel
+    // keys (1 << 63 opt-outs) fall outside the table and miss via the
+    // bounds check.
+    auto table = arena.lease(ScratchArena::words_for(max_key + 1, 4));
+    auto* slot = static_cast<std::uint32_t*>(table.bytes());
+    std::memset(slot, 0xff, (max_key + 1) * sizeof(std::uint32_t));
+    for (std::size_t j = 0; j < rn; ++j) slot[rkeys[j]] = rp[j];
+    for (std::size_t i = 0; i < ln; ++i) {
+      const std::uint64_t k = static_cast<std::uint64_t>(lkey(lv[i]));
+      const std::uint32_t s = k <= max_key ? slot[k] : kNoMatch;
+      apply(lv[i], s == kNoMatch ? nullptr : &rv[s]);
+    }
+    return;
+  }
+  if (rn >= 8192) {
+    // Sparse and large (pack2 composites over big sides, e.g. Euler arcs):
+    // a hash table beats log(rn) cache-missing binary probes.
+    std::unordered_map<std::uint64_t, std::uint32_t> index;
+    index.reserve(rn * 2);
+    for (std::size_t j = 0; j < rn; ++j) index.emplace(rkeys[j], rp[j]);
+    for (std::size_t i = 0; i < ln; ++i) {
+      const auto it = index.find(static_cast<std::uint64_t>(lkey(lv[i])));
+      apply(lv[i], it == index.end() ? nullptr : &rv[it->second]);
+    }
+    return;
+  }
+  // Sparse and small: binary-probe the cache-resident sorted key column.
+  for (std::size_t i = 0; i < ln; ++i) {
+    const std::uint64_t k = static_cast<std::uint64_t>(lkey(lv[i]));
+    std::size_t lo = 0, hi = rn;
+    while (lo < hi) {
+      const std::size_t mid = (lo + hi) / 2;
+      if (rkeys[mid] < k)
+        lo = mid + 1;
+      else
+        hi = mid;
+    }
+    apply(lv[i], (lo < rn && rkeys[lo] == k) ? &rv[rp[lo]] : nullptr);
   }
 }
 
 /// Interval-stabbing join: each query (group, point) finds the unique
 /// interval (group, lo, hi) with lo <= point <= hi among *disjoint* intervals
 /// of its group; apply(query, interval_or_null).
-/// Cost: two sorts + one alignment round.
+/// Cost: two sorts + one alignment round.  When both sides' keys are
+/// integral with matching signedness (every caller's are), the realization
+/// radix-orders the interval side into flat (group, lo) columns and each
+/// query binary-searches them — no pointer chasing, queries never reordered.
 template <class Q, class I, class QKeyF, class QPointF, class IKeyF,
           class ILoF, class IHiF, class ApplyF>
 void stab_join(Dist<Q>& queries, const Dist<I>& intervals, QKeyF&& qkey,
@@ -270,30 +392,90 @@ void stab_join(Dist<Q>& queries, const Dist<I>& intervals, QKeyF&& qkey,
   eng.charge_sort(queries.words());
   eng.charge_sort(intervals.words());
   eng.charge_exchange(queries.words());
-  // (group, lo) -> interval, sorted for binary search.
-  std::vector<const I*> sorted;
-  sorted.reserve(intervals.size());
-  for (const I& iv : intervals.local()) sorted.push_back(&iv);
-  std::sort(sorted.begin(), sorted.end(), [&](const I* a, const I* b) {
-    if (ikey(*a) != ikey(*b)) return ikey(*a) < ikey(*b);
-    return ilo(*a) < ilo(*b);
-  });
-  for (Q& q : queries.local()) {
-    const auto g = qkey(q);
-    const auto p = qpoint(q);
-    // Last interval with (group, lo) <= (g, p).
-    auto it = std::upper_bound(
-        sorted.begin(), sorted.end(), std::make_pair(g, p),
-        [&](const auto& probe, const I* iv) {
-          if (probe.first != ikey(*iv)) return probe.first < ikey(*iv);
-          return probe.second < ilo(*iv);
-        });
-    const I* hit = nullptr;
-    if (it != sorted.begin()) {
-      const I* cand = *(it - 1);
-      if (ikey(*cand) == g && ilo(*cand) <= p && p <= ihi(*cand)) hit = cand;
+  using QK = std::decay_t<std::invoke_result_t<QKeyF&, const Q&>>;
+  using QP = std::decay_t<std::invoke_result_t<QPointF&, const Q&>>;
+  using IK = std::decay_t<std::invoke_result_t<IKeyF&, const I&>>;
+  using IL = std::decay_t<std::invoke_result_t<ILoF&, const I&>>;
+  using IH = std::decay_t<std::invoke_result_t<IHiF&, const I&>>;
+  const auto& iv_all = intervals.local();
+  auto& qv = queries.local();
+  // The merge compares query keys against interval keys through
+  // to_radix_key, which is only order-consistent across the two sides when
+  // their signedness matches (the bias differs otherwise).
+  constexpr bool kMergeable =
+      is_radix_sortable_v<QK> && is_radix_sortable_v<QP> &&
+      is_radix_sortable_v<IK> && is_radix_sortable_v<IL> &&
+      is_radix_sortable_v<IH> &&
+      std::is_signed_v<QK> == std::is_signed_v<IK> &&
+      std::is_signed_v<QP> == std::is_signed_v<IL> &&
+      std::is_signed_v<QP> == std::is_signed_v<IH>;
+  if constexpr (kMergeable) {
+    const std::size_t in = iv_all.size();
+    const std::size_t qn = qv.size();
+    if (qn == 0) return;
+    ScratchArena& arena = eng.scratch();
+    // Interval permutation by (group, lo): two stable LSD passes.
+    auto iglo = arena.lease(in);   // ends sorted: lo column (aligned with ip)
+    auto igrp = arena.lease(in);   // ends sorted: group column
+    auto iperm = arena.lease(ScratchArena::words_for(in, 4));
+    auto* ip = static_cast<std::uint32_t*>(iperm.bytes());
+    for (std::size_t i = 0; i < in; ++i)
+      iglo[i] = to_radix_key(ilo(iv_all[i]));
+    radix_sort_perm(iglo.data(), ip, in, arena);
+    for (std::size_t i = 0; i < in; ++i)
+      igrp[i] = to_radix_key(ikey(iv_all[ip[i]]));
+    radix_sort_u32_payload(igrp.data(), ip, in, arena);
+    for (std::size_t i = 0; i < in; ++i)
+      iglo[i] = to_radix_key(ilo(iv_all[ip[i]]));
+    // Per-query binary search over the sorted (group, lo) columns — flat
+    // arrays, no pointer chasing, and the (typically much larger) query
+    // side is never reordered.
+    for (Q& q : qv) {
+      const std::uint64_t g = to_radix_key(qkey(q));
+      const std::uint64_t p = to_radix_key(qpoint(q));
+      // Last interval with (group, lo) <= (g, p).
+      std::size_t lo_idx = 0, hi_idx = in;
+      while (lo_idx < hi_idx) {
+        const std::size_t mid = (lo_idx + hi_idx) / 2;
+        if (igrp[mid] < g || (igrp[mid] == g && iglo[mid] <= p))
+          lo_idx = mid + 1;
+        else
+          hi_idx = mid;
+      }
+      const I* hit = nullptr;
+      if (lo_idx > 0 && igrp[lo_idx - 1] == g) {
+        const I& cand = iv_all[ip[lo_idx - 1]];
+        if (to_radix_key(ilo(cand)) <= p && p <= to_radix_key(ihi(cand)))
+          hit = &cand;
+      }
+      apply(q, hit);
     }
-    apply(q, hit);
+  } else {
+    // (group, lo) -> interval, sorted for per-query binary search.
+    std::vector<const I*> sorted;
+    sorted.reserve(iv_all.size());
+    for (const I& iv : iv_all) sorted.push_back(&iv);
+    std::sort(sorted.begin(), sorted.end(), [&](const I* a, const I* b) {
+      if (ikey(*a) != ikey(*b)) return ikey(*a) < ikey(*b);
+      return ilo(*a) < ilo(*b);
+    });
+    for (Q& q : qv) {
+      const auto g = qkey(q);
+      const auto p = qpoint(q);
+      // Last interval with (group, lo) <= (g, p).
+      auto it = std::upper_bound(
+          sorted.begin(), sorted.end(), std::make_pair(g, p),
+          [&](const auto& probe, const I* iv) {
+            if (probe.first != ikey(*iv)) return probe.first < ikey(*iv);
+            return probe.second < ilo(*iv);
+          });
+      const I* hit = nullptr;
+      if (it != sorted.begin()) {
+        const I* cand = *(it - 1);
+        if (ikey(*cand) == g && ilo(*cand) <= p && p <= ihi(*cand)) hit = cand;
+      }
+      apply(q, hit);
+    }
   }
 }
 

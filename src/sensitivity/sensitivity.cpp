@@ -282,9 +282,12 @@ TreeMcResult tree_edge_mc(const mpc::Dist<TreeRec>& tree, Vertex root,
     // lightest (one sort + compaction).
     edges = mpc::filter(edges, [](const SensEdge& s) { return !s.dead; });
     {
-      mpc::sort_by(edges, [](const SensEdge& s) {
-        return std::make_tuple(s.lo, s.hi, s.w);
-      });
+      mpc::sort_by2(
+          edges,
+          [](const SensEdge& s) {
+            return mpc::pack2(std::uint64_t(s.lo), std::uint64_t(s.hi));
+          },
+          [](const SensEdge& s) { return s.w; });
       std::vector<SensEdge> unique_edges;
       for (const SensEdge& s : edges.local())
         if (unique_edges.empty() || unique_edges.back().lo != s.lo ||

@@ -5,10 +5,32 @@
 
 #include "common/check.hpp"
 #include "common/hash.hpp"
+#include "common/parallel.hpp"
+#include "common/radix.hpp"
 #include "seq/dsu.hpp"
 #include "seq/oracles.hpp"
 
 namespace mpcmst::service {
+
+ScratchArena& host_scratch_arena() {
+  thread_local ScratchArena arena;
+  return arena;
+}
+
+namespace {
+
+/// Ascending-sensitivity order of the non-root children [0, n) ∩ tree slots,
+/// ties by child id: one biased radix pass over the sens column (stable on
+/// the ascending-id input order, so ties come out by id for free).
+void sort_fragile(std::vector<Vertex>& order, const TreeLabels& tree,
+                  Vertex base) {
+  radix_sort_records(order.data(), order.size(), host_scratch_arena(),
+                     [&](Vertex child) {
+                       return tree.sens[static_cast<std::size_t>(child - base)];
+                     });
+}
+
+}  // namespace
 
 std::uint64_t endpoint_key(Vertex u, Vertex v) {
   if (u > v) std::swap(u, v);
@@ -18,17 +40,17 @@ std::uint64_t endpoint_key(Vertex u, Vertex v) {
 }
 
 /// Non-tree edges are scanned by ascending weight; a DSU jumps over tree
-/// edges that already received their (lightest) cover.
+/// edges that already received their (lightest) cover.  The weight order
+/// rides the radix path (stable on orig_id, like the stable_sort it
+/// replaced).
 std::vector<std::int64_t> replacement_edges(const graph::Instance& inst,
                                             const verify::TreeTopology& topo) {
   const std::size_t n = inst.n();
   std::vector<std::int64_t> repl(n, -1);
   std::vector<std::size_t> order(inst.nontree.size());
   std::iota(order.begin(), order.end(), std::size_t{0});
-  std::stable_sort(order.begin(), order.end(),
-                   [&](std::size_t a, std::size_t b) {
-                     return inst.nontree[a].w < inst.nontree[b].w;
-                   });
+  radix_sort_records(order.data(), order.size(), host_scratch_arena(),
+                     [&](std::size_t i) { return inst.nontree[i].w; });
   seq::Dsu jump(n);
   std::vector<Vertex> top(n);
   std::iota(top.begin(), top.end(), Vertex{0});
@@ -66,53 +88,64 @@ std::uint64_t SensitivityIndex::fingerprint_of(const graph::Instance& inst) {
 void SensitivityIndex::finish(SensitivityIndex& idx,
                               const graph::Instance& inst,
                               const verify::TreeTopology& topo) {
-  // --- replacement edges + cross-check against the mc labels ---
-  const std::vector<std::int64_t> repl = replacement_edges(inst, topo);
-  for (std::size_t v = 0; v < inst.n(); ++v) {
-    if (static_cast<Vertex>(v) == inst.tree.root) continue;
-    TreeEdgeInfo& e = idx.tree_[v];
-    e.replacement = repl[v];
-    if (idx.violations_ == 0) {
-      // On MST inputs both computations answer Definition 1.2, so the argmin
-      // weight must equal the mc label (covered or not).
-      const Weight rw =
-          repl[v] < 0 ? graph::kPosInfW : inst.nontree[repl[v]].w;
-      MPCMST_ASSERT(rw == e.mc, "index build: replacement weight "
-                                    << rw << " != mc " << e.mc
-                                    << " for tree edge child " << v);
+  // The three tails touch disjoint members (replacement column + cross-check,
+  // endpoint map, fragility order), so they run as independent pool tasks.
+  ThreadPool& pool = ThreadPool::shared();
+  pool.run_tasks(3, [&](std::size_t stage) {
+    switch (stage) {
+      case 0: {
+        // --- replacement edges + cross-check against the mc labels ---
+        const std::vector<std::int64_t> repl = replacement_edges(inst, topo);
+        for (std::size_t v = 0; v < inst.n(); ++v) {
+          if (static_cast<Vertex>(v) == inst.tree.root) continue;
+          idx.tree_.replacement[v] = repl[v];
+          if (idx.violations_ == 0) {
+            // On MST inputs both computations answer Definition 1.2, so the
+            // argmin weight must equal the mc label (covered or not).
+            const Weight rw =
+                repl[v] < 0 ? graph::kPosInfW : inst.nontree[repl[v]].w;
+            MPCMST_ASSERT(rw == idx.tree_.mc[v],
+                          "index build: replacement weight "
+                              << rw << " != mc " << idx.tree_.mc[v]
+                              << " for tree edge child " << v);
+          }
+        }
+        break;
+      }
+      case 1: {
+        // --- endpoint resolution map (tree edges take precedence; duplicate
+        // non-tree edges resolve to the lightest) ---
+        idx.by_endpoints_.clear();
+        idx.by_endpoints_.reserve(2 * (inst.n() + inst.nontree.size()));
+        for (std::size_t v = 0; v < inst.n(); ++v) {
+          if (static_cast<Vertex>(v) == inst.tree.root) continue;
+          idx.by_endpoints_[endpoint_key(static_cast<Vertex>(v),
+                                         inst.tree.parent[v])] =
+              EdgeRef{true, static_cast<std::int64_t>(v)};
+        }
+        for (std::size_t i = 0; i < inst.nontree.size(); ++i) {
+          const graph::WEdge& e = inst.nontree[i];
+          auto [it, inserted] = idx.by_endpoints_.try_emplace(
+              endpoint_key(e.u, e.v),
+              EdgeRef{false, static_cast<std::int64_t>(i)});
+          if (!inserted && !it->second.is_tree &&
+              e.w < idx.nontree_.w[static_cast<std::size_t>(it->second.id)])
+            it->second.id = static_cast<std::int64_t>(i);
+        }
+        break;
+      }
+      default: {
+        // --- fragility order: ascending sensitivity, ties by child id ---
+        idx.fragile_order_.clear();
+        idx.fragile_order_.reserve(inst.n() ? inst.n() - 1 : 0);
+        for (std::size_t v = 0; v < inst.n(); ++v)
+          if (static_cast<Vertex>(v) != inst.tree.root)
+            idx.fragile_order_.push_back(static_cast<Vertex>(v));
+        sort_fragile(idx.fragile_order_, idx.tree_, 0);
+        break;
+      }
     }
-  }
-
-  // --- endpoint resolution map (tree edges take precedence; duplicate
-  // non-tree edges resolve to the lightest) ---
-  idx.by_endpoints_.clear();
-  idx.by_endpoints_.reserve(2 * (inst.n() + inst.nontree.size()));
-  for (std::size_t v = 0; v < inst.n(); ++v) {
-    if (static_cast<Vertex>(v) == inst.tree.root) continue;
-    idx.by_endpoints_[endpoint_key(static_cast<Vertex>(v),
-                                   inst.tree.parent[v])] =
-        EdgeRef{true, static_cast<std::int64_t>(v)};
-  }
-  for (std::size_t i = 0; i < inst.nontree.size(); ++i) {
-    const graph::WEdge& e = inst.nontree[i];
-    auto [it, inserted] = idx.by_endpoints_.try_emplace(
-        endpoint_key(e.u, e.v), EdgeRef{false, static_cast<std::int64_t>(i)});
-    if (!inserted && !it->second.is_tree &&
-        e.w < idx.nontree_[it->second.id].w)
-      it->second.id = static_cast<std::int64_t>(i);
-  }
-
-  // --- fragility order: ascending tree-edge sensitivity, ties by child id ---
-  idx.fragile_order_.clear();
-  idx.fragile_order_.reserve(inst.n() ? inst.n() - 1 : 0);
-  for (std::size_t v = 0; v < inst.n(); ++v)
-    if (static_cast<Vertex>(v) != inst.tree.root)
-      idx.fragile_order_.push_back(static_cast<Vertex>(v));
-  std::sort(idx.fragile_order_.begin(), idx.fragile_order_.end(),
-            [&](Vertex a, Vertex b) {
-              const Weight sa = idx.tree_[a].sens, sb = idx.tree_[b].sens;
-              return sa != sb ? sa < sb : a < b;
-            });
+  });
 }
 
 std::shared_ptr<const SensitivityIndex> SensitivityIndex::build(
@@ -134,26 +167,43 @@ std::shared_ptr<const SensitivityIndex> SensitivityIndex::build(
   idx->receipt_.verify_core = sens.verify_core;
   idx->receipt_.sens_stats = sens.stats;
 
-  // --- snapshot the distributed outputs into dense host arrays ---
-  idx->tree_.assign(inst.n(), TreeEdgeInfo{});
-  for (std::size_t v = 0; v < inst.n(); ++v)
-    idx->tree_[v].parent = inst.tree.parent[v];
-  for (const sensitivity::TreeEdgeSens& t : sens.tree.local()) {
-    TreeEdgeInfo& e = idx->tree_[static_cast<std::size_t>(t.v)];
-    e.w = t.w;
-    e.mc = t.mc;
-    e.sens = t.sens;
-  }
-  idx->nontree_.assign(inst.nontree.size(), NonTreeEdgeInfo{});
-  for (const sensitivity::NonTreeEdgeSens& e : sens.nontree.local()) {
-    NonTreeEdgeInfo& o = idx->nontree_[static_cast<std::size_t>(e.orig_id)];
-    o.u = inst.nontree[e.orig_id].u;
-    o.v = inst.nontree[e.orig_id].v;
-    o.w = e.w;
-    o.maxpath = e.maxpath;
-    o.sens = e.sens;
-    if (e.w < e.maxpath) ++idx->violations_;
-  }
+  // --- snapshot the distributed outputs into the SoA columns ---
+  // Every record lands in its own slot (child / orig_id are unique), so the
+  // scatters are independent pool chunks.
+  ThreadPool& pool = ThreadPool::shared();
+  idx->tree_.assign(inst.n());
+  pool.parallel_for(inst.n(), [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t v = lo; v < hi; ++v)
+      idx->tree_.parent[v] = inst.tree.parent[v];
+  });
+  const auto& tree_recs = sens.tree.local();
+  pool.parallel_for(tree_recs.size(), [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t r = lo; r < hi; ++r) {
+      const sensitivity::TreeEdgeSens& t = tree_recs[r];
+      const auto v = static_cast<std::size_t>(t.v);
+      idx->tree_.w[v] = t.w;
+      idx->tree_.mc[v] = t.mc;
+      idx->tree_.sens[v] = t.sens;
+    }
+  });
+  idx->nontree_.assign(inst.nontree.size());
+  const auto& nontree_recs = sens.nontree.local();
+  std::atomic<std::size_t> violations{0};
+  pool.parallel_for(nontree_recs.size(), [&](std::size_t lo, std::size_t hi) {
+    std::size_t local = 0;
+    for (std::size_t r = lo; r < hi; ++r) {
+      const sensitivity::NonTreeEdgeSens& e = nontree_recs[r];
+      const auto i = static_cast<std::size_t>(e.orig_id);
+      idx->nontree_.u[i] = inst.nontree[i].u;
+      idx->nontree_.v[i] = inst.nontree[i].v;
+      idx->nontree_.w[i] = e.w;
+      idx->nontree_.maxpath[i] = e.maxpath;
+      idx->nontree_.sens[i] = e.sens;
+      if (e.w < e.maxpath) ++local;
+    }
+    violations.fetch_add(local, std::memory_order_relaxed);
+  });
+  idx->violations_ = violations.load();
 
   finish(*idx, inst, verify::TreeTopology::from_artifacts(artifacts));
   return idx;
@@ -172,25 +222,34 @@ std::shared_ptr<const SensitivityIndex> SensitivityIndex::build_host(
   // cross-check pins the two together), no engine charged.
   const seq::SeqTreeIndex seq_index(inst.tree);
   const seq::SensitivityResult sens = seq::sensitivity(inst, seq_index);
-  idx->tree_.assign(inst.n(), TreeEdgeInfo{});
-  for (std::size_t v = 0; v < inst.n(); ++v) {
-    TreeEdgeInfo& e = idx->tree_[v];
-    e.parent = inst.tree.parent[v];
-    if (static_cast<Vertex>(v) == inst.tree.root) continue;
-    e.w = inst.tree.weight[v];
-    e.mc = sens.tree_mc[v];
-    e.sens = sensitivity::tree_sens(e.mc, e.w);
-  }
-  idx->nontree_.assign(inst.nontree.size(), NonTreeEdgeInfo{});
-  for (std::size_t i = 0; i < inst.nontree.size(); ++i) {
-    NonTreeEdgeInfo& o = idx->nontree_[i];
-    o.u = inst.nontree[i].u;
-    o.v = inst.nontree[i].v;
-    o.w = inst.nontree[i].w;
-    o.maxpath = sens.nontree_maxpath[i];
-    o.sens = sensitivity::nontree_sens(o.w, o.maxpath);
-    if (o.w < o.maxpath) ++idx->violations_;
-  }
+  ThreadPool& pool = ThreadPool::shared();
+  idx->tree_.assign(inst.n());
+  pool.parallel_for(inst.n(), [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t v = lo; v < hi; ++v) {
+      idx->tree_.parent[v] = inst.tree.parent[v];
+      if (static_cast<Vertex>(v) == inst.tree.root) continue;
+      idx->tree_.w[v] = inst.tree.weight[v];
+      idx->tree_.mc[v] = sens.tree_mc[v];
+      idx->tree_.sens[v] = sensitivity::tree_sens(sens.tree_mc[v],
+                                                  inst.tree.weight[v]);
+    }
+  });
+  idx->nontree_.assign(inst.nontree.size());
+  std::atomic<std::size_t> violations{0};
+  pool.parallel_for(inst.nontree.size(), [&](std::size_t lo, std::size_t hi) {
+    std::size_t local = 0;
+    for (std::size_t i = lo; i < hi; ++i) {
+      idx->nontree_.u[i] = inst.nontree[i].u;
+      idx->nontree_.v[i] = inst.nontree[i].v;
+      idx->nontree_.w[i] = inst.nontree[i].w;
+      idx->nontree_.maxpath[i] = sens.nontree_maxpath[i];
+      idx->nontree_.sens[i] =
+          sensitivity::nontree_sens(inst.nontree[i].w, sens.nontree_maxpath[i]);
+      if (inst.nontree[i].w < sens.nontree_maxpath[i]) ++local;
+    }
+    violations.fetch_add(local, std::memory_order_relaxed);
+  });
+  idx->violations_ = violations.load();
 
   finish(*idx, inst, verify::TreeTopology(inst.tree));
   return idx;

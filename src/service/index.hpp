@@ -36,6 +36,11 @@ using graph::Weight;
 
 class LiveCore;  // update.hpp: the mutable generation layer (friended below)
 
+/// Host-side scratch for the service builds' radix sorts (this layer has no
+/// engine to lease from); thread_local so concurrent builds, parallel shard
+/// slices and the update path's relabels never share buffers.
+ScratchArena& host_scratch_arena();
+
 /// Exact (not hashed) order-insensitive endpoint key; vertex ids fit in 32
 /// bits for every instance that fits in memory.  Shared by the monolithic
 /// endpoint map and the per-shard maps (both must agree byte-for-byte).
@@ -80,6 +85,106 @@ struct NonTreeEdgeInfo {
 
   friend bool operator==(const NonTreeEdgeInfo&,
                          const NonTreeEdgeInfo&) = default;
+};
+
+// Label storage is struct-of-arrays: each field lives in its own contiguous
+// array, so a point query touches only the cache lines of the fields it
+// reads and the fragility scan streams one flat weight array instead of
+// striding through 40-byte records.  TreeEdgeInfo / NonTreeEdgeInfo remain
+// the value types of the query API — get()/set() assemble and scatter them.
+
+/// SoA tree-edge labels, indexed by child vertex (or child - lo in a shard).
+struct TreeLabels {
+  std::vector<Vertex> parent;
+  std::vector<Weight> w;
+  std::vector<Weight> mc;
+  std::vector<Weight> sens;
+  std::vector<std::int64_t> replacement;
+
+  std::size_t size() const { return parent.size(); }
+
+  /// Resize to `n` children, every slot holding TreeEdgeInfo{} defaults.
+  void assign(std::size_t n) {
+    parent.assign(n, -1);
+    w.assign(n, 0);
+    mc.assign(n, graph::kPosInfW);
+    sens.assign(n, graph::kPosInfW);
+    replacement.assign(n, -1);
+  }
+
+  TreeEdgeInfo get(std::size_t i) const {
+    return TreeEdgeInfo{parent[i], w[i], mc[i], sens[i], replacement[i]};
+  }
+
+  void set(std::size_t i, const TreeEdgeInfo& e) {
+    parent[i] = e.parent;
+    w[i] = e.w;
+    mc[i] = e.mc;
+    sens[i] = e.sens;
+    replacement[i] = e.replacement;
+  }
+
+  /// Append the slice [lo, hi) of `src` (bulk column copies).
+  void append_slice(const TreeLabels& src, std::size_t lo, std::size_t hi) {
+    parent.insert(parent.end(), src.parent.begin() + lo,
+                  src.parent.begin() + hi);
+    w.insert(w.end(), src.w.begin() + lo, src.w.begin() + hi);
+    mc.insert(mc.end(), src.mc.begin() + lo, src.mc.begin() + hi);
+    sens.insert(sens.end(), src.sens.begin() + lo, src.sens.begin() + hi);
+    replacement.insert(replacement.end(), src.replacement.begin() + lo,
+                       src.replacement.begin() + hi);
+  }
+
+  friend bool operator==(const TreeLabels&, const TreeLabels&) = default;
+};
+
+/// SoA non-tree-edge labels, indexed by orig_id (or shard-local slot).
+struct NonTreeLabels {
+  std::vector<Vertex> u;
+  std::vector<Vertex> v;
+  std::vector<Weight> w;
+  std::vector<Weight> maxpath;
+  std::vector<Weight> sens;
+
+  std::size_t size() const { return u.size(); }
+
+  void assign(std::size_t n) {
+    u.assign(n, 0);
+    v.assign(n, 0);
+    w.assign(n, 0);
+    maxpath.assign(n, graph::kNegInfW);
+    sens.assign(n, graph::kPosInfW);
+  }
+
+  void reserve(std::size_t n) {
+    u.reserve(n);
+    v.reserve(n);
+    w.reserve(n);
+    maxpath.reserve(n);
+    sens.reserve(n);
+  }
+
+  NonTreeEdgeInfo get(std::size_t i) const {
+    return NonTreeEdgeInfo{u[i], v[i], w[i], maxpath[i], sens[i]};
+  }
+
+  void set(std::size_t i, const NonTreeEdgeInfo& e) {
+    u[i] = e.u;
+    v[i] = e.v;
+    w[i] = e.w;
+    maxpath[i] = e.maxpath;
+    sens[i] = e.sens;
+  }
+
+  void push_back(const NonTreeEdgeInfo& e) {
+    u.push_back(e.u);
+    v.push_back(e.v);
+    w.push_back(e.w);
+    maxpath.push_back(e.maxpath);
+    sens.push_back(e.sens);
+  }
+
+  friend bool operator==(const NonTreeLabels&, const NonTreeLabels&) = default;
 };
 
 /// What the one-time distributed build cost (served back with every
@@ -131,13 +236,18 @@ class SensitivityIndex {
 
   const CostReceipt& receipt() const { return receipt_; }
 
-  /// `child` must be a non-root vertex.
-  const TreeEdgeInfo& tree_edge(Vertex child) const {
-    return tree_[static_cast<std::size_t>(child)];
+  /// `child` must be a non-root vertex.  Assembled from the SoA columns;
+  /// returned by value (two cache lines of gathered fields).
+  TreeEdgeInfo tree_edge(Vertex child) const {
+    return tree_.get(static_cast<std::size_t>(child));
   }
-  const NonTreeEdgeInfo& nontree_edge(std::int64_t orig_id) const {
-    return nontree_[static_cast<std::size_t>(orig_id)];
+  NonTreeEdgeInfo nontree_edge(std::int64_t orig_id) const {
+    return nontree_.get(static_cast<std::size_t>(orig_id));
   }
+
+  /// Raw SoA columns, for hot readers (top-k scans, shard splitting).
+  const TreeLabels& tree_labels() const { return tree_; }
+  const NonTreeLabels& nontree_labels() const { return nontree_; }
 
   /// Resolve an edge by endpoints (order-insensitive).  Tree edges win when
   /// both a tree and a non-tree edge join u and v (parallel edges); a
@@ -163,8 +273,8 @@ class SensitivityIndex {
   Vertex root_ = 0;
   std::uint64_t fingerprint_ = 0;
   std::size_t violations_ = 0;
-  std::vector<TreeEdgeInfo> tree_;
-  std::vector<NonTreeEdgeInfo> nontree_;
+  TreeLabels tree_;
+  NonTreeLabels nontree_;
   std::vector<Vertex> fragile_order_;
   std::unordered_map<std::uint64_t, EdgeRef> by_endpoints_;
   CostReceipt receipt_;

@@ -41,6 +41,14 @@ Answer QueryRouter::answer(const Query& q) const {
   return route_query(*index_, q);
 }
 
+std::size_t point_query_shard(const ShardedSensitivityIndex& index,
+                              const Query& q) {
+  if (q.kind == QueryKind::kTopKFragile) return 0;
+  const Vertex a = std::min(q.u, q.v);
+  if (a < 0 || a >= static_cast<Vertex>(index.n())) return 0;
+  return index.shard_of(a);
+}
+
 Answer route_query(const ShardedSensitivityIndex& index, const Query& q) {
   if (q.kind == QueryKind::kTopKFragile) return merge_top_k(index, q);
   const auto res = index.resolve(q.u, q.v);
@@ -55,9 +63,10 @@ Answer route_query(const ShardedSensitivityIndex& index, const Query& q) {
   if (res->ref.is_tree)
     return answer_for_tree_edge(q, res->ref,
                                 res->shard->tree_edge(res->ref.id));
-  const NonTreeEdgeInfo* e = res->shard->nontree_edge(res->ref.id);
-  MPCMST_ASSERT(e != nullptr, "router: resolved non-tree edge "
-                                  << res->ref.id << " missing from shard");
+  const std::optional<NonTreeEdgeInfo> e =
+      res->shard->nontree_edge(res->ref.id);
+  MPCMST_ASSERT(e.has_value(), "router: resolved non-tree edge "
+                                   << res->ref.id << " missing from shard");
   return answer_for_nontree_edge(q, res->ref, *e);
 }
 
@@ -92,7 +101,7 @@ Answer merge_top_k(const ShardedSensitivityIndex& index, const Query& q) {
                                         << epoch);
     if (s.fragile_order.empty()) continue;
     const Vertex child = s.fragile_order.front();
-    heap.push(Head{s.tree_edge(child).sens, child, i, 0});
+    heap.push(Head{s.tree_sens(child), child, i, 0});
   }
   while (a.fragile.size() < k && !heap.empty()) {
     const Head head = heap.top();
@@ -103,7 +112,7 @@ Answer merge_top_k(const ShardedSensitivityIndex& index, const Query& q) {
     const std::size_t next = head.pos + 1;
     if (next < s.fragile_order.size()) {
       const Vertex child = s.fragile_order[next];
-      heap.push(Head{s.tree_edge(child).sens, child, head.shard, next});
+      heap.push(Head{s.tree_sens(child), child, head.shard, next});
     }
   }
   MPCMST_ASSERT(index.generation() == epoch,

@@ -51,6 +51,12 @@ class IndexBackend {
   /// fingerprint but not the moment in time).
   virtual std::uint64_t generation() const { return 0; }
 
+  /// Which shard's data a point query will touch (always 0 on monolithic
+  /// backends).  A routing *hint* only — used by the batch fast path to sort
+  /// a batch into shard-runs so consecutive queries stay cache-local; it
+  /// never affects answers.  Must be callable without taking backend locks.
+  virtual std::size_t shard_hint(const Query&) const { return 0; }
+
   /// Resolve an edge by endpoints (order-insensitive; same precedence rules
   /// on every backend: tree wins, then the lightest duplicate).
   virtual std::optional<EdgeRef> find(Vertex u, Vertex v) const = 0;
@@ -87,6 +93,12 @@ class MonolithicBackend final : public IndexBackend {
   std::shared_ptr<const SensitivityIndex> index_;
 };
 
+/// The shard a point query's first probe lands on (0 for top-k and
+/// out-of-range endpoints): pure partition arithmetic, no shard data read —
+/// safe to call concurrently with in-place updates.
+std::size_t point_query_shard(const ShardedSensitivityIndex& index,
+                              const Query& q);
+
 /// The four-query API over vertex-range shards.
 class QueryRouter final : public IndexBackend {
  public:
@@ -102,6 +114,9 @@ class QueryRouter final : public IndexBackend {
   std::uint64_t fingerprint() const override { return index_->fingerprint(); }
   const CostReceipt& receipt() const override { return index_->receipt(); }
   std::size_t num_shards() const override { return index_->num_shards(); }
+  std::size_t shard_hint(const Query& q) const override {
+    return point_query_shard(*index_, q);
+  }
   std::optional<EdgeRef> find(Vertex u, Vertex v) const override;
   std::optional<NonTreeEdgeInfo> nontree_info(
       std::int64_t orig_id) const override {

@@ -10,27 +10,13 @@ QueryService::QueryService(std::shared_ptr<const IndexBackend> backend,
                            ServiceOptions opts)
     : backend_(std::move(backend)),
       opts_(opts),
-      cache_(opts.cache_capacity, opts.cache_shards) {
+      cache_(opts.cache_capacity, opts.cache_shards),
+      pool_(opts.threads) {
   MPCMST_ASSERT(backend_ != nullptr, "QueryService: null backend");
-  std::size_t threads = opts_.threads;
-  if (threads == 0) {
-    threads = std::thread::hardware_concurrency();
-    if (threads == 0) threads = 2;
-  }
   if (opts_.chunk_size == 0) opts_.chunk_size = 1;
-  workers_.reserve(threads);
-  for (std::size_t i = 0; i < threads; ++i)
-    workers_.emplace_back([this] { worker_loop(); });
 }
 
-QueryService::~QueryService() {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    stopping_ = true;
-  }
-  cv_.notify_all();
-  for (std::thread& w : workers_) w.join();
-}
+QueryService::~QueryService() = default;
 
 QueryService::QueryService(std::shared_ptr<const SensitivityIndex> index,
                            ServiceOptions opts)
@@ -89,30 +75,9 @@ const SensitivityIndex& QueryService::index() const {
   return mono->index();
 }
 
-void QueryService::worker_loop() {
-  for (;;) {
-    std::function<void()> task;
-    {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
-      if (tasks_.empty()) return;  // stopping and drained
-      task = std::move(tasks_.front());
-      tasks_.pop_front();
-    }
-    task();
-  }
-}
-
-void QueryService::submit(std::function<void()> task) {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    tasks_.push_back(std::move(task));
-  }
-  cv_.notify_one();
-}
-
 Answer QueryService::answer(const Query& q) {
   served_.fetch_add(1, std::memory_order_relaxed);
+  if (!cache_.enabled()) return backend_->answer(q);
   const std::uint64_t generation = backend_->generation();
   const CacheKey key{backend_->fingerprint(), q};
   if (auto hit = cache_.get(key)) return *std::move(hit);
@@ -127,31 +92,64 @@ Answer QueryService::answer(const Query& q) {
 
 std::vector<Answer> QueryService::answer_batch(
     const std::vector<Query>& queries) {
-  std::vector<Answer> out(queries.size());
-  if (queries.empty()) return out;
+  const std::size_t n = queries.size();
+  std::vector<Answer> out(n);
+  if (n == 0) return out;
+  served_.fetch_add(n, std::memory_order_relaxed);
 
-  const std::size_t chunk = opts_.chunk_size;
-  const std::size_t num_chunks = (queries.size() + chunk - 1) / chunk;
-  if (num_chunks == 1 || workers_.empty()) {
-    for (std::size_t i = 0; i < queries.size(); ++i)
-      out[i] = answer(queries[i]);
-    return out;
+  // Snapshot the backend moment: the fingerprint keys every probe/insert of
+  // this batch, the generation gates the bulk insert (same protocol as the
+  // single-query path — an update mid-batch simply skips the insert).
+  const std::uint64_t generation = backend_->generation();
+  const std::uint64_t fingerprint = backend_->fingerprint();
+
+  // --- bulk cache probe: one lock per touched cache shard ---
+  std::vector<unsigned char> hit(n, 0);
+  std::vector<CacheKey> keys;
+  if (cache_.enabled()) {
+    keys.reserve(n);
+    for (const Query& q : queries) keys.push_back(CacheKey{fingerprint, q});
+    cache_.get_many(keys.data(), n, out.data(), hit.data());
   }
 
-  std::mutex done_mu;
-  std::condition_variable done_cv;
-  std::size_t remaining = num_chunks;
-  for (std::size_t c = 0; c < num_chunks; ++c) {
-    const std::size_t lo = c * chunk;
-    const std::size_t hi = std::min(lo + chunk, queries.size());
-    submit([this, &queries, &out, &done_mu, &done_cv, &remaining, lo, hi] {
-      for (std::size_t i = lo; i < hi; ++i) out[i] = answer(queries[i]);
-      std::lock_guard<std::mutex> lock(done_mu);
-      if (--remaining == 0) done_cv.notify_one();
+  // --- misses, counting-sorted into backend-shard runs ---
+  const std::size_t num_hints =
+      std::max<std::size_t>(backend_->num_shards(), 1);
+  std::vector<std::uint32_t> miss;
+  miss.reserve(n);
+  if (num_hints == 1) {
+    for (std::size_t i = 0; i < n; ++i)
+      if (!hit[i]) miss.push_back(static_cast<std::uint32_t>(i));
+  } else {
+    std::vector<std::uint32_t> counts(num_hints + 1, 0);
+    std::vector<std::uint32_t> hint(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (hit[i]) continue;
+      hint[i] = static_cast<std::uint32_t>(backend_->shard_hint(queries[i]));
+      ++counts[hint[i] + 1];
+    }
+    for (std::size_t s = 0; s < num_hints; ++s) counts[s + 1] += counts[s];
+    miss.resize(counts[num_hints]);
+    std::vector<std::uint32_t> cursor(counts.begin(), counts.end() - 1);
+    for (std::size_t i = 0; i < n; ++i)
+      if (!hit[i]) miss[cursor[hint[i]]++] = static_cast<std::uint32_t>(i);
+  }
+
+  if (!miss.empty()) {
+    // Shard-runs are contiguous in `miss`; chunking the sorted order keeps
+    // each pool task inside (at most two) shards' working sets.
+    const std::size_t chunk = opts_.chunk_size;
+    const std::size_t num_chunks = (miss.size() + chunk - 1) / chunk;
+    pool_.run_tasks(num_chunks, [&](std::size_t c) {
+      const std::size_t lo = c * chunk;
+      const std::size_t hi = std::min(lo + chunk, miss.size());
+      for (std::size_t r = lo; r < hi; ++r)
+        out[miss[r]] = backend_->answer(queries[miss[r]]);
     });
+    // --- bulk insert, gated on the generation exactly like answer() ---
+    if (cache_.enabled() && backend_->generation() == generation)
+      cache_.put_many(keys.data(), out.data(), miss.data(), miss.size());
   }
-  std::unique_lock<std::mutex> lock(done_mu);
-  done_cv.wait(lock, [&] { return remaining == 0; });
   return out;
 }
 

@@ -1,23 +1,21 @@
 // QueryService: the serve-many half of the sensitivity engine.
 //
 // Owns a shared immutable IndexBackend (monolithic snapshot or sharded
-// router — the pool and cache are agnostic), a pool of worker threads, and a
-// sharded LRU result cache keyed by (graph fingerprint, canonical query).
-// Single queries are answered inline (cache-first); batches are split into
-// chunks and fanned out over the pool, so throughput scales with cores while
-// the backend itself is never locked (it is read-only).
+// router — the pool and cache are agnostic), a thread pool, and a sharded
+// LRU result cache keyed by (graph fingerprint, canonical query).  Single
+// queries are answered inline (cache-first).  Batches take a fast path: one
+// bulk cache probe (one lock per cache shard, not per query), misses sorted
+// into backend-shard runs and answered in parallel on the pool, then one
+// bulk insert — so a warm batch never takes the LRU lock per query and a
+// cold batch keeps each worker inside one shard's working set.
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
-#include <deque>
-#include <functional>
 #include <memory>
-#include <mutex>
-#include <thread>
 #include <vector>
 
+#include "common/parallel.hpp"
 #include "service/cache.hpp"
 #include "service/index.hpp"
 #include "service/query.hpp"
@@ -27,7 +25,8 @@
 namespace mpcmst::service {
 
 struct ServiceOptions {
-  /// Worker threads for batched queries; 0 = hardware concurrency.
+  /// Total concurrency for batched queries (including the calling thread);
+  /// 0 = hardware concurrency.
   std::size_t threads = 0;
   /// Total cached answers across shards; 0 disables the cache.
   std::size_t cache_capacity = 1 << 16;
@@ -82,8 +81,12 @@ class QueryService {
   /// Answer one query through the cache, inline on the calling thread.
   Answer answer(const Query& q);
 
-  /// Answer a batch; answers align with queries by position.  Chunks run on
-  /// the worker pool concurrently (each worker goes cache -> index).
+  /// Answer a batch; answers align with queries by position, and each one is
+  /// byte-identical to what answer() would have returned for that query.
+  /// Fast path: one bulk cache probe, misses counting-sorted by
+  /// backend().shard_hint() and answered as parallel shard-runs, one bulk
+  /// insert (skipped when an update landed mid-batch, exactly like the
+  /// single-query generation check).
   std::vector<Answer> answer_batch(const std::vector<Query>& queries);
 
   // Typed shorthands for the four query families.
@@ -118,7 +121,7 @@ class QueryService {
   };
   Stats stats() const;
 
-  std::size_t num_threads() const { return workers_.size(); }
+  std::size_t num_threads() const { return pool_.size(); }
 
  private:
   /// Cache key: the graph fingerprint pins every entry to the instance it
@@ -138,21 +141,12 @@ class QueryService {
     }
   };
 
-  void worker_loop();
-  void submit(std::function<void()> task);
-
   std::shared_ptr<const IndexBackend> backend_;
   std::shared_ptr<UpdatableBackend> updatable_;  // same object, if updatable
   ServiceOptions opts_;
   ShardedLruCache<CacheKey, Answer, CacheKeyHash> cache_;
   std::atomic<std::uint64_t> served_{0};
-
-  // Worker pool.
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<std::function<void()>> tasks_;
-  bool stopping_ = false;
-  std::vector<std::thread> workers_;
+  ThreadPool pool_;
 };
 
 }  // namespace mpcmst::service

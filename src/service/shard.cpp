@@ -1,8 +1,11 @@
 #include "service/shard.hpp"
 
 #include <algorithm>
+#include <utility>
 
 #include "common/check.hpp"
+#include "common/parallel.hpp"
+#include "common/radix.hpp"
 #include "mpc/dist.hpp"
 
 namespace mpcmst::service {
@@ -21,33 +24,33 @@ void ShardedSensitivityIndex::init_partition(std::size_t n,
 void ShardedSensitivityIndex::finalize() {
   violations_ = 0;
   receipt_.effective_shards = shards_.size();
-  for (IndexShard& s : shards_) {
+  // Shards are independent: sort and account each in its own pool task.
+  ThreadPool::shared().run_tasks(shards_.size(), [&](std::size_t i) {
+    IndexShard& s = shards_[i];
     s.generation = generation_;
-    violations_ += s.violations;
-    // Local fragility order: same comparator as the monolithic sort, so the
-    // k-way merge in the router reproduces the global order exactly.
+    // Local fragility order: same (sens, id) order as the monolithic sort,
+    // so the k-way merge in the router reproduces the global order exactly
+    // (stable radix over the ascending-id roster → ties by id for free).
     s.fragile_order.clear();
     s.fragile_order.reserve(s.tree.size());
     for (Vertex v = s.lo; v < s.hi; ++v)
       if (v != root_) s.fragile_order.push_back(v);
-    std::sort(s.fragile_order.begin(), s.fragile_order.end(),
-              [&s](Vertex a, Vertex b) {
-                const Weight sa = s.tree_edge(a).sens;
-                const Weight sb = s.tree_edge(b).sens;
-                return sa != sb ? sa < sb : a < b;
-              });
+    radix_sort_records(s.fragile_order.data(), s.fragile_order.size(),
+                       host_scratch_arena(),
+                       [&s](Vertex child) { return s.tree_sens(child); });
     s.cost.tree_edges = s.fragile_order.size();
     s.cost.nontree_edges = s.nontree.size();
     s.cost.endpoint_entries = s.by_endpoints.size();
-    // Words resident on this shard: dense tree slots, keyed non-tree infos
-    // (+1 word per orig_id key), endpoint entries (+1 word per key), and the
-    // fragility order.
+    // Words resident on this shard: dense tree columns, non-tree columns
+    // (+1 word per orig_id roster entry), endpoint entries (+1 word per
+    // key), and the fragility order.
     s.cost.resident_words =
         s.tree.size() * mpc::words_per<TreeEdgeInfo>() +
         s.nontree.size() * (mpc::words_per<NonTreeEdgeInfo>() + 1) +
         s.by_endpoints.size() * (mpc::words_per<EdgeRef>() + 1) +
         s.fragile_order.size();
-  }
+  });
+  for (const IndexShard& s : shards_) violations_ += s.violations;
 }
 
 std::shared_ptr<const ShardedSensitivityIndex> ShardedSensitivityIndex::build(
@@ -81,81 +84,112 @@ std::shared_ptr<const ShardedSensitivityIndex> ShardedSensitivityIndex::build(
   for (const IndexShard& s : idx->shards_) starts.push_back(s.lo);
   starts.push_back(idx->shards_.back().hi);
   const auto slices = verify::slice_artifacts(artifacts, starts);
-  for (std::size_t i = 0; i < idx->shards_.size(); ++i) {
-    IndexShard& s = idx->shards_[i];
-    s.tree.assign(static_cast<std::size_t>(s.hi - s.lo), TreeEdgeInfo{});
-    for (const treeops::TreeRec& r : slices[i].tree) {
-      TreeEdgeInfo& e = s.tree[static_cast<std::size_t>(r.v - s.lo)];
-      e.parent = r.parent;
-      e.w = r.w;
-    }
-  }
 
-  // Scatter the distributed labels: a tree record goes to the shard owning
-  // its child, a non-tree record to the shard owning its min endpoint.
-  for (const sensitivity::TreeEdgeSens& t : sens.tree.local()) {
-    IndexShard& s = idx->shards_[idx->shard_of(t.v)];
-    TreeEdgeInfo& e = s.tree[static_cast<std::size_t>(t.v - s.lo)];
-    e.w = t.w;
-    e.mc = t.mc;
-    e.sens = t.sens;
-  }
+  // Bucket the non-tree label records by owning shard (an edge lives with
+  // its canonical min endpoint) so the per-shard slices below are
+  // independent pool tasks.
+  std::vector<std::vector<const sensitivity::NonTreeEdgeSens*>> nt_of(
+      idx->shards_.size());
   for (const sensitivity::NonTreeEdgeSens& rec : sens.nontree.local()) {
     const graph::WEdge& we = inst.nontree[rec.orig_id];
-    IndexShard& s = idx->shards_[idx->shard_of(std::min(we.u, we.v))];
-    s.nontree.emplace(rec.orig_id, NonTreeEdgeInfo{we.u, we.v, rec.w,
-                                                   rec.maxpath, rec.sens});
-    if (rec.w < rec.maxpath) ++s.violations;
+    nt_of[idx->shard_of(std::min(we.u, we.v))].push_back(&rec);
   }
-  std::size_t total_violations = 0;
-  for (const IndexShard& s : idx->shards_) total_violations += s.violations;
+  // Tree label records land densely in their child's shard; bucket them too.
+  std::vector<std::vector<const sensitivity::TreeEdgeSens*>> t_of(
+      idx->shards_.size());
+  for (const sensitivity::TreeEdgeSens& t : sens.tree.local())
+    t_of[idx->shard_of(t.v)].push_back(&t);
 
   // Replacement argmins + cross-check against the distributed mc values.
   // The [Tar82] relaxation is a transient host pass (its topology view comes
   // straight from the shared prelude); shards only retain their own range.
   const std::vector<std::int64_t> repl =
       replacement_edges(inst, verify::TreeTopology::from_artifacts(artifacts));
-  for (std::size_t v = 0; v < inst.n(); ++v) {
-    if (static_cast<Vertex>(v) == inst.tree.root) continue;
-    IndexShard& s = idx->shards_[idx->shard_of(static_cast<Vertex>(v))];
-    TreeEdgeInfo& e = s.tree[v - static_cast<std::size_t>(s.lo)];
-    e.replacement = repl[v];
-    if (total_violations == 0) {
-      const Weight rw =
-          repl[v] < 0 ? graph::kPosInfW : inst.nontree[repl[v]].w;
-      MPCMST_ASSERT(rw == e.mc, "sharded build: replacement weight "
-                                    << rw << " != mc " << e.mc
-                                    << " for tree edge child " << v);
-    }
-  }
 
-  // Endpoint maps.  A tree entry lives with its child; a non-tree entry with
-  // its min endpoint.  Tree edges shadow parallel non-tree edges and
-  // duplicate non-tree edges resolve to the lightest (ascending orig_id,
-  // strict <) — the same precedence the monolithic build applies globally,
-  // reproduced shard-locally because all duplicates of a key share their min
-  // endpoint and therefore their shard.
-  for (IndexShard& s : idx->shards_) {
-    for (Vertex v = s.lo; v < s.hi; ++v) {
-      if (v == idx->root_) continue;
-      s.by_endpoints.emplace(endpoint_key(v, s.tree_edge(v).parent),
-                             EdgeRef{true, v});
-    }
-  }
   const auto is_tree_edge = [&inst](Vertex a, Vertex b) {
     return (a != inst.tree.root && inst.tree.parent[a] == b) ||
            (b != inst.tree.root && inst.tree.parent[b] == a);
   };
-  for (std::size_t i = 0; i < inst.nontree.size(); ++i) {
-    const graph::WEdge& e = inst.nontree[i];
-    if (is_tree_edge(e.u, e.v)) continue;  // shadowed: the tree entry wins
-    IndexShard& s = idx->shards_[idx->shard_of(std::min(e.u, e.v))];
-    auto [it, inserted] = s.by_endpoints.try_emplace(
-        endpoint_key(e.u, e.v), EdgeRef{false, static_cast<std::int64_t>(i)});
-    if (!inserted && !it->second.is_tree &&
-        e.w < s.nontree.at(it->second.id).w)
-      it->second.id = static_cast<std::int64_t>(i);
-  }
+
+  // Violations must be totalled before the cross-check runs, so the slices
+  // proceed in two waves: fill labels, then check + endpoint maps.
+  ThreadPool& pool = ThreadPool::shared();
+  pool.run_tasks(idx->shards_.size(), [&](std::size_t i) {
+    IndexShard& s = idx->shards_[i];
+    s.tree.assign(static_cast<std::size_t>(s.hi - s.lo));
+    for (const treeops::TreeRec& r : slices[i].tree) {
+      const auto slot = static_cast<std::size_t>(r.v - s.lo);
+      s.tree.parent[slot] = r.parent;
+      s.tree.w[slot] = r.w;
+    }
+    for (const sensitivity::TreeEdgeSens* t : t_of[i]) {
+      const auto slot = static_cast<std::size_t>(t->v - s.lo);
+      s.tree.w[slot] = t->w;
+      s.tree.mc[slot] = t->mc;
+      s.tree.sens[slot] = t->sens;
+    }
+    // Non-tree columns: sort the assigned records by orig_id (the roster is
+    // binary-searched), then fill the parallel arrays.
+    auto& recs = nt_of[i];
+    radix_sort_records(
+        recs.data(), recs.size(), host_scratch_arena(),
+        [](const sensitivity::NonTreeEdgeSens* r) {
+          return r->orig_id;
+        });
+    s.nontree_ids.reserve(recs.size());
+    s.nontree.reserve(recs.size());
+    for (const sensitivity::NonTreeEdgeSens* rec : recs) {
+      const graph::WEdge& we = inst.nontree[rec->orig_id];
+      s.nontree_ids.push_back(rec->orig_id);
+      s.nontree.push_back(
+          NonTreeEdgeInfo{we.u, we.v, rec->w, rec->maxpath, rec->sens});
+      if (rec->w < rec->maxpath) ++s.violations;
+    }
+  });
+  std::size_t total_violations = 0;
+  for (const IndexShard& s : idx->shards_) total_violations += s.violations;
+
+  pool.run_tasks(idx->shards_.size(), [&](std::size_t i) {
+    IndexShard& s = idx->shards_[i];
+    // Scatter the replacement argmins and cross-check this shard's range.
+    for (Vertex v = s.lo; v < s.hi; ++v) {
+      if (v == inst.tree.root) continue;
+      const auto slot = static_cast<std::size_t>(v - s.lo);
+      s.tree.replacement[slot] = repl[v];
+      if (total_violations == 0) {
+        const Weight rw =
+            repl[v] < 0 ? graph::kPosInfW : inst.nontree[repl[v]].w;
+        MPCMST_ASSERT(rw == s.tree.mc[slot],
+                      "sharded build: replacement weight "
+                          << rw << " != mc " << s.tree.mc[slot]
+                          << " for tree edge child " << v);
+      }
+    }
+    // Endpoint map.  A tree entry lives with its child; a non-tree entry
+    // with its min endpoint.  Tree edges shadow parallel non-tree edges and
+    // duplicate non-tree edges resolve to the lightest (ascending orig_id,
+    // strict <) — the same precedence the monolithic build applies globally,
+    // reproduced shard-locally because all duplicates of a key share their
+    // min endpoint and therefore their shard.
+    s.by_endpoints.reserve(2 * (s.tree.size() + s.nontree.size()));
+    for (Vertex v = s.lo; v < s.hi; ++v) {
+      if (v == idx->root_) continue;
+      s.by_endpoints.emplace(
+          endpoint_key(v, s.tree.parent[static_cast<std::size_t>(v - s.lo)]),
+          EdgeRef{true, v});
+    }
+    for (std::size_t r = 0; r < s.nontree_ids.size(); ++r) {
+      const std::int64_t id = s.nontree_ids[r];
+      const graph::WEdge& e = inst.nontree[static_cast<std::size_t>(id)];
+      if (is_tree_edge(e.u, e.v)) continue;  // shadowed: the tree entry wins
+      auto [it, inserted] =
+          s.by_endpoints.try_emplace(endpoint_key(e.u, e.v),
+                                     EdgeRef{false, id});
+      if (!inserted && !it->second.is_tree &&
+          e.w < inst.nontree[static_cast<std::size_t>(it->second.id)].w)
+        it->second.id = id;
+    }
+  });
 
   idx->finalize();
   return idx;
@@ -172,27 +206,39 @@ std::shared_ptr<const ShardedSensitivityIndex> ShardedSensitivityIndex::split(
   idx->num_nontree_ = full.num_nontree();
   idx->init_partition(full.n(), num_shards);
 
-  for (IndexShard& s : idx->shards_) {
-    s.tree.reserve(static_cast<std::size_t>(s.hi - s.lo));
-    for (Vertex v = s.lo; v < s.hi; ++v) s.tree.push_back(full.tree_edge(v));
+  // Bucket non-tree ids by owning shard first, so the per-shard fill below
+  // runs as independent pool tasks (ids ascend within each bucket).
+  const NonTreeLabels& nt = full.nontree_labels();
+  std::vector<std::vector<std::int64_t>> ids_of(idx->shards_.size());
+  for (std::size_t i = 0; i < nt.size(); ++i)
+    ids_of[idx->shard_of(std::min(nt.u[i], nt.v[i]))].push_back(
+        static_cast<std::int64_t>(i));
+
+  ThreadPool::shared().run_tasks(idx->shards_.size(), [&](std::size_t si) {
+    IndexShard& s = idx->shards_[si];
+    // Tree columns: bulk slice copies out of the monolith's columns.
+    s.tree.append_slice(full.tree_labels(), static_cast<std::size_t>(s.lo),
+                        static_cast<std::size_t>(s.hi));
+    s.by_endpoints.reserve(2 * (s.tree.size() + ids_of[si].size()));
     for (Vertex v = s.lo; v < s.hi; ++v) {
       if (v == idx->root_) continue;
-      s.by_endpoints.emplace(endpoint_key(v, s.tree_edge(v).parent),
-                             EdgeRef{true, v});
+      s.by_endpoints.emplace(
+          endpoint_key(v, s.tree.parent[static_cast<std::size_t>(v - s.lo)]),
+          EdgeRef{true, v});
     }
-  }
-  for (std::int64_t i = 0; i < static_cast<std::int64_t>(idx->num_nontree_);
-       ++i) {
-    const NonTreeEdgeInfo info = full.nontree_edge(i);
-    IndexShard& s = idx->shards_[idx->shard_of(std::min(info.u, info.v))];
-    s.nontree.emplace(i, info);
-    if (info.w < info.maxpath) ++s.violations;
-    // The monolith already resolved shadowing and duplicates; reuse its
-    // verdict (every duplicate of a key maps to the same resolved ref).
-    const auto ref = full.find(info.u, info.v);
-    if (ref && !ref->is_tree)
-      s.by_endpoints.emplace(endpoint_key(info.u, info.v), *ref);
-  }
+    s.nontree_ids = std::move(ids_of[si]);
+    s.nontree.reserve(s.nontree_ids.size());
+    for (const std::int64_t i : s.nontree_ids) {
+      const NonTreeEdgeInfo info = nt.get(static_cast<std::size_t>(i));
+      s.nontree.push_back(info);
+      if (info.w < info.maxpath) ++s.violations;
+      // The monolith already resolved shadowing and duplicates; reuse its
+      // verdict (every duplicate of a key maps to the same resolved ref).
+      const auto ref = full.find(info.u, info.v);
+      if (ref && !ref->is_tree)
+        s.by_endpoints.emplace(endpoint_key(info.u, info.v), *ref);
+    }
+  });
 
   idx->finalize();
   return idx;
@@ -215,7 +261,7 @@ ShardedSensitivityIndex::resolve(Vertex u, Vertex v) const {
 std::optional<NonTreeEdgeInfo> ShardedSensitivityIndex::nontree_info(
     std::int64_t orig_id) const {
   for (const IndexShard& s : shards_)
-    if (const NonTreeEdgeInfo* e = s.nontree_edge(orig_id)) return *e;
+    if (const auto e = s.nontree_edge(orig_id)) return e;
   return std::nullopt;
 }
 

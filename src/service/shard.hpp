@@ -58,11 +58,18 @@ struct ShardCost {
 /// One vertex-range slice [lo, hi) of the sensitivity snapshot.  Immutable
 /// after construction (only ShardedSensitivityIndex builds it); all
 /// accessors are const and thread-safe.
+///
+/// Labels are struct-of-arrays like the monolith's: tree columns dense over
+/// [lo, hi), non-tree columns parallel to the sorted `nontree_ids` roster
+/// (binary-searched on lookup — the ids are stable between swaps, and swaps
+/// rebuild the whole shard anyway), so point queries touch only the columns
+/// they read and the fragility scan streams flat arrays.
 struct IndexShard {
   Vertex lo = 0;
   Vertex hi = 0;  // exclusive; lo == hi for an empty trailing shard
-  std::vector<TreeEdgeInfo> tree;  // indexed by child - lo (root slot unused)
-  std::unordered_map<std::int64_t, NonTreeEdgeInfo> nontree;  // by orig_id
+  TreeLabels tree;  // indexed by child - lo (root slot unused)
+  std::vector<std::int64_t> nontree_ids;  // sorted orig_ids assigned here
+  NonTreeLabels nontree;                  // parallel to nontree_ids
   std::unordered_map<std::uint64_t, EdgeRef> by_endpoints;
   std::vector<Vertex> fragile_order;  // children by (sens, id) ascending
   std::size_t violations = 0;         // non-tree edges lighter than their path
@@ -72,14 +79,29 @@ struct IndexShard {
   bool owns(Vertex v) const { return v >= lo && v < hi; }
 
   /// `child` must be owned by this shard.
-  const TreeEdgeInfo& tree_edge(Vertex child) const {
-    return tree[static_cast<std::size_t>(child - lo)];
+  TreeEdgeInfo tree_edge(Vertex child) const {
+    return tree.get(static_cast<std::size_t>(child - lo));
   }
 
-  /// Null if `orig_id` is not assigned to this shard.
-  const NonTreeEdgeInfo* nontree_edge(std::int64_t orig_id) const {
-    const auto it = nontree.find(orig_id);
-    return it == nontree.end() ? nullptr : &it->second;
+  /// Sensitivity of an owned tree edge without assembling the full record
+  /// (the top-k merge's inner loop).
+  Weight tree_sens(Vertex child) const {
+    return tree.sens[static_cast<std::size_t>(child - lo)];
+  }
+
+  /// Slot of `orig_id` in the non-tree columns, or -1 if not assigned here.
+  std::ptrdiff_t nontree_slot(std::int64_t orig_id) const {
+    const auto it =
+        std::lower_bound(nontree_ids.begin(), nontree_ids.end(), orig_id);
+    if (it == nontree_ids.end() || *it != orig_id) return -1;
+    return it - nontree_ids.begin();
+  }
+
+  /// Empty if `orig_id` is not assigned to this shard.
+  std::optional<NonTreeEdgeInfo> nontree_edge(std::int64_t orig_id) const {
+    const std::ptrdiff_t slot = nontree_slot(orig_id);
+    if (slot < 0) return std::nullopt;
+    return nontree.get(static_cast<std::size_t>(slot));
   }
 
   /// Shard-local endpoint resolution (no bounds checks — the router owns
@@ -144,7 +166,7 @@ class ShardedSensitivityIndex {
   std::optional<Resolved> resolve(Vertex u, Vertex v) const;
 
   /// `child` must be a valid vertex; routes to the owning shard.
-  const TreeEdgeInfo& tree_edge(Vertex child) const {
+  TreeEdgeInfo tree_edge(Vertex child) const {
     return shards_[shard_of(child)].tree_edge(child);
   }
 

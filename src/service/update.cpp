@@ -175,22 +175,23 @@ Weight LiveCore::path_max_excluding(Vertex u, Vertex v, Vertex skip) const {
 
 void LiveCore::reposition(Vertex child, Weight old_sens) {
   auto& order = idx_.fragile_order_;
+  const auto& sens = idx_.tree_.sens;
   // The vector is sorted with `child` still keyed at its old sensitivity;
   // locate it there, then reinsert under the new one.
   const auto old_it = std::lower_bound(
       order.begin(), order.end(), std::pair<Weight, Vertex>{old_sens, child},
       [&](Vertex a, const std::pair<Weight, Vertex>& key) {
-        const Weight sa = (a == child) ? old_sens : idx_.tree_[a].sens;
+        const Weight sa = (a == child) ? old_sens : sens[a];
         return sa != key.first ? sa < key.first : a < key.second;
       });
   MPCMST_ASSERT(old_it != order.end() && *old_it == child,
                 "reposition: child " << child << " not found at old rank");
   order.erase(old_it);
-  const Weight new_sens = idx_.tree_[static_cast<std::size_t>(child)].sens;
+  const Weight new_sens = sens[static_cast<std::size_t>(child)];
   const auto new_it = std::lower_bound(
       order.begin(), order.end(), std::pair<Weight, Vertex>{new_sens, child},
       [&](Vertex a, const std::pair<Weight, Vertex>& key) {
-        const Weight sa = idx_.tree_[a].sens;
+        const Weight sa = sens[a];
         return sa != key.first ? sa < key.first : a < key.second;
       });
   order.insert(new_it, child);
@@ -198,13 +199,14 @@ void LiveCore::reposition(Vertex child, Weight old_sens) {
 
 void LiveCore::set_mc(Vertex child, Weight mc, std::int64_t repl,
                       ChangedSet& changed) {
-  TreeEdgeInfo& t = idx_.tree_[static_cast<std::size_t>(child)];
-  if (t.mc == mc && t.replacement == repl) return;
-  const Weight old_sens = t.sens;
-  t.mc = mc;
-  t.replacement = repl;
-  t.sens = sensitivity::tree_sens(mc, t.w);
-  if (t.sens != old_sens) reposition(child, old_sens);
+  const auto c = static_cast<std::size_t>(child);
+  TreeLabels& t = idx_.tree_;
+  if (t.mc[c] == mc && t.replacement[c] == repl) return;
+  const Weight old_sens = t.sens[c];
+  t.mc[c] = mc;
+  t.replacement[c] = repl;
+  t.sens[c] = sensitivity::tree_sens(mc, t.w[c]);
+  if (t.sens[c] != old_sens) reposition(child, old_sens);
   changed.tree_children.push_back(child);
 }
 
@@ -214,11 +216,11 @@ void LiveCore::re_resolve_key(Vertex u, Vertex v, ChangedSet& changed) {
   MPCMST_ASSERT(it != idx_.by_endpoints_.end() && !it->second.is_tree,
                 "re_resolve_key: {" << u << "," << v
                                     << "} is not a resolved non-tree key");
+  const NonTreeLabels& nt = idx_.nontree_;
   WeightId best{kPosInfW, -1};
-  for (std::size_t i = 0; i < idx_.nontree_.size(); ++i) {
-    const NonTreeEdgeInfo& e = idx_.nontree_[i];
-    if (endpoint_key(e.u, e.v) != key) continue;
-    best = std::min(best, WeightId{e.w, static_cast<std::int64_t>(i)});
+  for (std::size_t i = 0; i < nt.size(); ++i) {
+    if (endpoint_key(nt.u[i], nt.v[i]) != key) continue;
+    best = std::min(best, WeightId{nt.w[i], static_cast<std::int64_t>(i)});
   }
   if (it->second.id == best.second) return;
   it->second.id = best.second;
@@ -226,65 +228,68 @@ void LiveCore::re_resolve_key(Vertex u, Vertex v, ChangedSet& changed) {
 }
 
 void LiveCore::tree_reweight(Vertex c, Weight new_w, ChangedSet& changed) {
-  TreeEdgeInfo& e = idx_.tree_[static_cast<std::size_t>(c)];
-  const Weight old_sens = e.sens;
-  inst_.tree.weight[static_cast<std::size_t>(c)] = new_w;
-  e.w = new_w;
-  e.sens = sensitivity::tree_sens(e.mc, new_w);
-  if (e.sens != old_sens) reposition(c, old_sens);
+  const auto ci = static_cast<std::size_t>(c);
+  TreeLabels& t = idx_.tree_;
+  const Weight old_sens = t.sens[ci];
+  inst_.tree.weight[ci] = new_w;
+  t.w[ci] = new_w;
+  t.sens[ci] = sensitivity::tree_sens(t.mc[ci], new_w);
+  if (t.sens[ci] != old_sens) reposition(c, old_sens);
   changed.tree_children.push_back(c);
   // The reweighted edge lies on the covered path of exactly the non-tree
   // edges straddling its cut; their covering maxima are the only other
   // labels its weight can reach (mc values only read non-tree weights).
-  for (std::size_t i = 0; i < idx_.nontree_.size(); ++i) {
-    NonTreeEdgeInfo& f = idx_.nontree_[i];
-    if (f.u == f.v || !topo_.covers(c, f.u, f.v)) continue;
-    const Weight mp = std::max(new_w, path_max_excluding(f.u, f.v, c));
-    if (mp == f.maxpath) continue;
-    f.maxpath = mp;
-    f.sens = sensitivity::nontree_sens(f.w, mp);
+  NonTreeLabels& nt = idx_.nontree_;
+  for (std::size_t i = 0; i < nt.size(); ++i) {
+    if (nt.u[i] == nt.v[i] || !topo_.covers(c, nt.u[i], nt.v[i])) continue;
+    const Weight mp = std::max(new_w, path_max_excluding(nt.u[i], nt.v[i], c));
+    if (mp == nt.maxpath[i]) continue;
+    nt.maxpath[i] = mp;
+    nt.sens[i] = sensitivity::nontree_sens(nt.w[i], mp);
     changed.nontree_ids.push_back(static_cast<std::int64_t>(i));
   }
 }
 
 void LiveCore::nontree_reweight(std::int64_t id, Weight new_w,
                                 ChangedSet& changed) {
-  NonTreeEdgeInfo& f = idx_.nontree_[static_cast<std::size_t>(id)];
-  const Weight old_w = f.w;
-  inst_.nontree[static_cast<std::size_t>(id)].w = new_w;
-  f.w = new_w;
-  f.sens = sensitivity::nontree_sens(new_w, f.maxpath);
+  const auto fi = static_cast<std::size_t>(id);
+  NonTreeLabels& nt = idx_.nontree_;
+  const Weight old_w = nt.w[fi];
+  const Vertex fu = nt.u[fi], fv = nt.v[fi];
+  inst_.nontree[fi].w = new_w;
+  nt.w[fi] = new_w;
+  nt.sens[fi] = sensitivity::nontree_sens(new_w, nt.maxpath[fi]);
   changed.nontree_ids.push_back(id);
-  if (f.u != f.v) {
+  if (fu != fv) {
     // The edge's covering contribution moved: cheaper offers are taken on
     // the spot, path edges that leaned on it as argmin recompute below.
     std::vector<Vertex> recompute;
-    for (Vertex x : topo_.path_children(f.u, f.v)) {
-      TreeEdgeInfo& t = idx_.tree_[static_cast<std::size_t>(x)];
-      if (t.replacement == id) {
+    for (Vertex x : topo_.path_children(fu, fv)) {
+      const auto xi = static_cast<std::size_t>(x);
+      if (idx_.tree_.replacement[xi] == id) {
         if (new_w <= old_w)
           set_mc(x, new_w, id, changed);
         else
           recompute.push_back(x);
-      } else if (WeightId{new_w, id} < WeightId{t.mc, t.replacement}) {
+      } else if (WeightId{new_w, id} <
+                 WeightId{idx_.tree_.mc[xi], idx_.tree_.replacement[xi]}) {
         set_mc(x, new_w, id, changed);
       }
     }
     if (!recompute.empty()) {
       std::vector<WeightId> best(recompute.size(), WeightId{kPosInfW, -1});
-      for (std::size_t j = 0; j < idx_.nontree_.size(); ++j) {
-        const NonTreeEdgeInfo& g = idx_.nontree_[j];
-        if (g.u == g.v) continue;
+      for (std::size_t j = 0; j < nt.size(); ++j) {
+        if (nt.u[j] == nt.v[j]) continue;
         for (std::size_t r = 0; r < recompute.size(); ++r)
-          if (topo_.covers(recompute[r], g.u, g.v))
+          if (topo_.covers(recompute[r], nt.u[j], nt.v[j]))
             best[r] = std::min(
-                best[r], WeightId{g.w, static_cast<std::int64_t>(j)});
+                best[r], WeightId{nt.w[j], static_cast<std::int64_t>(j)});
       }
       for (std::size_t r = 0; r < recompute.size(); ++r)
         set_mc(recompute[r], best[r].first, best[r].second, changed);
     }
   }
-  re_resolve_key(f.u, f.v, changed);
+  re_resolve_key(fu, fv, changed);
 }
 
 void LiveCore::relabel(ChangedSet& changed) {
@@ -312,34 +317,39 @@ LiveCore::Outcome LiveCore::apply(Vertex u, Vertex v, Weight new_w) {
   out.report.edge = *ref;
   if (ref->is_tree) {
     const Vertex c = static_cast<Vertex>(ref->id);
-    const TreeEdgeInfo& e = idx_.tree_[static_cast<std::size_t>(c)];
-    out.report.old_w = e.w;
-    if (new_w == e.w) return out;  // kNoChange
-    if (new_w <= e.mc) {           // a tie at the headroom edge stays (1.2)
+    const auto ci = static_cast<std::size_t>(c);
+    const Weight e_w = idx_.tree_.w[ci];
+    const Weight e_mc = idx_.tree_.mc[ci];
+    out.report.old_w = e_w;
+    if (new_w == e_w) return out;  // kNoChange
+    if (new_w <= e_mc) {           // a tie at the headroom edge stays (1.2)
       out.report.cls = UpdateClass::kTreeReweight;
       tree_reweight(c, new_w, out.changed);
     } else {
+      const std::int64_t repl = idx_.tree_.replacement[ci];
       out.report.cls = UpdateClass::kTreeSwap;
       out.report.swapped_out = c;
-      out.report.swapped_in = e.replacement;
-      exchange_edges(
-          inst_, topo_, c, e.replacement,
-          /*promoted_w=*/
-          inst_.nontree[static_cast<std::size_t>(e.replacement)].w,
-          /*demoted_w=*/new_w);
+      out.report.swapped_in = repl;
+      exchange_edges(inst_, topo_, c, repl,
+                     /*promoted_w=*/
+                     inst_.nontree[static_cast<std::size_t>(repl)].w,
+                     /*demoted_w=*/new_w);
       relabel(out.changed);
     }
   } else {
     const std::int64_t id = ref->id;
-    const NonTreeEdgeInfo& e = idx_.nontree_[static_cast<std::size_t>(id)];
-    out.report.old_w = e.w;
-    if (new_w == e.w) return out;  // kNoChange
-    if (new_w >= e.maxpath) {      // covers kNegInfW (self loop) and ties
+    const auto ei = static_cast<std::size_t>(id);
+    const Weight e_w = idx_.nontree_.w[ei];
+    const Weight e_maxpath = idx_.nontree_.maxpath[ei];
+    const Vertex e_u = idx_.nontree_.u[ei], e_v = idx_.nontree_.v[ei];
+    out.report.old_w = e_w;
+    if (new_w == e_w) return out;  // kNoChange
+    if (new_w >= e_maxpath) {      // covers kNegInfW (self loop) and ties
       out.report.cls = UpdateClass::kNonTreeReweight;
       nontree_reweight(id, new_w, out.changed);
     } else {
       out.report.cls = UpdateClass::kNonTreeSwap;
-      const Vertex d = heaviest_path_child(inst_, topo_, e.u, e.v);
+      const Vertex d = heaviest_path_child(inst_, topo_, e_u, e_v);
       out.report.swapped_out = d;
       out.report.swapped_in = id;
       exchange_edges(inst_, topo_, d, id, /*promoted_w=*/new_w,
@@ -535,36 +545,36 @@ void LiveShardedBackend::scatter(const ChangedSet& changed,
   } else {
     for (const Vertex c : changed.tree_children) {
       IndexShard& s = shards_.shards_[shards_.shard_of(c)];
-      TreeEdgeInfo& slot = s.tree[static_cast<std::size_t>(c - s.lo)];
-      const TreeEdgeInfo& info = m.tree_edge(c);
-      if (slot.sens != info.sens) {
+      const auto slot = static_cast<std::size_t>(c - s.lo);
+      const TreeEdgeInfo info = m.tree_edge(c);
+      if (s.tree.sens[slot] != info.sens) {
         // Reposition inside the shard-local fragility order, in place.
         const auto old_it =
             std::find(s.fragile_order.begin(), s.fragile_order.end(), c);
         MPCMST_ASSERT(old_it != s.fragile_order.end(),
                       "scatter: child " << c << " missing from shard order");
         s.fragile_order.erase(old_it);
-        slot = info;
+        s.tree.set(slot, info);
         const auto new_it = std::lower_bound(
             s.fragile_order.begin(), s.fragile_order.end(), c,
             [&s](Vertex a, Vertex b) {
-              const Weight sa = s.tree_edge(a).sens;
-              const Weight sb = s.tree_edge(b).sens;
+              const Weight sa = s.tree_sens(a);
+              const Weight sb = s.tree_sens(b);
               return sa != sb ? sa < sb : a < b;
             });
         s.fragile_order.insert(new_it, c);
       } else {
-        slot = info;
+        s.tree.set(slot, info);
       }
     }
     for (const std::int64_t id : changed.nontree_ids) {
-      const NonTreeEdgeInfo& info = m.nontree_edge(id);
+      const NonTreeEdgeInfo info = m.nontree_edge(id);
       IndexShard& s =
           shards_.shards_[shards_.shard_of(std::min(info.u, info.v))];
-      const auto it = s.nontree.find(id);
-      MPCMST_ASSERT(it != s.nontree.end(),
+      const std::ptrdiff_t slot = s.nontree_slot(id);
+      MPCMST_ASSERT(slot >= 0,
                     "scatter: non-tree edge " << id << " missing from shard");
-      it->second = info;
+      s.nontree.set(static_cast<std::size_t>(slot), info);
     }
     for (const auto& [key, ref] : changed.endpoints) {
       IndexShard& s =

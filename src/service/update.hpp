@@ -211,6 +211,12 @@ class LiveShardedBackend final : public UpdatableBackend {
   std::uint64_t generation() const override {
     return generation_.load(std::memory_order_acquire);
   }
+  /// Partition arithmetic only (the vertex ranges never move, even across
+  /// updates), so no lock — required: the batch fast path calls this while
+  /// other workers hold the shared lock.
+  std::size_t shard_hint(const Query& q) const override {
+    return point_query_shard(shards_, q);
+  }
   std::optional<EdgeRef> find(Vertex u, Vertex v) const override;
   std::optional<NonTreeEdgeInfo> nontree_info(
       std::int64_t orig_id) const override;

@@ -56,7 +56,7 @@ mpc::Dist<Jump> build_jump_tables(const mpc::Dist<TreeRec>& tree,
           j.maxw = std::max(j.maxw, t->maxw);
           j.target = t->target;
         });
-    all = mpc::concat(all, next);
+    mpc::append(all, next);
     cur = std::move(next);
   }
   return all;
@@ -249,7 +249,8 @@ VerifyResult naive_verifier(mpc::Engine& eng, const graph::Instance& inst) {
             {v, pe->anc, f.dist + pe->dist, std::max(f.wmax, pe->wmax)});
     }
     eng.charge_exchange(fresh.size() * mpc::words_per<PathEntry>());
-    entries = mpc::concat(entries, mpc::Dist<PathEntry>(eng, std::move(fresh)));
+    const mpc::Dist<PathEntry> fresh_d(eng, std::move(fresh));
+    mpc::append(entries, fresh_d);
   }
 
   // Per half: the entry (lo, hi) holds max weight on the covered path.

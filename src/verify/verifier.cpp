@@ -229,8 +229,8 @@ mpc::Dist<HalfVerdict> max_covered_weights(
         }
       }
       eng.charge_exchange(fresh.size() * mpc::words_per<PathEntry>());
-      entries = mpc::concat(entries, mpc::Dist<PathEntry>(eng,
-                                                          std::move(fresh)));
+      const mpc::Dist<PathEntry> fresh_d(eng, std::move(fresh));
+      mpc::append(entries, fresh_d);
     }
   }
 
