@@ -4,6 +4,7 @@
 Usage:
     check_regression.py --baseline-dir bench/baselines \
         --out BENCH_suite.json BENCH_build.json BENCH_service.json ...
+    check_regression.py --list
 
 Each input JSON is compared against the file of the same name under the
 baseline directory.  Metrics and directions are chosen by the "bench" field:
@@ -17,6 +18,11 @@ the baselines are committed from a developer host and CI runners differ —
 the gate exists to catch order-of-magnitude regressions (a comparator sort
 sneaking back into a hot path), not single-digit drift.  All inputs are
 merged into one suite JSON for the artifact upload.
+
+Unknown bench types and missing metric keys are HARD failures: a renamed or
+dropped key must fail the gate loudly, not silently skip the comparison (a
+gate that exits 0 because the metric vanished is worse than no gate).
+`--list` prints the gated metrics so CI logs show exactly what is enforced.
 """
 
 import argparse
@@ -34,14 +40,41 @@ METRICS = {
 }
 
 
+def list_metrics():
+    print(f"gate: fail < {FAIL_RATIO}x baseline, warn < {WARN_RATIO}x")
+    for bench, metrics in sorted(METRICS.items()):
+        for metric, higher_better in metrics:
+            direction = "higher is better" if higher_better else "lower is better"
+            print(f"  {bench}: {metric} ({direction})")
+
+
 def compare(name, current, baseline):
     """Returns (failures, warnings) for one bench JSON pair."""
     failures, warnings = [], []
-    for metric, higher_better in METRICS.get(current.get("bench"), []):
-        if metric not in current or metric not in baseline:
+    bench = current.get("bench")
+    if bench not in METRICS:
+        failures.append(
+            f"{name}: unknown bench type {bench!r} — not gated by any metric "
+            f"(known: {', '.join(sorted(METRICS))})")
+        return failures, warnings
+    for metric, higher_better in METRICS[bench]:
+        # A key missing from either side is a hard failure: the gate must
+        # never pass because the metric it gates on disappeared.
+        missing = [side for side, data in (("measured", current),
+                                           ("baseline", baseline))
+                   if metric not in data]
+        if missing:
+            failures.append(
+                f"{name}: metric '{metric}' missing from "
+                f"{' and '.join(missing)} JSON")
             continue
         cur, base = float(current[metric]), float(baseline[metric])
-        if base <= 0:
+        bad = [(side, v) for side, v in (("baseline", base), ("measured", cur))
+               if v <= 0]
+        if bad:
+            failures.extend(
+                f"{name}: {side} {metric} = {v:g} is not a positive number "
+                f"— the ratio gate cannot run" for side, v in bad)
             continue
         # Normalize so ratio > 1 always means "better than baseline".
         ratio = (cur / base) if higher_better else (base / cur)
@@ -58,10 +91,19 @@ def compare(name, current, baseline):
 
 def main():
     ap = argparse.ArgumentParser()
-    ap.add_argument("--baseline-dir", required=True)
+    ap.add_argument("--baseline-dir")
     ap.add_argument("--out", default="BENCH_suite.json")
-    ap.add_argument("inputs", nargs="+")
+    ap.add_argument("--list", action="store_true",
+                    help="print the gated bench types/metrics and exit")
+    ap.add_argument("inputs", nargs="*")
     args = ap.parse_args()
+
+    if args.list:
+        list_metrics()
+        return
+    if not args.baseline_dir or not args.inputs:
+        ap.error("--baseline-dir and at least one input are required "
+                 "(or use --list)")
 
     suite, failures, warnings = {}, [], []
     for path in args.inputs:
@@ -71,6 +113,8 @@ def main():
         suite[name] = current
         base_path = os.path.join(args.baseline_dir, name)
         if not os.path.exists(base_path):
+            # A brand-new bench legitimately lands before its baseline; the
+            # warning keeps it visible until the baseline is committed.
             warnings.append(f"{name}: no committed baseline at {base_path}")
             continue
         with open(base_path) as f:

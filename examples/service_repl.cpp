@@ -9,6 +9,12 @@
 // --shards N > 1 partitions the index by vertex range and serves through the
 // QueryRouter (answers are byte-identical to the monolithic backend).
 // --live serves through the updatable generation layer, enabling `update`.
+// --persist DIR makes the live tier crash-consistent (implies --live): every
+// confirmed update is journaled before it is acknowledged and snapshots
+// compact the journal; tune with --sync {commit,none} and --every N.
+// --recover DIR skips the distributed build entirely and reconstructs the
+// tier from DIR's newest snapshot + journal tail (ignores n/--shards/--live
+// — the on-disk tier dictates them).
 //
 // Commands:
 //   price <u> <v> <delta>   does the optimum survive the price change?
@@ -16,10 +22,12 @@
 //   top <k>                 k least-headroom tree edges
 //   headroom <u> <v>        sensitivity of an edge (Definition 1.2)
 //   update <u> <v> <price>  absorb a confirmed price change (--live only)
+//   checkpoint              force a snapshot + journal compaction (--persist)
 //   receipt                 cost of the one-time distributed build
 //   stats                   queries served / cache hit rate
 //   help, quit
 #include <iostream>
+#include <optional>
 #include <sstream>
 #include <stdexcept>
 #include <string>
@@ -36,8 +44,8 @@ namespace {
 
 void print_help() {
   std::cout << "commands: price <u> <v> <delta> | replace <u> <v> | top <k>"
-               " | headroom <u> <v> | update <u> <v> <price> | receipt"
-               " | stats | help | quit\n";
+               " | headroom <u> <v> | update <u> <v> <price> | checkpoint"
+               " | receipt | stats | help | quit\n";
 }
 
 const char* class_name(service::UpdateClass cls) {
@@ -62,6 +70,10 @@ int main(int argc, char** argv) {
   std::size_t n = 2000;
   std::size_t shards = 1;
   bool live = false;
+  std::optional<service::PersistenceConfig> persist;
+  std::string recover_dir;
+  service::SyncMode sync = service::SyncMode::kCommit;
+  std::size_t snapshot_every = 1024;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     try {
@@ -70,39 +82,89 @@ int main(int argc, char** argv) {
         shards = std::stoul(argv[++i]);
       } else if (arg == "--live") {
         live = true;
+      } else if (arg == "--persist") {
+        if (i + 1 >= argc) throw std::invalid_argument("missing operand");
+        persist.emplace();
+        persist->dir = argv[++i];
+        live = true;
+      } else if (arg == "--recover") {
+        if (i + 1 >= argc) throw std::invalid_argument("missing operand");
+        recover_dir = argv[++i];
+      } else if (arg == "--sync") {
+        if (i + 1 >= argc) throw std::invalid_argument("missing operand");
+        const std::string mode = argv[++i];
+        if (mode == "none")
+          sync = service::SyncMode::kNever;
+        else if (mode == "commit")
+          sync = service::SyncMode::kCommit;
+        else
+          throw std::invalid_argument("bad sync mode");
+      } else if (arg == "--every") {
+        if (i + 1 >= argc) throw std::invalid_argument("missing operand");
+        snapshot_every = std::stoul(argv[++i]);
       } else {
         n = std::stoul(arg);
       }
     } catch (const std::exception&) {
-      std::cerr << "usage: service_repl [n] [--shards N] [--live]\n";
+      std::cerr << "usage: service_repl [n] [--shards N] [--live] "
+                   "[--persist DIR [--sync commit|none] [--every N]] "
+                   "[--recover DIR]\n";
       return 1;
     }
   }
+  if (persist) {
+    persist->sync_mode = sync;
+    persist->snapshot_every_n = snapshot_every;
+  }
 
-  auto tree = graph::caterpillar_tree(n, n / 8, 17);
-  graph::assign_random_tree_weights(tree, 100, 999, 23);
-  const auto inst = graph::make_mst_instance(std::move(tree), 3 * n, 29,
-                                             /*slack=*/400);
-
-  mpc::Engine eng(mpc::MpcConfig::scaled(inst.input_words(), 0.5, 64.0));
   std::unique_ptr<service::QueryService> service;
-  if (live)
-    service = shards > 1
-                  ? service::QueryService::build_live_sharded(eng, inst,
-                                                              shards)
-                  : service::QueryService::build_live(eng, inst);
-  else
-    service = shards > 1
-                  ? service::QueryService::build_sharded(eng, inst, shards)
-                  : service::QueryService::build(eng, inst);
+  std::optional<mpc::Engine> eng;
+  if (!recover_dir.empty()) {
+    service::PersistenceConfig cfg;
+    cfg.dir = recover_dir;
+    cfg.sync_mode = sync;
+    cfg.snapshot_every_n = snapshot_every;
+    service::QueryService::RecoveredInfo info;
+    try {
+      service = service::QueryService::recover(cfg, {}, &info);
+    } catch (const std::exception& e) {
+      std::cerr << "recover failed: " << e.what() << "\n";
+      return 1;
+    }
+    std::cout << "recovered generation " << service->backend().generation()
+              << " from " << recover_dir << " (snapshot "
+              << info.snapshot_generation << " + " << info.replayed_records
+              << " replayed record" << (info.replayed_records == 1 ? "" : "s")
+              << (info.journal_was_torn ? ", torn tail truncated" : "")
+              << ") — no distributed rebuild\n";
+    live = true;
+  } else {
+    auto tree = graph::caterpillar_tree(n, n / 8, 17);
+    graph::assign_random_tree_weights(tree, 100, 999, 23);
+    const auto inst = graph::make_mst_instance(std::move(tree), 3 * n, 29,
+                                               /*slack=*/400);
+    eng.emplace(mpc::MpcConfig::scaled(inst.input_words(), 0.5, 64.0));
+    if (live)
+      service = shards > 1 ? service::QueryService::build_live_sharded(
+                                 *eng, inst, shards, {}, persist)
+                           : service::QueryService::build_live(*eng, inst, {},
+                                                               persist);
+    else
+      service = shards > 1
+                    ? service::QueryService::build_sharded(*eng, inst, shards)
+                    : service::QueryService::build(*eng, inst);
+  }
   const auto& backend = service->backend();
   const auto& receipt = backend.receipt();
-  std::cout << "index ready: n=" << inst.n() << " m=" << inst.m() << ", "
-            << receipt.build_rounds << " MPC rounds, "
+  std::cout << "index ready: n=" << backend.n() << " m="
+            << (backend.n() ? backend.n() - 1 : 0) + backend.num_nontree()
+            << ", " << receipt.build_rounds << " MPC rounds, "
             << backend.num_shards() << " shard"
             << (backend.num_shards() == 1 ? "" : "s")
-            << (live ? ", live (updates enabled)" : "") << ", tree is "
-            << (backend.is_mst() ? "an MST" : "NOT an MST") << "\n";
+            << (live ? ", live (updates enabled)" : "")
+            << (persist || !recover_dir.empty() ? ", persistent" : "")
+            << ", tree is " << (backend.is_mst() ? "an MST" : "NOT an MST")
+            << "\n";
   print_help();
 
   std::string line;
@@ -189,6 +251,16 @@ int main(int argc, char** argv) {
                                              r.patched_nontree_edges) +
                               " labels in place")
                 << "\n";
+    } else if (cmd == "checkpoint") {
+      if (!service->updatable() || (!persist && recover_dir.empty())) {
+        std::cout << "checkpoint needs a persistent tier (--persist DIR or "
+                     "--recover DIR)\n";
+        continue;
+      }
+      service->checkpoint();
+      std::cout << "checkpointed generation "
+                << service->backend().generation()
+                << " (journal compacted)\n";
     } else if (cmd == "receipt") {
       std::cout << "build: " << receipt.build_rounds << " MPC rounds, peak "
                 << receipt.peak_global_words << " words ("

@@ -261,7 +261,8 @@ class SensitivityIndex {
   static std::uint64_t fingerprint_of(const graph::Instance& inst);
 
  private:
-  friend class LiveCore;  // the mutable generation layer patches snapshots
+  friend class LiveCore;      // the mutable generation layer patches snapshots
+  friend struct SnapshotCodec;  // snapshot.cpp (de)serializes the columns
 
   SensitivityIndex() = default;
 

@@ -1,0 +1,209 @@
+#include "service/journal.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <utility>
+
+#include "common/binio.hpp"
+#include "common/check.hpp"
+
+namespace mpcmst::service {
+
+namespace {
+
+// Header: magic(8) | version(u32) | crc32(magic+version).  The version
+// covers the record layout below — bump it whenever JournalRecord changes.
+constexpr char kMagic[8] = {'M', 'P', 'C', 'J', 'R', 'N', '0', '1'};
+constexpr std::uint32_t kVersion = 1;
+constexpr std::size_t kHeaderSize = 16;
+
+// Fixed frame: len(u32) | payload | crc32(payload).
+constexpr std::size_t kPayloadSize = 6 * 8 + 1;
+constexpr std::size_t kFrameSize = 4 + kPayloadSize + 4;
+
+std::atomic<void (*)(const char*)> g_crash_hook{nullptr};
+
+std::vector<unsigned char> header_bytes() {
+  ByteWriter w;
+  w.bytes(kMagic, sizeof kMagic);
+  w.u32(kVersion);
+  w.u32(crc32(w.data().data(), w.size()));
+  return w.data();
+}
+
+bool header_valid(const unsigned char* p, std::size_t n) {
+  if (n < kHeaderSize) return false;
+  const auto expect = header_bytes();
+  return std::memcmp(p, expect.data(), kHeaderSize) == 0;
+}
+
+void encode_record(ByteWriter& w, const JournalRecord& rec) {
+  ByteWriter payload;
+  payload.u64(rec.generation);
+  payload.u64(rec.old_fingerprint);
+  payload.u64(rec.new_fingerprint);
+  payload.i64(rec.u);
+  payload.i64(rec.v);
+  payload.i64(rec.new_w);
+  payload.u8(rec.cls);
+  w.u32(static_cast<std::uint32_t>(payload.size()));
+  w.bytes(payload.data().data(), payload.size());
+  w.u32(crc32(payload.data().data(), payload.size()));
+}
+
+}  // namespace
+
+void write_all_fd(int fd, const unsigned char* p, std::size_t n,
+                  const std::string& path) {
+  while (n > 0) {
+    const ssize_t wrote = ::write(fd, p, n);
+    if (wrote < 0 && errno == EINTR) continue;
+    MPCMST_CHECK(wrote > 0, "persist: write failed on " << path);
+    p += wrote;
+    n -= static_cast<std::size_t>(wrote);
+  }
+}
+
+void set_persist_crash_hook(void (*hook)(const char* phase)) {
+  g_crash_hook.store(hook, std::memory_order_release);
+}
+
+void persist_crash_point(const char* phase) {
+  if (auto* hook = g_crash_hook.load(std::memory_order_acquire)) hook(phase);
+}
+
+std::string journal_path(const std::string& dir) {
+  return dir + "/journal.bin";
+}
+
+Journal::~Journal() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Journal::Journal(Journal&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      path_(std::move(other.path_)),
+      mode_(other.mode_) {}
+
+Journal& Journal::operator=(Journal&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = std::exchange(other.fd_, -1);
+    path_ = std::move(other.path_);
+    mode_ = other.mode_;
+  }
+  return *this;
+}
+
+Journal Journal::open(const std::string& path, SyncMode mode) {
+  const int fd = ::open(path.c_str(), O_CREAT | O_RDWR | O_APPEND, 0644);
+  MPCMST_CHECK(fd >= 0, "journal: cannot open " << path);
+  Journal j;
+  j.fd_ = fd;
+  j.path_ = path;
+  j.mode_ = mode;
+
+  struct stat st {};
+  MPCMST_CHECK(::fstat(fd, &st) == 0, "journal: cannot stat " << path);
+  if (st.st_size == 0) {
+    const auto header = header_bytes();
+    write_all_fd(fd, header.data(), header.size(), path);
+    MPCMST_CHECK(::fsync(fd) == 0, "journal: fsync failed on " << path);
+  } else {
+    unsigned char buf[kHeaderSize];
+    const ssize_t got = ::pread(fd, buf, kHeaderSize, 0);
+    MPCMST_CHECK(got == static_cast<ssize_t>(kHeaderSize) &&
+                     header_valid(buf, kHeaderSize),
+                 "journal: " << path << " has no valid header "
+                             << "(not a journal, or an incompatible version)");
+  }
+  return j;
+}
+
+void Journal::append(const JournalRecord& rec) {
+  MPCMST_ASSERT(fd_ >= 0, "journal: append on a closed handle");
+  ByteWriter frame;
+  encode_record(frame, rec);
+  const unsigned char* p = frame.data().data();
+  const std::size_t n = frame.size();
+  if (g_crash_hook.load(std::memory_order_acquire) != nullptr) {
+    // Two-part write with the crash point between: the harness can SIGKILL
+    // here to manufacture a torn (partially written) record.
+    const std::size_t half = n / 2;
+    write_all_fd(fd_, p, half, path_);
+    persist_crash_point("journal-mid-record");
+    write_all_fd(fd_, p + half, n - half, path_);
+  } else {
+    write_all_fd(fd_, p, n, path_);
+  }
+  if (mode_ == SyncMode::kCommit)
+    MPCMST_CHECK(::fsync(fd_) == 0, "journal: fsync failed on " << path_);
+  persist_crash_point("journal-post-commit");
+}
+
+void Journal::reset() {
+  MPCMST_ASSERT(fd_ >= 0, "journal: reset on a closed handle");
+  MPCMST_CHECK(::ftruncate(fd_, static_cast<off_t>(kHeaderSize)) == 0,
+               "journal: truncate failed on " << path_);
+  MPCMST_CHECK(::fsync(fd_) == 0, "journal: fsync failed on " << path_);
+}
+
+Journal::Scan Journal::scan(const std::string& path) {
+  Scan out;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    out.missing = true;
+    return out;
+  }
+  std::vector<unsigned char> bytes{std::istreambuf_iterator<char>(in),
+                                   std::istreambuf_iterator<char>()};
+  if (!header_valid(bytes.data(), bytes.size())) {
+    out.missing = true;
+    return out;
+  }
+  std::size_t off = kHeaderSize;
+  while (off < bytes.size()) {
+    ByteReader r(bytes.data() + off, bytes.size() - off);
+    const std::uint32_t len = r.u32();
+    if (!r.ok() || len != kPayloadSize || r.remaining() < kPayloadSize + 4)
+      break;  // torn or foreign frame: stop at the intact prefix
+    const unsigned char* payload = bytes.data() + off + 4;
+    ByteReader pr(payload, kPayloadSize);
+    JournalRecord rec;
+    rec.generation = pr.u64();
+    rec.old_fingerprint = pr.u64();
+    rec.new_fingerprint = pr.u64();
+    rec.u = pr.i64();
+    rec.v = pr.i64();
+    rec.new_w = pr.i64();
+    rec.cls = pr.u8();
+    std::uint32_t stored_crc;
+    std::memcpy(&stored_crc, payload + kPayloadSize, 4);
+    if (stored_crc != crc32(payload, kPayloadSize)) break;
+    out.records.push_back(rec);
+    off += kFrameSize;
+  }
+  out.valid_bytes = off;
+  out.torn = off < bytes.size();
+  return out;
+}
+
+Journal::Scan Journal::recover(const std::string& path) {
+  Scan out = scan(path);
+  if (out.missing || !out.torn) return out;
+  const int fd = ::open(path.c_str(), O_RDWR);
+  MPCMST_CHECK(fd >= 0, "journal: cannot reopen " << path << " to truncate");
+  const bool ok = ::ftruncate(fd, static_cast<off_t>(out.valid_bytes)) == 0 &&
+                  ::fsync(fd) == 0;
+  ::close(fd);
+  MPCMST_CHECK(ok, "journal: torn-tail truncation failed on " << path);
+  return out;
+}
+
+}  // namespace mpcmst::service

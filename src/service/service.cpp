@@ -3,8 +3,23 @@
 #include <algorithm>
 
 #include "common/check.hpp"
+#include "service/snapshot.hpp"
 
 namespace mpcmst::service {
+
+namespace {
+
+/// Fresh-tier persistence bootstrap: wipe/initialize the directory, attach,
+/// and checkpoint the just-built generation-0 state so the tier is
+/// recoverable before the first update ever lands.
+void init_persistence(UpdatableBackend& backend,
+                      std::optional<PersistenceConfig>& persist) {
+  if (!persist) return;
+  backend.attach_persistence(Persistence::create_fresh(*persist));
+  backend.checkpoint();
+}
+
+}  // namespace
 
 QueryService::QueryService(std::shared_ptr<const IndexBackend> backend,
                            ServiceOptions opts)
@@ -46,19 +61,98 @@ std::unique_ptr<QueryService> QueryService::build_sharded(
 }
 
 std::unique_ptr<QueryService> QueryService::build_live(
-    mpc::Engine& eng, const graph::Instance& inst, ServiceOptions opts) {
-  return std::make_unique<QueryService>(
-      std::shared_ptr<UpdatableBackend>(LiveMonolithBackend::build(eng, inst)),
-      opts);
+    mpc::Engine& eng, const graph::Instance& inst, ServiceOptions opts,
+    std::optional<PersistenceConfig> persist) {
+  std::shared_ptr<UpdatableBackend> backend =
+      LiveMonolithBackend::build(eng, inst);
+  init_persistence(*backend, persist);
+  return std::make_unique<QueryService>(std::move(backend), opts);
 }
 
 std::unique_ptr<QueryService> QueryService::build_live_sharded(
     mpc::Engine& eng, const graph::Instance& inst, std::size_t num_shards,
-    ServiceOptions opts) {
-  return std::make_unique<QueryService>(
-      std::shared_ptr<UpdatableBackend>(LiveShardedBackend::build(
-          eng, inst, clamp_shard_count(num_shards, inst.n()))),
-      opts);
+    ServiceOptions opts, std::optional<PersistenceConfig> persist) {
+  std::shared_ptr<UpdatableBackend> backend = LiveShardedBackend::build(
+      eng, inst, clamp_shard_count(num_shards, inst.n()));
+  init_persistence(*backend, persist);
+  return std::make_unique<QueryService>(std::move(backend), opts);
+}
+
+std::unique_ptr<QueryService> QueryService::recover(
+    const PersistenceConfig& cfg, ServiceOptions opts, RecoveredInfo* info) {
+  auto image = load_newest_snapshot(cfg.dir);
+  MPCMST_CHECK(image.has_value(),
+               "recover: no valid snapshot in " << cfg.dir
+                                                << " (never persisted, or "
+                                                   "every file is torn)");
+
+  // Truncate any torn tail first: everything after the last intact record
+  // was never acknowledged, so dropping it is the correct outcome.
+  const Journal::Scan scan = Journal::recover(journal_path(cfg.dir));
+
+  std::shared_ptr<UpdatableBackend> backend;
+  if (image->sharded())
+    backend = std::make_shared<LiveShardedBackend>(
+        std::move(image->instance), image->index, image->shards,
+        image->generation);
+  else
+    backend = std::make_shared<LiveMonolithBackend>(
+        std::move(image->instance), image->index, image->generation);
+
+  // Replay the journal tail through the ordinary update path, holding every
+  // record to its own receipt: same resolution, same classification, same
+  // fingerprint chain, same generation — or the directory is rejected.
+  std::uint64_t replayed = 0;
+  for (const JournalRecord& rec : scan.records) {
+    if (rec.generation <= image->generation) continue;  // subsumed by snapshot
+    MPCMST_CHECK(rec.generation == backend->generation() + 1,
+                 "recover: journal generation gap at " << rec.generation);
+    MPCMST_CHECK(backend->fingerprint() == rec.old_fingerprint,
+                 "recover: journal record " << rec.generation
+                                            << " does not chain from the "
+                                               "current fingerprint");
+    const UpdateReceipt r = backend->apply_update(rec.u, rec.v, rec.new_w);
+    MPCMST_CHECK(r.report.status == Status::kOk &&
+                     static_cast<std::uint8_t>(r.report.cls) == rec.cls &&
+                     r.new_fingerprint == rec.new_fingerprint &&
+                     r.generation == rec.generation,
+                 "recover: replay of record " << rec.generation
+                                              << " diverged from the journal");
+    ++replayed;
+  }
+
+  // Staleness floor: a fallback past an invalid newer snapshot is only
+  // sound if the journal bridged the gap (it does when the crash hit
+  // between a checkpoint's snapshot write and its journal reset).  Landing
+  // below the highest generation any snapshot file ever named would
+  // silently un-acknowledge committed updates — refuse instead.
+  const auto floor_gen = newest_snapshot_generation(cfg.dir);
+  MPCMST_CHECK(floor_gen && backend->generation() >= *floor_gen,
+               "recover: reached generation "
+                   << backend->generation() << " but " << cfg.dir
+                   << " names generation "
+                   << (floor_gen ? *floor_gen : 0)
+                   << " — the newest snapshot is invalid and the journal "
+                      "cannot bridge to it");
+
+  if (info) {
+    info->snapshot_generation = image->generation;
+    info->replayed_records = replayed;
+    info->journal_was_torn = scan.torn;
+  }
+
+  backend->attach_persistence(Persistence::resume(cfg, replayed));
+  // A long tail means the compaction policy fell behind (or the crash beat
+  // it); fold the replayed records into a fresh snapshot now.
+  if (cfg.snapshot_every_n > 0 && replayed >= cfg.snapshot_every_n)
+    backend->checkpoint();
+  return std::make_unique<QueryService>(std::move(backend), opts);
+}
+
+void QueryService::checkpoint() {
+  MPCMST_ASSERT(updatable_ != nullptr,
+                "checkpoint: this service serves an immutable snapshot");
+  updatable_->checkpoint();
 }
 
 UpdateReceipt QueryService::apply_update(Vertex u, Vertex v, Weight new_w) {

@@ -13,11 +13,13 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "common/parallel.hpp"
 #include "service/cache.hpp"
 #include "service/index.hpp"
+#include "service/journal.hpp"
 #include "service/query.hpp"
 #include "service/router.hpp"
 #include "service/update.hpp"
@@ -68,15 +70,40 @@ class QueryService {
 
   /// One distributed build behind the mutable generation layer
   /// (LiveMonolithBackend): serve queries and absorb confirmed changes.
-  static std::unique_ptr<QueryService> build_live(mpc::Engine& eng,
-                                                  const graph::Instance& inst,
-                                                  ServiceOptions opts = {});
+  /// With `persist`, the tier becomes crash-consistent: the directory is
+  /// initialized with a generation-0 snapshot, every applied update is
+  /// journaled before its generation is visible, and recover() can
+  /// reconstruct the tier after any process death.
+  static std::unique_ptr<QueryService> build_live(
+      mpc::Engine& eng, const graph::Instance& inst, ServiceOptions opts = {},
+      std::optional<PersistenceConfig> persist = std::nullopt);
 
   /// Same, served from in-place-updatable vertex-range shards
   /// (LiveShardedBackend); `num_shards` is clamped like build_sharded.
   static std::unique_ptr<QueryService> build_live_sharded(
       mpc::Engine& eng, const graph::Instance& inst, std::size_t num_shards,
-      ServiceOptions opts = {});
+      ServiceOptions opts = {},
+      std::optional<PersistenceConfig> persist = std::nullopt);
+
+  /// What recover() found on disk (optional out-param for operators/tests).
+  struct RecoveredInfo {
+    std::uint64_t snapshot_generation = 0;  // the snapshot replay started from
+    std::uint64_t replayed_records = 0;     // journal tail applied on top
+    bool journal_was_torn = false;          // a torn tail was truncated
+  };
+
+  /// Reconstruct a persisted live tier without any distributed or host
+  /// rebuild: load the newest valid snapshot in cfg.dir, truncate any torn
+  /// journal tail, replay the remaining records through the ordinary update
+  /// path (each step's fingerprint chain and classification are checked
+  /// against the record), and resume journaling.  The recovered service
+  /// answers byte-identically to one that never crashed — the CI recovery
+  /// job enforces this against SIGKILLs at every commit-path phase.  Throws
+  /// ModelError when the directory holds no valid snapshot or the journal
+  /// does not chain.
+  static std::unique_ptr<QueryService> recover(const PersistenceConfig& cfg,
+                                               ServiceOptions opts = {},
+                                               RecoveredInfo* info = nullptr);
 
   /// Answer one query through the cache, inline on the calling thread.
   Answer answer(const Query& q);
@@ -110,6 +137,10 @@ class QueryService {
   /// its fingerprint, so cached answers of the previous generation can never
   /// be served for the new one — they simply stop matching and age out.
   UpdateReceipt apply_update(Vertex u, Vertex v, Weight new_w);
+
+  /// Force a snapshot + journal compaction now (asserts updatable(); no-op
+  /// on tiers built without a PersistenceConfig).
+  void checkpoint();
 
   /// The monolithic snapshot; only valid when the service was constructed
   /// from one (asserts otherwise) — sharded callers go through backend().

@@ -180,6 +180,7 @@ class ShardedSensitivityIndex {
 
  private:
   friend class LiveShardedBackend;  // update.hpp: in-place generation patches
+  friend struct SnapshotCodec;      // snapshot.cpp (de)serializes the shards
 
   ShardedSensitivityIndex() = default;
 

@@ -6,6 +6,7 @@
 
 #include "common/check.hpp"
 #include "sensitivity/sensitivity.hpp"
+#include "service/snapshot.hpp"
 
 namespace mpcmst::service {
 
@@ -387,15 +388,34 @@ bool advances_epoch(const UpdateReport& rep) {
   return rep.status == Status::kOk && rep.cls != UpdateClass::kNoChange;
 }
 
+/// The journal record for one applied change: the submitted inputs (replay
+/// re-resolves them against the identical pre-state) plus the fingerprint
+/// chain and the epoch the change produced.
+JournalRecord make_journal_record(std::uint64_t epoch,
+                                  const UpdateReceipt& r, Vertex u, Vertex v,
+                                  Weight new_w) {
+  JournalRecord rec;
+  rec.generation = epoch;
+  rec.old_fingerprint = r.old_fingerprint;
+  rec.new_fingerprint = r.new_fingerprint;
+  rec.u = u;
+  rec.v = v;
+  rec.new_w = new_w;
+  rec.cls = static_cast<std::uint8_t>(r.report.cls);
+  return rec;
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
 // LiveMonolithBackend
 
 LiveMonolithBackend::LiveMonolithBackend(
-    graph::Instance inst, std::shared_ptr<const SensitivityIndex> snapshot)
+    graph::Instance inst, std::shared_ptr<const SensitivityIndex> snapshot,
+    std::uint64_t initial_generation)
     : core_(std::move(inst), std::move(snapshot)),
-      receipt_(core_.index().receipt()) {}
+      receipt_(core_.index().receipt()),
+      generation_(initial_generation) {}
 
 std::shared_ptr<LiveMonolithBackend> LiveMonolithBackend::build(
     mpc::Engine& eng, const graph::Instance& inst) {
@@ -458,10 +478,30 @@ UpdateReceipt LiveMonolithBackend::apply_update(Vertex u, Vertex v,
   const std::uint64_t old_fp = core_.index().fingerprint();
   const auto out = core_.apply(u, v, new_w);
   UpdateReceipt r = make_update_receipt(core_, out, old_fp);
-  if (advances_epoch(r.report))
-    generation_.fetch_add(1, std::memory_order_release);
+  if (advances_epoch(r.report)) {
+    const std::uint64_t epoch =
+        generation_.load(std::memory_order_relaxed) + 1;
+    // Commit point: the record is durable (per sync_mode) before the new
+    // generation becomes visible — an acknowledged change always replays.
+    if (persist_) persist_->commit(make_journal_record(epoch, r, u, v, new_w));
+    generation_.store(epoch, std::memory_order_release);
+    if (persist_ && persist_->checkpoint_due())
+      persist_->checkpoint(epoch, core_.index(), nullptr);
+  }
   r.generation = generation_.load(std::memory_order_relaxed);
   return r;
+}
+
+void LiveMonolithBackend::attach_persistence(std::shared_ptr<Persistence> p) {
+  std::unique_lock lock(mu_);
+  persist_ = std::move(p);
+}
+
+void LiveMonolithBackend::checkpoint() {
+  std::unique_lock lock(mu_);
+  if (!persist_) return;
+  persist_->checkpoint(generation_.load(std::memory_order_relaxed),
+                       core_.index(), nullptr);
 }
 
 // ---------------------------------------------------------------------------
@@ -474,6 +514,22 @@ LiveShardedBackend::LiveShardedBackend(
       shards_(*ShardedSensitivityIndex::split(
           *snapshot, clamp_shard_count(num_shards, snapshot->n()))),
       receipt_(shards_.receipt()) {}
+
+LiveShardedBackend::LiveShardedBackend(
+    graph::Instance inst, std::shared_ptr<const SensitivityIndex> snapshot,
+    std::shared_ptr<const ShardedSensitivityIndex> shards,
+    std::uint64_t initial_generation)
+    : core_(std::move(inst), std::move(snapshot)),
+      shards_(*shards),
+      receipt_(shards_.receipt()),
+      generation_(initial_generation) {
+  MPCMST_ASSERT(shards_.fingerprint() == core_.index().fingerprint(),
+                "recovered shard set does not match the monolithic snapshot");
+  MPCMST_ASSERT(shards_.generation() == initial_generation,
+                "recovered shard set carries epoch "
+                    << shards_.generation() << ", expected "
+                    << initial_generation);
+}
 
 std::shared_ptr<LiveShardedBackend> LiveShardedBackend::build(
     mpc::Engine& eng, const graph::Instance& inst, std::size_t num_shards) {
@@ -600,11 +656,29 @@ UpdateReceipt LiveShardedBackend::apply_update(Vertex u, Vertex v,
   UpdateReceipt r = make_update_receipt(core_, out, old_fp);
   if (advances_epoch(r.report)) {
     const std::uint64_t epoch =
-        generation_.fetch_add(1, std::memory_order_release) + 1;
+        generation_.load(std::memory_order_relaxed) + 1;
+    // Commit point: journal first, then patch the serving shards — the
+    // epoch barrier (and with it query visibility) comes after durability.
+    if (persist_) persist_->commit(make_journal_record(epoch, r, u, v, new_w));
+    generation_.store(epoch, std::memory_order_release);
     scatter(out.changed, epoch);
+    if (persist_ && persist_->checkpoint_due())
+      persist_->checkpoint(epoch, core_.index(), &shards_);
   }
   r.generation = generation_.load(std::memory_order_relaxed);
   return r;
+}
+
+void LiveShardedBackend::attach_persistence(std::shared_ptr<Persistence> p) {
+  std::unique_lock lock(mu_);
+  persist_ = std::move(p);
+}
+
+void LiveShardedBackend::checkpoint() {
+  std::unique_lock lock(mu_);
+  if (!persist_) return;
+  persist_->checkpoint(generation_.load(std::memory_order_relaxed),
+                       core_.index(), &shards_);
 }
 
 }  // namespace mpcmst::service

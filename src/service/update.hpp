@@ -43,6 +43,8 @@
 
 namespace mpcmst::service {
 
+class Persistence;  // snapshot.hpp: journal + snapshot coordinator
+
 enum class UpdateClass : std::uint8_t {
   kNoChange,         // new weight equals the current one (no mutation)
   kTreeReweight,     // tree edge, stays within headroom (new_w <= mc)
@@ -143,13 +145,26 @@ class UpdatableBackend : public IndexBackend {
  public:
   virtual UpdateReceipt apply_update(Vertex u, Vertex v, Weight new_w) = 0;
   virtual graph::Instance instance_snapshot() const = 0;
+
+  /// Attach a journal + snapshot coordinator (snapshot.hpp): every
+  /// subsequently applied change is committed to the journal before the new
+  /// generation is visible to queries, and the snapshot_every_n compaction
+  /// policy runs inside the same writer critical section.
+  virtual void attach_persistence(std::shared_ptr<Persistence> p) = 0;
+
+  /// Force a snapshot + journal compaction of the current generation
+  /// (no-op when no persistence is attached).
+  virtual void checkpoint() = 0;
 };
 
 /// The monolithic snapshot made live: LiveCore behind a reader-writer lock.
 class LiveMonolithBackend final : public UpdatableBackend {
  public:
+  /// `initial_generation` restores the epoch counter when reconstructing a
+  /// persisted tier (QueryService::recover); fresh builds leave it 0.
   LiveMonolithBackend(graph::Instance inst,
-                      std::shared_ptr<const SensitivityIndex> snapshot);
+                      std::shared_ptr<const SensitivityIndex> snapshot,
+                      std::uint64_t initial_generation = 0);
 
   /// One distributed build, then serve-and-absorb.
   static std::shared_ptr<LiveMonolithBackend> build(mpc::Engine& eng,
@@ -175,12 +190,15 @@ class LiveMonolithBackend final : public UpdatableBackend {
 
   UpdateReceipt apply_update(Vertex u, Vertex v, Weight new_w) override;
   graph::Instance instance_snapshot() const override;
+  void attach_persistence(std::shared_ptr<Persistence> p) override;
+  void checkpoint() override;
 
  private:
   mutable std::shared_mutex mu_;
   LiveCore core_;
   const CostReceipt receipt_;  // never written after construction
   std::atomic<std::uint64_t> generation_{0};
+  std::shared_ptr<Persistence> persist_;  // null: in-memory only
 };
 
 /// The sharded serving tier made live: the same LiveCore classifies and
@@ -193,6 +211,14 @@ class LiveShardedBackend final : public UpdatableBackend {
   LiveShardedBackend(graph::Instance inst,
                      std::shared_ptr<const SensitivityIndex> snapshot,
                      std::size_t num_shards);
+
+  /// Recovery path: serve a deserialized shard set as-is (no re-split) and
+  /// restore the epoch counter.  `shards` must carry the same fingerprint
+  /// as `snapshot` and be stamped with `initial_generation` throughout.
+  LiveShardedBackend(graph::Instance inst,
+                     std::shared_ptr<const SensitivityIndex> snapshot,
+                     std::shared_ptr<const ShardedSensitivityIndex> shards,
+                     std::uint64_t initial_generation);
 
   static std::shared_ptr<LiveShardedBackend> build(mpc::Engine& eng,
                                                    const graph::Instance& i,
@@ -223,6 +249,8 @@ class LiveShardedBackend final : public UpdatableBackend {
 
   UpdateReceipt apply_update(Vertex u, Vertex v, Weight new_w) override;
   graph::Instance instance_snapshot() const override;
+  void attach_persistence(std::shared_ptr<Persistence> p) override;
+  void checkpoint() override;
 
   /// Per-shard views for tests (hold no lock across updates).
   const ShardedSensitivityIndex& sharded() const { return shards_; }
@@ -235,6 +263,7 @@ class LiveShardedBackend final : public UpdatableBackend {
   ShardedSensitivityIndex shards_;
   const CostReceipt receipt_;  // never written after construction
   std::atomic<std::uint64_t> generation_{0};
+  std::shared_ptr<Persistence> persist_;  // null: in-memory only
 };
 
 }  // namespace mpcmst::service

@@ -3,13 +3,17 @@
 // must answer byte-identically to a fresh full rebuild of the canonical
 // post-update instance — on the monolith and on shard counts {1, 3, 8},
 // through 200 random confirmed changes covering reweights, swaps in both
-// directions, and exact ties at the headroom edge.  Plus: cache-generation
+// directions, and exact ties at the headroom edge.  The whole sequence runs
+// journaled (persistence attached to every backend), and every 50 steps each
+// tier is recovered from disk and held to the same oracle: fingerprint and
+// generation continuity plus byte-identical answers.  Plus: cache-generation
 // safety (a pre-update answer can never be served post-update; entries of a
 // byte-identical generation still hit), the build_sharded shard-count clamp
 // regression, epoch stamping, and concurrent queries during updates (the
 // paths the ASan/UBSan CI jobs watch).
 #include <gtest/gtest.h>
 
+#include <filesystem>
 #include <memory>
 #include <random>
 #include <thread>
@@ -17,8 +21,10 @@
 
 #include "graph/generators.hpp"
 #include "seq/oracles.hpp"
+#include "service/journal.hpp"
 #include "service/router.hpp"
 #include "service/service.hpp"
+#include "service/snapshot.hpp"
 #include "service/update.hpp"
 #include "test_util.hpp"
 
@@ -32,6 +38,13 @@ std::shared_ptr<const svc::SensitivityIndex> fresh_build(
     const g::Instance& inst) {
   auto eng = mpcmst::test::make_engine(64 * inst.input_words());
   return svc::SensitivityIndex::build(eng, inst);
+}
+
+/// Scratch persistence root for the journaled soak.
+mpcmst::test::ScratchDir soak_dir(const std::string& name) {
+  return mpcmst::test::ScratchDir(
+      (std::filesystem::path(::testing::TempDir()) / ("mpcmst_update_" + name))
+          .string());
 }
 
 /// Every point query on every current edge (both endpoint orders), unknown
@@ -94,6 +107,28 @@ TEST(Update, ChurnOracleSoak) {
   for (const std::size_t shards : {1u, 3u, 8u})
     sharded.push_back(
         std::make_shared<svc::LiveShardedBackend>(base, snapshot, shards));
+
+  // Journal every tier through the whole soak: the monolith commit-synced
+  // with compaction disabled (recovery replays the full history), the shard
+  // tiers OS-buffered with a mid-soak compaction policy (recovery replays a
+  // short tail over a fresher snapshot) — both regimes must land identically.
+  const auto persist_root = soak_dir("churn");
+  std::vector<std::pair<svc::PersistenceConfig, svc::UpdatableBackend*>>
+      persisted;
+  {
+    svc::PersistenceConfig cfg{persist_root.sub("mono"), svc::SyncMode::kCommit,
+                               /*snapshot_every_n=*/0};
+    mono->attach_persistence(svc::Persistence::create_fresh(cfg));
+    mono->checkpoint();
+    persisted.emplace_back(cfg, mono.get());
+  }
+  for (std::size_t b = 0; b < sharded.size(); ++b) {
+    svc::PersistenceConfig cfg{persist_root.sub("shard" + std::to_string(b)),
+                               svc::SyncMode::kNever, /*snapshot_every_n=*/25};
+    sharded[b]->attach_persistence(svc::Persistence::create_fresh(cfg));
+    sharded[b]->checkpoint();
+    persisted.emplace_back(cfg, sharded[b].get());
+  }
 
   g::Instance oracle_inst = base;  // mutated by the pure canonical transform
   std::mt19937_64 rng(0xc0ffee);
@@ -184,6 +219,28 @@ TEST(Update, ChurnOracleSoak) {
         ASSERT_EQ(s, want) << "step " << step << " sharded[" << b << "] "
                            << to_string(q) << "\n  want: " << to_string(want)
                            << "\n  got:  " << to_string(s);
+      }
+    }
+
+    // --- every 50 steps: bounce every tier through journal + recover ---
+    // The recovered service must show fingerprint/generation continuity with
+    // the live tier it mirrors and answer the whole exhaustive set exactly
+    // like the fresh-rebuild oracle.
+    if (step % 50 == 49) {
+      for (auto& [cfg, live] : persisted) {
+        svc::QueryService::RecoveredInfo info;
+        auto rec = svc::QueryService::recover(cfg, {}, &info);
+        ASSERT_EQ(rec->backend().generation(), live->generation())
+            << "step " << step << " " << cfg.dir;
+        ASSERT_EQ(rec->backend().fingerprint(), live->fingerprint())
+            << "step " << step << " " << cfg.dir;
+        ASSERT_EQ(info.snapshot_generation + info.replayed_records,
+                  rec->backend().generation())
+            << "step " << step << " " << cfg.dir;
+        for (const svc::Query& q : queries)
+          ASSERT_EQ(rec->backend().answer(q), oracle.answer(q))
+              << "step " << step << " recovered " << cfg.dir << " "
+              << to_string(q);
       }
     }
   }

@@ -1,14 +1,18 @@
 // Shared helpers for the test suite: a catalog of tree shapes and instance
-// builders used by the parameterized sweeps.
+// builders used by the parameterized sweeps, plus scratch-directory and
+// query-probe scaffolding shared by the persistence suites.
 #pragma once
 
+#include <filesystem>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "graph/generators.hpp"
 #include "graph/instance.hpp"
 #include "mpc/config.hpp"
 #include "mpc/engine.hpp"
+#include "service/query.hpp"
 
 namespace mpcmst::test {
 
@@ -39,6 +43,50 @@ inline std::vector<ShapeCase> shape_catalog(std::size_t n,
   out.push_back(
       {"rand_recursive",
        relabel_random(random_recursive_tree(n, seed + 11), seed + 8)});
+  return out;
+}
+
+/// Scratch directory wiped on construction and destruction (persistence
+/// suites point journals/snapshots here).
+struct ScratchDir {
+  explicit ScratchDir(std::string p) : path(std::move(p)) {
+    std::filesystem::remove_all(path);
+    std::filesystem::create_directories(path);
+  }
+  ~ScratchDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path, ec);
+  }
+  ScratchDir(const ScratchDir&) = delete;
+  ScratchDir& operator=(const ScratchDir&) = delete;
+
+  const std::string& str() const { return path; }
+  std::string sub(const std::string& name) const { return path + "/" + name; }
+
+  std::string path;
+};
+
+/// Every point-query kind on every current edge plus a spread of top-k
+/// sizes — the all-four-kinds probe the persistence suites compare against
+/// oracles (regenerate after updates: swaps move edges between sets).
+inline std::vector<service::Query> probe_queries(const graph::Instance& inst) {
+  std::vector<service::Query> out;
+  for (std::size_t v = 0; v < inst.n(); ++v) {
+    if (static_cast<graph::Vertex>(v) == inst.tree.root) continue;
+    const auto c = static_cast<graph::Vertex>(v);
+    const graph::Vertex p = inst.tree.parent[v];
+    out.push_back(service::Query::corridor_headroom(c, p));
+    out.push_back(service::Query::replacement_edge(p, c));
+    out.push_back(service::Query::price_change(c, p, 3));
+  }
+  for (const graph::WEdge& e : inst.nontree) {
+    out.push_back(service::Query::corridor_headroom(e.u, e.v));
+    out.push_back(service::Query::replacement_edge(e.u, e.v));
+    out.push_back(service::Query::price_change(e.u, e.v, -2));
+  }
+  for (const std::int64_t k :
+       {std::int64_t{1}, std::int64_t{5}, static_cast<std::int64_t>(inst.n())})
+    out.push_back(service::Query::top_k_fragile(k));
   return out;
 }
 
