@@ -11,7 +11,13 @@
 // answer_batch / answer loop; all emission (table rows, JSON) happens after
 // the measurements so no serialization cost leaks into a recorded number.
 //
-//   $ ./bench_service_throughput [n] [out.json] [shards]
+// --metrics additionally dumps the full telemetry registry (JSON) next to
+// the bench JSON (<out>.metrics.json).  Every run ends with an in-binary
+// instrumentation A/B: the same warm batch timed with telemetry recording on
+// vs off (metrics_set_enabled), reported in the output and the JSON — the
+// runtime-flag complement of CI's two-build overhead gate.
+//
+//   $ ./bench_service_throughput [n] [out.json] [shards] [--metrics]
 #include <algorithm>
 #include <chrono>
 #include <fstream>
@@ -19,6 +25,7 @@
 #include <random>
 #include <vector>
 
+#include "common/metrics.hpp"
 #include "common/table.hpp"
 #include "graph/generators.hpp"
 #include "sensitivity/sensitivity.hpp"
@@ -71,9 +78,18 @@ std::vector<service::Query> make_workload(const graph::Instance& inst,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::size_t n = argc > 1 ? std::stoul(argv[1]) : 20000;
-  const std::string out_path = argc > 2 ? argv[2] : "BENCH_service.json";
-  const std::size_t shards = argc > 3 ? std::stoul(argv[3]) : 1;
+  bool dump_metrics = false;
+  std::vector<std::string> pos;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--metrics")
+      dump_metrics = true;
+    else
+      pos.push_back(argv[i]);
+  }
+  const std::size_t n = pos.size() > 0 ? std::stoul(pos[0]) : 20000;
+  const std::string out_path =
+      pos.size() > 1 ? pos[1] : "BENCH_service.json";
+  const std::size_t shards = pos.size() > 2 ? std::stoul(pos[2]) : 1;
 
   auto tree = graph::random_recursive_tree(n, 2024);
   const auto inst =
@@ -124,6 +140,7 @@ int main(int argc, char** argv) {
   struct Point {
     std::size_t threads, batch;
     double cold_qps, warm_qps, warm_loop_qps, hit_rate, speedup;
+    std::uint64_t evictions;  // this point's cache (each point gets its own)
   };
   std::vector<Point> points;
 
@@ -168,7 +185,7 @@ int main(int argc, char** argv) {
                     warm_lookups;
       const double speedup = warm_qps / rerun_qps;
       points.push_back({threads, batch, cold_qps, warm_qps, warm_loop_qps,
-                        hit_rate, speedup});
+                        hit_rate, speedup, svc.stats().cache.evictions});
       table.row(threads, batch, cold_qps, warm_qps, warm_loop_qps, hit_rate,
                 format_double(speedup, 0) + "x");
     }
@@ -183,6 +200,34 @@ int main(int argc, char** argv) {
             << best.threads << " threads, batch " << best.batch << ") — "
             << format_double(best.speedup, 0)
             << "x the rerun-per-query baseline\n";
+
+  // --- instrumentation A/B: the same warm batch with telemetry recording
+  // on vs off.  Best of several reps each, so the ratio reflects the
+  // steady-state hit path, not a scheduler hiccup.
+  const auto ab_workload = make_workload(inst, 16384, 1234);
+  service::QueryService ab_svc(
+      backend, {.threads = 4, .cache_capacity = std::size_t{1} << 18});
+  ab_svc.answer_batch(ab_workload);  // warm the cache
+  auto best_warm_pass = [&](bool enabled) {
+    metrics_set_enabled(enabled);
+    double best_s = 1e300;
+    for (int rep = 0; rep < 5; ++rep) {
+      const auto t0 = Clock::now();
+      (void)ab_svc.answer_batch(ab_workload);
+      best_s = std::min(best_s, seconds_since(t0));
+    }
+    return static_cast<double>(ab_workload.size()) / best_s;
+  };
+  const double ab_off_qps = best_warm_pass(false);
+  const double ab_on_qps = best_warm_pass(true);  // leaves telemetry on
+  const double ab_ratio = ab_on_qps / ab_off_qps;
+  if (kMetricsCompiledOut)
+    std::cout << "telemetry overhead A/B: compiled out (MPCMST_NO_METRICS)\n";
+  else
+    std::cout << "telemetry overhead A/B (warm batch 16384, 4 threads): "
+              << format_double(ab_on_qps, 0) << " q/s instrumented vs "
+              << format_double(ab_off_qps, 0) << " q/s disabled — ratio "
+              << format_double(ab_ratio, 3) << "\n";
 
   std::ofstream out(out_path);
   JsonWriter j(out);
@@ -211,13 +256,30 @@ int main(int argc, char** argv) {
     j.key("warm_qps").value(p.warm_qps);
     j.key("warm_loop_qps").value(p.warm_loop_qps);
     j.key("cache_hit_rate").value(p.hit_rate);
+    j.key("cache_evictions").value(p.evictions);
     j.key("speedup_vs_rerun").value(p.speedup);
     j.end_object();
   }
   j.end_array();
   j.key("best_warm_qps").value(best.warm_qps);
   j.key("best_speedup_vs_rerun").value(best.speedup);
+  j.key("metrics_compiled_out").value(kMetricsCompiledOut);
+  j.key("metrics_ab").begin_object();
+  j.key("instrumented_qps").value(ab_on_qps);
+  j.key("disabled_qps").value(ab_off_qps);
+  j.key("ratio").value(ab_ratio);
+  j.end_object();
   j.end_object();
   std::cout << "wrote " << out_path << "\n";
+
+  if (dump_metrics) {
+    std::string mpath = out_path;
+    const auto dot = mpath.rfind(".json");
+    mpath = (dot == std::string::npos ? mpath : mpath.substr(0, dot)) +
+            ".metrics.json";
+    std::ofstream mout(mpath);
+    MetricsRegistry::instance().render_json(mout);
+    std::cout << "wrote " << mpath << " (telemetry registry)\n";
+  }
   return 0;
 }

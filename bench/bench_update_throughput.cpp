@@ -5,7 +5,14 @@
 // BENCH_update.json for the experiment harness; CI runs it at a small n and
 // gates on the speedup-vs-rebuild ratios.
 //
-//   $ ./bench_update_throughput [n] [out.json] [shards]
+// --metrics additionally dumps the full telemetry registry (JSON) next to
+// the bench JSON (<out>.metrics.json).  Every run ends with an in-binary
+// instrumentation A/B: the same reweight workload timed with telemetry
+// recording on vs off (metrics_set_enabled), reported in the output and the
+// JSON.
+//
+//   $ ./bench_update_throughput [n] [out.json] [shards] [--metrics]
+#include <algorithm>
 #include <chrono>
 #include <fstream>
 #include <iostream>
@@ -13,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "common/metrics.hpp"
 #include "common/table.hpp"
 #include "graph/generators.hpp"
 #include "service/service.hpp"
@@ -113,9 +121,17 @@ WorkloadResult run_workload(service::UpdatableBackend& backend,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::size_t n = argc > 1 ? std::stoul(argv[1]) : 20000;
-  const std::string out_path = argc > 2 ? argv[2] : "BENCH_update.json";
-  const std::size_t shards = argc > 3 ? std::stoul(argv[3]) : 1;
+  bool dump_metrics = false;
+  std::vector<std::string> pos;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--metrics")
+      dump_metrics = true;
+    else
+      pos.push_back(argv[i]);
+  }
+  const std::size_t n = pos.size() > 0 ? std::stoul(pos[0]) : 20000;
+  const std::string out_path = pos.size() > 1 ? pos[1] : "BENCH_update.json";
+  const std::size_t shards = pos.size() > 2 ? std::stoul(pos[2]) : 1;
 
   auto tree = graph::random_recursive_tree(n, 2026);
   const auto inst = graph::make_layered_instance(std::move(tree), 3 * n, 2027);
@@ -161,6 +177,31 @@ int main(int argc, char** argv) {
               format_double(r.updates_per_s / rebuild_per_s, 0) + "x");
   table.print(std::cout, "incremental update throughput");
 
+  // --- instrumentation A/B: the same reweight workload with telemetry
+  // recording on vs off (best of 3 reps each).
+  auto best_reweight_pass = [&](bool enabled, std::uint64_t seed) {
+    metrics_set_enabled(enabled);
+    double best = 0;
+    for (int rep = 0; rep < 3; ++rep) {
+      const auto r = run_workload(*backend, "ab", 0,
+                                  std::max<std::size_t>(n / 32, 32),
+                                  seed + static_cast<std::uint64_t>(rep));
+      best = std::max(best, r.updates_per_s);
+    }
+    return best;
+  };
+  const double ab_off_ups = best_reweight_pass(false, 101);
+  const double ab_on_ups = best_reweight_pass(true, 201);  // leaves it on
+  const double ab_ratio = ab_off_ups > 0 ? ab_on_ups / ab_off_ups : 1.0;
+  if (kMetricsCompiledOut)
+    std::cout << "\ntelemetry overhead A/B: compiled out "
+                 "(MPCMST_NO_METRICS)\n";
+  else
+    std::cout << "\ntelemetry overhead A/B (reweights): "
+              << format_double(ab_on_ups, 0) << " u/s instrumented vs "
+              << format_double(ab_off_ups, 0) << " u/s disabled — ratio "
+              << format_double(ab_ratio, 3) << "\n";
+
   std::ofstream out(out_path);
   JsonWriter j(out);
   j.begin_object();
@@ -184,7 +225,23 @@ int main(int argc, char** argv) {
     j.end_object();
   }
   j.end_array();
+  j.key("metrics_compiled_out").value(kMetricsCompiledOut);
+  j.key("metrics_ab").begin_object();
+  j.key("instrumented_updates_per_s").value(ab_on_ups);
+  j.key("disabled_updates_per_s").value(ab_off_ups);
+  j.key("ratio").value(ab_ratio);
+  j.end_object();
   j.end_object();
   std::cout << "wrote " << out_path << "\n";
+
+  if (dump_metrics) {
+    std::string mpath = out_path;
+    const auto dot = mpath.rfind(".json");
+    mpath = (dot == std::string::npos ? mpath : mpath.substr(0, dot)) +
+            ".metrics.json";
+    std::ofstream mout(mpath);
+    MetricsRegistry::instance().render_json(mout);
+    std::cout << "wrote " << mpath << " (telemetry registry)\n";
+  }
   return 0;
 }

@@ -4,6 +4,7 @@
 Usage:
     check_regression.py --baseline-dir bench/baselines \
         --out BENCH_suite.json BENCH_build.json BENCH_service.json ...
+    check_regression.py --metrics-overhead instrumented.json bare.json
     check_regression.py --list
 
 Each input JSON is compared against the file of the same name under the
@@ -23,6 +24,14 @@ Unknown bench types and missing metric keys are HARD failures: a renamed or
 dropped key must fail the gate loudly, not silently skip the comparison (a
 gate that exits 0 because the metric vanished is worse than no gate).
 `--list` prints the gated metrics so CI logs show exactly what is enforced.
+
+`--metrics-overhead` is a separate two-build gate for the telemetry layer:
+it takes two service_throughput JSONs — one from the default (instrumented)
+build and one from a -DMPCMST_NO_METRICS build of the same source — and
+hard-fails when the instrumented warm throughput drops below
+METRICS_OVERHEAD_RATIO x the uninstrumented build.  Unlike the baseline
+gate this compares two runs from the SAME runner in the SAME job, so the
+threshold is tight: telemetry on the warm hit path must stay in the noise.
 """
 
 import argparse
@@ -32,6 +41,7 @@ import sys
 
 FAIL_RATIO = 0.5
 WARN_RATIO = 0.9
+METRICS_OVERHEAD_RATIO = 0.97
 
 # bench-type -> [(metric, higher_is_better)]
 METRICS = {
@@ -46,6 +56,8 @@ def list_metrics():
         for metric, higher_better in metrics:
             direction = "higher is better" if higher_better else "lower is better"
             print(f"  {bench}: {metric} ({direction})")
+    print(f"  --metrics-overhead: instrumented best_warm_qps >= "
+          f"{METRICS_OVERHEAD_RATIO}x MPCMST_NO_METRICS build")
 
 
 def compare(name, current, baseline):
@@ -89,17 +101,56 @@ def compare(name, current, baseline):
     return failures, warnings
 
 
+def metrics_overhead(instrumented_path, bare_path):
+    """Two-build telemetry gate: instrumented warm q/s vs NO_METRICS build."""
+    sides = {}
+    for label, path in (("instrumented", instrumented_path),
+                        ("bare", bare_path)):
+        with open(path) as f:
+            data = json.load(f)
+        if data.get("bench") != "service_throughput":
+            sys.exit(f"FAIL {path}: expected a service_throughput JSON, "
+                     f"got bench={data.get('bench')!r}")
+        if "best_warm_qps" not in data:
+            sys.exit(f"FAIL {path}: no best_warm_qps — cannot gate")
+        sides[label] = data
+    if sides["instrumented"].get("metrics_compiled_out") is True:
+        sys.exit(f"FAIL {instrumented_path}: metrics_compiled_out is true — "
+                 "this is not the instrumented build")
+    if sides["bare"].get("metrics_compiled_out") is False:
+        sys.exit(f"FAIL {bare_path}: metrics_compiled_out is false — "
+                 "this is not the MPCMST_NO_METRICS build")
+    inst = float(sides["instrumented"]["best_warm_qps"])
+    bare = float(sides["bare"]["best_warm_qps"])
+    if inst <= 0 or bare <= 0:
+        sys.exit(f"FAIL metrics-overhead: non-positive throughput "
+                 f"(instrumented {inst:g}, bare {bare:g})")
+    ratio = inst / bare
+    line = (f"metrics-overhead: instrumented {inst:g} q/s vs bare {bare:g} "
+            f"q/s (ratio {ratio:.3f}, floor {METRICS_OVERHEAD_RATIO})")
+    if ratio < METRICS_OVERHEAD_RATIO:
+        sys.exit(f"FAIL {line}")
+    print(f"OK   {line}")
+
+
 def main():
     ap = argparse.ArgumentParser()
     ap.add_argument("--baseline-dir")
     ap.add_argument("--out", default="BENCH_suite.json")
     ap.add_argument("--list", action="store_true",
                     help="print the gated bench types/metrics and exit")
+    ap.add_argument("--metrics-overhead", nargs=2,
+                    metavar=("INSTRUMENTED", "BARE"),
+                    help="gate instrumented warm q/s against a "
+                         "MPCMST_NO_METRICS build's JSON and exit")
     ap.add_argument("inputs", nargs="*")
     args = ap.parse_args()
 
     if args.list:
         list_metrics()
+        return
+    if args.metrics_overhead:
+        metrics_overhead(*args.metrics_overhead)
         return
     if not args.baseline_dir or not args.inputs:
         ap.error("--baseline-dir and at least one input are required "

@@ -24,14 +24,19 @@
 //   update <u> <v> <price>  absorb a confirmed price change (--live only)
 //   checkpoint              force a snapshot + journal compaction (--persist)
 //   receipt                 cost of the one-time distributed build
-//   stats                   queries served / cache hit rate
+//   stats                   served/cache/update totals + latency percentiles
+//   metrics [prom|json]     dump the full registry (Prometheus text or JSON)
+//   trace [file]            write the wall-clock spans as chrome://tracing
+//                           JSON (default trace.json)
 //   help, quit
+#include <fstream>
 #include <iostream>
 #include <optional>
 #include <sstream>
 #include <stdexcept>
 #include <string>
 
+#include "common/metrics.hpp"
 #include "common/table.hpp"
 #include "graph/generators.hpp"
 #include "mpc/config.hpp"
@@ -45,7 +50,18 @@ namespace {
 void print_help() {
   std::cout << "commands: price <u> <v> <delta> | replace <u> <v> | top <k>"
                " | headroom <u> <v> | update <u> <v> <price> | checkpoint"
-               " | receipt | stats | help | quit\n";
+               " | receipt | stats | metrics [prom|json] | trace [file]"
+               " | help | quit\n";
+}
+
+/// "p50/p99/max us" column for one latency series (blank when unsampled).
+std::string latency_cell(const service::LatencySummary& s) {
+  if (s.count == 0) return "-";
+  std::ostringstream os;
+  os << format_double(static_cast<double>(s.p50_ns) / 1e3) << "/"
+     << format_double(static_cast<double>(s.p99_ns) / 1e3) << "/"
+     << format_double(static_cast<double>(s.max_ns) / 1e3);
+  return os.str();
 }
 
 const char* class_name(service::UpdateClass cls) {
@@ -274,10 +290,51 @@ int main(int argc, char** argv) {
       const auto s = service->stats();
       std::cout << s.queries_served << " served over "
                 << backend.num_shards() << " shard"
-                << (backend.num_shards() == 1 ? "" : "s")
-                << ", cache hit rate "
+                << (backend.num_shards() == 1 ? "" : "s") << ", generation "
+                << s.generation << "\n"
+                << "cache: hit rate "
                 << format_double(100.0 * s.cache.hit_rate()) << "% ("
-                << s.cache.entries << " entries)\n";
+                << s.cache.hits << " hits, " << s.cache.misses << " misses, "
+                << s.cache.evictions << " evictions, " << s.cache.entries
+                << " entries)\n";
+      if constexpr (!kMetricsCompiledOut) {
+        Table lat({"kind", "count", "p50/p99/max us"});
+        for (std::size_t k = 0; k < service::kNumQueryKinds; ++k)
+          lat.row(service::query_kind_label(k), s.telemetry.queries_by_kind[k],
+                  latency_cell(s.telemetry.query_latency[k]));
+        lat.print(std::cout);
+        std::cout << "updates:";
+        for (std::size_t c = 0; c < service::kNumUpdateClasses; ++c)
+          std::cout << " " << service::update_class_label(c) << "="
+                    << s.telemetry.updates_by_class[c];
+        std::cout << "; checkpoints=" << s.telemetry.checkpoints
+                  << " recoveries=" << s.telemetry.recoveries << "\n";
+        if (s.telemetry.journal_fsync.count > 0)
+          std::cout << "journal fsync us (p50/p99/max): "
+                    << latency_cell(s.telemetry.journal_fsync) << " over "
+                    << s.telemetry.journal_fsync.count << " commits\n";
+      } else {
+        std::cout << "(telemetry compiled out: MPCMST_NO_METRICS)\n";
+      }
+    } else if (cmd == "metrics") {
+      std::string fmt;
+      in >> fmt;  // optional; default prom
+      if (fmt == "json")
+        MetricsRegistry::instance().render_json(std::cout);
+      else
+        MetricsRegistry::instance().render_prometheus(std::cout);
+    } else if (cmd == "trace") {
+      std::string path;
+      if (!(in >> path)) path = "trace.json";
+      std::ofstream out(path);
+      if (!out) {
+        std::cout << "cannot open " << path << "\n";
+        continue;
+      }
+      TraceBuffer::instance().render_chrome_json(out);
+      std::cout << "wrote " << TraceBuffer::instance().size()
+                << " span(s) to " << path
+                << " — load via chrome://tracing or ui.perfetto.dev\n";
     } else {
       std::cout << "unknown command '" << cmd << "'\n";
       print_help();

@@ -1,0 +1,432 @@
+#include "common/metrics.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <deque>
+#include <mutex>
+#include <ostream>
+#include <utility>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/table.hpp"
+
+namespace mpcmst {
+
+// ---------------------------------------------------------------------------
+// HistogramSnapshot math (both build modes — pure data, no atomics).
+
+std::uint64_t HistogramSnapshot::percentile(double q) const {
+  if (count == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  // rank ceil(q * count), clamped to [1, count]: rank r means "the r-th
+  // smallest recorded value" and the walk below finds its bucket.
+  const double scaled = q * static_cast<double>(count);
+  std::uint64_t rank = static_cast<std::uint64_t>(std::ceil(scaled));
+  rank = std::clamp<std::uint64_t>(rank, 1, count);
+  std::uint64_t cum = 0;
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    cum += buckets[b];
+    if (cum >= rank) return std::min(bucket_upper(b), max);
+  }
+  return max;  // unreachable when the totals are consistent
+}
+
+void HistogramSnapshot::merge(const HistogramSnapshot& other) {
+  count += other.count;
+  sum += other.sum;
+  max = std::max(max, other.max);
+  for (std::size_t b = 0; b < kBuckets; ++b) buckets[b] += other.buckets[b];
+}
+
+#ifndef MPCMST_NO_METRICS
+
+namespace {
+
+/// Prometheus sample key, exactly as rendered: name or name{labels}.
+std::string series_key(const std::string& name, const std::string& labels) {
+  return labels.empty() ? name : name + "{" + labels + "}";
+}
+
+/// Shortest round-trippable decimal (le bounds, scaled sums).
+std::string prom_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+constexpr double kNsPerSecond = 1e9;
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Clock, enable flag, thread stripes.
+
+namespace metrics_detail {
+
+std::size_t thread_ordinal() {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t ordinal =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return ordinal;
+}
+
+}  // namespace metrics_detail
+
+void metrics_set_enabled(bool on) {
+  metrics_detail::g_enabled.store(on, std::memory_order_relaxed);
+}
+
+std::uint64_t metrics_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+// ---------------------------------------------------------------------------
+// Histogram shard merge.
+
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot out;
+  for (const Stripe& s : stripes_) {
+    for (std::size_t b = 0; b < HistogramSnapshot::kBuckets; ++b) {
+      const std::uint64_t c = s.buckets[b].load(std::memory_order_relaxed);
+      out.buckets[b] += c;
+      out.count += c;
+    }
+    out.sum += s.sum.load(std::memory_order_relaxed);
+    out.max = std::max(out.max, s.max.load(std::memory_order_relaxed));
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Registry.
+
+struct MetricsRegistry::Impl {
+  enum class Type : std::uint8_t { kCounter, kGauge, kHistogram };
+
+  static const char* type_name(Type t) {
+    switch (t) {
+      case Type::kCounter:
+        return "counter";
+      case Type::kGauge:
+        return "gauge";
+      default:
+        return "histogram";
+    }
+  }
+
+  struct Series {
+    Type type;
+    std::size_t slot;  // index into the deque of its type
+  };
+
+  mutable std::mutex mu;
+  // Deques: growth never moves an element, so the references handed to
+  // callers stay valid for the life of the process.
+  std::deque<Counter> counters;
+  std::deque<Gauge> gauges;
+  std::deque<Histogram> histograms;
+  // Ordered by (name, labels): render output is stable and grouped by
+  // family without a separate sort.
+  std::map<std::pair<std::string, std::string>, Series> series;
+
+  Series& find_or_create(const std::string& name, const std::string& labels,
+                         Type type, MetricUnit unit) {
+    auto [it, inserted] = series.try_emplace(std::make_pair(name, labels));
+    if (!inserted) {
+      MPCMST_ASSERT(it->second.type == type,
+                    "metric " << series_key(name, labels)
+                              << " re-registered as a different type");
+      return it->second;
+    }
+    it->second.type = type;
+    switch (type) {
+      case Type::kCounter:
+        it->second.slot = counters.size();
+        counters.emplace_back();
+        break;
+      case Type::kGauge:
+        it->second.slot = gauges.size();
+        gauges.emplace_back();
+        break;
+      case Type::kHistogram:
+        it->second.slot = histograms.size();
+        histograms.emplace_back();
+        histograms.back().unit_ = unit;
+        break;
+    }
+    return it->second;
+  }
+};
+
+MetricsRegistry::MetricsRegistry() : impl_(new Impl) {}
+MetricsRegistry::~MetricsRegistry() { delete impl_; }
+
+MetricsRegistry& MetricsRegistry::instance() {
+  // Leaked on purpose (never destroyed): instrumented code may run during
+  // static destruction (pool teardown) and the references must stay valid.
+  static MetricsRegistry* reg = new MetricsRegistry();
+  return *reg;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name,
+                                  const std::string& labels) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  const Impl::Series& s = impl_->find_or_create(
+      name, labels, Impl::Type::kCounter, MetricUnit::kCount);
+  return impl_->counters[s.slot];
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name,
+                              const std::string& labels) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  const Impl::Series& s = impl_->find_or_create(
+      name, labels, Impl::Type::kGauge, MetricUnit::kCount);
+  return impl_->gauges[s.slot];
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      const std::string& labels,
+                                      MetricUnit unit) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  const Impl::Series& s =
+      impl_->find_or_create(name, labels, Impl::Type::kHistogram, unit);
+  return impl_->histograms[s.slot];
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot out;
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  for (const auto& [key, s] : impl_->series) {
+    const std::string k = series_key(key.first, key.second);
+    switch (s.type) {
+      case Impl::Type::kCounter:
+        out.counters[k] = impl_->counters[s.slot].total();
+        break;
+      case Impl::Type::kGauge:
+        out.gauges[k] = impl_->gauges[s.slot].value();
+        break;
+      case Impl::Type::kHistogram:
+        out.histograms[k] = impl_->histograms[s.slot].snapshot();
+        break;
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// One histogram family member in exposition format.  Nanosecond series
+/// scale values and bucket bounds to seconds (Prometheus base units).
+void render_prom_histogram(std::ostream& os, const std::string& name,
+                           const std::string& labels,
+                           const HistogramSnapshot& h, MetricUnit unit) {
+  const double scale =
+      unit == MetricUnit::kNanoseconds ? 1.0 / kNsPerSecond : 1.0;
+  const std::string le_prefix =
+      labels.empty() ? name + "_bucket{le=\"" : name + "_bucket{" + labels +
+                                                    ",le=\"";
+  std::size_t top = 0;  // highest non-empty bucket: cap the emitted series
+  for (std::size_t b = 0; b < HistogramSnapshot::kBuckets; ++b)
+    if (h.buckets[b] != 0) top = b;
+  std::uint64_t cum = 0;
+  for (std::size_t b = 0; b <= top; ++b) {
+    cum += h.buckets[b];
+    const double ub =
+        static_cast<double>(HistogramSnapshot::bucket_upper(b)) * scale;
+    os << le_prefix << prom_double(ub) << "\"} " << cum << "\n";
+  }
+  os << le_prefix << "+Inf\"} " << h.count << "\n";
+  os << series_key(name + "_sum", labels) << " "
+     << prom_double(static_cast<double>(h.sum) * scale) << "\n";
+  os << series_key(name + "_count", labels) << " " << h.count << "\n";
+}
+
+}  // namespace
+
+void MetricsRegistry::render_prometheus(std::ostream& os) const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  const std::string* prev_name = nullptr;
+  for (const auto& [key, s] : impl_->series) {
+    const auto& [name, labels] = key;
+    if (prev_name == nullptr || *prev_name != name)
+      os << "# TYPE " << name << " " << Impl::type_name(s.type) << "\n";
+    prev_name = &name;
+    switch (s.type) {
+      case Impl::Type::kCounter:
+        os << series_key(name, labels) << " "
+           << impl_->counters[s.slot].total() << "\n";
+        break;
+      case Impl::Type::kGauge:
+        os << series_key(name, labels) << " " << impl_->gauges[s.slot].value()
+           << "\n";
+        break;
+      case Impl::Type::kHistogram:
+        render_prom_histogram(os, name, labels,
+                              impl_->histograms[s.slot].snapshot(),
+                              impl_->histograms[s.slot].unit());
+        break;
+    }
+  }
+}
+
+void MetricsRegistry::render_json(std::ostream& os) const {
+  const MetricsSnapshot snap = snapshot();
+  JsonWriter j(os);
+  j.begin_object();
+  j.key("counters").begin_object();
+  for (const auto& [k, v] : snap.counters) j.key(k).value(v);
+  j.end_object();
+  j.key("gauges").begin_object();
+  for (const auto& [k, v] : snap.gauges) j.key(k).value(v);
+  j.end_object();
+  j.key("histograms").begin_object();
+  for (const auto& [k, h] : snap.histograms) {
+    j.key(k).begin_object();
+    j.key("count").value(h.count);
+    j.key("sum").value(h.sum);
+    j.key("max").value(h.max);
+    j.key("mean").value(h.mean());
+    j.key("p50").value(h.percentile(0.50));
+    j.key("p90").value(h.percentile(0.90));
+    j.key("p99").value(h.percentile(0.99));
+    j.key("buckets").begin_array();
+    for (std::size_t b = 0; b < HistogramSnapshot::kBuckets; ++b) {
+      if (h.buckets[b] == 0) continue;
+      j.begin_object();
+      j.key("le").value(HistogramSnapshot::bucket_upper(b));
+      j.key("count").value(h.buckets[b]);
+      j.end_object();
+    }
+    j.end_array();
+    j.end_object();
+  }
+  j.end_object();
+  j.end_object();
+  os << "\n";
+}
+
+// ---------------------------------------------------------------------------
+// Trace buffer.
+
+struct TraceBuffer::Impl {
+  struct Event {
+    std::string name;
+    std::uint64_t ts_us;
+    std::uint64_t dur_us;
+    std::uint32_t tid;
+  };
+
+  mutable std::mutex mu;
+  std::vector<Event> events;
+  std::size_t dropped = 0;
+};
+
+TraceBuffer::TraceBuffer() : impl_(new Impl) {}
+TraceBuffer::~TraceBuffer() { delete impl_; }
+
+TraceBuffer& TraceBuffer::instance() {
+  static TraceBuffer* buf = new TraceBuffer();  // leaked, like the registry
+  return *buf;
+}
+
+void TraceBuffer::append(const std::string& name, std::uint64_t ts_us,
+                         std::uint64_t dur_us) {
+  const auto tid =
+      static_cast<std::uint32_t>(metrics_detail::thread_ordinal());
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  if (impl_->events.size() >= kMaxEvents) {
+    ++impl_->dropped;
+    return;
+  }
+  impl_->events.push_back(Impl::Event{name, ts_us, dur_us, tid});
+}
+
+void TraceBuffer::render_chrome_json(std::ostream& os) const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  JsonWriter j(os);
+  j.begin_object();
+  j.key("traceEvents").begin_array();
+  for (const Impl::Event& e : impl_->events) {
+    j.begin_object();
+    j.key("name").value(e.name);
+    j.key("ph").value("X");
+    j.key("ts").value(e.ts_us);
+    j.key("dur").value(e.dur_us);
+    j.key("pid").value(1);
+    j.key("tid").value(e.tid);
+    j.end_object();
+  }
+  j.end_array();
+  if (impl_->dropped > 0) j.key("droppedEvents").value(impl_->dropped);
+  j.end_object();
+  os << "\n";
+}
+
+void TraceBuffer::clear() {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->events.clear();
+  impl_->dropped = 0;
+}
+
+std::size_t TraceBuffer::size() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  return impl_->events.size();
+}
+
+std::size_t TraceBuffer::dropped() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  return impl_->dropped;
+}
+
+#else  // MPCMST_NO_METRICS
+
+// Compiled-out stubs: one static of each class backs every registration,
+// renders emit well-formed empty documents so tooling keeps parsing.
+
+MetricsRegistry& MetricsRegistry::instance() {
+  static MetricsRegistry reg;
+  return reg;
+}
+
+Counter& MetricsRegistry::counter(const std::string&, const std::string&) {
+  static Counter c;
+  return c;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string&, const std::string&) {
+  static Gauge g;
+  return g;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string&, const std::string&,
+                                      MetricUnit) {
+  static Histogram h;
+  return h;
+}
+
+void MetricsRegistry::render_prometheus(std::ostream& os) const {
+  os << "# telemetry compiled out (MPCMST_NO_METRICS)\n";
+}
+
+void MetricsRegistry::render_json(std::ostream& os) const {
+  os << "{\"counters\": {}, \"gauges\": {}, \"histograms\": {}}\n";
+}
+
+TraceBuffer& TraceBuffer::instance() {
+  static TraceBuffer buf;
+  return buf;
+}
+
+void TraceBuffer::render_chrome_json(std::ostream& os) const {
+  os << "{\"traceEvents\": []}\n";
+}
+
+#endif  // MPCMST_NO_METRICS
+
+}  // namespace mpcmst

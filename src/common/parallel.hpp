@@ -24,7 +24,31 @@
 #include <thread>
 #include <vector>
 
+#include "common/metrics.hpp"
+
 namespace mpcmst {
+
+/// Process-wide pool telemetry (all ThreadPool instances add into the same
+/// series: the gauges describe the process, like the registry itself).
+struct PoolMetrics {
+  Gauge* threads;         // live workers + submitters across pools
+  Gauge* queue_depth;     // submitted-but-unclaimed tasks
+  Gauge* active_workers;  // threads currently inside a claim loop
+  Counter* batches;       // run_tasks batches dispatched to workers
+  Counter* tasks;         // tasks in those batches
+};
+
+inline PoolMetrics& pool_metrics() {
+  static PoolMetrics m = [] {
+    MetricsRegistry& r = MetricsRegistry::instance();
+    return PoolMetrics{&r.gauge("mpcmst_pool_threads"),
+                       &r.gauge("mpcmst_pool_queue_depth"),
+                       &r.gauge("mpcmst_pool_active_workers"),
+                       &r.counter("mpcmst_pool_batches_total"),
+                       &r.counter("mpcmst_pool_tasks_total")};
+  }();
+  return m;
+}
 
 class ThreadPool {
  public:
@@ -38,6 +62,7 @@ class ThreadPool {
     workers_.reserve(threads - 1);
     for (std::size_t i = 0; i + 1 < threads; ++i)
       workers_.emplace_back([this] { worker_loop(); });
+    pool_metrics().threads->add(static_cast<std::int64_t>(size()));
   }
 
   ~ThreadPool() {
@@ -47,6 +72,7 @@ class ThreadPool {
     }
     work_cv_.notify_all();
     for (std::thread& w : workers_) w.join();
+    pool_metrics().threads->sub(static_cast<std::int64_t>(size()));
   }
 
   ThreadPool(const ThreadPool&) = delete;
@@ -66,6 +92,10 @@ class ThreadPool {
       return;
     }
     std::lock_guard<std::mutex> submit_lock(submit_mu_);
+    PoolMetrics& pm = pool_metrics();
+    pm.batches->inc();
+    pm.tasks->inc(count);
+    pm.queue_depth->add(static_cast<std::int64_t>(count));
     Batch batch;
     batch.fn = &fn;
     batch.count = count;
@@ -133,10 +163,13 @@ class ThreadPool {
 
   /// Claim tasks off the shared cursor until the batch is exhausted.
   void claim_loop(Batch& batch) {
+    PoolMetrics& pm = pool_metrics();
+    pm.active_workers->add(1);
     inside_task_flag() = true;
     for (;;) {
       const std::size_t i = batch.next.fetch_add(1, std::memory_order_relaxed);
       if (i >= batch.count) break;
+      pm.queue_depth->sub(1);  // claimed: it is now running, not queued
       try {
         (*batch.fn)(i);
       } catch (...) {
@@ -146,6 +179,7 @@ class ThreadPool {
       batch.done.fetch_add(1, std::memory_order_acq_rel);
     }
     inside_task_flag() = false;
+    pm.active_workers->sub(1);
   }
 
   void worker_loop() {

@@ -8,6 +8,7 @@
 #endif
 
 #include "common/check.hpp"
+#include "common/metrics.hpp"
 
 namespace mpcmst::mpc {
 
@@ -105,10 +106,26 @@ void Engine::check_balanced(std::size_t total_words) const {
 
 void Engine::push_phase(std::string name) {
   phase_stack_.push_back(std::move(name));
+  phase_start_ns_.push_back(metrics_enabled() ? metrics_now_ns() : 0);
 }
 
 void Engine::pop_phase() {
   MPCMST_ASSERT(!phase_stack_.empty(), "phase stack underflow");
+  const std::uint64_t t0 = phase_start_ns_.back();
+  phase_start_ns_.pop_back();
+  if (t0 != 0) {
+    // The wall-clock sibling of the phase_rounds attribution: one trace
+    // event plus a per-phase latency sample.  Registration cost (a mutex +
+    // map lookup) is per phase pop, not per charged round — the pipeline
+    // pops phases a few thousand times per build at most.
+    const std::string& name = phase_stack_.back();
+    const std::uint64_t dur = metrics_now_ns() - t0;
+    MetricsRegistry::instance()
+        .histogram("mpcmst_build_phase_seconds",
+                   "phase=\"" + name + "\"")
+        .record(dur);
+    TraceBuffer::instance().append("mpc:" + name, t0 / 1000, dur / 1000);
+  }
   phase_stack_.pop_back();
 }
 

@@ -61,6 +61,11 @@ class Engine {
   void check_balanced(std::size_t total_words) const;
 
   // --- phase attribution ---
+  // Besides charged-rounds attribution (Stats::phase_rounds), each phase is
+  // clocked in wall time: pop emits a TraceScope-style event into the
+  // process TraceBuffer and a sample into the per-phase
+  // mpcmst_build_phase_seconds histogram, so every existing PhaseScope in
+  // the pipeline doubles as a real-time span for free.
   void push_phase(std::string name);
   void pop_phase();
 
@@ -72,6 +77,7 @@ class Engine {
   MpcConfig cfg_;
   Stats stats_;
   std::vector<std::string> phase_stack_;
+  std::vector<std::uint64_t> phase_start_ns_;  // parallel to phase_stack_
   ScratchArena scratch_;
 };
 

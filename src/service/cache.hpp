@@ -27,6 +27,8 @@
 #include <utility>
 #include <vector>
 
+#include "common/metrics.hpp"
+
 namespace mpcmst::service {
 
 struct CacheStats {
@@ -56,6 +58,17 @@ class ShardedLruCache {
   /// construction entirely when the cache is configured off.
   bool enabled() const noexcept { return per_shard_capacity_ > 0; }
 
+  /// Mirror hit/miss/eviction accounting into registry counters (owned by
+  /// the MetricsRegistry, so their lifetime always exceeds the cache's).
+  /// The bulk paths add once per touched shard, the same batching the
+  /// shard atomics already use; null pointers (the default) cost nothing.
+  void set_metric_counters(Counter* hits, Counter* misses,
+                           Counter* evictions) noexcept {
+    hits_metric_ = hits;
+    misses_metric_ = misses;
+    evictions_metric_ = evictions;
+  }
+
   std::optional<Value> get(const Key& key) {
     // Disabled caches never touch a mutex and report zero lookups — the
     // service skips key construction entirely via enabled().
@@ -65,10 +78,12 @@ class ShardedLruCache {
     auto it = s.map.find(key);
     if (it == s.map.end()) {
       s.misses.fetch_add(1, std::memory_order_relaxed);
+      if (misses_metric_ != nullptr) misses_metric_->inc();
       return std::nullopt;
     }
     s.lru.splice(s.lru.begin(), s.lru, it->second);  // mark most-recent
     s.hits.fetch_add(1, std::memory_order_relaxed);
+    if (hits_metric_ != nullptr) hits_metric_->inc();
     return it->second->second;
   }
 
@@ -111,6 +126,9 @@ class ShardedLruCache {
       }
       s.hits.fetch_add(sh_hits, std::memory_order_relaxed);
       s.misses.fetch_add(sh_misses, std::memory_order_relaxed);
+      if (hits_metric_ != nullptr && sh_hits > 0) hits_metric_->inc(sh_hits);
+      if (misses_metric_ != nullptr && sh_misses > 0)
+        misses_metric_->inc(sh_misses);
     }
   }
 
@@ -187,6 +205,7 @@ class ShardedLruCache {
       s.map.erase(s.lru.back().first);
       s.lru.pop_back();
       s.evictions.fetch_add(1, std::memory_order_relaxed);
+      if (evictions_metric_ != nullptr) evictions_metric_->inc();
     }
   }
 
@@ -213,6 +232,9 @@ class ShardedLruCache {
 
   std::vector<Shard> shards_;
   std::size_t per_shard_capacity_ = 0;
+  Counter* hits_metric_ = nullptr;
+  Counter* misses_metric_ = nullptr;
+  Counter* evictions_metric_ = nullptr;
 };
 
 }  // namespace mpcmst::service

@@ -5,6 +5,7 @@
 
 #include "common/check.hpp"
 #include "common/hash.hpp"
+#include "common/metrics.hpp"
 #include "common/parallel.hpp"
 #include "common/radix.hpp"
 #include "seq/dsu.hpp"
@@ -157,6 +158,9 @@ std::shared_ptr<const SensitivityIndex> SensitivityIndex::build(
 
   // One distributed run: shared prelude, then the Theorem 4.1 pipeline
   // (whose Observation 4.2 sub-run doubles as Theorem 3.1 verification).
+  // The engine's PhaseScopes fill in the per-phase wall spans underneath
+  // this top-level one.
+  TraceScope build_span("index-build");
   const mpc::RoundMeter meter(eng);
   const auto artifacts = verify::build_artifacts(eng, inst);
   const auto sens = sensitivity::mst_sensitivity_mpc(inst, artifacts);
@@ -219,7 +223,10 @@ std::shared_ptr<const SensitivityIndex> SensitivityIndex::build_host(
   idx->receipt_ = receipt;
 
   // Sequential labels: same values as the distributed pipeline (the build()
-  // cross-check pins the two together), no engine charged.
+  // cross-check pins the two together), no engine charged.  This is also
+  // the update path's relabel primitive, so the span shows up under every
+  // swap repair.
+  TraceScope build_span("index-build-host");
   const seq::SeqTreeIndex seq_index(inst.tree);
   const seq::SensitivityResult sens = seq::sensitivity(inst, seq_index);
   ThreadPool& pool = ThreadPool::shared();

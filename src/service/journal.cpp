@@ -12,6 +12,7 @@
 
 #include "common/binio.hpp"
 #include "common/check.hpp"
+#include "service/telemetry.hpp"
 
 namespace mpcmst::service {
 
@@ -128,6 +129,7 @@ Journal Journal::open(const std::string& path, SyncMode mode) {
 
 void Journal::append(const JournalRecord& rec) {
   MPCMST_ASSERT(fd_ >= 0, "journal: append on a closed handle");
+  ScopedLatency append_lat(*service_metrics().journal_append);
   ByteWriter frame;
   encode_record(frame, rec);
   const unsigned char* p = frame.data().data();
@@ -142,8 +144,12 @@ void Journal::append(const JournalRecord& rec) {
   } else {
     write_all_fd(fd_, p, n, path_);
   }
-  if (mode_ == SyncMode::kCommit)
+  if (mode_ == SyncMode::kCommit) {
+    // The fsync dominates commit latency; its own series isolates it from
+    // the framing + write cost of the whole append.
+    ScopedLatency fsync_lat(*service_metrics().journal_fsync);
     MPCMST_CHECK(::fsync(fd_) == 0, "journal: fsync failed on " << path_);
+  }
   persist_crash_point("journal-post-commit");
 }
 

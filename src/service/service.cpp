@@ -1,6 +1,7 @@
 #include "service/service.hpp"
 
 #include <algorithm>
+#include <array>
 
 #include "common/check.hpp"
 #include "service/snapshot.hpp"
@@ -29,6 +30,9 @@ QueryService::QueryService(std::shared_ptr<const IndexBackend> backend,
       pool_(opts.threads) {
   MPCMST_ASSERT(backend_ != nullptr, "QueryService: null backend");
   if (opts_.chunk_size == 0) opts_.chunk_size = 1;
+  ServiceMetrics& tm = service_metrics();
+  cache_.set_metric_counters(tm.cache_hits, tm.cache_misses,
+                             tm.cache_evictions);
 }
 
 QueryService::~QueryService() = default;
@@ -80,7 +84,15 @@ std::unique_ptr<QueryService> QueryService::build_live_sharded(
 
 std::unique_ptr<QueryService> QueryService::recover(
     const PersistenceConfig& cfg, ServiceOptions opts, RecoveredInfo* info) {
-  auto image = load_newest_snapshot(cfg.dir);
+  ServiceMetrics& tm = service_metrics();
+  tm.recoveries->inc();
+  TraceScope recover_span("recover");
+
+  std::optional<TierImage> image;
+  {
+    TraceScope span("recover:snapshot-load", tm.recovery_snapshot_load);
+    image = load_newest_snapshot(cfg.dir);
+  }
   MPCMST_CHECK(image.has_value(),
                "recover: no valid snapshot in " << cfg.dir
                                                 << " (never persisted, or "
@@ -88,7 +100,11 @@ std::unique_ptr<QueryService> QueryService::recover(
 
   // Truncate any torn tail first: everything after the last intact record
   // was never acknowledged, so dropping it is the correct outcome.
-  const Journal::Scan scan = Journal::recover(journal_path(cfg.dir));
+  Journal::Scan scan;
+  {
+    TraceScope span("recover:tail-scan", tm.recovery_tail_scan);
+    scan = Journal::recover(journal_path(cfg.dir));
+  }
 
   std::shared_ptr<UpdatableBackend> backend;
   if (image->sharded())
@@ -103,22 +119,26 @@ std::unique_ptr<QueryService> QueryService::recover(
   // record to its own receipt: same resolution, same classification, same
   // fingerprint chain, same generation — or the directory is rejected.
   std::uint64_t replayed = 0;
-  for (const JournalRecord& rec : scan.records) {
-    if (rec.generation <= image->generation) continue;  // subsumed by snapshot
-    MPCMST_CHECK(rec.generation == backend->generation() + 1,
-                 "recover: journal generation gap at " << rec.generation);
-    MPCMST_CHECK(backend->fingerprint() == rec.old_fingerprint,
-                 "recover: journal record " << rec.generation
-                                            << " does not chain from the "
-                                               "current fingerprint");
-    const UpdateReceipt r = backend->apply_update(rec.u, rec.v, rec.new_w);
-    MPCMST_CHECK(r.report.status == Status::kOk &&
-                     static_cast<std::uint8_t>(r.report.cls) == rec.cls &&
-                     r.new_fingerprint == rec.new_fingerprint &&
-                     r.generation == rec.generation,
-                 "recover: replay of record " << rec.generation
-                                              << " diverged from the journal");
-    ++replayed;
+  {
+    TraceScope span("recover:replay", tm.recovery_replay);
+    for (const JournalRecord& rec : scan.records) {
+      if (rec.generation <= image->generation) continue;  // in the snapshot
+      MPCMST_CHECK(rec.generation == backend->generation() + 1,
+                   "recover: journal generation gap at " << rec.generation);
+      MPCMST_CHECK(backend->fingerprint() == rec.old_fingerprint,
+                   "recover: journal record " << rec.generation
+                                              << " does not chain from the "
+                                                 "current fingerprint");
+      const UpdateReceipt r = backend->apply_update(rec.u, rec.v, rec.new_w);
+      MPCMST_CHECK(
+          r.report.status == Status::kOk &&
+              static_cast<std::uint8_t>(r.report.cls) == rec.cls &&
+              r.new_fingerprint == rec.new_fingerprint &&
+              r.generation == rec.generation,
+          "recover: replay of record " << rec.generation
+                                       << " diverged from the journal");
+      ++replayed;
+    }
   }
 
   // Staleness floor: a fallback past an invalid newer snapshot is only
@@ -171,6 +191,10 @@ const SensitivityIndex& QueryService::index() const {
 
 Answer QueryService::answer(const Query& q) {
   served_.fetch_add(1, std::memory_order_relaxed);
+  ServiceMetrics& tm = service_metrics();
+  const auto kind = static_cast<std::size_t>(q.kind) % kNumQueryKinds;
+  tm.queries[kind]->inc();
+  ScopedLatency lat(*tm.query_latency[kind]);
   if (!cache_.enabled()) return backend_->answer(q);
   const std::uint64_t generation = backend_->generation();
   const CacheKey key{backend_->fingerprint(), q};
@@ -190,6 +214,10 @@ std::vector<Answer> QueryService::answer_batch(
   std::vector<Answer> out(n);
   if (n == 0) return out;
   served_.fetch_add(n, std::memory_order_relaxed);
+  ServiceMetrics& tm = service_metrics();
+  tm.batches->inc();
+  tm.batch_size->record(n);
+  ScopedLatency batch_lat(*tm.batch_latency);
 
   // Snapshot the backend moment: the fingerprint keys every probe/insert of
   // this batch, the generation gates the bulk insert (same protocol as the
@@ -198,13 +226,24 @@ std::vector<Answer> QueryService::answer_batch(
   const std::uint64_t fingerprint = backend_->fingerprint();
 
   // --- bulk cache probe: one lock per touched cache shard ---
+  // Per-kind totals ride the key-construction pass (a local array, flushed
+  // as one striped add per kind) so the warm path never re-walks the batch.
+  std::array<std::uint64_t, kNumQueryKinds> kind_counts{};
   std::vector<unsigned char> hit(n, 0);
   std::vector<CacheKey> keys;
   if (cache_.enabled()) {
     keys.reserve(n);
-    for (const Query& q : queries) keys.push_back(CacheKey{fingerprint, q});
+    for (const Query& q : queries) {
+      ++kind_counts[static_cast<std::size_t>(q.kind) % kNumQueryKinds];
+      keys.push_back(CacheKey{fingerprint, q});
+    }
     cache_.get_many(keys.data(), n, out.data(), hit.data());
+  } else {
+    for (const Query& q : queries)
+      ++kind_counts[static_cast<std::size_t>(q.kind) % kNumQueryKinds];
   }
+  for (std::size_t k = 0; k < kNumQueryKinds; ++k)
+    if (kind_counts[k] > 0) tm.queries[k]->inc(kind_counts[k]);
 
   // --- misses, counting-sorted into backend-shard runs ---
   const std::size_t num_hints =
@@ -234,11 +273,24 @@ std::vector<Answer> QueryService::answer_batch(
     // each pool task inside (at most two) shards' working sets.
     const std::size_t chunk = opts_.chunk_size;
     const std::size_t num_chunks = (miss.size() + chunk - 1) / chunk;
+    // Per-query latency is only clocked on misses (hits are bulk-accounted
+    // above); the enabled check is hoisted so a disabled registry costs the
+    // batch nothing.
+    const bool timed = metrics_enabled();
     pool_.run_tasks(num_chunks, [&](std::size_t c) {
       const std::size_t lo = c * chunk;
       const std::size_t hi = std::min(lo + chunk, miss.size());
-      for (std::size_t r = lo; r < hi; ++r)
-        out[miss[r]] = backend_->answer(queries[miss[r]]);
+      for (std::size_t r = lo; r < hi; ++r) {
+        const Query& q = queries[miss[r]];
+        if (timed) {
+          const std::uint64_t t0 = metrics_now_ns();
+          out[miss[r]] = backend_->answer(q);
+          tm.query_latency[static_cast<std::size_t>(q.kind) % kNumQueryKinds]
+              ->record(metrics_now_ns() - t0);
+        } else {
+          out[miss[r]] = backend_->answer(q);
+        }
+      }
     });
     // --- bulk insert, gated on the generation exactly like answer() ---
     if (cache_.enabled() && backend_->generation() == generation)
@@ -264,7 +316,12 @@ Answer QueryService::corridor_headroom(Vertex u, Vertex v) {
 }
 
 QueryService::Stats QueryService::stats() const {
-  return Stats{served_.load(std::memory_order_relaxed), cache_.stats()};
+  Stats s;
+  s.queries_served = served_.load(std::memory_order_relaxed);
+  s.generation = backend_->generation();
+  s.cache = cache_.stats();
+  s.telemetry = telemetry_snapshot();
+  return s;
 }
 
 }  // namespace mpcmst::service

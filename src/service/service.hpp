@@ -22,6 +22,7 @@
 #include "service/journal.hpp"
 #include "service/query.hpp"
 #include "service/router.hpp"
+#include "service/telemetry.hpp"
 #include "service/update.hpp"
 
 namespace mpcmst::service {
@@ -147,8 +148,11 @@ class QueryService {
   const SensitivityIndex& index() const;
 
   struct Stats {
-    std::uint64_t queries_served = 0;
-    CacheStats cache;
+    std::uint64_t queries_served = 0;  // this service instance
+    std::uint64_t generation = 0;      // backend generation at snapshot time
+    CacheStats cache;                  // this instance's cache (incl.
+                                       // evictions, surfaced end-to-end)
+    TelemetrySnapshot telemetry;       // process-wide registry slice
   };
   Stats stats() const;
 

@@ -13,6 +13,7 @@
 
 #include "common/binio.hpp"
 #include "common/check.hpp"
+#include "service/telemetry.hpp"
 
 namespace fs = std::filesystem;
 
@@ -281,6 +282,7 @@ std::optional<std::uint64_t> newest_snapshot_generation(
 void write_snapshot(const std::string& dir, std::uint64_t generation,
                     const SensitivityIndex& index,
                     const ShardedSensitivityIndex* shards) {
+  TraceScope span("snapshot-write", service_metrics().snapshot_write);
   ByteWriter payload;
   payload.u8(shards ? kKindSharded : kKindMonolith);
   payload.u64(generation);
@@ -318,6 +320,7 @@ void write_snapshot(const std::string& dir, std::uint64_t generation,
 }
 
 std::optional<TierImage> load_snapshot_file(const std::string& path) {
+  ScopedLatency load_lat(*service_metrics().snapshot_load);
   std::ifstream in(path, std::ios::binary);
   if (!in) return std::nullopt;
   std::vector<unsigned char> bytes{std::istreambuf_iterator<char>(in),
@@ -407,6 +410,8 @@ void Persistence::commit(const JournalRecord& rec) {
 void Persistence::checkpoint(std::uint64_t generation,
                              const SensitivityIndex& index,
                              const ShardedSensitivityIndex* shards) {
+  service_metrics().checkpoints->inc();
+  TraceScope span("checkpoint");
   write_snapshot(cfg_.dir, generation, index, shards);
   // Order matters: the snapshot is durable before the journal records it
   // subsumes are dropped — a crash between the two replays a no-op tail.

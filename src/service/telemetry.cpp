@@ -1,0 +1,114 @@
+#include "service/telemetry.hpp"
+
+#include <string>
+
+#include "service/query.hpp"
+#include "service/update.hpp"
+
+namespace mpcmst::service {
+
+// The label tables below are indexed by the enums' underlying values; pin
+// the orders together so a reordered enum cannot silently relabel series.
+static_assert(static_cast<std::size_t>(QueryKind::kPriceChange) == 0);
+static_assert(static_cast<std::size_t>(QueryKind::kReplacementEdge) == 1);
+static_assert(static_cast<std::size_t>(QueryKind::kTopKFragile) == 2);
+static_assert(static_cast<std::size_t>(QueryKind::kCorridorHeadroom) == 3);
+static_assert(static_cast<std::size_t>(UpdateClass::kNoChange) == 0);
+static_assert(static_cast<std::size_t>(UpdateClass::kTreeReweight) == 1);
+static_assert(static_cast<std::size_t>(UpdateClass::kTreeSwap) == 2);
+static_assert(static_cast<std::size_t>(UpdateClass::kNonTreeReweight) == 3);
+static_assert(static_cast<std::size_t>(UpdateClass::kNonTreeSwap) == 4);
+
+namespace {
+
+constexpr std::array<const char*, kNumQueryKinds> kKindLabels = {
+    "price_change", "replacement_edge", "top_k_fragile", "corridor_headroom"};
+
+constexpr std::array<const char*, kNumUpdateClasses> kClassLabels = {
+    "no_change", "tree_reweight", "tree_swap", "nontree_reweight",
+    "nontree_swap"};
+
+std::string kind_labels(std::size_t i) {
+  return std::string("kind=\"") + kKindLabels[i] + "\"";
+}
+
+std::string class_labels(std::size_t c) {
+  return std::string("class=\"") + kClassLabels[c] + "\"";
+}
+
+}  // namespace
+
+const char* query_kind_label(std::size_t kind) { return kKindLabels[kind]; }
+
+const char* update_class_label(std::size_t cls) { return kClassLabels[cls]; }
+
+ServiceMetrics& service_metrics() {
+  static ServiceMetrics m = [] {
+    MetricsRegistry& r = MetricsRegistry::instance();
+    ServiceMetrics b{};
+    for (std::size_t k = 0; k < kNumQueryKinds; ++k) {
+      b.queries[k] = &r.counter("mpcmst_queries_total", kind_labels(k));
+      b.query_latency[k] =
+          &r.histogram("mpcmst_query_latency_seconds", kind_labels(k));
+    }
+    b.batches = &r.counter("mpcmst_query_batches_total");
+    b.batch_size = &r.histogram("mpcmst_query_batch_size", "",
+                                MetricUnit::kCount);
+    b.batch_latency = &r.histogram("mpcmst_query_batch_latency_seconds");
+    b.cache_hits = &r.counter("mpcmst_cache_hits_total");
+    b.cache_misses = &r.counter("mpcmst_cache_misses_total");
+    b.cache_evictions = &r.counter("mpcmst_cache_evictions_total");
+    for (std::size_t c = 0; c < kNumUpdateClasses; ++c) {
+      b.updates[c] = &r.counter("mpcmst_updates_total", class_labels(c));
+      b.update_latency[c] =
+          &r.histogram("mpcmst_update_latency_seconds", class_labels(c));
+    }
+    b.update_rejects = &r.counter("mpcmst_update_rejects_total");
+    b.journal_append = &r.histogram("mpcmst_journal_append_seconds");
+    b.journal_fsync = &r.histogram("mpcmst_journal_fsync_seconds");
+    b.snapshot_write = &r.histogram("mpcmst_snapshot_write_seconds");
+    b.snapshot_load = &r.histogram("mpcmst_snapshot_load_seconds");
+    b.checkpoints = &r.counter("mpcmst_checkpoints_total");
+    b.recoveries = &r.counter("mpcmst_recoveries_total");
+    b.recovery_snapshot_load = &r.histogram(
+        "mpcmst_recovery_phase_seconds", "phase=\"snapshot_load\"");
+    b.recovery_tail_scan =
+        &r.histogram("mpcmst_recovery_phase_seconds", "phase=\"tail_scan\"");
+    b.recovery_replay =
+        &r.histogram("mpcmst_recovery_phase_seconds", "phase=\"replay\"");
+    return b;
+  }();
+  return m;
+}
+
+LatencySummary summarize(const HistogramSnapshot& h) {
+  LatencySummary s;
+  s.count = h.count;
+  s.mean_ns = h.mean();
+  s.p50_ns = h.percentile(0.50);
+  s.p90_ns = h.percentile(0.90);
+  s.p99_ns = h.percentile(0.99);
+  s.max_ns = h.max;
+  return s;
+}
+
+TelemetrySnapshot telemetry_snapshot() {
+  TelemetrySnapshot t;
+  const ServiceMetrics& m = service_metrics();
+  for (std::size_t k = 0; k < kNumQueryKinds; ++k) {
+    t.queries_by_kind[k] = m.queries[k]->total();
+    t.query_latency[k] = summarize(m.query_latency[k]->snapshot());
+  }
+  t.batch_size = summarize(m.batch_size->snapshot());
+  for (std::size_t c = 0; c < kNumUpdateClasses; ++c)
+    t.updates_by_class[c] = m.updates[c]->total();
+  t.journal_append = summarize(m.journal_append->snapshot());
+  t.journal_fsync = summarize(m.journal_fsync->snapshot());
+  t.snapshot_write = summarize(m.snapshot_write->snapshot());
+  t.snapshot_load = summarize(m.snapshot_load->snapshot());
+  t.checkpoints = m.checkpoints->total();
+  t.recoveries = m.recoveries->total();
+  return t;
+}
+
+}  // namespace mpcmst::service

@@ -7,6 +7,7 @@
 #include "common/check.hpp"
 #include "sensitivity/sensitivity.hpp"
 #include "service/snapshot.hpp"
+#include "service/telemetry.hpp"
 
 namespace mpcmst::service {
 
@@ -472,8 +473,26 @@ graph::Instance LiveMonolithBackend::instance_snapshot() const {
   return core_.instance();
 }
 
+namespace {
+
+/// Telemetry tail shared by both live backends: per-classification totals
+/// and latency (t0 == 0 means the clock was skipped — metrics disabled).
+void record_update_telemetry(const UpdateReceipt& r, std::uint64_t t0) {
+  ServiceMetrics& tm = service_metrics();
+  if (r.report.status != Status::kOk) {
+    tm.update_rejects->inc();
+    return;
+  }
+  const auto cls = static_cast<std::size_t>(r.report.cls) % kNumUpdateClasses;
+  tm.updates[cls]->inc();
+  if (t0 != 0) tm.update_latency[cls]->record(metrics_now_ns() - t0);
+}
+
+}  // namespace
+
 UpdateReceipt LiveMonolithBackend::apply_update(Vertex u, Vertex v,
                                                 Weight new_w) {
+  const std::uint64_t t0 = metrics_enabled() ? metrics_now_ns() : 0;
   std::unique_lock lock(mu_);
   const std::uint64_t old_fp = core_.index().fingerprint();
   const auto out = core_.apply(u, v, new_w);
@@ -489,6 +508,7 @@ UpdateReceipt LiveMonolithBackend::apply_update(Vertex u, Vertex v,
       persist_->checkpoint(epoch, core_.index(), nullptr);
   }
   r.generation = generation_.load(std::memory_order_relaxed);
+  record_update_telemetry(r, t0);
   return r;
 }
 
@@ -650,6 +670,7 @@ void LiveShardedBackend::scatter(const ChangedSet& changed,
 
 UpdateReceipt LiveShardedBackend::apply_update(Vertex u, Vertex v,
                                                Weight new_w) {
+  const std::uint64_t t0 = metrics_enabled() ? metrics_now_ns() : 0;
   std::unique_lock lock(mu_);
   const std::uint64_t old_fp = shards_.fingerprint();
   const auto out = core_.apply(u, v, new_w);
@@ -666,6 +687,7 @@ UpdateReceipt LiveShardedBackend::apply_update(Vertex u, Vertex v,
       persist_->checkpoint(epoch, core_.index(), &shards_);
   }
   r.generation = generation_.load(std::memory_order_relaxed);
+  record_update_telemetry(r, t0);
   return r;
 }
 
