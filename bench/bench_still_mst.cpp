@@ -1,0 +1,209 @@
+// still_mst scenario verification vs the naive alternative: for a batch of k
+// simultaneous price changes, answer "is T still an MST, and which edges
+// certify the violation?" from the standing index (one covers() overlay pass
+// over the cached labels) and compare against apply-then-rebuild — copy the
+// instance, write the k weights, rebuild the host index, scan its violation
+// roster.  This is the paper's verification-vs-recomputation gap measured on
+// the serving tier: the batch certifier does O(k) path probes per cached
+// label, the rebuild pays the full O(m alpha) label construction again.  CI
+// gates on the k<=64 speedup staying above 1x (verification must beat
+// recomputation) via check_regression.py.
+//
+// Measurement discipline: every timed region wraps exactly one certification
+// pass or one rebuild; answers are cross-checked for equality after timing so
+// the bench is also an end-to-end parity assertion.
+//
+//   $ ./bench_still_mst [n] [out.json] [shards]
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <random>
+#include <vector>
+
+#include "common/table.hpp"
+#include "graph/generators.hpp"
+#include "service/router.hpp"
+#include "service/service.hpp"
+
+using namespace mpcmst;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+std::vector<service::PriceChange> make_batch(const graph::Instance& inst,
+                                             std::mt19937_64& rng,
+                                             std::size_t k) {
+  std::vector<service::PriceChange> batch;
+  batch.reserve(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    service::PriceChange c;
+    if (rng() % 2 == 0) {
+      graph::Vertex child;
+      do {
+        child = static_cast<graph::Vertex>(rng() % inst.n());
+      } while (child == inst.tree.root);
+      c.u = child;
+      c.v = inst.tree.parent[static_cast<std::size_t>(child)];
+      c.new_w = inst.tree.weight[static_cast<std::size_t>(child)] +
+                static_cast<graph::Weight>(rng() % 31) - 15;
+    } else {
+      const graph::WEdge& e = inst.nontree[rng() % inst.nontree.size()];
+      c.u = e.u;
+      c.v = e.v;
+      c.new_w = e.w + static_cast<graph::Weight>(rng() % 31) - 15;
+    }
+    batch.push_back(c);
+  }
+  return batch;
+}
+
+/// The naive oracle: apply the batch to a scratch copy, rebuild the host
+/// index, read the violation roster.  Returns the certificate count (the
+/// timed work is everything up to and including the roster scan).
+std::size_t apply_then_rebuild(const graph::Instance& base,
+                               const service::SensitivityIndex& pre,
+                               const std::vector<service::PriceChange>& batch,
+                               std::vector<std::int64_t>& cert_ids) {
+  graph::Instance scratch = base;
+  for (const service::PriceChange& c : batch) {
+    const auto ref = pre.find(c.u, c.v);
+    if (!ref) continue;  // bench batches only touch known edges
+    if (ref->is_tree)
+      scratch.tree.weight[static_cast<std::size_t>(ref->id)] = c.new_w;
+    else
+      scratch.nontree[static_cast<std::size_t>(ref->id)].w = c.new_w;
+  }
+  const auto rebuilt = service::SensitivityIndex::build_host(scratch);
+  const service::NonTreeLabels& nt = rebuilt->nontree_labels();
+  cert_ids.clear();
+  for (std::size_t i = 0; i < nt.size(); ++i)
+    if (nt.w[i] < nt.maxpath[i])
+      cert_ids.push_back(static_cast<std::int64_t>(i));
+  return cert_ids.size();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t n = argc > 1 ? std::stoul(argv[1]) : 20000;
+  const std::string out_path = argc > 2 ? argv[2] : "BENCH_still_mst.json";
+  const std::size_t shards = argc > 3 ? std::stoul(argv[3]) : 1;
+
+  auto tree = graph::random_recursive_tree(n, 3101);
+  graph::assign_random_tree_weights(tree, 1, 1000, 3102);
+  const auto inst = graph::make_mst_instance(std::move(tree), 3 * n, 3103,
+                                             /*slack=*/16);
+
+  const auto t_build = Clock::now();
+  const auto index = service::SensitivityIndex::build_host(inst);
+  const double build_wall = seconds_since(t_build);
+
+  std::shared_ptr<const service::IndexBackend> backend;
+  if (shards > 1)
+    backend = std::make_shared<const service::QueryRouter>(
+        service::ShardedSensitivityIndex::split(*index, shards));
+  else
+    backend = std::make_shared<const service::MonolithicBackend>(index);
+
+  std::cout << "instance: n=" << inst.n() << " m=" << inst.m()
+            << "; host index build: " << format_double(build_wall, 3)
+            << "s; backend: " << shards << " shard" << (shards == 1 ? "" : "s")
+            << "\n\n";
+
+  constexpr int kReps = 12;
+  Table table({"k", "still_mst ms", "rebuild ms", "speedup", "violations"});
+  struct Point {
+    std::size_t k;
+    double verify_ms, rebuild_ms, speedup;
+    std::size_t violations;
+  };
+  std::vector<Point> points;
+  std::mt19937_64 rng(3104);
+
+  for (const std::size_t k :
+       {std::size_t{1}, std::size_t{4}, std::size_t{16}, std::size_t{64}}) {
+    std::vector<std::vector<service::PriceChange>> batches;
+    std::vector<service::Query> queries;
+    for (int r = 0; r < kReps; ++r) {
+      batches.push_back(make_batch(inst, rng, k));
+      queries.push_back(service::Query::still_mst(batches.back()));
+    }
+
+    // Timed region 1: the batch certifier, one pass per scenario.
+    std::vector<service::Answer> answers(queries.size());
+    const auto t_verify = Clock::now();
+    for (std::size_t r = 0; r < queries.size(); ++r)
+      answers[r] = backend->answer(queries[r]);
+    const double verify_s = seconds_since(t_verify) / kReps;
+
+    // Timed region 2: apply-then-rebuild for the same scenarios.
+    std::vector<std::vector<std::int64_t>> oracle_ids(queries.size());
+    const auto t_rebuild = Clock::now();
+    for (std::size_t r = 0; r < batches.size(); ++r)
+      (void)apply_then_rebuild(inst, *index, batches[r], oracle_ids[r]);
+    const double rebuild_s = seconds_since(t_rebuild) / kReps;
+
+    // Parity assertion (outside the timed regions): same certificate sets.
+    std::size_t violations = 0;
+    for (std::size_t r = 0; r < answers.size(); ++r) {
+      if (answers[r].status != service::Status::kOk ||
+          answers[r].certificates.size() != oracle_ids[r].size()) {
+        std::cerr << "FATAL: still_mst diverged from apply-then-rebuild at k="
+                  << k << " rep=" << r << "\n";
+        return 1;
+      }
+      for (std::size_t i = 0; i < oracle_ids[r].size(); ++i)
+        if (answers[r].certificates[i].orig_id != oracle_ids[r][i]) {
+          std::cerr << "FATAL: certificate mismatch at k=" << k << "\n";
+          return 1;
+        }
+      violations += answers[r].certificates.size();
+    }
+
+    const double speedup = rebuild_s / verify_s;
+    points.push_back(
+        {k, verify_s * 1e3, rebuild_s * 1e3, speedup, violations});
+    table.row(k, verify_s * 1e3, rebuild_s * 1e3,
+              format_double(speedup, 1) + "x", violations);
+  }
+  table.print(std::cout,
+              "still_mst vs apply-then-rebuild (mean of " +
+                  std::to_string(kReps) + " scenarios per k)");
+
+  const Point& worst = *std::min_element(
+      points.begin(), points.end(),
+      [](const Point& a, const Point& b) { return a.speedup < b.speedup; });
+  std::cout << "\nworst-case speedup: " << format_double(worst.speedup, 1)
+            << "x at k=" << worst.k
+            << " (verification must beat recomputation for every k<=64)\n";
+
+  std::ofstream out(out_path);
+  JsonWriter j(out);
+  j.begin_object();
+  j.key("bench").value("still_mst");
+  j.key("n").value(inst.n());
+  j.key("m").value(inst.m());
+  j.key("shards").value(shards);
+  j.key("host_build_wall_s").value(build_wall);
+  j.key("reps_per_k").value(static_cast<std::size_t>(kReps));
+  j.key("points").begin_array();
+  for (const Point& p : points) {
+    j.begin_object();
+    j.key("k").value(p.k);
+    j.key("verify_ms").value(p.verify_ms);
+    j.key("rebuild_ms").value(p.rebuild_ms);
+    j.key("speedup_vs_rebuild").value(p.speedup);
+    j.key("violations").value(p.violations);
+    j.end_object();
+  }
+  j.end_array();
+  j.key("min_speedup_vs_rebuild").value(worst.speedup);
+  j.end_object();
+  std::cout << "wrote " << out_path << "\n";
+  return 0;
+}

@@ -47,6 +47,10 @@ METRICS_OVERHEAD_RATIO = 0.97
 METRICS = {
     "build": [("build_wall_s", False), ("host_build_wall_s", False)],
     "service_throughput": [("best_warm_qps", True)],
+    # Batched scenario verification must keep beating apply-then-rebuild at
+    # its worst k (<= 64); a drop toward 1x means the certifier degraded into
+    # recomputation.
+    "still_mst": [("min_speedup_vs_rebuild", True)],
 }
 
 

@@ -21,6 +21,11 @@
 //   replace <u> <v>         cheapest swap-in for a tree edge
 //   top <k>                 k least-headroom tree edges
 //   headroom <u> <v>        sensitivity of an edge (Definition 1.2)
+//   still_mst <u> <v> <w> [<u> <v> <w> ...]
+//                           scenario query: is T still an MST when all the
+//                           listed edges take these absolute prices at once?
+//                           (reports the violating edges if not; read-only —
+//                           the live generation is not mutated)
 //   update <u> <v> <price>  absorb a confirmed price change (--live only)
 //   checkpoint              force a snapshot + journal compaction (--persist)
 //   receipt                 cost of the one-time distributed build
@@ -49,7 +54,8 @@ namespace {
 
 void print_help() {
   std::cout << "commands: price <u> <v> <delta> | replace <u> <v> | top <k>"
-               " | headroom <u> <v> | update <u> <v> <price> | checkpoint"
+               " | headroom <u> <v> | still_mst <u> <v> <w> [...]"
+               " | update <u> <v> <price> | checkpoint"
                " | receipt | stats | metrics [prom|json] | trace [file]"
                " | help | quit\n";
 }
@@ -233,6 +239,22 @@ int main(int argc, char** argv) {
         continue;
       }
       std::cout << to_string(service->corridor_headroom(u, v)) << "\n";
+    } else if (cmd == "still_mst") {
+      std::vector<service::PriceChange> changes;
+      graph::Weight w;
+      while (in >> u >> v >> w)
+        changes.push_back(service::PriceChange{u, v, w});
+      if (changes.empty()) {
+        std::cout << "usage: still_mst <u> <v> <w> [<u> <v> <w> ...]\n";
+        continue;
+      }
+      const auto a = service->still_mst(std::move(changes));
+      if (a.status != service::Status::kOk)
+        std::cout << to_string(a) << "\n";
+      else if (a.still_optimal)
+        std::cout << "still an MST under the scenario\n";
+      else
+        std::cout << to_string(a) << "\n";
     } else if (cmd == "update") {
       graph::Weight price;
       if (!(in >> u >> v >> price)) {

@@ -31,4 +31,30 @@ constexpr bool coin(std::uint64_t seed, std::uint64_t step,
   return (hash_combine(seed, step, id) & 1ULL) != 0;
 }
 
+/// Incremental hash over a variable-length word sequence.  Order- and
+/// length-sensitive: every word is mixed into the running state, and the
+/// digest folds in the word count, so [a] / [a, 0] / [0, a] all land apart.
+/// Callers hashing *sets* (the service's batch change-set cache keys) must
+/// canonicalize first — sort and dedup — so permuted-but-equal inputs feed
+/// identical sequences; HashStream itself never reorders.
+class HashStream {
+ public:
+  constexpr HashStream() = default;
+  constexpr explicit HashStream(std::uint64_t seed) : state_(mix64(seed)) {}
+
+  constexpr HashStream& mix(std::uint64_t word) noexcept {
+    state_ = hash_combine(state_, word);
+    ++count_;
+    return *this;
+  }
+
+  constexpr std::uint64_t digest() const noexcept {
+    return hash_combine(state_, count_);
+  }
+
+ private:
+  std::uint64_t state_ = 0x2545f4914f6cdd1dULL;
+  std::uint64_t count_ = 0;
+};
+
 }  // namespace mpcmst

@@ -89,6 +89,9 @@ std::uint64_t SensitivityIndex::fingerprint_of(const graph::Instance& inst) {
 void SensitivityIndex::finish(SensitivityIndex& idx,
                               const graph::Instance& inst,
                               const verify::TreeTopology& topo) {
+  // Keep the topology view: the still_mst batch certifier and the update
+  // path's repairs ask it structural questions against these same labels.
+  idx.topo_ = topo;
   // The three tails touch disjoint members (replacement column + cross-check,
   // endpoint map, fragility order), so they run as independent pool tasks.
   ThreadPool& pool = ThreadPool::shared();

@@ -257,6 +257,13 @@ class SensitivityIndex {
   /// Tree edges (as child vertices) by ascending sensitivity, ties by id.
   const std::vector<Vertex>& fragile_order() const { return fragile_order_; }
 
+  /// Weight-agnostic topology view of the snapshotted tree (the path-repair
+  /// primitive).  Captured by both build paths from the same prelude the
+  /// labels came from; stays valid across reweights because it caches no
+  /// weights, and is replaced wholesale on structure changes (the update
+  /// path's swap relabels go through build_host, which installs a fresh one).
+  const verify::TreeTopology& topology() const { return topo_; }
+
   /// Compute the instance fingerprint without building an index.
   static std::uint64_t fingerprint_of(const graph::Instance& inst);
 
@@ -278,6 +285,7 @@ class SensitivityIndex {
   NonTreeLabels nontree_;
   std::vector<Vertex> fragile_order_;
   std::unordered_map<std::uint64_t, EdgeRef> by_endpoints_;
+  verify::TreeTopology topo_;
   CostReceipt receipt_;
 };
 

@@ -48,6 +48,35 @@ Query Query::corridor_headroom(Vertex u, Vertex v) {
   return edge_query(QueryKind::kCorridorHeadroom, u, v);
 }
 
+Query Query::still_mst(std::vector<PriceChange> changes) {
+  Query q;
+  q.kind = QueryKind::kStillMst;
+  for (PriceChange& c : changes) {
+    if (c.u > c.v) std::swap(c.u, c.v);
+    // Same sentinel-band clamp as price_change: weights live well inside the
+    // band, so every clamped scenario answers like the band edge.
+    c.new_w = std::clamp(c.new_w, graph::kNegInfW, graph::kPosInfW);
+  }
+  // Canonical form: sorted by endpoints, one entry per edge.  The sort is
+  // stable so "last occurrence wins" survives it — a scenario that restates
+  // a price means the restatement.
+  std::stable_sort(changes.begin(), changes.end(),
+                   [](const PriceChange& a, const PriceChange& b) {
+                     return a.u != b.u ? a.u < b.u : a.v < b.v;
+                   });
+  std::size_t out = 0;
+  for (std::size_t i = 0; i < changes.size(); ++i) {
+    if (out > 0 && changes[out - 1].u == changes[i].u &&
+        changes[out - 1].v == changes[i].v)
+      changes[out - 1].new_w = changes[i].new_w;  // last write wins
+    else
+      changes[out++] = changes[i];
+  }
+  changes.resize(out);
+  q.changes = std::move(changes);
+  return q;
+}
+
 FragileEntry make_fragile_entry(Vertex child, const TreeEdgeInfo& e) {
   return FragileEntry{child, e.parent, e.w, e.sens, e.replacement};
 }
@@ -86,6 +115,29 @@ Answer answer_for_nontree_edge(const Query& q, EdgeRef ref,
 }
 
 Answer answer_query(const SensitivityIndex& index, const Query& q) {
+  if (q.kind == QueryKind::kStillMst) {
+    Answer a;
+    std::vector<verify::ResolvedChange> resolved;
+    a.status = resolve_changes(
+        [&index](Vertex u, Vertex v) { return index.find(u, v); }, q.changes,
+        resolved);
+    if (a.status != Status::kOk) return a;
+    const std::vector<Weight>& tw = index.tree_labels().w;
+    const verify::BatchCertifier cert(
+        index.topology(),
+        [&tw](Vertex child) { return tw[static_cast<std::size_t>(child)]; },
+        resolved);
+    // One pass over the non-tree labels: k O(1) covers() probes per edge,
+    // path re-walks only where the batch actually crosses — verification,
+    // never recomputation.  Certificates land in ascending orig_id.
+    const NonTreeLabels& nt = index.nontree_labels();
+    for (std::size_t i = 0; i < nt.size(); ++i)
+      if (const auto viol = cert.certify(static_cast<std::int64_t>(i), nt.u[i],
+                                         nt.v[i], nt.w[i], nt.maxpath[i]))
+        a.certificates.push_back(*viol);
+    a.still_optimal = a.certificates.empty();
+    return a;
+  }
   if (q.kind == QueryKind::kTopKFragile) {
     Answer a;
     const auto& order = index.fragile_order();
@@ -124,6 +176,9 @@ std::string to_string(const Query& q) {
     case QueryKind::kCorridorHeadroom:
       os << "corridor_headroom({" << q.u << "," << q.v << "})";
       break;
+    case QueryKind::kStillMst:
+      os << "still_mst(" << q.changes.size() << " changes)";
+      break;
   }
   return os.str();
 }
@@ -137,6 +192,14 @@ std::string to_string(const Answer& a) {
       return "not applicable (non-tree edge)";
     case Status::kOk:
       break;
+  }
+  if (!a.certificates.empty()) {
+    os << "no longer an MST: " << a.certificates.size()
+       << " violating edge(s):";
+    for (const verify::ViolationCert& c : a.certificates)
+      os << " #" << c.orig_id << "{" << c.u << "," << c.v
+         << "} w=" << weight_str(c.w) << " < path_max=" << weight_str(c.maxpath);
+    return os.str();
   }
   if (!a.fragile.empty() || a.edge.id < 0) {
     os << a.fragile.size() << " fragile edges:";

@@ -43,7 +43,8 @@ Answer QueryRouter::answer(const Query& q) const {
 
 std::size_t point_query_shard(const ShardedSensitivityIndex& index,
                               const Query& q) {
-  if (q.kind == QueryKind::kTopKFragile) return 0;
+  if (q.kind == QueryKind::kTopKFragile || q.kind == QueryKind::kStillMst)
+    return 0;  // fan-out queries touch every shard; no single-shard hint
   const Vertex a = std::min(q.u, q.v);
   if (a < 0 || a >= static_cast<Vertex>(index.n())) return 0;
   return index.shard_of(a);
@@ -51,6 +52,7 @@ std::size_t point_query_shard(const ShardedSensitivityIndex& index,
 
 Answer route_query(const ShardedSensitivityIndex& index, const Query& q) {
   if (q.kind == QueryKind::kTopKFragile) return merge_top_k(index, q);
+  if (q.kind == QueryKind::kStillMst) return merge_still_mst(index, q);
   const auto res = index.resolve(q.u, q.v);
   if (!res) {
     Answer a;
@@ -118,6 +120,53 @@ Answer merge_top_k(const ShardedSensitivityIndex& index, const Query& q) {
   MPCMST_ASSERT(index.generation() == epoch,
                 "top_k merge: index advanced mid-merge (epoch " << epoch
                                                                 << ")");
+  return a;
+}
+
+Answer merge_still_mst(const ShardedSensitivityIndex& index, const Query& q) {
+  // Same epoch barrier as merge_top_k: the resolutions, the tree-weight
+  // overlay and every shard's certification must observe one generation.
+  const std::uint64_t epoch = index.generation();
+  Answer a;
+  std::vector<verify::ResolvedChange> resolved;
+  a.status = resolve_changes(
+      [&index](Vertex u, Vertex v) -> std::optional<EdgeRef> {
+        const auto res = index.resolve(u, v);
+        if (!res) return std::nullopt;
+        return res->ref;
+      },
+      q.changes, resolved);
+  if (a.status != Status::kOk) return a;
+
+  const verify::BatchCertifier cert(
+      index.topology(),
+      [&index](Vertex child) {
+        const IndexShard& s = index.shard(index.shard_of(child));
+        return s.tree.w[static_cast<std::size_t>(child - s.lo)];
+      },
+      resolved);
+  for (std::size_t i = 0; i < index.num_shards(); ++i) {
+    const IndexShard& s = index.shard(i);
+    MPCMST_ASSERT(s.generation == epoch,
+                  "still_mst merge: shard " << i << " carries generation "
+                                            << s.generation << " != epoch "
+                                            << epoch);
+    for (std::size_t r = 0; r < s.nontree_ids.size(); ++r)
+      if (const auto viol =
+              cert.certify(s.nontree_ids[r], s.nontree.u[r], s.nontree.v[r],
+                           s.nontree.w[r], s.nontree.maxpath[r]))
+        a.certificates.push_back(*viol);
+  }
+  // Per-shard rosters ascend in orig_id but interleave across shards; the
+  // monolith scans ascending globally, so merge to that order.
+  std::sort(a.certificates.begin(), a.certificates.end(),
+            [](const verify::ViolationCert& x, const verify::ViolationCert& y) {
+              return x.orig_id < y.orig_id;
+            });
+  a.still_optimal = a.certificates.empty();
+  MPCMST_ASSERT(index.generation() == epoch,
+                "still_mst merge: index advanced mid-merge (epoch " << epoch
+                                                                    << ")");
   return a;
 }
 

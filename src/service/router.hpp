@@ -144,4 +144,13 @@ Answer route_query(const ShardedSensitivityIndex& index, const Query& q);
 /// combined answer.
 Answer merge_top_k(const ShardedSensitivityIndex& index, const Query& q);
 
+/// still_mst over shards: every change resolves through the endpoint maps
+/// (≤2 probes each), then each shard certifies its own non-tree roster
+/// against the batch (tree weights served from the owning shard's columns,
+/// global path questions from the router-resident topology) and the router
+/// merges the per-shard certificate lists into ascending orig_id — the
+/// monolith's scan order, so answers stay byte-identical.  Runs behind the
+/// same epoch barrier as merge_top_k.
+Answer merge_still_mst(const ShardedSensitivityIndex& index, const Query& q);
+
 }  // namespace mpcmst::service

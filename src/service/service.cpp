@@ -311,6 +311,10 @@ Answer QueryService::top_k_fragile(std::int64_t k) {
   return answer(Query::top_k_fragile(k));
 }
 
+Answer QueryService::still_mst(std::vector<PriceChange> changes) {
+  return answer(Query::still_mst(std::move(changes)));
+}
+
 Answer QueryService::corridor_headroom(Vertex u, Vertex v) {
   return answer(Query::corridor_headroom(u, v));
 }

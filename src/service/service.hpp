@@ -117,11 +117,14 @@ class QueryService {
   /// single-query generation check).
   std::vector<Answer> answer_batch(const std::vector<Query>& queries);
 
-  // Typed shorthands for the four query families.
+  // Typed shorthands for the five query families.
   Answer price_change(Vertex u, Vertex v, Weight delta);
   Answer replacement_edge(Vertex u, Vertex v);
   Answer top_k_fragile(std::int64_t k);
   Answer corridor_headroom(Vertex u, Vertex v);
+  /// Batched verification (the scenario query): is T still an MST when all
+  /// of `changes` land at once — and if not, which edges certify it?
+  Answer still_mst(std::vector<PriceChange> changes);
 
   /// The answer source (works for every backend).
   const IndexBackend& backend() const { return *backend_; }

@@ -100,11 +100,11 @@ std::shared_ptr<const ShardedSensitivityIndex> ShardedSensitivityIndex::build(
   for (const sensitivity::TreeEdgeSens& t : sens.tree.local())
     t_of[idx->shard_of(t.v)].push_back(&t);
 
-  // Replacement argmins + cross-check against the distributed mc values.
-  // The [Tar82] relaxation is a transient host pass (its topology view comes
-  // straight from the shared prelude); shards only retain their own range.
-  const std::vector<std::int64_t> repl =
-      replacement_edges(inst, verify::TreeTopology::from_artifacts(artifacts));
+  // Topology view from the shared prelude: retained for the router's
+  // still_mst certificate merge, and lent to the [Tar82] replacement
+  // relaxation below; shards themselves only retain their own label range.
+  idx->topo_ = verify::TreeTopology::from_artifacts(artifacts);
+  const std::vector<std::int64_t> repl = replacement_edges(inst, idx->topo_);
 
   const auto is_tree_edge = [&inst](Vertex a, Vertex b) {
     return (a != inst.tree.root && inst.tree.parent[a] == b) ||
@@ -204,6 +204,7 @@ std::shared_ptr<const ShardedSensitivityIndex> ShardedSensitivityIndex::split(
   idx->receipt_ = full.receipt();
   idx->n_ = full.n();
   idx->num_nontree_ = full.num_nontree();
+  idx->topo_ = full.topology();
   idx->init_partition(full.n(), num_shards);
 
   // Bucket non-tree ids by owning shard first, so the per-shard fill below
@@ -263,6 +264,27 @@ std::optional<NonTreeEdgeInfo> ShardedSensitivityIndex::nontree_info(
   for (const IndexShard& s : shards_)
     if (const auto e = s.nontree_edge(orig_id)) return e;
   return std::nullopt;
+}
+
+bool ShardedSensitivityIndex::rebuild_topology() {
+  graph::RootedTree tree;
+  tree.n = n_;
+  tree.root = root_;
+  tree.parent.assign(n_, -1);
+  tree.weight.assign(n_, 0);
+  if (root_ < 0 || static_cast<std::size_t>(root_) >= std::max<std::size_t>(
+                                                         n_, 1))
+    return false;
+  for (const IndexShard& s : shards_)
+    for (Vertex v = s.lo; v < s.hi; ++v) {
+      const auto slot = static_cast<std::size_t>(v - s.lo);
+      tree.parent[static_cast<std::size_t>(v)] = s.tree.parent[slot];
+      tree.weight[static_cast<std::size_t>(v)] = s.tree.w[slot];
+    }
+  tree.parent[static_cast<std::size_t>(root_)] = root_;
+  if (!tree.well_formed()) return false;
+  topo_ = verify::TreeTopology(tree);
+  return true;
 }
 
 std::size_t ShardedSensitivityIndex::max_shard_words() const {

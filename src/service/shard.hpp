@@ -178,6 +178,13 @@ class ShardedSensitivityIndex {
   /// tier must hold (the quantity sharding exists to bound).
   std::size_t max_shard_words() const;
 
+  /// Weight-agnostic topology view of the whole tree (see
+  /// SensitivityIndex::topology).  Router-resident, not per-shard: the
+  /// still_mst certificate merge asks global path questions the per-range
+  /// label slices cannot answer alone, and the view costs O(n) words of
+  /// structure (no labels) — the router already holds O(1) per-shard state.
+  const verify::TreeTopology& topology() const { return topo_; }
+
  private:
   friend class LiveShardedBackend;  // update.hpp: in-place generation patches
   friend struct SnapshotCodec;      // snapshot.cpp (de)serializes the shards
@@ -188,6 +195,10 @@ class ShardedSensitivityIndex {
   void init_partition(std::size_t n, std::size_t num_shards);
   /// Per-shard fragility sort, cost accounting, violation totals.
   void finalize();
+  /// Reassemble topo_ from the per-shard parent columns (deserialization —
+  /// the builds capture it from their prelude instead).  False if the
+  /// columns do not form a rooted tree (corrupt snapshot).
+  bool rebuild_topology();
 
   std::size_t n_ = 0;
   std::size_t num_nontree_ = 0;
@@ -197,6 +208,7 @@ class ShardedSensitivityIndex {
   std::uint64_t fingerprint_ = 0;
   std::uint64_t generation_ = 0;
   CostReceipt receipt_;
+  verify::TreeTopology topo_;
   std::vector<IndexShard> shards_;
 };
 

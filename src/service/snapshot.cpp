@@ -155,6 +155,13 @@ struct SnapshotCodec {
     if (!r.ok() || !tree_labels_consistent(idx->tree_) ||
         !nontree_labels_consistent(idx->nontree_))
       return nullptr;
+    // The topology view is derived state (parent column + root); rebuild it
+    // rather than serializing a second copy of the structure.  Validate
+    // first: a CRC-valid but malformed parent column must fail the load,
+    // not throw out of it.
+    graph::Instance canon = instance_from_index(*idx);
+    if (!canon.tree.well_formed()) return nullptr;
+    idx->topo_ = verify::TreeTopology(canon.tree);
     return idx;
   }
 
@@ -225,6 +232,8 @@ struct SnapshotCodec {
     idx->shards_.resize(static_cast<std::size_t>(num_shards));
     for (IndexShard& s : idx->shards_)
       if (!decode_shard(r, s)) return nullptr;
+    // Derived from the per-shard parent columns; fails on malformed ones.
+    if (!idx->rebuild_topology()) return nullptr;
     return idx;
   }
 

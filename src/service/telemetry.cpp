@@ -13,6 +13,7 @@ static_assert(static_cast<std::size_t>(QueryKind::kPriceChange) == 0);
 static_assert(static_cast<std::size_t>(QueryKind::kReplacementEdge) == 1);
 static_assert(static_cast<std::size_t>(QueryKind::kTopKFragile) == 2);
 static_assert(static_cast<std::size_t>(QueryKind::kCorridorHeadroom) == 3);
+static_assert(static_cast<std::size_t>(QueryKind::kStillMst) == 4);
 static_assert(static_cast<std::size_t>(UpdateClass::kNoChange) == 0);
 static_assert(static_cast<std::size_t>(UpdateClass::kTreeReweight) == 1);
 static_assert(static_cast<std::size_t>(UpdateClass::kTreeSwap) == 2);
@@ -22,7 +23,8 @@ static_assert(static_cast<std::size_t>(UpdateClass::kNonTreeSwap) == 4);
 namespace {
 
 constexpr std::array<const char*, kNumQueryKinds> kKindLabels = {
-    "price_change", "replacement_edge", "top_k_fragile", "corridor_headroom"};
+    "price_change", "replacement_edge", "top_k_fragile", "corridor_headroom",
+    "still_mst"};
 
 constexpr std::array<const char*, kNumUpdateClasses> kClassLabels = {
     "no_change", "tree_reweight", "tree_swap", "nontree_reweight",

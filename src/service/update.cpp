@@ -162,14 +162,14 @@ UpdateReport apply_update_to_instance(graph::Instance& inst, Vertex u,
 
 LiveCore::LiveCore(graph::Instance inst,
                    std::shared_ptr<const SensitivityIndex> snapshot)
-    : inst_(std::move(inst)), idx_(*snapshot), topo_(inst_.tree) {
+    : inst_(std::move(inst)), idx_(*snapshot) {
   MPCMST_ASSERT(idx_.fingerprint_ == SensitivityIndex::fingerprint_of(inst_),
                 "LiveCore: snapshot does not match the instance");
 }
 
 Weight LiveCore::path_max_excluding(Vertex u, Vertex v, Vertex skip) const {
   Weight best = kNegInfW;
-  for (Vertex x : topo_.path_children(u, v))
+  for (Vertex x : topo().path_children(u, v))
     if (x != skip)
       best = std::max(best, inst_.tree.weight[static_cast<std::size_t>(x)]);
   return best;
@@ -243,7 +243,7 @@ void LiveCore::tree_reweight(Vertex c, Weight new_w, ChangedSet& changed) {
   // labels its weight can reach (mc values only read non-tree weights).
   NonTreeLabels& nt = idx_.nontree_;
   for (std::size_t i = 0; i < nt.size(); ++i) {
-    if (nt.u[i] == nt.v[i] || !topo_.covers(c, nt.u[i], nt.v[i])) continue;
+    if (nt.u[i] == nt.v[i] || !topo().covers(c, nt.u[i], nt.v[i])) continue;
     const Weight mp = std::max(new_w, path_max_excluding(nt.u[i], nt.v[i], c));
     if (mp == nt.maxpath[i]) continue;
     nt.maxpath[i] = mp;
@@ -266,7 +266,7 @@ void LiveCore::nontree_reweight(std::int64_t id, Weight new_w,
     // The edge's covering contribution moved: cheaper offers are taken on
     // the spot, path edges that leaned on it as argmin recompute below.
     std::vector<Vertex> recompute;
-    for (Vertex x : topo_.path_children(fu, fv)) {
+    for (Vertex x : topo().path_children(fu, fv)) {
       const auto xi = static_cast<std::size_t>(x);
       if (idx_.tree_.replacement[xi] == id) {
         if (new_w <= old_w)
@@ -283,7 +283,7 @@ void LiveCore::nontree_reweight(std::int64_t id, Weight new_w,
       for (std::size_t j = 0; j < nt.size(); ++j) {
         if (nt.u[j] == nt.v[j]) continue;
         for (std::size_t r = 0; r < recompute.size(); ++r)
-          if (topo_.covers(recompute[r], nt.u[j], nt.v[j]))
+          if (topo().covers(recompute[r], nt.u[j], nt.v[j]))
             best[r] = std::min(
                 best[r], WeightId{nt.w[j], static_cast<std::int64_t>(j)});
       }
@@ -298,7 +298,6 @@ void LiveCore::relabel(ChangedSet& changed) {
   changed.full = true;
   const CostReceipt receipt = idx_.receipt_;
   idx_ = *SensitivityIndex::build_host(inst_, receipt);
-  topo_ = verify::TreeTopology(inst_.tree);
   MPCMST_ASSERT(idx_.violations_ == 0,
                 "apply_update: exchange left a violated instance");
 }
@@ -332,7 +331,7 @@ LiveCore::Outcome LiveCore::apply(Vertex u, Vertex v, Weight new_w) {
       out.report.cls = UpdateClass::kTreeSwap;
       out.report.swapped_out = c;
       out.report.swapped_in = repl;
-      exchange_edges(inst_, topo_, c, repl,
+      exchange_edges(inst_, topo(), c, repl,
                      /*promoted_w=*/
                      inst_.nontree[static_cast<std::size_t>(repl)].w,
                      /*demoted_w=*/new_w);
@@ -351,10 +350,10 @@ LiveCore::Outcome LiveCore::apply(Vertex u, Vertex v, Weight new_w) {
       nontree_reweight(id, new_w, out.changed);
     } else {
       out.report.cls = UpdateClass::kNonTreeSwap;
-      const Vertex d = heaviest_path_child(inst_, topo_, e_u, e_v);
+      const Vertex d = heaviest_path_child(inst_, topo(), e_u, e_v);
       out.report.swapped_out = d;
       out.report.swapped_in = id;
-      exchange_edges(inst_, topo_, d, id, /*promoted_w=*/new_w,
+      exchange_edges(inst_, topo(), d, id, /*promoted_w=*/new_w,
                      /*demoted_w=*/
                      inst_.tree.weight[static_cast<std::size_t>(d)]);
       relabel(out.changed);

@@ -96,7 +96,8 @@ struct UpdateReceipt {
 };
 
 /// The single-sourced update engine: one mutable monolithic generation
-/// (instance + SensitivityIndex value + structure-only topology view).
+/// (instance + SensitivityIndex value; the structure-only topology view
+/// travels inside the index — see SensitivityIndex::topology()).
 /// Both live backends delegate here, so the monolith and the shards can
 /// never disagree on what an update means.  Not internally synchronized —
 /// the owning backend holds the lock.
@@ -122,7 +123,7 @@ class LiveCore {
   void tree_reweight(Vertex c, Weight new_w, ChangedSet& changed);
   void nontree_reweight(std::int64_t id, Weight new_w, ChangedSet& changed);
   /// Swap path: the instance was already exchanged; relabel everything
-  /// host-side and rebuild the topology view.
+  /// host-side (the rebuilt index carries a fresh topology view).
   void relabel(ChangedSet& changed);
   /// Move mc/replacement of tree edge `child` (updating sens + order).
   void set_mc(Vertex child, Weight mc, std::int64_t repl, ChangedSet& changed);
@@ -133,9 +134,12 @@ class LiveCore {
   /// Recompute the lightest-duplicate resolution of one endpoint key.
   void re_resolve_key(Vertex u, Vertex v, ChangedSet& changed);
 
+  /// The index's weight-agnostic topology view (valid across reweights;
+  /// swaps replace the whole index, topology included).
+  const verify::TreeTopology& topo() const { return idx_.topology(); }
+
   graph::Instance inst_;
-  SensitivityIndex idx_;       // mutated through friendship
-  verify::TreeTopology topo_;  // weight-agnostic; rebuilt on swaps only
+  SensitivityIndex idx_;  // mutated through friendship
 };
 
 /// A backend that absorbs confirmed changes.  `generation()` (inherited)

@@ -1,0 +1,73 @@
+#include "verify/still_mst.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace mpcmst::verify {
+
+BatchCertifier::BatchCertifier(const TreeTopology& topo,
+                               TreeWeightFn base_tree_w,
+                               const std::vector<ResolvedChange>& changes)
+    : topo_(&topo), base_tree_w_(std::move(base_tree_w)) {
+  for (const ResolvedChange& c : changes) {
+    if (c.is_tree)
+      tree_over_.emplace_back(static_cast<Vertex>(c.id), c.new_w);
+    else
+      nontree_over_.emplace_back(c.id, c.new_w);
+  }
+  std::sort(tree_over_.begin(), tree_over_.end());
+  std::sort(nontree_over_.begin(), nontree_over_.end());
+  for (std::size_t i = 1; i < tree_over_.size(); ++i)
+    MPCMST_CHECK(tree_over_[i - 1].first != tree_over_[i].first,
+                 "BatchCertifier: duplicate tree change (collapse first)");
+  for (std::size_t i = 1; i < nontree_over_.size(); ++i)
+    MPCMST_CHECK(nontree_over_[i - 1].first != nontree_over_[i].first,
+                 "BatchCertifier: duplicate non-tree change (collapse first)");
+}
+
+Weight BatchCertifier::tree_w(Vertex child) const {
+  const auto it = std::lower_bound(
+      tree_over_.begin(), tree_over_.end(), child,
+      [](const std::pair<Vertex, Weight>& p, Vertex c) { return p.first < c; });
+  if (it != tree_over_.end() && it->first == child) return it->second;
+  return base_tree_w_(child);
+}
+
+Weight BatchCertifier::nontree_w(std::int64_t orig_id, Weight base_w) const {
+  const auto it = std::lower_bound(
+      nontree_over_.begin(), nontree_over_.end(), orig_id,
+      [](const std::pair<std::int64_t, Weight>& p, std::int64_t id) {
+        return p.first < id;
+      });
+  if (it != nontree_over_.end() && it->first == orig_id) return it->second;
+  return base_w;
+}
+
+bool BatchCertifier::path_touched(Vertex u, Vertex v) const {
+  if (u == v) return false;
+  for (const auto& [child, w] : tree_over_)
+    if (topo_->covers(child, u, v)) return true;
+  return false;
+}
+
+Weight BatchCertifier::effective_maxpath(Vertex u, Vertex v,
+                                         Weight cached_maxpath) const {
+  if (!path_touched(u, v)) return cached_maxpath;
+  Weight best = graph::kNegInfW;
+  for (Vertex child : topo_->path_children(u, v))
+    best = std::max(best, tree_w(child));
+  return best;
+}
+
+std::optional<ViolationCert> BatchCertifier::certify(
+    std::int64_t orig_id, Vertex u, Vertex v, Weight base_w,
+    Weight cached_maxpath) const {
+  if (u == v) return std::nullopt;  // self loop: covers nothing
+  const Weight w_eff = nontree_w(orig_id, base_w);
+  const Weight mp_eff = effective_maxpath(u, v, cached_maxpath);
+  if (w_eff >= mp_eff) return std::nullopt;  // ties keep T optimal
+  return ViolationCert{orig_id, u, v, w_eff, mp_eff};
+}
+
+}  // namespace mpcmst::verify

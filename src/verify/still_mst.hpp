@@ -1,0 +1,109 @@
+// Batched MST re-verification against an existing sensitivity labeling
+// (the paper's verification half, served incrementally).
+//
+// Question: given T with cached covering maxima (Observation 4.2) and a batch
+// of k simultaneous weight changes, is T still an MST of the reweighted graph
+// — and if not, which non-tree edges certify the violation?
+//
+// The cycle property (Definition 1.2) makes this local: T is an MST iff no
+// non-tree edge is strictly lighter than the maximum tree-edge weight on the
+// path it covers (ties keep T optimal).  A batch of k changes can only move
+// an edge's verdict if it reweights the edge itself or a tree edge on its
+// covered path — so re-verification is k O(1) covers() probes per non-tree
+// edge plus a path re-walk for the few paths actually touched, never a
+// rebuild.  That is exactly the verification-vs-recomputation gap of the
+// distributed-verification literature (Kor–Korman–Peleg; Das Sarma et al.):
+// checking a labeled answer is provably cheaper than recomputing it.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "graph/types.hpp"
+#include "verify/verifier.hpp"
+
+namespace mpcmst::verify {
+
+/// One weight change of a batch, already resolved against the pre-batch
+/// instance: a tree edge is keyed by its child endpoint, a non-tree edge by
+/// its position in Instance::nontree (the EdgeRef convention of the service
+/// index).  `new_w` is the absolute weight after the change.
+struct ResolvedChange {
+  bool is_tree = false;
+  std::int64_t id = -1;  // child vertex (tree) or orig_id (non-tree)
+  Weight new_w = 0;
+
+  friend bool operator==(const ResolvedChange&, const ResolvedChange&) =
+      default;
+};
+
+/// One violating edge: a non-tree edge strictly lighter (under the batch)
+/// than the covering maximum of its tree path (under the batch).  The set of
+/// certificates is exactly the violation set a fresh build on the reweighted
+/// instance would report — the contract the service tests enforce.
+struct ViolationCert {
+  std::int64_t orig_id = -1;  // position in Instance::nontree
+  Vertex u = 0;
+  Vertex v = 0;
+  Weight w = 0;                       // effective weight under the batch
+  Weight maxpath = graph::kNegInfW;   // effective covering maximum
+
+  friend bool operator==(const ViolationCert&, const ViolationCert&) = default;
+};
+
+/// Certifies non-tree edges one at a time against a batch of resolved
+/// changes, overlaying the batch on cached labels without mutating anything.
+///
+/// The topology and the base tree weights are borrowed views — the caller
+/// (monolithic index or shard router) owns them and keeps them alive for the
+/// certifier's lifetime.  Weight lookups go through `base_tree_w` so the
+/// sharded tier can serve them from per-shard columns without assembling a
+/// monolithic weight array.
+///
+/// Duplicate changes to one edge must be pre-collapsed (last write wins) by
+/// the caller; the service's Query canonicalization does this.
+class BatchCertifier {
+ public:
+  using TreeWeightFn = std::function<Weight(Vertex child)>;
+
+  BatchCertifier(const TreeTopology& topo, TreeWeightFn base_tree_w,
+                 const std::vector<ResolvedChange>& changes);
+
+  /// Effective weight of tree edge {child, p(child)} under the batch.
+  Weight tree_w(Vertex child) const;
+
+  /// Effective weight of non-tree edge `orig_id` whose pre-batch weight is
+  /// `base_w`.
+  Weight nontree_w(std::int64_t orig_id, Weight base_w) const;
+
+  /// Does any tree-edge change of the batch lie on the path u..v?
+  /// O(#tree changes) covers() probes.
+  bool path_touched(Vertex u, Vertex v) const;
+
+  /// Covering maximum of the path u..v under the batch.  Untouched paths
+  /// return the cached label verbatim; touched paths are re-walked with the
+  /// overlay (path-length work, only for paths the batch actually crosses).
+  Weight effective_maxpath(Vertex u, Vertex v, Weight cached_maxpath) const;
+
+  /// Cycle-property verdict for one non-tree edge: a certificate iff its
+  /// effective weight is strictly below its effective covering maximum
+  /// (a tie keeps T optimal; self loops cover nothing and never violate).
+  std::optional<ViolationCert> certify(std::int64_t orig_id, Vertex u, Vertex v,
+                                       Weight base_w,
+                                       Weight cached_maxpath) const;
+
+  std::size_t num_tree_changes() const { return tree_over_.size(); }
+  std::size_t num_nontree_changes() const { return nontree_over_.size(); }
+
+ private:
+  const TreeTopology* topo_ = nullptr;
+  TreeWeightFn base_tree_w_;
+  // Overlays, binary-searchable: (child, new_w) / (orig_id, new_w).
+  std::vector<std::pair<Vertex, Weight>> tree_over_;
+  std::vector<std::pair<std::int64_t, Weight>> nontree_over_;
+};
+
+}  // namespace mpcmst::verify

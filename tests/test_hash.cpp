@@ -1,0 +1,113 @@
+// HashStream and query-key hashing: the batch-change-set key must be order-
+// and length-sensitive at the stream level, while permuted-but-equal change
+// sets — which Query::still_mst canonicalizes — must collide on purpose.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <unordered_set>
+#include <vector>
+
+#include "common/hash.hpp"
+#include "service/query.hpp"
+
+namespace svc = mpcmst::service;
+
+TEST(HashStream, OrderSensitive) {
+  mpcmst::HashStream ab;
+  ab.mix(1).mix(2);
+  mpcmst::HashStream ba;
+  ba.mix(2).mix(1);
+  EXPECT_NE(ab.digest(), ba.digest())
+      << "a stream hash must depend on word order";
+}
+
+TEST(HashStream, LengthSensitive) {
+  // Folding the count into the digest separates [x], [x, 0] and [0, x]:
+  // zero-padding is not free, in either direction.
+  mpcmst::HashStream one;
+  one.mix(42);
+  mpcmst::HashStream padded;
+  padded.mix(42).mix(0);
+  mpcmst::HashStream led;
+  led.mix(0).mix(42);
+  EXPECT_NE(one.digest(), padded.digest());
+  EXPECT_NE(one.digest(), led.digest());
+  EXPECT_NE(padded.digest(), led.digest());
+
+  mpcmst::HashStream empty;
+  EXPECT_NE(empty.digest(), mpcmst::HashStream().mix(0).digest());
+}
+
+TEST(HashStream, SeedSeparatesDomains) {
+  mpcmst::HashStream plain;
+  plain.mix(7);
+  mpcmst::HashStream seeded(99);
+  seeded.mix(7);
+  EXPECT_NE(plain.digest(), seeded.digest());
+}
+
+TEST(HashStream, DeterministicAndWellSpread) {
+  // Same words, same digest — and 4k short streams shouldn't collide.
+  std::unordered_set<std::uint64_t> seen;
+  for (std::uint64_t a = 0; a < 64; ++a)
+    for (std::uint64_t b = 0; b < 64; ++b) {
+      mpcmst::HashStream h;
+      h.mix(a).mix(b);
+      mpcmst::HashStream again;
+      again.mix(a).mix(b);
+      EXPECT_EQ(h.digest(), again.digest());
+      seen.insert(h.digest());
+    }
+  EXPECT_EQ(seen.size(), 64u * 64u);
+}
+
+TEST(QueryHash, PermutedButEqualChangeSetsCollideByDesign) {
+  std::vector<svc::PriceChange> batch;
+  for (int i = 0; i < 10; ++i)
+    batch.push_back(svc::PriceChange{i, i + 1, 100 - i});
+
+  std::mt19937_64 rng(17);
+  for (int rep = 0; rep < 20; ++rep) {
+    auto permuted = batch;
+    std::shuffle(permuted.begin(), permuted.end(), rng);
+    for (std::size_t i = 0; i < permuted.size(); i += 2)
+      std::swap(permuted[i].u, permuted[i].v);  // same edge, flipped spelling
+    const svc::Query a = svc::Query::still_mst(batch);
+    const svc::Query b = svc::Query::still_mst(permuted);
+    ASSERT_TRUE(a == b);
+    EXPECT_EQ(svc::QueryHash{}(a), svc::QueryHash{}(b))
+        << "canonicalized equal sets must share a cache key";
+  }
+}
+
+TEST(QueryHash, DistinctBatchesSeparate) {
+  const svc::Query base =
+      svc::Query::still_mst({svc::PriceChange{0, 1, 10},
+                             svc::PriceChange{2, 3, 20}});
+  const svc::Query other_weight =
+      svc::Query::still_mst({svc::PriceChange{0, 1, 10},
+                             svc::PriceChange{2, 3, 21}});
+  const svc::Query other_edge =
+      svc::Query::still_mst({svc::PriceChange{0, 1, 10},
+                             svc::PriceChange{2, 4, 20}});
+  const svc::Query shorter = svc::Query::still_mst({svc::PriceChange{0, 1, 10}});
+  const svc::QueryHash h;
+  EXPECT_NE(h(base), h(other_weight));
+  EXPECT_NE(h(base), h(other_edge));
+  EXPECT_NE(h(base), h(shorter));
+  // And still_mst keys must not collide with the point-query families that
+  // leave `changes` empty.
+  EXPECT_NE(h(svc::Query::still_mst({})), h(svc::Query::price_change(0, 1, 0)));
+}
+
+TEST(QueryHash, DuplicateEntriesCollapseBeforeHashing) {
+  // Last write wins during canonicalization, so a batch with a superseded
+  // entry keys identically to the batch holding only the final word.
+  const svc::Query dup = svc::Query::still_mst(
+      {svc::PriceChange{4, 5, 1}, svc::PriceChange{5, 4, 9}});
+  const svc::Query final_only =
+      svc::Query::still_mst({svc::PriceChange{4, 5, 9}});
+  ASSERT_TRUE(dup == final_only);
+  EXPECT_EQ(svc::QueryHash{}(dup), svc::QueryHash{}(final_only));
+}
