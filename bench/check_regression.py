@@ -51,6 +51,10 @@ METRICS = {
     # its worst k (<= 64); a drop toward 1x means the certifier degraded into
     # recomputation.
     "still_mst": [("min_speedup_vs_rebuild", True)],
+    # Topology churn (add_edge/remove_edge/ingest) absorbed by the live
+    # tier; a collapse here means an insert/delete path regressed to a
+    # rebuild-shaped cost.
+    "topology_churn": [("ingest_events_per_s", True)],
 }
 
 

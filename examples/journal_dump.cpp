@@ -38,6 +38,28 @@ const char* class_name(std::uint8_t cls) {
       return "nontree-reweight";
     case service::UpdateClass::kNonTreeSwap:
       return "nontree-swap";
+    case service::UpdateClass::kNonTreeInsert:
+      return "nontree-insert";
+    case service::UpdateClass::kInsertSwap:
+      return "insert-swap";
+    case service::UpdateClass::kVertexAttach:
+      return "vertex-attach";
+    case service::UpdateClass::kNonTreeDelete:
+      return "nontree-delete";
+    case service::UpdateClass::kTreeDeletePromote:
+      return "tree-delete-promote";
+  }
+  return "?";
+}
+
+const char* op_name(std::uint8_t op) {
+  switch (static_cast<service::UpdateOp>(op)) {
+    case service::UpdateOp::kReweight:
+      return "reweight";
+    case service::UpdateOp::kAddEdge:
+      return "add";
+    case service::UpdateOp::kRemoveEdge:
+      return "remove";
   }
   return "?";
 }
@@ -102,15 +124,15 @@ int main(int argc, char** argv) {
             << (scan.torn ? " (TORN TAIL after the last intact record)" : "")
             << "\n";
   std::cout << "  gen         old-fp            new-fp            "
-               "class             u -> v @ new_w\n";
+               "op  class             u -> v @ new_w\n";
   bool chained = true;
   std::uint64_t prev_fp = 0;
   bool have_prev = false;
   for (const auto& rec : scan.records) {
     std::cout << "  " << rec.generation << "  " << std::hex
               << rec.old_fingerprint << "  " << rec.new_fingerprint << std::dec
-              << "  " << class_name(rec.cls) << "  {" << rec.u << "," << rec.v
-              << "} @ " << rec.new_w << "\n";
+              << "  " << op_name(rec.op) << "  " << class_name(rec.cls)
+              << "  {" << rec.u << "," << rec.v << "} @ " << rec.new_w << "\n";
     if (have_prev && rec.old_fingerprint != prev_fp) chained = false;
     prev_fp = rec.new_fingerprint;
     have_prev = true;
@@ -129,6 +151,8 @@ int main(int argc, char** argv) {
       ScopedLatency lat(rec_hist);
       if (have_fp && rec.old_fingerprint != fp) rechained = false;
       if (rec.cls >= service::kNumUpdateClasses) rechained = false;
+      if (rec.op > static_cast<std::uint8_t>(service::UpdateOp::kRemoveEdge))
+        rechained = false;
       fp = rec.new_fingerprint;
       have_fp = true;
     }

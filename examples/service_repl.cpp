@@ -27,6 +27,13 @@
 //                           (reports the violating edges if not; read-only —
 //                           the live generation is not mutated)
 //   update <u> <v> <price>  absorb a confirmed price change (--live only)
+//   add_edge <u> <v> <price>
+//                           insert a brand-new edge (--live only); lands as
+//                           a non-tree edge, swaps in if it undercuts its
+//                           tree path, or attaches a fresh leaf vertex
+//   remove_edge <u> <v>     delete an edge (--live only); a tree delete
+//                           promotes its precomputed replacement, and a
+//                           bridge delete is refused (would disconnect)
 //   checkpoint              force a snapshot + journal compaction (--persist)
 //   receipt                 cost of the one-time distributed build
 //   stats                   served/cache/update totals + latency percentiles
@@ -55,7 +62,8 @@ namespace {
 void print_help() {
   std::cout << "commands: price <u> <v> <delta> | replace <u> <v> | top <k>"
                " | headroom <u> <v> | still_mst <u> <v> <w> [...]"
-               " | update <u> <v> <price> | checkpoint"
+               " | update <u> <v> <price> | add_edge <u> <v> <price>"
+               " | remove_edge <u> <v> | checkpoint"
                " | receipt | stats | metrics [prom|json] | trace [file]"
                " | help | quit\n";
 }
@@ -82,8 +90,34 @@ const char* class_name(service::UpdateClass cls) {
       return "non-tree reweight";
     case service::UpdateClass::kNonTreeSwap:
       return "non-tree edge swapped into the tree";
+    case service::UpdateClass::kNonTreeInsert:
+      return "inserted as a non-tree edge";
+    case service::UpdateClass::kInsertSwap:
+      return "inserted edge undercut its path (tree edge evicted)";
+    case service::UpdateClass::kVertexAttach:
+      return "fresh vertex attached as a leaf tree edge";
+    case service::UpdateClass::kNonTreeDelete:
+      return "non-tree edge deleted (slot tombstoned)";
+    case service::UpdateClass::kTreeDeletePromote:
+      return "tree edge deleted (replacement promoted)";
   }
   return "?";
+}
+
+/// Shared receipt rendering for update / add_edge / remove_edge.
+void print_receipt(const service::UpdateReceipt& r) {
+  std::cout << class_name(r.report.cls) << ": " << r.report.old_w << " -> "
+            << r.report.new_w << ", generation " << r.generation;
+  if (r.report.swapped_out >= 0)
+    std::cout << ", evicted tree edge at child " << r.report.swapped_out
+              << ", promoted non-tree slot #" << r.report.swapped_in;
+  std::cout << (r.full_relabel
+                    ? ", full host relabel"
+                    : ", patched " +
+                          std::to_string(r.patched_tree_edges +
+                                         r.patched_nontree_edges) +
+                          " labels in place")
+            << "\n";
 }
 
 }  // namespace
@@ -276,19 +310,54 @@ int main(int argc, char** argv) {
         std::cout << "unknown edge {" << u << "," << v << "}\n";
         continue;
       }
-      std::cout << class_name(r.report.cls) << ": " << r.report.old_w
-                << " -> " << r.report.new_w << ", generation "
-                << r.generation;
-      if (r.report.swapped_out >= 0)
-        std::cout << ", evicted tree edge at child " << r.report.swapped_out
-                  << ", promoted non-tree slot #" << r.report.swapped_in;
-      std::cout << (r.full_relabel
-                        ? ", full host relabel"
-                        : ", patched " +
-                              std::to_string(r.patched_tree_edges +
-                                             r.patched_nontree_edges) +
-                              " labels in place")
-                << "\n";
+      print_receipt(r);
+    } else if (cmd == "add_edge") {
+      graph::Weight price;
+      if (!(in >> u >> v >> price)) {
+        std::cout << "usage: add_edge <u> <v> <price>\n";
+        continue;
+      }
+      if (!service->updatable()) {
+        std::cout << "topology changes need --live (this service serves an "
+                     "immutable snapshot)\n";
+        continue;
+      }
+      if (price <= graph::kNegInfW || price >= graph::kPosInfW) {
+        std::cout << "price " << price << " is outside the price band "
+                     "(sentinels are not prices)\n";
+        continue;
+      }
+      const auto r = service->add_edge(u, v, price);
+      if (r.report.status != service::Status::kOk) {
+        std::cout << "rejected: {" << u << "," << v << "} "
+                  << (r.report.status == service::Status::kNotApplicable
+                          ? "already exists (or u == v)"
+                          : "has an out-of-range endpoint")
+                  << "\n";
+        continue;
+      }
+      print_receipt(r);
+    } else if (cmd == "remove_edge") {
+      if (!(in >> u >> v)) {
+        std::cout << "usage: remove_edge <u> <v>\n";
+        continue;
+      }
+      if (!service->updatable()) {
+        std::cout << "topology changes need --live (this service serves an "
+                     "immutable snapshot)\n";
+        continue;
+      }
+      const auto r = service->remove_edge(u, v);
+      if (r.report.status != service::Status::kOk) {
+        if (r.report.status == service::Status::kWouldDisconnect)
+          std::cout << "refused: removing tree edge {" << u << "," << v
+                    << "} would disconnect the graph (no covering non-tree "
+                       "edge); state unchanged\n";
+        else
+          std::cout << "unknown edge {" << u << "," << v << "}\n";
+        continue;
+      }
+      print_receipt(r);
     } else if (cmd == "checkpoint") {
       if (!service->updatable() || (!persist && recover_dir.empty())) {
         std::cout << "checkpoint needs a persistent tier (--persist DIR or "

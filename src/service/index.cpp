@@ -129,6 +129,7 @@ void SensitivityIndex::finish(SensitivityIndex& idx,
         }
         for (std::size_t i = 0; i < inst.nontree.size(); ++i) {
           const graph::WEdge& e = inst.nontree[i];
+          if (e.u == e.v) continue;  // tombstoned slot (update.hpp)
           auto [it, inserted] = idx.by_endpoints_.try_emplace(
               endpoint_key(e.u, e.v),
               EdgeRef{false, static_cast<std::int64_t>(i)});

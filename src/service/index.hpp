@@ -184,6 +184,25 @@ struct NonTreeLabels {
     sens.push_back(e.sens);
   }
 
+  /// Insert a row at position `i` (shard scatter moving a slot between
+  /// shards keeps its roster sorted, so inserts land mid-column).
+  void insert(std::size_t i, const NonTreeEdgeInfo& e) {
+    u.insert(u.begin() + static_cast<std::ptrdiff_t>(i), e.u);
+    v.insert(v.begin() + static_cast<std::ptrdiff_t>(i), e.v);
+    w.insert(w.begin() + static_cast<std::ptrdiff_t>(i), e.w);
+    maxpath.insert(maxpath.begin() + static_cast<std::ptrdiff_t>(i), e.maxpath);
+    sens.insert(sens.begin() + static_cast<std::ptrdiff_t>(i), e.sens);
+  }
+
+  /// Remove the row at position `i`.
+  void erase(std::size_t i) {
+    u.erase(u.begin() + static_cast<std::ptrdiff_t>(i));
+    v.erase(v.begin() + static_cast<std::ptrdiff_t>(i));
+    w.erase(w.begin() + static_cast<std::ptrdiff_t>(i));
+    maxpath.erase(maxpath.begin() + static_cast<std::ptrdiff_t>(i));
+    sens.erase(sens.begin() + static_cast<std::ptrdiff_t>(i));
+  }
+
   friend bool operator==(const NonTreeLabels&, const NonTreeLabels&) = default;
 };
 

@@ -20,28 +20,37 @@ namespace {
 
 // Header: magic(8) | version(u32) | crc32(magic+version).  The version
 // covers the record layout below — bump it whenever JournalRecord changes.
+// v1: reweight-only payloads without the op byte.  v2: + op byte.
 constexpr char kMagic[8] = {'M', 'P', 'C', 'J', 'R', 'N', '0', '1'};
-constexpr std::uint32_t kVersion = 1;
+constexpr std::uint32_t kVersion = 2;
 constexpr std::size_t kHeaderSize = 16;
 
 // Fixed frame: len(u32) | payload | crc32(payload).
-constexpr std::size_t kPayloadSize = 6 * 8 + 1;
-constexpr std::size_t kFrameSize = 4 + kPayloadSize + 4;
+constexpr std::size_t kPayloadSizeV1 = 6 * 8 + 1;
+constexpr std::size_t kPayloadSizeV2 = 6 * 8 + 2;
+
+constexpr std::size_t payload_size_for(std::uint32_t version) {
+  return version == 1 ? kPayloadSizeV1 : kPayloadSizeV2;
+}
 
 std::atomic<void (*)(const char*)> g_crash_hook{nullptr};
 
-std::vector<unsigned char> header_bytes() {
+std::vector<unsigned char> header_bytes(std::uint32_t version) {
   ByteWriter w;
   w.bytes(kMagic, sizeof kMagic);
-  w.u32(kVersion);
+  w.u32(version);
   w.u32(crc32(w.data().data(), w.size()));
   return w.data();
 }
 
-bool header_valid(const unsigned char* p, std::size_t n) {
-  if (n < kHeaderSize) return false;
-  const auto expect = header_bytes();
-  return std::memcmp(p, expect.data(), kHeaderSize) == 0;
+// 0 when `p` is not a valid journal header of a known version.
+std::uint32_t header_version(const unsigned char* p, std::size_t n) {
+  if (n < kHeaderSize) return 0;
+  for (std::uint32_t v = 1; v <= kVersion; ++v) {
+    const auto expect = header_bytes(v);
+    if (std::memcmp(p, expect.data(), kHeaderSize) == 0) return v;
+  }
+  return 0;
 }
 
 void encode_record(ByteWriter& w, const JournalRecord& rec) {
@@ -53,9 +62,37 @@ void encode_record(ByteWriter& w, const JournalRecord& rec) {
   payload.i64(rec.v);
   payload.i64(rec.new_w);
   payload.u8(rec.cls);
+  payload.u8(rec.op);
   w.u32(static_cast<std::uint32_t>(payload.size()));
   w.bytes(payload.data().data(), payload.size());
   w.u32(crc32(payload.data().data(), payload.size()));
+}
+
+// Rewrite a valid-but-old journal file as the current version: re-encode
+// the intact record prefix (v1 records get op = 0, i.e. reweight) into a
+// temp file, fsync, rename over the original, fsync the directory.  A torn
+// v1 tail is dropped here — the same bytes recover() would truncate.
+void upgrade_in_place(const std::string& path, const Journal::Scan& scan) {
+  const std::string tmp = path + ".upgrade.tmp";
+  ByteWriter w;
+  const auto header = header_bytes(kVersion);
+  w.bytes(header.data(), header.size());
+  for (const JournalRecord& rec : scan.records) encode_record(w, rec);
+  const int fd = ::open(tmp.c_str(), O_CREAT | O_TRUNC | O_WRONLY, 0644);
+  MPCMST_CHECK(fd >= 0, "journal: cannot open " << tmp << " for upgrade");
+  write_all_fd(fd, w.data().data(), w.size(), tmp);
+  const bool synced = ::fsync(fd) == 0;
+  ::close(fd);
+  MPCMST_CHECK(synced, "journal: fsync failed on " << tmp);
+  MPCMST_CHECK(::rename(tmp.c_str(), path.c_str()) == 0,
+               "journal: cannot rename " << tmp << " over " << path);
+  const auto slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dfd >= 0) {
+    ::fsync(dfd);
+    ::close(dfd);
+  }
 }
 
 }  // namespace
@@ -103,6 +140,13 @@ Journal& Journal::operator=(Journal&& other) noexcept {
 }
 
 Journal Journal::open(const std::string& path, SyncMode mode) {
+  {
+    // Upgrade an older-format file before taking the append handle, so the
+    // append side only ever writes current-version frames.
+    const Scan probe = scan(path);
+    if (!probe.missing && probe.version != 0 && probe.version < kVersion)
+      upgrade_in_place(path, probe);
+  }
   const int fd = ::open(path.c_str(), O_CREAT | O_RDWR | O_APPEND, 0644);
   MPCMST_CHECK(fd >= 0, "journal: cannot open " << path);
   Journal j;
@@ -113,14 +157,14 @@ Journal Journal::open(const std::string& path, SyncMode mode) {
   struct stat st {};
   MPCMST_CHECK(::fstat(fd, &st) == 0, "journal: cannot stat " << path);
   if (st.st_size == 0) {
-    const auto header = header_bytes();
+    const auto header = header_bytes(kVersion);
     write_all_fd(fd, header.data(), header.size(), path);
     MPCMST_CHECK(::fsync(fd) == 0, "journal: fsync failed on " << path);
   } else {
     unsigned char buf[kHeaderSize];
     const ssize_t got = ::pread(fd, buf, kHeaderSize, 0);
     MPCMST_CHECK(got == static_cast<ssize_t>(kHeaderSize) &&
-                     header_valid(buf, kHeaderSize),
+                     header_version(buf, kHeaderSize) == kVersion,
                  "journal: " << path << " has no valid header "
                              << "(not a journal, or an incompatible version)");
   }
@@ -132,8 +176,19 @@ void Journal::append(const JournalRecord& rec) {
   ScopedLatency append_lat(*service_metrics().journal_append);
   ByteWriter frame;
   encode_record(frame, rec);
-  const unsigned char* p = frame.data().data();
-  const std::size_t n = frame.size();
+  commit_bytes(frame.data().data(), frame.size());
+}
+
+void Journal::append_batch(const std::vector<JournalRecord>& recs) {
+  if (recs.empty()) return;
+  MPCMST_ASSERT(fd_ >= 0, "journal: append on a closed handle");
+  ScopedLatency append_lat(*service_metrics().journal_append);
+  ByteWriter frames;
+  for (const JournalRecord& rec : recs) encode_record(frames, rec);
+  commit_bytes(frames.data().data(), frames.size());
+}
+
+void Journal::commit_bytes(const unsigned char* p, std::size_t n) {
   if (g_crash_hook.load(std::memory_order_acquire) != nullptr) {
     // Two-part write with the crash point between: the harness can SIGKILL
     // here to manufacture a torn (partially written) record.
@@ -169,18 +224,21 @@ Journal::Scan Journal::scan(const std::string& path) {
   }
   std::vector<unsigned char> bytes{std::istreambuf_iterator<char>(in),
                                    std::istreambuf_iterator<char>()};
-  if (!header_valid(bytes.data(), bytes.size())) {
+  const std::uint32_t version = header_version(bytes.data(), bytes.size());
+  if (version == 0) {
     out.missing = true;
     return out;
   }
+  out.version = version;
+  const std::size_t payload_size = payload_size_for(version);
   std::size_t off = kHeaderSize;
   while (off < bytes.size()) {
     ByteReader r(bytes.data() + off, bytes.size() - off);
     const std::uint32_t len = r.u32();
-    if (!r.ok() || len != kPayloadSize || r.remaining() < kPayloadSize + 4)
+    if (!r.ok() || len != payload_size || r.remaining() < payload_size + 4)
       break;  // torn or foreign frame: stop at the intact prefix
     const unsigned char* payload = bytes.data() + off + 4;
-    ByteReader pr(payload, kPayloadSize);
+    ByteReader pr(payload, payload_size);
     JournalRecord rec;
     rec.generation = pr.u64();
     rec.old_fingerprint = pr.u64();
@@ -189,11 +247,12 @@ Journal::Scan Journal::scan(const std::string& path) {
     rec.v = pr.i64();
     rec.new_w = pr.i64();
     rec.cls = pr.u8();
+    if (version >= 2) rec.op = pr.u8();  // v1: every record is a reweight
     std::uint32_t stored_crc;
-    std::memcpy(&stored_crc, payload + kPayloadSize, 4);
-    if (stored_crc != crc32(payload, kPayloadSize)) break;
+    std::memcpy(&stored_crc, payload + payload_size, 4);
+    if (stored_crc != crc32(payload, payload_size)) break;
     out.records.push_back(rec);
-    off += kFrameSize;
+    off += 4 + payload_size + 4;
   }
   out.valid_bytes = off;
   out.torn = off < bytes.size();

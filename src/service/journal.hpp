@@ -17,6 +17,18 @@
 // the last intact record so the tier can append again.  Everything after a
 // bad frame is discarded — with commit-synced appends the only bytes that
 // can be bad are the unacknowledged tail.
+//
+// On-disk format (version 2):
+//
+//   header   magic "MPCJRN01" (8) | version u32 | crc32(magic+version)
+//   frame    len u32 | payload | crc32(payload)
+//   payload  generation u64 | old_fingerprint u64 | new_fingerprint u64
+//            | u i64 | v i64 | new_w i64 | cls u8 | op u8      (50 bytes)
+//
+// Version 1 lacked the trailing `op` byte (49-byte payloads, reweights
+// only).  scan()/recover() parse both versions; Journal::open() upgrades a
+// v1 file in place (rewrite-to-temp + rename, records re-encoded with
+// op = kReweight) so the append side only ever writes v2 frames.
 #pragma once
 
 #include <cstdint>
@@ -43,9 +55,9 @@ struct PersistenceConfig {
   std::size_t snapshot_every_n = 1024;
 };
 
-/// One committed change, exactly as the update path consumed it.  `cls`
-/// mirrors service::UpdateClass (stored as a byte so the journal layer does
-/// not depend on update.hpp).
+/// One committed change, exactly as the update path consumed it.  `cls` and
+/// `op` mirror service::UpdateClass / service::UpdateOp (stored as bytes so
+/// the journal layer does not depend on update.hpp).
 struct JournalRecord {
   std::uint64_t generation = 0;       // epoch this change produced
   std::uint64_t old_fingerprint = 0;  // instance fingerprint before
@@ -54,6 +66,7 @@ struct JournalRecord {
   std::int64_t v = 0;                 // replay re-resolves them against the
   std::int64_t new_w = 0;             // same pre-state, so it cannot drift
   std::uint8_t cls = 0;  // UpdateClass, for dumps and replay checks
+  std::uint8_t op = 0;   // UpdateOp: reweight / add_edge / remove_edge
 
   friend bool operator==(const JournalRecord&, const JournalRecord&) = default;
 };
@@ -98,6 +111,13 @@ class Journal {
   /// Frame, append and (in kCommit mode) fsync one record.
   void append(const JournalRecord& rec);
 
+  /// Group commit: frame all records into one contiguous write and (in
+  /// kCommit mode) one fsync.  Either the whole batch becomes durable or a
+  /// torn tail cuts it to a prefix — exactly the per-record guarantee, paid
+  /// once.  The "journal-mid-record" crash point fires inside the combined
+  /// write, same as for append().
+  void append_batch(const std::vector<JournalRecord>& recs);
+
   /// Truncate back to the bare header (checkpoint compaction: the snapshot
   /// now owns everything the dropped records carried).
   void reset();
@@ -106,6 +126,7 @@ class Journal {
   struct Scan {
     std::vector<JournalRecord> records;  // intact prefix, in append order
     std::uint64_t valid_bytes = 0;       // header + intact records
+    std::uint32_t version = 0;  // on-disk format version (0 when missing)
     bool torn = false;     // trailing bytes after the intact prefix
     bool missing = false;  // no file, or an unreadable/foreign header
   };
@@ -117,6 +138,10 @@ class Journal {
   static Scan recover(const std::string& path);
 
  private:
+  /// Shared tail of append()/append_batch(): hook-aware two-half write of
+  /// the framed bytes, then the kCommit fsync and the post-commit point.
+  void commit_bytes(const unsigned char* p, std::size_t n);
+
   int fd_ = -1;
   std::string path_;
   SyncMode mode_ = SyncMode::kCommit;

@@ -190,6 +190,8 @@ std::string to_string(const Answer& a) {
       return "unknown edge";
     case Status::kNotApplicable:
       return "not applicable (non-tree edge)";
+    case Status::kWouldDisconnect:
+      return "refused: would disconnect";
     case Status::kOk:
       break;
   }

@@ -77,8 +77,10 @@ struct QueryHash {
 
 enum class Status : std::uint8_t {
   kOk,
-  kUnknownEdge,     // {u, v} is neither a tree nor a non-tree edge
-  kNotApplicable,   // e.g. replacement_edge of a non-tree edge
+  kUnknownEdge,      // {u, v} is neither a tree nor a non-tree edge
+  kNotApplicable,    // e.g. replacement_edge of a non-tree edge
+  kWouldDisconnect,  // remove_edge of a tree edge with no covering non-tree
+                     // edge: the delete is refused, state is unchanged
 };
 
 /// One row of a top-k answer.

@@ -129,7 +129,24 @@ std::unique_ptr<QueryService> QueryService::recover(
                    "recover: journal record " << rec.generation
                                               << " does not chain from the "
                                                  "current fingerprint");
-      const UpdateReceipt r = backend->apply_update(rec.u, rec.v, rec.new_w);
+      // Dispatch on the journaled op (v2 frames; v1 upgrades carry op = 0 =
+      // reweight, the only op that existed then).
+      UpdateReceipt r;
+      switch (static_cast<UpdateOp>(rec.op)) {
+        case UpdateOp::kReweight:
+          r = backend->apply_update(rec.u, rec.v, rec.new_w);
+          break;
+        case UpdateOp::kAddEdge:
+          r = backend->add_edge(rec.u, rec.v, rec.new_w);
+          break;
+        case UpdateOp::kRemoveEdge:
+          r = backend->remove_edge(rec.u, rec.v);
+          break;
+        default:
+          MPCMST_CHECK(false, "recover: journal record "
+                                  << rec.generation << " carries unknown op "
+                                  << static_cast<int>(rec.op));
+      }
       MPCMST_CHECK(
           r.report.status == Status::kOk &&
               static_cast<std::uint8_t>(r.report.cls) == rec.cls &&
@@ -179,6 +196,37 @@ UpdateReceipt QueryService::apply_update(Vertex u, Vertex v, Weight new_w) {
   MPCMST_ASSERT(updatable_ != nullptr,
                 "apply_update: this service serves an immutable snapshot");
   return updatable_->apply_update(u, v, new_w);
+}
+
+UpdateReceipt QueryService::add_edge(Vertex u, Vertex v, Weight w) {
+  MPCMST_ASSERT(updatable_ != nullptr,
+                "add_edge: this service serves an immutable snapshot");
+  return updatable_->add_edge(u, v, w);
+}
+
+UpdateReceipt QueryService::remove_edge(Vertex u, Vertex v) {
+  MPCMST_ASSERT(updatable_ != nullptr,
+                "remove_edge: this service serves an immutable snapshot");
+  return updatable_->remove_edge(u, v);
+}
+
+std::vector<UpdateReceipt> QueryService::ingest(
+    const std::vector<EdgeEvent>& events) {
+  MPCMST_ASSERT(updatable_ != nullptr,
+                "ingest: this service serves an immutable snapshot");
+  // Chunked so one enormous stream cannot pin the writer lock (and the
+  // readers out) for its whole duration; each chunk is one group commit.
+  std::vector<UpdateReceipt> receipts;
+  receipts.reserve(events.size());
+  const std::size_t chunk = std::max<std::size_t>(opts_.chunk_size, 1);
+  for (std::size_t lo = 0; lo < events.size(); lo += chunk) {
+    const std::size_t hi = std::min(lo + chunk, events.size());
+    std::vector<EdgeEvent> slice(events.begin() + static_cast<std::ptrdiff_t>(lo),
+                                 events.begin() + static_cast<std::ptrdiff_t>(hi));
+    auto part = updatable_->ingest(slice);
+    receipts.insert(receipts.end(), part.begin(), part.end());
+  }
+  return receipts;
 }
 
 const SensitivityIndex& QueryService::index() const {

@@ -142,6 +142,16 @@ class QueryService {
   /// be served for the new one — they simply stop matching and age out.
   UpdateReceipt apply_update(Vertex u, Vertex v, Weight new_w);
 
+  /// Insert a brand-new edge / delete an existing one (asserts updatable();
+  /// see UpdatableBackend for the class and refusal semantics).
+  UpdateReceipt add_edge(Vertex u, Vertex v, Weight w);
+  UpdateReceipt remove_edge(Vertex u, Vertex v);
+
+  /// Absorb a raw event stream (asserts updatable()).  Events are applied in
+  /// order in chunks of opts.chunk_size, each chunk group-committed with one
+  /// journal append + fsync; receipts align with events by position.
+  std::vector<UpdateReceipt> ingest(const std::vector<EdgeEvent>& events);
+
   /// Force a snapshot + journal compaction now (asserts updatable(); no-op
   /// on tiers built without a PersistenceConfig).
   void checkpoint();

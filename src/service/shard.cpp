@@ -181,6 +181,7 @@ std::shared_ptr<const ShardedSensitivityIndex> ShardedSensitivityIndex::build(
     for (std::size_t r = 0; r < s.nontree_ids.size(); ++r) {
       const std::int64_t id = s.nontree_ids[r];
       const graph::WEdge& e = inst.nontree[static_cast<std::size_t>(id)];
+      if (e.u == e.v) continue;              // tombstoned slot (update.hpp)
       if (is_tree_edge(e.u, e.v)) continue;  // shadowed: the tree entry wins
       auto [it, inserted] =
           s.by_endpoints.try_emplace(endpoint_key(e.u, e.v),

@@ -416,6 +416,11 @@ void Persistence::commit(const JournalRecord& rec) {
   ++since_checkpoint_;
 }
 
+void Persistence::commit_batch(const std::vector<JournalRecord>& recs) {
+  journal_.append_batch(recs);
+  since_checkpoint_ += recs.size();
+}
+
 void Persistence::checkpoint(std::uint64_t generation,
                              const SensitivityIndex& index,
                              const ShardedSensitivityIndex* shards) {

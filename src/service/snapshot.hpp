@@ -92,6 +92,10 @@ class Persistence {
   /// Append + (per cfg.sync_mode) fsync one committed update.
   void commit(const JournalRecord& rec);
 
+  /// Group commit for batch ingest: all records in one journal write and
+  /// one fsync (Journal::append_batch).
+  void commit_batch(const std::vector<JournalRecord>& recs);
+
   /// Has the journal grown past cfg.snapshot_every_n since the last
   /// checkpoint?  (Always false when snapshot_every_n == 0.)
   bool checkpoint_due() const {

@@ -19,6 +19,11 @@ static_assert(static_cast<std::size_t>(UpdateClass::kTreeReweight) == 1);
 static_assert(static_cast<std::size_t>(UpdateClass::kTreeSwap) == 2);
 static_assert(static_cast<std::size_t>(UpdateClass::kNonTreeReweight) == 3);
 static_assert(static_cast<std::size_t>(UpdateClass::kNonTreeSwap) == 4);
+static_assert(static_cast<std::size_t>(UpdateClass::kNonTreeInsert) == 5);
+static_assert(static_cast<std::size_t>(UpdateClass::kInsertSwap) == 6);
+static_assert(static_cast<std::size_t>(UpdateClass::kVertexAttach) == 7);
+static_assert(static_cast<std::size_t>(UpdateClass::kNonTreeDelete) == 8);
+static_assert(static_cast<std::size_t>(UpdateClass::kTreeDeletePromote) == 9);
 
 namespace {
 
@@ -27,8 +32,10 @@ constexpr std::array<const char*, kNumQueryKinds> kKindLabels = {
     "still_mst"};
 
 constexpr std::array<const char*, kNumUpdateClasses> kClassLabels = {
-    "no_change", "tree_reweight", "tree_swap", "nontree_reweight",
-    "nontree_swap"};
+    "no_change",      "tree_reweight", "tree_swap",
+    "nontree_reweight", "nontree_swap", "nontree_insert",
+    "insert_swap",    "vertex_attach", "nontree_delete",
+    "tree_delete_promote"};
 
 std::string kind_labels(std::size_t i) {
   return std::string("kind=\"") + kKindLabels[i] + "\"";

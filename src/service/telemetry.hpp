@@ -26,7 +26,7 @@ namespace mpcmst::service {
 /// Mirrors QueryKind (query.hpp) / UpdateClass (update.hpp) — static_asserts
 /// in telemetry.cpp pin the orders together.
 inline constexpr std::size_t kNumQueryKinds = 5;
-inline constexpr std::size_t kNumUpdateClasses = 5;  // incl. no_change
+inline constexpr std::size_t kNumUpdateClasses = 10;  // incl. no_change
 
 /// Label value for query kind i, e.g. "price_change".
 const char* query_kind_label(std::size_t kind);

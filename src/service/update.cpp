@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/check.hpp"
+#include "mpc/dist.hpp"
 #include "sensitivity/sensitivity.hpp"
 #include "service/snapshot.hpp"
 #include "service/telemetry.hpp"
@@ -86,13 +87,26 @@ std::optional<EdgeRef> resolve_in_instance(const graph::Instance& inst,
   }
   const std::uint64_t key = endpoint_key(u, v);
   WeightId best{kPosInfW, -1};
+  // Deliberately O(m): this is the stateless oracle the churn tests rebuild
+  // from scratch; the live path resolves through the index's endpoint map
+  // and per-key duplicate buckets instead.
   for (std::size_t i = 0; i < inst.nontree.size(); ++i) {
     const graph::WEdge& e = inst.nontree[i];
+    if (e.u == e.v) continue;  // tombstoned slot
     if (endpoint_key(e.u, e.v) != key) continue;
     best = std::min(best, WeightId{e.w, static_cast<std::int64_t>(i)});
   }
   if (best.second < 0) return std::nullopt;
   return EdgeRef{false, best.second};
+}
+
+/// Lowest dead (u == v) non-tree slot, or -1: the canonical slot allocation
+/// both the raw transform and LiveCore's free list replicate.
+std::int64_t lowest_dead_slot(const graph::Instance& inst) {
+  for (std::size_t i = 0; i < inst.nontree.size(); ++i)
+    if (inst.nontree[i].u == inst.nontree[i].v)
+      return static_cast<std::int64_t>(i);
+  return -1;
 }
 
 }  // namespace
@@ -160,11 +174,159 @@ UpdateReport apply_update_to_instance(graph::Instance& inst, Vertex u,
   return rep;
 }
 
+UpdateReport add_edge_to_instance(graph::Instance& inst, Vertex u, Vertex v,
+                                  Weight w) {
+  MPCMST_ASSERT(w > kNegInfW && w < kPosInfW,
+                "add_edge: weight " << w << " outside the price band");
+  UpdateReport rep;
+  rep.old_w = w;  // insert convention: old_w == new_w == the insert price
+  rep.new_w = w;
+  const auto n = static_cast<Vertex>(inst.n());
+  if (u == v) {  // self loops are never inserted (they would be dead slots)
+    rep.status = Status::kNotApplicable;
+    return rep;
+  }
+  const bool u_fresh = (u == n), v_fresh = (v == n);
+  if (u_fresh != v_fresh) {
+    // Vertex attach: the fresh endpoint (the next unused id, n) joins T as a
+    // leaf — a leaf edge is the unique edge of its cut, so it is in the MST.
+    const Vertex anchor = u_fresh ? v : u;
+    if (anchor < 0 || anchor >= n) {
+      rep.status = Status::kUnknownEdge;
+      return rep;
+    }
+    rep.cls = UpdateClass::kVertexAttach;
+    rep.edge = EdgeRef{true, n};
+    inst.tree.n += 1;
+    inst.tree.parent.push_back(anchor);
+    inst.tree.weight.push_back(w);
+    return rep;
+  }
+  if (u < 0 || v < 0 || u >= n || v >= n) {
+    rep.status = Status::kUnknownEdge;
+    return rep;
+  }
+  // Both endpoints live: the new edge closes a cycle with its tree path.
+  const verify::TreeTopology topo(inst.tree);
+  const Vertex d = heaviest_path_child(inst, topo, u, v);
+  const Weight maxpath = inst.tree.weight[static_cast<std::size_t>(d)];
+  const std::int64_t dead = lowest_dead_slot(inst);
+  std::int64_t slot = dead;
+  if (dead >= 0) {
+    inst.nontree[static_cast<std::size_t>(dead)] = graph::WEdge{u, v, w};
+  } else {
+    slot = static_cast<std::int64_t>(inst.nontree.size());
+    inst.nontree.push_back(graph::WEdge{u, v, w});
+  }
+  rep.edge = EdgeRef{false, slot};
+  if (w >= maxpath) {  // a tie stays out (Definition 1.2)
+    rep.cls = UpdateClass::kNonTreeInsert;
+  } else {
+    rep.cls = UpdateClass::kInsertSwap;
+    rep.swapped_out = d;
+    rep.swapped_in = slot;
+    exchange_edges(inst, topo, d, slot, /*promoted_w=*/w,
+                   /*demoted_w=*/maxpath);
+  }
+  return rep;
+}
+
+UpdateReport remove_edge_from_instance(graph::Instance& inst, Vertex u,
+                                       Vertex v) {
+  UpdateReport rep;
+  const auto ref = resolve_in_instance(inst, u, v);
+  if (!ref) {
+    rep.status = Status::kUnknownEdge;
+    return rep;
+  }
+  rep.edge = *ref;
+  if (!ref->is_tree) {
+    const auto i = static_cast<std::size_t>(ref->id);
+    rep.cls = UpdateClass::kNonTreeDelete;
+    rep.old_w = inst.nontree[i].w;
+    rep.new_w = 0;
+    inst.nontree[i] = graph::WEdge{0, 0, 0};  // tombstone the slot
+    return rep;
+  }
+  const Vertex c = static_cast<Vertex>(ref->id);
+  rep.old_w = inst.tree.weight[static_cast<std::size_t>(c)];
+  rep.new_w = 0;
+  const verify::TreeTopology topo(inst.tree);
+  // Argmin covering non-tree edge of the cut — the edge that must be
+  // promoted for T minus {c, p(c)} to stay spanning.
+  WeightId best{kPosInfW, -1};
+  for (std::size_t i = 0; i < inst.nontree.size(); ++i) {
+    const graph::WEdge& e = inst.nontree[i];
+    if (e.u == e.v || !topo.covers(c, e.u, e.v)) continue;
+    best = std::min(best, WeightId{e.w, static_cast<std::int64_t>(i)});
+  }
+  if (best.second < 0) {  // bridge in G: refuse, mutate nothing
+    rep.status = Status::kWouldDisconnect;
+    return rep;
+  }
+  rep.cls = UpdateClass::kTreeDeletePromote;
+  rep.swapped_out = c;
+  rep.swapped_in = best.second;
+  exchange_edges(inst, topo, c, best.second, /*promoted_w=*/best.first,
+                 /*demoted_w=*/0);
+  // The exchange parked the deleted edge in the promoted slot; tombstone it
+  // — the removed edge is written nowhere.
+  inst.nontree[static_cast<std::size_t>(best.second)] = graph::WEdge{0, 0, 0};
+  return rep;
+}
+
+UpdateReport apply_event_to_instance(graph::Instance& inst,
+                                     const EdgeEvent& ev) {
+  switch (ev.op) {
+    case UpdateOp::kReweight:
+      return apply_update_to_instance(inst, ev.u, ev.v, ev.w);
+    case UpdateOp::kAddEdge:
+      return add_edge_to_instance(inst, ev.u, ev.v, ev.w);
+    case UpdateOp::kRemoveEdge:
+      return remove_edge_from_instance(inst, ev.u, ev.v);
+  }
+  MPCMST_CHECK(false, "apply_event: unknown op "
+                          << static_cast<int>(ev.op));
+  return {};
+}
+
 LiveCore::LiveCore(graph::Instance inst,
                    std::shared_ptr<const SensitivityIndex> snapshot)
     : inst_(std::move(inst)), idx_(*snapshot) {
   MPCMST_ASSERT(idx_.fingerprint_ == SensitivityIndex::fingerprint_of(inst_),
                 "LiveCore: snapshot does not match the instance");
+  rebuild_slot_caches();
+}
+
+void LiveCore::rebuild_slot_caches() {
+  free_slots_.clear();
+  dup_of_key_.clear();
+  const NonTreeLabels& nt = idx_.nontree_;
+  for (std::size_t i = 0; i < nt.size(); ++i) {
+    if (nt.u[i] == nt.v[i])  // dead slot — both vectors come out ascending
+      free_slots_.push_back(static_cast<std::int64_t>(i));
+    else
+      dup_of_key_[endpoint_key(nt.u[i], nt.v[i])].push_back(
+          static_cast<std::int64_t>(i));
+  }
+}
+
+std::int64_t LiveCore::allocate_nontree_slot(const graph::WEdge& e) {
+  std::int64_t slot;
+  if (!free_slots_.empty()) {  // lowest dead slot, like lowest_dead_slot()
+    slot = free_slots_.front();
+    free_slots_.erase(free_slots_.begin());
+  } else {
+    slot = static_cast<std::int64_t>(inst_.nontree.size());
+    inst_.nontree.push_back(graph::WEdge{});
+    idx_.nontree_.push_back(NonTreeEdgeInfo{});
+  }
+  inst_.nontree[static_cast<std::size_t>(slot)] = e;
+  idx_.nontree_.set(static_cast<std::size_t>(slot),
+                    NonTreeEdgeInfo{e.u, e.v, e.w, kNegInfW, kPosInfW});
+  auto& bucket = dup_of_key_[endpoint_key(e.u, e.v)];
+  bucket.insert(std::lower_bound(bucket.begin(), bucket.end(), slot), slot);
+  return slot;
 }
 
 Weight LiveCore::path_max_excluding(Vertex u, Vertex v, Vertex skip) const {
@@ -215,18 +377,45 @@ void LiveCore::set_mc(Vertex child, Weight mc, std::int64_t repl,
 void LiveCore::re_resolve_key(Vertex u, Vertex v, ChangedSet& changed) {
   const std::uint64_t key = endpoint_key(u, v);
   const auto it = idx_.by_endpoints_.find(key);
-  MPCMST_ASSERT(it != idx_.by_endpoints_.end() && !it->second.is_tree,
-                "re_resolve_key: {" << u << "," << v
-                                    << "} is not a resolved non-tree key");
+  if (it != idx_.by_endpoints_.end() && it->second.is_tree)
+    return;  // a tree entry shadows every non-tree duplicate
   const NonTreeLabels& nt = idx_.nontree_;
   WeightId best{kPosInfW, -1};
-  for (std::size_t i = 0; i < nt.size(); ++i) {
-    if (endpoint_key(nt.u[i], nt.v[i]) != key) continue;
-    best = std::min(best, WeightId{nt.w[i], static_cast<std::int64_t>(i)});
+  const auto bucket = dup_of_key_.find(key);
+  if (bucket != dup_of_key_.end())
+    for (const std::int64_t i : bucket->second)
+      best = std::min(best, WeightId{nt.w[static_cast<std::size_t>(i)], i});
+#ifndef NDEBUG
+  {
+    // Parity with the O(m) scan the duplicate bucket replaced.
+    WeightId scanned{kPosInfW, -1};
+    for (std::size_t i = 0; i < nt.size(); ++i) {
+      if (nt.u[i] == nt.v[i] || endpoint_key(nt.u[i], nt.v[i]) != key)
+        continue;
+      scanned = std::min(scanned,
+                         WeightId{nt.w[i], static_cast<std::int64_t>(i)});
+    }
+    MPCMST_ASSERT(scanned == best,
+                  "re_resolve_key: duplicate bucket (" << best.second
+                      << ") disagrees with the scan (" << scanned.second
+                      << ") for {" << u << "," << v << "}");
   }
-  if (it->second.id == best.second) return;
-  it->second.id = best.second;
-  changed.endpoints.emplace_back(key, it->second);
+#endif
+  if (best.second < 0) {
+    // The last duplicate of the key disappeared: drop the entry.
+    if (it == idx_.by_endpoints_.end()) return;
+    idx_.by_endpoints_.erase(it);
+    changed.endpoints.emplace_back(key, EdgeRef{false, -1});  // erase marker
+    return;
+  }
+  const EdgeRef ref{false, best.second};
+  if (it == idx_.by_endpoints_.end()) {
+    idx_.by_endpoints_.emplace(key, ref);
+    changed.endpoints.emplace_back(key, ref);
+  } else if (it->second != ref) {
+    it->second = ref;
+    changed.endpoints.emplace_back(key, ref);
+  }
 }
 
 void LiveCore::tree_reweight(Vertex c, Weight new_w, ChangedSet& changed) {
@@ -300,6 +489,7 @@ void LiveCore::relabel(ChangedSet& changed) {
   idx_ = *SensitivityIndex::build_host(inst_, receipt);
   MPCMST_ASSERT(idx_.violations_ == 0,
                 "apply_update: exchange left a violated instance");
+  rebuild_slot_caches();
 }
 
 LiveCore::Outcome LiveCore::apply(Vertex u, Vertex v, Weight new_w) {
@@ -363,6 +553,163 @@ LiveCore::Outcome LiveCore::apply(Vertex u, Vertex v, Weight new_w) {
   return out;
 }
 
+LiveCore::Outcome LiveCore::add_edge(Vertex u, Vertex v, Weight w) {
+  MPCMST_ASSERT(w > kNegInfW && w < kPosInfW,
+                "add_edge: weight " << w << " outside the price band");
+  MPCMST_ASSERT(idx_.violations_ == 0,
+                "add_edge: the live index must hold an MST");
+  Outcome out;
+  out.report.old_w = w;  // insert convention: old_w == new_w == insert price
+  out.report.new_w = w;
+  const auto n = static_cast<Vertex>(inst_.n());
+  if (u == v) {
+    out.report.status = Status::kNotApplicable;
+    return out;
+  }
+  const bool u_fresh = (u == n), v_fresh = (v == n);
+  if (u_fresh != v_fresh) {
+    const Vertex anchor = u_fresh ? v : u;
+    if (anchor < 0 || anchor >= n) {
+      out.report.status = Status::kUnknownEdge;
+      return out;
+    }
+    // Vertex attach: a leaf tree edge.  n changed, so every dense structure
+    // (tree columns, topology view, shard ranges) is rebuilt via relabel.
+    out.report.cls = UpdateClass::kVertexAttach;
+    out.report.edge = EdgeRef{true, n};
+    inst_.tree.n += 1;
+    inst_.tree.parent.push_back(anchor);
+    inst_.tree.weight.push_back(w);
+    relabel(out.changed);
+    idx_.fingerprint_ = SensitivityIndex::fingerprint_of(inst_);
+    return out;
+  }
+  if (u < 0 || v < 0 || u >= n || v >= n) {
+    out.report.status = Status::kUnknownEdge;
+    return out;
+  }
+  const Vertex d = heaviest_path_child(inst_, topo(), u, v);
+  const Weight maxpath = inst_.tree.weight[static_cast<std::size_t>(d)];
+  const std::int64_t slot = allocate_nontree_slot(graph::WEdge{u, v, w});
+  out.report.edge = EdgeRef{false, slot};
+  if (w >= maxpath) {  // a tie stays out (Definition 1.2)
+    out.report.cls = UpdateClass::kNonTreeInsert;
+    const auto si = static_cast<std::size_t>(slot);
+    NonTreeLabels& nt = idx_.nontree_;
+    nt.maxpath[si] = maxpath;
+    nt.sens[si] = sensitivity::nontree_sens(w, maxpath);
+    out.changed.nontree_ids.push_back(slot);
+    // Covering offer along the tree path: a strict (w, id) improvement on a
+    // cut's argmin takes it, exactly the build's replacement order.
+    for (Vertex x : topo().path_children(u, v)) {
+      const auto xi = static_cast<std::size_t>(x);
+      if (WeightId{w, slot} <
+          WeightId{idx_.tree_.mc[xi], idx_.tree_.replacement[xi]})
+        set_mc(x, w, slot, out.changed);
+    }
+    re_resolve_key(u, v, out.changed);
+  } else {
+    out.report.cls = UpdateClass::kInsertSwap;
+    out.report.swapped_out = d;
+    out.report.swapped_in = slot;
+    exchange_edges(inst_, topo(), d, slot, /*promoted_w=*/w,
+                   /*demoted_w=*/maxpath);
+    relabel(out.changed);
+  }
+  idx_.fingerprint_ = SensitivityIndex::fingerprint_of(inst_);
+  return out;
+}
+
+LiveCore::Outcome LiveCore::remove_edge(Vertex u, Vertex v) {
+  MPCMST_ASSERT(idx_.violations_ == 0,
+                "remove_edge: the live index must hold an MST");
+  Outcome out;
+  const auto ref = idx_.find(u, v);
+  if (!ref) {
+    out.report.status = Status::kUnknownEdge;
+    return out;
+  }
+  out.report.edge = *ref;
+  if (!ref->is_tree) {
+    const auto i = static_cast<std::size_t>(ref->id);
+    NonTreeLabels& nt = idx_.nontree_;
+    const Vertex fu = nt.u[i], fv = nt.v[i];
+    out.report.cls = UpdateClass::kNonTreeDelete;
+    out.report.old_w = nt.w[i];
+    out.report.new_w = 0;
+    // Tombstone the slot in the instance, the labels and the slot caches.
+    inst_.nontree[i] = graph::WEdge{0, 0, 0};
+    nt.set(i, NonTreeEdgeInfo{0, 0, 0, kNegInfW, kPosInfW});
+    out.changed.nontree_ids.push_back(ref->id);
+    const std::uint64_t key = endpoint_key(fu, fv);
+    const auto bucket = dup_of_key_.find(key);
+    MPCMST_ASSERT(bucket != dup_of_key_.end(),
+                  "remove_edge: slot " << ref->id << " missing from bucket");
+    auto& slots = bucket->second;
+    slots.erase(std::find(slots.begin(), slots.end(), ref->id));
+    if (slots.empty()) dup_of_key_.erase(bucket);
+    free_slots_.insert(
+        std::lower_bound(free_slots_.begin(), free_slots_.end(), ref->id),
+        ref->id);
+    // Tree edges that leaned on the deleted edge as their argmin cover
+    // recompute it (a removal can only worsen mc, never improve it).
+    std::vector<Vertex> recompute;
+    for (Vertex x : topo().path_children(fu, fv))
+      if (idx_.tree_.replacement[static_cast<std::size_t>(x)] == ref->id)
+        recompute.push_back(x);
+    if (!recompute.empty()) {
+      std::vector<WeightId> best(recompute.size(), WeightId{kPosInfW, -1});
+      for (std::size_t j = 0; j < nt.size(); ++j) {
+        if (nt.u[j] == nt.v[j]) continue;
+        for (std::size_t r = 0; r < recompute.size(); ++r)
+          if (topo().covers(recompute[r], nt.u[j], nt.v[j]))
+            best[r] = std::min(
+                best[r], WeightId{nt.w[j], static_cast<std::int64_t>(j)});
+      }
+      for (std::size_t r = 0; r < recompute.size(); ++r)
+        set_mc(recompute[r], best[r].first, best[r].second, out.changed);
+    }
+    re_resolve_key(fu, fv, out.changed);
+    idx_.fingerprint_ = SensitivityIndex::fingerprint_of(inst_);
+    return out;
+  }
+  // Tree delete: promote the precomputed replacement, or refuse.
+  const Vertex c = static_cast<Vertex>(ref->id);
+  const auto ci = static_cast<std::size_t>(c);
+  out.report.old_w = idx_.tree_.w[ci];
+  out.report.new_w = 0;
+  const std::int64_t repl = idx_.tree_.replacement[ci];
+  if (repl < 0) {  // bridge in G: refuse before any mutation
+    out.report.status = Status::kWouldDisconnect;
+    return out;
+  }
+  out.report.cls = UpdateClass::kTreeDeletePromote;
+  out.report.swapped_out = c;
+  out.report.swapped_in = repl;
+  exchange_edges(inst_, topo(), c, repl,
+                 /*promoted_w=*/
+                 inst_.nontree[static_cast<std::size_t>(repl)].w,
+                 /*demoted_w=*/0);
+  inst_.nontree[static_cast<std::size_t>(repl)] = graph::WEdge{0, 0, 0};
+  relabel(out.changed);
+  idx_.fingerprint_ = SensitivityIndex::fingerprint_of(inst_);
+  return out;
+}
+
+LiveCore::Outcome LiveCore::apply_event(const EdgeEvent& ev) {
+  switch (ev.op) {
+    case UpdateOp::kReweight:
+      return apply(ev.u, ev.v, ev.w);
+    case UpdateOp::kAddEdge:
+      return add_edge(ev.u, ev.v, ev.w);
+    case UpdateOp::kRemoveEdge:
+      return remove_edge(ev.u, ev.v);
+  }
+  MPCMST_CHECK(false, "apply_event: unknown op "
+                          << static_cast<int>(ev.op));
+  return {};
+}
+
 namespace {
 
 /// Shared receipt assembly for both live backends (the caller stamps the
@@ -388,20 +735,20 @@ bool advances_epoch(const UpdateReport& rep) {
   return rep.status == Status::kOk && rep.cls != UpdateClass::kNoChange;
 }
 
-/// The journal record for one applied change: the submitted inputs (replay
-/// re-resolves them against the identical pre-state) plus the fingerprint
+/// The journal record for one applied event: the submitted inputs (replay
+/// re-dispatches them against the identical pre-state) plus the fingerprint
 /// chain and the epoch the change produced.
-JournalRecord make_journal_record(std::uint64_t epoch,
-                                  const UpdateReceipt& r, Vertex u, Vertex v,
-                                  Weight new_w) {
+JournalRecord make_journal_record(std::uint64_t epoch, const UpdateReceipt& r,
+                                  const EdgeEvent& ev) {
   JournalRecord rec;
   rec.generation = epoch;
   rec.old_fingerprint = r.old_fingerprint;
   rec.new_fingerprint = r.new_fingerprint;
-  rec.u = u;
-  rec.v = v;
-  rec.new_w = new_w;
+  rec.u = ev.u;
+  rec.v = ev.v;
+  rec.new_w = ev.w;
   rec.cls = static_cast<std::uint8_t>(r.report.cls);
+  rec.op = static_cast<std::uint8_t>(ev.op);
   return rec;
 }
 
@@ -424,6 +771,7 @@ std::shared_ptr<LiveMonolithBackend> LiveMonolithBackend::build(
 }
 
 Answer LiveMonolithBackend::answer(const Query& q) const {
+  check_not_poisoned();
   std::shared_lock lock(mu_);
   return answer_query(core_.index(), q);
 }
@@ -489,26 +837,111 @@ void record_update_telemetry(const UpdateReceipt& r, std::uint64_t t0) {
 
 }  // namespace
 
-UpdateReceipt LiveMonolithBackend::apply_update(Vertex u, Vertex v,
-                                                Weight new_w) {
-  const std::uint64_t t0 = metrics_enabled() ? metrics_now_ns() : 0;
-  std::unique_lock lock(mu_);
+void LiveMonolithBackend::check_not_poisoned() const {
+  MPCMST_CHECK(!poisoned_.load(std::memory_order_acquire),
+               "live backend is poisoned: a journal commit failed after the "
+               "state mutated; recover the tier from its persistence dir");
+}
+
+UpdateReceipt LiveMonolithBackend::apply_one(const EdgeEvent& ev) {
+  check_not_poisoned();
   const std::uint64_t old_fp = core_.index().fingerprint();
-  const auto out = core_.apply(u, v, new_w);
+  const auto out = core_.apply_event(ev);
   UpdateReceipt r = make_update_receipt(core_, out, old_fp);
   if (advances_epoch(r.report)) {
     const std::uint64_t epoch =
         generation_.load(std::memory_order_relaxed) + 1;
     // Commit point: the record is durable (per sync_mode) before the new
     // generation becomes visible — an acknowledged change always replays.
-    if (persist_) persist_->commit(make_journal_record(epoch, r, u, v, new_w));
+    // Fail-stop: if the commit throws, the core already holds the new state
+    // with no journal record behind it; this backend must never serve again
+    // (recovery from the persistence dir lands on the pre-update state).
+    try {
+      if (persist_) persist_->commit(make_journal_record(epoch, r, ev));
+    } catch (...) {
+      poisoned_.store(true, std::memory_order_release);
+      throw;
+    }
     generation_.store(epoch, std::memory_order_release);
-    if (persist_ && persist_->checkpoint_due())
-      persist_->checkpoint(epoch, core_.index(), nullptr);
+    try {
+      if (persist_ && persist_->checkpoint_due())
+        persist_->checkpoint(epoch, core_.index(), nullptr);
+    } catch (...) {
+      poisoned_.store(true, std::memory_order_release);
+      throw;
+    }
   }
   r.generation = generation_.load(std::memory_order_relaxed);
+  return r;
+}
+
+UpdateReceipt LiveMonolithBackend::apply_update(Vertex u, Vertex v,
+                                                Weight new_w) {
+  const std::uint64_t t0 = metrics_enabled() ? metrics_now_ns() : 0;
+  std::unique_lock lock(mu_);
+  const UpdateReceipt r =
+      apply_one(EdgeEvent{UpdateOp::kReweight, u, v, new_w});
   record_update_telemetry(r, t0);
   return r;
+}
+
+UpdateReceipt LiveMonolithBackend::add_edge(Vertex u, Vertex v, Weight w) {
+  const std::uint64_t t0 = metrics_enabled() ? metrics_now_ns() : 0;
+  std::unique_lock lock(mu_);
+  const UpdateReceipt r = apply_one(EdgeEvent{UpdateOp::kAddEdge, u, v, w});
+  record_update_telemetry(r, t0);
+  return r;
+}
+
+UpdateReceipt LiveMonolithBackend::remove_edge(Vertex u, Vertex v) {
+  const std::uint64_t t0 = metrics_enabled() ? metrics_now_ns() : 0;
+  std::unique_lock lock(mu_);
+  const UpdateReceipt r = apply_one(EdgeEvent{UpdateOp::kRemoveEdge, u, v, 0});
+  record_update_telemetry(r, t0);
+  return r;
+}
+
+std::vector<UpdateReceipt> LiveMonolithBackend::ingest(
+    const std::vector<EdgeEvent>& events) {
+  std::vector<UpdateReceipt> receipts;
+  receipts.reserve(events.size());
+  std::unique_lock lock(mu_);
+  check_not_poisoned();
+  std::uint64_t epoch = generation_.load(std::memory_order_relaxed);
+  std::vector<JournalRecord> staged;
+  // Group commit: apply the whole batch under one writer section, stage the
+  // journal records, then make them durable with ONE append + fsync.  The
+  // epoch store comes after the commit, so nothing is acknowledged (and no
+  // new generation is visible) until the batch is on disk; any throw before
+  // that poisons the backend — applied-but-unjournaled state must not serve.
+  try {
+    for (const EdgeEvent& ev : events) {
+      const std::uint64_t old_fp = core_.index().fingerprint();
+      const auto out = core_.apply_event(ev);
+      UpdateReceipt r = make_update_receipt(core_, out, old_fp);
+      if (advances_epoch(r.report)) {
+        ++epoch;
+        staged.push_back(make_journal_record(epoch, r, ev));
+      }
+      r.generation = epoch;
+      receipts.push_back(std::move(r));
+    }
+    if (persist_) persist_->commit_batch(staged);
+  } catch (...) {
+    poisoned_.store(true, std::memory_order_release);
+    throw;
+  }
+  generation_.store(epoch, std::memory_order_release);
+  try {
+    if (persist_ && persist_->checkpoint_due())
+      persist_->checkpoint(epoch, core_.index(), nullptr);
+  } catch (...) {
+    poisoned_.store(true, std::memory_order_release);
+    throw;
+  }
+  lock.unlock();
+  for (const UpdateReceipt& r : receipts) record_update_telemetry(r, 0);
+  return receipts;
 }
 
 void LiveMonolithBackend::attach_persistence(std::shared_ptr<Persistence> p) {
@@ -518,6 +951,7 @@ void LiveMonolithBackend::attach_persistence(std::shared_ptr<Persistence> p) {
 
 void LiveMonolithBackend::checkpoint() {
   std::unique_lock lock(mu_);
+  check_not_poisoned();
   if (!persist_) return;
   persist_->checkpoint(generation_.load(std::memory_order_relaxed),
                        core_.index(), nullptr);
@@ -557,6 +991,7 @@ std::shared_ptr<LiveShardedBackend> LiveShardedBackend::build(
 }
 
 Answer LiveShardedBackend::answer(const Query& q) const {
+  check_not_poisoned();
   std::shared_lock lock(mu_);
   return route_query(shards_, q);
 }
@@ -611,6 +1046,7 @@ graph::Instance LiveShardedBackend::instance_snapshot() const {
 
 void LiveShardedBackend::scatter(const ChangedSet& changed,
                                  std::uint64_t epoch) {
+  persist_crash_point("shard-scatter");
   const SensitivityIndex& m = core_.index();
   if (changed.full) {
     // A swap relabeled everything; re-split the relabeled monolith (same
@@ -642,22 +1078,58 @@ void LiveShardedBackend::scatter(const ChangedSet& changed,
         s.tree.set(slot, info);
       }
     }
+    bool moved = false;
     for (const std::int64_t id : changed.nontree_ids) {
       const NonTreeEdgeInfo info = m.nontree_edge(id);
-      IndexShard& s =
+      IndexShard& owner =
           shards_.shards_[shards_.shard_of(std::min(info.u, info.v))];
-      const std::ptrdiff_t slot = s.nontree_slot(id);
-      MPCMST_ASSERT(slot >= 0,
-                    "scatter: non-tree edge " << id << " missing from shard");
-      s.nontree.set(static_cast<std::size_t>(slot), info);
+      const std::ptrdiff_t slot = owner.nontree_slot(id);
+      if (slot >= 0) {
+        owner.nontree.set(static_cast<std::size_t>(slot), info);
+        continue;
+      }
+      // The edge is new to its owner — a fresh insert landing in a grown
+      // slot, or a tombstone rehoming to shard_of(0): evict it from
+      // whichever shard held it (if any), then sorted-insert here.
+      moved = true;
+      for (IndexShard& s : shards_.shards_) {
+        const std::ptrdiff_t old_slot = s.nontree_slot(id);
+        if (old_slot < 0) continue;
+        s.nontree_ids.erase(s.nontree_ids.begin() + old_slot);
+        s.nontree.erase(static_cast<std::size_t>(old_slot));
+        break;
+      }
+      const auto it = std::lower_bound(owner.nontree_ids.begin(),
+                                       owner.nontree_ids.end(), id);
+      const auto at = static_cast<std::size_t>(it - owner.nontree_ids.begin());
+      owner.nontree_ids.insert(it, id);
+      owner.nontree.insert(at, info);
     }
     for (const auto& [key, ref] : changed.endpoints) {
       IndexShard& s =
           shards_.shards_[shards_.shard_of(static_cast<Vertex>(key >> 32))];
-      const auto it = s.by_endpoints.find(key);
-      MPCMST_ASSERT(it != s.by_endpoints.end(),
-                    "scatter: endpoint key " << key << " missing from shard");
-      it->second = ref;
+      if (!ref.is_tree && ref.id < 0) {
+        // Erase marker (see ChangedSet): the key no longer resolves.
+        s.by_endpoints.erase(key);
+      } else {
+        s.by_endpoints[key] = ref;
+      }
+    }
+    moved = moved || shards_.num_nontree_ != m.num_nontree();
+    shards_.num_nontree_ = m.num_nontree();
+    if (moved || !changed.endpoints.empty()) {
+      // Topology churn resized a shard's columns or endpoint map: refresh
+      // the cost receipts in place (same formula as finalize()).
+      for (IndexShard& s : shards_.shards_) {
+        s.cost.tree_edges = s.fragile_order.size();
+        s.cost.nontree_edges = s.nontree.size();
+        s.cost.endpoint_entries = s.by_endpoints.size();
+        s.cost.resident_words =
+            s.tree.size() * mpc::words_per<TreeEdgeInfo>() +
+            s.nontree.size() * (mpc::words_per<NonTreeEdgeInfo>() + 1) +
+            s.by_endpoints.size() * (mpc::words_per<EdgeRef>() + 1) +
+            s.fragile_order.size();
+      }
     }
     shards_.fingerprint_ = m.fingerprint();
   }
@@ -667,27 +1139,114 @@ void LiveShardedBackend::scatter(const ChangedSet& changed,
   for (IndexShard& s : shards_.shards_) s.generation = epoch;
 }
 
-UpdateReceipt LiveShardedBackend::apply_update(Vertex u, Vertex v,
-                                               Weight new_w) {
-  const std::uint64_t t0 = metrics_enabled() ? metrics_now_ns() : 0;
-  std::unique_lock lock(mu_);
+void LiveShardedBackend::check_not_poisoned() const {
+  MPCMST_CHECK(!poisoned_.load(std::memory_order_acquire),
+               "live backend is poisoned: a journal commit failed after the "
+               "state mutated; recover the tier from its persistence dir");
+}
+
+UpdateReceipt LiveShardedBackend::apply_one(const EdgeEvent& ev) {
+  check_not_poisoned();
   const std::uint64_t old_fp = shards_.fingerprint();
-  const auto out = core_.apply(u, v, new_w);
+  const auto out = core_.apply_event(ev);
   UpdateReceipt r = make_update_receipt(core_, out, old_fp);
   if (advances_epoch(r.report)) {
     const std::uint64_t epoch =
         generation_.load(std::memory_order_relaxed) + 1;
-    // Commit point: journal first, then patch the serving shards — the
-    // epoch barrier (and with it query visibility) comes after durability.
-    if (persist_) persist_->commit(make_journal_record(epoch, r, u, v, new_w));
+    // Commit point: journal first, then patch the serving shards, and only
+    // then publish the new generation — the epoch barrier (and with it
+    // query visibility) comes after both durability AND the scatter, so a
+    // reader that observes the new generation always sees the new shards.
+    // Fail-stop: a throw from either leaves the core ahead of the journal
+    // (or the shards mid-patch); the backend must never serve again.
+    try {
+      if (persist_) persist_->commit(make_journal_record(epoch, r, ev));
+      scatter(out.changed, epoch);
+    } catch (...) {
+      poisoned_.store(true, std::memory_order_release);
+      throw;
+    }
     generation_.store(epoch, std::memory_order_release);
-    scatter(out.changed, epoch);
-    if (persist_ && persist_->checkpoint_due())
-      persist_->checkpoint(epoch, core_.index(), &shards_);
+    try {
+      if (persist_ && persist_->checkpoint_due())
+        persist_->checkpoint(epoch, core_.index(), &shards_);
+    } catch (...) {
+      poisoned_.store(true, std::memory_order_release);
+      throw;
+    }
   }
   r.generation = generation_.load(std::memory_order_relaxed);
+  return r;
+}
+
+UpdateReceipt LiveShardedBackend::apply_update(Vertex u, Vertex v,
+                                               Weight new_w) {
+  const std::uint64_t t0 = metrics_enabled() ? metrics_now_ns() : 0;
+  std::unique_lock lock(mu_);
+  const UpdateReceipt r =
+      apply_one(EdgeEvent{UpdateOp::kReweight, u, v, new_w});
   record_update_telemetry(r, t0);
   return r;
+}
+
+UpdateReceipt LiveShardedBackend::add_edge(Vertex u, Vertex v, Weight w) {
+  const std::uint64_t t0 = metrics_enabled() ? metrics_now_ns() : 0;
+  std::unique_lock lock(mu_);
+  const UpdateReceipt r = apply_one(EdgeEvent{UpdateOp::kAddEdge, u, v, w});
+  record_update_telemetry(r, t0);
+  return r;
+}
+
+UpdateReceipt LiveShardedBackend::remove_edge(Vertex u, Vertex v) {
+  const std::uint64_t t0 = metrics_enabled() ? metrics_now_ns() : 0;
+  std::unique_lock lock(mu_);
+  const UpdateReceipt r = apply_one(EdgeEvent{UpdateOp::kRemoveEdge, u, v, 0});
+  record_update_telemetry(r, t0);
+  return r;
+}
+
+std::vector<UpdateReceipt> LiveShardedBackend::ingest(
+    const std::vector<EdgeEvent>& events) {
+  std::vector<UpdateReceipt> receipts;
+  receipts.reserve(events.size());
+  std::unique_lock lock(mu_);
+  check_not_poisoned();
+  std::uint64_t epoch = generation_.load(std::memory_order_relaxed);
+  std::vector<JournalRecord> staged;
+  // Group commit (see the monolith's ingest): apply and scatter the whole
+  // batch under one writer section — scattering pre-commit is safe here
+  // because readers are excluded for the duration — then journal it with
+  // ONE append + fsync.  Any throw poisons: applied-but-unjournaled events
+  // (or shards stamped ahead of the published generation) must not serve.
+  try {
+    for (const EdgeEvent& ev : events) {
+      const std::uint64_t old_fp = shards_.fingerprint();
+      const auto out = core_.apply_event(ev);
+      UpdateReceipt r = make_update_receipt(core_, out, old_fp);
+      if (advances_epoch(r.report)) {
+        ++epoch;
+        staged.push_back(make_journal_record(epoch, r, ev));
+        scatter(out.changed, epoch);
+      }
+      r.generation = epoch;
+      receipts.push_back(std::move(r));
+    }
+    if (persist_) persist_->commit_batch(staged);
+  } catch (...) {
+    poisoned_.store(true, std::memory_order_release);
+    throw;
+  }
+  generation_.store(epoch, std::memory_order_release);
+  try {
+    if (persist_ && persist_->checkpoint_due())
+      persist_->checkpoint(epoch, core_.index(), &shards_);
+  } catch (...) {
+    poisoned_.store(true, std::memory_order_release);
+    throw;
+  }
+  lock.unlock();
+  for (const UpdateReceipt& r : receipts) record_update_telemetry(r, 0);
+  return receipts;
 }
 
 void LiveShardedBackend::attach_persistence(std::shared_ptr<Persistence> p) {
@@ -697,6 +1256,7 @@ void LiveShardedBackend::attach_persistence(std::shared_ptr<Persistence> p) {
 
 void LiveShardedBackend::checkpoint() {
   std::unique_lock lock(mu_);
+  check_not_poisoned();
   if (!persist_) return;
   persist_->checkpoint(generation_.load(std::memory_order_relaxed),
                        core_.index(), &shards_);

@@ -20,6 +20,16 @@
 // Ties follow Definition 1.2 throughout: a change that creates a tie keeps
 // T optimal, so w == mc / w == maxpath stays a reweight, never a swap.
 //
+// Topology churn rides the same machinery: add_edge inserts a non-tree edge
+// (covering-contribution offer along its tree path, or a swap when it
+// undercuts the path max; a fresh endpoint attaches as a leaf tree edge) and
+// remove_edge deletes one (a non-tree delete tombstones its slot — the
+// canonical dead slot is WEdge{0,0,0}, and ANY u == v slot counts as dead —
+// and repairs the mc/replacement labels that leaned on it; a tree delete
+// promotes the precomputed replacement, or refuses with kWouldDisconnect
+// when the edge is a bridge).  Batch ingest absorbs a raw EdgeEvent stream
+// under one writer section with a single group-committed journal append.
+//
 // Generation safety: every applied change rotates the instance fingerprint
 // (recomputed from the canonical post-update instance, so it always equals
 // what a fresh build of that instance would carry) and advances a strictly
@@ -34,6 +44,7 @@
 #include <cstdint>
 #include <memory>
 #include <shared_mutex>
+#include <unordered_map>
 #include <vector>
 
 #include "service/index.hpp"
@@ -46,11 +57,36 @@ namespace mpcmst::service {
 class Persistence;  // snapshot.hpp: journal + snapshot coordinator
 
 enum class UpdateClass : std::uint8_t {
-  kNoChange,         // new weight equals the current one (no mutation)
-  kTreeReweight,     // tree edge, stays within headroom (new_w <= mc)
-  kTreeSwap,         // tree edge raised past its replacement: exchange
-  kNonTreeReweight,  // non-tree edge, stays out (new_w >= maxpath)
-  kNonTreeSwap,      // non-tree edge undercuts its path: exchange
+  kNoChange,          // new weight equals the current one (no mutation)
+  kTreeReweight,      // tree edge, stays within headroom (new_w <= mc)
+  kTreeSwap,          // tree edge raised past its replacement: exchange
+  kNonTreeReweight,   // non-tree edge, stays out (new_w >= maxpath)
+  kNonTreeSwap,       // non-tree edge undercuts its path: exchange
+  kNonTreeInsert,     // add_edge: new edge stays out (w >= path max)
+  kInsertSwap,        // add_edge: new edge undercuts its path: exchange
+  kVertexAttach,      // add_edge: fresh endpoint joins T as a leaf edge
+  kNonTreeDelete,     // remove_edge: non-tree slot tombstoned + labels repaired
+  kTreeDeletePromote  // remove_edge: tree edge replaced by its argmin cover
+};
+
+/// Topology-churn operation kind — journaled per record (journal v2) so
+/// replay re-dispatches each event through the same entry point.
+enum class UpdateOp : std::uint8_t {
+  kReweight = 0,
+  kAddEdge = 1,
+  kRemoveEdge = 2,
+};
+
+/// One element of a raw edge stream: reweight / insert / delete.  `w` is the
+/// new absolute price (ignored for kRemoveEdge).  Batch ingest absorbs
+/// vectors of these the way a streaming-graph system consumes its input.
+struct EdgeEvent {
+  UpdateOp op = UpdateOp::kReweight;
+  Vertex u = 0;
+  Vertex v = 0;
+  Weight w = 0;
+
+  friend bool operator==(const EdgeEvent&, const EdgeEvent&) = default;
 };
 
 /// What one canonical instance transformation did (shared by the live layer
@@ -75,8 +111,29 @@ struct UpdateReport {
 UpdateReport apply_update_to_instance(graph::Instance& inst, Vertex u,
                                       Vertex v, Weight new_w);
 
+/// Canonical topology transforms, same contract as apply_update_to_instance
+/// (the live layer and the churn-test oracle both go through these
+/// definitions).  A dead non-tree slot is the tombstone WEdge{0,0,0}; ANY
+/// slot with u == v counts as dead (excluded from resolution, covering
+/// nothing).  add_edge allocates the lowest dead slot, else appends; with
+/// exactly one endpoint == n (the next fresh vertex id) it attaches a new
+/// leaf tree edge instead.  remove_edge of a tree edge promotes the argmin
+/// cover into the tree, or refuses with Status::kWouldDisconnect (no
+/// mutation) when the edge is a bridge.
+UpdateReport add_edge_to_instance(graph::Instance& inst, Vertex u, Vertex v,
+                                  Weight w);
+UpdateReport remove_edge_from_instance(graph::Instance& inst, Vertex u,
+                                       Vertex v);
+/// Dispatch one EdgeEvent through the canonical transform for its op.
+UpdateReport apply_event_to_instance(graph::Instance& inst,
+                                     const EdgeEvent& ev);
+
 /// Labels touched by one in-place repair (what the sharded backend must
 /// scatter); `full` marks a swap, after which everything was relabeled.
+/// Topology churn generalizes the patches: `nontree_ids` may name slots that
+/// are new, tombstoned, or whose owning shard changed (the scatter moves
+/// them), and an endpoints entry carrying EdgeRef{false, -1} means "erase
+/// this key" (the last duplicate of the key was deleted).
 struct ChangedSet {
   bool full = false;
   std::vector<Vertex> tree_children;
@@ -119,6 +176,21 @@ class LiveCore {
   /// against Definition 1.2, which needs one.
   Outcome apply(Vertex u, Vertex v, Weight new_w);
 
+  /// Insert a new edge.  Non-tree inserts allocate the lowest tombstoned
+  /// slot (else append) and either stay out (covering-contribution offer
+  /// along the tree path) or swap in; one endpoint == n attaches a fresh
+  /// leaf vertex.  Mirrors add_edge_to_instance exactly.
+  Outcome add_edge(Vertex u, Vertex v, Weight w);
+
+  /// Delete an edge.  A non-tree delete tombstones the slot and repairs the
+  /// mc/replacement labels that leaned on it; a tree delete promotes the
+  /// precomputed replacement, or refuses with Status::kWouldDisconnect
+  /// (no mutation).  Mirrors remove_edge_from_instance exactly.
+  Outcome remove_edge(Vertex u, Vertex v);
+
+  /// Dispatch one EdgeEvent to apply / add_edge / remove_edge.
+  Outcome apply_event(const EdgeEvent& ev);
+
  private:
   void tree_reweight(Vertex c, Weight new_w, ChangedSet& changed);
   void nontree_reweight(std::int64_t id, Weight new_w, ChangedSet& changed);
@@ -131,8 +203,20 @@ class LiveCore {
   void reposition(Vertex child, Weight old_sens);
   /// Max tree weight on the path u..v skipping edge {skip, p(skip)}.
   Weight path_max_excluding(Vertex u, Vertex v, Vertex skip) const;
-  /// Recompute the lightest-duplicate resolution of one endpoint key.
+  /// Recompute the lightest-duplicate resolution of one endpoint key from
+  /// the per-key duplicate bucket (O(duplicates), not O(m)); may insert or
+  /// erase the map entry as duplicates appear and disappear.  Tree entries
+  /// shadow: the key resolves to the tree edge regardless of duplicates.
   void re_resolve_key(Vertex u, Vertex v, ChangedSet& changed);
+
+  /// Rebuild free_slots_ / dup_of_key_ from the current label columns
+  /// (construction and every relabel; incremental ops maintain them).
+  void rebuild_slot_caches();
+
+  /// Lowest tombstoned non-tree slot, else append a fresh one — a pure
+  /// function of the instance, so the canonical transform agrees.  Writes
+  /// `e` into both the instance and the label columns.
+  std::int64_t allocate_nontree_slot(const graph::WEdge& e);
 
   /// The index's weight-agnostic topology view (valid across reweights;
   /// swaps replace the whole index, topology included).
@@ -140,6 +224,13 @@ class LiveCore {
 
   graph::Instance inst_;
   SensitivityIndex idx_;  // mutated through friendship
+
+  // Slot caches for topology churn, rebuilt on relabel and maintained on
+  // insert/delete: tombstoned slots (ascending) for allocation, and the
+  // live duplicate slots of every endpoint key (ascending) so duplicate
+  // re-resolution costs O(duplicates of that key) instead of O(m).
+  std::vector<std::int64_t> free_slots_;
+  std::unordered_map<std::uint64_t, std::vector<std::int64_t>> dup_of_key_;
 };
 
 /// A backend that absorbs confirmed changes.  `generation()` (inherited)
@@ -148,6 +239,18 @@ class LiveCore {
 class UpdatableBackend : public IndexBackend {
  public:
   virtual UpdateReceipt apply_update(Vertex u, Vertex v, Weight new_w) = 0;
+  /// Topology churn: insert / delete an edge (same receipt contract as
+  /// apply_update; a refused tree delete reports Status::kWouldDisconnect
+  /// without mutating or advancing the epoch).
+  virtual UpdateReceipt add_edge(Vertex u, Vertex v, Weight w) = 0;
+  virtual UpdateReceipt remove_edge(Vertex u, Vertex v) = 0;
+  /// Absorb a raw edge stream under ONE writer critical section: every
+  /// event is applied and journaled (group commit — one buffered append +
+  /// fsync for the whole batch), and the new generation becomes visible
+  /// only once the batch is durable.  Nothing is acknowledged before the
+  /// commit, so a crash mid-batch replays a consistent prefix.
+  virtual std::vector<UpdateReceipt> ingest(
+      const std::vector<EdgeEvent>& events) = 0;
   virtual graph::Instance instance_snapshot() const = 0;
 
   /// Attach a journal + snapshot coordinator (snapshot.hpp): every
@@ -193,16 +296,31 @@ class LiveMonolithBackend final : public UpdatableBackend {
       std::int64_t orig_id) const override;
 
   UpdateReceipt apply_update(Vertex u, Vertex v, Weight new_w) override;
+  UpdateReceipt add_edge(Vertex u, Vertex v, Weight w) override;
+  UpdateReceipt remove_edge(Vertex u, Vertex v) override;
+  std::vector<UpdateReceipt> ingest(
+      const std::vector<EdgeEvent>& events) override;
   graph::Instance instance_snapshot() const override;
   void attach_persistence(std::shared_ptr<Persistence> p) override;
   void checkpoint() override;
 
  private:
+  /// One event under the writer lock: apply, journal (fail-stop on a
+  /// throwing commit), publish the epoch, maybe checkpoint.
+  UpdateReceipt apply_one(const EdgeEvent& ev);
+  void check_not_poisoned() const;
+
   mutable std::shared_mutex mu_;
   LiveCore core_;
   const CostReceipt receipt_;  // never written after construction
   std::atomic<std::uint64_t> generation_{0};
   std::shared_ptr<Persistence> persist_;  // null: in-memory only
+  // Fail-stop: set when a journal commit (or checkpoint) throws while the
+  // core already holds the new state.  Acknowledged state must equal
+  // journaled state, so a backend that cannot journal refuses to serve —
+  // every entry point throws ModelError until the tier is recovered from
+  // its (consistent) persistence directory.
+  std::atomic<bool> poisoned_{false};
 };
 
 /// The sharded serving tier made live: the same LiveCore classifies and
@@ -252,6 +370,10 @@ class LiveShardedBackend final : public UpdatableBackend {
       std::int64_t orig_id) const override;
 
   UpdateReceipt apply_update(Vertex u, Vertex v, Weight new_w) override;
+  UpdateReceipt add_edge(Vertex u, Vertex v, Weight w) override;
+  UpdateReceipt remove_edge(Vertex u, Vertex v) override;
+  std::vector<UpdateReceipt> ingest(
+      const std::vector<EdgeEvent>& events) override;
   graph::Instance instance_snapshot() const override;
   void attach_persistence(std::shared_ptr<Persistence> p) override;
   void checkpoint() override;
@@ -260,6 +382,12 @@ class LiveShardedBackend final : public UpdatableBackend {
   const ShardedSensitivityIndex& sharded() const { return shards_; }
 
  private:
+  /// One event under the writer lock: apply, journal (fail-stop on a
+  /// throwing commit), patch the shards, THEN publish the epoch — the
+  /// store must come after scatter() so a lock-free generation() reader
+  /// can never observe epoch N+1 while shard labels are still at N.
+  UpdateReceipt apply_one(const EdgeEvent& ev);
+  void check_not_poisoned() const;
   void scatter(const ChangedSet& changed, std::uint64_t epoch);
 
   mutable std::shared_mutex mu_;
@@ -268,6 +396,7 @@ class LiveShardedBackend final : public UpdatableBackend {
   const CostReceipt receipt_;  // never written after construction
   std::atomic<std::uint64_t> generation_{0};
   std::shared_ptr<Persistence> persist_;  // null: in-memory only
+  std::atomic<bool> poisoned_{false};  // see LiveMonolithBackend::poisoned_
 };
 
 }  // namespace mpcmst::service

@@ -292,9 +292,13 @@ Artifacts build_artifacts(mpc::Engine& eng, const graph::Instance& inst) {
   // LCA + ancestor-descendant transform (Corollary 2.19).
   std::vector<lca::IdEdge> nontree;
   nontree.reserve(inst.nontree.size());
-  for (std::size_t i = 0; i < inst.nontree.size(); ++i)
+  for (std::size_t i = 0; i < inst.nontree.size(); ++i) {
+    // Tombstoned slots (u == v, see service/update.hpp) cover nothing; the
+    // sensitivity tabulation defaults their labels without a verdict row.
+    if (inst.nontree[i].u == inst.nontree[i].v) continue;
     nontree.push_back({inst.nontree[i].u, inst.nontree[i].v,
                        inst.nontree[i].w, static_cast<std::int64_t>(i)});
+  }
   auto dedges = mpc::scatter(eng, std::move(nontree));
   auto lcares = lca::all_edges_lca(dtree, inst.tree.root, depths,
                                    labels.intervals, dedges, dhat);

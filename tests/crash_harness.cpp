@@ -3,7 +3,9 @@
 //
 // The parent builds a persistent live tier once, then repeatedly re-execs
 // itself as a --child that recovers the tier, applies a deterministic stream
-// of confirmed updates, and SIGKILLs itself at a randomized commit-path
+// of confirmed changes — reweights plus topology churn (non-tree inserts,
+// vertex attaches, non-tree deletes) — and SIGKILLs itself at a randomized
+// commit-path
 // point (mid-record through the journal write-fault hook, post-commit after
 // the fsync, or mid-snapshot during a checkpoint).  After each death the
 // parent recovers in-process and holds the tier to the oracle:
@@ -15,9 +17,11 @@
 //     (post-commit / mid-snapshot kills: generation == intent) or vanished
 //     (mid-record kills: generation == intent - 1, with a torn tail).
 //
-// Every update of the stream is effective by construction (the new price
-// differs from the resolved edge's current one), so attempt index ==
-// generation and the parent can replay the committed prefix exactly.
+// Every event of the stream is effective by construction (a reweight's new
+// price differs from the resolved edge's current one; inserts always apply;
+// deletes only target non-tree edges whose key no tree edge shadows — never
+// a refusable bridge), so attempt index == generation and the parent can
+// replay the committed prefix exactly.
 //
 //   usage: crash_harness <dir> [--iters K] [--seed S] [--shards N]
 //          (N = 0, the default, runs both the monolith and a 3-shard tier)
@@ -69,39 +73,73 @@ g::Weight resolved_weight(const g::Instance& inst, g::Vertex u, g::Vertex v) {
       return inst.tree.weight[static_cast<std::size_t>(c)];
   }
   g::Weight best = g::kPosInfW;
-  for (const g::WEdge& e : inst.nontree)
+  for (const g::WEdge& e : inst.nontree) {
+    if (e.u == e.v) continue;  // tombstoned slot: resolves nowhere
     if ((e.u == u && e.v == v) || (e.u == v && e.v == u))
       best = std::min(best, e.w);
+  }
   return best;
 }
 
-struct PickedUpdate {
-  g::Vertex u, v;
-  g::Weight w;
-};
+/// Is {u, v} the key of a current tree edge?  remove_edge resolves tree
+/// edges first, so the stream only deletes non-tree edges whose key no tree
+/// edge shadows (a tree delete could refuse — not effective).
+bool is_tree_key(const g::Instance& inst, g::Vertex u, g::Vertex v) {
+  for (const g::Vertex c : {u, v}) {
+    const g::Vertex other = (c == u) ? v : u;
+    if (c != inst.tree.root &&
+        inst.tree.parent[static_cast<std::size_t>(c)] == other)
+      return true;
+  }
+  return false;
+}
 
 /// Attempt `i` of the stream: a pure function of (seed, i, current
 /// instance), effective by construction — so the child and the parent's
-/// oracle replay can never disagree about what attempt `i` was.
-PickedUpdate pick_update(const g::Instance& inst, std::uint64_t seed,
-                         std::uint64_t i) {
+/// oracle replay can never disagree about what attempt `i` was.  Mix:
+/// reweights of tree and live non-tree edges, inserts (duplicates allowed),
+/// fresh-vertex attaches, and non-tree deletes (which tombstone slots later
+/// inserts reuse) — the full journal-v2 op surface under SIGKILL.
+svc::EdgeEvent pick_event(const g::Instance& inst, std::uint64_t seed,
+                          std::uint64_t i) {
   const std::uint64_t h1 = hash_combine(seed, i, 1);
   const std::uint64_t h2 = hash_combine(seed, i, 2);
   const std::uint64_t h3 = hash_combine(seed, i, 3);
-  PickedUpdate up{};
-  if (h1 % 2 == 0) {
+  const auto n = static_cast<g::Vertex>(inst.n());
+  std::vector<std::size_t> live;  // non-tombstoned non-tree slots
+  for (std::size_t s = 0; s < inst.nontree.size(); ++s)
+    if (inst.nontree[s].u != inst.nontree[s].v) live.push_back(s);
+  g::Weight w = 1 + static_cast<g::Weight>(h3 % 60);
+
+  const std::uint64_t kind = h1 % 8;
+  if (kind < 3) {  // reweight a tree edge
     auto c = static_cast<g::Vertex>(h2 % inst.n());
-    if (c == inst.tree.root) c = (c + 1) % static_cast<g::Vertex>(inst.n());
-    up.u = c;
-    up.v = inst.tree.parent[static_cast<std::size_t>(c)];
-  } else {
-    const g::WEdge& e = inst.nontree[h2 % inst.nontree.size()];
-    up.u = e.u;
-    up.v = e.v;
+    if (c == inst.tree.root) c = (c + 1) % n;
+    const g::Vertex p = inst.tree.parent[static_cast<std::size_t>(c)];
+    if (w == resolved_weight(inst, c, p)) w = (w % 60) + 1;
+    return {svc::UpdateOp::kReweight, c, p, w};
   }
-  up.w = 1 + static_cast<g::Weight>(h3 % 60);
-  if (up.w == resolved_weight(inst, up.u, up.v)) up.w = (up.w % 60) + 1;
-  return up;
+  if (kind < 5 && !live.empty()) {  // reweight a live non-tree edge
+    const g::WEdge& e = inst.nontree[live[h2 % live.size()]];
+    if (w == resolved_weight(inst, e.u, e.v)) w = (w % 60) + 1;
+    return {svc::UpdateOp::kReweight, e.u, e.v, w};
+  }
+  if (kind == 7 && !live.empty()) {  // delete a non-shadowed non-tree edge
+    for (std::size_t probe = 0; probe < live.size(); ++probe) {
+      const g::WEdge& e =
+          inst.nontree[live[(h2 + probe) % live.size()]];
+      if (!is_tree_key(inst, e.u, e.v))
+        return {svc::UpdateOp::kRemoveEdge, e.u, e.v, 0};
+    }
+    // Every live edge shadowed (vanishingly unlikely): insert instead.
+  }
+  if (h2 % 5 == 0 && inst.n() < 96)  // attach a fresh leaf vertex
+    return {svc::UpdateOp::kAddEdge, n,
+            static_cast<g::Vertex>(h3 % inst.n()), w};
+  auto u = static_cast<g::Vertex>(h2 % inst.n());
+  auto v = static_cast<g::Vertex>((h2 >> 16) % inst.n());
+  if (u == v) v = (v + 1) % n;
+  return {svc::UpdateOp::kAddEdge, u, v, w};
 }
 
 using mpcmst::test::probe_queries;
@@ -161,8 +199,19 @@ int run_child(const std::string& dir, std::uint64_t seed, int phase,
     const std::uint64_t gen = service->backend().generation();
     write_intent(intent_fd, iter, gen + 1);
     const auto inst = service->updatable_backend()->instance_snapshot();
-    const PickedUpdate up = pick_update(inst, seed, gen);
-    const auto r = service->apply_update(up.u, up.v, up.w);
+    const svc::EdgeEvent ev = pick_event(inst, seed, gen);
+    svc::UpdateReceipt r;
+    switch (ev.op) {
+      case svc::UpdateOp::kReweight:
+        r = service->apply_update(ev.u, ev.v, ev.w);
+        break;
+      case svc::UpdateOp::kAddEdge:
+        r = service->add_edge(ev.u, ev.v, ev.w);
+        break;
+      case svc::UpdateOp::kRemoveEdge:
+        r = service->remove_edge(ev.u, ev.v);
+        break;
+    }
     if (r.report.status != svc::Status::kOk ||
         r.report.cls == svc::UpdateClass::kNoChange) {
       std::cerr << "child: attempt " << gen << " was not effective\n";
@@ -188,8 +237,8 @@ std::uint64_t verify_recovery(const std::string& dir, const g::Instance& base,
   // deterministic stream, applied through the canonical transform.
   g::Instance oracle = base;
   for (std::uint64_t i = 0; i < gen; ++i) {
-    const PickedUpdate up = pick_update(oracle, seed, i);
-    const auto rep = svc::apply_update_to_instance(oracle, up.u, up.v, up.w);
+    const svc::EdgeEvent ev = pick_event(oracle, seed, i);
+    const auto rep = svc::apply_event_to_instance(oracle, ev);
     MPCMST_ASSERT(rep.status == svc::Status::kOk &&
                       rep.cls != svc::UpdateClass::kNoChange,
                   "oracle attempt " << i << " not effective");

@@ -16,6 +16,7 @@
 #include <random>
 #include <vector>
 
+#include "common/binio.hpp"
 #include "common/check.hpp"
 #include "graph/generators.hpp"
 #include "service/journal.hpp"
@@ -137,7 +138,7 @@ TEST(Journal, CorruptedRecordBytesStopTheScan) {
     auto j = svc::Journal::open(path, svc::SyncMode::kCommit);
     for (std::uint64_t gen = 1; gen <= 3; ++gen) j.append(make_record(gen));
   }
-  // Flip one payload byte inside record 2 (headers are 16 bytes, frames 57):
+  // Flip one payload byte inside record 2 (headers are 16 bytes, frames 58):
   // its CRC fails, and — because nothing after a bad frame can be trusted —
   // record 3 is dropped with it.
   auto bytes = read_file(path);
@@ -154,6 +155,124 @@ TEST(Journal, CorruptedRecordBytesStopTheScan) {
   EXPECT_EQ(fs::file_size(path), recovered.valid_bytes);
   EXPECT_EQ(svc::Journal::scan(path).records.size(), 1u);
   EXPECT_FALSE(svc::Journal::scan(path).torn);
+}
+
+/// Hand-encode a version-1 journal file (49-byte payloads, no op byte) —
+/// the on-disk format every tier wrote before topology ops existed.
+void write_v1_journal(const std::string& path,
+                      const std::vector<svc::JournalRecord>& recs) {
+  mpcmst::ByteWriter w;
+  const char magic[8] = {'M', 'P', 'C', 'J', 'R', 'N', '0', '1'};
+  w.bytes(magic, sizeof magic);
+  w.u32(1);
+  w.u32(mpcmst::crc32(w.data().data(), w.size()));
+  for (const auto& rec : recs) {
+    mpcmst::ByteWriter payload;
+    payload.u64(rec.generation);
+    payload.u64(rec.old_fingerprint);
+    payload.u64(rec.new_fingerprint);
+    payload.i64(rec.u);
+    payload.i64(rec.v);
+    payload.i64(rec.new_w);
+    payload.u8(rec.cls);
+    w.u32(static_cast<std::uint32_t>(payload.size()));
+    w.bytes(payload.data().data(), payload.size());
+    w.u32(mpcmst::crc32(payload.data().data(), payload.size()));
+  }
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(w.data().data()),
+            static_cast<std::streamsize>(w.size()));
+}
+
+TEST(Journal, V1FileUpgradesOnOpen) {
+  const auto dir = make_dir("journal_v1_upgrade");
+  const std::string path = svc::journal_path(dir.str());
+  std::vector<svc::JournalRecord> recs;
+  for (std::uint64_t gen = 1; gen <= 4; ++gen) recs.push_back(make_record(gen));
+  write_v1_journal(path, recs);
+
+  // A v1 file scans as-is (every record is a reweight)...
+  const auto v1 = svc::Journal::scan(path);
+  ASSERT_FALSE(v1.missing);
+  EXPECT_EQ(v1.version, 1u);
+  ASSERT_EQ(v1.records.size(), 4u);
+  for (std::uint64_t gen = 1; gen <= 4; ++gen) {
+    EXPECT_EQ(v1.records[gen - 1], make_record(gen)) << "gen " << gen;
+    EXPECT_EQ(v1.records[gen - 1].op, 0u);
+  }
+
+  // ...and open() upgrades it in place before appending v2 frames.
+  {
+    auto j = svc::Journal::open(path, svc::SyncMode::kCommit);
+    svc::JournalRecord topo = make_record(5);
+    topo.op = static_cast<std::uint8_t>(svc::UpdateOp::kAddEdge);
+    j.append(topo);
+  }
+  const auto v2 = svc::Journal::scan(path);
+  EXPECT_EQ(v2.version, 2u);
+  EXPECT_FALSE(v2.torn);
+  ASSERT_EQ(v2.records.size(), 5u);
+  for (std::uint64_t gen = 1; gen <= 4; ++gen)
+    EXPECT_EQ(v2.records[gen - 1], make_record(gen)) << "gen " << gen;
+  EXPECT_EQ(v2.records[4].op,
+            static_cast<std::uint8_t>(svc::UpdateOp::kAddEdge));
+
+  // A torn v1 tail is dropped by the upgrade, like recover() would.
+  write_v1_journal(path, recs);
+  auto bytes = read_file(path);
+  bytes.resize(bytes.size() - 10);
+  write_file(path, bytes);
+  { auto j = svc::Journal::open(path, svc::SyncMode::kCommit); }
+  const auto fixed = svc::Journal::scan(path);
+  EXPECT_EQ(fixed.version, 2u);
+  EXPECT_FALSE(fixed.torn);
+  EXPECT_EQ(fixed.records.size(), 3u);
+}
+
+TEST(Persist, RecoverFromV1FixtureMatchesV2) {
+  // Drive a real tier, then rewrite its journal as the v1 format a
+  // pre-topology build would have left behind.  recover() must land on the
+  // same generation and fingerprint as from the v2 file.
+  const auto dir = make_dir("recover_v1_fixture");
+  const auto inst = small_instance(401);
+  auto eng = mpcmst::test::make_engine(64 * inst.input_words());
+  svc::PersistenceConfig cfg;
+  cfg.dir = dir.str();
+  cfg.snapshot_every_n = 0;  // journal-only: recovery replays everything
+  auto live = svc::QueryService::build_live(eng, inst, {}, cfg);
+  std::mt19937_64 rng(0xbead);
+  std::size_t applied = 0;
+  while (applied < 8) {
+    const auto snapshot = live->updatable_backend()->instance_snapshot();
+    g::Vertex u;
+    do {
+      u = static_cast<g::Vertex>(rng() % snapshot.n());
+    } while (u == snapshot.tree.root);
+    const auto r = live->apply_update(
+        u, snapshot.tree.parent[static_cast<std::size_t>(u)],
+        1 + static_cast<g::Weight>(rng() % 40));
+    if (r.report.cls != svc::UpdateClass::kNoChange) ++applied;
+  }
+  const std::uint64_t want_gen = live->backend().generation();
+  const std::uint64_t want_fp = live->backend().fingerprint();
+  live.reset();  // release the journal handle
+
+  const std::string path = svc::journal_path(dir.str());
+  const auto scan = svc::Journal::scan(path);
+  ASSERT_EQ(scan.version, 2u);
+  ASSERT_EQ(scan.records.size(), 8u);
+  for (const auto& rec : scan.records) ASSERT_EQ(rec.op, 0u);
+  write_v1_journal(path, scan.records);
+  ASSERT_EQ(svc::Journal::scan(path).version, 1u);
+
+  svc::QueryService::RecoveredInfo info;
+  auto recovered = svc::QueryService::recover(cfg, {}, &info);
+  EXPECT_EQ(info.replayed_records, 8u);
+  EXPECT_EQ(recovered->backend().generation(), want_gen);
+  EXPECT_EQ(recovered->backend().fingerprint(), want_fp);
+  // The resumed journal is v2 on disk now.
+  recovered.reset();
+  EXPECT_EQ(svc::Journal::scan(path).version, 2u);
 }
 
 TEST(Snapshot, MonolithRoundTripIsByteIdentical) {
