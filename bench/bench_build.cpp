@@ -17,6 +17,7 @@
 #include <iostream>
 #include <string>
 
+#include "common/metrics.hpp"
 #include "common/table.hpp"
 #include "graph/generators.hpp"
 #include "mpc/engine.hpp"
@@ -43,9 +44,11 @@ int main(int argc, char** argv) {
 
   // --- distributed monolith ---
   mpc::Engine eng(mpc::MpcConfig::scaled(inst.input_words(), 0.5, 64.0));
+  const MetricsSnapshot phases_before = MetricsRegistry::instance().snapshot();
   const auto t_mono = Clock::now();
   const auto index = service::SensitivityIndex::build(eng, inst);
   const double mono_wall = seconds_since(t_mono);
+  const MetricsSnapshot phases_after = MetricsRegistry::instance().snapshot();
 
   // --- distributed sharded (own engine: same model price, fresh meters) ---
   mpc::Engine seng(mpc::MpcConfig::scaled(inst.input_words(), 0.5, 64.0));
@@ -81,6 +84,23 @@ int main(int argc, char** argv) {
   table.row("split to shards", split_wall, std::size_t{0}, std::size_t{0});
   table.print(std::cout, "index build wall-clock");
 
+  // Per-phase attribution of the monolith build (delta over the run, in
+  // case the process recorded earlier builds): phase wall seconds next to
+  // the charged rounds, so a fused-pass change shows up where it landed.
+  const std::string kPhaseMetric = "mpcmst_build_phase_seconds";
+  Table ptable({"phase", "wall s"});
+  std::vector<std::pair<std::string, double>> phase_rows;
+  for (const auto& [key, hist] : phases_after.histograms) {
+    if (key.rfind(kPhaseMetric + "{", 0) != 0) continue;
+    const std::uint64_t before = phases_before.histogram_or(key).sum;
+    const double secs = static_cast<double>(hist.sum - before) * 1e-9;
+    const std::size_t lo = key.find('"') + 1;
+    const std::string phase = key.substr(lo, key.rfind('"') - lo);
+    phase_rows.emplace_back(phase, secs);
+    ptable.row(phase, secs);
+  }
+  if (!phase_rows.empty()) ptable.print(std::cout, "monolith build phases");
+
   std::ofstream out(out_path);
   JsonWriter j(out);
   j.begin_object();
@@ -95,6 +115,15 @@ int main(int argc, char** argv) {
   j.key("mpc_rounds").value(index->receipt().build_rounds);
   j.key("peak_global_words").value(index->receipt().peak_global_words);
   j.key("input_words").value(index->receipt().input_words);
+  // Honest physical sweep count of the monolith build (Stats::physical_passes)
+  // next to the charged rounds: the rounds/passes ratio is the superlevel
+  // fusion win, and regressions in either direction are visible here.
+  j.key("physical_passes").value(eng.stats().physical_passes);
+  j.key("build_phase_seconds");
+  j.begin_object();
+  for (const auto& [phase_name, secs] : phase_rows)
+    j.key(phase_name).value(secs);
+  j.end_object();
   j.end_object();
   std::cout << "wrote " << out_path << "\n";
   return 0;

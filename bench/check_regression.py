@@ -25,6 +25,21 @@ dropped key must fail the gate loudly, not silently skip the comparison (a
 gate that exits 0 because the metric vanished is worse than no gate).
 `--list` prints the gated metrics so CI logs show exactly what is enforced.
 
+Two classes of metric exist.  Ratio metrics (above) tolerate runner drift.
+EXACT metrics do not: the charged MPC cost model (mpc_rounds,
+peak_global_words) is deterministic — ANY difference from the committed
+baseline means the simulated algorithm changed, and the gate hard-fails on
+a one-word drift.  The superlevel fusion work rides on exactly this
+invariant: physical passes may collapse freely, charged rounds/words may
+not move at all.
+
+The build bench additionally carries a fusion-speedup floor: the baseline
+records `prefusion_build_wall_s`, the monolith build wall committed before
+the superlevel fusion landed, and the gate asserts the measured fused
+build is at least FUSION_SPEEDUP_FLOOR x faster than it.  A missing
+`prefusion_build_wall_s` in the baseline is a hard failure for the same
+reason missing keys are above.
+
 `--metrics-overhead` is a separate two-build gate for the telemetry layer:
 it takes two service_throughput JSONs — one from the default (instrumented)
 build and one from a -DMPCMST_NO_METRICS build of the same source — and
@@ -57,6 +72,20 @@ METRICS = {
     "topology_churn": [("ingest_events_per_s", True)],
 }
 
+# bench-type -> metrics that must match the baseline EXACTLY.  These are
+# outputs of the deterministic cost-model simulation, not wall-clock: any
+# drift, in either direction, is a semantic change to the charged
+# algorithm and hard-fails.
+EXACT_METRICS = {
+    "build": ["mpc_rounds", "peak_global_words"],
+}
+
+# Fused build wall must beat the committed pre-fusion wall by at least
+# this factor (measured * floor <= prefusion).  Kept below the ~2x
+# same-host win so runner variance has headroom, but high enough that a
+# de-fused level loop sneaking back in cannot pass.
+FUSION_SPEEDUP_FLOOR = 1.8
+
 
 def list_metrics():
     print(f"gate: fail < {FAIL_RATIO}x baseline, warn < {WARN_RATIO}x")
@@ -64,6 +93,11 @@ def list_metrics():
         for metric, higher_better in metrics:
             direction = "higher is better" if higher_better else "lower is better"
             print(f"  {bench}: {metric} ({direction})")
+    for bench, metrics in sorted(EXACT_METRICS.items()):
+        for metric in metrics:
+            print(f"  {bench}: {metric} (exact match — any drift fails)")
+    print(f"  build: build_wall_s * {FUSION_SPEEDUP_FLOOR} <= "
+          f"prefusion_build_wall_s (fusion speedup floor)")
     print(f"  --metrics-overhead: instrumented best_warm_qps >= "
           f"{METRICS_OVERHEAD_RATIO}x MPCMST_NO_METRICS build")
 
@@ -106,6 +140,38 @@ def compare(name, current, baseline):
             warnings.append(line)
         else:
             print(f"OK   {line}")
+    for metric in EXACT_METRICS.get(bench, []):
+        missing = [side for side, data in (("measured", current),
+                                           ("baseline", baseline))
+                   if metric not in data]
+        if missing:
+            failures.append(
+                f"{name}: exact metric '{metric}' missing from "
+                f"{' and '.join(missing)} JSON")
+            continue
+        cur, base = int(current[metric]), int(baseline[metric])
+        if cur != base:
+            failures.append(
+                f"{name}: {metric} = {cur} != baseline {base} — the charged "
+                f"cost model drifted (exact-match metric, no tolerance)")
+        else:
+            print(f"OK   {name}: {metric} = {cur} (exact match)")
+    if bench == "build":
+        if "prefusion_build_wall_s" not in baseline:
+            failures.append(
+                f"{name}: baseline has no prefusion_build_wall_s — the "
+                f"fusion speedup floor cannot run")
+        elif "build_wall_s" in current:
+            cur = float(current["build_wall_s"])
+            pre = float(baseline["prefusion_build_wall_s"])
+            speedup = pre / cur if cur > 0 else 0.0
+            line = (f"{name}: build_wall_s = {cur:g} vs pre-fusion "
+                    f"{pre:g} (speedup {speedup:.2f}x, floor "
+                    f"{FUSION_SPEEDUP_FLOOR}x)")
+            if speedup < FUSION_SPEEDUP_FLOOR:
+                failures.append(line)
+            else:
+                print(f"OK   {line}")
     return failures, warnings
 
 

@@ -1,9 +1,12 @@
 #include "lca/all_edges_lca.hpp"
 
 #include <algorithm>
+#include <cstdint>
+#include <vector>
 
 #include "common/check.hpp"
 #include "mpc/ops.hpp"
+#include "mpc/superlevel.hpp"
 
 namespace mpcmst::lca {
 
@@ -55,6 +58,15 @@ LcaResult all_edges_lca(const mpc::Dist<treeops::TreeRec>& tree, Vertex root,
       [](std::int64_t old_label, const MergeRec&) { return old_label; });
 
   // 2. Vertex -> cluster assignment and edge state initialization.
+  //
+  // Superlevel fusion (mpc/superlevel.hpp): every per-edge step of
+  // Algorithms 1 and 2 — the six initialization joins, the binary descent,
+  // the candidate lookups, and the level-by-level UndoClustering — commutes
+  // across edges, so the whole chain collapses into ONE physical sweep over
+  // the edge states at the end, replaying per-level host lookup tables.
+  // The charge mirrors stay at the original call sites with the original
+  // operand sizes, so rounds / words / peak are byte-identical to the
+  // unfused per-level joins.
   auto vc = cluster::assign_vertices_to_clusters(tree, root, depths.depth,
                                                  hc.nodes());
   mpc::Dist<EdgeState> state = mpc::map<EdgeState>(edges, [](const IdEdge& e) {
@@ -68,50 +80,23 @@ LcaResult all_edges_lca(const mpc::Dist<treeops::TreeRec>& tree, Vertex root,
     s.cand_level = -1;
     return s;
   });
-  auto fetch_cluster = [&](auto key_field, auto set_field) {
-    mpc::join_unique(
-        state, vc, key_field,
-        [](const treeops::VertexValue& x) { return std::uint64_t(x.v); },
-        set_field);
-  };
-  fetch_cluster([](const EdgeState& s) { return std::uint64_t(s.u); },
-                [](EdgeState& s, const treeops::VertexValue* x) {
-                  MPCMST_ASSERT(x, "lca: missing cluster of u");
-                  s.cu = x->val;
-                });
-  fetch_cluster([](const EdgeState& s) { return std::uint64_t(s.v); },
-                [](EdgeState& s, const treeops::VertexValue* x) {
-                  MPCMST_ASSERT(x, "lca: missing cluster of v");
-                  s.cv = x->val;
-                });
-  // Endpoint DFS numbers and cluster-leader intervals.
-  auto fetch_interval = [&](auto key_field, auto set_field) {
-    mpc::join_unique(
-        state, intervals, key_field,
-        [](const IntervalRec& iv) { return std::uint64_t(iv.v); }, set_field);
-  };
-  fetch_interval([](const EdgeState& s) { return std::uint64_t(s.u); },
-                 [](EdgeState& s, const IntervalRec* iv) {
-                   MPCMST_ASSERT(iv, "lca: missing interval of u");
-                   s.pre_u = iv->lo;
-                 });
-  fetch_interval([](const EdgeState& s) { return std::uint64_t(s.v); },
-                 [](EdgeState& s, const IntervalRec* iv) {
-                   MPCMST_ASSERT(iv, "lca: missing interval of v");
-                   s.pre_v = iv->lo;
-                 });
-  fetch_interval([](const EdgeState& s) { return std::uint64_t(s.cu); },
-                 [](EdgeState& s, const IntervalRec* iv) {
-                   MPCMST_ASSERT(iv, "lca: missing interval of cu");
-                   s.cu_lo = iv->lo;
-                   s.cu_hi = iv->hi;
-                 });
-  fetch_interval([](const EdgeState& s) { return std::uint64_t(s.cv); },
-                 [](EdgeState& s, const IntervalRec* iv) {
-                   MPCMST_ASSERT(iv, "lca: missing interval of cv");
-                   s.cv_lo = iv->lo;
-                   s.cv_hi = iv->hi;
-                 });
+  auto sl = eng.superlevel_scope("lca");
+  // Mirrors of the two cluster-of-endpoint joins and the four DFS-number /
+  // leader-interval joins.
+  sl.join_unique(state.words(), vc.words());
+  sl.join_unique(state.words(), vc.words());
+  for (int k = 0; k < 4; ++k) sl.join_unique(state.words(), intervals.words());
+  // Dense lookup tables for the fused sweep.
+  std::vector<Vertex> vc_of(n, -1);
+  sl.sweep();
+  for (const treeops::VertexValue& x : vc.local())
+    vc_of[static_cast<std::size_t>(x.v)] = static_cast<Vertex>(x.val);
+  std::vector<std::int64_t> iv_lo(n, -1), iv_hi(n, -1);
+  sl.sweep();
+  for (const IntervalRec& iv : intervals.local()) {
+    iv_lo[static_cast<std::size_t>(iv.v)] = iv.lo;
+    iv_hi[static_cast<std::size_t>(iv.v)] = iv.hi;
+  }
 
   // 3. Auxiliary 2^i-ancestor links on the cluster tree (levels clamp at the
   // root cluster, which is fine for the monotone descent below).
@@ -149,9 +134,94 @@ LcaResult all_edges_lca(const mpc::Dist<treeops::TreeRec>& tree, Vertex root,
     hops = std::move(next);
   }
 
-  // 4. FindLCAClusters (Algorithm 1).  If the endpoint clusters are nested,
-  // the outer one is the LCA cluster; otherwise binary-descend chi from cu.
-  mpc::for_each(state, [](EdgeState& s) {
+  // 4. FindLCAClusters (Algorithm 1) + 5. UndoClustering (Algorithm 2),
+  // fused.  First the charge mirrors and host lookup tables, then one
+  // physical sweep over the edge states replays the whole per-edge chain.
+
+  // Mirrors of the per-level descent joins against all_hops and the two
+  // candidate lookups against the cluster nodes.
+  for (std::int64_t lev = levels - 1; lev >= 0; --lev)
+    sl.join_unique(state.words(), all_hops.words());
+  sl.join_unique(state.words(), hc.nodes().words());
+  sl.join_unique(state.words(), hc.nodes().words());
+
+  // Hop table: (level, cluster leader) -> 2^level-ancestor + its interval.
+  struct HopTab {
+    Vertex target = -1;
+    std::int64_t tlo = 0, thi = 0;
+  };
+  std::vector<HopTab> hop_tab(static_cast<std::size_t>(levels) * n);
+  sl.sweep();
+  for (const Hop& h : all_hops.local()) {
+    MPCMST_ASSERT(h.level >= 0 && h.level < levels, "lca: hop level");
+    hop_tab[static_cast<std::size_t>(h.level) * n +
+            static_cast<std::size_t>(h.c)] = {h.target, h.tlo, h.thi};
+  }
+  // Cluster-node table: leader -> (parent leader, formed_at).
+  std::vector<Vertex> node_parent(n, -1);
+  std::vector<std::int64_t> node_formed(n, -1);
+  std::vector<char> node_ok(n, 0);
+  sl.sweep();
+  for (const ClusterNode& c : hc.nodes().local()) {
+    const auto i = static_cast<std::size_t>(c.leader);
+    node_parent[i] = c.parent_leader;
+    node_formed[i] = c.formed_at;
+    node_ok[i] = 1;
+  }
+
+  // Per-level undo tables: merges of each level bucketed by senior (junior
+  // intervals are disjoint per senior, so a stab is a binary search), plus
+  // the mirrors of the unfused reduce_by_key / stab_join / patch join.
+  struct LevelTab {
+    std::vector<MergeRec> merges;          // sorted by (senior, jlo)
+    std::vector<std::int32_t> off, cnt;    // senior -> slice of `merges`
+  };
+  std::vector<LevelTab> undo(steps);
+  for (std::int64_t lev = static_cast<std::int64_t>(steps); lev >= 1; --lev) {
+    const mpc::Dist<MergeRec>& merges = hc.history()[lev - 1];
+    LevelTab& tab = undo[static_cast<std::size_t>(lev - 1)];
+    sl.sweep();
+    tab.merges.assign(merges.local().begin(), merges.local().end());
+    std::sort(tab.merges.begin(), tab.merges.end(),
+              [](const MergeRec& a, const MergeRec& b) {
+                return a.senior != b.senior ? a.senior < b.senior
+                                            : a.jlo < b.jlo;
+              });
+    tab.off.assign(n, -1);
+    tab.cnt.assign(n, 0);
+    std::size_t seniors = 0;
+    for (std::size_t i = 0; i < tab.merges.size(); ++i) {
+      const auto s = static_cast<std::size_t>(tab.merges[i].senior);
+      if (tab.off[s] < 0) {
+        tab.off[s] = static_cast<std::int32_t>(i);
+        ++seniors;
+      }
+      ++tab.cnt[s];
+    }
+    const std::size_t sp_words = seniors * 2;  // KeyVal<u64, i64>
+    sl.reduce_by_key(merges.size() * 2, sp_words);
+    const mpc::PhantomDist senior_prev_ph = sl.phantom(sp_words);
+    sl.stab_join(state.words(), merges.words());
+    sl.join_unique(state.words(), sp_words);
+  }
+
+  // The single physical sweep: classify, binary descent, candidate lookup,
+  // and the full UndoClustering replay, per edge.
+  mpc::for_each(state, [&](EdgeState& s) {
+    s.cu = vc_of[static_cast<std::size_t>(s.u)];
+    s.cv = vc_of[static_cast<std::size_t>(s.v)];
+    MPCMST_ASSERT(s.cu >= 0, "lca: missing cluster of u");
+    MPCMST_ASSERT(s.cv >= 0, "lca: missing cluster of v");
+    s.pre_u = iv_lo[static_cast<std::size_t>(s.u)];
+    s.pre_v = iv_lo[static_cast<std::size_t>(s.v)];
+    MPCMST_ASSERT(s.pre_u >= 0 && s.pre_v >= 0, "lca: missing interval");
+    s.cu_lo = iv_lo[static_cast<std::size_t>(s.cu)];
+    s.cu_hi = iv_hi[static_cast<std::size_t>(s.cu)];
+    s.cv_lo = iv_lo[static_cast<std::size_t>(s.cv)];
+    s.cv_hi = iv_hi[static_cast<std::size_t>(s.cv)];
+
+    // Algorithm 1: nested endpoint clusters resolve immediately; otherwise
+    // binary-descend chi from cu.
     const bool cu_anc = s.cu_lo <= s.pre_v && s.pre_v <= s.cu_hi;
     const bool cv_anc = s.cv_lo <= s.pre_u && s.pre_u <= s.cv_hi;
     if (s.cu == s.cv || cu_anc) {
@@ -161,92 +231,52 @@ LcaResult all_edges_lca(const mpc::Dist<treeops::TreeRec>& tree, Vertex root,
       s.cand = s.cv;
       s.chi = -1;
     } else {
-      s.chi = s.cu;  // descend
+      s.chi = s.cu;
       s.cand = -1;
     }
-  });
-  for (std::int64_t lev = levels - 1; lev >= 0; --lev) {
-    mpc::join_unique(
-        state, all_hops,
-        [lev](const EdgeState& s) {
-          return mpc::pack2(std::uint64_t(s.chi < 0 ? 0 : s.chi),
-                            std::uint64_t(lev)) |
-                 (s.chi < 0 ? (1ULL << 63) : 0);  // park finished edges
-        },
-        [](const Hop& h) {
-          return mpc::pack2(std::uint64_t(h.c), std::uint64_t(h.level));
-        },
-        [](EdgeState& s, const Hop* h) {
-          if (s.chi < 0) return;
-          MPCMST_ASSERT(h, "lca: missing hop during descent");
-          // Move up iff the 2^lev-ancestor is still not an ancestor of cv.
-          const bool anc_of_cv = h->tlo <= s.pre_v && s.pre_v <= h->thi;
-          if (!anc_of_cv) s.chi = h->target;
-        });
-  }
-  // cand = parent cluster of chi for the edges that descended.
-  mpc::join_unique(
-      state, hc.nodes(),
-      [](const EdgeState& s) {
-        return s.chi < 0 ? (1ULL << 63) : std::uint64_t(s.chi);
-      },
-      [](const ClusterNode& c) { return std::uint64_t(c.leader); },
-      [](EdgeState& s, const ClusterNode* c) {
-        if (s.chi < 0) return;
-        MPCMST_ASSERT(c, "lca: missing chi cluster");
-        s.cand = c->parent_leader;
-      });
-  // Candidate levels (formed_at of the candidate cluster).
-  mpc::join_unique(
-      state, hc.nodes(),
-      [](const EdgeState& s) { return std::uint64_t(s.cand); },
-      [](const ClusterNode& c) { return std::uint64_t(c.leader); },
-      [](EdgeState& s, const ClusterNode* c) {
-        MPCMST_ASSERT(c, "lca: missing candidate cluster");
-        s.cand_level = c->formed_at;
-      });
+    if (s.chi >= 0) {
+      for (std::int64_t lev = levels - 1; lev >= 0; --lev) {
+        const HopTab& h = hop_tab[static_cast<std::size_t>(lev) * n +
+                                  static_cast<std::size_t>(s.chi)];
+        MPCMST_ASSERT(h.target >= 0, "lca: missing hop during descent");
+        // Move up iff the 2^lev-ancestor is still not an ancestor of cv.
+        const bool anc_of_cv = h.tlo <= s.pre_v && s.pre_v <= h.thi;
+        if (!anc_of_cv) s.chi = h.target;
+      }
+      // cand = parent cluster of chi for the edges that descended.
+      MPCMST_ASSERT(node_ok[static_cast<std::size_t>(s.chi)],
+                    "lca: missing chi cluster");
+      s.cand = node_parent[static_cast<std::size_t>(s.chi)];
+    }
+    MPCMST_ASSERT(s.cand >= 0 && node_ok[static_cast<std::size_t>(s.cand)],
+                  "lca: missing candidate cluster");
+    s.cand_level = node_formed[static_cast<std::size_t>(s.cand)];
 
-  // 5. UndoClustering (Algorithm 2): refine candidates level by level.
-  for (std::int64_t lev = static_cast<std::int64_t>(steps); lev >= 1; --lev) {
-    const mpc::Dist<MergeRec>& merges = hc.history()[lev - 1];
-    // Senior -> prev level lookup (all merges of a senior share it).
-    auto senior_prev = mpc::reduce_by_key<std::uint64_t, std::int64_t>(
-        merges, [](const MergeRec& m) { return std::uint64_t(m.senior); },
-        [](const MergeRec& m) { return m.senior_prev_formed_at; },
-        [](std::int64_t a, std::int64_t b) { return std::max(a, b); });
-    // Does some junior of (cand at this level) contain pre_u?  Disjoint
-    // junior intervals per senior make this a stabbing join.
-    mpc::stab_join(
-        state, merges,
-        [lev](const EdgeState& s) {
-          return s.cand_level == lev ? std::uint64_t(s.cand) : (1ULL << 63);
-        },
-        [](const EdgeState& s) { return s.pre_u; },
-        [](const MergeRec& m) { return std::uint64_t(m.senior); },
-        [](const MergeRec& m) { return m.jlo; },
-        [](const MergeRec& m) { return m.jhi; },
-        [lev](EdgeState& s, const MergeRec* m) {
-          if (s.cand_level != lev) return;
-          if (m != nullptr && m->jlo <= s.pre_v && s.pre_v <= m->jhi) {
-            // A junior sub-cluster contains both endpoints: descend into it.
-            s.cand = m->junior;
-            s.cand_level = m->junior_formed_at;
-          } else {
-            s.cand_level = -2;  // stay with the senior; level patched below
-          }
-        });
-    mpc::join_unique(
-        state, senior_prev,
-        [lev](const EdgeState& s) {
-          return s.cand_level == -2 ? std::uint64_t(s.cand) : (1ULL << 63);
-        },
-        [](const auto& kv) { return kv.key; },
-        [](EdgeState& s, const auto* kv) {
-          if (s.cand_level != -2) return;
-          MPCMST_ASSERT(kv, "lca: missing senior prev level");
-          s.cand_level = kv->val;
-        });
-  }
+    // Algorithm 2: the candidate's level strictly decreases each refinement
+    // (junior_formed_at and senior_prev_formed_at both precede the step).
+    while (s.cand_level >= 1) {
+      const LevelTab& tab = undo[static_cast<std::size_t>(s.cand_level - 1)];
+      const auto senior = static_cast<std::size_t>(s.cand);
+      const std::int32_t off = tab.off[senior];
+      MPCMST_ASSERT(off >= 0, "lca: missing senior prev level");
+      const MergeRec* lo = tab.merges.data() + off;
+      const MergeRec* hi = lo + tab.cnt[senior];
+      // Stab pre_u into the disjoint junior intervals of this senior.
+      const MergeRec* m = std::upper_bound(
+          lo, hi, s.pre_u, [](std::int64_t x, const MergeRec& r) {
+            return x < r.jlo;
+          });
+      m = (m != lo && (m - 1)->jhi >= s.pre_u) ? m - 1 : nullptr;
+      if (m != nullptr && m->jlo <= s.pre_v && s.pre_v <= m->jhi) {
+        // A junior sub-cluster contains both endpoints: descend into it.
+        s.cand = m->junior;
+        s.cand_level = m->junior_formed_at;
+      } else {
+        // Stay with the senior, at its pre-merge formation level.
+        s.cand_level = lo->senior_prev_formed_at;
+      }
+    }
+  });
 
   LcaResult out{mpc::map<EdgeLca>(state,
                                   [](const EdgeState& s) {

@@ -46,6 +46,15 @@ class Engine {
   void charge_sort(std::size_t total_words);
   void charge_rounds(std::size_t rounds, std::size_t words = 0);
 
+  /// Record `n` physical element sweeps (Stats::physical_passes).  Purely
+  /// observational — charges nothing in the model.
+  void note_pass(std::size_t n = 1) noexcept { stats_.physical_passes += n; }
+
+  /// Open a fused-pass scope: execute several logical levels in one
+  /// arena-resident sweep while mirroring the unfused loop's charges
+  /// byte-identically (see mpc/superlevel.hpp for the full contract).
+  class SuperlevelScope superlevel_scope(const char* what);
+
   // --- memory accounting (called by Dist<T>) ---
   void note_alloc(std::size_t words);
   void note_free(std::size_t words) noexcept;

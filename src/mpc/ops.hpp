@@ -64,6 +64,7 @@ Dist<T> scatter(Engine& eng, std::vector<T> data) {
 /// Create n records locally (each machine fills its block): free.
 template <class T, class F>
 Dist<T> tabulate(Engine& eng, std::size_t n, F&& f) {
+  eng.note_pass();
   std::vector<T> v;
   v.reserve(n);
   for (std::size_t i = 0; i < n; ++i) v.push_back(f(i));
@@ -74,6 +75,7 @@ Dist<T> tabulate(Engine& eng, std::size_t n, F&& f) {
 /// outputs and tiny summaries; charges a collective.
 template <class T>
 std::vector<T> gather(const Dist<T>& d) {
+  d.engine().note_pass();
   d.engine().charge_collective(d.words(), words_per<T>());
   return d.local();
 }
@@ -84,17 +86,20 @@ std::vector<T> gather(const Dist<T>& d) {
 
 template <class T, class F>
 void for_each(Dist<T>& d, F&& f) {
+  d.engine().note_pass();
   for (T& x : d.local()) f(x);
 }
 
 template <class T, class F>
 void for_each_indexed(Dist<T>& d, F&& f) {
+  d.engine().note_pass();
   auto& v = d.local();
   for (std::size_t i = 0; i < v.size(); ++i) f(i, v[i]);
 }
 
 template <class U, class T, class F>
 Dist<U> map(const Dist<T>& d, F&& f) {
+  d.engine().note_pass();
   std::vector<U> out;
   out.reserve(d.size());
   for (const T& x : d.local()) out.push_back(f(x));
@@ -107,6 +112,7 @@ template <class U, class A, class B, class F>
 Dist<U> map2(const Dist<A>& a, const Dist<B>& b, F&& f) {
   MPCMST_ASSERT(a.size() == b.size(), "map2: size mismatch " << a.size()
                                           << " vs " << b.size());
+  a.engine().note_pass();
   std::vector<U> out;
   out.reserve(a.size());
   for (std::size_t i = 0; i < a.size(); ++i)
@@ -121,6 +127,7 @@ Dist<U> map2(const Dist<A>& a, const Dist<B>& b, F&& f) {
 template <class T, class P>
 Dist<T> filter(const Dist<T>& d, P&& pred) {
   Engine& eng = d.engine();
+  eng.note_pass();
   std::vector<T> out;
   for (const T& x : d.local())
     if (pred(x)) out.push_back(x);
@@ -133,6 +140,7 @@ Dist<T> filter(const Dist<T>& d, P&& pred) {
 template <class U, class T, class F>
 Dist<U> flat_map(const Dist<T>& d, F&& f) {
   Engine& eng = d.engine();
+  eng.note_pass();
   std::vector<U> out;
   auto emit = [&out](U u) { out.push_back(u); };
   for (const T& x : d.local()) f(x, emit);
@@ -144,6 +152,7 @@ Dist<U> flat_map(const Dist<T>& d, F&& f) {
 template <class T>
 Dist<T> concat(const Dist<T>& a, const Dist<T>& b) {
   Engine& eng = a.engine();
+  eng.note_pass();
   std::vector<T> out;
   out.reserve(a.size() + b.size());
   out.insert(out.end(), a.local().begin(), a.local().end());
@@ -159,6 +168,7 @@ Dist<T> concat(const Dist<T>& a, const Dist<T>& b) {
 /// linear copying.
 template <class T>
 void append(Dist<T>& a, const Dist<T>& b) {
+  a.engine().note_pass();
   a.engine().charge_exchange((a.size() + b.size()) * words_per<T>());
   a.append(b.local());
 }
@@ -173,6 +183,7 @@ void append(Dist<T>& a, const Dist<T>& b) {
 /// order, so the choice is invisible to callers.
 template <class T, class KeyF>
 void sort_by(Dist<T>& d, KeyF&& key) {
+  d.engine().note_pass();
   d.engine().charge_sort(d.words());
   using K = std::decay_t<std::invoke_result_t<KeyF&, const T&>>;
   if constexpr (is_radix_sortable_v<K>) {
@@ -191,6 +202,7 @@ void sort_by(Dist<T>& d, KeyF&& key) {
 /// must return integral types.
 template <class T, class HiF, class LoF>
 void sort_by2(Dist<T>& d, HiF&& hi, LoF&& lo) {
+  d.engine().note_pass();
   d.engine().charge_sort(d.words());
   radix_sort_records2(d.local().data(), d.local().size(), d.engine().scratch(),
                       hi, lo);
@@ -202,6 +214,7 @@ void sort_by2(Dist<T>& d, HiF&& hi, LoF&& lo) {
 
 template <class U, class T, class GetF, class OpF>
 U reduce(const Dist<T>& d, GetF&& get, OpF&& op, U init) {
+  d.engine().note_pass();
   d.engine().charge_collective(8);
   U acc = init;
   for (const T& x : d.local()) acc = op(acc, get(x));
@@ -212,6 +225,7 @@ U reduce(const Dist<T>& d, GetF&& get, OpF&& op, U init) {
 /// element in order.
 template <class U, class T, class GetF, class OpF>
 Dist<U> exclusive_prefix(const Dist<T>& d, GetF&& get, OpF&& op, U init) {
+  d.engine().note_pass();
   d.engine().charge_collective(8);
   d.engine().charge_collective(8);
   std::vector<U> out;
@@ -251,6 +265,7 @@ Dist<KeyVal<K, V>> reduce_by_key(const Dist<T>& d, KeyF&& key, ValF&& val,
                                  OpF&& op) {
   Engine& eng = d.engine();
   const std::size_t n = d.size();
+  eng.note_pass(3);  // materialize kv, sort, group-scan
   eng.charge_sort(n * words_per<KeyVal<K, V>>());
   const auto& v = d.local();
   std::vector<KeyVal<K, V>> kv;
@@ -283,6 +298,7 @@ Dist<KeyVal<K, V>> reduce_by_key(const Dist<T>& d, KeyF&& key, ValF&& val,
 template <class T, class KeyF, class F>
 void sorted_group_apply(Dist<T>& d, KeyF&& key, F&& f) {
   sort_by(d, key);
+  d.engine().note_pass();  // group scan (the sort noted its own pass)
   d.engine().charge_exchange(8);  // boundary carry between adjacent machines
   auto& v = d.local();
   for (std::size_t i = 0; i < v.size();) {
@@ -304,6 +320,7 @@ template <class L, class R, class LKeyF, class RKeyF, class ApplyF>
 void join_unique(Dist<L>& left, const Dist<R>& right, LKeyF&& lkey,
                  RKeyF&& rkey, ApplyF&& apply) {
   Engine& eng = left.engine();
+  eng.note_pass(2);  // order the right key column, probe the left side
   eng.charge_sort(left.words());
   eng.charge_sort(right.words());
   eng.charge_exchange(left.words());
@@ -389,6 +406,7 @@ void stab_join(Dist<Q>& queries, const Dist<I>& intervals, QKeyF&& qkey,
                QPointF&& qpoint, IKeyF&& ikey, ILoF&& ilo, IHiF&& ihi,
                ApplyF&& apply) {
   Engine& eng = queries.engine();
+  eng.note_pass(2);  // order the interval columns, probe the queries
   eng.charge_sort(queries.words());
   eng.charge_sort(intervals.words());
   eng.charge_exchange(queries.words());

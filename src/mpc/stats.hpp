@@ -25,6 +25,15 @@ struct Stats {
   std::size_t exchanges = 0;
   std::size_t collectives = 0;
 
+  /// Physical element sweeps the *simulator* performed: one per traversal of
+  /// a record array by a primitive's realization (a sort counts as one sweep;
+  /// internal radix sub-passes are excluded).  This is NOT a model quantity —
+  /// charged `rounds` above is the paper's complexity measure.  Superlevel
+  /// fusion (mpc/superlevel.hpp) drives physical_passes down while keeping
+  /// rounds/words/peak byte-identical; the ratio rounds/physical_passes is
+  /// the fusion win.
+  std::size_t physical_passes = 0;
+
   /// Rounds attributed to named phases (PhaseScope).
   std::map<std::string, std::size_t> phase_rounds;
 };

@@ -1,0 +1,139 @@
+// Superlevel fusion: decouple *physical passes* from *charged rounds*.
+//
+// The per-level loops of the pipeline (pointer doubling, Borůvka phases,
+// LCA descent/unwinding, the verify/sensitivity contraction passes) were
+// realized as one-or-more array passes per logical level.  The charged cost
+// model does not require that realization: charges are sums of per-primitive
+// costs, and local computation is free.  A SuperlevelScope lets a consumer
+// advance many logical levels in one arena-resident sweep while *mirroring*
+// the unfused loop's charge sequence byte-identically:
+//
+//   - every mirror method below charges exactly what the primitive of the
+//     same name in mpc/ops.hpp charges, given the same operand sizes;
+//   - PhantomDist reproduces the note_alloc / check_balanced / note_free
+//     sequence of a Dist the fused sweep no longer materializes (per-level
+//     clone() snapshots, intermediate contribution arrays), so
+//     peak_global_words tracking stays byte-identical;
+//   - sweep() records the physical passes the fused code *actually*
+//     performs (Stats::physical_passes) — the honest count, not a mirror.
+//
+// The contract is executable: tests/test_cost_model.cpp pins the charged
+// rounds/peak of the full pipeline, generated from the unfused loops; the
+// fused sweeps must reproduce them exactly.  The conceptual anchor is
+// Robinson's single-round congested-clique result (see PAPERS.md and
+// docs/PAPER_MAP.md): collapsing level work into fewer physical passes does
+// not change what the model charges for it.
+#pragma once
+
+#include <cstddef>
+
+#include "mpc/engine.hpp"
+
+namespace mpcmst::mpc {
+
+/// RAII mirror of an elided Dist<T>'s memory accounting: allocates `words`
+/// on construction (with the balanced-block check Dist performs) and frees
+/// them on destruction.  Move-only, like the Dist it stands in for.
+class PhantomDist {
+ public:
+  PhantomDist(Engine& eng, std::size_t words) : eng_(&eng), words_(words) {
+    eng_->note_alloc(words_);
+    eng_->check_balanced(words_);
+  }
+  ~PhantomDist() { release(); }
+  PhantomDist(PhantomDist&& o) noexcept : eng_(o.eng_), words_(o.words_) {
+    o.eng_ = nullptr;
+    o.words_ = 0;
+  }
+  PhantomDist& operator=(PhantomDist&& o) noexcept {
+    if (this != &o) {
+      release();
+      eng_ = o.eng_;
+      words_ = o.words_;
+      o.eng_ = nullptr;
+      o.words_ = 0;
+    }
+    return *this;
+  }
+  PhantomDist(const PhantomDist&) = delete;
+  PhantomDist& operator=(const PhantomDist&) = delete;
+
+  /// Free early (mirrors a Dist destroyed mid-scope).
+  void release() noexcept {
+    if (eng_) eng_->note_free(words_);
+    eng_ = nullptr;
+    words_ = 0;
+  }
+
+ private:
+  Engine* eng_;
+  std::size_t words_;
+};
+
+/// Charge mirrors for a fused sweep.  Each method charges byte-identically
+/// to the ops.hpp primitive of the same name at the given operand sizes; the
+/// caller is responsible for invoking them in the unfused loop's order with
+/// the unfused loop's sizes.
+class SuperlevelScope {
+ public:
+  SuperlevelScope(Engine& eng, const char* what) : eng_(&eng), what_(what) {}
+
+  Engine& engine() const noexcept { return *eng_; }
+  const char* what() const noexcept { return what_; }
+
+  /// Mirror of mpc::join_unique(left, right, ...).
+  void join_unique(std::size_t left_words, std::size_t right_words) {
+    eng_->charge_sort(left_words);
+    eng_->charge_sort(right_words);
+    eng_->charge_exchange(left_words);
+  }
+
+  /// Mirror of mpc::stab_join(queries, intervals, ...).
+  void stab_join(std::size_t query_words, std::size_t interval_words) {
+    eng_->charge_sort(query_words);
+    eng_->charge_sort(interval_words);
+    eng_->charge_exchange(query_words);
+  }
+
+  /// Mirror of mpc::sort_by / sort_by2.
+  void sort(std::size_t words) { eng_->charge_sort(words); }
+
+  /// Mirror of mpc::reduce (aggregation-tree collective).
+  void reduce() { eng_->charge_collective(8); }
+
+  /// Mirror of the compaction charge of mpc::filter / flat_map.
+  void resize(std::size_t out_words) {
+    eng_->charge_collective(8);
+    eng_->charge_exchange(out_words);
+  }
+
+  /// Mirror of the reduce_by_key charges *around* its output Dist: the sort
+  /// of the (key, val) records and the re-balance exchange of the reduced
+  /// output.  The output allocation itself is mirrored with phantom().
+  void reduce_by_key(std::size_t kv_words, std::size_t out_words) {
+    eng_->charge_sort(kv_words);
+    eng_->charge_exchange(out_words);
+  }
+
+  /// Raw mirrors for bespoke sequences (concat/append re-balances etc.).
+  void exchange(std::size_t words) { eng_->charge_exchange(words); }
+  void collective(std::size_t total_words, std::size_t item_words = 8) {
+    eng_->charge_collective(total_words, item_words);
+  }
+
+  /// Accounting stand-in for a Dist the sweep keeps virtual.
+  PhantomDist phantom(std::size_t words) { return PhantomDist(*eng_, words); }
+
+  /// Record the physical sweeps actually performed (not a mirror).
+  void sweep(std::size_t n = 1) { eng_->note_pass(n); }
+
+ private:
+  Engine* eng_;
+  const char* what_;
+};
+
+inline SuperlevelScope Engine::superlevel_scope(const char* what) {
+  return SuperlevelScope(*this, what);
+}
+
+}  // namespace mpcmst::mpc

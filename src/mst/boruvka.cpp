@@ -1,10 +1,13 @@
 #include "mst/boruvka.hpp"
 
 #include <algorithm>
+#include <cstdint>
 #include <functional>
+#include <vector>
 
 #include "common/check.hpp"
 #include "mpc/ops.hpp"
+#include "mpc/superlevel.hpp"
 
 namespace mpcmst::mst {
 
@@ -51,111 +54,186 @@ MstResult mst_boruvka_mpc(mpc::Engine& eng, std::size_t n,
   mpc::PhaseScope phase(eng, "boruvka");
   MstResult out;
 
-  mpc::Dist<Comp> comps = mpc::tabulate<Comp>(eng, n, [](std::size_t v) {
-    return Comp{static_cast<Vertex>(v), static_cast<Vertex>(v)};
-  });
+  // Superlevel fusion (mpc/superlevel.hpp): the per-phase chain — the two
+  // endpoint-refresh joins, the intra-component filter, the min-incident
+  // flat_map + reduce_by_key pair, the pick dedup, the 2-cycle break, the
+  // star pointer-jumping loop, and the component relabel join — is per-edge
+  // / per-component work over dense vertex-id keys, so each phase collapses
+  // into one streaming sweep over the edges plus component-array passes.
+  // The charge mirrors and PhantomDists replay the unfused primitives'
+  // rounds / words / alloc interleaving byte-identically.
+  auto sl = eng.superlevel_scope("boruvka");
+  const std::size_t comps_words = n * mpc::words_per<Comp>();
+  sl.sweep();  // tabulate's fill pass
+  const mpc::PhantomDist comps_ph = sl.phantom(comps_words);
+  std::vector<Vertex> comp(n);
+  for (std::size_t v = 0; v < n; ++v) comp[v] = static_cast<Vertex>(v);
+
   std::vector<BEdge> init;
   init.reserve(input.size());
-  for (std::size_t i = 0; i < input.size(); ++i)
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    MPCMST_ASSERT(input[i].u >= 0 && static_cast<std::size_t>(input[i].u) < n &&
+                      input[i].v >= 0 &&
+                      static_cast<std::size_t>(input[i].v) < n,
+                  "boruvka: endpoint out of range");
     init.push_back({input[i].u, input[i].v, input[i].w, input[i].u,
                     input[i].v, static_cast<std::int64_t>(i)});
+  }
   mpc::Dist<BEdge> edges = mpc::scatter(eng, std::move(init));
 
+  struct Incident {
+    Vertex comp;
+    Pick pick;
+  };
+  constexpr std::size_t kKvWords =
+      mpc::words_per<mpc::KeyVal<std::uint64_t, Pick>>();
+
+  // Dense per-component scratch, reset sparsely via `touched` each phase.
+  std::vector<Pick> best(n);
+  std::vector<char> has(n, 0);
+  std::vector<Vertex> touched;
+  std::vector<Vertex> ptr(n, -1), ptr_next(n, -1);
+
   while (true) {
-    // Refresh endpoint components and drop intra-component edges.
-    mpc::join_unique(
-        edges, comps, [](const BEdge& e) { return std::uint64_t(e.u); },
-        [](const Comp& c) { return std::uint64_t(c.v); },
-        [](BEdge& e, const Comp* c) {
-          MPCMST_ASSERT(c, "boruvka: missing component of u");
-          e.cu = c->comp;
-        });
-    mpc::join_unique(
-        edges, comps, [](const BEdge& e) { return std::uint64_t(e.v); },
-        [](const Comp& c) { return std::uint64_t(c.v); },
-        [](BEdge& e, const Comp* c) {
-          MPCMST_ASSERT(c, "boruvka: missing component of v");
-          e.cv = c->comp;
-        });
-    edges = mpc::filter(edges, [](const BEdge& e) { return e.cu != e.cv; });
+    // Refresh endpoint components, drop intra-component edges, and fold the
+    // minimum incident pick per component — one sweep; mirrors of the two
+    // joins, then the filter's compaction charge + the real re-materialized
+    // edge Dist (alloc before the old one's free, as filter + move-assign).
+    sl.join_unique(edges.words(), comps_words);
+    sl.join_unique(edges.words(), comps_words);
+    sl.sweep();
+    touched.clear();
+    std::vector<BEdge> kept;
+    for (const BEdge& e : edges.local()) {
+      BEdge f = e;
+      f.cu = comp[static_cast<std::size_t>(f.u)];
+      f.cv = comp[static_cast<std::size_t>(f.v)];
+      if (f.cu == f.cv) continue;
+      kept.push_back(f);
+      const Pick p{f.w, f.id, f.cu, f.cv, f.u, f.v};
+      for (const Vertex c : {f.cu, f.cv}) {
+        const auto ci = static_cast<std::size_t>(c);
+        if (!has[ci]) {
+          has[ci] = 1;
+          best[ci] = p;
+          touched.push_back(c);
+        } else if (p.less_than(best[ci])) {
+          best[ci] = p;
+        }
+      }
+    }
+    sl.resize(kept.size() * mpc::words_per<BEdge>());
+    {
+      mpc::Dist<BEdge> filtered(eng, std::move(kept));
+      edges = std::move(filtered);
+    }
     if (edges.empty()) break;
     ++out.phases;
     MPCMST_ASSERT(out.phases <= 64, "boruvka does not converge");
 
-    // Minimum incident edge per component.
-    struct Incident {
-      Vertex comp;
-      Pick pick;
-    };
-    mpc::Dist<Incident> incident = mpc::flat_map<Incident>(
-        edges, [](const BEdge& e, auto&& emit) {
-          const Pick p{e.w, e.id, e.cu, e.cv, e.u, e.v};
-          emit(Incident{e.cu, p});
-          emit(Incident{e.cv, p});
-        });
-    auto picks = mpc::reduce_by_key<std::uint64_t, Pick>(
-        incident, [](const Incident& i) { return std::uint64_t(i.comp); },
-        [](const Incident& i) { return i.pick; },
-        [](const Pick& a, const Pick& b) { return a.less_than(b) ? a : b; });
+    // Mirrors of the incident flat_map and the min-pick reduce_by_key.
+    const std::size_t inc_words = 2 * edges.size() * mpc::words_per<Incident>();
+    sl.resize(inc_words);
+    const mpc::PhantomDist incident_ph = sl.phantom(inc_words);
+    const std::size_t picks_words = touched.size() * kKvWords;
+    sl.reduce_by_key(2 * edges.size() * kKvWords, picks_words);
+    const mpc::PhantomDist picks_ph = sl.phantom(picks_words);
 
-    // Deduplicate edges chosen from both sides; record them in the forest.
-    auto unique_picks = mpc::reduce_by_key<std::uint64_t, Pick>(
-        picks, [](const auto& kv) { return std::uint64_t(kv.val.id); },
-        [](const auto& kv) { return kv.val; },
-        [](const Pick& a, const Pick&) { return a; });
-    for (const auto& kv : mpc::gather(unique_picks)) {
-      out.edges.push_back({kv.val.u, kv.val.v, kv.val.w});
-      out.total_weight += kv.val.w;
+    // Deduplicate edges chosen from both sides; record them in the forest in
+    // the unfused order (the dedup reduce_by_key emitted ids ascending, and
+    // the gather visited that order).
+    std::vector<std::int64_t> chosen_ids;
+    chosen_ids.reserve(touched.size());
+    for (const Vertex c : touched)
+      chosen_ids.push_back(best[static_cast<std::size_t>(c)].id);
+    std::sort(chosen_ids.begin(), chosen_ids.end());
+    chosen_ids.erase(std::unique(chosen_ids.begin(), chosen_ids.end()),
+                     chosen_ids.end());
+    const std::size_t uniq_words = chosen_ids.size() * kKvWords;
+    sl.reduce_by_key(picks_words, uniq_words);
+    const mpc::PhantomDist uniq_ph = sl.phantom(uniq_words);
+    sl.collective(uniq_words, kKvWords);  // the gather of the chosen edges
+    for (const std::int64_t id : chosen_ids) {
+      const auto i = static_cast<std::size_t>(id);
+      out.edges.push_back({input[i].u, input[i].v, input[i].w});
+      out.total_weight += input[i].w;
     }
 
     // Contraction pointers: each component follows its chosen edge; mutual
-    // pairs (2-cycles) are broken toward the smaller id.
-    mpc::Dist<Ptr> ptrs = mpc::map<Ptr>(picks, [](const auto& kv) {
-      const Vertex c = static_cast<Vertex>(kv.key);
-      return Ptr{c, kv.val.cu == c ? kv.val.cv : kv.val.cu};
-    });
-    {
-      const auto snapshot = ptrs.clone();
-      mpc::join_unique(
-          ptrs, snapshot, [](const Ptr& p) { return std::uint64_t(p.ptr); },
-          [](const Ptr& p) { return std::uint64_t(p.c); },
-          [](Ptr& p, const Ptr* t) {
-            MPCMST_ASSERT(t, "boruvka: dangling pointer");
-            if (t->ptr == p.c && p.c < p.ptr) p.ptr = p.c;  // 2-cycle break
-          });
+    // pairs (2-cycles) are broken toward the smaller id.  (Only the smaller
+    // endpoint of a 2-cycle rewrites itself, so in-place matches the
+    // snapshot-probing join.)
+    const std::size_t ptrs_words = touched.size() * mpc::words_per<Ptr>();
+    const mpc::PhantomDist ptrs_ph = sl.phantom(ptrs_words);
+    for (const Vertex c : touched) {
+      const Pick& p = best[static_cast<std::size_t>(c)];
+      ptr[static_cast<std::size_t>(c)] = p.cu == c ? p.cv : p.cu;
     }
-    // Pointer-jump the pseudo-forest to stars.
+    {
+      const mpc::PhantomDist snapshot_ph = sl.phantom(ptrs_words);
+      sl.join_unique(ptrs_words, ptrs_words);
+      sl.sweep();
+      for (const Vertex c : touched) {
+        const Vertex t = ptr[static_cast<std::size_t>(c)];
+        MPCMST_ASSERT(has[static_cast<std::size_t>(t)],
+                      "boruvka: dangling pointer");
+        if (ptr[static_cast<std::size_t>(t)] == c && c < t)
+          ptr[static_cast<std::size_t>(c)] = c;
+      }
+    }
+    // Pointer-jump the pseudo-forest to stars.  Every iteration, including
+    // the terminating no-change one, mirrors the snapshot clone + join the
+    // unfused loop charged.
     std::size_t jumps = 0;
     while (true) {
-      const auto snapshot = ptrs.clone();
+      const mpc::PhantomDist snapshot_ph = sl.phantom(ptrs_words);
+      sl.join_unique(ptrs_words, ptrs_words);
+      sl.sweep();
       bool changed = false;
-      mpc::join_unique(
-          ptrs, snapshot, [](const Ptr& p) { return std::uint64_t(p.ptr); },
-          [](const Ptr& p) { return std::uint64_t(p.c); },
-          [&](Ptr& p, const Ptr* t) {
-            MPCMST_ASSERT(t, "boruvka: dangling pointer");
-            if (p.ptr != t->ptr) {
-              p.ptr = t->ptr;
-              changed = true;
-            }
-          });
+      for (const Vertex c : touched) {
+        const auto ci = static_cast<std::size_t>(c);
+        const Vertex t = ptr[ci];
+        MPCMST_ASSERT(has[static_cast<std::size_t>(t)],
+                      "boruvka: dangling pointer");
+        ptr_next[ci] = ptr[static_cast<std::size_t>(t)];
+        changed |= ptr_next[ci] != ptr[ci];
+      }
       if (!changed) break;
+      for (const Vertex c : touched) {
+        const auto ci = static_cast<std::size_t>(c);
+        ptr[ci] = ptr_next[ci];
+      }
       ++jumps;
       MPCMST_ASSERT(jumps <= 70, "boruvka star contraction stalls");
     }
-    // Relabel vertex components through the star roots.
-    mpc::join_unique(
-        comps, ptrs, [](const Comp& c) { return std::uint64_t(c.comp); },
-        [](const Ptr& p) { return std::uint64_t(p.c); },
-        [](Comp& c, const Ptr* p) {
-          if (p != nullptr) c.comp = p->ptr;
-        });
+    // Relabel vertex components through the star roots (components with no
+    // surviving incident edge keep their label, as the null-probe did).
+    sl.join_unique(comps_words, ptrs_words);
+    sl.sweep();
+    for (std::size_t v = 0; v < n; ++v) {
+      const auto c = static_cast<std::size_t>(comp[v]);
+      if (has[c]) comp[v] = ptr[c];
+    }
+
+    for (const Vertex c : touched) has[static_cast<std::size_t>(c)] = 0;
   }
 
-  auto roots = mpc::reduce_by_key<std::uint64_t, std::int64_t>(
-      comps, [](const Comp& c) { return std::uint64_t(c.comp); },
-      [](const Comp&) { return std::int64_t{1}; }, std::plus<>{});
-  out.components = roots.size();
+  // Root count (the unfused reduce_by_key over the component records).
+  std::size_t components = 0;
+  sl.sweep();
+  for (std::size_t v = 0; v < n; ++v) {
+    const auto c = static_cast<std::size_t>(comp[v]);
+    if (!has[c]) {
+      has[c] = 1;
+      ++components;
+    }
+  }
+  sl.reduce_by_key(n * mpc::words_per<mpc::KeyVal<std::uint64_t, std::int64_t>>(),
+                   components *
+                       mpc::words_per<mpc::KeyVal<std::uint64_t, std::int64_t>>());
+  const mpc::PhantomDist roots_ph = sl.phantom(
+      components * mpc::words_per<mpc::KeyVal<std::uint64_t, std::int64_t>>());
+  out.components = components;
   MPCMST_ASSERT(out.edges.size() + out.components == n,
                 "boruvka: forest size mismatch");
   return out;

@@ -1,12 +1,15 @@
 #include "sensitivity/sensitivity.hpp"
 
 #include <algorithm>
+#include <cstdint>
 #include <functional>
+#include <vector>
 
 #include "cluster/clustering.hpp"
 #include "common/check.hpp"
 #include "lca/all_edges_lca.hpp"
 #include "mpc/ops.hpp"
+#include "mpc/superlevel.hpp"
 #include "treeops/doubling.hpp"
 #include "treeops/interval_label.hpp"
 
@@ -146,155 +149,264 @@ TreeMcResult tree_edge_mc(const mpc::Dist<TreeRec>& tree, Vertex root,
   };
 
   // --- Algorithm 5: contraction with truncation ---
+  //
+  // Superlevel fusion: the per-step case analysis (case 5's two stabbing
+  // joins, the case 1/4 join, both emission flat_maps, the three counters,
+  // the truncation commit, the case 2/3 join, and the liveness filter) is
+  // per-edge work against this step's merge tables, so it collapses into
+  // ONE physical sweep over the edges; the cross-edge pool maintenance
+  // (compress_updates / dedup_notes / the truncation dedup sort) stays real.
+  // Charges and Dist alloc/free interleaving replay the unfused order
+  // byte-identically (see mpc/superlevel.hpp).
   HierarchicalClustering hc(tree, root, intervals, 0);
   const std::size_t target = cluster::cluster_target(n, dhat);
+  auto sl = eng.superlevel_scope("sensitivity-core");
+
+  struct StepChild {
+    Vertex junior;
+    std::int64_t lo, hi;
+    Vertex attach;
+  };
+  std::vector<MergeRec> by_senior;         // sorted by (senior, jlo)
+  std::vector<StepChild> children;         // of dying juniors, (junior, lo)
+  // Packed per-cluster lookup row: the per-step sweep pays one cache line
+  // per endpoint instead of three scattered int arrays.
+  struct Slot {
+    std::int32_t s_off = -1, s_cnt = 0;  // senior -> slice of by_senior
+    std::int32_t j_merge = -1;           // junior -> merge index
+  };
+  std::vector<Slot> slot(n);
+  std::vector<std::int32_t> c_off(n, -1), c_cnt(n, 0);  // junior -> children
+
   while (hc.num_clusters() > std::max<std::size_t>(target, 1)) {
     const mpc::Dist<MergeRec> merges = hc.plan_step();
-    mpc::for_each(edges, [](SensEdge& s) {
+
+    // This step's lookup tables (cleared sparsely afterwards).
+    sl.sweep();
+    by_senior.assign(merges.local().begin(), merges.local().end());
+    std::sort(by_senior.begin(), by_senior.end(),
+              [](const MergeRec& a, const MergeRec& b) {
+                return a.senior != b.senior ? a.senior < b.senior
+                                            : a.jlo < b.jlo;
+              });
+    for (std::size_t i = 0; i < by_senior.size(); ++i) {
+      const auto sen = static_cast<std::size_t>(by_senior[i].senior);
+      if (slot[sen].s_off < 0) slot[sen].s_off = static_cast<std::int32_t>(i);
+      ++slot[sen].s_cnt;
+      slot[static_cast<std::size_t>(by_senior[i].junior)].j_merge =
+          static_cast<std::int32_t>(i);
+    }
+    sl.sweep();
+    children.clear();
+    for (const ClusterNode& c : hc.nodes().local()) {
+      if (slot[static_cast<std::size_t>(c.parent_leader)].j_merge >= 0)
+        children.push_back({c.parent_leader, c.lo, c.hi, c.attach});
+    }
+    std::sort(children.begin(), children.end(),
+              [](const StepChild& a, const StepChild& b) {
+                return a.junior != b.junior ? a.junior < b.junior
+                                            : a.lo < b.lo;
+              });
+    for (std::size_t i = 0; i < children.size(); ++i) {
+      const auto j = static_cast<std::size_t>(children[i].junior);
+      if (c_off[j] < 0) c_off[j] = static_cast<std::int32_t>(i);
+      ++c_cnt[j];
+    }
+
+    // The single per-step edge sweep: stage cases 5 and 1/4, collect the
+    // emissions and counters, commit truncations, apply cases 2/3, and
+    // split off the survivors.
+    std::vector<McUpdate> ups_vec;
+    std::vector<Note> notes_vec;
+    std::vector<SensEdge> out_vec;
+    out_vec.reserve(edges.size());
+    std::int64_t cnt5 = 0, cnt1 = 0, cnt4 = 0;
+    mpc::for_each(edges, [&](SensEdge& s) {
       s.c5_junior = -1;
       s.c5_leaf = -1;
       s.c14_kind = 0;
-    });
 
-    // --- stage case 5: a junior J != clo on the covered path merges into
-    // the senior chi; find J, then its path-child x (leaf l = attach(x)).
-    mpc::stab_join(
-        edges, merges,
-        [](const SensEdge& s) {
-          return s.dead ? (1ULL << 63) : std::uint64_t(s.chi);
-        },
-        [](const SensEdge& s) { return s.pre_lo; },
-        [](const MergeRec& m) { return std::uint64_t(m.senior); },
-        [](const MergeRec& m) { return m.jlo; },
-        [](const MergeRec& m) { return m.jhi; },
-        [](SensEdge& s, const MergeRec* m) {
-          if (s.dead || m == nullptr || m->junior == s.clo) return;
-          MPCMST_ASSERT(m->attach == s.hi,
-                        "sens case 5: path enters chi away from hi");
-          s.c5_junior = m->junior;
-          s.c5_wtop = m->w_top;
-          s.c5_level = m->junior_formed_at;
-        });
-    mpc::stab_join(
-        edges, hc.nodes(),
-        [](const SensEdge& s) {
-          return s.c5_junior < 0 ? (1ULL << 63) : std::uint64_t(s.c5_junior);
-        },
-        [](const SensEdge& s) { return s.pre_lo; },
-        [](const ClusterNode& c) { return std::uint64_t(c.parent_leader); },
-        [](const ClusterNode& c) { return c.lo; },
-        [](const ClusterNode& c) { return c.hi; },
-        [](SensEdge& s, const ClusterNode* x) {
-          if (s.c5_junior < 0) return;
-          MPCMST_ASSERT(x, "sens case 5: missing path-child of junior");
-          s.c5_leaf = x->attach;  // l = p(leader(x)), a leaf of the junior
-        });
-
-    // --- stage cases 1 / 4: the cluster containing lo merges upward.
-    mpc::join_unique(
-        edges, merges,
-        [](const SensEdge& s) {
-          return s.dead ? (1ULL << 63) : std::uint64_t(s.clo);
-        },
-        [](const MergeRec& m) { return std::uint64_t(m.junior); },
-        [](SensEdge& s, const MergeRec* m) {
-          if (s.dead || m == nullptr) return;
-          if (m->senior == s.chi) {
+      // Case 5: a junior J != clo on the covered path merges into the
+      // senior chi; find J, then its path-child x (leaf l = attach(x)).
+      if (!s.dead) {
+        const auto chi = static_cast<std::size_t>(s.chi);
+        if (slot[chi].s_off >= 0) {
+          const MergeRec* lo = by_senior.data() + slot[chi].s_off;
+          const MergeRec* hi = lo + slot[chi].s_cnt;
+          const MergeRec* m = std::upper_bound(
+              lo, hi, s.pre_lo, [](std::int64_t x, const MergeRec& r) {
+                return x < r.jlo;
+              });
+          m = (m != lo && (m - 1)->jhi >= s.pre_lo) ? m - 1 : nullptr;
+          if (m != nullptr && m->junior != s.clo) {
             MPCMST_ASSERT(m->attach == s.hi,
+                          "sens case 5: path enters chi away from hi");
+            s.c5_junior = m->junior;
+            s.c5_wtop = m->w_top;
+            s.c5_level = m->junior_formed_at;
+          }
+        }
+      }
+      if (s.c5_junior >= 0) {
+        const auto j = static_cast<std::size_t>(s.c5_junior);
+        const StepChild* lo = children.data() + (c_off[j] >= 0 ? c_off[j] : 0);
+        const StepChild* hi = lo + (c_off[j] >= 0 ? c_cnt[j] : 0);
+        const StepChild* x = std::upper_bound(
+            lo, hi, s.pre_lo, [](std::int64_t v, const StepChild& c) {
+              return v < c.lo;
+            });
+        x = (x != lo && (x - 1)->hi >= s.pre_lo) ? x - 1 : nullptr;
+        MPCMST_ASSERT(x, "sens case 5: missing path-child of junior");
+        s.c5_leaf = x->attach;  // l = p(leader(x)), a leaf of the junior
+      }
+
+      // Cases 1 / 4: the cluster containing lo merges upward.
+      if (!s.dead) {
+        const std::int32_t ma = slot[static_cast<std::size_t>(s.clo)].j_merge;
+        if (ma >= 0) {
+          const MergeRec& m = by_senior[static_cast<std::size_t>(ma)];
+          if (m.senior == s.chi) {
+            MPCMST_ASSERT(m.attach == s.hi,
                           "sens case 1: path longer than one edge");
             s.c14_kind = 1;
           } else {
             s.c14_kind = 4;
           }
-          s.c14_junior = m->junior;
-          s.c14_senior = m->senior;
-          s.c14_attach = m->attach;
-          s.c14_step = m->step;
-        });
+          s.c14_junior = m.junior;
+          s.c14_senior = m.senior;
+          s.c14_attach = m.attach;
+          s.c14_step = m.step;
+        }
+      }
 
-    // --- emit all mc updates and notes of this step.
+      // Emissions of this step (edge order, case 5 before case 1/4, exactly
+      // like the unfused flat_maps).
+      if (s.c5_junior >= 0) {
+        ++cnt5;
+        ups_vec.push_back(McUpdate{s.c5_junior, s.w});
+        if (s.c5_leaf != s.c5_junior) {
+          Note nn{};
+          nn.r = s.c5_junior;
+          nn.x = s.c5_leaf;
+          nn.w = s.w;
+          nn.level = s.c5_level;
+          notes_vec.push_back(nn);
+        }
+      }
+      if (s.c14_kind != 0) {
+        ups_vec.push_back(McUpdate{s.c14_junior, s.w});
+        if (s.c14_kind == 1) ++cnt1;
+        if (s.c14_kind == 4) {
+          ++cnt4;
+          if (s.c14_attach != s.c14_senior) {
+            Note nn{};
+            nn.r = s.c14_senior;
+            nn.x = s.c14_attach;
+            nn.w = s.w;
+            nn.level = s.c14_step;
+            notes_vec.push_back(nn);
+          }
+        }
+      }
+
+      // Commit truncations, then cases 2/3 (id of chi's cluster moves).
+      if (!s.dead) {
+        if (s.c5_junior >= 0) s.hi = s.c5_leaf;
+        if (s.c14_kind == 1) {
+          s.dead = 1;
+        } else if (s.c14_kind == 4) {
+          s.lo = s.c14_senior;
+          s.clo = s.c14_senior;
+        }
+      }
+      if (!s.dead) {
+        const std::int32_t mc = slot[static_cast<std::size_t>(s.chi)].j_merge;
+        if (mc >= 0) s.chi = by_senior[static_cast<std::size_t>(mc)].senior;
+        out_vec.push_back(s);
+      }
+    });
+
+    // Sparse table reset for the next step.
+    for (const MergeRec& m : by_senior) {
+      slot[static_cast<std::size_t>(m.senior)] = Slot{};
+      slot[static_cast<std::size_t>(m.junior)].j_merge = -1;
+    }
+    for (const StepChild& c : children) {
+      c_off[static_cast<std::size_t>(c.junior)] = -1;
+      c_cnt[static_cast<std::size_t>(c.junior)] = 0;
+    }
+
+    // Replay the unfused step's charges and Dist lifetimes in order: the
+    // two stab_joins, the case 1/4 join, the two emission flat_maps, the
+    // three counter reduces, the pool maintenance (real), the case 2/3
+    // join, and the liveness filter (real re-materialization).
+    sl.stab_join(edges.words(), merges.words());
+    sl.stab_join(edges.words(), hc.nodes().words());
+    sl.join_unique(edges.words(), merges.words());
     {
-      mpc::Dist<McUpdate> ups = mpc::flat_map<McUpdate>(
-          edges, [](const SensEdge& s, auto&& emit) {
-            if (s.c5_junior >= 0) emit(McUpdate{s.c5_junior, s.w});
-            if (s.c14_kind != 0) emit(McUpdate{s.c14_junior, s.w});
-          });
-      mpc::Dist<Note> fresh = mpc::flat_map<Note>(
-          edges, [](const SensEdge& s, auto&& emit) {
-            if (s.c5_junior >= 0 && s.c5_leaf != s.c5_junior) {
-              Note n{};
-              n.r = s.c5_junior;
-              n.x = s.c5_leaf;
-              n.w = s.w;
-              n.level = s.c5_level;
-              emit(n);
-            }
-            if (s.c14_kind == 4 && s.c14_attach != s.c14_senior) {
-              Note n{};
-              n.r = s.c14_senior;
-              n.x = s.c14_attach;
-              n.w = s.w;
-              n.level = s.c14_step;
-              emit(n);
-            }
-          });
-      stats.case5 += mpc::reduce(
-          edges,
-          [](const SensEdge& s) { return std::int64_t(s.c5_junior >= 0); },
-          std::plus<>{}, std::int64_t{0});
-      stats.case1 += mpc::reduce(
-          edges,
-          [](const SensEdge& s) { return std::int64_t(s.c14_kind == 1); },
-          std::plus<>{}, std::int64_t{0});
-      stats.case4 += mpc::reduce(
-          edges,
-          [](const SensEdge& s) { return std::int64_t(s.c14_kind == 4); },
-          std::plus<>{}, std::int64_t{0});
+      sl.resize(ups_vec.size() * mpc::words_per<McUpdate>());
+      mpc::Dist<McUpdate> ups(eng, std::move(ups_vec));
+      sl.resize(notes_vec.size() * mpc::words_per<Note>());
+      mpc::Dist<Note> fresh(eng, std::move(notes_vec));
+      sl.reduce();
+      stats.case5 += cnt5;
+      sl.reduce();
+      stats.case1 += cnt1;
+      sl.reduce();
+      stats.case4 += cnt4;
       track_notes(fresh.size());
       mc_pool = compress_updates(mpc::concat(mc_pool, ups));
       notes = dedup_notes(mpc::concat(notes, fresh));
     }
-
-    // --- commit truncations.
-    mpc::for_each(edges, [](SensEdge& s) {
-      if (s.dead) return;
-      if (s.c5_junior >= 0) s.hi = s.c5_leaf;
-      if (s.c14_kind == 1) {
-        s.dead = 1;
-      } else if (s.c14_kind == 4) {
-        s.lo = s.c14_senior;
-        s.clo = s.c14_senior;
-      }
-    });
-
-    // --- cases 2/3: the cluster containing hi merges upward; id moves only.
-    mpc::join_unique(
-        edges, merges,
-        [](const SensEdge& s) {
-          return s.dead ? (1ULL << 63) : std::uint64_t(s.chi);
-        },
-        [](const MergeRec& m) { return std::uint64_t(m.junior); },
-        [](SensEdge& s, const MergeRec* m) {
-          if (!s.dead && m != nullptr) s.chi = m->senior;
-        });
-
-    // Drop dead edges; deduplicate identical truncations, keeping the
-    // lightest (one sort + compaction).
-    edges = mpc::filter(edges, [](const SensEdge& s) { return !s.dead; });
+    sl.join_unique(edges.words(), merges.words());
     {
-      mpc::sort_by2(
-          edges,
-          [](const SensEdge& s) {
-            return mpc::pack2(std::uint64_t(s.lo), std::uint64_t(s.hi));
-          },
-          [](const SensEdge& s) { return s.w; });
-      std::vector<SensEdge> unique_edges;
-      for (const SensEdge& s : edges.local())
-        if (unique_edges.empty() || unique_edges.back().lo != s.lo ||
-            unique_edges.back().hi != s.hi)
-          unique_edges.push_back(s);
-      eng.charge_exchange(unique_edges.size() * mpc::words_per<SensEdge>());
-      edges.replace(std::move(unique_edges));
+      sl.resize(out_vec.size() * mpc::words_per<SensEdge>());
+      mpc::Dist<SensEdge> filtered(eng, std::move(out_vec));
+      edges = std::move(filtered);
+    }
+
+    // Deduplicate identical truncations, keeping the lightest (one charged
+    // sort + compaction).  The charges and the replace accounting replay
+    // the sort_by2-over-records realization; physically, a step that
+    // truncated nothing cannot have created duplicates (the pool was unique
+    // by (lo, hi) going in and cases 2/3 touch only cluster ids), so only
+    // the charges run, and otherwise a 3-word (key, w, idx) proxy is sorted
+    // in place of the 16-word records and the survivors gathered.
+    {
+      eng.charge_sort(edges.words());
+      if (cnt4 + cnt5 > 0) {
+        eng.note_pass(2);  // proxy extract + sort, survivor gather
+        auto& loc = edges.local();
+        struct Proxy {
+          std::uint64_t key;
+          Weight w;
+          std::uint32_t idx;
+        };
+        std::vector<Proxy> px;
+        px.reserve(loc.size());
+        for (std::size_t i = 0; i < loc.size(); ++i)
+          px.push_back({mpc::pack2(std::uint64_t(loc[i].lo),
+                                   std::uint64_t(loc[i].hi)),
+                        loc[i].w, static_cast<std::uint32_t>(i)});
+        radix_sort_records_direct(px.data(), px.size(), eng.scratch(),
+                                  [](const Proxy& p) { return p.key; });
+        std::vector<SensEdge> unique_edges;
+        unique_edges.reserve(px.size());
+        for (std::size_t i = 0; i < px.size();) {
+          std::size_t best = i, j = i + 1;
+          for (; j < px.size() && px[j].key == px[i].key; ++j)
+            if (px[j].w < px[best].w) best = j;
+          unique_edges.push_back(loc[px[best].idx]);
+          i = j;
+        }
+        eng.charge_exchange(unique_edges.size() * mpc::words_per<SensEdge>());
+        edges.replace(std::move(unique_edges));
+      } else {
+        eng.charge_exchange(edges.words());
+        eng.note_free(edges.words());
+        eng.note_alloc(edges.words());
+        eng.check_balanced(edges.words());
+      }
     }
 
     hc.apply_step(merges, [](std::int64_t l, const MergeRec&) { return l; });
@@ -440,9 +552,19 @@ TreeMcResult tree_edge_mc(const mpc::Dist<TreeRec>& tree, Vertex root,
 
   // --- Algorithm 7: unwind the contraction, resolving every note ---
   for (std::int64_t lev = hc.current_step(); lev >= 1; --lev) {
-    mpc::Dist<Note> cur =
-        mpc::filter(notes, [lev](const Note& n) { return n.level == lev; });
-    notes = mpc::filter(notes, [lev](const Note& n) { return n.level != lev; });
+    // Fused split: one sweep produces this level's notes and the remainder,
+    // mirroring the two unfused filters' charges and allocation order.
+    std::vector<Note> cur_vec, rem_vec;
+    sl.sweep();
+    for (const Note& nn : notes.local())
+      (nn.level == lev ? cur_vec : rem_vec).push_back(nn);
+    sl.resize(cur_vec.size() * mpc::words_per<Note>());
+    mpc::Dist<Note> cur(eng, std::move(cur_vec));
+    sl.resize(rem_vec.size() * mpc::words_per<Note>());
+    {
+      mpc::Dist<Note> rem(eng, std::move(rem_vec));
+      notes = std::move(rem);
+    }
     if (cur.empty()) continue;
     cur = dedup_notes(std::move(cur));
     mpc::for_each(cur, [lev](Note& n) {

@@ -25,10 +25,11 @@ DepthResult compute_depths(const mpc::Dist<TreeRec>& tree, Vertex root) {
       mpc::map<DepthRec>(
           acc.acc, [](const VertexValue& x) { return DepthRec{x.v, x.val}; }),
       0, acc.iterations};
-  out.height = mpc::reduce(
-      out.depth, [](const DepthRec& d) { return d.depth; },
-      [](std::int64_t a, std::int64_t b) { return std::max(a, b); },
-      std::int64_t{0});
+  // The height is the max depth, already folded by the accumulate epilogue;
+  // combining the per-machine maxima still costs the aggregation-tree
+  // collective the standalone reduce charged, but no extra physical pass.
+  tree.engine().charge_collective(8);
+  out.height = std::max<std::int64_t>(acc.max_acc, 0);
   return out;
 }
 
@@ -72,32 +73,37 @@ bool validate_rooted_tree(const mpc::Dist<TreeRec>& tree, Vertex root,
 
   // Convergence of pointer jumping to the root within ceil(log2 n) + 1
   // iterations.  A parent structure with a cycle never converges, so the
-  // cap both bounds the rounds and detects cycles.
-  struct Ptr {
-    Vertex v;
-    Vertex ptr;
-  };
-  mpc::Dist<Ptr> state = mpc::map<Ptr>(
-      tree, [](const TreeRec& t) { return Ptr{t.v, t.parent}; });
+  // cap both bounds the rounds and detects cycles.  Fused: the jumping runs
+  // over a dense pointer array (ids are 0..n-1, verified above), one sweep
+  // per iteration, mirroring the unfused per-level clone + join charges.
+  mpc::Engine& eng = tree.engine();
+  const std::size_t state_words = n * 2;  // {v, ptr}
+  auto sl = eng.superlevel_scope("validate_rooted_tree");
+  mpc::PhantomDist state_ph = sl.phantom(state_words);
+  std::vector<Vertex> ptr(n, -1), ptr_next(n, -1);
+  sl.sweep();  // initial state (the unfused map)
+  std::size_t unfinished = 0;
+  for (const TreeRec& t : tree.local()) {
+    ptr[static_cast<std::size_t>(t.v)] = t.parent;
+    unfinished += t.parent != root;
+  }
   std::size_t cap = 2;
   while ((std::size_t{1} << cap) < n) ++cap;
   cap += 2;
   for (std::size_t it = 0; it < cap; ++it) {
-    const std::int64_t unfinished = mpc::reduce(
-        state, [&](const Ptr& p) { return std::int64_t(p.ptr != root); },
-        std::plus<>{}, std::int64_t{0});
+    sl.reduce();
     if (unfinished == 0) return true;
-    const mpc::Dist<Ptr> snapshot = state.clone();
-    mpc::join_unique(
-        state, snapshot, [](const Ptr& p) { return std::uint64_t(p.ptr); },
-        [](const Ptr& p) { return std::uint64_t(p.v); },
-        [](Ptr& p, const Ptr* t) {
-          if (t != nullptr) p.ptr = t->ptr;
-        });
+    const mpc::PhantomDist snapshot_ph = sl.phantom(state_words);
+    sl.join_unique(state_words, state_words);
+    sl.sweep();
+    unfinished = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      ptr_next[i] = ptr[static_cast<std::size_t>(ptr[i])];
+      unfinished += ptr_next[i] != root;
+    }
+    ptr.swap(ptr_next);
   }
-  const std::int64_t unfinished = mpc::reduce(
-      state, [&](const Ptr& p) { return std::int64_t(p.ptr != root); },
-      std::plus<>{}, std::int64_t{0});
+  sl.reduce();
   return unfinished == 0;
 }
 

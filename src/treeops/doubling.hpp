@@ -20,13 +20,16 @@
 // aggregation [GLM+23]; DESIGN.md §2 documents the substitution.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
+#include <vector>
 
 #include "common/check.hpp"
 #include "graph/instance.hpp"
 #include "graph/types.hpp"
 #include "mpc/dist.hpp"
 #include "mpc/ops.hpp"
+#include "mpc/superlevel.hpp"
 
 namespace mpcmst::treeops {
 
@@ -87,11 +90,19 @@ template <class Op>
 struct RootpathResult {
   mpc::Dist<VertexValue> acc;
   std::size_t iterations = 0;
+  /// Max over the final folded values, computed during the epilogue sweep
+  /// (compute_depths reads the tree height off it without a second pass).
+  std::int64_t max_acc = INT64_MIN;
 };
 
 /// For every vertex v, fold `op` over val(x) for all non-root x on the path
 /// v..root (inclusive of v; the root contributes `identity`).
 /// `values` must contain exactly one entry per vertex.
+///
+/// Fused realization: all doubling levels advance over dense host-side
+/// arrays, one physical sweep per level, while the charge mirror reproduces
+/// the unfused per-level map/join/reduce/clone sequence byte-identically
+/// (see mpc/superlevel.hpp for the contract).
 template <class Op>
 RootpathResult<Op> rootpath_accumulate(const mpc::Dist<TreeRec>& tree,
                                        Vertex root,
@@ -102,42 +113,76 @@ RootpathResult<Op> rootpath_accumulate(const mpc::Dist<TreeRec>& tree,
     Vertex ptr;
     std::int64_t acc;
   };
+  mpc::Engine& eng = tree.engine();
+  const std::size_t n = tree.size();
+  const std::size_t state_words = n * mpc::words_per<State>();
+  MPCMST_ASSERT(values.size() == n, "rootpath_accumulate: missing value");
 
-  // Initial state: ptr = parent, acc = own value; the root is already done.
-  mpc::Dist<State> state = mpc::map<State>(tree, [&](const TreeRec& t) {
-    return State{t.v, t.parent, 0};
-  });
-  mpc::join_unique(
-      state, values, [](const State& s) { return std::uint64_t(s.v); },
-      [](const VertexValue& x) { return std::uint64_t(x.v); },
-      [&](State& s, const VertexValue* x) {
-        MPCMST_ASSERT(x != nullptr, "rootpath_accumulate: missing value");
-        s.acc = (s.v == root) ? identity : x->val;
-      });
+  auto sl = eng.superlevel_scope("rootpath_accumulate");
+  // Stands in for the unfused working Dist<State>: alive until the epilogue
+  // has allocated the output, exactly like the unfused local was.
+  mpc::PhantomDist state_ph = sl.phantom(state_words);
+
+  // Dense double-buffered doubling arrays indexed by vertex id (cluster
+  // trees pass sparse leader ids, so size by the maximum id present).
+  std::size_t max_id = 0;
+  for (const TreeRec& t : tree.local())
+    max_id = std::max(max_id, static_cast<std::size_t>(t.v));
+  std::vector<Vertex> ptr(max_id + 1, -1), ptr_next(max_id + 1, -1);
+  std::vector<std::int64_t> acc(max_id + 1, 0), acc_next(max_id + 1, 0);
+
+  sl.sweep();  // index the values side
+  for (const VertexValue& x : values.local()) {
+    MPCMST_ASSERT(x.v >= 0 && static_cast<std::size_t>(x.v) <= max_id,
+                  "rootpath_accumulate: value for unknown vertex " << x.v);
+    acc[static_cast<std::size_t>(x.v)] = x.val;
+  }
+  sl.sweep();  // initial state (the unfused map + value join)
+  std::size_t unfinished = 0;
+  for (const TreeRec& t : tree.local()) {
+    const auto i = static_cast<std::size_t>(t.v);
+    ptr[i] = t.parent;
+    if (t.v == root) acc[i] = identity;
+    unfinished += t.parent != root;
+  }
+  sl.join_unique(state_words, values.words());
 
   std::size_t iterations = 0;
   while (true) {
-    const std::int64_t unfinished = mpc::reduce(
-        state, [&](const State& s) { return std::int64_t(s.ptr != root); },
-        std::plus<>{}, std::int64_t{0});
+    sl.reduce();  // the unfinished-count collective
     if (unfinished == 0) break;
     ++iterations;
     MPCMST_ASSERT(iterations <= 70, "rootpath_accumulate does not converge");
-    const mpc::Dist<State> snapshot = state.clone();
-    mpc::join_unique(
-        state, snapshot, [](const State& s) { return std::uint64_t(s.ptr); },
-        [](const State& s) { return std::uint64_t(s.v); },
-        [&](State& s, const State* t) {
-          MPCMST_ASSERT(t != nullptr, "rootpath_accumulate: broken pointer");
-          s.acc = op(s.acc, t->acc);
-          s.ptr = t->ptr;
-        });
+    // One sweep advances every pointer one doubling level; the mirror
+    // charges the unfused snapshot clone + join.
+    const mpc::PhantomDist snapshot_ph = sl.phantom(state_words);
+    sl.join_unique(state_words, state_words);
+    sl.sweep();
+    unfinished = 0;
+    for (const TreeRec& t : tree.local()) {
+      const auto i = static_cast<std::size_t>(t.v);
+      const auto j = static_cast<std::size_t>(ptr[i]);
+      acc_next[i] = op(acc[i], acc[j]);
+      ptr_next[i] = ptr[j];
+      unfinished += ptr[j] != root;
+    }
+    ptr.swap(ptr_next);
+    acc.swap(acc_next);
   }
 
-  RootpathResult<Op> out{
-      mpc::map<VertexValue>(
-          state, [](const State& s) { return VertexValue{s.v, s.acc}; }),
-      iterations};
+  // Epilogue: materialize the output (tree order, like the unfused map) and
+  // fold its max on the way — one pass for both.
+  sl.sweep();
+  std::vector<VertexValue> out_vals;
+  out_vals.reserve(n);
+  std::int64_t max_acc = INT64_MIN;
+  for (const TreeRec& t : tree.local()) {
+    const std::int64_t a = acc[static_cast<std::size_t>(t.v)];
+    out_vals.push_back(VertexValue{t.v, a});
+    max_acc = std::max(max_acc, a);
+  }
+  RootpathResult<Op> out{mpc::Dist<VertexValue>(eng, std::move(out_vals)),
+                         iterations, max_acc};
   return out;
 }
 
@@ -148,6 +193,12 @@ RootpathResult<Op> rootpath_accumulate(const mpc::Dist<TreeRec>& tree,
 /// For every vertex v, fold `op` over val(x) for all x in the subtree of v
 /// (inclusive).  `values` must contain exactly one entry per vertex.
 /// Requires depths (compute_depths).  O(log height) rounds, O(n) memory.
+///
+/// Fused like rootpath_accumulate: the exact-distance recurrence
+///   A_{k+1}(v) = A_k(v) (+) combine{ A_k(w) : p^{2^k}(w) = v }
+/// runs over dense arrays with two physical sweeps per level while the
+/// charge mirror replays the unfused flat_map / reduce_by_key / join /
+/// clone sequence (and its Dist alloc/free interleaving) byte-identically.
 template <class Op>
 mpc::Dist<VertexValue> subtree_aggregate(const mpc::Dist<TreeRec>& tree,
                                          const mpc::Dist<DepthRec>& depth,
@@ -159,72 +210,100 @@ mpc::Dist<VertexValue> subtree_aggregate(const mpc::Dist<TreeRec>& tree,
     std::int64_t depth;
     std::int64_t acc;      // A_k(v): fold over descendants within < 2^k
   };
+  mpc::Engine& eng = tree.engine();
+  const std::size_t n = tree.size();
+  const std::size_t state_words = n * mpc::words_per<State>();
+  MPCMST_ASSERT(depth.size() == n, "subtree_aggregate: missing depth");
+  MPCMST_ASSERT(values.size() == n, "subtree_aggregate: missing value");
 
-  mpc::Dist<State> state = mpc::map<State>(tree, [](const TreeRec& t) {
-    return State{t.v, t.v == t.parent ? Vertex{-1} : t.parent, 0, 0};
-  });
-  mpc::join_unique(
-      state, depth, [](const State& s) { return std::uint64_t(s.v); },
-      [](const DepthRec& d) { return std::uint64_t(d.v); },
-      [](State& s, const DepthRec* d) {
-        MPCMST_ASSERT(d != nullptr, "subtree_aggregate: missing depth");
-        s.depth = d->depth;
-      });
-  mpc::join_unique(
-      state, values, [](const State& s) { return std::uint64_t(s.v); },
-      [](const VertexValue& x) { return std::uint64_t(x.v); },
-      [](State& s, const VertexValue* x) {
-        MPCMST_ASSERT(x != nullptr, "subtree_aggregate: missing value");
-        s.acc = x->val;
-      });
+  auto sl = eng.superlevel_scope("subtree_aggregate");
+  mpc::PhantomDist state_ph = sl.phantom(state_words);
+
+  std::size_t max_id = 0;
+  for (const TreeRec& t : tree.local())
+    max_id = std::max(max_id, static_cast<std::size_t>(t.v));
+  std::vector<Vertex> pk(max_id + 1, -1), pk_next(max_id + 1, -1);
+  std::vector<std::int64_t> acc(max_id + 1, 0), comb(max_id + 1, 0);
+  std::vector<char> touched(max_id + 1, 0);
+
+  sl.sweep();  // index the values side
+  for (const VertexValue& x : values.local()) {
+    MPCMST_ASSERT(x.v >= 0 && static_cast<std::size_t>(x.v) <= max_id,
+                  "subtree_aggregate: value for unknown vertex " << x.v);
+    acc[static_cast<std::size_t>(x.v)] = x.val;
+  }
+  sl.sweep();  // initial state (the unfused map + depth/value joins)
+  std::size_t active = 0;
+  for (const TreeRec& t : tree.local()) {
+    const auto i = static_cast<std::size_t>(t.v);
+    pk[i] = t.v == t.parent ? Vertex{-1} : t.parent;
+    active += pk[i] >= 0;
+  }
+  sl.join_unique(state_words, depth.words());
+  sl.join_unique(state_words, values.words());
 
   std::size_t iterations = 0;
   while (true) {
-    const std::int64_t active = mpc::reduce(
-        state, [](const State& s) { return std::int64_t(s.pk >= 0); },
-        std::plus<>{}, std::int64_t{0});
+    sl.reduce();  // the active-count collective
     if (active == 0) break;
     ++iterations;
     MPCMST_ASSERT(iterations <= 70, "subtree_aggregate does not converge");
 
-    // Contributions A_k(w) -> p^{2^k}(w), combined per target.
-    struct Contribution {
-      Vertex target;
-      std::int64_t val;
-    };
-    mpc::Dist<Contribution> contrib = mpc::flat_map<Contribution>(
-        state, [](const State& s, auto&& emit) {
-          if (s.pk >= 0) emit(Contribution{s.pk, s.acc});
-        });
-    auto combined = mpc::reduce_by_key<std::uint64_t, std::int64_t>(
-        contrib,
-        [](const Contribution& c) { return std::uint64_t(c.target); },
-        [](const Contribution& c) { return c.val; }, op);
-    mpc::join_unique(
-        state, combined, [](const State& s) { return std::uint64_t(s.v); },
-        [](const auto& kv) { return kv.key; },
-        [&](State& s, const auto* kv) {
-          if (kv != nullptr) s.acc = op(s.acc, kv->val);
-        });
+    // Sweep 1: contributions A_k(w) -> p^{2^k}(w), combined per target in
+    // tree order (the combine op is associative+commutative).
+    sl.sweep();
+    std::size_t contrib_n = 0, out_n = 0;
+    for (const TreeRec& t : tree.local()) {
+      const auto i = static_cast<std::size_t>(t.v);
+      if (pk[i] < 0) continue;
+      const auto tgt = static_cast<std::size_t>(pk[i]);
+      if (touched[tgt]) {
+        comb[tgt] = op(comb[tgt], acc[i]);
+      } else {
+        comb[tgt] = acc[i];
+        touched[tgt] = 1;
+        ++out_n;
+      }
+      ++contrib_n;
+    }
 
-    // Advance pointers: pk' = pk(pk), valid iff the target itself had a
-    // valid pointer (depth(v) >= 2^{k+1}).
-    const mpc::Dist<State> snapshot = state.clone();
-    mpc::join_unique(
-        state, snapshot,
-        [](const State& s) {
-          return s.pk >= 0 ? std::uint64_t(s.pk)
-                           : std::uint64_t(s.v);  // self lookup, ignored
-        },
-        [](const State& s) { return std::uint64_t(s.v); },
-        [](State& s, const State* t) {
-          if (s.pk < 0) return;
-          MPCMST_ASSERT(t != nullptr, "subtree_aggregate: broken pointer");
-          s.pk = t->pk;
-        });
+    // Mirror the unfused iteration's charges and Dist lifetimes:
+    // flat_map(contrib) -> reduce_by_key(combined) -> join -> clone -> join,
+    // with the three temporaries freed in reverse order at iteration end.
+    const std::size_t contrib_words = contrib_n * 2;  // {target, val}
+    const std::size_t combined_words = out_n * 2;     // KeyVal<u64, i64>
+    sl.resize(contrib_words);
+    const mpc::PhantomDist contrib_ph = sl.phantom(contrib_words);
+    sl.reduce_by_key(contrib_words, combined_words);
+    const mpc::PhantomDist combined_ph = sl.phantom(combined_words);
+    sl.join_unique(state_words, combined_words);
+    const mpc::PhantomDist snapshot_ph = sl.phantom(state_words);
+    sl.join_unique(state_words, state_words);
+
+    // Sweep 2: fold the combined contributions in and advance the pointers
+    // (pk' = pk(pk), -1 once the 2^k-ancestor leaves the tree).
+    sl.sweep();
+    active = 0;
+    for (const TreeRec& t : tree.local()) {
+      const auto i = static_cast<std::size_t>(t.v);
+      if (touched[i]) {
+        acc[i] = op(acc[i], comb[i]);
+        touched[i] = 0;
+      }
+      pk_next[i] =
+          pk[i] >= 0 ? pk[static_cast<std::size_t>(pk[i])] : Vertex{-1};
+      active += pk_next[i] >= 0;
+    }
+    pk.swap(pk_next);
   }
-  return mpc::map<VertexValue>(
-      state, [](const State& s) { return VertexValue{s.v, s.acc}; });
+
+  // Epilogue: output in tree order, like the unfused map.
+  sl.sweep();
+  std::vector<VertexValue> out_vals;
+  out_vals.reserve(n);
+  for (const TreeRec& t : tree.local())
+    out_vals.push_back(VertexValue{t.v, acc[static_cast<std::size_t>(t.v)]});
+  return mpc::Dist<VertexValue>(eng, std::move(out_vals));
 }
 
 /// Sparse multiset variant: entries (v, slot, val); result holds, for every

@@ -1,11 +1,14 @@
 #include "verify/verifier.hpp"
 
 #include <algorithm>
+#include <cstdint>
 #include <unordered_map>
+#include <vector>
 
 #include "cluster/clustering.hpp"
 #include "common/check.hpp"
 #include "mpc/ops.hpp"
+#include "mpc/superlevel.hpp"
 
 namespace mpcmst::verify {
 
@@ -84,88 +87,84 @@ mpc::Dist<HalfVerdict> max_covered_weights(
       });
 
   // --- contraction with (θ, ω) maintenance ---
+  //
+  // Superlevel fusion: the per-step rule updates (B's two stabbing joins,
+  // A's and C's merge joins) commute across edges and touch nothing the
+  // contraction itself reads, so the contraction runs first, recording one
+  // compact lookup table per step, and a streaming replay afterwards applies
+  // every step per edge.  The charge mirrors stay inside the loop at the
+  // original call sites with the original operand sizes (the joins allocate
+  // no Dists, so the peak is untouched); see mpc/superlevel.hpp.
   HierarchicalClustering hc(tree, root, intervals, kNegInfW);
   const std::size_t target = cluster::cluster_target(n, dhat);
+  auto sl = eng.superlevel_scope("verify-core");
+
+  struct StepChild {
+    Vertex junior;
+    std::int64_t lo, hi;
+    Weight label;
+  };
+  // Per-cluster lookup row, packed so the replay sweep pays one cache line
+  // per endpoint per step: as-senior slice of by_senior + as-junior merge.
+  struct Slot {
+    std::int32_t off = -1, cnt = 0;  // senior -> slice of by_senior
+    std::int32_t merge = -1;         // junior -> its merge index
+  };
+  struct StepTab {
+    std::vector<MergeRec> by_senior;  // sorted by (senior, jlo)
+    std::vector<Slot> slot;           // cluster -> packed lookup row
+    std::vector<StepChild> children;  // of dying juniors, (junior, lo)
+    std::vector<std::int32_t> c_off, c_cnt;  // junior -> slice of children
+  };
+  std::vector<StepTab> tabs;
+
   std::size_t steps = 0;
   while (hc.num_clusters() > std::max<std::size_t>(target, 1)) {
     const mpc::Dist<MergeRec> merges = hc.plan_step();
 
-    // Rule B (Lemma 3.4 case 3): a junior J (≠ clo) merges into the cluster
-    // chi containing hi, and J lies on the covered path (its leader's subtree
-    // contains pre_lo).  Extend ω(hi->lo) by J's bridge edge and the θ of
-    // J's path-child.  Two stabbing joins against *pre-step* state.
-    mpc::for_each(state, [](HalfState& s) {
-      s.hit_junior = -1;
-      s.hit_wtop = kNegInfW;
-    });
-    mpc::stab_join(
-        state, merges,
-        [](const HalfState& s) {
-          return s.clo == s.chi ? (1ULL << 63) : std::uint64_t(s.chi);
-        },
-        [](const HalfState& s) { return s.pre_lo; },
-        [](const MergeRec& m) { return std::uint64_t(m.senior); },
-        [](const MergeRec& m) { return m.jlo; },
-        [](const MergeRec& m) { return m.jhi; },
-        [](HalfState& s, const MergeRec* m) {
-          if (s.clo == s.chi || m == nullptr) return;
-          if (m->junior == s.clo) return;  // handled by rule A below
-          s.hit_junior = m->junior;
-          s.hit_wtop = m->w_top;
-        });
-    mpc::stab_join(
-        state, hc.nodes(),
-        [](const HalfState& s) {
-          return s.hit_junior < 0 ? (1ULL << 63)
-                                  : std::uint64_t(s.hit_junior);
-        },
-        [](const HalfState& s) { return s.pre_lo; },
-        [](const ClusterNode& c) { return std::uint64_t(c.parent_leader); },
-        [](const ClusterNode& c) { return c.lo; },
-        [](const ClusterNode& c) { return c.hi; },
-        [](HalfState& s, const ClusterNode* x) {
-          if (s.hit_junior < 0) return;
-          MPCMST_ASSERT(x, "verify: missing path-child of merged junior");
-          s.om_hi = std::max(
-              {s.om_hi, s.hit_wtop, static_cast<Weight>(x->label)});
-        });
+    // Mirrors of rule B's stab_joins (vs merges, vs pre-step nodes) and the
+    // rule A / rule C joins (both vs merges).
+    sl.stab_join(state.words(), merges.words());
+    sl.stab_join(state.words(), hc.nodes().words());
+    sl.join_unique(state.words(), merges.words());
+    sl.join_unique(state.words(), merges.words());
 
-    // Rule A (Lemma 3.4 cases 1/5): the cluster containing lo merges into its
-    // parent.  If hi lives in the absorbing senior the halves' path becomes
-    // internal (combine both ω); otherwise extend ω(lo->hi) by the bridge
-    // edge and the junior's θ (the stretch inside the absorbing parent).
-    mpc::join_unique(
-        state, merges,
-        [](const HalfState& s) { return std::uint64_t(s.clo); },
-        [](const MergeRec& m) { return std::uint64_t(m.junior); },
-        [](HalfState& s, const MergeRec* m) {
-          if (m == nullptr) return;
-          if (s.clo == s.chi) {
-            // Fully internal path: the covered portion cannot grow when its
-            // cluster merges upward; only the cluster id moves.
-            s.clo = s.chi = m->senior;
-            return;
-          }
-          if (s.chi == m->senior) {
-            const Weight both =
-                std::max({s.om_lo, static_cast<Weight>(m->w_top), s.om_hi});
-            s.om_lo = s.om_hi = both;
-          } else {
-            s.om_lo = std::max({s.om_lo, static_cast<Weight>(m->w_top),
-                                static_cast<Weight>(m->junior_label)});
-          }
-          s.clo = m->senior;
-        });
-
-    // Rule C (Lemma 3.4 case 2): the cluster containing hi merges upward;
-    // the covered portion inside it is unchanged, only the id moves.
-    mpc::join_unique(
-        state, merges,
-        [](const HalfState& s) { return std::uint64_t(s.chi); },
-        [](const MergeRec& m) { return std::uint64_t(m.junior); },
-        [](HalfState& s, const MergeRec* m) {
-          if (m != nullptr) s.chi = m->senior;
-        });
+    tabs.emplace_back();
+    StepTab& t = tabs.back();
+    sl.sweep();  // merge table: stab intervals per senior + junior index
+    t.by_senior.assign(merges.local().begin(), merges.local().end());
+    std::sort(t.by_senior.begin(), t.by_senior.end(),
+              [](const MergeRec& a, const MergeRec& b) {
+                return a.senior != b.senior ? a.senior < b.senior
+                                            : a.jlo < b.jlo;
+              });
+    t.slot.assign(n, Slot{});
+    for (std::size_t i = 0; i < t.by_senior.size(); ++i) {
+      const auto sen = static_cast<std::size_t>(t.by_senior[i].senior);
+      if (t.slot[sen].off < 0) t.slot[sen].off = static_cast<std::int32_t>(i);
+      ++t.slot[sen].cnt;
+      t.slot[static_cast<std::size_t>(t.by_senior[i].junior)].merge =
+          static_cast<std::int32_t>(i);
+    }
+    sl.sweep();  // children of this step's dying juniors (pre-step nodes)
+    for (const ClusterNode& c : hc.nodes().local()) {
+      const auto p = static_cast<std::size_t>(c.parent_leader);
+      if (t.slot[p].merge >= 0)
+        t.children.push_back(
+            {c.parent_leader, c.lo, c.hi, static_cast<Weight>(c.label)});
+    }
+    std::sort(t.children.begin(), t.children.end(),
+              [](const StepChild& a, const StepChild& b) {
+                return a.junior != b.junior ? a.junior < b.junior
+                                            : a.lo < b.lo;
+              });
+    t.c_off.assign(n, -1);
+    t.c_cnt.assign(n, 0);
+    for (std::size_t i = 0; i < t.children.size(); ++i) {
+      const auto j = static_cast<std::size_t>(t.children[i].junior);
+      if (t.c_off[j] < 0) t.c_off[j] = static_cast<std::int32_t>(i);
+      ++t.c_cnt[j];
+    }
 
     hc.apply_step(merges, theta_rule);
     ++steps;
@@ -174,6 +173,81 @@ mpc::Dist<HalfVerdict> max_covered_weights(
   if (stats) {
     stats->contraction_steps = steps;
     stats->final_clusters = hc.num_clusters();
+  }
+
+  // Replay every contraction step per edge.  Step-major: one streaming pass
+  // over the edges per recorded step, so the step's packed lookup table
+  // (~n rows) stays cache-resident while the 10-word edge records stream —
+  // the edge-major transposition pays two cache misses per edge per step on
+  // the 13 tables' worth of rows.  Still zero charged rounds: the charges
+  // were mirrored at the original per-step call sites above.
+  for (const StepTab& t : tabs) {
+    mpc::for_each(state, [&](HalfState& s) {
+      s.hit_junior = -1;
+      s.hit_wtop = kNegInfW;
+
+      // Rule B (Lemma 3.4 case 3): a junior J (≠ clo) merges into the
+      // cluster chi containing hi, and J lies on the covered path (its
+      // leader's subtree contains pre_lo).  Extend ω(hi->lo) by J's bridge
+      // edge and the θ of J's path-child.
+      const Slot& slot_chi = t.slot[static_cast<std::size_t>(s.chi)];
+      if (s.clo != s.chi) {
+        if (slot_chi.off >= 0) {
+          const MergeRec* lo = t.by_senior.data() + slot_chi.off;
+          const MergeRec* hi = lo + slot_chi.cnt;
+          const MergeRec* m = std::upper_bound(
+              lo, hi, s.pre_lo, [](std::int64_t x, const MergeRec& r) {
+                return x < r.jlo;
+              });
+          m = (m != lo && (m - 1)->jhi >= s.pre_lo) ? m - 1 : nullptr;
+          if (m != nullptr && m->junior != s.clo) {  // clo: rule A below
+            s.hit_junior = m->junior;
+            s.hit_wtop = m->w_top;
+          }
+        }
+      }
+      if (s.hit_junior >= 0) {
+        const auto j = static_cast<std::size_t>(s.hit_junior);
+        const StepChild* lo =
+            t.children.data() + (t.c_off[j] >= 0 ? t.c_off[j] : 0);
+        const StepChild* hi = lo + (t.c_off[j] >= 0 ? t.c_cnt[j] : 0);
+        const StepChild* x = std::upper_bound(
+            lo, hi, s.pre_lo, [](std::int64_t v, const StepChild& c) {
+              return v < c.lo;
+            });
+        x = (x != lo && (x - 1)->hi >= s.pre_lo) ? x - 1 : nullptr;
+        MPCMST_ASSERT(x, "verify: missing path-child of merged junior");
+        s.om_hi = std::max({s.om_hi, s.hit_wtop, x->label});
+      }
+
+      // Rule A (Lemma 3.4 cases 1/5): the cluster containing lo merges into
+      // its parent.  If hi lives in the absorbing senior the halves' path
+      // becomes internal (combine both ω); otherwise extend ω(lo->hi) by the
+      // bridge edge and the junior's θ.
+      const std::int32_t ma = t.slot[static_cast<std::size_t>(s.clo)].merge;
+      if (ma >= 0) {
+        const MergeRec& m = t.by_senior[static_cast<std::size_t>(ma)];
+        if (s.clo == s.chi) {
+          // Fully internal path: only the cluster id moves.
+          s.clo = s.chi = m.senior;
+        } else {
+          if (s.chi == m.senior) {
+            const Weight both =
+                std::max({s.om_lo, static_cast<Weight>(m.w_top), s.om_hi});
+            s.om_lo = s.om_hi = both;
+          } else {
+            s.om_lo = std::max({s.om_lo, static_cast<Weight>(m.w_top),
+                                static_cast<Weight>(m.junior_label)});
+          }
+          s.clo = m.senior;
+        }
+      }
+
+      // Rule C (Lemma 3.4 case 2): the cluster containing hi merges upward;
+      // only the id moves.
+      const std::int32_t mc = slot_chi.merge;
+      if (mc >= 0) s.chi = t.by_senior[static_cast<std::size_t>(mc)].senior;
+    });
   }
 
   // --- root-path collection with prefix maxima (Lemma 3.7) ---

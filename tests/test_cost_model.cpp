@@ -1,0 +1,79 @@
+// Golden regression test for the charged MPC cost model.
+//
+// Pins the exact charged `mpc_rounds` and `peak_global_words` of the full
+// build pipeline (verification core + sensitivity Algorithms 5-7) for the
+// four standard tree families at a fixed size, under the same scaled engine
+// configuration the benchmarks use.  The charged model is the paper's
+// complexity measure: any engine or pipeline change — superlevel fusion,
+// new primitives, reordered passes — must keep these numbers byte-identical
+// or consciously update them alongside a cost-model change note in
+// docs/PAPER_MAP.md.
+//
+// The constants were generated from the unfused per-level loops; the fused
+// superlevel sweeps are required to reproduce them exactly, which is the
+// executable proof that physical passes and charged rounds are decoupled.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <string>
+
+#include "graph/generators.hpp"
+#include "graph/instance.hpp"
+#include "mpc/config.hpp"
+#include "mpc/engine.hpp"
+#include "sensitivity/sensitivity.hpp"
+
+namespace g = mpcmst::graph;
+namespace mpc = mpcmst::mpc;
+
+namespace {
+
+constexpr std::size_t kN = 1500;          // vertices per family
+constexpr std::size_t kExtra = 3 * kN;    // non-tree edges (bench shape)
+constexpr std::uint64_t kSeed = 2024;
+
+struct FamilyCost {
+  const char* name;
+  std::size_t rounds;
+  std::size_t peak_words;
+};
+
+// Golden charged costs (generated once from the unfused level loops).
+constexpr FamilyCost kGolden[] = {
+    {"path", 20866, 211878},
+    {"star", 1506, 278886},
+    {"k8ary", 3296, 380448},
+    {"rand_recursive", 10100, 372758},
+};
+
+g::RootedTree make_family(const std::string& name) {
+  if (name == "path") return g::relabel_random(g::path_tree(kN), kSeed + 1);
+  if (name == "star") return g::relabel_random(g::star_tree(kN), kSeed + 2);
+  if (name == "k8ary")
+    return g::relabel_random(g::kary_tree(kN, 8), kSeed + 3);
+  return g::relabel_random(g::random_recursive_tree(kN, kSeed + 10),
+                           kSeed + 4);
+}
+
+class CostModelGolden : public ::testing::TestWithParam<FamilyCost> {};
+
+TEST_P(CostModelGolden, ChargedRoundsAndPeakWordsArePinned) {
+  const FamilyCost& golden = GetParam();
+  const auto inst =
+      g::make_layered_instance(make_family(golden.name), kExtra, kSeed + 20);
+  mpc::Engine eng(mpc::MpcConfig::scaled(inst.input_words(), 0.5, 64.0));
+  const auto result = mpcmst::sensitivity::mst_sensitivity_mpc(eng, inst);
+  ASSERT_EQ(result.tree.size() + 1, inst.n());
+  EXPECT_EQ(eng.stats().rounds, golden.rounds)
+      << "charged mpc_rounds drifted for family " << golden.name;
+  EXPECT_EQ(eng.stats().peak_global_words, golden.peak_words)
+      << "charged peak_global_words drifted for family " << golden.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(Families, CostModelGolden,
+                         ::testing::ValuesIn(kGolden),
+                         [](const auto& info) {
+                           return std::string(info.param.name);
+                         });
+
+}  // namespace
