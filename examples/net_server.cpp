@@ -1,0 +1,198 @@
+// Process entry point for the networked shard tier — one binary, three
+// roles (tests/net_harness.cpp and the CI `network` job drive it):
+//
+//   net_server shard   --listen EP
+//       One shard server.  Serves kUnavailable until a leader bootstraps
+//       it; kShutdown (or SIGTERM) exits.
+//
+//   net_server leader  --listen EP --shards EP1,EP2,... --n N --seed S
+//                      [--dir D] [--every K]
+//       Builds the deterministic (N, S) instance, runs one distributed
+//       build, bootstraps the shard servers and serves the consolidated
+//       QueryService API (kQuery/kIngest/kStats) on EP.  With --dir the
+//       tier journals + snapshots there and kSubscribe streams committed
+//       journal frames to replicas.
+//
+//   net_server replica --listen EP --leader EP
+//       Subscribes to the leader, replays its journal, serves read-only
+//       queries on EP (kIngest answers kNotLeader) — and keeps serving its
+//       last contiguous generation when the leader dies.
+//
+// Every role prints "LISTENING <endpoint>" once ready (harnesses parse it;
+// --listen may use port 0) and logs one line per lifecycle event, so CI can
+// upload the logs on failure.
+#include <csignal>
+#include <cstdint>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "mpc/config.hpp"
+#include "mpc/engine.hpp"
+#include "net/client.hpp"
+#include "net/replicate.hpp"
+#include "net/server.hpp"
+#include "service/service.hpp"
+
+namespace g = mpcmst::graph;
+namespace svc = mpcmst::service;
+namespace net = mpcmst::service::net;
+
+namespace {
+
+/// The deterministic workload instance: harnesses rebuild the identical
+/// instance in-process from the same (n, seed) to compare answers.
+g::Instance make_instance(std::size_t n, std::uint64_t seed) {
+  auto tree = g::random_recursive_tree(n, seed);
+  g::assign_random_tree_weights(tree, 1, 40, seed + 2);
+  return g::make_mst_instance(std::move(tree), 2 * n, seed + 4, /*slack=*/4);
+}
+
+std::vector<std::string> split_csv(const std::string& s) {
+  std::vector<std::string> out;
+  std::stringstream ss(s);
+  std::string item;
+  while (std::getline(ss, item, ','))
+    if (!item.empty()) out.push_back(item);
+  return out;
+}
+
+struct Args {
+  std::string listen;
+  std::string leader;
+  std::string shards_csv;
+  std::string dir;
+  std::size_t n = 64;
+  std::uint64_t seed = 7;
+  std::size_t every = 8;  // snapshot_every_n for --dir tiers
+};
+
+bool parse_args(int argc, char** argv, Args& a) {
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const bool has_val = i + 1 < argc;
+    if (arg == "--listen" && has_val)
+      a.listen = argv[++i];
+    else if (arg == "--leader" && has_val)
+      a.leader = argv[++i];
+    else if (arg == "--shards" && has_val)
+      a.shards_csv = argv[++i];
+    else if (arg == "--dir" && has_val)
+      a.dir = argv[++i];
+    else if (arg == "--n" && has_val)
+      a.n = std::stoul(argv[++i]);
+    else if (arg == "--seed" && has_val)
+      a.seed = std::stoull(argv[++i]);
+    else if (arg == "--every" && has_val)
+      a.every = std::stoul(argv[++i]);
+    else
+      return false;
+  }
+  return !a.listen.empty();
+}
+
+int run_shard(const Args& a) {
+  net::ShardServer server(net::Listener::bind(a.listen));
+  std::cout << "LISTENING " << server.endpoint() << std::endl;
+  server.start();
+  server.wait();
+  std::cout << "shard: shut down" << std::endl;
+  return 0;
+}
+
+int run_leader(const Args& a) {
+  const std::vector<std::string> shards = split_csv(a.shards_csv);
+  if (shards.empty()) {
+    std::cerr << "leader: --shards is required" << std::endl;
+    return 2;
+  }
+  const g::Instance inst = make_instance(a.n, a.seed);
+  mpcmst::mpc::Engine eng(
+      mpcmst::mpc::MpcConfig::scaled(inst.input_words(), 0.5, 64.0));
+
+  svc::ServiceConfig cfg;
+  cfg.engine = &eng;
+  cfg.instance = &inst;
+  cfg.live = true;
+  cfg.remote_shards = shards;
+  if (!a.dir.empty())
+    cfg.persist = svc::PersistenceConfig{a.dir, svc::SyncMode::kCommit,
+                                         a.every};
+  std::shared_ptr<svc::QueryService> service = svc::QueryService::open(cfg);
+  std::cout << "leader: tier bootstrapped, generation "
+            << service->backend().generation() << ", fingerprint "
+            << service->backend().fingerprint() << std::endl;
+
+  std::shared_ptr<net::ReplicationHub> hub;
+  if (!a.dir.empty()) {
+    hub = std::make_shared<net::ReplicationHub>(a.dir);
+    service->updatable_backend()->set_commit_listener(
+        [hub](const std::vector<svc::JournalRecord>& recs) {
+          hub->publish(recs);
+        });
+  }
+
+  net::ServiceServer server(net::Listener::bind(a.listen),
+                            [service] { return service; });
+  server.set_ingest_handler(
+      [service](const std::vector<svc::EdgeEvent>& events) {
+        return service->ingest(events);
+      });
+  if (hub)
+    server.set_subscribe_handler(
+        [hub](net::Socket s, std::uint64_t last_gen, bool have_state) {
+          hub->subscribe(std::move(s), last_gen, have_state);
+        });
+  std::cout << "LISTENING " << server.endpoint() << std::endl;
+  server.start();
+  server.wait();
+  std::cout << "leader: shut down" << std::endl;
+  return 0;
+}
+
+int run_replica(const Args& a) {
+  if (a.leader.empty()) {
+    std::cerr << "replica: --leader is required" << std::endl;
+    return 2;
+  }
+  auto node = std::make_shared<net::ReplicaNode>(a.leader);
+  node->start();
+  net::ServiceServer server(net::Listener::bind(a.listen),
+                            [node] { return node->service(); });
+  std::cout << "LISTENING " << server.endpoint() << std::endl;
+  server.start();
+  server.wait();
+  node->stop();
+  std::cout << "replica: shut down at generation "
+            << node->applied_generation() << std::endl;
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // A dropped replica/client connection must surface as a recv error, not
+  // kill the process.
+  ::signal(SIGPIPE, SIG_IGN);
+  const std::string usage =
+      "usage: net_server <shard|leader|replica> --listen EP "
+      "[--shards EP1,EP2,...] [--leader EP] [--n N] [--seed S] [--dir D]";
+  try {
+    Args a;
+    if (argc < 2 || !parse_args(argc, argv, a)) {
+      std::cerr << usage << std::endl;
+      return 2;
+    }
+    const std::string mode = argv[1];
+    if (mode == "shard") return run_shard(a);
+    if (mode == "leader") return run_leader(a);
+    if (mode == "replica") return run_replica(a);
+    std::cerr << usage << std::endl;
+    return 2;
+  } catch (const std::exception& e) {
+    std::cerr << "FATAL: " << e.what() << std::endl;
+    return 1;
+  }
+}

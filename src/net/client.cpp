@@ -1,0 +1,910 @@
+#include "net/client.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <optional>
+#include <queue>
+#include <shared_mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+
+#include "common/check.hpp"
+#include "graph/instance.hpp"
+#include "net/server.hpp"
+#include "service/snapshot.hpp"
+
+namespace mpcmst::service::net {
+
+// --- ShardConn ------------------------------------------------------------
+
+ShardConn::ShardConn(std::string endpoint, NetOptions opts)
+    : endpoint_(std::move(endpoint)), opts_(opts) {}
+
+void ShardConn::invalidate() {
+  std::lock_guard lock(mu_);
+  sock_.close();
+}
+
+Frame ShardConn::call(MsgType t, const ByteWriter& body) {
+  std::lock_guard lock(mu_);
+  RpcMetrics& m = rpc_metrics(t);
+  Frame reply;
+  for (int attempt = 0;; ++attempt) {
+    const std::uint64_t t0 = metrics_enabled() ? metrics_now_ns() : 0;
+    try {
+      if (!sock_.valid()) sock_ = dial(endpoint_, opts_);
+      const std::size_t tx = send_frame(sock_, t, body);
+      std::size_t rx = 0;
+      reply = recv_frame(sock_, &rx);
+      m.calls->inc();
+      m.bytes_tx->inc(tx);
+      m.bytes_rx->inc(rx);
+      if (t0 != 0) m.latency->record(metrics_now_ns() - t0);
+      break;
+    } catch (const ServiceError& e) {
+      sock_.close();
+      const bool transport = e.status() == ServiceStatus::kTimeout ||
+                             e.status() == ServiceStatus::kWireError;
+      net_counter(e.status() == ServiceStatus::kTimeout ? "timeouts"
+                                                        : "wire_errors")
+          .inc();
+      if (!transport || attempt >= opts_.reconnect_attempts)
+        throw ServiceError(e.status(), endpoint_ + ": " + e.what());
+      if (opts_.reconnect_backoff_ms > 0)
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(opts_.reconnect_backoff_ms));
+      net_counter("reconnects").inc();
+    }
+  }
+  if (reply.type == MsgType::kError) {
+    ServiceStatus status = ServiceStatus::kWireError;
+    std::string msg;
+    ByteReader r(reply.body.data(), reply.body.size());
+    if (!decode_error(r, status, msg)) msg = "malformed error reply";
+    throw ServiceError(status, endpoint_ + ": " + msg);
+  }
+  return reply;
+}
+
+namespace {
+
+// --- shared merge machinery -----------------------------------------------
+
+/// The networked reading of the router's epoch barrier: every state-reading
+/// reply that contributes to one merged answer must carry the same stamp.
+/// The leader pre-fills `expect` with its authoritative epoch; the read-only
+/// backend starts empty and requires mutual agreement.
+struct StampCheck {
+  std::optional<WireStamp> expect;
+
+  void observe(const WireStamp& s, const std::string& endpoint) {
+    if (!expect) {
+      expect = s;
+      return;
+    }
+    if (!(*expect == s))
+      throw ServiceError(
+          ServiceStatus::kEpochRetry,
+          endpoint + ": reply stamped generation " +
+              std::to_string(s.generation) + ", merge pinned to " +
+              std::to_string(expect->generation));
+  }
+};
+
+bool retryable(ServiceStatus s) {
+  return s == ServiceStatus::kEpochRetry || s == ServiceStatus::kTimeout ||
+         s == ServiceStatus::kWireError || s == ServiceStatus::kUnavailable;
+}
+
+Frame call_expect(ShardConn& c, MsgType req, const ByteWriter& body,
+                  MsgType want) {
+  Frame f = c.call(req, body);
+  if (f.type != want)
+    throw ServiceError(ServiceStatus::kWireError,
+                       c.endpoint() + ": unexpected " +
+                           std::string(to_string(f.type)) + " reply to " +
+                           to_string(req));
+  return f;
+}
+
+[[noreturn]] void truncated(const ShardConn& c, const char* what) {
+  throw ServiceError(ServiceStatus::kWireError,
+                     c.endpoint() + ": truncated " + std::string(what) +
+                         " reply");
+}
+
+/// Connection fan + the partition arithmetic of ShardedSensitivityIndex
+/// (stride-sized ranges, trailing shards may be empty).
+struct TierView {
+  const std::vector<std::shared_ptr<ShardConn>>& conns;
+  std::size_t n;
+  std::size_t stride;
+
+  std::size_t shard_of(Vertex v) const {
+    return std::min(static_cast<std::size_t>(v) / stride, conns.size() - 1);
+  }
+  bool in_bounds(Vertex u, Vertex v) const {
+    return u >= 0 && v >= 0 && u < static_cast<Vertex>(n) &&
+           v < static_cast<Vertex>(n);
+  }
+};
+
+WireStamp read_stamp(ByteReader& r, const ShardConn& c, const char* what) {
+  WireStamp s;
+  if (!decode_stamp(r, s) || !r.ok()) truncated(c, what);
+  return s;
+}
+
+/// Answer every point query in `qs` (fan-out kinds are skipped), writing
+/// into the parallel `out`.  The two-probe protocol of resolve(): round 0
+/// probes shard_of(u) (one batched RPC per shard), unresolved keys go to
+/// shard_of(v) in round 1, and a key neither shard knows is kUnknownEdge —
+/// exactly the in-process precedence, since a key lives in at most one
+/// shard's endpoint map.
+void answer_points(const TierView& t, const std::vector<Query>& qs,
+                   std::vector<Answer>& out, StampCheck& st) {
+  std::vector<std::vector<std::size_t>> probe(t.conns.size());
+  for (std::size_t i = 0; i < qs.size(); ++i) {
+    const Query& q = qs[i];
+    if (q.kind == QueryKind::kTopKFragile || q.kind == QueryKind::kStillMst)
+      continue;
+    if (!t.in_bounds(q.u, q.v)) {
+      out[i].status = Status::kUnknownEdge;
+      continue;
+    }
+    probe[t.shard_of(q.u)].push_back(i);
+  }
+  for (int round = 0; round < 2; ++round) {
+    std::vector<std::vector<std::size_t>> next(t.conns.size());
+    for (std::size_t s = 0; s < t.conns.size(); ++s) {
+      if (probe[s].empty()) continue;
+      ShardConn& conn = *t.conns[s];
+      ByteWriter body;
+      body.u64(probe[s].size());
+      for (const std::size_t i : probe[s]) encode_query(body, qs[i]);
+      Frame f = call_expect(conn, MsgType::kAnswerRun, body,
+                            MsgType::kAnswerRunReply);
+      ByteReader r(f.body.data(), f.body.size());
+      if (r.u64() != probe[s].size()) truncated(conn, "answer_run");
+      for (const std::size_t i : probe[s]) {
+        const bool resolved = r.u8() != 0;
+        Answer a;
+        if (!decode_answer(r, a)) truncated(conn, "answer_run");
+        if (resolved) {
+          out[i] = std::move(a);
+          continue;
+        }
+        const std::size_t second = t.shard_of(qs[i].v);
+        if (round == 0 && second != s)
+          next[second].push_back(i);
+        else
+          out[i].status = Status::kUnknownEdge;
+      }
+      st.observe(read_stamp(r, conn, "answer_run"), conn.endpoint());
+    }
+    probe = std::move(next);
+  }
+}
+
+/// merge_top_k (router.cpp) over per-shard prefix replies: each shard hands
+/// back its first min(k, |order|) fragility rows (already (sens, id)
+/// ascending), and the same min-heap interleaves them.  Consuming at most k
+/// rows total means the prefixes are always deep enough.
+Answer merged_top_k(const TierView& t, const Query& q, StampCheck& st) {
+  Answer a;
+  const std::size_t total = t.n ? t.n - 1 : 0;
+  const std::size_t k =
+      std::min<std::size_t>(static_cast<std::size_t>(q.k), total);
+  a.fragile.reserve(k);
+  if (k == 0) return a;
+  ByteWriter body;
+  body.i64(static_cast<std::int64_t>(k));
+  std::vector<std::vector<FragileEntry>> per(t.conns.size());
+  for (std::size_t s = 0; s < t.conns.size(); ++s) {
+    ShardConn& conn = *t.conns[s];
+    Frame f = call_expect(conn, MsgType::kTopK, body, MsgType::kTopKReply);
+    ByteReader r(f.body.data(), f.body.size());
+    per[s] = r.vec<FragileEntry>();
+    if (!r.ok()) truncated(conn, "top_k");
+    st.observe(read_stamp(r, conn, "top_k"), conn.endpoint());
+  }
+  struct Head {
+    Weight sens;
+    Vertex child;
+    std::size_t shard;
+    std::size_t pos;
+  };
+  const auto after = [](const Head& x, const Head& y) {
+    return x.sens != y.sens ? x.sens > y.sens : x.child > y.child;
+  };
+  std::priority_queue<Head, std::vector<Head>, decltype(after)> heap(after);
+  for (std::size_t s = 0; s < per.size(); ++s)
+    if (!per[s].empty())
+      heap.push(Head{per[s][0].sens, per[s][0].child, s, 0});
+  while (a.fragile.size() < k && !heap.empty()) {
+    const Head head = heap.top();
+    heap.pop();
+    a.fragile.push_back(per[head.shard][head.pos]);
+    const std::size_t next = head.pos + 1;
+    if (next < per[head.shard].size())
+      heap.push(Head{per[head.shard][next].sens, per[head.shard][next].child,
+                     head.shard, next});
+  }
+  return a;
+}
+
+/// merge_still_mst's fan-out half over an already-resolved batch: every
+/// shard certifies its roster against the batch, the certificates merge to
+/// global ascending orig_id.
+Answer merged_still_mst(const TierView& t,
+                        const std::vector<verify::ResolvedChange>& resolved,
+                        StampCheck& st) {
+  Answer a;
+  ByteWriter body;
+  encode_resolved_changes(body, resolved);
+  for (std::size_t s = 0; s < t.conns.size(); ++s) {
+    ShardConn& conn = *t.conns[s];
+    Frame f = call_expect(conn, MsgType::kCertify, body,
+                          MsgType::kCertifyReply);
+    ByteReader r(f.body.data(), f.body.size());
+    const std::vector<verify::ViolationCert> certs =
+        r.vec<verify::ViolationCert>();
+    if (!r.ok()) truncated(conn, "certify");
+    st.observe(read_stamp(r, conn, "certify"), conn.endpoint());
+    a.certificates.insert(a.certificates.end(), certs.begin(), certs.end());
+  }
+  std::sort(a.certificates.begin(), a.certificates.end(),
+            [](const verify::ViolationCert& x, const verify::ViolationCert& y) {
+              return x.orig_id < y.orig_id;
+            });
+  a.still_optimal = a.certificates.empty();
+  return a;
+}
+
+/// Two-probe batched endpoint resolution (the remote form of resolve()).
+std::vector<std::optional<EdgeRef>> find_keys(
+    const TierView& t, const std::vector<std::pair<Vertex, Vertex>>& keys,
+    StampCheck& st) {
+  std::vector<std::optional<EdgeRef>> out(keys.size());
+  std::vector<std::vector<std::size_t>> probe(t.conns.size());
+  for (std::size_t i = 0; i < keys.size(); ++i)
+    if (t.in_bounds(keys[i].first, keys[i].second))
+      probe[t.shard_of(keys[i].first)].push_back(i);
+  for (int round = 0; round < 2; ++round) {
+    std::vector<std::vector<std::size_t>> next(t.conns.size());
+    for (std::size_t s = 0; s < t.conns.size(); ++s) {
+      if (probe[s].empty()) continue;
+      ShardConn& conn = *t.conns[s];
+      ByteWriter body;
+      body.u64(probe[s].size());
+      for (const std::size_t i : probe[s]) {
+        body.i64(keys[i].first);
+        body.i64(keys[i].second);
+      }
+      Frame f =
+          call_expect(conn, MsgType::kFindRun, body, MsgType::kFindRunReply);
+      ByteReader r(f.body.data(), f.body.size());
+      if (r.u64() != probe[s].size()) truncated(conn, "find_run");
+      for (const std::size_t i : probe[s]) {
+        const bool has = r.u8() != 0;
+        const bool is_tree = r.u8() != 0;
+        const std::int64_t id = r.i64();
+        if (has) {
+          out[i] = EdgeRef{is_tree, id};
+          continue;
+        }
+        const std::size_t second = t.shard_of(keys[i].second);
+        if (round == 0 && second != s) next[second].push_back(i);
+      }
+      if (!r.ok()) truncated(conn, "find_run");
+      st.observe(read_stamp(r, conn, "find_run"), conn.endpoint());
+    }
+    probe = std::move(next);
+  }
+  return out;
+}
+
+// --- RemoteShardBackend ---------------------------------------------------
+
+/// Read-only attach to a running tier.  All tier-shape fields are cached
+/// from the shards' kMeta replies.  Every operation pins its expected stamp
+/// to the cached one before fanning out, so a reply from a newer epoch —
+/// whose n/stride may no longer match the cached routing view — surfaces as
+/// kEpochRetry, refreshes the metas, and retries against the new shape
+/// rather than mis-routing (e.g. a vertex attach changes the stride).
+class RemoteShardBackend final : public IndexBackend {
+ public:
+  RemoteShardBackend(const std::vector<std::string>& endpoints,
+                     NetOptions opts) {
+    MPCMST_CHECK(!endpoints.empty(),
+                 "remote backend: the endpoint list is empty");
+    conns_.reserve(endpoints.size());
+    for (const std::string& ep : endpoints)
+      conns_.push_back(std::make_shared<ShardConn>(ep, opts));
+    refresh_metas();
+  }
+
+  Answer answer(const Query& q) const override {
+    return with_retry([&](StampCheck& st) { return answer_at(q, st); });
+  }
+
+  std::vector<Answer> answer_many(
+      const std::vector<Query>& qs) const override {
+    return with_retry([&](StampCheck& st) {
+      const TierView t = view();
+      std::vector<Answer> out(qs.size());
+      for (std::size_t i = 0; i < qs.size(); ++i)
+        if (qs[i].kind == QueryKind::kTopKFragile ||
+            qs[i].kind == QueryKind::kStillMst)
+          out[i] = answer_at(qs[i], st);
+      answer_points(t, qs, out, st);
+      return out;
+    });
+  }
+
+  std::size_t n() const override {
+    return n_.load(std::memory_order_acquire);
+  }
+  std::size_t num_nontree() const override {
+    return num_nontree_.load(std::memory_order_acquire);
+  }
+  bool is_mst() const override { return violations() == 0; }
+  std::size_t violations() const override {
+    return violations_.load(std::memory_order_acquire);
+  }
+  std::uint64_t fingerprint() const override {
+    return fingerprint_.load(std::memory_order_acquire);
+  }
+  const CostReceipt& receipt() const override { return receipt_; }
+  std::size_t num_shards() const override { return conns_.size(); }
+  std::uint64_t generation() const override {
+    return generation_.load(std::memory_order_acquire);
+  }
+  bool batched_runs() const override { return true; }
+
+  std::size_t shard_hint(const Query& q) const override {
+    if (q.kind == QueryKind::kTopKFragile || q.kind == QueryKind::kStillMst)
+      return 0;
+    const Vertex a = std::min(q.u, q.v);
+    if (a < 0 || a >= static_cast<Vertex>(n())) return 0;
+    return view().shard_of(a);
+  }
+
+  std::optional<EdgeRef> find(Vertex u, Vertex v) const override {
+    return with_retry([&](StampCheck& st) {
+      return find_keys(view(), {{u, v}}, st)[0];
+    });
+  }
+
+  std::optional<NonTreeEdgeInfo> nontree_info(
+      std::int64_t orig_id) const override {
+    return with_retry(
+        [&](StampCheck& st) -> std::optional<NonTreeEdgeInfo> {
+          const TierView t = view();
+          ByteWriter body;
+          body.i64(orig_id);
+          for (const auto& conn : t.conns) {
+            Frame f = call_expect(*conn, MsgType::kNontreeInfo, body,
+                                  MsgType::kNontreeInfoReply);
+            ByteReader r(f.body.data(), f.body.size());
+            const bool has = r.u8() != 0;
+            const NonTreeEdgeInfo info = r.pod<NonTreeEdgeInfo>();
+            st.observe(read_stamp(r, *conn, "nontree_info"),
+                       conn->endpoint());
+            if (has) return info;
+          }
+          return std::nullopt;
+        });
+  }
+
+ private:
+  TierView view() const {
+    return TierView{conns_, n_.load(std::memory_order_acquire),
+                    stride_.load(std::memory_order_acquire)};
+  }
+
+  Answer answer_at(const Query& q, StampCheck& st) const {
+    const TierView t = view();
+    if (q.kind == QueryKind::kTopKFragile) return merged_top_k(t, q, st);
+    if (q.kind == QueryKind::kStillMst) {
+      Answer a;
+      std::vector<std::pair<Vertex, Vertex>> keys;
+      keys.reserve(q.changes.size());
+      for (const PriceChange& c : q.changes) keys.emplace_back(c.u, c.v);
+      const auto refs = find_keys(t, keys, st);
+      std::vector<verify::ResolvedChange> resolved;
+      resolved.reserve(keys.size());
+      for (std::size_t i = 0; i < keys.size(); ++i) {
+        if (!refs[i]) {
+          a.status = Status::kUnknownEdge;
+          return a;
+        }
+        resolved.push_back(verify::ResolvedChange{
+            refs[i]->is_tree, refs[i]->id, q.changes[i].new_w});
+      }
+      return merged_still_mst(t, resolved, st);
+    }
+    const std::vector<Query> qs{q};
+    std::vector<Answer> out(1);
+    answer_points(t, qs, out, st);
+    return out[0];
+  }
+
+  template <typename Fn>
+  std::invoke_result_t<Fn&, StampCheck&> with_retry(Fn&& fn) const {
+    for (int attempt = 0;; ++attempt) {
+      try {
+        // Pin the expected stamp to the cached one: the routing view (n,
+        // stride) read inside fn() belongs to this stamp, so any reply from
+        // a different epoch must force a refresh + retry, never a silent
+        // merge over a stale view.
+        StampCheck st;
+        {
+          std::lock_guard lock(stamp_mu_);
+          st.expect =
+              WireStamp{generation_.load(std::memory_order_relaxed),
+                        fingerprint_.load(std::memory_order_relaxed)};
+        }
+        return fn(st);
+      } catch (const ServiceError& e) {
+        if (attempt >= 2 || !retryable(e.status())) throw;
+        if (e.status() == ServiceStatus::kEpochRetry)
+          net_counter("epoch_retries").inc();
+        refresh_metas();
+      }
+    }
+  }
+
+  /// Fetch every shard's kMeta, cross-validate, and install the tier shape.
+  /// Shards disagreeing among themselves (an update torn across the reads)
+  /// surface as kEpochRetry so with_retry simply tries again.
+  void refresh_metas() const {
+    std::vector<WireMeta> metas(conns_.size());
+    for (std::size_t i = 0; i < conns_.size(); ++i) {
+      Frame f = call_expect(*conns_[i], MsgType::kMeta, ByteWriter(),
+                            MsgType::kMetaReply);
+      ByteReader r(f.body.data(), f.body.size());
+      if (!decode_meta(r, metas[i])) truncated(*conns_[i], "meta");
+      if (metas[i].num_shards != conns_.size() || metas[i].shard_index != i)
+        throw ServiceError(
+            ServiceStatus::kInvalidRequest,
+            conns_[i]->endpoint() + ": serves shard " +
+                std::to_string(metas[i].shard_index) + " of " +
+                std::to_string(metas[i].num_shards) +
+                ", endpoint list expects shard " + std::to_string(i) +
+                " of " + std::to_string(conns_.size()));
+      if (metas[i].n != metas[0].n || metas[i].stride != metas[0].stride ||
+          metas[i].fingerprint != metas[0].fingerprint ||
+          metas[i].generation != metas[0].generation)
+        throw ServiceError(ServiceStatus::kEpochRetry,
+                           conns_[i]->endpoint() +
+                               ": meta disagrees with shard 0 (torn update "
+                               "or mixed tiers)");
+    }
+    std::lock_guard lock(stamp_mu_);
+    n_.store(metas[0].n, std::memory_order_release);
+    stride_.store(metas[0].stride, std::memory_order_release);
+    num_nontree_.store(metas[0].num_nontree, std::memory_order_release);
+    violations_.store(metas[0].violations, std::memory_order_release);
+    if (metas[0].generation >=
+        generation_.load(std::memory_order_relaxed)) {
+      generation_.store(metas[0].generation, std::memory_order_release);
+      fingerprint_.store(metas[0].fingerprint, std::memory_order_release);
+    }
+    receipt_ = metas[0].receipt;
+  }
+
+  std::vector<std::shared_ptr<ShardConn>> conns_;
+  mutable std::mutex stamp_mu_;
+  mutable std::atomic<std::size_t> n_{0};
+  mutable std::atomic<std::size_t> stride_{1};
+  mutable std::atomic<std::size_t> num_nontree_{0};
+  mutable std::atomic<std::size_t> violations_{0};
+  mutable std::atomic<std::uint64_t> generation_{0};
+  mutable std::atomic<std::uint64_t> fingerprint_{0};
+  mutable CostReceipt receipt_;
+};
+
+// --- LeaderShardedBackend -------------------------------------------------
+
+/// The UpdatableBackend that owns a networked tier: same LiveCore, same
+/// commit path as LiveShardedBackend, with scatter() replaced by one kPatch
+/// RPC per shard (the servers apply it through the identical shard patch
+/// primitives).  A shard whose patch RPC fails — or that answers a query
+/// with a foreign stamp after a restart — is marked dirty and
+/// re-bootstrapped from the authoritative core on the next unique-lock
+/// section; the leader itself never poisons on shard faults, only on its
+/// own journal-commit failures.
+class LeaderShardedBackend final : public UpdatableBackend {
+ public:
+  LeaderShardedBackend(graph::Instance inst,
+                       std::shared_ptr<const SensitivityIndex> snapshot,
+                       const std::vector<std::string>& endpoints,
+                       NetOptions opts)
+      : core_(std::move(inst), snapshot) {
+    MPCMST_CHECK(!endpoints.empty(), "leader: the endpoint list is empty");
+    MPCMST_CHECK(
+        endpoints.size() == clamp_shard_count(endpoints.size(), snapshot->n()),
+        "leader: " << endpoints.size() << " shard endpoints for "
+                   << snapshot->n()
+                   << " vertices (a shard must own at least one vertex)");
+    conns_.reserve(endpoints.size());
+    for (const std::string& ep : endpoints)
+      conns_.push_back(std::make_shared<ShardConn>(ep, opts));
+    dirty_.assign(conns_.size(), 1);
+    const auto split =
+        ShardedSensitivityIndex::split(*snapshot, endpoints.size());
+    receipt_ = split->receipt();
+    n_.store(split->n(), std::memory_order_release);
+    stride_.store(split->stride(), std::memory_order_release);
+    bootstrap_locked(*split, 0);
+    MPCMST_CHECK(!dirty_any_.load(std::memory_order_relaxed),
+                 "leader: could not bootstrap every shard server");
+  }
+
+  Answer answer(const Query& q) const override {
+    return query_with_resync([&](StampCheck& st) { return answer_at(q, st); });
+  }
+
+  std::vector<Answer> answer_many(
+      const std::vector<Query>& qs) const override {
+    return query_with_resync([&](StampCheck& st) {
+      std::vector<Answer> out(qs.size());
+      for (std::size_t i = 0; i < qs.size(); ++i)
+        if (qs[i].kind == QueryKind::kTopKFragile ||
+            qs[i].kind == QueryKind::kStillMst)
+          out[i] = answer_at(qs[i], st);
+      answer_points(view(), qs, out, st);
+      return out;
+    });
+  }
+
+  std::size_t n() const override {
+    std::shared_lock lock(mu_);
+    return core_.index().n();
+  }
+  std::size_t num_nontree() const override {
+    std::shared_lock lock(mu_);
+    return core_.index().num_nontree();
+  }
+  bool is_mst() const override { return violations() == 0; }
+  std::size_t violations() const override {
+    std::shared_lock lock(mu_);
+    return core_.index().violations();
+  }
+  std::uint64_t fingerprint() const override {
+    std::shared_lock lock(mu_);
+    return core_.index().fingerprint();
+  }
+  const CostReceipt& receipt() const override { return receipt_; }
+  std::size_t num_shards() const override { return conns_.size(); }
+  std::uint64_t generation() const override {
+    return generation_.load(std::memory_order_acquire);
+  }
+  bool batched_runs() const override { return true; }
+
+  /// Partition arithmetic only, lock-free (the batch fast path calls this
+  /// while workers hold the shared lock) — mirrors point_query_shard.
+  std::size_t shard_hint(const Query& q) const override {
+    if (q.kind == QueryKind::kTopKFragile || q.kind == QueryKind::kStillMst)
+      return 0;
+    const Vertex a = std::min(q.u, q.v);
+    if (a < 0 ||
+        a >= static_cast<Vertex>(n_.load(std::memory_order_acquire)))
+      return 0;
+    return std::min(
+        static_cast<std::size_t>(a) / stride_.load(std::memory_order_acquire),
+        conns_.size() - 1);
+  }
+
+  std::optional<EdgeRef> find(Vertex u, Vertex v) const override {
+    std::shared_lock lock(mu_);
+    return core_.index().find(u, v);
+  }
+
+  std::optional<NonTreeEdgeInfo> nontree_info(
+      std::int64_t orig_id) const override {
+    std::shared_lock lock(mu_);
+    if (orig_id < 0 ||
+        orig_id >= static_cast<std::int64_t>(core_.index().num_nontree()))
+      return std::nullopt;
+    return core_.index().nontree_edge(orig_id);
+  }
+
+  std::vector<UpdateReceipt> ingest(
+      const std::vector<EdgeEvent>& events) override {
+    const bool timed = metrics_enabled();
+    std::vector<UpdateReceipt> receipts;
+    std::vector<std::uint64_t> durations;
+    receipts.reserve(events.size());
+    durations.reserve(events.size());
+    std::unique_lock lock(mu_);
+    check_not_poisoned();
+    resync_locked();  // heal restarted shards before advancing the epoch
+    std::uint64_t epoch = generation_.load(std::memory_order_relaxed);
+    std::vector<JournalRecord> staged;
+    // Same group-commit section as LiveShardedBackend::ingest, with
+    // scatter() swapped for ship().  A throw from the core or the journal
+    // poisons (applied-but-unjournaled state must not serve); a shard RPC
+    // fault does NOT — ship() marks the shard dirty and the authoritative
+    // core re-bootstraps it later.
+    try {
+      for (const EdgeEvent& ev : events) {
+        const std::uint64_t t0 = timed ? metrics_now_ns() : 0;
+        const std::uint64_t old_fp = core_.index().fingerprint();
+        const auto out = core_.apply_event(ev);
+        UpdateReceipt r = make_update_receipt(core_, out, old_fp);
+        if (advances_epoch(r.report)) {
+          ++epoch;
+          staged.push_back(make_journal_record(epoch, r, ev));
+          ship(out.changed, epoch);
+        }
+        r.generation = epoch;
+        receipts.push_back(std::move(r));
+        durations.push_back(timed ? metrics_now_ns() - t0 : 0);
+      }
+      if (persist_ && !staged.empty()) persist_->commit_batch(staged);
+    } catch (...) {
+      poisoned_.store(true, std::memory_order_release);
+      throw;
+    }
+    generation_.store(epoch, std::memory_order_release);
+    if (commit_listener_ && !staged.empty()) commit_listener_(staged);
+    try {
+      if (persist_ && persist_->checkpoint_due())
+        persist_->checkpoint(epoch, core_.index(), nullptr);
+    } catch (...) {
+      poisoned_.store(true, std::memory_order_release);
+      throw;
+    }
+    lock.unlock();
+    for (std::size_t i = 0; i < receipts.size(); ++i)
+      record_update_telemetry(receipts[i], durations[i]);
+    return receipts;
+  }
+
+  graph::Instance instance_snapshot() const override {
+    std::shared_lock lock(mu_);
+    return core_.instance();
+  }
+
+  void attach_persistence(std::shared_ptr<Persistence> p) override {
+    std::unique_lock lock(mu_);
+    persist_ = std::move(p);
+  }
+
+  void checkpoint() override {
+    std::unique_lock lock(mu_);
+    check_not_poisoned();
+    if (!persist_) return;
+    persist_->checkpoint(generation_.load(std::memory_order_relaxed),
+                         core_.index(), nullptr);
+  }
+
+ private:
+  void check_not_poisoned() const {
+    if (poisoned_.load(std::memory_order_acquire))
+      throw ServiceError(
+          ServiceStatus::kPoisoned,
+          "leader backend is poisoned: a journal commit failed after the "
+          "state mutated; recover the tier from its persistence dir");
+  }
+
+  TierView view() const {
+    return TierView{conns_, n_.load(std::memory_order_acquire),
+                    stride_.load(std::memory_order_acquire)};
+  }
+
+  Answer answer_at(const Query& q, StampCheck& st) const {
+    const TierView t = view();
+    if (q.kind == QueryKind::kTopKFragile) return merged_top_k(t, q, st);
+    if (q.kind == QueryKind::kStillMst) {
+      // The leader resolves the batch against its authoritative core (the
+      // identical precedence resolve() applies), then fans the certification
+      // out to the shard rosters.
+      Answer a;
+      std::vector<verify::ResolvedChange> resolved;
+      a.status = resolve_changes(
+          [this](Vertex u, Vertex v) { return core_.index().find(u, v); },
+          q.changes, resolved);
+      if (a.status != Status::kOk) return a;
+      return merged_still_mst(t, resolved, st);
+    }
+    const std::vector<Query> qs{q};
+    std::vector<Answer> out(1);
+    answer_points(t, qs, out, st);
+    return out[0];
+  }
+
+  template <typename Fn>
+  std::invoke_result_t<Fn&, StampCheck&> query_with_resync(Fn&& fn) const {
+    check_not_poisoned();
+    for (int attempt = 0;; ++attempt) {
+      if (!dirty_any_.load(std::memory_order_acquire)) {
+        std::shared_lock lock(mu_);
+        try {
+          StampCheck st;
+          st.expect = WireStamp{generation_.load(std::memory_order_relaxed),
+                                core_.index().fingerprint()};
+          return fn(st);
+        } catch (const ServiceError& e) {
+          if (attempt >= 2 || !retryable(e.status())) throw;
+          if (e.status() == ServiceStatus::kEpochRetry)
+            net_counter("epoch_retries").inc();
+          // Somebody answered with foreign state or dropped the connection;
+          // suspect the whole tier and re-verify under the writer lock.
+          tier_suspect_.store(true, std::memory_order_release);
+        }
+      } else if (attempt >= 2) {
+        throw ServiceError(ServiceStatus::kUnavailable,
+                           "shard tier degraded: a shard server cannot be "
+                           "reached or re-bootstrapped");
+      }
+      std::unique_lock lock(mu_);
+      if (tier_suspect_.exchange(false, std::memory_order_acq_rel)) {
+        std::fill(dirty_.begin(), dirty_.end(), 1);
+        dirty_any_.store(true, std::memory_order_release);
+      }
+      resync_locked();
+    }
+  }
+
+  /// Re-verify every dirty shard (cheap kMeta probe against the leader's
+  /// epoch) and re-bootstrap the ones that really lost their slice.  Caller
+  /// holds the unique lock.
+  void resync_locked() const {
+    if (!dirty_any_.load(std::memory_order_relaxed)) return;
+    const std::uint64_t epoch = generation_.load(std::memory_order_relaxed);
+    const std::uint64_t fp = core_.index().fingerprint();
+    std::vector<std::size_t> need;
+    for (std::size_t i = 0; i < conns_.size(); ++i) {
+      if (!dirty_[i]) continue;
+      try {
+        Frame f = call_expect(*conns_[i], MsgType::kMeta, ByteWriter(),
+                              MsgType::kMetaReply);
+        ByteReader r(f.body.data(), f.body.size());
+        WireMeta m;
+        if (decode_meta(r, m) && m.generation == epoch &&
+            m.fingerprint == fp && m.shard_index == i &&
+            m.num_shards == conns_.size() && m.n == core_.index().n()) {
+          dirty_[i] = 0;
+          continue;
+        }
+      } catch (const ServiceError&) {
+        // Unreachable or unbootstrapped; fall through to a bootstrap try.
+      }
+      need.push_back(i);
+    }
+    if (!need.empty()) {
+      const auto split =
+          ShardedSensitivityIndex::split(core_.index(), conns_.size());
+      std::vector<ShardHostState> states = make_host_states(*split, receipt_);
+      for (const std::size_t i : need) {
+        states[i].meta.generation = epoch;
+        states[i].shard.generation = epoch;
+        ByteWriter body;
+        encode_host_state(body, states[i]);
+        try {
+          call_expect(*conns_[i], MsgType::kBootstrap, body, MsgType::kOk);
+          dirty_[i] = 0;
+          net_counter("shard_rebootstraps").inc();
+        } catch (const ServiceError&) {
+          // Still down; stays dirty.
+        }
+      }
+    }
+    dirty_any_.store(
+        std::any_of(dirty_.begin(), dirty_.end(), [](char d) { return d != 0; }),
+        std::memory_order_release);
+  }
+
+  /// Ship every shard its slice of `idx` stamped with `epoch`.  Failures
+  /// mark the shard dirty instead of throwing.  Caller holds the unique
+  /// lock (or is the constructor).
+  void bootstrap_locked(const ShardedSensitivityIndex& idx,
+                        std::uint64_t epoch) const {
+    std::vector<ShardHostState> states = make_host_states(idx, receipt_);
+    for (std::size_t i = 0; i < states.size(); ++i) {
+      states[i].meta.generation = epoch;
+      states[i].shard.generation = epoch;
+      ByteWriter body;
+      encode_host_state(body, states[i]);
+      try {
+        call_expect(*conns_[i], MsgType::kBootstrap, body, MsgType::kOk);
+        dirty_[i] = 0;
+      } catch (const ServiceError&) {
+        dirty_[i] = 1;
+        net_counter("bootstrap_failures").inc();
+      }
+    }
+    dirty_any_.store(
+        std::any_of(dirty_.begin(), dirty_.end(), [](char d) { return d != 0; }),
+        std::memory_order_release);
+  }
+
+  /// The networked scatter(): broadcast one committed update's repairs.
+  void ship(const ChangedSet& changed, std::uint64_t epoch) {
+    const SensitivityIndex& m = core_.index();
+    if (changed.full) {
+      // A swap relabeled everything — re-split the relabeled monolith and
+      // re-bootstrap, the same re-split scatter() performs in-process.
+      const auto split = ShardedSensitivityIndex::split(m, conns_.size());
+      n_.store(split->n(), std::memory_order_release);
+      stride_.store(split->stride(), std::memory_order_release);
+      bootstrap_locked(*split, epoch);
+      return;
+    }
+    WirePatch p;
+    p.epoch = epoch;
+    p.fingerprint = m.fingerprint();
+    p.num_nontree = m.num_nontree();
+    p.tree_children.reserve(changed.tree_children.size());
+    p.tree_infos.reserve(changed.tree_children.size());
+    for (const Vertex c : changed.tree_children) {
+      p.tree_children.push_back(c);
+      p.tree_infos.push_back(m.tree_edge(c));
+    }
+    p.nontree_ids.reserve(changed.nontree_ids.size());
+    p.nontree_infos.reserve(changed.nontree_ids.size());
+    for (const std::int64_t id : changed.nontree_ids) {
+      p.nontree_ids.push_back(id);
+      p.nontree_infos.push_back(m.nontree_edge(id));
+    }
+    p.endpoint_keys.reserve(changed.endpoints.size());
+    for (const auto& [key, ref] : changed.endpoints) {
+      p.endpoint_keys.push_back(key);
+      p.endpoint_is_tree.push_back(ref.is_tree ? 1 : 0);
+      p.endpoint_ids.push_back(ref.id);
+    }
+    ByteWriter body;
+    encode_patch(body, p);
+    bool newly_dirty = false;
+    for (std::size_t i = 0; i < conns_.size(); ++i) {
+      if (dirty_[i]) continue;  // already owes a bootstrap; skip the patch
+      try {
+        call_expect(*conns_[i], MsgType::kPatch, body, MsgType::kOk);
+      } catch (const ServiceError&) {
+        dirty_[i] = 1;
+        newly_dirty = true;
+        net_counter("patch_failures").inc();
+      }
+    }
+    if (newly_dirty) dirty_any_.store(true, std::memory_order_release);
+  }
+
+  mutable std::shared_mutex mu_;
+  LiveCore core_;
+  std::vector<std::shared_ptr<ShardConn>> conns_;
+  CostReceipt receipt_;
+  std::atomic<std::uint64_t> generation_{0};
+  std::atomic<std::size_t> n_{0};
+  std::atomic<std::size_t> stride_{1};
+  std::shared_ptr<Persistence> persist_;  // null: in-memory only
+  std::atomic<bool> poisoned_{false};
+  // Shard health: dirty_ entries flip under the unique lock (or the ctor);
+  // dirty_any_ is the lock-free fast-path summary; tier_suspect_ carries a
+  // reader's failure report to the next unique-lock resync.
+  mutable std::vector<char> dirty_;
+  mutable std::atomic<bool> dirty_any_{false};
+  mutable std::atomic<bool> tier_suspect_{false};
+};
+
+}  // namespace
+
+// --- factories ------------------------------------------------------------
+
+std::shared_ptr<const IndexBackend> make_remote_backend(
+    const std::vector<std::string>& endpoints, NetOptions opts) {
+  return std::make_shared<RemoteShardBackend>(endpoints, opts);
+}
+
+std::shared_ptr<UpdatableBackend> make_leader_backend(
+    mpc::Engine& eng, const graph::Instance& inst,
+    const std::vector<std::string>& endpoints, NetOptions opts) {
+  return std::make_shared<LeaderShardedBackend>(
+      inst, SensitivityIndex::build(eng, inst), endpoints, opts);
+}
+
+}  // namespace mpcmst::service::net

@@ -1,0 +1,601 @@
+#include "net/server.hpp"
+
+#include <poll.h>
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.hpp"
+#include "verify/still_mst.hpp"
+
+namespace mpcmst::service::net {
+
+namespace {
+
+/// Wait for readability so idle server connections can poll the stop flag
+/// without consuming partial frames: -1 error/close, 0 idle, 1 readable.
+int wait_readable(const Socket& s, int timeout_ms) {
+  pollfd pfd{s.fd(), POLLIN, 0};
+  const int rc = ::poll(&pfd, 1, timeout_ms);
+  if (rc < 0) return errno == EINTR ? 0 : -1;
+  if (rc == 0) return 0;
+  if (pfd.revents & (POLLERR | POLLNVAL)) return -1;
+  return 1;
+}
+
+MsgType write_error(ByteWriter& rep, ServiceStatus status,
+                    const std::string& msg) {
+  encode_error(rep, status, msg);
+  return MsgType::kError;
+}
+
+void send_error(Socket& s, ServiceStatus status, const std::string& msg) {
+  ByteWriter body;
+  encode_error(body, status, msg);
+  try {
+    send_frame(s, MsgType::kError, body);
+  } catch (const ServiceError&) {
+    // Best effort: the peer may already be gone.
+  }
+}
+
+}  // namespace
+
+// --- ShardHost ------------------------------------------------------------
+
+ShardHost::ShardHost(ShardHostState st)
+    : meta_(st.meta),
+      shard_(std::move(st.shard)),
+      parent_(std::move(st.parent)),
+      tree_w_(std::move(st.tree_w)) {
+  MPCMST_CHECK(parent_.size() == meta_.n && tree_w_.size() == meta_.n,
+               "shard host: tree mirrors sized " << parent_.size() << "/"
+                                                 << tree_w_.size()
+                                                 << " for n = " << meta_.n);
+  graph::RootedTree tree;
+  tree.n = meta_.n;
+  tree.root = meta_.root;
+  tree.parent = parent_;
+  tree.weight = tree_w_;
+  if (meta_.n > 0) {
+    MPCMST_CHECK(meta_.root >= 0 &&
+                     static_cast<std::size_t>(meta_.root) < meta_.n,
+                 "shard host: root " << meta_.root << " outside [0, "
+                                     << meta_.n << ")");
+    tree.parent[static_cast<std::size_t>(meta_.root)] = meta_.root;
+    MPCMST_CHECK(tree.well_formed(),
+                 "shard host: shipped parent column is not a rooted tree");
+    topo_ = verify::TreeTopology(tree);
+  }
+}
+
+std::size_t ShardHost::shard_of(Vertex v) const {
+  return std::min(static_cast<std::size_t>(v) / meta_.stride,
+                  static_cast<std::size_t>(meta_.num_shards) - 1);
+}
+
+MsgType ShardHost::answer_run(ByteReader& req, ByteWriter& rep) const {
+  const std::uint64_t count = req.u64();
+  std::vector<Query> qs(static_cast<std::size_t>(
+      req.ok() && count <= (1u << 24) ? count : 0));
+  if (qs.size() != count)
+    return write_error(rep, ServiceStatus::kInvalidRequest,
+                       "answer_run: unreasonable query count");
+  for (Query& q : qs) {
+    if (!decode_query(req, q))
+      return write_error(rep, ServiceStatus::kWireError,
+                         "answer_run: truncated query");
+    if (q.kind == QueryKind::kTopKFragile || q.kind == QueryKind::kStillMst)
+      return write_error(rep, ServiceStatus::kInvalidRequest,
+                         "answer_run carries a fan-out query; use "
+                         "top_k/certify");
+  }
+  rep.u64(qs.size());
+  for (const Query& q : qs) {
+    // Local-resolution half of ShardedSensitivityIndex::resolve(): the
+    // client owns bounds checks and the second probe; an entry found here
+    // always has its labels here (shard.hpp's ownership invariant).
+    const std::optional<EdgeRef> ref = shard_.find(endpoint_key(q.u, q.v));
+    if (!ref) {
+      rep.u8(0);
+      encode_answer(rep, Answer{});
+      continue;
+    }
+    rep.u8(1);
+    if (ref->is_tree) {
+      encode_answer(rep,
+                    answer_for_tree_edge(q, *ref, shard_.tree_edge(ref->id)));
+    } else {
+      const std::optional<NonTreeEdgeInfo> e = shard_.nontree_edge(ref->id);
+      MPCMST_ASSERT(e.has_value(), "shard host: resolved non-tree edge "
+                                       << ref->id << " missing locally");
+      encode_answer(rep, answer_for_nontree_edge(q, *ref, *e));
+    }
+  }
+  encode_stamp(rep, stamp());
+  return MsgType::kAnswerRunReply;
+}
+
+MsgType ShardHost::top_k(ByteReader& req, ByteWriter& rep) const {
+  const std::int64_t k = req.i64();
+  if (!req.ok() || k < 0)
+    return write_error(rep, ServiceStatus::kInvalidRequest, "top_k: bad k");
+  const std::size_t take = std::min<std::size_t>(
+      static_cast<std::size_t>(k), shard_.fragile_order.size());
+  std::vector<FragileEntry> entries;
+  entries.reserve(take);
+  for (std::size_t i = 0; i < take; ++i) {
+    const Vertex child = shard_.fragile_order[i];
+    entries.push_back(make_fragile_entry(child, shard_.tree_edge(child)));
+  }
+  rep.vec(entries);
+  encode_stamp(rep, stamp());
+  return MsgType::kTopKReply;
+}
+
+MsgType ShardHost::certify(ByteReader& req, ByteWriter& rep) const {
+  std::vector<verify::ResolvedChange> changes;
+  if (!decode_resolved_changes(req, changes))
+    return write_error(rep, ServiceStatus::kWireError,
+                       "certify: truncated change batch");
+  // The per-shard half of merge_still_mst (router.cpp): certify the local
+  // roster, tree weights from the full mirror, path questions from the
+  // local topology view.
+  const verify::BatchCertifier cert(
+      topo_,
+      [this](Vertex child) {
+        return tree_w_[static_cast<std::size_t>(child)];
+      },
+      changes);
+  std::vector<verify::ViolationCert> certs;
+  for (std::size_t r = 0; r < shard_.nontree_ids.size(); ++r)
+    if (const auto viol = cert.certify(shard_.nontree_ids[r],
+                                       shard_.nontree.u[r], shard_.nontree.v[r],
+                                       shard_.nontree.w[r],
+                                       shard_.nontree.maxpath[r]))
+      certs.push_back(*viol);
+  rep.vec(certs);
+  encode_stamp(rep, stamp());
+  return MsgType::kCertifyReply;
+}
+
+MsgType ShardHost::find_run(ByteReader& req, ByteWriter& rep) const {
+  const std::uint64_t count = req.u64();
+  if (!req.ok() || count > req.remaining() / 16)
+    return write_error(rep, ServiceStatus::kWireError,
+                       "find_run: truncated key list");
+  rep.u64(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const Vertex u = req.i64();
+    const Vertex v = req.i64();
+    const std::optional<EdgeRef> ref = shard_.find(endpoint_key(u, v));
+    rep.u8(ref.has_value() ? 1 : 0);
+    rep.u8(ref && ref->is_tree ? 1 : 0);
+    rep.i64(ref ? ref->id : -1);
+  }
+  if (!req.ok())
+    return write_error(rep, ServiceStatus::kWireError,
+                       "find_run: truncated key list");
+  encode_stamp(rep, stamp());
+  return MsgType::kFindRunReply;
+}
+
+MsgType ShardHost::nontree_info(ByteReader& req, ByteWriter& rep) const {
+  const std::int64_t orig_id = req.i64();
+  if (!req.ok())
+    return write_error(rep, ServiceStatus::kWireError,
+                       "nontree_info: truncated request");
+  const std::optional<NonTreeEdgeInfo> info = shard_.nontree_edge(orig_id);
+  rep.u8(info.has_value() ? 1 : 0);
+  rep.pod(info.value_or(NonTreeEdgeInfo{}));
+  encode_stamp(rep, stamp());
+  return MsgType::kNontreeInfoReply;
+}
+
+void ShardHost::apply_patch(const WirePatch& p) {
+  // Mirrors LiveShardedBackend::scatter()'s non-full branch exactly, with
+  // ownership derived locally: tree infos refresh the full mirrors on every
+  // server and patch labels on the owner; non-tree entries reconcile
+  // against min-endpoint ownership (evicting stale slots everywhere else);
+  // endpoint entries land on the shard owning the key's high vertex.
+  for (std::size_t i = 0; i < p.tree_children.size(); ++i) {
+    const Vertex c = p.tree_children[i];
+    const TreeEdgeInfo& info = p.tree_infos[i];
+    MPCMST_CHECK(c >= 0 && static_cast<std::size_t>(c) < meta_.n,
+                 "patch: tree child " << c << " outside [0, " << meta_.n
+                                      << ")");
+    parent_[static_cast<std::size_t>(c)] = info.parent;
+    tree_w_[static_cast<std::size_t>(c)] = info.w;
+    if (shard_.owns(c)) shard_patch_tree(shard_, c, info);
+  }
+  for (std::size_t i = 0; i < p.nontree_ids.size(); ++i) {
+    const NonTreeEdgeInfo& info = p.nontree_infos[i];
+    const bool owned =
+        shard_of(std::min(info.u, info.v)) == meta_.shard_index;
+    shard_patch_nontree(shard_, owned, p.nontree_ids[i], info);
+  }
+  for (std::size_t i = 0; i < p.endpoint_keys.size(); ++i) {
+    const std::uint64_t key = p.endpoint_keys[i];
+    if (shard_of(static_cast<Vertex>(key >> 32)) != meta_.shard_index)
+      continue;
+    shard_patch_endpoint(
+        shard_, key,
+        EdgeRef{p.endpoint_is_tree[i] != 0, p.endpoint_ids[i]});
+  }
+  // Pure function of the slice — refreshing an untouched shard is a no-op,
+  // so refreshing unconditionally matches scatter()'s conditional refresh.
+  shard_refresh_cost(shard_);
+  meta_.num_nontree = p.num_nontree;
+  meta_.fingerprint = p.fingerprint;
+  meta_.generation = p.epoch;
+  shard_.generation = p.epoch;
+}
+
+std::vector<ShardHostState> make_host_states(
+    const ShardedSensitivityIndex& idx, const CostReceipt& receipt) {
+  // Assemble the full tree mirrors once (same walk as rebuild_topology).
+  std::vector<Vertex> parent(idx.n(), -1);
+  std::vector<Weight> tree_w(idx.n(), 0);
+  for (std::size_t i = 0; i < idx.num_shards(); ++i) {
+    const IndexShard& s = idx.shard(i);
+    for (Vertex v = s.lo; v < s.hi; ++v) {
+      const auto slot = static_cast<std::size_t>(v - s.lo);
+      parent[static_cast<std::size_t>(v)] = s.tree.parent[slot];
+      tree_w[static_cast<std::size_t>(v)] = s.tree.w[slot];
+    }
+  }
+  std::vector<ShardHostState> out;
+  out.reserve(idx.num_shards());
+  for (std::size_t i = 0; i < idx.num_shards(); ++i) {
+    ShardHostState st;
+    st.meta.n = idx.n();
+    st.meta.num_nontree = idx.num_nontree();
+    st.meta.stride = idx.stride();
+    st.meta.num_shards = idx.num_shards();
+    st.meta.shard_index = i;
+    st.meta.root = idx.root();
+    st.meta.violations = idx.violations();
+    st.meta.fingerprint = idx.fingerprint();
+    st.meta.generation = idx.generation();
+    st.meta.receipt = receipt;
+    st.shard = idx.shard(i);
+    st.parent = parent;
+    st.tree_w = tree_w;
+    out.push_back(std::move(st));
+  }
+  return out;
+}
+
+// --- ShardServer ----------------------------------------------------------
+
+ShardServer::ShardServer(Listener listener, NetOptions opts)
+    : listener_(std::move(listener)), opts_(opts) {}
+
+ShardServer::~ShardServer() { stop(); }
+
+void ShardServer::install(ShardHostState st) {
+  std::unique_lock lock(mu_);
+  host_ = std::make_unique<ShardHost>(std::move(st));
+}
+
+void ShardServer::start() {
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+void ShardServer::stop() {
+  stop_.store(true, std::memory_order_release);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  listener_.close();
+  std::lock_guard lock(conns_mu_);
+  for (std::thread& t : conns_)
+    if (t.joinable()) t.join();
+  conns_.clear();
+}
+
+void ShardServer::wait() {
+  if (accept_thread_.joinable()) accept_thread_.join();
+}
+
+void ShardServer::accept_loop() {
+  while (!stop_.load(std::memory_order_acquire)) {
+    Socket s = listener_.accept(stop_);
+    if (!s.valid()) continue;
+    std::lock_guard lock(conns_mu_);
+    conns_.emplace_back(
+        [this, sock = std::move(s)]() mutable { serve_conn(std::move(sock)); });
+  }
+}
+
+void ShardServer::serve_conn(Socket s) {
+  s.set_io_timeout(opts_.io_timeout_ms);
+  while (!stop_.load(std::memory_order_acquire)) {
+    const int rc = wait_readable(s, 100);
+    if (rc < 0) return;
+    if (rc == 0) continue;
+    Frame f;
+    try {
+      f = recv_frame(s);
+    } catch (const ServiceError& e) {
+      if (e.status() == ServiceStatus::kVersionMismatch)
+        send_error(s, ServiceStatus::kVersionMismatch,
+                   "this server speaks wire version " +
+                       std::to_string(kWireVersion));
+      return;
+    }
+    if (!handle_frame(s, f)) return;
+  }
+}
+
+bool ShardServer::handle_frame(Socket& s, const Frame& f) {
+  ByteReader req(f.body.data(), f.body.size());
+  ByteWriter rep;
+  MsgType rtype = MsgType::kOk;
+  try {
+    switch (f.type) {
+      case MsgType::kPing:
+        rtype = MsgType::kPong;
+        break;
+      case MsgType::kShutdown:
+        send_frame(s, MsgType::kOk, rep);
+        stop_.store(true, std::memory_order_release);
+        return false;
+      case MsgType::kBootstrap: {
+        ShardHostState st;
+        if (!decode_host_state(req, st)) {
+          rtype = write_error(rep, ServiceStatus::kWireError,
+                              "bootstrap: truncated shard state");
+          break;
+        }
+        install(std::move(st));
+        break;  // kOk
+      }
+      case MsgType::kPatch: {
+        WirePatch p;
+        if (!decode_patch(req, p)) {
+          rtype = write_error(rep, ServiceStatus::kWireError,
+                              "patch: truncated payload");
+          break;
+        }
+        std::unique_lock lock(mu_);
+        if (!host_) {
+          rtype = write_error(rep, ServiceStatus::kUnavailable,
+                              "patch before bootstrap");
+          break;
+        }
+        host_->apply_patch(p);
+        break;  // kOk
+      }
+      default: {
+        std::shared_lock lock(mu_);
+        if (!host_) {
+          rtype = write_error(rep, ServiceStatus::kUnavailable,
+                              "shard server not bootstrapped yet");
+          break;
+        }
+        switch (f.type) {
+          case MsgType::kMeta:
+            encode_meta(rep, host_->meta());
+            rtype = MsgType::kMetaReply;
+            break;
+          case MsgType::kAnswerRun:
+            rtype = host_->answer_run(req, rep);
+            break;
+          case MsgType::kTopK:
+            rtype = host_->top_k(req, rep);
+            break;
+          case MsgType::kCertify:
+            rtype = host_->certify(req, rep);
+            break;
+          case MsgType::kFindRun:
+            rtype = host_->find_run(req, rep);
+            break;
+          case MsgType::kNontreeInfo:
+            rtype = host_->nontree_info(req, rep);
+            break;
+          default:
+            rtype = write_error(
+                rep, ServiceStatus::kInvalidRequest,
+                std::string("shard server cannot serve ") + to_string(f.type));
+            break;
+        }
+      }
+    }
+  } catch (const ServiceError& e) {
+    rep = ByteWriter();
+    rtype = write_error(rep, e.status(), e.what());
+  } catch (const ModelError& e) {
+    rep = ByteWriter();
+    rtype = write_error(rep, ServiceStatus::kInvalidRequest, e.what());
+  }
+  try {
+    send_frame(s, rtype, rep);
+  } catch (const ServiceError&) {
+    return false;
+  }
+  return true;
+}
+
+// --- ServiceServer --------------------------------------------------------
+
+ServiceServer::ServiceServer(Listener listener, ServiceProvider provider,
+                             NetOptions opts)
+    : listener_(std::move(listener)),
+      opts_(opts),
+      provider_(std::move(provider)) {}
+
+ServiceServer::~ServiceServer() { stop(); }
+
+void ServiceServer::start() {
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+void ServiceServer::stop() {
+  stop_.store(true, std::memory_order_release);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  listener_.close();
+  std::lock_guard lock(conns_mu_);
+  for (std::thread& t : conns_)
+    if (t.joinable()) t.join();
+  conns_.clear();
+}
+
+void ServiceServer::wait() {
+  if (accept_thread_.joinable()) accept_thread_.join();
+}
+
+void ServiceServer::accept_loop() {
+  while (!stop_.load(std::memory_order_acquire)) {
+    Socket s = listener_.accept(stop_);
+    if (!s.valid()) continue;
+    std::lock_guard lock(conns_mu_);
+    conns_.emplace_back(
+        [this, sock = std::move(s)]() mutable { serve_conn(std::move(sock)); });
+  }
+}
+
+void ServiceServer::serve_conn(Socket s) {
+  s.set_io_timeout(opts_.io_timeout_ms);
+  while (!stop_.load(std::memory_order_acquire)) {
+    const int rc = wait_readable(s, 100);
+    if (rc < 0) return;
+    if (rc == 0) continue;
+    Frame f;
+    try {
+      f = recv_frame(s);
+    } catch (const ServiceError& e) {
+      if (e.status() == ServiceStatus::kVersionMismatch)
+        send_error(s, ServiceStatus::kVersionMismatch,
+                   "this server speaks wire version " +
+                       std::to_string(kWireVersion));
+      return;
+    }
+    bool handed_off = false;
+    const bool keep = handle_frame(s, f, handed_off);
+    if (handed_off) return;  // the replication hub owns the socket now
+    if (!keep) return;
+  }
+}
+
+bool ServiceServer::handle_frame(Socket& s, const Frame& f, bool& handed_off) {
+  ByteReader req(f.body.data(), f.body.size());
+  ByteWriter rep;
+  MsgType rtype = MsgType::kOk;
+  try {
+    switch (f.type) {
+      case MsgType::kPing:
+        rtype = MsgType::kPong;
+        break;
+      case MsgType::kShutdown:
+        send_frame(s, MsgType::kOk, rep);
+        stop_.store(true, std::memory_order_release);
+        return false;
+      case MsgType::kQuery: {
+        const std::shared_ptr<QueryService> svc = provider_();
+        if (!svc) {
+          rtype = write_error(rep, ServiceStatus::kUnavailable,
+                              "no backend behind this endpoint yet");
+          break;
+        }
+        Query q;
+        if (!decode_query(req, q)) {
+          rtype = write_error(rep, ServiceStatus::kWireError,
+                              "query: truncated payload");
+          break;
+        }
+        const Answer a = svc->answer(q);
+        encode_answer(rep, a);
+        encode_stamp(rep, WireStamp{svc->backend().generation(),
+                                    svc->backend().fingerprint()});
+        rtype = MsgType::kQueryReply;
+        break;
+      }
+      case MsgType::kStats: {
+        const std::shared_ptr<QueryService> svc = provider_();
+        WireStats st;
+        if (svc) {
+          const IndexBackend& b = svc->backend();
+          st.generation = b.generation();
+          st.fingerprint = b.fingerprint();
+          st.n = b.n();
+          st.num_nontree = b.num_nontree();
+          st.violations = b.violations();
+          st.num_shards = b.num_shards();
+          st.serving = 1;
+        } else {
+          st.serving = 0;
+        }
+        encode_stats(rep, st);
+        rtype = MsgType::kStatsReply;
+        break;
+      }
+      case MsgType::kIngest: {
+        if (!ingest_) {
+          rtype = write_error(rep, ServiceStatus::kNotLeader,
+                              "this endpoint does not accept mutations");
+          break;
+        }
+        const std::uint64_t count = req.u64();
+        std::vector<EdgeEvent> events(static_cast<std::size_t>(
+            req.ok() && count <= (1u << 24) ? count : 0));
+        if (events.size() != count) {
+          rtype = write_error(rep, ServiceStatus::kWireError,
+                              "ingest: unreasonable event count");
+          break;
+        }
+        bool ok = true;
+        for (EdgeEvent& ev : events)
+          if (!decode_edge_event(req, ev)) {
+            ok = false;
+            break;
+          }
+        if (!ok) {
+          rtype = write_error(rep, ServiceStatus::kWireError,
+                              "ingest: truncated event stream");
+          break;
+        }
+        const std::vector<UpdateReceipt> receipts = ingest_(events);
+        rep.u64(receipts.size());
+        for (const UpdateReceipt& rc : receipts) encode_update_receipt(rep, rc);
+        rtype = MsgType::kIngestReply;
+        break;
+      }
+      case MsgType::kSubscribe: {
+        const std::uint64_t last_gen = req.u64();
+        const bool have_state = req.u8() != 0;
+        if (!req.ok()) {
+          rtype = write_error(rep, ServiceStatus::kWireError,
+                              "subscribe: truncated payload");
+          break;
+        }
+        if (!subscribe_) {
+          rtype = write_error(rep, ServiceStatus::kNotLeader,
+                              "this endpoint has no replication hub");
+          break;
+        }
+        send_frame(s, MsgType::kOk, rep);
+        subscribe_(std::move(s), last_gen, have_state);
+        handed_off = true;
+        return false;
+      }
+      default:
+        rtype = write_error(
+            rep, ServiceStatus::kInvalidRequest,
+            std::string("service server cannot serve ") + to_string(f.type));
+        break;
+    }
+  } catch (const ServiceError& e) {
+    rep = ByteWriter();
+    rtype = write_error(rep, e.status(), e.what());
+  } catch (const ModelError& e) {
+    rep = ByteWriter();
+    rtype = write_error(rep, ServiceStatus::kInvalidRequest, e.what());
+  }
+  try {
+    send_frame(s, rtype, rep);
+  } catch (const ServiceError&) {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace mpcmst::service::net

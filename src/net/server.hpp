@@ -1,0 +1,153 @@
+// Server half of the networked shard tier.
+//
+// ShardHost is the state one shard-server process holds: the tier meta, one
+// IndexShard slice, full parent/weight mirrors of the tree (so kCertify can
+// answer global path questions locally), and the TreeTopology view built
+// from them.  Its RPC evaluators are the per-shard halves of the router's
+// merges (router.cpp): kAnswerRun resolves only in the local endpoint map
+// (the client runs the two-probe protocol), kTopK returns the first
+// min(k, |order|) fragility entries, kCertify certifies the local roster
+// against a resolved batch.  kPatch applies one committed update through
+// the SAME shard patch primitives scatter() uses (shard.hpp), so a slice
+// behind a socket and a slice in-process stay byte-identical.
+//
+// ShardServer wraps a ShardHost behind a Listener: thread-per-connection,
+// reads guarded by a shared mutex against kBootstrap/kPatch writers.
+// ServiceServer serves a whole QueryService (leader or replica) behind one
+// endpoint: kQuery/kStats always, kIngest when a mutation handler is
+// installed (else kNotLeader), kSubscribe handed to the replication hub.
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <thread>
+#include <vector>
+
+#include "net/socket.hpp"
+#include "net/wire.hpp"
+#include "service/service.hpp"
+
+namespace mpcmst::service::net {
+
+/// One shard server's resident state + RPC evaluators.  Not internally
+/// synchronized — ShardServer's shared_mutex is the guard.
+class ShardHost {
+ public:
+  explicit ShardHost(ShardHostState st);
+
+  const WireMeta& meta() const { return meta_; }
+  const IndexShard& shard() const { return shard_; }
+
+  /// min(v / stride, num_shards - 1): the client-side partition arithmetic,
+  /// mirrored here to derive patch-entry ownership.
+  std::size_t shard_of(Vertex v) const;
+
+  // RPC evaluators: decode the request body from `req`, write the reply
+  // body into `rep` and return the reply type (kError bodies are written on
+  // malformed requests).
+  MsgType answer_run(ByteReader& req, ByteWriter& rep) const;
+  MsgType top_k(ByteReader& req, ByteWriter& rep) const;
+  MsgType certify(ByteReader& req, ByteWriter& rep) const;
+  MsgType find_run(ByteReader& req, ByteWriter& rep) const;
+  MsgType nontree_info(ByteReader& req, ByteWriter& rep) const;
+
+  /// Apply one committed update's repairs (same primitives as scatter()).
+  void apply_patch(const WirePatch& p);
+
+ private:
+  WireStamp stamp() const {
+    return WireStamp{meta_.generation, meta_.fingerprint};
+  }
+
+  WireMeta meta_;
+  IndexShard shard_;
+  std::vector<Vertex> parent_;  // full tree mirror (structure)
+  std::vector<Weight> tree_w_;  // full tree mirror (weights)
+  verify::TreeTopology topo_;
+};
+
+/// Split a sharded index into per-shard bootstrap payloads (the leader's
+/// side of kBootstrap; also what a static deployment loads from disk).
+std::vector<ShardHostState> make_host_states(
+    const ShardedSensitivityIndex& idx, const CostReceipt& receipt);
+
+/// One shard server process: accept loop + thread-per-connection over an
+/// optional ShardHost (kUnavailable until bootstrapped or installed).
+class ShardServer {
+ public:
+  ShardServer(Listener listener, NetOptions opts = {});
+  ~ShardServer();
+
+  /// Preload a slice (static deployments); kBootstrap replaces it.
+  void install(ShardHostState st);
+
+  void start();
+  void stop();
+  /// Blocks until a kShutdown frame stops the server (process mode).
+  void wait();
+
+  const std::string& endpoint() const { return listener_.endpoint(); }
+
+ private:
+  void accept_loop();
+  void serve_conn(Socket s);
+  /// One request/reply exchange; returns false when the connection (or the
+  /// whole server, via kShutdown) should wind down.
+  bool handle_frame(Socket& s, const Frame& f);
+
+  Listener listener_;
+  NetOptions opts_;
+  mutable std::shared_mutex mu_;  // host_ swap/patch vs. readers
+  std::unique_ptr<ShardHost> host_;
+  std::atomic<bool> stop_{false};
+  std::thread accept_thread_;
+  std::mutex conns_mu_;
+  std::vector<std::thread> conns_;
+};
+
+/// A whole QueryService behind one endpoint (leader or replica front door).
+class ServiceServer {
+ public:
+  /// `provider` is re-invoked per request so a replica can swap in a fresh
+  /// service after each snapshot install; returning null serves
+  /// kUnavailable.
+  using ServiceProvider = std::function<std::shared_ptr<QueryService>()>;
+  using IngestHandler = std::function<std::vector<UpdateReceipt>(
+      const std::vector<EdgeEvent>&)>;
+  /// Takes ownership of the connection after a kSubscribe (replication hub).
+  using SubscribeHandler =
+      std::function<void(Socket, std::uint64_t last_gen, bool have_state)>;
+
+  ServiceServer(Listener listener, ServiceProvider provider,
+                NetOptions opts = {});
+  ~ServiceServer();
+
+  void set_ingest_handler(IngestHandler h) { ingest_ = std::move(h); }
+  void set_subscribe_handler(SubscribeHandler h) { subscribe_ = std::move(h); }
+
+  void start();
+  void stop();
+  void wait();
+
+  const std::string& endpoint() const { return listener_.endpoint(); }
+
+ private:
+  void accept_loop();
+  void serve_conn(Socket s);
+  bool handle_frame(Socket& s, const Frame& f, bool& handed_off);
+
+  Listener listener_;
+  NetOptions opts_;
+  ServiceProvider provider_;
+  IngestHandler ingest_;          // null: kNotLeader
+  SubscribeHandler subscribe_;    // null: kNotLeader
+  std::atomic<bool> stop_{false};
+  std::thread accept_thread_;
+  std::mutex conns_mu_;
+  std::vector<std::thread> conns_;
+};
+
+}  // namespace mpcmst::service::net

@@ -1,0 +1,287 @@
+#include "net/socket.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace mpcmst::service::net {
+
+namespace {
+
+[[noreturn]] void throw_errno(ServiceStatus status, const std::string& what) {
+  throw ServiceError(status, what + ": " + std::strerror(errno));
+}
+
+bool deadline_errno() { return errno == EAGAIN || errno == EWOULDBLOCK; }
+
+/// AF_UNIX address from a path (rejects paths longer than sun_path).
+sockaddr_un unix_addr(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path))
+    throw ServiceError(ServiceStatus::kInvalidRequest,
+                       "unix socket path too long: " + path);
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return addr;
+}
+
+}  // namespace
+
+Endpoint parse_endpoint(const std::string& spec) {
+  Endpoint ep;
+  if (spec.rfind("unix:", 0) == 0) {
+    ep.is_unix = true;
+    ep.host = spec.substr(5);
+    if (ep.host.empty())
+      throw ServiceError(ServiceStatus::kInvalidRequest,
+                         "empty unix socket path in endpoint '" + spec + "'");
+    return ep;
+  }
+  const std::size_t colon = spec.rfind(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 == spec.size())
+    throw ServiceError(
+        ServiceStatus::kInvalidRequest,
+        "endpoint '" + spec + "' is neither host:port nor unix:/path");
+  ep.host = spec.substr(0, colon);
+  const std::string port = spec.substr(colon + 1);
+  char* end = nullptr;
+  const long p = std::strtol(port.c_str(), &end, 10);
+  // Port 0 is legal for binds (the kernel picks an ephemeral port and
+  // endpoint() reports it); dialing it just fails at connect().
+  if (end == port.c_str() || *end != '\0' || p < 0 || p > 65535)
+    throw ServiceError(ServiceStatus::kInvalidRequest,
+                       "bad port in endpoint '" + spec + "'");
+  ep.port = static_cast<std::uint16_t>(p);
+  return ep;
+}
+
+Socket::~Socket() { close(); }
+
+Socket::Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Socket::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Socket::set_io_timeout(int ms) {
+  timeval tv{};
+  tv.tv_sec = ms / 1000;
+  tv.tv_usec = static_cast<suseconds_t>(ms % 1000) * 1000;
+  ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+  ::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
+}
+
+void Socket::send_all(const void* p, std::size_t n) {
+  const auto* b = static_cast<const unsigned char*>(p);
+  while (n > 0) {
+    const ssize_t w = ::send(fd_, b, n, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      if (deadline_errno())
+        throw ServiceError(ServiceStatus::kTimeout, "send deadline exceeded");
+      throw_errno(ServiceStatus::kWireError, "send failed");
+    }
+    b += w;
+    n -= static_cast<std::size_t>(w);
+  }
+}
+
+void Socket::recv_all(void* p, std::size_t n) {
+  auto* b = static_cast<unsigned char*>(p);
+  while (n > 0) {
+    const ssize_t r = ::recv(fd_, b, n, 0);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      if (deadline_errno())
+        throw ServiceError(ServiceStatus::kTimeout, "recv deadline exceeded");
+      throw_errno(ServiceStatus::kWireError, "recv failed");
+    }
+    if (r == 0)
+      throw ServiceError(ServiceStatus::kWireError,
+                         "peer closed the connection mid-message");
+    b += r;
+    n -= static_cast<std::size_t>(r);
+  }
+}
+
+Socket dial(const std::string& spec, const NetOptions& opts) {
+  const Endpoint ep = parse_endpoint(spec);
+  int fd = -1;
+  if (ep.is_unix) {
+    fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) throw_errno(ServiceStatus::kWireError, "socket(AF_UNIX)");
+    const sockaddr_un addr = unix_addr(ep.host);
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
+        0) {
+      const int e = errno;
+      ::close(fd);
+      errno = e;
+      throw_errno(ServiceStatus::kWireError, "connect to " + spec);
+    }
+  } else {
+    addrinfo hints{};
+    hints.ai_family = AF_UNSPEC;
+    hints.ai_socktype = SOCK_STREAM;
+    addrinfo* res = nullptr;
+    const std::string port = std::to_string(ep.port);
+    if (::getaddrinfo(ep.host.c_str(), port.c_str(), &hints, &res) != 0 ||
+        res == nullptr)
+      throw ServiceError(ServiceStatus::kWireError,
+                         "cannot resolve endpoint " + spec);
+    fd = ::socket(res->ai_family, SOCK_STREAM, res->ai_protocol);
+    if (fd < 0) {
+      ::freeaddrinfo(res);
+      throw_errno(ServiceStatus::kWireError, "socket()");
+    }
+    // Non-blocking connect bounded by connect_timeout_ms.
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+    int rc = ::connect(fd, res->ai_addr, res->ai_addrlen);
+    ::freeaddrinfo(res);
+    if (rc != 0 && errno == EINPROGRESS) {
+      pollfd pfd{fd, POLLOUT, 0};
+      rc = ::poll(&pfd, 1, opts.connect_timeout_ms);
+      if (rc == 0) {
+        ::close(fd);
+        throw ServiceError(ServiceStatus::kTimeout,
+                           "connect to " + spec + " timed out");
+      }
+      int err = 0;
+      socklen_t len = sizeof err;
+      ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len);
+      if (rc < 0 || err != 0) {
+        ::close(fd);
+        errno = err != 0 ? err : errno;
+        throw_errno(ServiceStatus::kWireError, "connect to " + spec);
+      }
+    } else if (rc != 0) {
+      const int e = errno;
+      ::close(fd);
+      errno = e;
+      throw_errno(ServiceStatus::kWireError, "connect to " + spec);
+    }
+    ::fcntl(fd, F_SETFL, flags);
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  }
+  Socket s(fd);
+  s.set_io_timeout(opts.io_timeout_ms);
+  return s;
+}
+
+Listener::~Listener() { close(); }
+
+Listener::Listener(Listener&& other) noexcept
+    : fd_(other.fd_),
+      endpoint_(std::move(other.endpoint_)),
+      unix_path_(std::move(other.unix_path_)) {
+  other.fd_ = -1;
+  other.unix_path_.clear();
+}
+
+Listener& Listener::operator=(Listener&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    endpoint_ = std::move(other.endpoint_);
+    unix_path_ = std::move(other.unix_path_);
+    other.fd_ = -1;
+    other.unix_path_.clear();
+  }
+  return *this;
+}
+
+void Listener::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  if (!unix_path_.empty()) {
+    ::unlink(unix_path_.c_str());
+    unix_path_.clear();
+  }
+}
+
+Listener Listener::bind(const std::string& spec) {
+  const Endpoint ep = parse_endpoint(spec);
+  Listener l;
+  if (ep.is_unix) {
+    l.fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (l.fd_ < 0) throw_errno(ServiceStatus::kWireError, "socket(AF_UNIX)");
+    ::unlink(ep.host.c_str());  // a previous run's stale socket file
+    const sockaddr_un addr = unix_addr(ep.host);
+    if (::bind(l.fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
+        0)
+      throw_errno(ServiceStatus::kWireError, "bind " + spec);
+    l.unix_path_ = ep.host;
+    l.endpoint_ = spec;
+  } else {
+    l.fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (l.fd_ < 0) throw_errno(ServiceStatus::kWireError, "socket()");
+    const int one = 1;
+    ::setsockopt(l.fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(ep.port);
+    if (::inet_pton(AF_INET, ep.host.c_str(), &addr.sin_addr) != 1)
+      addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    if (::bind(l.fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
+        0)
+      throw_errno(ServiceStatus::kWireError, "bind " + spec);
+    sockaddr_in bound{};
+    socklen_t len = sizeof bound;
+    ::getsockname(l.fd_, reinterpret_cast<sockaddr*>(&bound), &len);
+    char host[INET_ADDRSTRLEN] = {0};
+    ::inet_ntop(AF_INET, &bound.sin_addr, host, sizeof host);
+    l.endpoint_ = std::string(host) + ":" + std::to_string(ntohs(bound.sin_port));
+  }
+  if (::listen(l.fd_, 64) != 0)
+    throw_errno(ServiceStatus::kWireError, "listen " + spec);
+  return l;
+}
+
+Socket Listener::accept(const std::atomic<bool>& stop) {
+  while (!stop.load(std::memory_order_acquire) && fd_ >= 0) {
+    pollfd pfd{fd_, POLLIN, 0};
+    const int rc = ::poll(&pfd, 1, 50);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return Socket();
+    }
+    if (rc == 0) continue;
+    const int cfd = ::accept(fd_, nullptr, nullptr);
+    if (cfd < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      return Socket();
+    }
+    const int one = 1;
+    ::setsockopt(cfd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    return Socket(cfd);
+  }
+  return Socket();
+}
+
+}  // namespace mpcmst::service::net

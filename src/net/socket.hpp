@@ -1,0 +1,105 @@
+// Blocking socket primitives for the networked shard tier: endpoint
+// parsing ("host:port" or "unix:/path"), a move-only fd wrapper with
+// whole-buffer send/recv and SO_SNDTIMEO/SO_RCVTIMEO deadlines, a dialer
+// with a connect timeout, and a Listener whose accept loop can be stopped.
+//
+// Every failure surfaces as ServiceError with the transport statuses of
+// status.hpp (kWireError for socket faults and peer closes, kTimeout for
+// missed deadlines, kInvalidRequest for unparseable endpoints), so callers
+// switch on status() instead of inspecting errno — and the wire layer
+// (wire.hpp) can frame the same codes back to remote peers.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "service/status.hpp"
+
+namespace mpcmst::service::net {
+
+/// Transport knobs shared by every dialer/server in the tier.
+struct NetOptions {
+  int connect_timeout_ms = 5000;
+  /// Per-recv/send deadline; 0 = block forever (replica subscription
+  /// streams wait indefinitely for the next journal frame).
+  int io_timeout_ms = 10000;
+  /// Reconnect-and-retry attempts a client makes per RPC after a transport
+  /// fault (the peer may have restarted with its own state).
+  int reconnect_attempts = 1;
+  int reconnect_backoff_ms = 50;
+};
+
+/// A parsed endpoint spec: "host:port" (TCP) or "unix:/path" (AF_UNIX).
+struct Endpoint {
+  bool is_unix = false;
+  std::string host;  // or the socket path when is_unix
+  std::uint16_t port = 0;
+};
+
+/// Throws ServiceError(kInvalidRequest) on anything unparseable.
+Endpoint parse_endpoint(const std::string& spec);
+
+/// Move-only connected-socket handle.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket();
+  Socket(Socket&& other) noexcept;
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+  void close();
+
+  /// Apply `io_timeout_ms` (0 = no deadline) to both directions.
+  void set_io_timeout(int ms);
+
+  /// Write exactly `n` bytes (retrying short writes / EINTR).  Throws
+  /// ServiceError: kTimeout on a missed deadline, kWireError otherwise.
+  void send_all(const void* p, std::size_t n);
+
+  /// Read exactly `n` bytes; a peer close mid-read is kWireError.
+  void recv_all(void* p, std::size_t n);
+
+ private:
+  int fd_ = -1;
+};
+
+/// Connect to `spec` within opts.connect_timeout_ms; the returned socket
+/// carries opts.io_timeout_ms deadlines.
+Socket dial(const std::string& spec, const NetOptions& opts);
+
+/// Bound+listening server socket.  TCP specs may use port 0; endpoint()
+/// reports the actual bound address ("127.0.0.1:49212") for clients.
+class Listener {
+ public:
+  Listener() = default;
+  ~Listener();
+  Listener(Listener&& other) noexcept;
+  Listener& operator=(Listener&& other) noexcept;
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+
+  static Listener bind(const std::string& spec);
+
+  bool valid() const { return fd_ >= 0; }
+  const std::string& endpoint() const { return endpoint_; }
+
+  /// Accept one connection, polling `stop` every ~50ms; returns an invalid
+  /// Socket once `stop` is set (or the listener was closed).
+  Socket accept(const std::atomic<bool>& stop);
+
+  void close();
+
+ private:
+  int fd_ = -1;
+  std::string endpoint_;
+  std::string unix_path_;  // unlinked on close
+};
+
+}  // namespace mpcmst::service::net

@@ -57,6 +57,23 @@ class IndexBackend {
   /// never affects answers.  Must be callable without taking backend locks.
   virtual std::size_t shard_hint(const Query&) const { return 0; }
 
+  /// Does this backend answer a whole shard-run of queries more cheaply than
+  /// a per-query loop?  Remote backends (net/client.hpp) say yes: the batch
+  /// fast path then issues one answer_many() per counting-sorted shard-run —
+  /// one RPC per shard instead of one per query.  In-process backends keep
+  /// the default and the batch path never deviates from its per-query loop.
+  virtual bool batched_runs() const { return false; }
+
+  /// Answer a run of queries (answers align by position, each byte-identical
+  /// to answer() of that query).  The default is the plain loop; remote
+  /// backends override it with a batched RPC.
+  virtual std::vector<Answer> answer_many(const std::vector<Query>& qs) const {
+    std::vector<Answer> out;
+    out.reserve(qs.size());
+    for (const Query& q : qs) out.push_back(answer(q));
+    return out;
+  }
+
   /// Resolve an edge by endpoints (order-insensitive; same precedence rules
   /// on every backend: tree wins, then the lightest duplicate).
   virtual std::optional<EdgeRef> find(Vertex u, Vertex v) const = 0;

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <array>
+#include <utility>
 
 #include "common/check.hpp"
+#include "net/client.hpp"
 #include "service/snapshot.hpp"
 
 namespace mpcmst::service {
@@ -48,42 +50,13 @@ QueryService::QueryService(std::shared_ptr<UpdatableBackend> backend,
   updatable_ = std::move(backend);
 }
 
-std::unique_ptr<QueryService> QueryService::build(mpc::Engine& eng,
-                                                  const graph::Instance& inst,
-                                                  ServiceOptions opts) {
-  return std::make_unique<QueryService>(SensitivityIndex::build(eng, inst),
-                                        opts);
-}
+namespace {
 
-std::unique_ptr<QueryService> QueryService::build_sharded(
-    mpc::Engine& eng, const graph::Instance& inst, std::size_t num_shards,
-    ServiceOptions opts) {
-  return std::make_unique<QueryService>(
-      std::make_shared<const QueryRouter>(ShardedSensitivityIndex::build(
-          eng, inst, clamp_shard_count(num_shards, inst.n()))),
-      opts);
-}
-
-std::unique_ptr<QueryService> QueryService::build_live(
-    mpc::Engine& eng, const graph::Instance& inst, ServiceOptions opts,
-    std::optional<PersistenceConfig> persist) {
-  std::shared_ptr<UpdatableBackend> backend =
-      LiveMonolithBackend::build(eng, inst);
-  init_persistence(*backend, persist);
-  return std::make_unique<QueryService>(std::move(backend), opts);
-}
-
-std::unique_ptr<QueryService> QueryService::build_live_sharded(
-    mpc::Engine& eng, const graph::Instance& inst, std::size_t num_shards,
-    ServiceOptions opts, std::optional<PersistenceConfig> persist) {
-  std::shared_ptr<UpdatableBackend> backend = LiveShardedBackend::build(
-      eng, inst, clamp_shard_count(num_shards, inst.n()));
-  init_persistence(*backend, persist);
-  return std::make_unique<QueryService>(std::move(backend), opts);
-}
-
-std::unique_ptr<QueryService> QueryService::recover(
-    const PersistenceConfig& cfg, ServiceOptions opts, RecoveredInfo* info) {
+/// open()'s recovery shape: reconstruct a persisted live tier from its
+/// directory (newest valid snapshot + journal-tail replay through
+/// replay_journal_record) and resume journaling.
+std::unique_ptr<QueryService> open_recover(const ServiceConfig& sc) {
+  const PersistenceConfig& cfg = *sc.persist;
   ServiceMetrics& tm = service_metrics();
   tm.recoveries->inc();
   TraceScope recover_span("recover");
@@ -125,35 +98,7 @@ std::unique_ptr<QueryService> QueryService::recover(
       if (rec.generation <= image->generation) continue;  // in the snapshot
       MPCMST_CHECK(rec.generation == backend->generation() + 1,
                    "recover: journal generation gap at " << rec.generation);
-      MPCMST_CHECK(backend->fingerprint() == rec.old_fingerprint,
-                   "recover: journal record " << rec.generation
-                                              << " does not chain from the "
-                                                 "current fingerprint");
-      // Dispatch on the journaled op (v2 frames; v1 upgrades carry op = 0 =
-      // reweight, the only op that existed then).
-      UpdateReceipt r;
-      switch (static_cast<UpdateOp>(rec.op)) {
-        case UpdateOp::kReweight:
-          r = backend->apply_update(rec.u, rec.v, rec.new_w);
-          break;
-        case UpdateOp::kAddEdge:
-          r = backend->add_edge(rec.u, rec.v, rec.new_w);
-          break;
-        case UpdateOp::kRemoveEdge:
-          r = backend->remove_edge(rec.u, rec.v);
-          break;
-        default:
-          MPCMST_CHECK(false, "recover: journal record "
-                                  << rec.generation << " carries unknown op "
-                                  << static_cast<int>(rec.op));
-      }
-      MPCMST_CHECK(
-          r.report.status == Status::kOk &&
-              static_cast<std::uint8_t>(r.report.cls) == rec.cls &&
-              r.new_fingerprint == rec.new_fingerprint &&
-              r.generation == rec.generation,
-          "recover: replay of record " << rec.generation
-                                       << " diverged from the journal");
+      (void)replay_journal_record(*backend, rec);
       ++replayed;
     }
   }
@@ -172,10 +117,10 @@ std::unique_ptr<QueryService> QueryService::recover(
                    << " — the newest snapshot is invalid and the journal "
                       "cannot bridge to it");
 
-  if (info) {
-    info->snapshot_generation = image->generation;
-    info->replayed_records = replayed;
-    info->journal_was_torn = scan.torn;
+  if (sc.recovered) {
+    sc.recovered->snapshot_generation = image->generation;
+    sc.recovered->replayed_records = replayed;
+    sc.recovered->journal_was_torn = scan.torn;
   }
 
   backend->attach_persistence(Persistence::resume(cfg, replayed));
@@ -183,7 +128,122 @@ std::unique_ptr<QueryService> QueryService::recover(
   // it); fold the replayed records into a fresh snapshot now.
   if (cfg.snapshot_every_n > 0 && replayed >= cfg.snapshot_every_n)
     backend->checkpoint();
-  return std::make_unique<QueryService>(std::move(backend), opts);
+  return std::make_unique<QueryService>(std::move(backend), sc.options);
+}
+
+}  // namespace
+
+std::unique_ptr<QueryService> QueryService::open(const ServiceConfig& cfg) {
+  if (cfg.recover_existing) {
+    MPCMST_CHECK(cfg.persist.has_value(),
+                 "open: recover_existing requires a PersistenceConfig");
+    MPCMST_CHECK(cfg.remote_shards.empty(),
+                 "open: recovery of a networked leader is not supported — "
+                 "recover in-process, then re-open with remote_shards");
+    return open_recover(cfg);
+  }
+
+  if (!cfg.remote_shards.empty()) {
+    if (!cfg.live) {
+      // Read-only attach: the shard servers own their slices (started from
+      // their own snapshots or bootstrapped by a leader elsewhere).
+      return std::make_unique<QueryService>(
+          net::make_remote_backend(cfg.remote_shards), cfg.options);
+    }
+    MPCMST_CHECK(cfg.engine != nullptr && cfg.instance != nullptr,
+                 "open: a networked leader needs an engine and an instance");
+    std::shared_ptr<UpdatableBackend> backend = net::make_leader_backend(
+        *cfg.engine, *cfg.instance, cfg.remote_shards);
+    std::optional<PersistenceConfig> persist = cfg.persist;
+    init_persistence(*backend, persist);
+    return std::make_unique<QueryService>(std::move(backend), cfg.options);
+  }
+
+  MPCMST_CHECK(cfg.engine != nullptr && cfg.instance != nullptr,
+               "open: an in-process build needs an engine and an instance");
+  mpc::Engine& eng = *cfg.engine;
+  const graph::Instance& inst = *cfg.instance;
+  const std::size_t shards = clamp_shard_count(cfg.num_shards, inst.n());
+
+  if (!cfg.live) {
+    MPCMST_CHECK(!cfg.persist.has_value(),
+                 "open: persistence requires live = true (snapshot tiers are "
+                 "immutable)");
+    if (cfg.sharded)
+      return std::make_unique<QueryService>(
+          std::make_shared<const QueryRouter>(
+              ShardedSensitivityIndex::build(eng, inst, shards)),
+          cfg.options);
+    return std::make_unique<QueryService>(SensitivityIndex::build(eng, inst),
+                                          cfg.options);
+  }
+
+  std::shared_ptr<UpdatableBackend> backend;
+  if (cfg.sharded)
+    backend = LiveShardedBackend::build(eng, inst, shards);
+  else
+    backend = LiveMonolithBackend::build(eng, inst);
+  std::optional<PersistenceConfig> persist = cfg.persist;
+  init_persistence(*backend, persist);
+  return std::make_unique<QueryService>(std::move(backend), cfg.options);
+}
+
+std::unique_ptr<QueryService> QueryService::build(mpc::Engine& eng,
+                                                  const graph::Instance& inst,
+                                                  ServiceOptions opts) {
+  ServiceConfig cfg;
+  cfg.engine = &eng;
+  cfg.instance = &inst;
+  cfg.options = opts;
+  return open(cfg);
+}
+
+std::unique_ptr<QueryService> QueryService::build_sharded(
+    mpc::Engine& eng, const graph::Instance& inst, std::size_t num_shards,
+    ServiceOptions opts) {
+  ServiceConfig cfg;
+  cfg.engine = &eng;
+  cfg.instance = &inst;
+  cfg.sharded = true;
+  cfg.num_shards = num_shards;
+  cfg.options = opts;
+  return open(cfg);
+}
+
+std::unique_ptr<QueryService> QueryService::build_live(
+    mpc::Engine& eng, const graph::Instance& inst, ServiceOptions opts,
+    std::optional<PersistenceConfig> persist) {
+  ServiceConfig cfg;
+  cfg.engine = &eng;
+  cfg.instance = &inst;
+  cfg.live = true;
+  cfg.persist = std::move(persist);
+  cfg.options = opts;
+  return open(cfg);
+}
+
+std::unique_ptr<QueryService> QueryService::build_live_sharded(
+    mpc::Engine& eng, const graph::Instance& inst, std::size_t num_shards,
+    ServiceOptions opts, std::optional<PersistenceConfig> persist) {
+  ServiceConfig cfg;
+  cfg.engine = &eng;
+  cfg.instance = &inst;
+  cfg.sharded = true;
+  cfg.num_shards = num_shards;
+  cfg.live = true;
+  cfg.persist = std::move(persist);
+  cfg.options = opts;
+  return open(cfg);
+}
+
+std::unique_ptr<QueryService> QueryService::recover(
+    const PersistenceConfig& cfg, ServiceOptions opts, RecoveredInfo* info) {
+  ServiceConfig sc;
+  sc.persist = cfg;
+  sc.recover_existing = true;
+  sc.recovered = info;
+  sc.options = opts;
+  return open(sc);
 }
 
 void QueryService::checkpoint() {
@@ -297,6 +357,7 @@ std::vector<Answer> QueryService::answer_batch(
   const std::size_t num_hints =
       std::max<std::size_t>(backend_->num_shards(), 1);
   std::vector<std::uint32_t> miss;
+  std::vector<std::uint32_t> run_bounds;  // batched backends: shard-run fence
   miss.reserve(n);
   if (num_hints == 1) {
     for (std::size_t i = 0; i < n; ++i)
@@ -314,9 +375,33 @@ std::vector<Answer> QueryService::answer_batch(
     std::vector<std::uint32_t> cursor(counts.begin(), counts.end() - 1);
     for (std::size_t i = 0; i < n; ++i)
       if (!hit[i]) miss[cursor[hint[i]]++] = static_cast<std::uint32_t>(i);
+    if (backend_->batched_runs()) run_bounds = std::move(counts);
   }
 
-  if (!miss.empty()) {
+  if (!miss.empty() && backend_->batched_runs()) {
+    // Remote backend: one answer_many() — one RPC — per shard-run, the runs
+    // answered concurrently on the pool.  Answers stay byte-identical to the
+    // per-query loop; only the transport batching differs.
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> runs;
+    if (run_bounds.empty()) {
+      runs.emplace_back(0, static_cast<std::uint32_t>(miss.size()));
+    } else {
+      for (std::size_t s = 0; s + 1 < run_bounds.size(); ++s)
+        if (run_bounds[s + 1] > run_bounds[s])
+          runs.emplace_back(run_bounds[s], run_bounds[s + 1]);
+    }
+    pool_.run_tasks(runs.size(), [&](std::size_t t) {
+      const auto [lo, hi] = runs[t];
+      std::vector<Query> qs;
+      qs.reserve(hi - lo);
+      for (std::uint32_t r = lo; r < hi; ++r) qs.push_back(queries[miss[r]]);
+      std::vector<Answer> ans = backend_->answer_many(qs);
+      for (std::uint32_t r = lo; r < hi; ++r)
+        out[miss[r]] = std::move(ans[r - lo]);
+    });
+    if (cache_.enabled() && backend_->generation() == generation)
+      cache_.put_many(keys.data(), out.data(), miss.data(), miss.size());
+  } else if (!miss.empty()) {
     // Shard-runs are contiguous in `miss`; chunking the sorted order keeps
     // each pool task inside (at most two) shards' working sets.
     const std::size_t chunk = opts_.chunk_size;

@@ -38,6 +38,50 @@ struct ServiceOptions {
   std::size_t chunk_size = 256;
 };
 
+/// What recover() found on disk (optional out-param for operators/tests).
+struct RecoveredInfo {
+  std::uint64_t snapshot_generation = 0;  // the snapshot replay started from
+  std::uint64_t replayed_records = 0;     // journal tail applied on top
+  bool journal_was_torn = false;          // a torn tail was truncated
+};
+
+/// One declarative description of a serving deployment, consumed by
+/// QueryService::open() — the single factory every deployment shape funnels
+/// through (the legacy build/build_sharded/build_live/build_live_sharded/
+/// recover factories are thin wrappers over it).
+///
+/// Shapes, by flag:
+///   - in-process snapshot:        engine+instance            (sharded?)
+///   - in-process live:            engine+instance, live=true (sharded?,
+///                                 persist?)
+///   - recovery:                   recover_existing=true, persist required
+///   - networked, read-only:       remote_shards non-empty, live=false —
+///                                 attach to already-running shard servers
+///   - networked, leader:          remote_shards non-empty, live=true,
+///                                 engine+instance — build here, bootstrap
+///                                 the servers, drive them with patches
+struct ServiceConfig {
+  /// Build inputs (required unless recover_existing or a read-only remote
+  /// attach).
+  mpc::Engine* engine = nullptr;
+  const graph::Instance* instance = nullptr;
+
+  bool sharded = false;        // vertex-range shards vs one monolith
+  std::size_t num_shards = 1;  // clamped to [1, n] like build_sharded
+  bool live = false;           // updatable generation layer
+
+  std::optional<PersistenceConfig> persist;
+  bool recover_existing = false;       // reconstruct from persist->dir
+  RecoveredInfo* recovered = nullptr;  // out-param for recoveries (optional)
+
+  /// Non-empty: the networked shard tier.  One endpoint per shard, in shard
+  /// order ("host:port" or "unix:/path"); `sharded`/`num_shards` are implied
+  /// by the list.
+  std::vector<std::string> remote_shards;
+
+  ServiceOptions options;
+};
+
 class QueryService {
  public:
   /// Serve any backend: a MonolithicBackend or a QueryRouter over shards.
@@ -55,53 +99,57 @@ class QueryService {
   QueryService(const QueryService&) = delete;
   QueryService& operator=(const QueryService&) = delete;
 
-  /// Convenience: one distributed build, then serve (monolithic snapshot).
+  /// THE factory: open the deployment `cfg` describes (see ServiceConfig).
+  /// Throws ModelError (or ServiceError for network faults) when the config
+  /// is inconsistent or the deployment cannot be reached/recovered.
+  static std::unique_ptr<QueryService> open(const ServiceConfig& cfg);
+
+  /// Legacy nickname for QueryService::RecoveredInfo (now a namespace-scope
+  /// struct so ServiceConfig can carry a pointer to one).
+  using RecoveredInfo = mpcmst::service::RecoveredInfo;
+
+  // Deprecated shape-specific factories: thin wrappers over open().  Prefer
+  // QueryService::open(ServiceConfig) in new code.
+
+  /// [[deprecated]] One distributed build, then serve (monolithic snapshot).
   static std::unique_ptr<QueryService> build(mpc::Engine& eng,
                                              const graph::Instance& inst,
                                              ServiceOptions opts = {});
 
-  /// One distributed build scattered straight into `num_shards` vertex-range
-  /// shards, served through the QueryRouter.  A request for more shards than
-  /// vertices is clamped (a shard must own at least one vertex to own any
-  /// labels); the count actually built is reported in
-  /// backend().receipt().effective_shards.
+  /// [[deprecated]] One distributed build scattered straight into
+  /// `num_shards` vertex-range shards, served through the QueryRouter.
+  /// A request for more shards than vertices is clamped; the count actually
+  /// built is reported in backend().receipt().effective_shards.
   static std::unique_ptr<QueryService> build_sharded(
       mpc::Engine& eng, const graph::Instance& inst, std::size_t num_shards,
       ServiceOptions opts = {});
 
-  /// One distributed build behind the mutable generation layer
-  /// (LiveMonolithBackend): serve queries and absorb confirmed changes.
-  /// With `persist`, the tier becomes crash-consistent: the directory is
-  /// initialized with a generation-0 snapshot, every applied update is
-  /// journaled before its generation is visible, and recover() can
-  /// reconstruct the tier after any process death.
+  /// [[deprecated]] One distributed build behind the mutable generation
+  /// layer (LiveMonolithBackend): serve queries and absorb confirmed
+  /// changes.  With `persist`, the tier becomes crash-consistent: the
+  /// directory is initialized with a generation-0 snapshot, every applied
+  /// update is journaled before its generation is visible, and recover()
+  /// can reconstruct the tier after any process death.
   static std::unique_ptr<QueryService> build_live(
       mpc::Engine& eng, const graph::Instance& inst, ServiceOptions opts = {},
       std::optional<PersistenceConfig> persist = std::nullopt);
 
-  /// Same, served from in-place-updatable vertex-range shards
+  /// [[deprecated]] Same, served from in-place-updatable vertex-range shards
   /// (LiveShardedBackend); `num_shards` is clamped like build_sharded.
   static std::unique_ptr<QueryService> build_live_sharded(
       mpc::Engine& eng, const graph::Instance& inst, std::size_t num_shards,
       ServiceOptions opts = {},
       std::optional<PersistenceConfig> persist = std::nullopt);
 
-  /// What recover() found on disk (optional out-param for operators/tests).
-  struct RecoveredInfo {
-    std::uint64_t snapshot_generation = 0;  // the snapshot replay started from
-    std::uint64_t replayed_records = 0;     // journal tail applied on top
-    bool journal_was_torn = false;          // a torn tail was truncated
-  };
-
-  /// Reconstruct a persisted live tier without any distributed or host
-  /// rebuild: load the newest valid snapshot in cfg.dir, truncate any torn
-  /// journal tail, replay the remaining records through the ordinary update
-  /// path (each step's fingerprint chain and classification are checked
-  /// against the record), and resume journaling.  The recovered service
-  /// answers byte-identically to one that never crashed — the CI recovery
-  /// job enforces this against SIGKILLs at every commit-path phase.  Throws
-  /// ModelError when the directory holds no valid snapshot or the journal
-  /// does not chain.
+  /// [[deprecated]] Reconstruct a persisted live tier without any
+  /// distributed or host rebuild: load the newest valid snapshot in cfg.dir,
+  /// truncate any torn journal tail, replay the remaining records through
+  /// the ordinary update path (each step's fingerprint chain and
+  /// classification are checked against the record), and resume journaling.
+  /// The recovered service answers byte-identically to one that never
+  /// crashed — the CI recovery job enforces this against SIGKILLs at every
+  /// commit-path phase.  Throws ModelError when the directory holds no valid
+  /// snapshot or the journal does not chain.
   static std::unique_ptr<QueryService> recover(const PersistenceConfig& cfg,
                                                ServiceOptions opts = {},
                                                RecoveredInfo* info = nullptr);
@@ -136,6 +184,7 @@ class QueryService {
   const UpdatableBackend* updatable_backend() const {
     return updatable_.get();
   }
+  UpdatableBackend* updatable_backend() { return updatable_.get(); }
 
   /// Absorb one confirmed change (asserts updatable()).  The backend rotates
   /// its fingerprint, so cached answers of the previous generation can never

@@ -295,4 +295,78 @@ std::size_t ShardedSensitivityIndex::max_shard_words() const {
   return best;
 }
 
+// ---------------------------------------------------------------------------
+// In-place patch primitives (shared by scatter() and the net shard server).
+
+void shard_patch_tree(IndexShard& s, Vertex child, const TreeEdgeInfo& info) {
+  MPCMST_ASSERT(s.owns(child),
+                "shard_patch_tree: child " << child << " outside [" << s.lo
+                                           << ", " << s.hi << ")");
+  const auto slot = static_cast<std::size_t>(child - s.lo);
+  if (s.tree.sens[slot] != info.sens) {
+    // Reposition inside the shard-local fragility order, in place.
+    const auto old_it =
+        std::find(s.fragile_order.begin(), s.fragile_order.end(), child);
+    MPCMST_ASSERT(old_it != s.fragile_order.end(),
+                  "shard_patch_tree: child " << child
+                                             << " missing from shard order");
+    s.fragile_order.erase(old_it);
+    s.tree.set(slot, info);
+    const auto new_it = std::lower_bound(
+        s.fragile_order.begin(), s.fragile_order.end(), child,
+        [&s](Vertex a, Vertex b) {
+          const Weight sa = s.tree_sens(a);
+          const Weight sb = s.tree_sens(b);
+          return sa != sb ? sa < sb : a < b;
+        });
+    s.fragile_order.insert(new_it, child);
+  } else {
+    s.tree.set(slot, info);
+  }
+}
+
+bool shard_patch_nontree(IndexShard& s, bool owned, std::int64_t id,
+                         const NonTreeEdgeInfo& info) {
+  const std::ptrdiff_t slot = s.nontree_slot(id);
+  if (!owned) {
+    // The edge's owner is another shard (it moved, or was never here):
+    // drop any stale slot.
+    if (slot < 0) return false;
+    s.nontree_ids.erase(s.nontree_ids.begin() + slot);
+    s.nontree.erase(static_cast<std::size_t>(slot));
+    return true;
+  }
+  if (slot >= 0) {
+    s.nontree.set(static_cast<std::size_t>(slot), info);
+    return false;
+  }
+  const auto it =
+      std::lower_bound(s.nontree_ids.begin(), s.nontree_ids.end(), id);
+  const auto at = static_cast<std::size_t>(it - s.nontree_ids.begin());
+  s.nontree_ids.insert(it, id);
+  s.nontree.insert(at, info);
+  return true;
+}
+
+void shard_patch_endpoint(IndexShard& s, std::uint64_t key,
+                          const EdgeRef& ref) {
+  if (!ref.is_tree && ref.id < 0) {
+    // Erase marker (see ChangedSet): the key no longer resolves.
+    s.by_endpoints.erase(key);
+  } else {
+    s.by_endpoints[key] = ref;
+  }
+}
+
+void shard_refresh_cost(IndexShard& s) {
+  s.cost.tree_edges = s.fragile_order.size();
+  s.cost.nontree_edges = s.nontree.size();
+  s.cost.endpoint_entries = s.by_endpoints.size();
+  s.cost.resident_words =
+      s.tree.size() * mpc::words_per<TreeEdgeInfo>() +
+      s.nontree.size() * (mpc::words_per<NonTreeEdgeInfo>() + 1) +
+      s.by_endpoints.size() * (mpc::words_per<EdgeRef>() + 1) +
+      s.fragile_order.size();
+}
+
 }  // namespace mpcmst::service

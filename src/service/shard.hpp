@@ -113,6 +113,34 @@ struct IndexShard {
   }
 };
 
+// In-place patch primitives over one shard's slice.  The live sharded
+// backend's scatter() and the networked ShardServer's patch application both
+// go through these, so a label patched across a socket lands byte-identical
+// to one patched in-process — the parity guarantee is by construction, not
+// by parallel maintenance of two mutation paths.
+
+/// Overwrite the labels of owned tree edge {child, p(child)}, repositioning
+/// the child inside the shard-local fragility order when its sensitivity
+/// moved.  `child` must be owned by `s`.
+void shard_patch_tree(IndexShard& s, Vertex child, const TreeEdgeInfo& info);
+
+/// Reconcile non-tree edge `id` with this shard: when `owned`, upsert it
+/// into the sorted roster (labels overwritten in place when the slot already
+/// exists); otherwise erase any stale slot (the edge moved to another
+/// shard).  Returns true if the roster membership changed.
+bool shard_patch_nontree(IndexShard& s, bool owned, std::int64_t id,
+                         const NonTreeEdgeInfo& info);
+
+/// Upsert one endpoint-map entry; a ref with is_tree == false && id < 0 is
+/// the erase marker (see ChangedSet in update.hpp).  The caller routes the
+/// key to the shard owning its high vertex (key >> 32).
+void shard_patch_endpoint(IndexShard& s, std::uint64_t key, const EdgeRef& ref);
+
+/// Recompute the shard's cost receipt from its current sizes — a pure
+/// function of the slice, so refreshing an untouched shard is a no-op (the
+/// same formula as ShardedSensitivityIndex's finalize()).
+void shard_refresh_cost(IndexShard& s);
+
 /// The sensitivity snapshot as a set of vertex-range shards.  Same answers
 /// as the monolithic SensitivityIndex (byte-identical, see QueryRouter), but
 /// no single shard ever holds more than its range's slice of the labeling.
@@ -145,6 +173,10 @@ class ShardedSensitivityIndex {
 
   std::size_t num_shards() const { return shards_.size(); }
   const IndexShard& shard(std::size_t i) const { return shards_[i]; }
+
+  /// Vertices per shard range (partition arithmetic; the networked tier
+  /// mirrors shard_of() client-side from this and num_shards()).
+  std::size_t stride() const { return stride_; }
 
   /// Which shard owns vertex `v` (0 <= v < n)?  O(1): ranges are uniform
   /// stride-sized blocks (trailing shards may be empty).

@@ -33,8 +33,17 @@ static_assert(std::is_trivially_copyable_v<ShardCost>);
 
 void encode_endpoint_map(
     ByteWriter& w, const std::unordered_map<std::uint64_t, EdgeRef>& map) {
-  w.u64(map.size());
-  for (const auto& [key, ref] : map) {
+  // Canonical key order: the same logical map always encodes to the same
+  // bytes regardless of hash-table iteration order, so a decoded state
+  // re-encodes byte-identically (snapshots and kBootstrap payloads can be
+  // compared as raw bytes).
+  std::vector<std::uint64_t> keys;
+  keys.reserve(map.size());
+  for (const auto& [key, ref] : map) keys.push_back(key);
+  std::sort(keys.begin(), keys.end());
+  w.u64(keys.size());
+  for (const std::uint64_t key : keys) {
+    const EdgeRef& ref = map.at(key);
     w.u64(key);
     w.u8(ref.is_tree ? 1 : 0);
     w.i64(ref.id);
@@ -328,13 +337,26 @@ void write_snapshot(const std::string& dir, std::uint64_t generation,
   fsync_dir(dir);
 }
 
+void encode_index_shard(ByteWriter& w, const IndexShard& s) {
+  SnapshotCodec::encode_shard(w, s);
+}
+
+bool decode_index_shard(ByteReader& r, IndexShard& s) {
+  return SnapshotCodec::decode_shard(r, s);
+}
+
 std::optional<TierImage> load_snapshot_file(const std::string& path) {
   ScopedLatency load_lat(*service_metrics().snapshot_load);
   std::ifstream in(path, std::ios::binary);
   if (!in) return std::nullopt;
   std::vector<unsigned char> bytes{std::istreambuf_iterator<char>(in),
                                    std::istreambuf_iterator<char>()};
-  ByteReader header(bytes.data(), bytes.size());
+  return parse_snapshot_bytes(bytes.data(), bytes.size());
+}
+
+std::optional<TierImage> parse_snapshot_bytes(const unsigned char* data,
+                                              std::size_t size) {
+  ByteReader header(data, size);
   char magic[8];
   header.bytes(magic, sizeof magic);
   if (!header.ok() || std::memcmp(magic, kMagic, sizeof kMagic) != 0)
@@ -346,8 +368,7 @@ std::optional<TierImage> load_snapshot_file(const std::string& path) {
   if (!header.ok() || header.remaining() < 4 ||
       payload_len != header.remaining() - 4)
     return std::nullopt;
-  const unsigned char* payload =
-      bytes.data() + (bytes.size() - payload_len - 4);
+  const unsigned char* payload = data + (size - payload_len - 4);
   std::uint32_t stored_crc;
   std::memcpy(&stored_crc, payload + payload_len, 4);
   if (stored_crc != crc32(payload, static_cast<std::size_t>(payload_len)))

@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "common/binio.hpp"
 #include "graph/instance.hpp"
 #include "service/index.hpp"
 #include "service/journal.hpp"
@@ -66,6 +67,21 @@ struct TierImage {
 /// Parse and validate one snapshot file (nullopt: unreadable, foreign,
 /// version-mismatched, CRC-failed, or fingerprint-inconsistent).
 std::optional<TierImage> load_snapshot_file(const std::string& path);
+
+/// Validate a whole snapshot file held in memory — the same checks as
+/// load_snapshot_file, minus the read.  The replication tier (net/) ships
+/// the newest snapshot file verbatim to a joining replica, which parses the
+/// received bytes through this before trusting any of them.
+std::optional<TierImage> parse_snapshot_bytes(const unsigned char* data,
+                                              std::size_t size);
+
+// Shard-slice codec reuse for the network tier: a kBootstrap payload carries
+// one IndexShard through exactly the codec the snapshot file uses, so a
+// shard shipped over a socket deserializes byte-identical to one loaded from
+// disk.  decode returns false on any structural inconsistency (the caller
+// owns CRC framing).
+void encode_index_shard(ByteWriter& w, const IndexShard& s);
+bool decode_index_shard(ByteReader& r, IndexShard& s);
 
 /// The newest generation in `dir` that validates end-to-end.
 std::optional<TierImage> load_newest_snapshot(const std::string& dir);

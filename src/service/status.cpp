@@ -1,0 +1,48 @@
+#include "service/status.hpp"
+
+#include "service/query.hpp"
+
+namespace mpcmst::service {
+
+// The per-answer prefix of ServiceStatus must stay numerically identical to
+// query.hpp's Status: the wire layer transports answers with one code space.
+static_assert(static_cast<std::uint8_t>(ServiceStatus::kOk) ==
+              static_cast<std::uint8_t>(Status::kOk));
+static_assert(static_cast<std::uint8_t>(ServiceStatus::kUnknownEdge) ==
+              static_cast<std::uint8_t>(Status::kUnknownEdge));
+static_assert(static_cast<std::uint8_t>(ServiceStatus::kNotApplicable) ==
+              static_cast<std::uint8_t>(Status::kNotApplicable));
+static_assert(static_cast<std::uint8_t>(ServiceStatus::kWouldDisconnect) ==
+              static_cast<std::uint8_t>(Status::kWouldDisconnect));
+
+const char* to_string(ServiceStatus s) {
+  switch (s) {
+    case ServiceStatus::kOk:
+      return "ok";
+    case ServiceStatus::kUnknownEdge:
+      return "unknown_edge";
+    case ServiceStatus::kNotApplicable:
+      return "not_applicable";
+    case ServiceStatus::kWouldDisconnect:
+      return "would_disconnect";
+    case ServiceStatus::kPoisoned:
+      return "poisoned";
+    case ServiceStatus::kInvalidRequest:
+      return "invalid_request";
+    case ServiceStatus::kWireError:
+      return "wire_error";
+    case ServiceStatus::kTimeout:
+      return "timeout";
+    case ServiceStatus::kVersionMismatch:
+      return "version_mismatch";
+    case ServiceStatus::kEpochRetry:
+      return "epoch_retry";
+    case ServiceStatus::kNotLeader:
+      return "not_leader";
+    case ServiceStatus::kUnavailable:
+      return "unavailable";
+  }
+  return "unknown";
+}
+
+}  // namespace mpcmst::service

@@ -8,6 +8,7 @@
 #include "mpc/dist.hpp"
 #include "sensitivity/sensitivity.hpp"
 #include "service/snapshot.hpp"
+#include "service/status.hpp"
 #include "service/telemetry.hpp"
 
 namespace mpcmst::service {
@@ -710,10 +711,10 @@ LiveCore::Outcome LiveCore::apply_event(const EdgeEvent& ev) {
   return {};
 }
 
-namespace {
+// Commit-path building blocks (declared in update.hpp): shared by both live
+// backends and the networked leader so receipts, journal frames and the
+// epoch-advance rule can never drift between deployments.
 
-/// Shared receipt assembly for both live backends (the caller stamps the
-/// generation after deciding whether the epoch advances).
 UpdateReceipt make_update_receipt(const LiveCore& core,
                                   const LiveCore::Outcome& out,
                                   std::uint64_t old_fingerprint) {
@@ -752,7 +753,50 @@ JournalRecord make_journal_record(std::uint64_t epoch, const UpdateReceipt& r,
   return rec;
 }
 
-}  // namespace
+void record_update_telemetry(const UpdateReceipt& r,
+                             std::uint64_t duration_ns) {
+  ServiceMetrics& tm = service_metrics();
+  if (r.report.status != Status::kOk) {
+    tm.update_rejects->inc();
+    return;
+  }
+  const auto cls = static_cast<std::size_t>(r.report.cls) % kNumUpdateClasses;
+  tm.updates[cls]->inc();
+  if (duration_ns != 0) tm.update_latency[cls]->record(duration_ns);
+}
+
+UpdateReceipt replay_journal_record(UpdatableBackend& backend,
+                                    const JournalRecord& rec) {
+  MPCMST_CHECK(backend.fingerprint() == rec.old_fingerprint,
+               "replay: journal record " << rec.generation
+                                         << " does not chain from the "
+                                            "current fingerprint");
+  // Dispatch on the journaled op (v2 frames; v1 upgrades carry op = 0 =
+  // reweight, the only op that existed then).
+  UpdateReceipt r;
+  switch (static_cast<UpdateOp>(rec.op)) {
+    case UpdateOp::kReweight:
+      r = backend.apply_update(rec.u, rec.v, rec.new_w);
+      break;
+    case UpdateOp::kAddEdge:
+      r = backend.add_edge(rec.u, rec.v, rec.new_w);
+      break;
+    case UpdateOp::kRemoveEdge:
+      r = backend.remove_edge(rec.u, rec.v);
+      break;
+    default:
+      MPCMST_CHECK(false, "replay: journal record "
+                              << rec.generation << " carries unknown op "
+                              << static_cast<int>(rec.op));
+  }
+  MPCMST_CHECK(r.report.status == Status::kOk &&
+                   static_cast<std::uint8_t>(r.report.cls) == rec.cls &&
+                   r.new_fingerprint == rec.new_fingerprint &&
+                   r.generation == rec.generation,
+               "replay: record " << rec.generation
+                                 << " diverged from the journal");
+  return r;
+}
 
 // ---------------------------------------------------------------------------
 // LiveMonolithBackend
@@ -820,91 +864,22 @@ graph::Instance LiveMonolithBackend::instance_snapshot() const {
   return core_.instance();
 }
 
-namespace {
-
-/// Telemetry tail shared by both live backends: per-classification totals
-/// and latency (t0 == 0 means the clock was skipped — metrics disabled).
-void record_update_telemetry(const UpdateReceipt& r, std::uint64_t t0) {
-  ServiceMetrics& tm = service_metrics();
-  if (r.report.status != Status::kOk) {
-    tm.update_rejects->inc();
-    return;
-  }
-  const auto cls = static_cast<std::size_t>(r.report.cls) % kNumUpdateClasses;
-  tm.updates[cls]->inc();
-  if (t0 != 0) tm.update_latency[cls]->record(metrics_now_ns() - t0);
-}
-
-}  // namespace
-
 void LiveMonolithBackend::check_not_poisoned() const {
-  MPCMST_CHECK(!poisoned_.load(std::memory_order_acquire),
-               "live backend is poisoned: a journal commit failed after the "
-               "state mutated; recover the tier from its persistence dir");
-}
-
-UpdateReceipt LiveMonolithBackend::apply_one(const EdgeEvent& ev) {
-  check_not_poisoned();
-  const std::uint64_t old_fp = core_.index().fingerprint();
-  const auto out = core_.apply_event(ev);
-  UpdateReceipt r = make_update_receipt(core_, out, old_fp);
-  if (advances_epoch(r.report)) {
-    const std::uint64_t epoch =
-        generation_.load(std::memory_order_relaxed) + 1;
-    // Commit point: the record is durable (per sync_mode) before the new
-    // generation becomes visible — an acknowledged change always replays.
-    // Fail-stop: if the commit throws, the core already holds the new state
-    // with no journal record behind it; this backend must never serve again
-    // (recovery from the persistence dir lands on the pre-update state).
-    try {
-      if (persist_) persist_->commit(make_journal_record(epoch, r, ev));
-    } catch (...) {
-      poisoned_.store(true, std::memory_order_release);
-      throw;
-    }
-    generation_.store(epoch, std::memory_order_release);
-    try {
-      if (persist_ && persist_->checkpoint_due())
-        persist_->checkpoint(epoch, core_.index(), nullptr);
-    } catch (...) {
-      poisoned_.store(true, std::memory_order_release);
-      throw;
-    }
+  if (poisoned_.load(std::memory_order_acquire)) {
+    throw ServiceError(
+        ServiceStatus::kPoisoned,
+        "live backend is poisoned: a journal commit failed after the "
+        "state mutated; recover the tier from its persistence dir");
   }
-  r.generation = generation_.load(std::memory_order_relaxed);
-  return r;
-}
-
-UpdateReceipt LiveMonolithBackend::apply_update(Vertex u, Vertex v,
-                                                Weight new_w) {
-  const std::uint64_t t0 = metrics_enabled() ? metrics_now_ns() : 0;
-  std::unique_lock lock(mu_);
-  const UpdateReceipt r =
-      apply_one(EdgeEvent{UpdateOp::kReweight, u, v, new_w});
-  record_update_telemetry(r, t0);
-  return r;
-}
-
-UpdateReceipt LiveMonolithBackend::add_edge(Vertex u, Vertex v, Weight w) {
-  const std::uint64_t t0 = metrics_enabled() ? metrics_now_ns() : 0;
-  std::unique_lock lock(mu_);
-  const UpdateReceipt r = apply_one(EdgeEvent{UpdateOp::kAddEdge, u, v, w});
-  record_update_telemetry(r, t0);
-  return r;
-}
-
-UpdateReceipt LiveMonolithBackend::remove_edge(Vertex u, Vertex v) {
-  const std::uint64_t t0 = metrics_enabled() ? metrics_now_ns() : 0;
-  std::unique_lock lock(mu_);
-  const UpdateReceipt r = apply_one(EdgeEvent{UpdateOp::kRemoveEdge, u, v, 0});
-  record_update_telemetry(r, t0);
-  return r;
 }
 
 std::vector<UpdateReceipt> LiveMonolithBackend::ingest(
     const std::vector<EdgeEvent>& events) {
+  const bool timed = metrics_enabled();
   std::vector<UpdateReceipt> receipts;
+  std::vector<std::uint64_t> durations;
   receipts.reserve(events.size());
+  durations.reserve(events.size());
   std::unique_lock lock(mu_);
   check_not_poisoned();
   std::uint64_t epoch = generation_.load(std::memory_order_relaxed);
@@ -916,6 +891,7 @@ std::vector<UpdateReceipt> LiveMonolithBackend::ingest(
   // that poisons the backend — applied-but-unjournaled state must not serve.
   try {
     for (const EdgeEvent& ev : events) {
+      const std::uint64_t t0 = timed ? metrics_now_ns() : 0;
       const std::uint64_t old_fp = core_.index().fingerprint();
       const auto out = core_.apply_event(ev);
       UpdateReceipt r = make_update_receipt(core_, out, old_fp);
@@ -925,13 +901,18 @@ std::vector<UpdateReceipt> LiveMonolithBackend::ingest(
       }
       r.generation = epoch;
       receipts.push_back(std::move(r));
+      durations.push_back(timed ? metrics_now_ns() - t0 : 0);
     }
-    if (persist_) persist_->commit_batch(staged);
+    if (persist_ && !staged.empty()) persist_->commit_batch(staged);
   } catch (...) {
     poisoned_.store(true, std::memory_order_release);
     throw;
   }
   generation_.store(epoch, std::memory_order_release);
+  // Journal shipping tap: the batch is durable and published — stream it to
+  // any subscribed replica hub before the writer section ends, so shipped
+  // records leave in commit order.
+  if (commit_listener_ && !staged.empty()) commit_listener_(staged);
   try {
     if (persist_ && persist_->checkpoint_due())
       persist_->checkpoint(epoch, core_.index(), nullptr);
@@ -940,7 +921,8 @@ std::vector<UpdateReceipt> LiveMonolithBackend::ingest(
     throw;
   }
   lock.unlock();
-  for (const UpdateReceipt& r : receipts) record_update_telemetry(r, 0);
+  for (std::size_t i = 0; i < receipts.size(); ++i)
+    record_update_telemetry(receipts[i], durations[i]);
   return receipts;
 }
 
@@ -1054,82 +1036,33 @@ void LiveShardedBackend::scatter(const ChangedSet& changed,
     // per-shard fragility orders and cost receipts come out recomputed.
     shards_ = *ShardedSensitivityIndex::split(m, shards_.num_shards());
   } else {
-    for (const Vertex c : changed.tree_children) {
-      IndexShard& s = shards_.shards_[shards_.shard_of(c)];
-      const auto slot = static_cast<std::size_t>(c - s.lo);
-      const TreeEdgeInfo info = m.tree_edge(c);
-      if (s.tree.sens[slot] != info.sens) {
-        // Reposition inside the shard-local fragility order, in place.
-        const auto old_it =
-            std::find(s.fragile_order.begin(), s.fragile_order.end(), c);
-        MPCMST_ASSERT(old_it != s.fragile_order.end(),
-                      "scatter: child " << c << " missing from shard order");
-        s.fragile_order.erase(old_it);
-        s.tree.set(slot, info);
-        const auto new_it = std::lower_bound(
-            s.fragile_order.begin(), s.fragile_order.end(), c,
-            [&s](Vertex a, Vertex b) {
-              const Weight sa = s.tree_sens(a);
-              const Weight sb = s.tree_sens(b);
-              return sa != sb ? sa < sb : a < b;
-            });
-        s.fragile_order.insert(new_it, c);
-      } else {
-        s.tree.set(slot, info);
-      }
-    }
+    // Each mutation goes through the shared shard patch primitives
+    // (shard.hpp) — the same functions the networked ShardServer applies,
+    // so a slice behind a socket and a slice in this process stay
+    // byte-identical by construction.
+    for (const Vertex c : changed.tree_children)
+      shard_patch_tree(shards_.shards_[shards_.shard_of(c)], c,
+                       m.tree_edge(c));
     bool moved = false;
     for (const std::int64_t id : changed.nontree_ids) {
+      // A fresh insert lands in a grown slot; a tombstone rehomes to
+      // shard_of(0).  Reconciling every shard against the unique owner
+      // evicts the stale slot wherever it was.
       const NonTreeEdgeInfo info = m.nontree_edge(id);
-      IndexShard& owner =
-          shards_.shards_[shards_.shard_of(std::min(info.u, info.v))];
-      const std::ptrdiff_t slot = owner.nontree_slot(id);
-      if (slot >= 0) {
-        owner.nontree.set(static_cast<std::size_t>(slot), info);
-        continue;
-      }
-      // The edge is new to its owner — a fresh insert landing in a grown
-      // slot, or a tombstone rehoming to shard_of(0): evict it from
-      // whichever shard held it (if any), then sorted-insert here.
-      moved = true;
-      for (IndexShard& s : shards_.shards_) {
-        const std::ptrdiff_t old_slot = s.nontree_slot(id);
-        if (old_slot < 0) continue;
-        s.nontree_ids.erase(s.nontree_ids.begin() + old_slot);
-        s.nontree.erase(static_cast<std::size_t>(old_slot));
-        break;
-      }
-      const auto it = std::lower_bound(owner.nontree_ids.begin(),
-                                       owner.nontree_ids.end(), id);
-      const auto at = static_cast<std::size_t>(it - owner.nontree_ids.begin());
-      owner.nontree_ids.insert(it, id);
-      owner.nontree.insert(at, info);
+      const std::size_t owner = shards_.shard_of(std::min(info.u, info.v));
+      for (std::size_t i = 0; i < shards_.shards_.size(); ++i)
+        moved |= shard_patch_nontree(shards_.shards_[i], i == owner, id, info);
     }
-    for (const auto& [key, ref] : changed.endpoints) {
-      IndexShard& s =
-          shards_.shards_[shards_.shard_of(static_cast<Vertex>(key >> 32))];
-      if (!ref.is_tree && ref.id < 0) {
-        // Erase marker (see ChangedSet): the key no longer resolves.
-        s.by_endpoints.erase(key);
-      } else {
-        s.by_endpoints[key] = ref;
-      }
-    }
+    for (const auto& [key, ref] : changed.endpoints)
+      shard_patch_endpoint(
+          shards_.shards_[shards_.shard_of(static_cast<Vertex>(key >> 32))],
+          key, ref);
     moved = moved || shards_.num_nontree_ != m.num_nontree();
     shards_.num_nontree_ = m.num_nontree();
     if (moved || !changed.endpoints.empty()) {
       // Topology churn resized a shard's columns or endpoint map: refresh
       // the cost receipts in place (same formula as finalize()).
-      for (IndexShard& s : shards_.shards_) {
-        s.cost.tree_edges = s.fragile_order.size();
-        s.cost.nontree_edges = s.nontree.size();
-        s.cost.endpoint_entries = s.by_endpoints.size();
-        s.cost.resident_words =
-            s.tree.size() * mpc::words_per<TreeEdgeInfo>() +
-            s.nontree.size() * (mpc::words_per<NonTreeEdgeInfo>() + 1) +
-            s.by_endpoints.size() * (mpc::words_per<EdgeRef>() + 1) +
-            s.fragile_order.size();
-      }
+      for (IndexShard& s : shards_.shards_) shard_refresh_cost(s);
     }
     shards_.fingerprint_ = m.fingerprint();
   }
@@ -1140,75 +1073,21 @@ void LiveShardedBackend::scatter(const ChangedSet& changed,
 }
 
 void LiveShardedBackend::check_not_poisoned() const {
-  MPCMST_CHECK(!poisoned_.load(std::memory_order_acquire),
-               "live backend is poisoned: a journal commit failed after the "
-               "state mutated; recover the tier from its persistence dir");
-}
-
-UpdateReceipt LiveShardedBackend::apply_one(const EdgeEvent& ev) {
-  check_not_poisoned();
-  const std::uint64_t old_fp = shards_.fingerprint();
-  const auto out = core_.apply_event(ev);
-  UpdateReceipt r = make_update_receipt(core_, out, old_fp);
-  if (advances_epoch(r.report)) {
-    const std::uint64_t epoch =
-        generation_.load(std::memory_order_relaxed) + 1;
-    // Commit point: journal first, then patch the serving shards, and only
-    // then publish the new generation — the epoch barrier (and with it
-    // query visibility) comes after both durability AND the scatter, so a
-    // reader that observes the new generation always sees the new shards.
-    // Fail-stop: a throw from either leaves the core ahead of the journal
-    // (or the shards mid-patch); the backend must never serve again.
-    try {
-      if (persist_) persist_->commit(make_journal_record(epoch, r, ev));
-      scatter(out.changed, epoch);
-    } catch (...) {
-      poisoned_.store(true, std::memory_order_release);
-      throw;
-    }
-    generation_.store(epoch, std::memory_order_release);
-    try {
-      if (persist_ && persist_->checkpoint_due())
-        persist_->checkpoint(epoch, core_.index(), &shards_);
-    } catch (...) {
-      poisoned_.store(true, std::memory_order_release);
-      throw;
-    }
+  if (poisoned_.load(std::memory_order_acquire)) {
+    throw ServiceError(
+        ServiceStatus::kPoisoned,
+        "live backend is poisoned: a journal commit failed after the "
+        "state mutated; recover the tier from its persistence dir");
   }
-  r.generation = generation_.load(std::memory_order_relaxed);
-  return r;
-}
-
-UpdateReceipt LiveShardedBackend::apply_update(Vertex u, Vertex v,
-                                               Weight new_w) {
-  const std::uint64_t t0 = metrics_enabled() ? metrics_now_ns() : 0;
-  std::unique_lock lock(mu_);
-  const UpdateReceipt r =
-      apply_one(EdgeEvent{UpdateOp::kReweight, u, v, new_w});
-  record_update_telemetry(r, t0);
-  return r;
-}
-
-UpdateReceipt LiveShardedBackend::add_edge(Vertex u, Vertex v, Weight w) {
-  const std::uint64_t t0 = metrics_enabled() ? metrics_now_ns() : 0;
-  std::unique_lock lock(mu_);
-  const UpdateReceipt r = apply_one(EdgeEvent{UpdateOp::kAddEdge, u, v, w});
-  record_update_telemetry(r, t0);
-  return r;
-}
-
-UpdateReceipt LiveShardedBackend::remove_edge(Vertex u, Vertex v) {
-  const std::uint64_t t0 = metrics_enabled() ? metrics_now_ns() : 0;
-  std::unique_lock lock(mu_);
-  const UpdateReceipt r = apply_one(EdgeEvent{UpdateOp::kRemoveEdge, u, v, 0});
-  record_update_telemetry(r, t0);
-  return r;
 }
 
 std::vector<UpdateReceipt> LiveShardedBackend::ingest(
     const std::vector<EdgeEvent>& events) {
+  const bool timed = metrics_enabled();
   std::vector<UpdateReceipt> receipts;
+  std::vector<std::uint64_t> durations;
   receipts.reserve(events.size());
+  durations.reserve(events.size());
   std::unique_lock lock(mu_);
   check_not_poisoned();
   std::uint64_t epoch = generation_.load(std::memory_order_relaxed);
@@ -1220,6 +1099,7 @@ std::vector<UpdateReceipt> LiveShardedBackend::ingest(
   // (or shards stamped ahead of the published generation) must not serve.
   try {
     for (const EdgeEvent& ev : events) {
+      const std::uint64_t t0 = timed ? metrics_now_ns() : 0;
       const std::uint64_t old_fp = shards_.fingerprint();
       const auto out = core_.apply_event(ev);
       UpdateReceipt r = make_update_receipt(core_, out, old_fp);
@@ -1230,13 +1110,16 @@ std::vector<UpdateReceipt> LiveShardedBackend::ingest(
       }
       r.generation = epoch;
       receipts.push_back(std::move(r));
+      durations.push_back(timed ? metrics_now_ns() - t0 : 0);
     }
-    if (persist_) persist_->commit_batch(staged);
+    if (persist_ && !staged.empty()) persist_->commit_batch(staged);
   } catch (...) {
     poisoned_.store(true, std::memory_order_release);
     throw;
   }
   generation_.store(epoch, std::memory_order_release);
+  // Journal shipping tap (see the monolith's ingest).
+  if (commit_listener_ && !staged.empty()) commit_listener_(staged);
   try {
     if (persist_ && persist_->checkpoint_due())
       persist_->checkpoint(epoch, core_.index(), &shards_);
@@ -1245,7 +1128,8 @@ std::vector<UpdateReceipt> LiveShardedBackend::ingest(
     throw;
   }
   lock.unlock();
-  for (const UpdateReceipt& r : receipts) record_update_telemetry(r, 0);
+  for (std::size_t i = 0; i < receipts.size(); ++i)
+    record_update_telemetry(receipts[i], durations[i]);
   return receipts;
 }
 

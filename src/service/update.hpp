@@ -42,12 +42,14 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <shared_mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "service/index.hpp"
+#include "service/journal.hpp"
 #include "service/query.hpp"
 #include "service/router.hpp"
 #include "service/shard.hpp"
@@ -236,14 +238,26 @@ class LiveCore {
 /// A backend that absorbs confirmed changes.  `generation()` (inherited)
 /// advances on every applied update; `instance_snapshot()` hands the
 /// canonical current instance to oracles and operators.
+///
+/// ingest() is the single mutation entry point: the journal v2 op byte
+/// already discriminates reweight / insert / delete, so every other mutator
+/// is a one-line wrapper building a single-event batch.  Implementations
+/// provide exactly one lock/journal/poison commit path.
 class UpdatableBackend : public IndexBackend {
  public:
-  virtual UpdateReceipt apply_update(Vertex u, Vertex v, Weight new_w) = 0;
+  /// Absorb one confirmed weight change: ingest of a single kReweight event.
+  UpdateReceipt apply_update(Vertex u, Vertex v, Weight new_w) {
+    return ingest({EdgeEvent{UpdateOp::kReweight, u, v, new_w}}).front();
+  }
   /// Topology churn: insert / delete an edge (same receipt contract as
   /// apply_update; a refused tree delete reports Status::kWouldDisconnect
   /// without mutating or advancing the epoch).
-  virtual UpdateReceipt add_edge(Vertex u, Vertex v, Weight w) = 0;
-  virtual UpdateReceipt remove_edge(Vertex u, Vertex v) = 0;
+  UpdateReceipt add_edge(Vertex u, Vertex v, Weight w) {
+    return ingest({EdgeEvent{UpdateOp::kAddEdge, u, v, w}}).front();
+  }
+  UpdateReceipt remove_edge(Vertex u, Vertex v) {
+    return ingest({EdgeEvent{UpdateOp::kRemoveEdge, u, v, 0}}).front();
+  }
   /// Absorb a raw edge stream under ONE writer critical section: every
   /// event is applied and journaled (group commit — one buffered append +
   /// fsync for the whole batch), and the new generation becomes visible
@@ -252,6 +266,17 @@ class UpdatableBackend : public IndexBackend {
   virtual std::vector<UpdateReceipt> ingest(
       const std::vector<EdgeEvent>& events) = 0;
   virtual graph::Instance instance_snapshot() const = 0;
+
+  /// Observer of durable commits: invoked inside the writer critical
+  /// section, after the batch's journal records are durable and the new
+  /// generation is published, with the records in generation order.  This is
+  /// the journal-shipping tap the replication tier (net/replicate.hpp)
+  /// subscribes to; in-process deployments never set it.  Install before
+  /// serving traffic — the setter is not synchronized against ingest.
+  using CommitListener = std::function<void(const std::vector<JournalRecord>&)>;
+  void set_commit_listener(CommitListener fn) {
+    commit_listener_ = std::move(fn);
+  }
 
   /// Attach a journal + snapshot coordinator (snapshot.hpp): every
   /// subsequently applied change is committed to the journal before the new
@@ -262,7 +287,42 @@ class UpdatableBackend : public IndexBackend {
   /// Force a snapshot + journal compaction of the current generation
   /// (no-op when no persistence is attached).
   virtual void checkpoint() = 0;
+
+ protected:
+  CommitListener commit_listener_;  // null: nobody listening
 };
+
+// Commit-path building blocks shared by the live backends and the networked
+// leader (net/), so receipts, journal frames and the epoch-advance rule can
+// never drift between deployments.
+
+/// Receipt assembly for one applied outcome (the caller stamps the
+/// generation after deciding whether the epoch advances).
+UpdateReceipt make_update_receipt(const LiveCore& core,
+                                  const LiveCore::Outcome& out,
+                                  std::uint64_t old_fingerprint);
+
+/// Does this report advance the epoch (kOk and not kNoChange)?
+bool advances_epoch(const UpdateReport& rep);
+
+/// The journal record for one applied event: the submitted inputs (replay
+/// re-dispatches them against the identical pre-state) plus the fingerprint
+/// chain and the epoch the change produced.
+JournalRecord make_journal_record(std::uint64_t epoch, const UpdateReceipt& r,
+                                  const EdgeEvent& ev);
+
+/// Per-classification totals and latency (duration_ns == 0: clock skipped).
+void record_update_telemetry(const UpdateReceipt& r,
+                             std::uint64_t duration_ns);
+
+/// Replay one committed journal record through the ordinary update path,
+/// holding the outcome to the record: the pre-state fingerprint must chain,
+/// and the replayed classification / fingerprint / generation must equal
+/// what the journal promised — or ModelError.  The caller owns the
+/// generation-contiguity check (recover() fails hard on a gap; a journal-
+/// shipped replica treats a gap as "resubscribe from my generation").
+UpdateReceipt replay_journal_record(UpdatableBackend& backend,
+                                    const JournalRecord& rec);
 
 /// The monolithic snapshot made live: LiveCore behind a reader-writer lock.
 class LiveMonolithBackend final : public UpdatableBackend {
@@ -295,9 +355,9 @@ class LiveMonolithBackend final : public UpdatableBackend {
   std::optional<NonTreeEdgeInfo> nontree_info(
       std::int64_t orig_id) const override;
 
-  UpdateReceipt apply_update(Vertex u, Vertex v, Weight new_w) override;
-  UpdateReceipt add_edge(Vertex u, Vertex v, Weight w) override;
-  UpdateReceipt remove_edge(Vertex u, Vertex v) override;
+  /// Single mutation path (see UpdatableBackend): apply each event under
+  /// the writer lock, group-commit the journal records (fail-stop on a
+  /// throwing commit), then publish the epoch.
   std::vector<UpdateReceipt> ingest(
       const std::vector<EdgeEvent>& events) override;
   graph::Instance instance_snapshot() const override;
@@ -305,9 +365,6 @@ class LiveMonolithBackend final : public UpdatableBackend {
   void checkpoint() override;
 
  private:
-  /// One event under the writer lock: apply, journal (fail-stop on a
-  /// throwing commit), publish the epoch, maybe checkpoint.
-  UpdateReceipt apply_one(const EdgeEvent& ev);
   void check_not_poisoned() const;
 
   mutable std::shared_mutex mu_;
@@ -369,9 +426,11 @@ class LiveShardedBackend final : public UpdatableBackend {
   std::optional<NonTreeEdgeInfo> nontree_info(
       std::int64_t orig_id) const override;
 
-  UpdateReceipt apply_update(Vertex u, Vertex v, Weight new_w) override;
-  UpdateReceipt add_edge(Vertex u, Vertex v, Weight w) override;
-  UpdateReceipt remove_edge(Vertex u, Vertex v) override;
+  /// Single mutation path (see UpdatableBackend): apply and scatter each
+  /// event under the writer lock (readers are excluded for the duration, so
+  /// scattering pre-commit is safe), group-commit, THEN publish the epoch —
+  /// the store comes after scatter() so a lock-free generation() reader can
+  /// never observe epoch N+1 while shard labels are still at N.
   std::vector<UpdateReceipt> ingest(
       const std::vector<EdgeEvent>& events) override;
   graph::Instance instance_snapshot() const override;
@@ -382,11 +441,6 @@ class LiveShardedBackend final : public UpdatableBackend {
   const ShardedSensitivityIndex& sharded() const { return shards_; }
 
  private:
-  /// One event under the writer lock: apply, journal (fail-stop on a
-  /// throwing commit), patch the shards, THEN publish the epoch — the
-  /// store must come after scatter() so a lock-free generation() reader
-  /// can never observe epoch N+1 while shard labels are still at N.
-  UpdateReceipt apply_one(const EdgeEvent& ev);
   void check_not_poisoned() const;
   void scatter(const ChangedSet& changed, std::uint64_t epoch);
 

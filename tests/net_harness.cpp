@@ -1,0 +1,318 @@
+// Process-level harness for the networked tier, driven by the CI `network`
+// job (and registered with CTest so plain `ctest` exercises it).  Spawns
+// real `net_server` processes on loopback (port 0; endpoints parsed from
+// each child's "LISTENING <ep>" log line — the logs stay in <dir> so CI can
+// upload them on failure) and checks:
+//
+//   1. parity: a leader over two shard-server processes answers every probe
+//      query byte-identically to an in-process build of the same
+//      deterministic (n, seed) instance;
+//   2. shard death: SIGKILL one shard server, restart an empty one on the
+//      same endpoint — ingest + queries heal it (receipts and answers still
+//      match the in-process oracle);
+//   3. replication: a replica process subscribed to a persistent leader
+//      catches up to the leader's generation/fingerprint, the leader is
+//      SIGKILLed mid-stream, and the replica keeps serving reads at its
+//      last contiguous generation (and refuses mutations with kNotLeader).
+//
+//   usage: net_harness <net_server_binary> <dir>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+#include <fcntl.h>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/check.hpp"
+#include "graph/generators.hpp"
+#include "net/client.hpp"
+#include "net/wire.hpp"
+#include "service/service.hpp"
+#include "test_util.hpp"
+
+namespace g = mpcmst::graph;
+namespace svc = mpcmst::service;
+namespace net = mpcmst::service::net;
+using net::MsgType;
+
+namespace {
+
+constexpr std::size_t kN = 48;
+constexpr std::uint64_t kSeed = 7;
+
+/// net_server's deterministic workload instance (keep in sync with
+/// examples/net_server.cpp): the oracle rebuilds it in-process.
+g::Instance make_instance(std::size_t n, std::uint64_t seed) {
+  auto tree = g::random_recursive_tree(n, seed);
+  g::assign_random_tree_weights(tree, 1, 40, seed + 2);
+  return g::make_mst_instance(std::move(tree), 2 * n, seed + 4, /*slack=*/4);
+}
+
+// --- child process management ----------------------------------------------
+
+struct Child {
+  pid_t pid = -1;
+  std::string log;
+};
+
+/// fork + execv with stdout/stderr into `log` (argument strings are built
+/// before fork, crash_harness-style).
+Child spawn(const std::string& exe, const std::vector<std::string>& args,
+            const std::string& log) {
+  std::vector<const char*> argv;
+  argv.push_back(exe.c_str());
+  for (const std::string& a : args) argv.push_back(a.c_str());
+  argv.push_back(nullptr);
+  const pid_t pid = ::fork();
+  if (pid == 0) {
+    const int fd = ::open(log.c_str(), O_CREAT | O_WRONLY | O_APPEND, 0644);
+    if (fd >= 0) {
+      ::dup2(fd, 1);
+      ::dup2(fd, 2);
+    }
+    ::execv(exe.c_str(), const_cast<char**>(argv.data()));
+    ::_exit(127);
+  }
+  MPCMST_ASSERT(pid > 0, "fork failed");
+  return Child{pid, log};
+}
+
+void kill_child(Child& c, int sig = SIGKILL) {
+  if (c.pid <= 0) return;
+  ::kill(c.pid, sig);
+  int status = 0;
+  ::waitpid(c.pid, &status, 0);
+  c.pid = -1;
+}
+
+/// Poll the child's log for "LISTENING <endpoint>".
+std::string wait_listening(const Child& c, int timeout_ms = 30000) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+  while (std::chrono::steady_clock::now() < deadline) {
+    std::ifstream in(c.log);
+    std::string line;
+    while (std::getline(in, line))
+      if (line.rfind("LISTENING ", 0) == 0) return line.substr(10);
+    // A child that already died will never listen; fail fast.
+    int status = 0;
+    MPCMST_ASSERT(::waitpid(c.pid, &status, WNOHANG) == 0,
+                  "child exited before LISTENING (see " << c.log << ")");
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  MPCMST_ASSERT(false, "timeout waiting for LISTENING in " << c.log);
+  return {};
+}
+
+// --- service-endpoint client (kQuery / kIngest / kStats) --------------------
+
+svc::Answer remote_answer(net::ShardConn& conn, const svc::Query& q) {
+  mpcmst::ByteWriter body;
+  net::encode_query(body, q);
+  const net::Frame f = conn.call(MsgType::kQuery, body);
+  MPCMST_ASSERT(f.type == MsgType::kQueryReply, "unexpected kQuery reply");
+  mpcmst::ByteReader r(f.body.data(), f.body.size());
+  svc::Answer a;
+  net::WireStamp st;
+  MPCMST_ASSERT(net::decode_answer(r, a) && net::decode_stamp(r, st),
+                "truncated kQueryReply");
+  return a;
+}
+
+std::vector<svc::UpdateReceipt> remote_ingest(
+    net::ShardConn& conn, const std::vector<svc::EdgeEvent>& events) {
+  mpcmst::ByteWriter body;
+  body.u64(events.size());
+  for (const svc::EdgeEvent& ev : events) net::encode_edge_event(body, ev);
+  const net::Frame f = conn.call(MsgType::kIngest, body);
+  MPCMST_ASSERT(f.type == MsgType::kIngestReply, "unexpected kIngest reply");
+  mpcmst::ByteReader r(f.body.data(), f.body.size());
+  const std::uint64_t count = r.u64();
+  std::vector<svc::UpdateReceipt> out(static_cast<std::size_t>(count));
+  for (svc::UpdateReceipt& rc : out)
+    MPCMST_ASSERT(net::decode_update_receipt(r, rc),
+                  "truncated kIngestReply");
+  return out;
+}
+
+net::WireStats remote_stats(net::ShardConn& conn) {
+  const net::Frame f = conn.call(MsgType::kStats, mpcmst::ByteWriter());
+  MPCMST_ASSERT(f.type == MsgType::kStatsReply, "unexpected kStats reply");
+  mpcmst::ByteReader r(f.body.data(), f.body.size());
+  net::WireStats st;
+  MPCMST_ASSERT(net::decode_stats(r, st), "truncated kStatsReply");
+  return st;
+}
+
+// --- scenarios --------------------------------------------------------------
+
+std::vector<svc::EdgeEvent> event_round(const g::Instance& inst, int round) {
+  const auto n = static_cast<g::Vertex>(inst.n());
+  const auto& nt = inst.nontree[static_cast<std::size_t>(round * 3) %
+                                inst.nontree.size()];
+  return {
+      {svc::UpdateOp::kReweight, nt.u, nt.v, nt.w + 3 + round},
+      {svc::UpdateOp::kAddEdge, (7 * round + 1) % n, (11 * round + 3) % n,
+       2 + round},
+  };
+}
+
+void expect_remote_parity(net::ShardConn& conn, svc::QueryService& oracle,
+                          const g::Instance& inst, const char* what) {
+  auto qs = mpcmst::test::probe_queries(inst);
+  qs.push_back(svc::Query::still_mst({{0, 1, 2}, {1, 2, 50}}));
+  for (const svc::Query& q : qs) {
+    const svc::Answer got = remote_answer(conn, q);
+    const svc::Answer want = oracle.answer(q);
+    MPCMST_ASSERT(got == want,
+                  what << ": answer diverged for " << svc::to_string(q));
+  }
+}
+
+int run(const std::string& server_bin, const std::string& dir) {
+  // Fresh at start, deliberately NOT wiped at exit: the child logs are the
+  // post-mortem artifact CI uploads when a scenario fails.
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  const g::Instance inst = make_instance(kN, kSeed);
+
+  // In-process oracle over the identical instance.
+  auto eng = mpcmst::test::make_engine(inst.input_words());
+  svc::ServiceConfig oracle_cfg;
+  oracle_cfg.engine = &eng;
+  oracle_cfg.instance = &inst;
+  oracle_cfg.sharded = true;
+  oracle_cfg.num_shards = 2;
+  oracle_cfg.live = true;
+  auto oracle = svc::QueryService::open(oracle_cfg);
+
+  // --- scenario 1: parity over real processes -------------------------------
+  Child shard0 = spawn(server_bin, {"shard", "--listen", "127.0.0.1:0"},
+                       dir + "/shard0.log");
+  Child shard1 = spawn(server_bin, {"shard", "--listen", "127.0.0.1:0"},
+                       dir + "/shard1.log");
+  const std::string ep0 = wait_listening(shard0);
+  const std::string ep1 = wait_listening(shard1);
+
+  Child leader = spawn(server_bin,
+                       {"leader", "--listen", "127.0.0.1:0", "--shards",
+                        ep0 + "," + ep1, "--n", std::to_string(kN), "--seed",
+                        std::to_string(kSeed), "--dir", dir + "/wal",
+                        "--every", "100000"},
+                       dir + "/leader.log");
+  const std::string leader_ep = wait_listening(leader);
+  net::ShardConn leader_conn(leader_ep, {});
+  expect_remote_parity(leader_conn, *oracle, inst, "parity");
+  std::cout << "scenario 1 (socket parity): OK\n";
+
+  // --- scenario 2: SIGKILL one shard, restart empty, heal -------------------
+  kill_child(shard1);
+  shard1 = spawn(server_bin, {"shard", "--listen", ep1},
+                 dir + "/shard1-restarted.log");
+  MPCMST_ASSERT(wait_listening(shard1) == ep1, "restart endpoint moved");
+
+  const auto evs = event_round(inst, 1);
+  const auto remote_rc = remote_ingest(leader_conn, evs);
+  const auto oracle_rc = oracle->ingest(evs);
+  MPCMST_ASSERT(remote_rc.size() == oracle_rc.size(), "receipt count");
+  for (std::size_t i = 0; i < remote_rc.size(); ++i)
+    MPCMST_ASSERT(
+        remote_rc[i].report.status == oracle_rc[i].report.status &&
+            remote_rc[i].report.cls == oracle_rc[i].report.cls &&
+            remote_rc[i].new_fingerprint == oracle_rc[i].new_fingerprint &&
+            remote_rc[i].generation == oracle_rc[i].generation,
+        "receipt " << i << " diverged after shard restart");
+  const g::Instance now = oracle->updatable_backend()->instance_snapshot();
+  expect_remote_parity(leader_conn, *oracle, now, "post-restart");
+  std::cout << "scenario 2 (shard SIGKILL + restart): OK\n";
+
+  // --- scenario 3: replica catch-up, leader SIGKILL mid-stream --------------
+  Child replica = spawn(server_bin,
+                        {"replica", "--listen", "127.0.0.1:0", "--leader",
+                         leader_ep},
+                        dir + "/replica.log");
+  net::ShardConn replica_conn(wait_listening(replica), {});
+
+  // Wait until the replica has installed state and caught the live tail.
+  const net::WireStats lstats = remote_stats(leader_conn);
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(20);
+  for (;;) {
+    MPCMST_ASSERT(std::chrono::steady_clock::now() < deadline,
+                  "replica never caught up (see replica.log)");
+    try {
+      const net::WireStats rs = remote_stats(replica_conn);
+      if (rs.serving && rs.generation == lstats.generation &&
+          rs.fingerprint == lstats.fingerprint)
+        break;
+    } catch (const svc::ServiceError&) {
+      // Endpoint up, no backend yet.
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  expect_remote_parity(replica_conn, *oracle, now, "replica");
+
+  // Mutations must be refused by the follower.
+  bool refused = false;
+  try {
+    (void)remote_ingest(replica_conn, evs);
+  } catch (const svc::ServiceError& e) {
+    refused = e.status() == svc::ServiceStatus::kNotLeader;
+  }
+  MPCMST_ASSERT(refused, "replica accepted a mutation");
+
+  // Commit one more burst and SIGKILL the leader right behind it: the
+  // replica keeps serving at its last contiguous generation, whatever part
+  // of the stream reached it.
+  const auto burst = event_round(now, 2);
+  const auto burst_rc = remote_ingest(leader_conn, burst);
+  kill_child(leader);
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  const net::WireStats final_stats = remote_stats(replica_conn);
+  MPCMST_ASSERT(final_stats.serving, "replica stopped serving");
+  MPCMST_ASSERT(final_stats.generation >= lstats.generation &&
+                    final_stats.generation <= burst_rc.back().generation,
+                "replica generation " << final_stats.generation
+                                      << " outside the committed range");
+  // Whatever generation it stopped at, its fingerprint must be the one the
+  // leader's receipts promised for that generation.
+  std::uint64_t want_fp = lstats.fingerprint;
+  for (const svc::UpdateReceipt& rc : burst_rc)
+    if (rc.generation <= final_stats.generation) want_fp = rc.new_fingerprint;
+  MPCMST_ASSERT(final_stats.fingerprint == want_fp,
+                "replica fingerprint diverges from the journal chain");
+  const svc::Answer probe =
+      remote_answer(replica_conn, svc::Query::top_k_fragile(3));
+  MPCMST_ASSERT(probe.status == svc::Status::kOk,
+                "replica read failed after leader death");
+  std::cout << "scenario 3 (replication + leader SIGKILL): OK\n";
+
+  kill_child(replica);
+  kill_child(shard0);
+  kill_child(shard1);
+  std::cout << "net harness PASSED\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 3) {
+    std::cerr << "usage: net_harness <net_server_binary> <dir>\n";
+    return 2;
+  }
+  try {
+    return run(argv[1], argv[2]);
+  } catch (const std::exception& e) {
+    std::cerr << "FAIL: " << e.what() << "\n";
+    return 1;
+  }
+}

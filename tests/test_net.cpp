@@ -1,0 +1,309 @@
+// In-process integration tests for the networked tier: leader parity with
+// the in-process sharded backend under interleaved + concurrent updates, a
+// shard-server restart healing through stamp-mismatch re-bootstrap, and
+// journal-shipped replication (ReplicationHub + ReplicaNode over a loopback
+// ServiceServer) with reconnect-resume from the last applied generation.
+// Process-level crash scenarios (SIGKILL) live in net_harness.cpp.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/metrics.hpp"
+#include "graph/generators.hpp"
+#include "net/client.hpp"
+#include "net/replicate.hpp"
+#include "net/server.hpp"
+#include "net/socket.hpp"
+#include "service/service.hpp"
+#include "test_util.hpp"
+
+namespace g = mpcmst::graph;
+namespace svc = mpcmst::service;
+namespace net = mpcmst::service::net;
+
+namespace {
+
+g::Instance make_instance(std::size_t n, std::uint64_t seed) {
+  auto tree = g::random_recursive_tree(n, seed);
+  g::assign_random_tree_weights(tree, 1, 40, seed + 2);
+  return g::make_mst_instance(std::move(tree), 2 * n, seed + 4, /*slack=*/4);
+}
+
+/// Deterministic event stream over the instance: reweights on both edge
+/// kinds, inserts (including colliding ones both sides refuse identically),
+/// and deletes.
+std::vector<svc::EdgeEvent> event_round(const g::Instance& inst, int round) {
+  const auto n = static_cast<g::Vertex>(inst.n());
+  std::vector<svc::EdgeEvent> evs;
+  const auto& nt = inst.nontree[static_cast<std::size_t>(round * 3) %
+                                inst.nontree.size()];
+  evs.push_back({svc::UpdateOp::kReweight, nt.u, nt.v, nt.w + 3 + round});
+  const g::Vertex c = (round + 1) % n == inst.tree.root
+                          ? (round + 2) % n
+                          : (round + 1) % n;
+  evs.push_back({svc::UpdateOp::kReweight, c,
+                 inst.tree.parent[static_cast<std::size_t>(c)],
+                 1 + (round % 5)});
+  evs.push_back({svc::UpdateOp::kAddEdge, (7 * round + 1) % n,
+                 (11 * round + 3) % n, 2 + round});
+  const auto& del = inst.nontree[static_cast<std::size_t>(round * 5 + 1) %
+                                 inst.nontree.size()];
+  evs.push_back({svc::UpdateOp::kRemoveEdge, del.u, del.v, 0});
+  return evs;
+}
+
+void expect_parity(svc::QueryService& a, svc::QueryService& b,
+                   const g::Instance& inst, const char* what) {
+  auto qs = mpcmst::test::probe_queries(inst);
+  qs.push_back(svc::Query::still_mst({{0, 1, 2}, {1, 2, 50}}));
+  const auto xs = a.answer_batch(qs);
+  const auto ys = b.answer_batch(qs);
+  ASSERT_EQ(xs.size(), ys.size());
+  for (std::size_t i = 0; i < qs.size(); ++i)
+    ASSERT_EQ(xs[i], ys[i]) << what << ": query " << i << " "
+                            << svc::to_string(qs[i]);
+}
+
+void expect_receipts_match(const std::vector<svc::UpdateReceipt>& xs,
+                           const std::vector<svc::UpdateReceipt>& ys,
+                           const char* what) {
+  ASSERT_EQ(xs.size(), ys.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    EXPECT_EQ(xs[i].report.status, ys[i].report.status) << what << " " << i;
+    EXPECT_EQ(xs[i].report.cls, ys[i].report.cls) << what << " " << i;
+    EXPECT_EQ(xs[i].old_fingerprint, ys[i].old_fingerprint) << what << " "
+                                                            << i;
+    EXPECT_EQ(xs[i].new_fingerprint, ys[i].new_fingerprint) << what << " "
+                                                            << i;
+    EXPECT_EQ(xs[i].generation, ys[i].generation) << what << " " << i;
+  }
+}
+
+bool wait_until(const std::function<bool()>& cond, int timeout_ms) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (cond()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  return cond();
+}
+
+TEST(NetLeader, ParityUnderInterleavedAndConcurrentUpdates) {
+  const g::Instance inst = make_instance(40, 31);
+
+  std::vector<std::unique_ptr<net::ShardServer>> servers;
+  std::vector<std::string> endpoints;
+  for (int i = 0; i < 3; ++i) {
+    servers.push_back(std::make_unique<net::ShardServer>(
+        net::Listener::bind("127.0.0.1:0")));
+    servers.back()->start();
+    endpoints.push_back(servers.back()->endpoint());
+  }
+
+  auto eng1 = mpcmst::test::make_engine(inst.input_words());
+  svc::ServiceConfig local_cfg;
+  local_cfg.engine = &eng1;
+  local_cfg.instance = &inst;
+  local_cfg.sharded = true;
+  local_cfg.num_shards = 3;
+  local_cfg.live = true;
+  auto local = svc::QueryService::open(local_cfg);
+
+  auto eng2 = mpcmst::test::make_engine(inst.input_words());
+  svc::ServiceConfig net_cfg;
+  net_cfg.engine = &eng2;
+  net_cfg.instance = &inst;
+  net_cfg.live = true;
+  net_cfg.remote_shards = endpoints;
+  auto leader = svc::QueryService::open(net_cfg);
+
+  // A concurrent reader hammers the leader across every ingest below: it
+  // must always get a whole-epoch answer (the fan-out and the patch
+  // broadcast exclude each other), never a torn merge or an error.
+  std::atomic<bool> done{false};
+  std::atomic<std::uint64_t> reads{0};
+  std::thread reader([&] {
+    const svc::Query probe = svc::Query::top_k_fragile(5);
+    while (!done.load(std::memory_order_acquire)) {
+      const svc::Answer a = leader->answer(probe);
+      ASSERT_EQ(a.status, svc::Status::kOk);
+      reads.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+
+  for (int round = 0; round < 6; ++round) {
+    const auto evs = event_round(inst, round);
+    const auto lr = local->ingest(evs);
+    const auto nr = leader->ingest(evs);
+    expect_receipts_match(lr, nr, "round receipt");
+    const g::Instance now = local->updatable_backend()->instance_snapshot();
+    expect_parity(*local, *leader, now, "round");
+  }
+  done.store(true, std::memory_order_release);
+  reader.join();
+  EXPECT_GT(reads.load(), 0u);
+  EXPECT_EQ(leader->backend().generation(), local->backend().generation());
+  EXPECT_EQ(leader->backend().fingerprint(), local->backend().fingerprint());
+
+  for (auto& s : servers) s->stop();
+}
+
+TEST(NetLeader, ShardRestartHealsViaRebootstrap) {
+  const g::Instance inst = make_instance(24, 51);
+
+  std::vector<std::unique_ptr<net::ShardServer>> servers;
+  std::vector<std::string> endpoints;
+  for (int i = 0; i < 2; ++i) {
+    servers.push_back(std::make_unique<net::ShardServer>(
+        net::Listener::bind("127.0.0.1:0")));
+    servers.back()->start();
+    endpoints.push_back(servers.back()->endpoint());
+  }
+
+  auto eng1 = mpcmst::test::make_engine(inst.input_words());
+  svc::ServiceConfig local_cfg;
+  local_cfg.engine = &eng1;
+  local_cfg.instance = &inst;
+  local_cfg.sharded = true;
+  local_cfg.num_shards = 2;
+  local_cfg.live = true;
+  auto local = svc::QueryService::open(local_cfg);
+
+  auto eng2 = mpcmst::test::make_engine(inst.input_words());
+  svc::ServiceConfig net_cfg;
+  net_cfg.engine = &eng2;
+  net_cfg.instance = &inst;
+  net_cfg.live = true;
+  net_cfg.remote_shards = endpoints;
+  auto leader = svc::QueryService::open(net_cfg);
+  expect_parity(*local, *leader, inst, "pre-restart");
+
+  // Kill shard 1 and restart an empty server on the same endpoint: the
+  // leader detects the lost slice (connection fault or foreign stamp) and
+  // re-bootstraps it from the authoritative core on the next query.
+  servers[1]->stop();
+  servers[1].reset();
+  servers[1] =
+      std::make_unique<net::ShardServer>(net::Listener::bind(endpoints[1]));
+  servers[1]->start();
+
+  const std::uint64_t reboots_before =
+      net::net_counter("shard_rebootstraps").total();
+  // Same-generation parity still holds (the leader's cache keeps serving
+  // the unchanged epoch while the slice is gone).
+  expect_parity(*local, *leader, inst, "post-restart");
+
+  // An uncached fan-out query must cross the wire: the leader hits the
+  // empty server, suspects the tier, and re-bootstraps the lost slice from
+  // its authoritative core — the query then answers correctly.
+  const svc::Query fresh = svc::Query::top_k_fragile(2);
+  EXPECT_EQ(leader->answer(fresh), local->answer(fresh));
+  if (mpcmst::metrics_enabled()) {
+    EXPECT_GT(net::net_counter("shard_rebootstraps").total(), reboots_before);
+  }
+
+  // And updates flow again end to end.
+  const auto evs = event_round(inst, 1);
+  expect_receipts_match(local->ingest(evs), leader->ingest(evs),
+                        "post-restart receipt");
+  const g::Instance now = local->updatable_backend()->instance_snapshot();
+  expect_parity(*local, *leader, now, "post-restart ingest");
+
+  for (auto& s : servers) s->stop();
+}
+
+TEST(NetReplication, CatchUpLiveTailAndReconnectResume) {
+  mpcmst::test::ScratchDir scratch("net_replication");
+  const g::Instance inst = make_instance(32, 71);
+
+  auto eng = mpcmst::test::make_engine(inst.input_words());
+  svc::ServiceConfig cfg;
+  cfg.engine = &eng;
+  cfg.instance = &inst;
+  cfg.live = true;
+  // A huge snapshot cadence keeps the journal un-truncated, so resumes can
+  // always bridge from it (the snapshot path is exercised by the fresh
+  // replica's bootstrap below).
+  cfg.persist = svc::PersistenceConfig{scratch.str(), svc::SyncMode::kCommit,
+                                       1 << 20};
+  auto leader = svc::QueryService::open(cfg);
+
+  auto hub = std::make_shared<net::ReplicationHub>(scratch.str());
+  leader->updatable_backend()->set_commit_listener(
+      [hub](const std::vector<svc::JournalRecord>& recs) {
+        hub->publish(recs);
+      });
+
+  std::shared_ptr<svc::QueryService> shared_leader = std::move(leader);
+  net::ServiceServer server(net::Listener::bind("127.0.0.1:0"),
+                            [shared_leader] { return shared_leader; });
+  server.set_subscribe_handler(
+      [hub](net::Socket s, std::uint64_t last_gen, bool have_state) {
+        hub->subscribe(std::move(s), last_gen, have_state);
+      });
+  server.start();
+
+  // Fresh replica: bootstraps from the generation-0 snapshot + journal tail.
+  net::ReplicaNode node(server.endpoint());
+  node.start();
+  ASSERT_TRUE(wait_until([&] { return node.service() != nullptr; }, 10000));
+
+  // Live tail: every committed batch is pushed to the subscriber.
+  for (int round = 0; round < 3; ++round)
+    shared_leader->ingest(event_round(inst, round));
+  const std::uint64_t gen1 = shared_leader->backend().generation();
+  ASSERT_TRUE(
+      wait_until([&] { return node.applied_generation() == gen1; }, 10000));
+  auto replica_svc = node.service();
+  ASSERT_NE(replica_svc, nullptr);
+  EXPECT_EQ(replica_svc->backend().fingerprint(),
+            shared_leader->backend().fingerprint());
+  const g::Instance now =
+      shared_leader->updatable_backend()->instance_snapshot();
+  expect_parity(*shared_leader, *replica_svc, now, "caught-up replica");
+
+  // Disconnect, commit more while the replica is away, reconnect: the node
+  // re-subscribes from its last applied generation and resumes via the
+  // journal tail alone — no snapshot is re-shipped.
+  const std::uint64_t snaps_before =
+      net::net_counter("snapshots_shipped").total();
+  node.stop();
+  for (int round = 3; round < 6; ++round)
+    shared_leader->ingest(event_round(inst, round));
+  const std::uint64_t gen2 = shared_leader->backend().generation();
+  ASSERT_GT(gen2, gen1);
+  node.start();
+  ASSERT_TRUE(
+      wait_until([&] { return node.applied_generation() == gen2; }, 10000));
+  if (mpcmst::metrics_enabled()) {
+    EXPECT_EQ(net::net_counter("snapshots_shipped").total(), snaps_before);
+  }
+  replica_svc = node.service();
+  ASSERT_NE(replica_svc, nullptr);
+  EXPECT_EQ(replica_svc->backend().fingerprint(),
+            shared_leader->backend().fingerprint());
+  const g::Instance now2 =
+      shared_leader->updatable_backend()->instance_snapshot();
+  expect_parity(*shared_leader, *replica_svc, now2, "resumed replica");
+
+  // The replica keeps serving its last contiguous generation after the
+  // leader goes away entirely (the in-process stand-in for leader SIGKILL;
+  // the process-level version lives in the net harness).
+  server.stop();
+  hub->close_all();
+  auto lone = node.service();
+  ASSERT_NE(lone, nullptr);
+  EXPECT_EQ(lone->backend().generation(), gen2);
+  const auto probe = lone->answer(svc::Query::top_k_fragile(3));
+  EXPECT_EQ(probe.status, svc::Status::kOk);
+  node.stop();
+}
+
+}  // namespace
